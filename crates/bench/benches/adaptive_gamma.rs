@@ -1,0 +1,36 @@
+//! Cost of the adaptive-momentum machinery (Eqs. 6–7): the weighted
+//! cosine over per-worker accumulators — the ablation target for the
+//! "does adaptation cost anything?" question (it is O(N·d) per edge
+//! aggregation, negligible next to a gradient).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hieradmo_core::adaptive::{clamp_gamma, weighted_cosine};
+use hieradmo_tensor::Vector;
+
+fn bench_adaptation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_gamma");
+    for &dim in &[10_000usize, 100_000] {
+        let workers: Vec<(Vector, Vector)> = (0..4)
+            .map(|i| {
+                (
+                    Vector::filled(dim, 1.0 + i as f32),
+                    Vector::filled(dim, -1.0),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("eq6_eq7", dim), &workers, |b, ws| {
+            b.iter(|| {
+                let cos = weighted_cosine(ws.iter().map(|(g, y)| (0.25, g, y)));
+                clamp_gamma(cos)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_adaptation
+}
+criterion_main!(benches);

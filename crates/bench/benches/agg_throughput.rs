@@ -1,0 +1,35 @@
+//! Aggregation throughput: the cost of the data-weighted average
+//! (Algorithm 1 lines 11/12/18/19) vs model dimension and worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hieradmo_tensor::Vector;
+
+fn bench_weighted_average(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_aggregation");
+    for &dim in &[1_000usize, 10_000, 100_000] {
+        for &workers in &[4usize, 16, 100] {
+            let vectors: Vec<Vector> = (0..workers)
+                .map(|i| Vector::filled(dim, i as f32))
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("dim{dim}"), workers),
+                &vectors,
+                |b, vectors| {
+                    b.iter(|| {
+                        Vector::weighted_average(
+                            vectors.iter().map(|v| (1.0 / vectors.len() as f64, v)),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_weighted_average
+}
+criterion_main!(benches);

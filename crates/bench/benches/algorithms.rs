@@ -1,0 +1,39 @@
+//! Per-algorithm cost of one full federated round (τ·π local iterations +
+//! edge + cloud aggregations) on the logistic-MNIST workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Scale, Workload};
+use hieradmo_core::algorithms::table2_lineup;
+use hieradmo_core::RunConfig;
+use hieradmo_data::partition::x_class_partition;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_round");
+    let workload = Workload::LogisticMnist;
+    let tt = workload.dataset(Scale::Quick, 1);
+    let model = workload.model(&tt.train, 1);
+    let shards = x_class_partition(&tt.train, 4, 5, 1);
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 10, // exactly one cloud round
+        batch_size: 8,
+        eval_every: 10,
+        parallel: false,
+        ..RunConfig::default()
+    };
+    for algo in table2_lineup(0.01, 0.5, 0.5) {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| run_partitioned(algo.as_ref(), &model, &shards, &tt.test, &cfg, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_algorithms
+}
+criterion_main!(benches);

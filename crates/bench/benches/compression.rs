@@ -1,0 +1,54 @@
+//! Compression and wire-protocol micro-benchmarks: cost of compressing a
+//! model-sized update and of encoding/decoding protocol frames.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hieradmo_core::compression::Compression;
+use hieradmo_netsim::proto::Message;
+use hieradmo_tensor::Vector;
+
+fn model_vector(dim: usize) -> Vector {
+    (0..dim).map(|i| ((i as f32) * 0.37).sin()).collect()
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    let dim = 50_000;
+    let v = model_vector(dim);
+    for (label, scheme) in [
+        ("top_k_10pct", Compression::TopK { k: dim / 10 }),
+        ("random_k_10pct", Compression::RandomK { k: dim / 10 }),
+        ("uniform_8bit", Compression::Uniform { bits: 8 }),
+        ("uniform_2bit", Compression::Uniform { bits: 2 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, dim), &v, |b, v| {
+            b.iter(|| scheme.compress(v, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_protocol");
+    let dim = 50_000;
+    let msg = Message::WorkerUpload {
+        sender: 1,
+        round: 9,
+        y: model_vector(dim),
+        x: model_vector(dim),
+        grad_sum: model_vector(dim),
+        y_sum: model_vector(dim),
+    };
+    group.bench_function("encode_worker_upload_50k", |b| b.iter(|| msg.encode()));
+    let frame = msg.encode();
+    group.bench_function("decode_worker_upload_50k", |b| {
+        b.iter(|| Message::decode(&frame).expect("valid frame"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compression, bench_proto
+}
+criterion_main!(benches);

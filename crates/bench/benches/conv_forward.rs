@@ -1,0 +1,37 @@
+//! Layer micro-benchmarks: convolution forward/backward — the dominant
+//! cost of the CNN/VGG/ResNet workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hieradmo_tensor::conv;
+use hieradmo_tensor::Tensor4;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    // The CNN-on-MNIST first layer: 1→8 channels, 5×5, 28×28, pad 2.
+    let input = Tensor4::from_data(1, 1, 28, 28, (0..784).map(|i| (i as f32 * 0.01).sin()).collect());
+    let weight = Tensor4::from_data(8, 1, 5, 5, (0..200).map(|i| (i as f32 * 0.1).cos()).collect());
+    let bias = vec![0.0f32; 8];
+    group.bench_function("forward_mnist_l1", |b| {
+        b.iter(|| conv::conv2d_forward(&input, &weight, &bias, 2))
+    });
+    group.bench_function("forward_mnist_l1_im2col", |b| {
+        b.iter(|| conv::conv2d_forward_im2col(&input, &weight, &bias, 2))
+    });
+    let out = conv::conv2d_forward(&input, &weight, &bias, 2);
+    let ones = Tensor4::from_data(out.n(), out.c(), out.h(), out.w(), vec![1.0; out.len()]);
+    group.bench_function("backward_mnist_l1", |b| {
+        b.iter(|| conv::conv2d_backward(&input, &weight, 2, &ones))
+    });
+    group.bench_function("maxpool_28", |b| {
+        let big = Tensor4::zeros(1, 8, 28, 28);
+        b.iter(|| conv::max_pool2x2_forward(&big))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! End-to-end shapes: miniature versions of each table/figure pipeline so
+//! `cargo bench` exercises every experiment path. The real (full-length)
+//! regenerators are the binaries in `src/bin/` — these benches keep the
+//! pipelines honest and track their cost per tick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Scale, Workload};
+use hieradmo_core::algorithms::{FedNag, HierAdMo, HierFavg};
+use hieradmo_core::{RunConfig, Strategy};
+use hieradmo_data::partition::x_class_partition;
+
+fn mini_cfg(tau: usize, pi: usize, total: usize) -> RunConfig {
+    RunConfig {
+        tau,
+        pi,
+        total_iters: total,
+        batch_size: 8,
+        eval_every: total,
+        parallel: false,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    let workload = Workload::LogisticMnist;
+    let tt = workload.dataset(Scale::Quick, 1);
+    let model = workload.model(&tt.train, 1);
+
+    // Table II shape: three algorithms (one per category) on one workload.
+    group.bench_function("table2_mini", |b| {
+        let shards = x_class_partition(&tt.train, 4, 5, 1);
+        let algos: Vec<Box<dyn Strategy>> = vec![
+            Box::new(HierAdMo::adaptive(0.01, 0.5)),
+            Box::new(HierFavg::new(0.01)),
+            Box::new(FedNag::new(0.01, 0.5)),
+        ];
+        b.iter(|| {
+            for a in &algos {
+                run_partitioned(a.as_ref(), &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
+            }
+        })
+    });
+
+    // Fig. 2(a) shape: τ sweep.
+    group.bench_function("fig2a_mini", |b| {
+        let shards = x_class_partition(&tt.train, 4, 5, 1);
+        let algo = HierAdMo::adaptive(0.01, 0.5);
+        b.iter(|| {
+            for tau in [5usize, 10] {
+                run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(tau, 2, tau * 4), 2);
+            }
+        })
+    });
+
+    // Fig. 2(e) shape: non-iid sweep.
+    group.bench_function("fig2efg_mini", |b| {
+        let algo = HierAdMo::adaptive(0.01, 0.5);
+        b.iter(|| {
+            for x in [3usize, 6, 9] {
+                let shards = x_class_partition(&tt.train, 4, x, 1);
+                run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
+            }
+        })
+    });
+
+    // Fig. 2(i) shape: fixed-vs-adaptive γℓ.
+    group.bench_function("fig2ijk_mini", |b| {
+        let shards = x_class_partition(&tt.train, 4, 5, 1);
+        b.iter(|| {
+            for ge in [0.2f32, 0.8] {
+                let algo = HierAdMo::reduced(0.01, 0.5, ge);
+                run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
+            }
+            let algo = HierAdMo::adaptive(0.01, 0.5);
+            run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipelines
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Trace-replay throughput of the network simulator (Fig. 2(h)/(l)
+//! substrate): a full T=1000 timeline for both architectures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hieradmo_netsim::{simulate_timeline, Architecture, NetworkEnv, TraceConfig};
+use hieradmo_topology::{Hierarchy, Schedule};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_replay");
+    let env = NetworkEnv::paper_testbed(4);
+    let three = TraceConfig::new(
+        Schedule::three_tier(10, 2, 1000).unwrap(),
+        Hierarchy::balanced(2, 2),
+        Architecture::ThreeTier,
+        220_000,
+        1,
+    );
+    group.bench_function("three_tier_t1000", |b| {
+        b.iter(|| simulate_timeline(&env, &three))
+    });
+    let two = TraceConfig::new(
+        Schedule::two_tier(20, 1000).unwrap(),
+        Hierarchy::two_tier(4),
+        Architecture::TwoTier,
+        220_000,
+        1,
+    );
+    group.bench_function("two_tier_t1000", |b| {
+        b.iter(|| simulate_timeline(&env, &two))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_replay
+}
+criterion_main!(benches);

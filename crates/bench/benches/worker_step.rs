@@ -1,0 +1,41 @@
+//! Worker local-step cost: one NAG iteration (Algorithm 1 lines 5–6),
+//! including the mini-batch gradient, per model family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hieradmo_bench::{Scale, Workload};
+use hieradmo_core::algorithms::HierAdMo;
+use hieradmo_core::{state::WorkerState, Strategy};
+use hieradmo_models::Model;
+use hieradmo_tensor::Vector;
+
+fn bench_local_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_local_step");
+    let algo = HierAdMo::adaptive(0.01, 0.5);
+    for (label, workload) in [
+        ("logistic_mnist", Workload::LogisticMnist),
+        ("cnn_mnist", Workload::CnnMnist),
+    ] {
+        let tt = workload.dataset(Scale::Quick, 1);
+        let model = workload.model(&tt.train, 1);
+        let batch: Vec<usize> = (0..8).collect();
+        group.bench_function(label, |b| {
+            let mut worker = WorkerState::new(&model.params());
+            let mut m = model.clone();
+            b.iter(|| {
+                let mut grad = |p: &Vector| {
+                    m.set_params(p);
+                    m.loss_and_grad(&tt.train, &batch).1
+                };
+                algo.local_step(1, &mut worker, &mut grad);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_local_step
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! **Ablation** (DESIGN.md §6): dissect the adaptive edge momentum.
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin ablation_adaptive -- \
+//!     [--scale quick|paper] [--workload logistic-mnist] [--seeds N]
+//! ```
+//!
+//! Compares, on the same shards and schedule:
+//!
+//! 1. `γℓ = 0` — edge momentum disabled (isolates the worker momentum);
+//! 2. fixed `γℓ = 0.5` — HierAdMo-R, the paper's reduced variant;
+//! 3. adaptive, verbatim-Eq.6 cosine (`Σyᵗ`) — HierAdMo's default;
+//! 4. adaptive, footnote-1 agreement and gradient-alignment variants;
+//! 5. HierFAVG — no momentum anywhere (the floor).
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Report, Workload};
+use hieradmo_core::algorithms::{HierAdMo, HierFavg};
+use hieradmo_core::{RunConfig, Strategy};
+use hieradmo_data::partition::x_class_partition;
+use hieradmo_metrics::MeanStd;
+use serde_json::json;
+
+const EDGES: usize = 2;
+const WORKERS: usize = 4;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let seeds = cli.get_or("seeds", 2u64);
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
+
+    let variants: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("edge momentum off (γℓ=0)", Box::new(HierAdMo::reduced(0.01, 0.5, 0.0))),
+        ("fixed γℓ=0.5 (HierAdMo-R)", Box::new(HierAdMo::reduced(0.01, 0.5, 0.5))),
+        ("adaptive verbatim Σy (HierAdMo)", Box::new(HierAdMo::adaptive(0.01, 0.5))),
+        ("adaptive agreement Σv", Box::new(HierAdMo::adaptive_agreement(0.01, 0.5))),
+        ("adaptive grad-align", Box::new(HierAdMo::adaptive_gradient_alignment(0.01, 0.5))),
+        ("no momentum (HierFAVG)", Box::new(HierFavg::new(0.01))),
+    ];
+
+    let (tau, pi) = workload.tau_pi();
+    let total = workload.total_iters(scale);
+    let mut report = Report::new(
+        "ablation_adaptive",
+        vec!["variant".into(), "accuracy %".into(), "mean γℓ".into()],
+    );
+
+    for (label, algo) in &variants {
+        let mut accs = Vec::new();
+        let mut gammas = Vec::new();
+        for seed in 0..seeds {
+            eprintln!("[ablation] {label} seed {seed}");
+            let tt = workload.dataset(scale, 61 + seed);
+            let model = workload.model(&tt.train, 161 + seed);
+            let x = workload.noniid_classes(tt.train.num_classes());
+            let shards = x_class_partition(&tt.train, WORKERS, x, 63 + seed);
+            let cfg = RunConfig {
+                tau,
+                pi,
+                total_iters: total,
+                batch_size: scale.batch_size(),
+                eval_every: (total / 8).max(1),
+                seed,
+                ..RunConfig::default()
+            };
+            let out = run_partitioned(algo.as_ref(), &model, &shards, &tt.test, &cfg, EDGES);
+            accs.push(out.accuracy);
+            if !out.gamma_trace.is_empty() {
+                gammas.push(
+                    f64::from(out.gamma_trace.iter().map(|&(_, g)| g).sum::<f32>())
+                        / out.gamma_trace.len() as f64,
+                );
+            }
+        }
+        let stat = MeanStd::of(&accs);
+        let mean_gamma = if gammas.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.3}", gammas.iter().sum::<f64>() / gammas.len() as f64)
+        };
+        report.row(
+            vec![label.to_string(), stat.as_percent(), mean_gamma.clone()],
+            &json!({"variant": label, "accuracy": stat.mean, "std": stat.std, "mean_gamma": mean_gamma}),
+        );
+    }
+    println!("{}", report.render());
+}

@@ -1,0 +1,93 @@
+//! **Extension experiment**: accuracy vs uplink bytes under lossy
+//! compression (the paper's cited follow-on ref. 8, hierarchical FL with
+//! quantization).
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin compression_tradeoff -- \
+//!     [--scale quick|paper] [--workload logistic-mnist]
+//! ```
+//!
+//! Runs hierarchical FedAvg with the worker→edge uplink compressed by
+//! top-k / random-k / b-bit uniform quantization (all with error
+//! feedback), reporting final accuracy next to the per-round uplink bytes.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Report, Workload};
+use hieradmo_core::compression::{Compression, QuantizedHierFavg};
+use hieradmo_core::RunConfig;
+use hieradmo_data::partition::x_class_partition;
+use hieradmo_models::Model;
+use hieradmo_tensor::Vector;
+use serde_json::json;
+
+const EDGES: usize = 2;
+const WORKERS: usize = 4;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
+
+    let tt = workload.dataset(scale, 71);
+    let model = workload.model(&tt.train, 171);
+    let dim = model.dim();
+    let x = workload.noniid_classes(tt.train.num_classes());
+    let shards = x_class_partition(&tt.train, WORKERS, x, 73);
+    let (tau, pi) = workload.tau_pi();
+    let total = workload.total_iters(scale);
+    let cfg = RunConfig {
+        tau,
+        pi,
+        total_iters: total,
+        batch_size: scale.batch_size(),
+        eval_every: (total / 8).max(1),
+        ..RunConfig::default()
+    };
+
+    let k10 = (dim / 10).max(1);
+    let k100 = (dim / 100).max(1);
+    let schemes = [
+        Compression::None,
+        Compression::TopK { k: k10 },
+        Compression::TopK { k: k100 },
+        Compression::RandomK { k: k10 },
+        Compression::Uniform { bits: 8 },
+        Compression::Uniform { bits: 4 },
+        Compression::Uniform { bits: 2 },
+    ];
+
+    let mut report = Report::new(
+        "compression_tradeoff",
+        vec![
+            "scheme".into(),
+            "uplink bytes/round".into(),
+            "vs dense".into(),
+            "accuracy %".into(),
+        ],
+    );
+    for scheme in schemes {
+        eprintln!("[compression] {scheme:?}");
+        let algo = QuantizedHierFavg::new(cfg.eta, scheme);
+        let out = run_partitioned(&algo, &model, &shards, &tt.test, &cfg, EDGES);
+        // Measure the actual wire size of one compressed update.
+        let probe = Vector::filled(dim, 0.123);
+        let bytes = scheme.compress(&probe, 0).wire_bytes();
+        let dense = Compression::None.compress(&probe, 0).wire_bytes();
+        report.row(
+            vec![
+                format!("{scheme:?}"),
+                bytes.to_string(),
+                format!("{:.1}%", bytes as f64 / dense as f64 * 100.0),
+                format!("{:.2}", out.accuracy * 100.0),
+            ],
+            &json!({
+                "scheme": format!("{scheme:?}"),
+                "uplink_bytes": bytes,
+                "compression_ratio": bytes as f64 / dense as f64,
+                "accuracy": out.accuracy,
+            }),
+        );
+    }
+    println!("{}", report.render());
+}

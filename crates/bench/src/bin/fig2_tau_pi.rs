@@ -1,0 +1,91 @@
+//! **Fig. 2(a)–(c)**: the effect of the aggregation periods τ and π on
+//! HierAdMo's convergence (CNN on MNIST, N = 16 workers, L = 4 edges,
+//! T = 1000, γ = 0.5).
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin fig2_tau_pi -- \
+//!     [tau|pi|joint|all] [--scale quick|paper] [--workload cnn-mnist]
+//! ```
+//!
+//! - `tau`   (Fig. 2a): τ ∈ {5, 10, 20, 50}, π = 2 — larger τ hurts.
+//! - `pi`    (Fig. 2b): π ∈ {1, 2, 5, 10}, τ = 10 — larger π hurts.
+//! - `joint` (Fig. 2c): τ·π = 40 fixed — smaller τ (more frequent edge
+//!   aggregation) wins.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Report, Scale, Workload};
+use hieradmo_core::algorithms::HierAdMo;
+use hieradmo_core::RunConfig;
+use hieradmo_data::partition::x_class_partition;
+use serde_json::json;
+
+const EDGES: usize = 4;
+const WORKERS: usize = 16;
+
+fn run_one(workload: Workload, scale: Scale, tau: usize, pi: usize, total: usize) -> f64 {
+    let tt = workload.dataset(scale, 11);
+    let model = workload.model(&tt.train, 111);
+    let x = workload.noniid_classes(tt.train.num_classes());
+    let shards = x_class_partition(&tt.train, WORKERS, x, 13);
+    let cfg = RunConfig {
+        tau,
+        pi,
+        total_iters: total,
+        batch_size: scale.batch_size(),
+        eval_every: (total / 8).max(1),
+        ..RunConfig::default()
+    };
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    run_partitioned(&algo, &model, &shards, &tt.test, &cfg, EDGES).accuracy
+}
+
+fn sweep(
+    name: &str,
+    pairs: &[(usize, usize)],
+    workload: Workload,
+    scale: Scale,
+    total: usize,
+) -> Report {
+    let mut report = Report::new(
+        name,
+        vec!["tau".into(), "pi".into(), "accuracy %".into()],
+    );
+    for &(tau, pi) in pairs {
+        // Keep T divisible by τ·π (paper uses T = 1000 with compatible
+        // period choices); round T up to the next multiple.
+        let round = tau * pi;
+        let total = total.div_ceil(round) * round;
+        eprintln!("[{name}] tau={tau} pi={pi} T={total}");
+        let acc = run_one(workload, scale, tau, pi, total);
+        report.row(
+            vec![tau.to_string(), pi.to_string(), format!("{:.2}", acc * 100.0)],
+            &json!({"tau": tau, "pi": pi, "accuracy": acc}),
+        );
+    }
+    report
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("cnn-mnist"));
+    let total = workload.total_iters(scale);
+    let mode = cli.positional(0).unwrap_or("all");
+
+    if mode == "tau" || mode == "all" {
+        // Fig. 2(a): vary τ at fixed π = 2.
+        let pairs: Vec<(usize, usize)> = [5, 10, 20, 50].iter().map(|&t| (t, 2)).collect();
+        println!("{}", sweep("fig2a_tau", &pairs, workload, scale, total).render());
+    }
+    if mode == "pi" || mode == "all" {
+        // Fig. 2(b): vary π at fixed τ = 10.
+        let pairs: Vec<(usize, usize)> = [1, 2, 5, 10].iter().map(|&p| (10, p)).collect();
+        println!("{}", sweep("fig2b_pi", &pairs, workload, scale, total).render());
+    }
+    if mode == "joint" || mode == "all" {
+        // Fig. 2(c): τ·π = 40 fixed.
+        let pairs = [(40, 1), (20, 2), (10, 4), (5, 8)];
+        println!("{}", sweep("fig2c_joint", &pairs, workload, scale, total).render());
+    }
+}

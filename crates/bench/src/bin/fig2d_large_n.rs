@@ -1,0 +1,71 @@
+//! **Fig. 2(d)**: cross-silo scale — N = 100 workers (10 edges × 10),
+//! CNN on MNIST. The ranking of Table II must persist at scale.
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin fig2d_large_n -- \
+//!     [--scale quick|paper] [--workload logistic-mnist] [--full]
+//! ```
+//!
+//! By default runs a representative subset of the lineup (one algorithm
+//! per category) to keep the 100-worker run affordable; `--full` runs all
+//! eleven.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Report, Workload};
+use hieradmo_core::algorithms::{table2_lineup, FedAvg, FedNag, HierAdMo, HierFavg};
+use hieradmo_core::{RunConfig, Strategy};
+use hieradmo_data::partition::x_class_partition;
+use serde_json::json;
+
+const EDGES: usize = 10;
+const WORKERS: usize = 100;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    // Default to the logistic model: 100 CNN workers at quick scale is
+    // minutes; --workload cnn-mnist --scale paper reproduces the figure.
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
+
+    let lineup: Vec<Box<dyn Strategy>> = if cli.get("full").is_some() {
+        table2_lineup(0.01, 0.5, 0.5)
+    } else {
+        vec![
+            Box::new(HierAdMo::adaptive(0.01, 0.5)),
+            Box::new(HierAdMo::reduced(0.01, 0.5, 0.5)),
+            Box::new(HierFavg::new(0.01)),
+            Box::new(FedNag::new(0.01, 0.5)),
+            Box::new(FedAvg::new(0.01)),
+        ]
+    };
+
+    let tt = workload.dataset(scale, 21);
+    let model = workload.model(&tt.train, 121);
+    let x = workload.noniid_classes(tt.train.num_classes());
+    let shards = x_class_partition(&tt.train, WORKERS, x, 23);
+    let (tau, pi) = workload.tau_pi();
+    let total = workload.total_iters(scale);
+    let cfg = RunConfig {
+        tau,
+        pi,
+        total_iters: total,
+        batch_size: scale.batch_size(),
+        eval_every: (total / 8).max(1),
+        ..RunConfig::default()
+    };
+
+    let mut report = Report::new(
+        "fig2d_large_n",
+        vec!["Algorithm".into(), "accuracy % (N=100)".into()],
+    );
+    for algo in &lineup {
+        eprintln!("[fig2d] {} on {} with N={WORKERS}", algo.name(), workload.name());
+        let out = run_partitioned(algo.as_ref(), &model, &shards, &tt.test, &cfg, EDGES);
+        report.row(
+            vec![out.algorithm.clone(), format!("{:.2}", out.accuracy * 100.0)],
+            &json!({"algorithm": out.algorithm, "accuracy": out.accuracy, "workers": WORKERS}),
+        );
+    }
+    println!("{}", report.render());
+}

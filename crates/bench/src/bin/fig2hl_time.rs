@@ -1,0 +1,169 @@
+//! **Fig. 2(h)/(l)**: trace-driven total training time to reach a target
+//! accuracy (CNN on MNIST, 4 workers).
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin fig2hl_time -- \
+//!     [1|2|both] [--scale quick|paper] [--target 0.8] [--workload cnn-mnist]
+//! ```
+//!
+//! - Setting **1** (Fig. 2h): three-tier τ=10/π=2, two-tier τ=20.
+//! - Setting **2** (Fig. 2l): three-tier τ=20/π=2, two-tier τ=40.
+//!
+//! Each algorithm's convergence curve is trained in simulation, then
+//! replayed against the emulated paper testbed (laptop + 3 phones, WiFi
+//! LAN, WAN to the cloud) with honest per-algorithm payload sizes.
+//! Reproduction target: HierAdMo reaches the target accuracy fastest,
+//! with a 1.3×–4.4× speedup band over the baselines.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::harness::run_partitioned;
+use hieradmo_bench::{Report, Scale, Workload};
+use hieradmo_core::algorithms::table2_lineup;
+use hieradmo_core::strategy::Tier;
+use hieradmo_core::RunConfig;
+use hieradmo_data::partition::x_class_partition;
+use hieradmo_models::Model;
+use hieradmo_netsim::payload::payload_bytes;
+use hieradmo_netsim::{simulate_timeline, Architecture, NetworkEnv, TraceConfig};
+use hieradmo_topology::{Hierarchy, Schedule};
+use serde_json::json;
+
+const EDGES: usize = 2;
+const WORKERS: usize = 4;
+
+/// Worker-upload vector count per algorithm (see `payload` docs): the
+/// number of model-sized vectors shipped per aggregation.
+fn upload_vectors(name: &str) -> usize {
+    match name {
+        // Algorithm 1 line 9: y, x, Σ∇F, Σy.
+        "HierAdMo" | "HierAdMo-R" => 4,
+        // Model + momentum/statistic.
+        "FedNAG" | "FastSlowMo" | "FedADC" | "Mime" => 2,
+        // Model only.
+        _ => 1,
+    }
+}
+
+fn download_vectors(name: &str) -> usize {
+    match name {
+        "HierAdMo" | "HierAdMo-R" | "FedNAG" | "FastSlowMo" | "FedADC" | "Mime" => 2,
+        _ => 1,
+    }
+}
+
+fn run_setting(setting: u8, scale: Scale, target: f64, workload: Workload) -> Report {
+    let (tau3, pi3) = match setting {
+        1 => (10usize, 2usize),
+        2 => (20, 2),
+        other => panic!("unknown setting {other}; use 1 or 2"),
+    };
+    let tt = workload.dataset(scale, 41);
+    let model = workload.model(&tt.train, 141);
+    let dim = model.dim();
+    let x = workload.noniid_classes(tt.train.num_classes());
+    let shards = x_class_partition(&tt.train, WORKERS, x, 43);
+    let total = {
+        let round = tau3 * pi3;
+        workload.total_iters(scale).div_ceil(round) * round
+    };
+    let cfg = RunConfig {
+        tau: tau3,
+        pi: pi3,
+        total_iters: total,
+        batch_size: scale.batch_size(),
+        eval_every: (total / 20).max(1),
+        ..RunConfig::default()
+    };
+    let env = NetworkEnv::paper_testbed(WORKERS);
+
+    let mut report = Report::new(
+        &format!("fig2hl_time_setting{setting}"),
+        vec![
+            "Algorithm".into(),
+            "arch".into(),
+            format!("iters to {target:.2}"),
+            "time (s)".into(),
+            "final acc %".into(),
+        ],
+    );
+
+    let mut hieradmo_time = None;
+    let mut rows = Vec::new();
+    for algo in table2_lineup(0.01, 0.5, 0.5) {
+        eprintln!("[fig2hl:{setting}] training {}", algo.name());
+        let out = run_partitioned(algo.as_ref(), &model, &shards, &tt.test, &cfg, EDGES);
+        let (arch, schedule, hierarchy) = match algo.tier() {
+            Tier::Three => (
+                Architecture::ThreeTier,
+                Schedule::three_tier(tau3, pi3, total).expect("valid schedule"),
+                Hierarchy::balanced(EDGES, WORKERS / EDGES),
+            ),
+            Tier::Two => (
+                Architecture::TwoTier,
+                Schedule::two_tier(tau3 * pi3, total).expect("valid schedule"),
+                Hierarchy::two_tier(WORKERS),
+            ),
+        };
+        let trace = TraceConfig {
+            schedule,
+            hierarchy,
+            architecture: arch,
+            upload_bytes: payload_bytes(dim, upload_vectors(algo.name())),
+            download_bytes: payload_bytes(dim, download_vectors(algo.name())),
+            seed: 47,
+        };
+        let timeline = simulate_timeline(&env, &trace);
+        let iters = out.curve.iterations_to_accuracy(target);
+        let secs = timeline.time_to_accuracy(&out.curve, target);
+        if algo.name() == "HierAdMo" {
+            hieradmo_time = secs;
+        }
+        rows.push((out, arch, iters, secs));
+    }
+
+    for (out, arch, iters, secs) in rows {
+        let speedup = match (hieradmo_time, secs) {
+            (Some(h), Some(s)) if h > 0.0 => Some(s / h),
+            _ => None,
+        };
+        report.row(
+            vec![
+                out.algorithm.clone(),
+                format!("{arch:?}"),
+                iters.map_or("never".into(), |i| i.to_string()),
+                secs.map_or("n/a".into(), |s| format!("{s:.2}")),
+                format!("{:.2}", out.accuracy * 100.0),
+            ],
+            &json!({
+                "algorithm": out.algorithm,
+                "setting": setting,
+                "iters_to_target": iters,
+                "seconds_to_target": secs,
+                "speedup_vs_hieradmo": speedup,
+                "final_accuracy": out.accuracy,
+            }),
+        );
+    }
+    report
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    // Quick scale cannot reach 0.95 in few iterations; default target is
+    // scale-dependent and overridable.
+    let default_target = match scale {
+        Scale::Quick => 0.80,
+        Scale::Paper => 0.95,
+    };
+    let target = cli.get_or("target", default_target);
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("cnn-mnist"));
+    match cli.positional(0).unwrap_or("both") {
+        "1" => println!("{}", run_setting(1, scale, target, workload).render()),
+        "2" => println!("{}", run_setting(2, scale, target, workload).render()),
+        _ => {
+            println!("{}", run_setting(1, scale, target, workload).render());
+            println!("{}", run_setting(2, scale, target, workload).render());
+        }
+    }
+}

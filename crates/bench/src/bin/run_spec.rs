@@ -1,0 +1,47 @@
+//! Execute a JSON experiment spec (see [`hieradmo_bench::spec`]):
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin run_spec -- path/to/spec.json
+//! ```
+//!
+//! With `--print-template` it emits a filled-in template spec instead.
+//! The result (final accuracy, curve as CSV) goes to stdout.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::spec::ExperimentSpec;
+use hieradmo_metrics::export::curve_to_csv;
+
+fn main() {
+    let cli = Cli::parse();
+    if cli.get("print-template").is_some() {
+        let template = ExperimentSpec {
+            workload: "cnn-mnist".into(),
+            algorithm: "HierAdMo".into(),
+            scale: "quick".into(),
+            edges: 2,
+            workers_per_edge: 2,
+            noniid_classes: Some(3),
+            seed: 0,
+            config: None,
+        };
+        println!("{}", template.to_json());
+        return;
+    }
+    let path = cli
+        .positional(0)
+        .expect("usage: run_spec <spec.json> | run_spec --print-template");
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let spec = ExperimentSpec::from_json(&json)
+        .unwrap_or_else(|e| panic!("invalid spec {path}: {e}"));
+    eprintln!(
+        "[run_spec] {} / {} on {} edges × {} workers",
+        spec.algorithm, spec.workload, spec.edges, spec.workers_per_edge
+    );
+    let outcome = spec.execute().unwrap_or_else(|e| panic!("spec failed: {e}"));
+    println!(
+        "algorithm: {}\nfinal accuracy: {:.4}\n",
+        outcome.algorithm, outcome.accuracy
+    );
+    println!("{}", curve_to_csv(&outcome.curve));
+}

@@ -1,0 +1,56 @@
+//! **Table II**: accuracy of all eleven algorithms on the seven
+//! model × dataset workloads.
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin table2 -- \
+//!     [--scale quick|paper] [--seeds N] [--workload cnn-mnist] [--algorithm HierAdMo]
+//! ```
+//!
+//! Paper setting: 4 workers (2 edges × 2), γ = γℓ = 0.5, η = 0.01,
+//! convex models τ=10/π=2 (two-tier τ=20), non-convex τ=20/π=2 (two-tier
+//! τ=40). Reproduction target: the *ranking* — HierAdMo ≥ HierAdMo-R >
+//! momentum baselines > momentum-free baselines.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::{run_on_scenario, Report, Workload};
+use hieradmo_core::algorithms::table2_lineup;
+use hieradmo_metrics::MeanStd;
+use serde_json::json;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let seeds = cli.get_or("seeds", 1u64);
+    let workloads: Vec<Workload> = match cli.get("workload") {
+        Some(name) => vec![Workload::from_name(name)],
+        None => Workload::all().to_vec(),
+    };
+    let mut lineup = table2_lineup(0.01, 0.5, 0.5);
+    if let Some(name) = cli.get("algorithm") {
+        lineup.retain(|a| a.name() == name);
+        assert!(!lineup.is_empty(), "unknown --algorithm {name}");
+    }
+
+    let mut header = vec!["Algorithm".to_string()];
+    header.extend(workloads.iter().map(|w| w.name().to_string()));
+    let mut report = Report::new("table2", header);
+
+    for algo in &lineup {
+        let mut cells = vec![algo.name().to_string()];
+        let mut record = serde_json::Map::new();
+        record.insert("algorithm".into(), json!(algo.name()));
+        for &w in &workloads {
+            let accs: Vec<f64> = (0..seeds)
+                .map(|s| {
+                    eprintln!("[table2] {} / {} / seed {s}", algo.name(), w.name());
+                    run_on_scenario(algo.as_ref(), w, scale, s).accuracy
+                })
+                .collect();
+            let stat = MeanStd::of(&accs);
+            cells.push(stat.as_percent());
+            record.insert(w.name().into(), json!(stat.mean));
+        }
+        report.row(cells, &record);
+    }
+    println!("{}", report.render());
+}

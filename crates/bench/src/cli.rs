@@ -1,0 +1,120 @@
+//! A minimal `--key value` argument parser for the experiment binaries
+//! (keeps the workspace free of CLI dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args` (skipping the binary name).
+    ///
+    /// `--flag value` pairs become options; bare `--flag` at the end of the
+    /// line (or followed by another `--`) becomes `"true"`; everything else
+    /// is positional.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (for tests).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                cli.options.insert(key.to_string(), value);
+            } else {
+                cli.positional.push(arg);
+            }
+        }
+        cli
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// An option's raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid --{key} {v}: {e}")),
+        }
+    }
+
+    /// The experiment scale from `--scale quick|paper` (default quick).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown scale name.
+    pub fn scale(&self) -> crate::Scale {
+        match self.get("scale").unwrap_or("quick") {
+            "quick" => crate::Scale::Quick,
+            "paper" => crate::Scale::Paper,
+            other => panic!("unknown --scale {other}; use quick or paper"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(s: &str) -> Cli {
+        Cli::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_options_and_positionals() {
+        let c = cli("tau --seeds 3 --scale paper trailing");
+        assert_eq!(c.positional(0), Some("tau"));
+        assert_eq!(c.positional(1), Some("trailing"));
+        assert_eq!(c.get_or("seeds", 1usize), 3);
+        assert_eq!(c.scale(), crate::Scale::Paper);
+    }
+
+    #[test]
+    fn bare_flag_is_true() {
+        let c = cli("--verbose --seeds 2");
+        assert_eq!(c.get("verbose"), Some("true"));
+        assert_eq!(c.get_or("seeds", 0usize), 2);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let c = cli("");
+        assert_eq!(c.get_or("seeds", 5usize), 5);
+        assert_eq!(c.scale(), crate::Scale::Quick);
+        assert_eq!(c.positional(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --seeds")]
+    fn bad_value_panics() {
+        let c = cli("--seeds abc");
+        let _ = c.get_or("seeds", 1usize);
+    }
+}

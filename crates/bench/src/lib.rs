@@ -1,0 +1,23 @@
+//! Experiment harness shared by the per-table/per-figure binaries and the
+//! Criterion benches.
+//!
+//! - [`scenarios`] — the seven model × dataset workloads of Table II, with
+//!   a [`scenarios::Scale`] knob (quick / paper) controlling dataset sizes
+//!   and iteration counts.
+//! - [`harness`] — assembly code that partitions data, builds topologies,
+//!   runs a [`hieradmo_core::Strategy`] (three-tier or its two-tier
+//!   equivalent per the paper's fairness rule), and collects outcomes.
+//! - [`report`] — result rows rendered both as text tables and JSON lines
+//!   (so `EXPERIMENTS.md` numbers are regenerable and diffable).
+
+#![deny(missing_docs)]
+
+pub mod cli;
+pub mod harness;
+pub mod report;
+pub mod scenarios;
+pub mod spec;
+
+pub use harness::{run_on_scenario, Outcome};
+pub use report::Report;
+pub use scenarios::{Scale, Workload};

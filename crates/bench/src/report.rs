@@ -1,0 +1,91 @@
+//! Experiment reports: a text table for humans plus JSON lines for
+//! `EXPERIMENTS.md` regeneration.
+
+use hieradmo_metrics::Table;
+use serde::Serialize;
+
+/// A report accumulating rows for one experiment.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_bench::Report;
+///
+/// let mut r = Report::new("table2", vec!["Algorithm".into(), "Acc".into()]);
+/// r.row(vec!["HierAdMo".into(), "86.2".into()], &serde_json::json!({"acc": 0.862}));
+/// let text = r.render();
+/// assert!(text.contains("HierAdMo"));
+/// ```
+#[derive(Debug)]
+pub struct Report {
+    experiment: String,
+    table: Table,
+    json_lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for the named experiment with table headers.
+    pub fn new(experiment: &str, header: Vec<String>) -> Self {
+        Report {
+            experiment: experiment.to_string(),
+            table: Table::new(header),
+            json_lines: Vec::new(),
+        }
+    }
+
+    /// Adds a table row plus its machine-readable JSON record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches the header, or the record cannot
+    /// serialize.
+    pub fn row<S: Serialize>(&mut self, cells: Vec<String>, record: &S) {
+        self.table.add_row(cells);
+        let mut value = serde_json::to_value(record).expect("record must serialize");
+        if let serde_json::Value::Object(map) = &mut value {
+            map.insert(
+                "experiment".into(),
+                serde_json::Value::String(self.experiment.clone()),
+            );
+        }
+        self.json_lines
+            .push(serde_json::to_string(&value).expect("value must serialize"));
+    }
+
+    /// Renders the full report: banner, table, then JSON lines.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n{}", self.experiment, self.table);
+        out.push_str("\n--- json ---\n");
+        for line in &self.json_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Returns `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.table.num_rows() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_carry_experiment_tag() {
+        let mut r = Report::new("figX", vec!["a".into()]);
+        r.row(vec!["1".into()], &serde_json::json!({"v": 1}));
+        let text = r.render();
+        assert!(text.contains("\"experiment\":\"figX\""));
+        assert!(text.contains("== figX =="));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Declarative experiment specs: a JSON file fully describes one run
+//! (workload, algorithm, topology, hyper-parameters), so experiments are
+//! shareable and re-runnable without writing Rust — the `run_spec` binary
+//! executes them.
+
+use serde::{Deserialize, Serialize};
+
+use hieradmo_core::algorithms::table2_lineup;
+use hieradmo_core::{RunConfig, Strategy};
+use hieradmo_data::partition::x_class_partition;
+
+use crate::harness::{run_partitioned, Outcome};
+use crate::scenarios::{Scale, Workload};
+
+/// A complete experiment description.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_bench::spec::ExperimentSpec;
+///
+/// let json = r#"{
+///     "workload": "logistic-mnist",
+///     "algorithm": "HierAdMo",
+///     "edges": 2,
+///     "workers_per_edge": 2,
+///     "seed": 7
+/// }"#;
+/// let spec = ExperimentSpec::from_json(json).unwrap();
+/// assert_eq!(spec.algorithm, "HierAdMo");
+/// assert_eq!(spec.edges, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Workload name (see [`Workload::from_name`]).
+    pub workload: String,
+    /// Algorithm name (a Table II row label).
+    pub algorithm: String,
+    /// Experiment scale: `"quick"` (default) or `"paper"`.
+    #[serde(default = "default_scale")]
+    pub scale: String,
+    /// Number of edge nodes.
+    pub edges: usize,
+    /// Workers per edge node.
+    pub workers_per_edge: usize,
+    /// Classes per worker for the x-class partition (defaults to the
+    /// workload's Table II setting).
+    #[serde(default)]
+    pub noniid_classes: Option<usize>,
+    /// Master seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Full run-config override; when absent the workload's Table II
+    /// settings apply.
+    #[serde(default)]
+    pub config: Option<RunConfig>,
+}
+
+fn default_scale() -> String {
+    "quick".to_string()
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec fields always serialize")
+    }
+
+    /// Resolves and executes the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown algorithm names or invalid topology
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved run itself fails (mirrors
+    /// [`run_partitioned`]).
+    pub fn execute(&self) -> Result<Outcome, String> {
+        let workload = Workload::from_name(&self.workload);
+        let scale = match self.scale.as_str() {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            other => return Err(format!("unknown scale {other}")),
+        };
+        let lineup = table2_lineup(0.01, 0.5, 0.5);
+        let algo: &dyn Strategy = lineup
+            .iter()
+            .find(|a| a.name() == self.algorithm)
+            .map(|a| a.as_ref())
+            .ok_or_else(|| {
+                format!(
+                    "unknown algorithm {}; valid: {}",
+                    self.algorithm,
+                    lineup
+                        .iter()
+                        .map(|a| a.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        if self.edges == 0 || self.workers_per_edge == 0 {
+            return Err("edges and workers_per_edge must be positive".into());
+        }
+
+        let tt = workload.dataset(scale, self.seed);
+        let model = workload.model(&tt.train, self.seed.wrapping_add(100));
+        let workers = self.edges * self.workers_per_edge;
+        let x = self
+            .noniid_classes
+            .unwrap_or_else(|| workload.noniid_classes(tt.train.num_classes()));
+        let shards = x_class_partition(&tt.train, workers, x, self.seed.wrapping_add(7));
+
+        let cfg = self.config.clone().unwrap_or_else(|| {
+            let (tau, pi) = workload.tau_pi();
+            let total = workload.total_iters(scale);
+            RunConfig {
+                tau,
+                pi,
+                total_iters: total,
+                batch_size: scale.batch_size(),
+                eval_every: (total / 8).max(1),
+                seed: self.seed,
+                ..RunConfig::default()
+            }
+        });
+        Ok(run_partitioned(algo, &model, &shards, &tt.test, &cfg, self.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            workload: "logistic-mnist".into(),
+            algorithm: "HierAdMo".into(),
+            scale: "quick".into(),
+            edges: 2,
+            workers_per_edge: 2,
+            noniid_classes: Some(5),
+            seed: 3,
+            config: Some(RunConfig {
+                tau: 5,
+                pi: 2,
+                total_iters: 50,
+                batch_size: 8,
+                eval_every: 50,
+                ..RunConfig::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_with_defaults() {
+        let s = spec();
+        let back = ExperimentSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Minimal JSON applies defaults.
+        let minimal = ExperimentSpec::from_json(
+            r#"{"workload":"logistic-mnist","algorithm":"FedAvg","edges":1,"workers_per_edge":4}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.scale, "quick");
+        assert_eq!(minimal.seed, 0);
+        assert!(minimal.config.is_none());
+    }
+
+    #[test]
+    fn executes_end_to_end() {
+        let out = spec().execute().unwrap();
+        assert_eq!(out.algorithm, "HierAdMo");
+        assert!(out.accuracy > 0.0);
+    }
+
+    #[test]
+    fn reports_unknown_names() {
+        let mut s = spec();
+        s.algorithm = "NoSuchAlgo".into();
+        let err = s.execute().unwrap_err();
+        assert!(err.contains("unknown algorithm"));
+        let mut s = spec();
+        s.scale = "huge".into();
+        assert!(s.execute().unwrap_err().contains("unknown scale"));
+    }
+}

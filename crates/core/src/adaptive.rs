@@ -1,0 +1,106 @@
+//! The paper's online adaptive edge-momentum factor (Eqs. 6–7).
+//!
+//! At every edge aggregation `k`, edge `ℓ` measures the agreement between
+//! what its workers' gradients wanted (`−Σ_t ∇F_{i,ℓ}(x^t)`) and where
+//! their momenta actually pointed (`Σ_t y^t_{i,ℓ}`), as a data-weighted
+//! cosine. The cosine becomes the edge momentum weight `γℓ`, clamped to
+//! `[0, 0.99]`: disagreement (obtuse angle) zeroes the edge momentum,
+//! near-perfect agreement caps it just below 1 to avoid divergence.
+
+use hieradmo_tensor::Vector;
+
+/// Maximum admissible edge momentum factor (Eq. 7's 0.99 cap; `γℓ ≥ 1`
+/// would diverge).
+pub const GAMMA_EDGE_CAP: f32 = 0.99;
+
+/// Eq. (7): maps a measured cosine to the adapted `γℓ`.
+///
+/// ```
+/// use hieradmo_core::adaptive::clamp_gamma;
+///
+/// assert_eq!(clamp_gamma(-0.4), 0.0);   // disagreement → no edge momentum
+/// assert_eq!(clamp_gamma(0.6), 0.6);    // agreement → proportional weight
+/// assert_eq!(clamp_gamma(0.999), 0.99); // capped below 1
+/// ```
+pub fn clamp_gamma(cos_theta: f32) -> f32 {
+    if cos_theta <= 0.0 {
+        0.0
+    } else if cos_theta < GAMMA_EDGE_CAP {
+        cos_theta
+    } else {
+        GAMMA_EDGE_CAP
+    }
+}
+
+/// Eq. (6): the data-weighted cosine between each worker's accumulated
+/// *negative* gradient and accumulated momentum:
+///
+/// `cos θ_{k,ℓ} = Σ_i (D_{i,ℓ}/D_ℓ) · cos(−Σ∇F_{i,ℓ}, Σy_{i,ℓ})`.
+///
+/// Workers with a (near-)zero accumulator contribute 0, consistent with the
+/// convention in [`Vector::cosine`].
+///
+/// # Panics
+///
+/// Panics if any pair of vectors has mismatched lengths.
+pub fn weighted_cosine<'a, I>(items: I) -> f32
+where
+    I: IntoIterator<Item = (f64, &'a Vector, &'a Vector)>,
+{
+    let mut acc = 0.0f64;
+    for (weight, grad_accum, y_accum) in items {
+        let cos = (-grad_accum).cosine(y_accum);
+        acc += weight * f64::from(cos);
+    }
+    acc as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_matches_eq_7_cases() {
+        assert_eq!(clamp_gamma(-1.0), 0.0);
+        assert_eq!(clamp_gamma(0.0), 0.0);
+        assert_eq!(clamp_gamma(0.5), 0.5);
+        assert_eq!(clamp_gamma(0.989), 0.989);
+        assert_eq!(clamp_gamma(0.99), 0.99);
+        assert_eq!(clamp_gamma(1.0), 0.99);
+    }
+
+    #[test]
+    fn weighted_cosine_of_agreeing_momenta_is_one() {
+        // Momentum pointing exactly along the descent direction −g.
+        let g = Vector::from(vec![1.0, 0.0]);
+        let y = Vector::from(vec![-2.0, 0.0]);
+        let cos = weighted_cosine([(0.5, &g, &y), (0.5, &g, &y)]);
+        assert!((cos - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_cosine_of_opposing_momenta_is_minus_one() {
+        let g = Vector::from(vec![1.0, 0.0]);
+        let y = Vector::from(vec![3.0, 0.0]); // same direction as g = opposite of −g
+        let cos = weighted_cosine([(1.0, &g, &y)]);
+        assert!((cos + 1.0).abs() < 1e-6);
+        assert_eq!(clamp_gamma(cos), 0.0);
+    }
+
+    #[test]
+    fn weighted_cosine_mixes_by_data_weight() {
+        let g = Vector::from(vec![1.0, 0.0]);
+        let agree = Vector::from(vec![-1.0, 0.0]);
+        let disagree = Vector::from(vec![1.0, 0.0]);
+        // 75% of the data agrees, 25% disagrees: cos = 0.75 - 0.25 = 0.5.
+        let cos = weighted_cosine([(0.75, &g, &agree), (0.25, &g, &disagree)]);
+        assert!((cos - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_accumulators_contribute_zero() {
+        let z = Vector::zeros(3);
+        let y = Vector::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(weighted_cosine([(1.0, &z, &y)]), 0.0);
+    }
+}

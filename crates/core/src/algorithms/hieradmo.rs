@@ -1,0 +1,327 @@
+//! HierAdMo (Algorithm 1) — the paper's contribution — and its reduced
+//! variant HierAdMo-R (fixed `γℓ`, Theorem 5's comparison point).
+
+use hieradmo_tensor::Vector;
+
+use crate::adaptive::{clamp_gamma, weighted_cosine};
+use crate::state::{FlState, WorkerState};
+use crate::strategy::{Strategy, Tier};
+
+use super::nag_local_step;
+
+/// How the edge momentum factor `γℓ` is chosen at each edge aggregation.
+///
+/// **Interpretation note (measured in `EXPERIMENTS.md`).** Eq. 6 pairs
+/// `−Σ∇F` with "the momentum" `Σy`, where `y` is the NAG momentum
+/// *parameter* — a point in parameter space. Three readings are
+/// implemented and measured. The verbatim `Σy` cosine is position-
+/// dominated and stays ≤ 0 in practice (mean adapted γℓ ≈ 0.05): edge
+/// momentum engages only when provably safe — uniformly stable in every
+/// regime we measured, and the default. The two direction-based readings
+/// (footnote-1 agreement and gradient alignment) track the best fixed
+/// γℓ tightly when edge momentum helps, but both saturate toward the
+/// paper's 0.99 cap whenever directions cohere, which diverges in stiff
+/// quick-scale regimes (where even fixed γℓ = 0.9 diverges). All three
+/// are quantified side by side in the `ablation_adaptive` and `fig2ijk`
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaMode {
+    /// Online adaptation with Eq. 6 implemented verbatim: the data-weighted
+    /// cosine pairs each worker's accumulated negative gradient `−Σ∇F`
+    /// with its accumulated momentum-parameter sum `Σyᵗ`. The
+    /// position-dominated `Σy` keeps the cosine at or below zero in
+    /// practice, so the edge momentum engages only when it is genuinely
+    /// safe — measured across every regime in `EXPERIMENTS.md`, this is
+    /// the only reading that never diverges while preserving all of the
+    /// paper's qualitative results, and it is HierAdMo's default.
+    Adaptive,
+    /// Footnote-1 *agreement* semantics: each worker's momentum
+    /// displacement `Σ(yᵗ − yᵗ⁻¹)` compared to the edge-aggregated
+    /// displacement. Tracks the best fixed `γℓ` tightly when edge
+    /// momentum helps, but saturates toward the 0.99 cap whenever the
+    /// edge's workers move coherently — which diverges in stiff
+    /// small-scale regimes (quantified in `EXPERIMENTS.md`).
+    AdaptiveAgreement,
+    /// Gradient-alignment semantics: each worker's displacement against
+    /// its *own* accumulated negative gradient (a self-consistency
+    /// signal; saturates on aligned convex descent).
+    AdaptiveGradientAlignment,
+    /// A fixed factor — the reduced variant HierAdMo-R.
+    Fixed(f32),
+}
+
+/// Three-tier FL with momentum on both worker and edge level
+/// (paper Algorithm 1).
+///
+/// Every local iteration each worker runs a NAG step (lines 5–6) while
+/// accumulating `Σ∇F` and `Σy` over the edge interval (line 9). Every `τ`
+/// iterations each edge:
+///
+/// 1. adapts `γℓ` from the data-weighted cosine between accumulated
+///    negative gradients and momenta (lines 10, Eqs. 6–7) — or keeps it
+///    fixed in the [`GammaMode::Fixed`] reduced variant;
+/// 2. aggregates worker momenta `y_{ℓ−}` (line 11) and re-distributes them
+///    (line 14), refining stragglers whose momenta point the wrong way;
+/// 3. performs the *edge-level* momentum update over the aggregated model
+///    (lines 12–13) and re-distributes the edge model (line 15).
+///
+/// Every `τπ` iterations the cloud averages `y_{ℓ−}` and `x_{ℓ+}` across
+/// edges and re-distributes both all the way down (lines 18–23).
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_core::algorithms::{GammaMode, HierAdMo};
+///
+/// let adaptive = HierAdMo::adaptive(0.01, 0.5);
+/// let reduced = HierAdMo::reduced(0.01, 0.5, 0.5);
+/// assert_eq!(adaptive.gamma_mode(), GammaMode::Adaptive);
+/// assert_eq!(reduced.gamma_mode(), GammaMode::Fixed(0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierAdMo {
+    eta: f32,
+    gamma: f32,
+    mode: GammaMode,
+}
+
+impl HierAdMo {
+    /// HierAdMo with online-adaptive `γℓ` (Eqs. 6–7 verbatim — see
+    /// [`GammaMode::Adaptive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn adaptive(eta: f32, gamma: f32) -> Self {
+        Self::with_mode(eta, gamma, GammaMode::Adaptive)
+    }
+
+    /// HierAdMo with the footnote-1 agreement adaptive `γℓ` (see
+    /// [`GammaMode::AdaptiveAgreement`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn adaptive_agreement(eta: f32, gamma: f32) -> Self {
+        Self::with_mode(eta, gamma, GammaMode::AdaptiveAgreement)
+    }
+
+    /// HierAdMo with the gradient-alignment adaptive `γℓ` (see
+    /// [`GammaMode::AdaptiveGradientAlignment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn adaptive_gradient_alignment(eta: f32, gamma: f32) -> Self {
+        Self::with_mode(eta, gamma, GammaMode::AdaptiveGradientAlignment)
+    }
+
+
+
+    /// HierAdMo-R: the reduced variant with fixed `γℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0`, `gamma ∉ [0, 1)`, or `gamma_edge ∉ [0, 1)`.
+    pub fn reduced(eta: f32, gamma: f32, gamma_edge: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&gamma_edge),
+            "gamma_edge must be in [0,1), got {gamma_edge}"
+        );
+        Self::with_mode(eta, gamma, GammaMode::Fixed(gamma_edge))
+    }
+
+    fn with_mode(eta: f32, gamma: f32, mode: GammaMode) -> Self {
+        assert!(eta > 0.0, "eta must be positive, got {eta}");
+        assert!(
+            (0.0..1.0).contains(&gamma),
+            "gamma must be in [0,1), got {gamma}"
+        );
+        HierAdMo { eta, gamma, mode }
+    }
+
+    /// The configured `γℓ` selection mode.
+    pub fn gamma_mode(&self) -> GammaMode {
+        self.mode
+    }
+
+    /// Worker momentum factor `γ`.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+}
+
+impl Strategy for HierAdMo {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            GammaMode::Adaptive => "HierAdMo",
+            GammaMode::AdaptiveAgreement => "HierAdMo-AG",
+            GammaMode::AdaptiveGradientAlignment => "HierAdMo-GA",
+            GammaMode::Fixed(_) => "HierAdMo-R",
+        }
+    }
+
+    fn tier(&self) -> Tier {
+        Tier::Three
+    }
+
+    fn local_step(
+        &self,
+        _t: usize,
+        worker: &mut WorkerState,
+        grad: &mut dyn FnMut(&Vector) -> Vector,
+    ) {
+        nag_local_step(self.eta, self.gamma, worker, grad);
+    }
+
+    fn edge_aggregate(&self, _k: usize, edge: usize, state: &mut FlState) {
+        // Line 10 / Eqs. 6–7: adapt γℓ from the interval's accumulated
+        // sums, under the configured cosine basis.
+        let cos_theta = match self.mode {
+            GammaMode::Adaptive => {
+                // Eq. 6 verbatim: −Σ∇F vs the momentum-parameter sum Σy.
+                weighted_cosine(state.hierarchy.edge_workers(edge).map(|i| {
+                    let w = &state.workers[i];
+                    (state.weights.worker_in_edge(i), &w.grad_accum, &w.y_accum)
+                }))
+            }
+            GammaMode::AdaptiveAgreement => {
+                // Footnote-1 agreement: each worker's displacement vs the
+                // edge-aggregated displacement.
+                let edge_disp = state.edge_average(edge, |w| &w.v_accum);
+                state
+                    .hierarchy
+                    .edge_workers(edge)
+                    .map(|i| {
+                        state.weights.worker_in_edge(i) as f32
+                            * state.workers[i].v_accum.cosine(&edge_disp)
+                    })
+                    .sum()
+            }
+            GammaMode::AdaptiveGradientAlignment => {
+                weighted_cosine(state.hierarchy.edge_workers(edge).map(|i| {
+                    let w = &state.workers[i];
+                    (state.weights.worker_in_edge(i), &w.grad_accum, &w.v_accum)
+                }))
+            }
+            GammaMode::Fixed(_) => 0.0,
+        };
+        let gamma_edge = match self.mode {
+            GammaMode::Fixed(g) => g,
+            _ => clamp_gamma(cos_theta),
+        };
+
+        // Line 11: worker momentum edge aggregation y_{ℓ−}.
+        let y_minus = state.edge_average(edge, |w| &w.y);
+        // Line 12: y_{ℓ+} ← x_{ℓ+}^{(k−1)τ} − Σᵢ wᵢ (x_{ℓ+}^{(k−1)τ} − x_i)
+        //        = Σᵢ wᵢ x_i   (weights sum to 1).
+        let y_plus_new = state.edge_average(edge, |w| &w.x);
+        // Line 13: x_{ℓ+} ← y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
+        let mut x_plus = y_plus_new.clone();
+        let delta = &y_plus_new - &state.edges[edge].y_plus;
+        x_plus.axpy(gamma_edge, &delta);
+
+        let e = &mut state.edges[edge];
+        e.y_plus = y_plus_new;
+        e.x_plus = x_plus.clone();
+        e.y_minus = y_minus.clone();
+        e.gamma_edge = gamma_edge;
+        e.cos_theta = cos_theta;
+
+        // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the workers,
+        // and start a fresh accumulation interval.
+        state.for_edge_workers(edge, |w| {
+            w.y = y_minus.clone();
+            w.x = x_plus.clone();
+            w.reset_accumulators();
+        });
+    }
+
+    fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
+        // Lines 18–19: cloud aggregation of worker momenta and edge models.
+        let y_cloud = state.cloud_average(|e| &e.y_minus);
+        let x_cloud = state.cloud_average(|e| &e.x_plus);
+        state.cloud.y = y_cloud.clone();
+        state.cloud.x = x_cloud.clone();
+        // Lines 20–23: re-distribute to every edge and worker.
+        for e in &mut state.edges {
+            e.y_minus = y_cloud.clone();
+            e.x_plus = x_cloud.clone();
+        }
+        state.for_all_workers(|w| {
+            w.y = y_cloud.clone();
+            w.x = x_cloud.clone();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{quick_cfg, quick_run};
+    use hieradmo_topology::Hierarchy;
+
+    #[test]
+    fn learns_the_small_problem() {
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let res = quick_run(&algo, Hierarchy::balanced(2, 2), quick_cfg());
+        let acc = res.curve.final_accuracy().unwrap();
+        assert!(acc > 0.7, "HierAdMo should learn: acc = {acc}");
+    }
+
+    #[test]
+    fn reduced_variant_uses_fixed_gamma() {
+        let algo = HierAdMo::reduced(0.05, 0.5, 0.3);
+        let res = quick_run(&algo, Hierarchy::balanced(2, 2), quick_cfg());
+        // Every recorded edge γℓ must equal the fixed value.
+        assert!(!res.gamma_trace.is_empty());
+        for &(_, g) in &res.gamma_trace {
+            assert_eq!(g, 0.3);
+        }
+    }
+
+    #[test]
+    fn adaptive_gammas_respect_the_clamp() {
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let res = quick_run(&algo, Hierarchy::balanced(2, 2), quick_cfg());
+        for &(_, g) in &res.gamma_trace {
+            assert!((0.0..=0.99).contains(&g), "γℓ = {g} outside [0, 0.99]");
+        }
+    }
+
+    #[test]
+    fn workers_synchronize_at_edge_aggregation() {
+        use crate::algorithms::testutil::small_problem;
+        use crate::driver::run;
+        use crate::RunConfig;
+        // One edge interval exactly: after the run's single edge+cloud
+        // aggregation, all workers hold the same model.
+        let (_, test, shards, model) = small_problem(4);
+        let cfg = RunConfig {
+            eta: 0.05,
+            tau: 3,
+            pi: 1,
+            total_iters: 3,
+            eval_every: 3,
+            parallel: false,
+            ..RunConfig::default()
+        };
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let h = Hierarchy::balanced(2, 2);
+        let res = run(&algo, &model, &h, &shards, &test, &cfg).unwrap();
+        assert_eq!(res.curve.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0,1)")]
+    fn rejects_gamma_one()
+    {
+        let _ = HierAdMo::adaptive(0.01, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma_edge must be in [0,1)")]
+    fn rejects_bad_fixed_gamma() {
+        let _ = HierAdMo::reduced(0.01, 0.5, 1.5);
+    }
+}

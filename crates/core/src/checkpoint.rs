@@ -1,0 +1,154 @@
+//! Run checkpointing: persist a finished (or interrupted) run's essentials
+//! — config, curve, γℓ trace and final parameters — as JSON, so long
+//! experiments survive process restarts and `EXPERIMENTS.md` numbers stay
+//! regenerable from artifacts.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use hieradmo_metrics::ConvergenceCurve;
+use hieradmo_tensor::Vector;
+
+use crate::config::RunConfig;
+use crate::driver::RunResult;
+
+/// The serializable snapshot of one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Algorithm name (Table II label).
+    pub algorithm: String,
+    /// The configuration the run used.
+    pub config: RunConfig,
+    /// Accuracy/loss trajectory.
+    pub curve: ConvergenceCurve,
+    /// `(k, mean γℓ)` trace.
+    pub gamma_trace: Vec<(usize, f32)>,
+    /// Final global model parameters.
+    pub final_params: Vector,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a run result and its config.
+    pub fn capture(result: &RunResult, config: &RunConfig) -> Self {
+        Checkpoint {
+            algorithm: result.algorithm.clone(),
+            config: config.clone(),
+            curve: result.curve.clone(),
+            gamma_trace: result.gamma_trace.clone(),
+            final_params: result.final_params.clone(),
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: all fields serialize infallibly.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint fields always serialize")
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Writes the checkpoint to a file (atomically via a temp file +
+    /// rename, so a crash never leaves a torn checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_json())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieradmo_metrics::EvalPoint;
+
+    fn sample() -> Checkpoint {
+        let curve: ConvergenceCurve = [EvalPoint {
+            iteration: 50,
+            train_loss: 0.4,
+            test_loss: 0.5,
+            test_accuracy: 0.87,
+        }]
+        .into_iter()
+        .collect();
+        Checkpoint {
+            algorithm: "HierAdMo".into(),
+            config: RunConfig::default(),
+            curve,
+            gamma_trace: vec![(1, 0.4), (2, 0.7)],
+            final_params: Vector::from(vec![0.1, -0.2, 0.3]),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cp = sample();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("hieradmo-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_invalid_data() {
+        let err = Checkpoint::from_json("{not json").unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn capture_from_run_result() {
+        use crate::algorithms::testutil::{quick_cfg, quick_run};
+        use crate::algorithms::HierAdMo;
+        use hieradmo_topology::Hierarchy;
+        let cfg = quick_cfg();
+        let res = quick_run(
+            &HierAdMo::adaptive(0.05, 0.5),
+            Hierarchy::balanced(2, 2),
+            cfg.clone(),
+        );
+        let cp = Checkpoint::capture(&res, &cfg);
+        assert_eq!(cp.algorithm, "HierAdMo");
+        assert_eq!(cp.curve, res.curve);
+        assert_eq!(cp.final_params.len(), res.final_params.len());
+        // And it survives serialization.
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back.final_params, cp.final_params);
+    }
+}

@@ -1,0 +1,178 @@
+//! Run configuration: the paper's hyper-parameters in one struct.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of one federated training run.
+///
+/// Defaults follow the paper's Section V-A: `η = 0.01`, `γ = γℓ = 0.5`,
+/// batch size 64, and the convex-model three-tier schedule `τ = 10, π = 2`.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_core::RunConfig;
+///
+/// let cfg = RunConfig { tau: 20, pi: 2, total_iters: 2000, ..RunConfig::default() };
+/// assert_eq!(cfg.eta, 0.01);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Worker learning rate `η`.
+    pub eta: f32,
+    /// Worker momentum factor `γ`.
+    pub gamma: f32,
+    /// Edge momentum factor `γℓ` for fixed-momentum variants
+    /// (HierAdMo adapts it online and ignores this field).
+    pub gamma_edge: f32,
+    /// Worker–edge aggregation period `τ`.
+    pub tau: usize,
+    /// Edge–cloud aggregation period `π` (in edge aggregations).
+    pub pi: usize,
+    /// Total local iterations `T` (must be a multiple of `τ·π`).
+    pub total_iters: usize,
+    /// Mini-batch size per local step.
+    pub batch_size: usize,
+    /// Evaluate the global model every this many iterations (and always at
+    /// `t = T`).
+    pub eval_every: usize,
+    /// Master seed controlling data order and any stochastic algorithm
+    /// choices. Model initialization is seeded separately by the caller.
+    pub seed: u64,
+    /// Run worker local steps on parallel threads.
+    pub parallel: bool,
+    /// Cap on the number of *training* samples used for the train-loss
+    /// estimate at evaluation points (keeps evaluation cheap).
+    pub train_eval_cap: usize,
+    /// Failure injection: per-tick probability that a worker *drops* its
+    /// local step (straggler/crash emulation). The dropped worker keeps
+    /// its stale state and still participates in aggregations, matching
+    /// synchronous FL with best-effort clients. `0.0` (default) disables
+    /// injection and is bit-identical to a fault-free run.
+    pub dropout: f64,
+    /// Optional gradient clipping: worker mini-batch gradients are scaled
+    /// down to this ℓ2 norm when they exceed it. `None` (default) matches
+    /// the paper (no clipping); useful as a stabilizer in the
+    /// large-momentum regimes where fixed γℓ diverges (see the
+    /// Fig. 2(i)–(k) measurements in `EXPERIMENTS.md`).
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            eta: 0.01,
+            gamma: 0.5,
+            gamma_edge: 0.5,
+            tau: 10,
+            pi: 2,
+            total_iters: 1000,
+            batch_size: 64,
+            eval_every: 50,
+            seed: 0,
+            parallel: true,
+            train_eval_cap: 512,
+            dropout: 0.0,
+            clip_norm: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if `η ≤ 0`, momentum factors are
+    /// outside `[0, 1)`, any period is zero, or `T` is not a multiple of
+    /// `τ·π`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eta <= 0.0 || !self.eta.is_finite() {
+            return Err(format!("eta must be positive, got {}", self.eta));
+        }
+        if !(0.0..1.0).contains(&self.gamma) {
+            return Err(format!("gamma must be in [0,1), got {}", self.gamma));
+        }
+        if !(0.0..1.0).contains(&self.gamma_edge) {
+            return Err(format!("gamma_edge must be in [0,1), got {}", self.gamma_edge));
+        }
+        if self.tau == 0 || self.pi == 0 || self.total_iters == 0 {
+            return Err("tau, pi and total_iters must be positive".into());
+        }
+        if !self.total_iters.is_multiple_of(self.tau * self.pi) {
+            return Err(format!(
+                "total_iters = {} is not a multiple of tau*pi = {}",
+                self.total_iters,
+                self.tau * self.pi
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.dropout) {
+            return Err(format!("dropout must be in [0,1], got {}", self.dropout));
+        }
+        if let Some(clip) = self.clip_norm {
+            if clip <= 0.0 || !clip.is_finite() {
+                return Err(format!("clip_norm must be positive and finite, got {clip}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The two-tier counterpart of this config under the paper's fairness
+    /// rule: aggregation period `τ·π`, `π = 1`, all else unchanged.
+    pub fn two_tier_equivalent(&self) -> RunConfig {
+        RunConfig {
+            tau: self.tau * self.pi,
+            pi: 1,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = RunConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.eta, 0.01);
+        assert_eq!(cfg.gamma, 0.5);
+        assert_eq!(cfg.batch_size, 64);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let bad = |f: &dyn Fn(&mut RunConfig)| {
+            let mut c = RunConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(&|c| c.eta = 0.0));
+        assert!(bad(&|c| c.gamma = 1.0));
+        assert!(bad(&|c| c.gamma_edge = -0.1));
+        assert!(bad(&|c| c.tau = 0));
+        assert!(bad(&|c| c.total_iters = 1001));
+        assert!(bad(&|c| c.batch_size = 0));
+        assert!(bad(&|c| c.eval_every = 0));
+        assert!(bad(&|c| c.dropout = 1.5));
+        assert!(bad(&|c| c.dropout = -0.1));
+        assert!(bad(&|c| c.clip_norm = Some(0.0)));
+        assert!(bad(&|c| c.clip_norm = Some(f32::NAN)));
+    }
+
+    #[test]
+    fn two_tier_equivalent_folds_pi() {
+        let three = RunConfig { tau: 10, pi: 2, ..RunConfig::default() };
+        let two = three.two_tier_equivalent();
+        assert_eq!(two.tau, 20);
+        assert_eq!(two.pi, 1);
+        two.validate().unwrap();
+    }
+}

@@ -1,0 +1,306 @@
+//! The complete state of a three-tier federation, shared by all algorithms.
+//!
+//! Field names follow Table I of the paper: worker `{i, ℓ}` holds model
+//! `x_{i,ℓ}` and momentum `y_{i,ℓ}`; edge `ℓ` holds the post-aggregation
+//! values `y_{ℓ−}` / `x_{ℓ+}` / `y_{ℓ+}`; the cloud holds `x` and `y`.
+//! Algorithms use whichever fields they need and leave the rest untouched.
+
+use hieradmo_tensor::Vector;
+use hieradmo_topology::{Hierarchy, Weights};
+
+/// Per-worker state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerState {
+    /// Model parameters `x_{i,ℓ}`.
+    pub x: Vector,
+    /// NAG momentum parameter `y_{i,ℓ}` (the "lookahead" point).
+    pub y: Vector,
+    /// Velocity `v_{i,ℓ} = y_t − y_{t−1}` for velocity-form algorithms
+    /// (FedADC's drift-controlled velocity, Mime's momentum copy).
+    pub v: Vector,
+    /// `Σ_t ∇F_{i,ℓ}(x^t)` accumulated over the current edge interval
+    /// (received by the edge in Algorithm 1 line 9).
+    pub grad_accum: Vector,
+    /// `Σ_t y^t_{i,ℓ}` accumulated over the current edge interval.
+    pub y_accum: Vector,
+    /// `Σ_t v^t_{i,ℓ} = Σ_t (y^t − y^{t−1})` accumulated over the current
+    /// edge interval — the *displacement* basis used by the agreement and
+    /// gradient-alignment adaptive variants (see
+    /// [`crate::algorithms::GammaMode`]).
+    pub v_accum: Vector,
+    /// Number of local steps accumulated since the last reset (lets
+    /// aggregators normalize the sums without knowing τ).
+    pub steps: usize,
+}
+
+impl WorkerState {
+    /// Fresh worker state at initial model `x0` (`y⁰ = x⁰`, zero velocity
+    /// and accumulators — Algorithm 1 line 1).
+    pub fn new(x0: &Vector) -> Self {
+        WorkerState {
+            x: x0.clone(),
+            y: x0.clone(),
+            v: Vector::zeros(x0.len()),
+            grad_accum: Vector::zeros(x0.len()),
+            y_accum: Vector::zeros(x0.len()),
+            v_accum: Vector::zeros(x0.len()),
+            steps: 0,
+        }
+    }
+
+    /// Clears both edge-interval accumulators (done at every aggregation).
+    pub fn reset_accumulators(&mut self) {
+        self.grad_accum = Vector::zeros(self.x.len());
+        self.y_accum = Vector::zeros(self.x.len());
+        self.v_accum = Vector::zeros(self.x.len());
+        self.steps = 0;
+    }
+}
+
+/// Per-edge state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeState {
+    /// Edge model `x_{ℓ+}` (after the edge momentum update, line 13).
+    pub x_plus: Vector,
+    /// Edge momentum `y_{ℓ+}` (line 12); its previous value feeds line 13.
+    pub y_plus: Vector,
+    /// Aggregated worker momentum `y_{ℓ−}` (line 11).
+    pub y_minus: Vector,
+    /// The edge momentum factor `γℓ` used at the latest aggregation
+    /// (adapted by HierAdMo, fixed for HierAdMo-R) — recorded for the
+    /// Fig. 2(i)–(k) diagnostics.
+    pub gamma_edge: f32,
+    /// The weighted cosine `cos θ_{k,ℓ}` measured at the latest
+    /// aggregation (Eq. 6), recorded for diagnostics.
+    pub cos_theta: f32,
+}
+
+impl EdgeState {
+    fn new(x0: &Vector) -> Self {
+        EdgeState {
+            x_plus: x0.clone(),
+            y_plus: x0.clone(),
+            y_minus: x0.clone(),
+            gamma_edge: 0.0,
+            cos_theta: 0.0,
+        }
+    }
+}
+
+/// Cloud state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudState {
+    /// Cloud model `x` (line 19).
+    pub x: Vector,
+    /// Cloud-aggregated worker momentum `y` (line 18).
+    pub y: Vector,
+    /// Server momentum/velocity for aggregator-momentum baselines
+    /// (FedMom, SlowMo, FastSlowMo, Mime's statistic).
+    pub v: Vector,
+    /// Previous global model, kept by server-momentum baselines to form
+    /// the pseudo-gradient `x_prev − x̄`.
+    pub x_prev: Vector,
+}
+
+impl CloudState {
+    fn new(x0: &Vector) -> Self {
+        CloudState {
+            x: x0.clone(),
+            y: x0.clone(),
+            v: Vector::zeros(x0.len()),
+            x_prev: x0.clone(),
+        }
+    }
+}
+
+/// Full federation state: hierarchy, data weights, and all tier states.
+#[derive(Debug, Clone)]
+pub struct FlState {
+    /// The cloud → edge → worker tree.
+    pub hierarchy: Hierarchy,
+    /// Data-size weights `D_{i,ℓ}/D_ℓ`, `D_ℓ/D`.
+    pub weights: Weights,
+    /// Worker states in flat order.
+    pub workers: Vec<WorkerState>,
+    /// Edge states.
+    pub edges: Vec<EdgeState>,
+    /// Cloud state.
+    pub cloud: CloudState,
+}
+
+impl FlState {
+    /// Initializes every tier from the same initial model `x0`
+    /// (Algorithm 1 lines 1–2: identical `x⁰` everywhere, `y⁰ = x⁰`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn new(hierarchy: Hierarchy, weights: Weights, x0: &Vector) -> Self {
+        assert!(!x0.is_empty(), "initial model must be non-empty");
+        let workers = (0..hierarchy.num_workers())
+            .map(|_| WorkerState::new(x0))
+            .collect();
+        let edges = (0..hierarchy.num_edges())
+            .map(|_| EdgeState::new(x0))
+            .collect();
+        FlState {
+            hierarchy,
+            weights,
+            workers,
+            edges,
+            cloud: CloudState::new(x0),
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.cloud.x.len()
+    }
+
+    /// Data-weighted average over one edge's workers of an arbitrary
+    /// per-worker vector (the `Σᵢ D_{i,ℓ}/D_ℓ · (·)` primitive of lines
+    /// 11–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_average<F>(&self, edge: usize, f: F) -> Vector
+    where
+        F: Fn(&WorkerState) -> &Vector,
+    {
+        Vector::weighted_average(self.hierarchy.edge_workers(edge).map(|i| {
+            (
+                self.weights.worker_in_edge(i),
+                f(&self.workers[i]),
+            )
+        }))
+    }
+
+    /// Data-weighted average over edges of an arbitrary per-edge vector
+    /// (the `Σℓ D_ℓ/D · (·)` primitive of lines 18–19).
+    pub fn cloud_average<F>(&self, f: F) -> Vector
+    where
+        F: Fn(&EdgeState) -> &Vector,
+    {
+        Vector::weighted_average(
+            self.edges
+                .iter()
+                .enumerate()
+                .map(|(l, e)| (self.weights.edge_in_total(l), f(e))),
+        )
+    }
+
+    /// Data-weighted average of all worker models — the global model used
+    /// for evaluation between cloud rounds.
+    pub fn average_worker_models(&self) -> Vector {
+        Vector::weighted_average(
+            self.workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (self.weights.worker_in_total(i), &w.x)),
+        )
+    }
+
+    /// Applies a closure to every worker under one edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn for_edge_workers<F>(&mut self, edge: usize, mut f: F)
+    where
+        F: FnMut(&mut WorkerState),
+    {
+        for i in self.hierarchy.edge_workers(edge) {
+            f(&mut self.workers[i]);
+        }
+    }
+
+    /// Applies a closure to every worker in the system.
+    pub fn for_all_workers<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut WorkerState),
+    {
+        for w in &mut self.workers {
+            f(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> FlState {
+        let h = Hierarchy::new(vec![2, 1]);
+        let w = Weights::from_samples(&h, &[10, 30, 20]);
+        FlState::new(h, w, &Vector::from(vec![1.0, 2.0]))
+    }
+
+    #[test]
+    fn initialization_matches_algorithm_lines_1_and_2() {
+        let s = state();
+        for w in &s.workers {
+            assert_eq!(w.x.as_slice(), &[1.0, 2.0]);
+            assert_eq!(w.y, w.x, "y0 = x0");
+            assert_eq!(w.v.as_slice(), &[0.0, 0.0]);
+        }
+        for e in &s.edges {
+            assert_eq!(e.x_plus.as_slice(), &[1.0, 2.0]);
+            assert_eq!(e.y_plus, e.x_plus, "y0_{{l+}} = x0_{{l+}}");
+        }
+        assert_eq!(s.cloud.x.as_slice(), &[1.0, 2.0]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn edge_average_respects_data_weights() {
+        let mut s = state();
+        s.workers[0].x = Vector::from(vec![0.0, 0.0]);
+        s.workers[1].x = Vector::from(vec![4.0, 4.0]);
+        // Weights within edge 0: 10/40 and 30/40.
+        let avg = s.edge_average(0, |w| &w.x);
+        assert_eq!(avg.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn cloud_average_respects_edge_weights() {
+        let mut s = state();
+        s.edges[0].x_plus = Vector::from(vec![0.0, 0.0]);
+        s.edges[1].x_plus = Vector::from(vec![6.0, 6.0]);
+        // Edge weights: 40/60 and 20/60.
+        let avg = s.cloud_average(|e| &e.x_plus);
+        assert_eq!(avg.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn average_worker_models_is_global_weighted_mean() {
+        let mut s = state();
+        s.workers[0].x = Vector::from(vec![6.0, 0.0]);
+        s.workers[1].x = Vector::from(vec![0.0, 0.0]);
+        s.workers[2].x = Vector::from(vec![0.0, 3.0]);
+        let avg = s.average_worker_models();
+        // worker_in_total: 10/60, 30/60, 20/60.
+        assert_eq!(avg.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn reset_accumulators_zeroes() {
+        let mut s = state();
+        s.workers[0].grad_accum = Vector::from(vec![5.0, 5.0]);
+        s.workers[0].y_accum = Vector::from(vec![7.0, 7.0]);
+        s.workers[0].v_accum = Vector::from(vec![3.0, 3.0]);
+        s.workers[0].reset_accumulators();
+        assert_eq!(s.workers[0].grad_accum.as_slice(), &[0.0, 0.0]);
+        assert_eq!(s.workers[0].y_accum.as_slice(), &[0.0, 0.0]);
+        assert_eq!(s.workers[0].v_accum.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn for_edge_workers_touches_only_that_edge() {
+        let mut s = state();
+        s.for_edge_workers(0, |w| w.x = Vector::from(vec![9.0, 9.0]));
+        assert_eq!(s.workers[0].x.as_slice(), &[9.0, 9.0]);
+        assert_eq!(s.workers[1].x.as_slice(), &[9.0, 9.0]);
+        assert_eq!(s.workers[2].x.as_slice(), &[1.0, 2.0]);
+    }
+}

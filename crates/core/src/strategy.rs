@@ -1,0 +1,126 @@
+//! The [`Strategy`] trait: the hook interface every federated algorithm
+//! implements against the shared [`FlState`].
+
+use hieradmo_tensor::Vector;
+use hieradmo_topology::Hierarchy;
+
+use crate::state::{FlState, WorkerState};
+
+/// Which architecture an algorithm is defined for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Two-tier (workers ↔ cloud): runs on a degenerate single-edge
+    /// hierarchy with `π = 1`.
+    Two,
+    /// Three-tier (workers ↔ edges ↔ cloud).
+    Three,
+}
+
+/// A federated-learning algorithm as a set of hooks called by
+/// [`crate::driver::run`]:
+///
+/// 1. [`Strategy::local_step`] once per worker per local iteration
+///    (possibly on parallel threads, hence `&self` + `Sync`);
+/// 2. [`Strategy::edge_aggregate`] for every edge at `t = kτ`;
+/// 3. [`Strategy::cloud_aggregate`] at `t = pτπ`.
+///
+/// Algorithms keep *all* mutable run state inside [`FlState`]; the strategy
+/// object itself only holds hyper-parameters, which keeps every algorithm
+/// trivially `Send + Sync`.
+pub trait Strategy: Send + Sync {
+    /// Display name (matches the paper's Table II row labels).
+    fn name(&self) -> &'static str;
+
+    /// The architecture this algorithm is defined for.
+    fn tier(&self) -> Tier;
+
+    /// Hook called once before training begins (after [`FlState::new`]'s
+    /// common initialization). Most algorithms need nothing extra.
+    fn init(&self, _state: &mut FlState) {}
+
+    /// One local iteration on one worker. `grad` evaluates the worker's
+    /// mini-batch gradient at arbitrary parameters (the batch is fixed for
+    /// this call).
+    fn local_step(
+        &self,
+        t: usize,
+        worker: &mut WorkerState,
+        grad: &mut dyn FnMut(&Vector) -> Vector,
+    );
+
+    /// Edge aggregation `k` (at `t = kτ`) for edge `edge`.
+    fn edge_aggregate(&self, k: usize, edge: usize, state: &mut FlState);
+
+    /// Cloud aggregation `p` (at `t = pτπ`).
+    fn cloud_aggregate(&self, p: usize, state: &mut FlState);
+
+    /// The parameters evaluated as "the global model" between aggregations.
+    /// Defaults to the data-weighted average of worker models.
+    fn global_params(&self, state: &FlState) -> Vector {
+        state.average_worker_models()
+    }
+
+    /// Validates that the topology matches [`Strategy::tier`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a two-tier algorithm is given a multi-edge
+    /// hierarchy.
+    fn check_topology(&self, hierarchy: &Hierarchy) -> Result<(), String> {
+        if self.tier() == Tier::Two && !hierarchy.is_two_tier() {
+            return Err(format!(
+                "{} is a two-tier algorithm; run it on Hierarchy::two_tier(n) \
+                 with pi = 1 (got {} edges)",
+                self.name(),
+                hierarchy.num_edges()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Dummy(Tier);
+
+    impl Strategy for Dummy {
+        fn name(&self) -> &'static str {
+            "Dummy"
+        }
+        fn tier(&self) -> Tier {
+            self.0
+        }
+        fn local_step(
+            &self,
+            _t: usize,
+            _w: &mut WorkerState,
+            _g: &mut dyn FnMut(&Vector) -> Vector,
+        ) {
+        }
+        fn edge_aggregate(&self, _k: usize, _e: usize, _s: &mut FlState) {}
+        fn cloud_aggregate(&self, _p: usize, _s: &mut FlState) {}
+    }
+
+    #[test]
+    fn two_tier_strategy_rejects_multi_edge_topology() {
+        let d = Dummy(Tier::Two);
+        assert!(d.check_topology(&Hierarchy::two_tier(4)).is_ok());
+        assert!(d.check_topology(&Hierarchy::balanced(2, 2)).is_err());
+    }
+
+    #[test]
+    fn three_tier_strategy_accepts_both() {
+        let d = Dummy(Tier::Three);
+        assert!(d.check_topology(&Hierarchy::two_tier(4)).is_ok());
+        assert!(d.check_topology(&Hierarchy::balanced(2, 2)).is_ok());
+    }
+
+    #[test]
+    fn strategies_are_object_safe() {
+        let boxed: Box<dyn Strategy> = Box::new(Dummy(Tier::Three));
+        assert_eq!(boxed.name(), "Dummy");
+    }
+}

@@ -1,0 +1,393 @@
+//! The paper's convergence-bound machinery (Theorems 1–5).
+//!
+//! Implements the constants of Appendix A/B and the three bound functions:
+//!
+//! - `h(x, δℓ)` (Theorem 1 / Eq. 17): worker-vs-edge virtual-update gap
+//!   after `x` local steps under gradient divergence `δℓ`;
+//! - `s(τ)` (Theorem 2 / Eq. 20): the edge momentum update's displacement;
+//! - `j(τ, π, δℓ, δ)` (Theorem 4 / Eq. 23): the per-cloud-round term of the
+//!   final `O(1/T)` bound.
+//!
+//! Also provides empirical estimators for the problem constants the bounds
+//! need — smoothness `β`, Lipschitz constant `ρ`, gradient divergence
+//! `δ_{i,ℓ}` (Assumption 3) and the momentum/gradient ratio `μ`
+//! (Eq. 30) — so the Theorem-1/4 *shape* claims can be checked against
+//! measured runs (see `tests/theory_validation.rs` at the workspace root).
+
+use hieradmo_data::Dataset;
+use hieradmo_models::Model;
+use hieradmo_tensor::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The analytic constants of Appendix A, fixed by `(η, β, γ)`.
+///
+/// `γA` and `γB` are the roots of the characteristic equation
+/// `w² − (1+ηβ)(1+γ)·w + γ(1+ηβ) = 0` of the gap recurrence; `I`, `J` its
+/// initial-condition coefficients (which satisfy `I + J = 1/(ηβ)`), and
+/// `U`, `V` the dual pair with `U + V = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundConstants {
+    /// Worker learning rate `η`.
+    pub eta: f64,
+    /// Smoothness constant `β` (Assumption 2).
+    pub beta: f64,
+    /// Worker momentum factor `γ`.
+    pub gamma: f64,
+    /// Root constant `A`.
+    pub a: f64,
+    /// Root constant `B`.
+    pub b: f64,
+    /// Coefficient `I`.
+    pub i: f64,
+    /// Coefficient `J`.
+    pub j: f64,
+    /// Coefficient `U = (A−1)/(A−B)`.
+    pub u: f64,
+    /// Coefficient `V = (1−B)/(A−B)`.
+    pub v: f64,
+}
+
+impl BoundConstants {
+    /// Computes the constants for `(η, β, γ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `η > 0`, `β > 0`, and `0 < γ < 1` (the domain of
+    /// Theorem 1).
+    pub fn new(eta: f64, beta: f64, gamma: f64) -> Self {
+        assert!(eta > 0.0, "eta must be positive");
+        assert!(beta > 0.0, "beta must be positive");
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "Theorem 1 requires 0 < gamma < 1, got {gamma}"
+        );
+        let c = 1.0 + eta * beta;
+        // (1+γ)² ≥ 4γ, so the discriminant c²(1+γ)² − 4γc = c[c(1+γ)² − 4γ]
+        // is non-negative for c ≥ 1.
+        let disc = (c * c * (1.0 + gamma).powi(2) - 4.0 * gamma * c).sqrt();
+        let a = (c * (1.0 + gamma) + disc) / (2.0 * gamma);
+        let b = (c * (1.0 + gamma) - disc) / (2.0 * gamma);
+        let i = (gamma * a + a - 1.0) / ((a - b) * (gamma * a - 1.0));
+        let j = (gamma * b + b - 1.0) / ((a - b) * (1.0 - gamma * b));
+        let u = (a - 1.0) / (a - b);
+        let v = (1.0 - b) / (a - b);
+        BoundConstants {
+            eta,
+            beta,
+            gamma,
+            a,
+            b,
+            i,
+            j,
+            u,
+            v,
+        }
+    }
+
+    /// Eq. (17): the Theorem-1 gap bound
+    /// `‖x_{ℓ−}^t − x_{[k],ℓ}^t‖ ≤ h(t − (k−1)τ, δℓ)`.
+    ///
+    /// `h(0) = h(1) = 0` (no divergence before the second local step) and
+    /// `h` is increasing in `x`.
+    pub fn h(&self, x: usize, delta: f64) -> f64 {
+        let (eta, beta, gamma) = (self.eta, self.beta, self.gamma);
+        let ga = gamma * self.a;
+        let gb = gamma * self.b;
+        let xf = x as i32;
+        let growth = self.i * ga.powi(xf) + self.j * gb.powi(xf) - 1.0 / (eta * beta);
+        let drift = (gamma * gamma * (gamma.powi(xf) - 1.0) - (gamma - 1.0) * x as f64)
+            / (gamma - 1.0).powi(2);
+        (eta * delta * (growth - drift)).max(0.0)
+    }
+
+    /// Eq. (20): the Theorem-2 edge-momentum displacement bound
+    /// `‖x_{ℓ+}^{kτ} − x_{ℓ−}^{kτ}‖ ≤ s(τ) = γℓ·τ·η·ρ·(γμ + γ + 1)`.
+    pub fn s(&self, tau: usize, gamma_edge: f64, rho: f64, mu: f64) -> f64 {
+        gamma_edge * tau as f64 * self.eta * rho * (self.gamma * mu + self.gamma + 1.0)
+    }
+
+    /// Eq. (21): the Theorem-3 bound on the gap between the weighted edge
+    /// virtual updates and the cloud virtual update at the end of a cloud
+    /// interval:
+    ///
+    /// `‖x^{pτπ}_{[pπ]} − x^{pτπ}_{{p}}‖ ≤ h(τπ, δ) + π·Σℓ (Dℓ/D)(h(τ, δℓ) + s(τ))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_deltas` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn theorem3_gap(
+        &self,
+        tau: usize,
+        pi: usize,
+        edge_deltas: &[(f64, f64)],
+        delta_global: f64,
+        gamma_edge: f64,
+        rho: f64,
+        mu: f64,
+    ) -> f64 {
+        assert!(!edge_deltas.is_empty(), "need at least one edge");
+        let s_tau = self.s(tau, gamma_edge, rho, mu);
+        let edge_sum: f64 = edge_deltas
+            .iter()
+            .map(|&(w, d)| w * (self.h(tau, d) + s_tau))
+            .sum();
+        self.h(tau * pi, delta_global) + pi as f64 * edge_sum
+    }
+
+    /// Eq. (23): the Theorem-4 per-round term
+    /// `j(τ, π, δℓ, δ) = h(τπ, δ) + (π+1)·Σℓ (Dℓ/D)(h(τ, δℓ) + s(τ))`.
+    ///
+    /// `edge_deltas` holds `(Dℓ/D, δℓ)` pairs; `delta_global` is `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_deltas` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn j_round(
+        &self,
+        tau: usize,
+        pi: usize,
+        edge_deltas: &[(f64, f64)],
+        delta_global: f64,
+        gamma_edge: f64,
+        rho: f64,
+        mu: f64,
+    ) -> f64 {
+        assert!(!edge_deltas.is_empty(), "need at least one edge");
+        let s_tau = self.s(tau, gamma_edge, rho, mu);
+        let edge_sum: f64 = edge_deltas
+            .iter()
+            .map(|&(w, d)| w * (self.h(tau, d) + s_tau))
+            .sum();
+        self.h(tau * pi, delta_global) + (pi as f64 + 1.0) * edge_sum
+    }
+}
+
+/// Empirically estimates the smoothness constant `β` of a model's loss on
+/// a dataset: the max of `‖∇F(x₁) − ∇F(x₂)‖ / ‖x₁ − x₂‖` over random
+/// parameter pairs near the current parameters.
+///
+/// # Panics
+///
+/// Panics if `probes == 0` or the dataset is empty.
+pub fn estimate_beta<M: Model>(model: &mut M, data: &Dataset, probes: usize, seed: u64) -> f64 {
+    assert!(probes > 0, "need at least one probe");
+    assert!(!data.is_empty(), "cannot probe an empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = model.params();
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut best = 0.0f64;
+    for _ in 0..probes {
+        let x1 = perturb(&base, 0.5, &mut rng);
+        let x2 = perturb(&x1, 0.1, &mut rng);
+        model.set_params(&x1);
+        let g1 = model.loss_and_grad(data, &idx).1;
+        model.set_params(&x2);
+        let g2 = model.loss_and_grad(data, &idx).1;
+        let dx = x1.distance(&x2);
+        if dx > 1e-9 {
+            best = best.max(f64::from(g1.distance(&g2)) / f64::from(dx));
+        }
+    }
+    model.set_params(&base);
+    best
+}
+
+/// Empirically estimates the Lipschitz constant `ρ` (Assumption 1) as the
+/// max gradient norm over random parameter probes.
+///
+/// # Panics
+///
+/// Panics if `probes == 0` or the dataset is empty.
+pub fn estimate_rho<M: Model>(model: &mut M, data: &Dataset, probes: usize, seed: u64) -> f64 {
+    assert!(probes > 0, "need at least one probe");
+    assert!(!data.is_empty(), "cannot probe an empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = model.params();
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut best = 0.0f64;
+    for _ in 0..probes {
+        let x = perturb(&base, 0.5, &mut rng);
+        model.set_params(&x);
+        let g = model.loss_and_grad(data, &idx).1;
+        best = best.max(f64::from(g.norm()));
+    }
+    model.set_params(&base);
+    best
+}
+
+/// Empirically estimates the gradient divergence `δ_{i,ℓ}` (Assumption 3):
+/// the max over probes of `‖∇F_{i,ℓ}(x) − ∇F_ℓ(x)‖`, where `F_ℓ` is the
+/// data-weighted loss over all `edge_data`.
+///
+/// Returns one `δ_{i,ℓ}` per worker dataset, in order.
+///
+/// # Panics
+///
+/// Panics if `worker_data` is empty, any shard is empty, or `probes == 0`.
+pub fn estimate_divergence<M: Model>(
+    model: &mut M,
+    worker_data: &[Dataset],
+    probes: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(!worker_data.is_empty(), "need at least one worker shard");
+    assert!(probes > 0, "need at least one probe");
+    for (i, d) in worker_data.iter().enumerate() {
+        assert!(!d.is_empty(), "worker shard {i} is empty");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = model.params();
+    let total: f64 = worker_data.iter().map(|d| d.len() as f64).sum();
+    let mut deltas = vec![0.0f64; worker_data.len()];
+    for _ in 0..probes {
+        let x = perturb(&base, 0.5, &mut rng);
+        model.set_params(&x);
+        let grads: Vec<Vector> = worker_data
+            .iter()
+            .map(|d| {
+                let idx: Vec<usize> = (0..d.len()).collect();
+                model.loss_and_grad(d, &idx).1
+            })
+            .collect();
+        let edge_grad = Vector::weighted_average(
+            grads
+                .iter()
+                .zip(worker_data)
+                .map(|(g, d)| (d.len() as f64 / total, g)),
+        );
+        for (delta, g) in deltas.iter_mut().zip(&grads) {
+            *delta = delta.max(f64::from(g.distance(&edge_grad)));
+        }
+    }
+    model.set_params(&base);
+    deltas
+}
+
+/// The data-weighted average divergence `δℓ = Σᵢ (D_{i,ℓ}/Dℓ)·δ_{i,ℓ}`
+/// (Assumption 3's definition).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or total weight is zero.
+pub fn weighted_delta(deltas: &[f64], sample_counts: &[usize]) -> f64 {
+    assert_eq!(deltas.len(), sample_counts.len(), "length mismatch");
+    let total: usize = sample_counts.iter().sum();
+    assert!(total > 0, "total sample count must be positive");
+    deltas
+        .iter()
+        .zip(sample_counts)
+        .map(|(&d, &n)| d * n as f64 / total as f64)
+        .sum()
+}
+
+fn perturb(base: &Vector, scale: f32, rng: &mut StdRng) -> Vector {
+    base.iter()
+        .map(|&v| v + rng.gen_range(-scale..=scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts() -> BoundConstants {
+        BoundConstants::new(0.01, 1.0, 0.5)
+    }
+
+    #[test]
+    fn i_plus_j_is_one_over_eta_beta() {
+        for (eta, beta, gamma) in [(0.01, 1.0, 0.5), (0.05, 2.0, 0.3), (0.001, 10.0, 0.9)] {
+            let c = BoundConstants::new(eta, beta, gamma);
+            assert!(
+                (c.i + c.j - 1.0 / (eta * beta)).abs() < 1e-6,
+                "I+J = {} vs 1/(ηβ) = {}",
+                c.i + c.j,
+                1.0 / (eta * beta)
+            );
+            assert!((c.u + c.v - 1.0).abs() < 1e-9, "U+V must be 1");
+        }
+    }
+
+    #[test]
+    fn h_is_zero_at_zero_and_one_then_increases() {
+        let c = consts();
+        assert!(c.h(0, 1.0).abs() < 1e-9);
+        assert!(c.h(1, 1.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for x in 2..30 {
+            let v = c.h(x, 1.0);
+            assert!(v >= prev, "h must be non-decreasing: h({x}) = {v} < {prev}");
+            prev = v;
+        }
+        assert!(prev > 0.0, "h must eventually grow");
+    }
+
+    #[test]
+    fn h_scales_linearly_in_delta() {
+        let c = consts();
+        let h1 = c.h(10, 1.0);
+        let h3 = c.h(10, 3.0);
+        assert!((h3 - 3.0 * h1).abs() < 1e-9 * h3.abs().max(1.0));
+    }
+
+    #[test]
+    fn s_increases_with_tau_and_gamma_edge() {
+        let c = consts();
+        assert!(c.s(10, 0.5, 1.0, 1.0) < c.s(20, 0.5, 1.0, 1.0));
+        assert!(c.s(10, 0.2, 1.0, 1.0) < c.s(10, 0.8, 1.0, 1.0));
+        // Theorem 5's mechanism: smaller γℓ ⇒ smaller s(τ) ⇒ tighter bound.
+        assert_eq!(c.s(10, 0.0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn theorem3_is_strictly_below_theorem4_term() {
+        // j(τ,π) uses (π+1)·Σ… while Theorem 3's gap uses π·Σ…, so the
+        // Theorem-3 bound is always the smaller of the two.
+        let c = consts();
+        let edges = [(0.5, 1.0), (0.5, 2.0)];
+        for (tau, pi) in [(5usize, 2usize), (10, 4), (20, 2)] {
+            let t3 = c.theorem3_gap(tau, pi, &edges, 1.5, 0.5, 1.0, 1.0);
+            let j = c.j_round(tau, pi, &edges, 1.5, 0.5, 1.0, 1.0);
+            assert!(t3 < j, "theorem3 {t3} must be < j {j} at τ={tau}, π={pi}");
+            assert!(t3 > 0.0);
+        }
+    }
+
+    #[test]
+    fn j_round_increases_with_tau_and_pi() {
+        let c = consts();
+        let edges = [(0.5, 1.0), (0.5, 2.0)];
+        let j = |tau, pi| c.j_round(tau, pi, &edges, 1.5, 0.5, 1.0, 1.0);
+        assert!(j(10, 2) < j(20, 2), "j must grow with tau");
+        assert!(j(10, 2) < j(10, 4), "j must grow with pi");
+    }
+
+    #[test]
+    fn theorem5_expected_gamma_comparison() {
+        // Under cosθ ~ U(−1,1), Eq. 7 gives E[γℓ] = 1/4 < 1/2 = E[fixed].
+        // Verify by direct Monte Carlo over the clamp.
+        use crate::adaptive::clamp_gamma;
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n)
+            .map(|_| f64::from(clamp_gamma(rng.gen_range(-1.0f32..1.0))))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.01,
+            "E[adaptive γℓ] should be ≈ 1/4, got {mean}"
+        );
+        // Smaller expected γℓ ⇒ smaller expected s(τ) ⇒ Theorem 5.
+        let c = consts();
+        assert!(c.s(10, mean, 1.0, 1.0) < c.s(10, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < gamma < 1")]
+    fn rejects_gamma_zero() {
+        let _ = BoundConstants::new(0.01, 1.0, 0.0);
+    }
+}

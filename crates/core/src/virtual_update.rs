@@ -1,0 +1,148 @@
+//! The paper's *two-level virtual update* construction (Section IV-B,
+//! Eqs. 8–15) — the analytical device behind Theorems 1 and 3.
+//!
+//! A virtual update replays the worker NAG recursion *as if* it ran on the
+//! centralized edge loss `F_ℓ` (or the global loss `F` for the cloud
+//! level), starting from the values right after an aggregation. The
+//! distance between the real aggregated trajectory and this virtual one is
+//! what Theorem 1 bounds by `h(·)`; the workspace-level test
+//! `tests/theory_validation.rs` measures it and checks the bound.
+
+use hieradmo_data::Dataset;
+use hieradmo_models::Model;
+use hieradmo_tensor::Vector;
+
+/// One step of the NAG virtual recursion (Eqs. 10–11 / 14–15):
+///
+/// ```text
+/// y_t = x_{t−1} − η ∇F(x_{t−1})
+/// x_t = y_t + γ (y_t − y_{t−1})
+/// ```
+///
+/// `grad` evaluates the relevant full-batch gradient (`∇F_ℓ` for an edge
+/// virtual update, `∇F` for a cloud one).
+pub fn virtual_step(
+    x: &Vector,
+    y: &Vector,
+    eta: f32,
+    gamma: f32,
+    grad: &mut dyn FnMut(&Vector) -> Vector,
+) -> (Vector, Vector) {
+    let g = grad(x);
+    let mut y_new = x.clone();
+    y_new.axpy(-eta, &g);
+    let mut x_new = y_new.clone();
+    x_new.axpy(gamma, &(&y_new - y));
+    (x_new, y_new)
+}
+
+/// The full virtual trajectory over one interval: starting from the
+/// post-aggregation `(x⁰, y⁰)` (Eqs. 8–9 / 12–13), runs `steps` virtual
+/// updates against the *combined* dataset's full-batch gradient and returns
+/// the `x` sequence `[x⁰, x¹, …, x^steps]`.
+///
+/// For an edge interval, pass the concatenation of the edge's worker
+/// shards (so the gradient is `∇F_ℓ`); for a cloud interval, pass all data
+/// (`∇F`).
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn virtual_trajectory<M: Model>(
+    model: &mut M,
+    data: &Dataset,
+    x0: &Vector,
+    y0: &Vector,
+    eta: f32,
+    gamma: f32,
+    steps: usize,
+) -> Vec<Vector> {
+    assert!(!data.is_empty(), "virtual update needs data");
+    let all: Vec<usize> = (0..data.len()).collect();
+    let mut grad = |p: &Vector| {
+        model.set_params(p);
+        model.loss_and_grad(data, &all).1
+    };
+    let mut xs = Vec::with_capacity(steps + 1);
+    let mut x = x0.clone();
+    let mut y = y0.clone();
+    xs.push(x.clone());
+    for _ in 0..steps {
+        let (x_new, y_new) = virtual_step(&x, &y, eta, gamma, &mut grad);
+        x = x_new;
+        y = y_new;
+        xs.push(x.clone());
+    }
+    xs
+}
+
+/// Merges worker shards into one dataset (the edge's combined data `D_ℓ`),
+/// cloning samples.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, all shards are empty, or shards disagree on
+/// shape/classes.
+pub fn merge_shards(shards: &[&Dataset]) -> Dataset {
+    assert!(!shards.is_empty(), "need at least one shard");
+    let shape = shards[0].shape();
+    let classes = shards[0].num_classes();
+    let mut samples = Vec::new();
+    for s in shards {
+        assert_eq!(s.shape(), shape, "shard shape mismatch");
+        assert_eq!(s.num_classes(), classes, "shard class-count mismatch");
+        samples.extend(s.iter().cloned());
+    }
+    assert!(!samples.is_empty(), "all shards are empty");
+    Dataset::new(samples, shape, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieradmo_data::synthetic::linear_regression;
+    use hieradmo_models::zoo;
+
+    #[test]
+    fn virtual_step_with_zero_gamma_is_gradient_descent() {
+        let x = Vector::from(vec![1.0, 1.0]);
+        let y = x.clone();
+        let mut grad = |p: &Vector| p.clone(); // ∇F(x) = x (quadratic bowl)
+        let (x1, y1) = virtual_step(&x, &y, 0.1, 0.0, &mut grad);
+        assert_eq!(y1.as_slice(), &[0.9, 0.9]);
+        assert_eq!(x1.as_slice(), &[0.9, 0.9]);
+    }
+
+    #[test]
+    fn virtual_trajectory_descends_a_quadratic() {
+        let tt = linear_regression(4, 2, 60, 10, 0.01, 5);
+        let mut model = zoo::linear_regression(&tt.train, 3);
+        let x0 = model.params();
+        let y0 = x0.clone();
+        let xs = virtual_trajectory(&mut model, &tt.train, &x0, &y0, 0.05, 0.5, 20);
+        assert_eq!(xs.len(), 21);
+        let all: Vec<usize> = (0..tt.train.len()).collect();
+        model.set_params(&xs[0]);
+        let l0 = model.loss(&tt.train, &all);
+        model.set_params(xs.last().unwrap());
+        let l_end = model.loss(&tt.train, &all);
+        assert!(
+            l_end < l0 * 0.5,
+            "virtual NAG should descend: {l0} -> {l_end}"
+        );
+    }
+
+    #[test]
+    fn merge_shards_concatenates() {
+        let tt = linear_regression(2, 1, 10, 2, 0.0, 1);
+        let merged = merge_shards(&[&tt.train, &tt.test]);
+        assert_eq!(merged.len(), 12);
+        assert_eq!(merged.shape(), tt.train.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn merge_empty_list_panics() {
+        let _ = merge_shards(&[]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Image augmentation utilities — the standard training-time transforms
+//! (flip, shift, noise, cutout) for image-shaped datasets.
+//!
+//! The synthetic generators already apply translation jitter at sampling
+//! time; these operate on *existing* datasets, e.g. to expand a worker's
+//! shard or to stress-test a trained model's invariances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hieradmo_tensor::Vector;
+
+use crate::dataset::{Dataset, FeatureShape, Sample};
+
+/// One augmentation operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Augmentation {
+    /// Mirror horizontally.
+    HorizontalFlip,
+    /// Torus-roll by up to `max` pixels in each axis (random per sample).
+    RandomShift {
+        /// Maximum absolute shift per axis.
+        max: usize,
+    },
+    /// Add i.i.d. uniform noise in `[-amplitude, amplitude]`.
+    UniformNoise {
+        /// Noise amplitude.
+        amplitude: f32,
+    },
+    /// Zero a random `size × size` square (cutout regularization).
+    Cutout {
+        /// Side length of the zeroed square.
+        size: usize,
+    },
+}
+
+impl Augmentation {
+    /// Applies the augmentation to one CHW image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != c*h*w`, or if a [`Augmentation::Cutout`]
+    /// square does not fit in the image.
+    pub fn apply(
+        &self,
+        features: &Vector,
+        c: usize,
+        h: usize,
+        w: usize,
+        rng: &mut StdRng,
+    ) -> Vector {
+        assert_eq!(features.len(), c * h * w, "feature/shape mismatch");
+        let data = features.as_slice();
+        match *self {
+            Augmentation::HorizontalFlip => {
+                let mut out = vec![0.0f32; data.len()];
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            out[(ch * h + y) * w + x] = data[(ch * h + y) * w + (w - 1 - x)];
+                        }
+                    }
+                }
+                Vector::from(out)
+            }
+            Augmentation::RandomShift { max } => {
+                let s = max as i64;
+                let dy = rng.gen_range(-s..=s);
+                let dx = rng.gen_range(-s..=s);
+                let mut out = vec![0.0f32; data.len()];
+                for ch in 0..c {
+                    for y in 0..h {
+                        let sy = (y as i64 - dy).rem_euclid(h as i64) as usize;
+                        for x in 0..w {
+                            let sx = (x as i64 - dx).rem_euclid(w as i64) as usize;
+                            out[(ch * h + y) * w + x] = data[(ch * h + sy) * w + sx];
+                        }
+                    }
+                }
+                Vector::from(out)
+            }
+            Augmentation::UniformNoise { amplitude } => data
+                .iter()
+                .map(|&v| v + rng.gen_range(-amplitude..=amplitude))
+                .collect(),
+            Augmentation::Cutout { size } => {
+                assert!(size <= h && size <= w, "cutout {size} larger than image");
+                let y0 = rng.gen_range(0..=h - size);
+                let x0 = rng.gen_range(0..=w - size);
+                let mut out = data.to_vec();
+                for ch in 0..c {
+                    for y in y0..y0 + size {
+                        for x in x0..x0 + size {
+                            out[(ch * h + y) * w + x] = 0.0;
+                        }
+                    }
+                }
+                Vector::from(out)
+            }
+        }
+    }
+}
+
+/// Expands an image dataset: for each sample, appends `copies` augmented
+/// variants produced by applying every augmentation in `pipeline` in
+/// order. The original samples are retained.
+///
+/// # Panics
+///
+/// Panics if the dataset is not image-shaped.
+pub fn augment_dataset(
+    data: &Dataset,
+    pipeline: &[Augmentation],
+    copies: usize,
+    seed: u64,
+) -> Dataset {
+    let (c, h, w) = match data.shape() {
+        FeatureShape::Image {
+            channels,
+            height,
+            width,
+        } => (channels, height, width),
+        FeatureShape::Flat(d) => panic!("cannot augment flat features of dim {d}"),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples: Vec<Sample> = data.samples().to_vec();
+    for sample in data.iter() {
+        for _ in 0..copies {
+            let mut feats = sample.features.clone();
+            for aug in pipeline {
+                feats = aug.apply(&feats, c, h, w, &mut rng);
+            }
+            samples.push(Sample {
+                features: feats,
+                target: sample.target.clone(),
+            });
+        }
+    }
+    Dataset::new(samples, data.shape(), data.num_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticDataset;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let img: Vector = (0..12).map(|i| i as f32).collect();
+        let mut r = rng();
+        let once = Augmentation::HorizontalFlip.apply(&img, 1, 3, 4, &mut r);
+        let twice = Augmentation::HorizontalFlip.apply(&once, 1, 3, 4, &mut r);
+        assert_eq!(twice, img);
+        assert_ne!(once, img);
+    }
+
+    #[test]
+    fn shift_preserves_pixel_multiset() {
+        let img: Vector = (0..16).map(|i| i as f32).collect();
+        let mut r = rng();
+        let shifted = Augmentation::RandomShift { max: 2 }.apply(&img, 1, 4, 4, &mut r);
+        let mut a: Vec<f32> = img.as_slice().to_vec();
+        let mut b: Vec<f32> = shifted.as_slice().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_stays_within_amplitude() {
+        let img = Vector::zeros(20);
+        let mut r = rng();
+        let noisy = Augmentation::UniformNoise { amplitude: 0.3 }.apply(&img, 1, 4, 5, &mut r);
+        assert!(noisy.iter().all(|&v| v.abs() <= 0.3));
+        assert!(noisy.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn cutout_zeroes_exactly_a_square() {
+        let img = Vector::filled(25, 1.0);
+        let mut r = rng();
+        let cut = Augmentation::Cutout { size: 2 }.apply(&img, 1, 5, 5, &mut r);
+        let zeros = cut.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 4);
+    }
+
+    #[test]
+    fn augment_dataset_grows_and_preserves_labels() {
+        let ds = SyntheticDataset::mnist_like(2, 1, 1).train;
+        let aug = augment_dataset(
+            &ds,
+            &[
+                Augmentation::HorizontalFlip,
+                Augmentation::UniformNoise { amplitude: 0.1 },
+            ],
+            2,
+            5,
+        );
+        assert_eq!(aug.len(), ds.len() * 3);
+        assert_eq!(aug.class_histogram(), {
+            let mut h = ds.class_histogram();
+            h.iter_mut().for_each(|n| *n *= 3);
+            h
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot augment flat")]
+    fn flat_dataset_panics() {
+        let ds = SyntheticDataset::har_like(1, 1, 1).train;
+        let _ = augment_dataset(&ds, &[Augmentation::HorizontalFlip], 1, 0);
+    }
+}

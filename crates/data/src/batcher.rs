@@ -1,0 +1,140 @@
+//! Seeded, reshuffling mini-batch iteration.
+//!
+//! Each federated worker owns a [`Batcher`] over its local shard. A call to
+//! [`Batcher::next_batch`] yields the indices of the next mini-batch
+//! (batch size 64 in the paper); the order reshuffles at every epoch
+//! boundary, and everything is reproducible from the construction seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite stream of mini-batch index sets over `0..len`.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_data::Batcher;
+///
+/// let mut b = Batcher::new(10, 4, 0);
+/// let first = b.next_batch();
+/// assert_eq!(first.len(), 4);
+/// // After one epoch (ceil(10/4) = 3 batches) the order reshuffles.
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl Batcher {
+    /// Creates a batcher over `len` samples with the given batch size.
+    ///
+    /// The batch size is silently capped at `len` so tiny shards still
+    /// produce full coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `batch_size == 0`.
+    pub fn new(len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(len > 0, "cannot batch an empty dataset");
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut b = Batcher {
+            order: (0..len).collect(),
+            cursor: 0,
+            batch_size: batch_size.min(len),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        b.reshuffle();
+        b
+    }
+
+    /// Number of samples covered per epoch.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always `false`: construction rejects empty datasets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Effective batch size (may be smaller than requested for tiny shards).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns the indices of the next mini-batch.
+    ///
+    /// The final batch of an epoch may be short; the following call starts a
+    /// freshly shuffled epoch.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        if self.cursor >= self.order.len() {
+            self.reshuffle();
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        batch
+    }
+
+    fn reshuffle(&mut self) {
+        for i in (1..self.order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            self.order.swap(i, j);
+        }
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn batches_cover_epoch_exactly() {
+        let mut b = Batcher::new(10, 3, 1);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.extend(b.next_batch());
+        }
+        assert_eq!(seen.len(), 10);
+        let set: HashSet<_> = seen.iter().collect();
+        assert_eq!(set.len(), 10, "each index appears exactly once per epoch");
+    }
+
+    #[test]
+    fn batch_size_capped_at_len() {
+        let mut b = Batcher::new(3, 64, 0);
+        assert_eq!(b.batch_size(), 3);
+        assert_eq!(b.next_batch().len(), 3);
+    }
+
+    #[test]
+    fn reshuffles_between_epochs() {
+        let mut b = Batcher::new(50, 50, 7);
+        let e1 = b.next_batch();
+        let e2 = b.next_batch();
+        assert_ne!(e1, e2, "epochs should reshuffle");
+        let s1: HashSet<_> = e1.into_iter().collect();
+        let s2: HashSet<_> = e2.into_iter().collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Batcher::new(20, 6, 99);
+        let mut b = Batcher::new(20, 6, 99);
+        for _ in 0..10 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        let _ = Batcher::new(0, 4, 0);
+    }
+}

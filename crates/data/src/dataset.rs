@@ -1,0 +1,368 @@
+//! In-memory dataset model shared by all generators and partitioners.
+
+use hieradmo_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Shape metadata of a sample's feature vector.
+///
+/// Flat features feed linear/logistic/MLP models directly; image features
+/// carry the `(channels, height, width)` needed by convolutional models to
+/// reshape the flat storage into an NCHW tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureShape {
+    /// A flat feature vector of the given dimension.
+    Flat(usize),
+    /// An image with `(channels, height, width)`; the flat storage is in
+    /// CHW order.
+    Image {
+        /// Channels.
+        channels: usize,
+        /// Height in pixels.
+        height: usize,
+        /// Width in pixels.
+        width: usize,
+    },
+}
+
+impl FeatureShape {
+    /// Total number of feature values per sample.
+    pub fn len(&self) -> usize {
+        match *self {
+            FeatureShape::Flat(d) => d,
+            FeatureShape::Image {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
+        }
+    }
+
+    /// Returns `true` for a zero-length shape.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Supervised target of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// Classification label in `0..num_classes`.
+    Class(usize),
+    /// Regression target vector.
+    Regression(Vector),
+}
+
+impl Target {
+    /// The class label, if this is a classification target.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Target::Class(c) => Some(*c),
+            Target::Regression(_) => None,
+        }
+    }
+}
+
+/// One supervised sample: a feature vector plus its target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature values (flat storage; interpret via [`Dataset::shape`]).
+    pub features: Vector,
+    /// Supervised target.
+    pub target: Target,
+}
+
+/// An in-memory dataset: samples plus shape/class metadata.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_data::{Dataset, FeatureShape, Sample, Target};
+/// use hieradmo_tensor::Vector;
+///
+/// let ds = Dataset::new(
+///     vec![Sample { features: Vector::from(vec![1.0]), target: Target::Class(0) }],
+///     FeatureShape::Flat(1),
+///     2,
+/// );
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.class_histogram(), vec![1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    shape: FeatureShape,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's feature length disagrees with `shape`, or if a
+    /// classification label is `>= num_classes`.
+    pub fn new(samples: Vec<Sample>, shape: FeatureShape, num_classes: usize) -> Self {
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(
+                s.features.len(),
+                shape.len(),
+                "sample {i} feature length {} does not match shape {:?}",
+                s.features.len(),
+                shape
+            );
+            if let Target::Class(c) = s.target {
+                assert!(
+                    c < num_classes,
+                    "sample {i} label {c} out of range for {num_classes} classes"
+                );
+            }
+        }
+        Dataset {
+            samples,
+            shape,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature shape metadata.
+    pub fn shape(&self) -> FeatureShape {
+        self.shape
+    }
+
+    /// Number of classes (0 for pure regression datasets).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Borrows all samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Borrows one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> &Sample {
+        &self.samples[i]
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Builds a sub-dataset from the given sample indices (cloning samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let samples = indices.iter().map(|&i| self.samples[i].clone()).collect();
+        Dataset {
+            samples,
+            shape: self.shape,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class sample counts (length = `num_classes`). Regression samples
+    /// are not counted.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for s in &self.samples {
+            if let Target::Class(c) = s.target {
+                hist[c] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Splits into `(first, second)` where `first` holds roughly
+    /// `fraction` of each class (stratified when the dataset has classes,
+    /// plain prefix split otherwise). Deterministic per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1` and both halves end up non-empty.
+    pub fn split(&self, fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1), got {fraction}"
+        );
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        let mut assign = |mut idxs: Vec<usize>| {
+            // Fisher–Yates then prefix split.
+            for i in (1..idxs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idxs.swap(i, j);
+            }
+            let cut = ((idxs.len() as f64) * fraction).round() as usize;
+            first.extend_from_slice(&idxs[..cut]);
+            second.extend_from_slice(&idxs[cut..]);
+        };
+        if self.num_classes > 0 {
+            for class in 0..self.num_classes {
+                assign(self.indices_of_class(class));
+            }
+        } else {
+            assign((0..self.len()).collect());
+        }
+        assert!(
+            !first.is_empty() && !second.is_empty(),
+            "split produced an empty half; use a larger dataset or different fraction"
+        );
+        (self.subset(&first), self.subset(&second))
+    }
+
+    /// Indices of all samples with the given class label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.samples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (s.target.class() == Some(class)).then_some(i))
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// A train/test pair as produced by every synthetic generator.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training split (partitioned across workers).
+    pub train: Dataset,
+    /// Held-out test split (used for the accuracy columns of Table II).
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![
+                Sample {
+                    features: Vector::from(vec![0.0, 1.0]),
+                    target: Target::Class(0),
+                },
+                Sample {
+                    features: Vector::from(vec![1.0, 0.0]),
+                    target: Target::Class(1),
+                },
+                Sample {
+                    features: Vector::from(vec![0.5, 0.5]),
+                    target: Target::Class(1),
+                },
+            ],
+            FeatureShape::Flat(2),
+            2,
+        )
+    }
+
+    #[test]
+    fn histogram_counts_classes() {
+        assert_eq!(tiny().class_histogram(), vec![1, 2]);
+    }
+
+    #[test]
+    fn subset_preserves_metadata() {
+        let ds = tiny();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.shape(), ds.shape());
+        assert_eq!(sub.num_classes(), 2);
+        assert_eq!(sub.sample(0).target.class(), Some(1));
+    }
+
+    #[test]
+    fn indices_of_class_finds_all() {
+        assert_eq!(tiny().indices_of_class(1), vec![1, 2]);
+        assert_eq!(tiny().indices_of_class(0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        let _ = Dataset::new(
+            vec![Sample {
+                features: Vector::from(vec![0.0]),
+                target: Target::Class(5),
+            }],
+            FeatureShape::Flat(1),
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length")]
+    fn wrong_feature_length_panics() {
+        let _ = Dataset::new(
+            vec![Sample {
+                features: Vector::from(vec![0.0, 1.0]),
+                target: Target::Class(0),
+            }],
+            FeatureShape::Flat(1),
+            2,
+        );
+    }
+
+    #[test]
+    fn split_is_stratified_and_exact() {
+        use crate::synthetic::SyntheticDataset;
+        let ds = SyntheticDataset::mnist_like(10, 1, 3).train; // 100 samples
+        let (a, b) = ds.split(0.7, 9);
+        assert_eq!(a.len() + b.len(), ds.len());
+        // Stratified: each class contributes 7/3.
+        assert_eq!(a.class_histogram(), vec![7; 10]);
+        assert_eq!(b.class_histogram(), vec![3; 10]);
+        // Deterministic.
+        let (a2, _) = ds.split(0.7, 9);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1)")]
+    fn split_rejects_bad_fraction() {
+        let _ = tiny().split(1.0, 0);
+    }
+
+    #[test]
+    fn image_shape_len() {
+        let s = FeatureShape::Image {
+            channels: 3,
+            height: 4,
+            width: 5,
+        };
+        assert_eq!(s.len(), 60);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iteration() {
+        let ds = tiny();
+        assert_eq!(ds.iter().count(), 3);
+        assert_eq!((&ds).into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! IDX file-format loader (the format of the real MNIST distribution).
+//!
+//! The reproduction ships synthetic datasets (this environment is
+//! offline), but a downstream user with `train-images-idx3-ubyte` /
+//! `train-labels-idx1-ubyte` files on disk can load the *real* MNIST and
+//! run every experiment unchanged: the loader produces the same
+//! [`Dataset`] type with `1×28×28` image features scaled to `[0, 1]`.
+//!
+//! Format reference (LeCun et al.): big-endian magic
+//! `[0, 0, dtype, ndim]`, then `ndim` u32 dimension sizes, then the raw
+//! data. Only the `u8` dtype (0x08) used by MNIST is supported.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use hieradmo_tensor::Vector;
+
+use crate::dataset::{Dataset, FeatureShape, Sample, Target};
+
+/// Errors from IDX parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdxError {
+    /// File shorter than its own header/data declaration.
+    Truncated,
+    /// First two magic bytes were not zero.
+    BadMagic,
+    /// Data type byte other than 0x08 (unsigned byte).
+    UnsupportedType(u8),
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Images in the image file.
+        images: usize,
+        /// Labels in the label file.
+        labels: usize,
+    },
+    /// A label was outside `0..classes`.
+    BadLabel(u8),
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::Truncated => write!(f, "idx file truncated"),
+            IdxError::BadMagic => write!(f, "bad idx magic bytes"),
+            IdxError::UnsupportedType(t) => write!(f, "unsupported idx data type 0x{t:02x}"),
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            IdxError::BadLabel(l) => write!(f, "label {l} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+/// A parsed IDX tensor: dimension sizes plus flat `u8` data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Raw bytes in row-major order.
+    pub data: Vec<u8>,
+}
+
+/// Parses an in-memory IDX byte buffer.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] for truncation, bad magic, or non-u8 data.
+pub fn parse_idx(bytes: &[u8]) -> Result<IdxTensor, IdxError> {
+    if bytes.len() < 4 {
+        return Err(IdxError::Truncated);
+    }
+    if bytes[0] != 0 || bytes[1] != 0 {
+        return Err(IdxError::BadMagic);
+    }
+    let dtype = bytes[2];
+    if dtype != 0x08 {
+        return Err(IdxError::UnsupportedType(dtype));
+    }
+    let ndim = bytes[3] as usize;
+    let header = 4 + 4 * ndim;
+    if bytes.len() < header {
+        return Err(IdxError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for d in 0..ndim {
+        let off = 4 + 4 * d;
+        let size = u32::from_be_bytes(
+            bytes[off..off + 4]
+                .try_into()
+                .expect("bounds checked above"),
+        ) as usize;
+        dims.push(size);
+    }
+    let total: usize = dims.iter().product();
+    if bytes.len() < header + total {
+        return Err(IdxError::Truncated);
+    }
+    Ok(IdxTensor {
+        dims,
+        data: bytes[header..header + total].to_vec(),
+    })
+}
+
+/// Builds a classification [`Dataset`] from parsed MNIST-style image and
+/// label tensors: images `(n, h, w)` scaled to `[0, 1]`, labels `(n,)`.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] if shapes are inconsistent or a label is
+/// `>= classes`.
+pub fn dataset_from_idx(
+    images: &IdxTensor,
+    labels: &IdxTensor,
+    classes: usize,
+) -> Result<Dataset, IdxError> {
+    let (n, h, w) = match images.dims[..] {
+        [n, h, w] => (n, h, w),
+        _ => return Err(IdxError::Truncated),
+    };
+    let label_count = labels.dims.first().copied().unwrap_or(0);
+    if label_count != n {
+        return Err(IdxError::CountMismatch {
+            images: n,
+            labels: label_count,
+        });
+    }
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = labels.data[i];
+        if usize::from(label) >= classes {
+            return Err(IdxError::BadLabel(label));
+        }
+        let start = i * h * w;
+        let features: Vector = images.data[start..start + h * w]
+            .iter()
+            .map(|&p| f32::from(p) / 255.0)
+            .collect();
+        samples.push(Sample {
+            features,
+            target: Target::Class(usize::from(label)),
+        });
+    }
+    Ok(Dataset::new(
+        samples,
+        FeatureShape::Image {
+            channels: 1,
+            height: h,
+            width: w,
+        },
+        classes,
+    ))
+}
+
+/// Loads a real MNIST-format dataset from the standard pair of IDX files.
+///
+/// # Errors
+///
+/// Propagates I/O errors; parse failures map to
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_mnist(images_path: &Path, labels_path: &Path) -> io::Result<Dataset> {
+    let to_io = |e: IdxError| io::Error::new(io::ErrorKind::InvalidData, e);
+    let images = parse_idx(&fs::read(images_path)?).map_err(to_io)?;
+    let labels = parse_idx(&fs::read(labels_path)?).map_err(to_io)?;
+    dataset_from_idx(&images, &labels, 10).map_err(to_io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a valid IDX image buffer: n images of h×w incrementing bytes.
+    fn idx_images(n: usize, h: usize, w: usize) -> Vec<u8> {
+        let mut b = vec![0, 0, 0x08, 3];
+        for &d in &[n, h, w] {
+            b.extend_from_slice(&(d as u32).to_be_bytes());
+        }
+        b.extend((0..n * h * w).map(|i| (i % 256) as u8));
+        b
+    }
+
+    fn idx_labels(labels: &[u8]) -> Vec<u8> {
+        let mut b = vec![0, 0, 0x08, 1];
+        b.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        b.extend_from_slice(labels);
+        b
+    }
+
+    #[test]
+    fn parses_well_formed_files() {
+        let img = parse_idx(&idx_images(2, 3, 3)).unwrap();
+        assert_eq!(img.dims, vec![2, 3, 3]);
+        assert_eq!(img.data.len(), 18);
+        let lbl = parse_idx(&idx_labels(&[7, 1])).unwrap();
+        assert_eq!(lbl.dims, vec![2]);
+        assert_eq!(lbl.data, vec![7, 1]);
+    }
+
+    #[test]
+    fn builds_dataset_with_scaled_pixels() {
+        let img = parse_idx(&idx_images(2, 2, 2)).unwrap();
+        let lbl = parse_idx(&idx_labels(&[3, 9])).unwrap();
+        let ds = dataset_from_idx(&img, &lbl, 10).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.shape().len(), 4);
+        assert_eq!(ds.sample(0).target.class(), Some(3));
+        // Pixel 3 of image 0 is byte 3 → 3/255.
+        assert!((ds.sample(0).features[3] - 3.0 / 255.0).abs() < 1e-6);
+        // All pixels normalized.
+        for s in ds.iter() {
+            assert!(s.features.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert_eq!(parse_idx(&[0, 0]), Err(IdxError::Truncated));
+        assert_eq!(parse_idx(&[1, 0, 8, 1, 0, 0, 0, 0]), Err(IdxError::BadMagic));
+        assert_eq!(
+            parse_idx(&[0, 0, 0x0D, 1, 0, 0, 0, 0]),
+            Err(IdxError::UnsupportedType(0x0D))
+        );
+        // Declared 5 images but no data.
+        let mut short = vec![0, 0, 0x08, 3];
+        for &d in &[5u32, 28, 28] {
+            short.extend_from_slice(&d.to_be_bytes());
+        }
+        assert_eq!(parse_idx(&short), Err(IdxError::Truncated));
+    }
+
+    #[test]
+    fn count_and_label_mismatches_are_reported() {
+        let img = parse_idx(&idx_images(2, 2, 2)).unwrap();
+        let lbl_short = parse_idx(&idx_labels(&[1])).unwrap();
+        assert_eq!(
+            dataset_from_idx(&img, &lbl_short, 10),
+            Err(IdxError::CountMismatch { images: 2, labels: 1 })
+        );
+        let lbl_bad = parse_idx(&idx_labels(&[1, 12])).unwrap();
+        assert_eq!(dataset_from_idx(&img, &lbl_bad, 10), Err(IdxError::BadLabel(12)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("hieradmo-idx-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ip = dir.join("images-idx3-ubyte");
+        let lp = dir.join("labels-idx1-ubyte");
+        std::fs::write(&ip, idx_images(3, 4, 4)).unwrap();
+        std::fs::write(&lp, idx_labels(&[0, 5, 9])).unwrap();
+        let ds = load_mnist(&ip, &lp).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.class_histogram()[5], 1);
+        std::fs::remove_file(&ip).ok();
+        std::fs::remove_file(&lp).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! Dataset substrate for the HierAdMo reproduction.
+//!
+//! The paper evaluates on MNIST, CIFAR-10, (Tiny-)ImageNet and UCI-HAR.
+//! Those datasets cannot be downloaded in this offline reproduction, so this
+//! crate provides *synthetic equivalents* (see `DESIGN.md` §4): every
+//! generator produces a classification (or regression) problem with the same
+//! tensor shapes, the same number of classes, and a controllable difficulty,
+//! so the federated-learning dynamics the paper studies — non-i.i.d.
+//! partitions, gradient divergence between workers and edges, momentum
+//! (dis)agreement — are all exercised on realistic shapes.
+//!
+//! Contents:
+//!
+//! - [`Dataset`] / [`Sample`] / [`Target`] — in-memory dataset model.
+//! - [`synthetic`] — the four dataset generators plus linear-regression data.
+//! - [`partition`] — i.i.d., *x*-class non-i.i.d. (the paper's scheme), and
+//!   Dirichlet partitioners.
+//! - [`batcher`] — seeded, reshuffling mini-batch iteration (batch size 64
+//!   in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_data::synthetic::SyntheticDataset;
+//! use hieradmo_data::partition::x_class_partition;
+//!
+//! let ds = SyntheticDataset::mnist_like(200, 50, 1).train;
+//! // Paper Fig. 2(e): 3-class non-i.i.d. split across 4 workers.
+//! let shards = x_class_partition(&ds, 4, 3, 99);
+//! assert_eq!(shards.len(), 4);
+//! for shard in &shards {
+//!     assert!(shard.class_histogram().iter().filter(|&&c| c > 0).count() <= 3);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod augment;
+pub mod batcher;
+pub mod dataset;
+pub mod idx;
+pub mod partition;
+pub mod synthetic;
+
+pub use batcher::Batcher;
+pub use dataset::{Dataset, FeatureShape, Sample, Target};

@@ -1,0 +1,340 @@
+//! Partitioners that distribute a training set across federated workers.
+//!
+//! The paper controls non-i.i.d.-ness with an *x-class* scheme
+//! (Section V-B): each worker is assigned only `x` of the dataset's classes,
+//! with smaller `x` meaning stronger heterogeneity (Fig. 2(e)–(g) use
+//! x = 3, 6, 9 on MNIST). [`x_class_partition`] implements exactly that;
+//! [`iid_partition`] and [`dirichlet_partition`] are the standard
+//! comparison points.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Splits `dataset` into `n_workers` i.i.d. shards of (near-)equal size.
+///
+/// Samples are shuffled and dealt round-robin, so shard sizes differ by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics if `n_workers == 0` or `dataset.len() < n_workers`.
+pub fn iid_partition(dataset: &Dataset, n_workers: usize, seed: u64) -> Vec<Dataset> {
+    assert!(n_workers > 0, "need at least one worker");
+    assert!(
+        dataset.len() >= n_workers,
+        "dataset of {} samples cannot cover {} workers",
+        dataset.len(),
+        n_workers
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    shuffle(&mut indices, &mut rng);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    for (i, idx) in indices.into_iter().enumerate() {
+        shards[i % n_workers].push(idx);
+    }
+    shards.iter().map(|s| dataset.subset(s)).collect()
+}
+
+/// The paper's *x-class non-i.i.d.* partition: each worker receives samples
+/// from exactly `x` (randomly chosen) classes.
+///
+/// Class assignment balances coverage: classes are dealt to workers in a
+/// shuffled round-robin so that every class is held by at least one worker
+/// whenever `n_workers * x >= num_classes`. The samples of each class are
+/// split evenly among the workers holding that class.
+///
+/// # Panics
+///
+/// Panics if `x == 0`, `x > num_classes`, `n_workers == 0`, or the dataset
+/// has no classification samples.
+pub fn x_class_partition(dataset: &Dataset, n_workers: usize, x: usize, seed: u64) -> Vec<Dataset> {
+    let num_classes = dataset.num_classes();
+    assert!(n_workers > 0, "need at least one worker");
+    assert!(x > 0, "x must be positive");
+    assert!(
+        x <= num_classes,
+        "x = {x} exceeds the number of classes {num_classes}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Deal class slots: n_workers * x slots, filled by cycling through a
+    // shuffled class list so coverage is as even as possible.
+    let mut class_order: Vec<usize> = (0..num_classes).collect();
+    shuffle(&mut class_order, &mut rng);
+    let mut worker_classes: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    let mut cursor = 0usize;
+    for wc in worker_classes.iter_mut() {
+        while wc.len() < x {
+            let class = class_order[cursor % num_classes];
+            cursor += 1;
+            if !wc.contains(&class) {
+                wc.push(class);
+            } else {
+                // Worker already holds every class seen so far this cycle;
+                // pick any class it lacks (guaranteed to exist since
+                // x <= num_classes).
+                let missing = (0..num_classes)
+                    .find(|c| !wc.contains(c))
+                    .expect("x <= num_classes guarantees a missing class");
+                wc.push(missing);
+            }
+        }
+    }
+
+    // Split each class's samples among the workers that hold it.
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    for class in 0..num_classes {
+        let holders: Vec<usize> = (0..n_workers)
+            .filter(|&w| worker_classes[w].contains(&class))
+            .collect();
+        if holders.is_empty() {
+            continue;
+        }
+        let mut idxs = dataset.indices_of_class(class);
+        shuffle(&mut idxs, &mut rng);
+        for (i, idx) in idxs.into_iter().enumerate() {
+            shards[holders[i % holders.len()]].push(idx);
+        }
+    }
+    assert!(
+        shards.iter().any(|s| !s.is_empty()),
+        "x_class_partition produced no data; dataset has no class samples"
+    );
+    shards.iter().map(|s| dataset.subset(s)).collect()
+}
+
+/// Dirichlet(α) label-skew partition, the other standard non-i.i.d.
+/// generator in the FL literature. Small `alpha` → heavy skew; large
+/// `alpha` → approaches i.i.d.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`, `n_workers == 0`, or the dataset has no
+/// classification samples.
+pub fn dirichlet_partition(
+    dataset: &Dataset,
+    n_workers: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<Dataset> {
+    assert!(n_workers > 0, "need at least one worker");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    let mut any = false;
+    for class in 0..dataset.num_classes() {
+        let mut idxs = dataset.indices_of_class(class);
+        if idxs.is_empty() {
+            continue;
+        }
+        any = true;
+        shuffle(&mut idxs, &mut rng);
+        let props = dirichlet_sample(&mut rng, alpha, n_workers);
+        // Convert proportions to cumulative boundaries over the class size.
+        let n = idxs.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (w, &p) in props.iter().enumerate() {
+            acc += p;
+            let end = if w + 1 == n_workers {
+                n
+            } else {
+                ((acc * n as f64).round() as usize).min(n)
+            };
+            shards[w].extend_from_slice(&idxs[start..end]);
+            start = end;
+        }
+    }
+    assert!(any, "dirichlet_partition requires classification samples");
+    shards.iter().map(|s| dataset.subset(s)).collect()
+}
+
+/// Samples from a symmetric Dirichlet(α) via normalized Gamma draws
+/// (Marsaglia–Tsang for α ≥ 1, boost trick below 1).
+fn dirichlet_sample(rng: &mut StdRng, alpha: f64, k: usize) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        vec![1.0 / k as f64; k]
+    } else {
+        draws.into_iter().map(|d| d / total).collect()
+    }
+}
+
+fn gamma_sample(rng: &mut StdRng, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x: f64 = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0f64);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticDataset;
+
+    fn mnist(n: usize) -> Dataset {
+        SyntheticDataset::mnist_like(n, 1, 77).train
+    }
+
+    #[test]
+    fn iid_covers_all_samples_evenly() {
+        let ds = mnist(10); // 100 samples
+        let shards = iid_partition(&ds, 4, 1);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, ds.len());
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn x_class_limits_classes_per_worker() {
+        let ds = mnist(10);
+        for x in [1, 3, 6, 9, 10] {
+            let shards = x_class_partition(&ds, 4, x, 5);
+            for shard in &shards {
+                let held = shard
+                    .class_histogram()
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .count();
+                assert!(held <= x, "worker holds {held} classes with x={x}");
+                assert!(!shard.is_empty(), "worker shard empty with x={x}");
+            }
+            let total: usize = shards.iter().map(Dataset::len).sum();
+            if 4 * x >= ds.num_classes() {
+                // Enough slots to hold every class: nothing may be dropped.
+                assert_eq!(total, ds.len(), "samples lost with x={x}");
+            } else {
+                // Unheld classes are necessarily dropped; held ones are not.
+                let mut covered = vec![false; ds.num_classes()];
+                for shard in &shards {
+                    for (c, &n) in shard.class_histogram().iter().enumerate() {
+                        if n > 0 {
+                            covered[c] = true;
+                        }
+                    }
+                }
+                let expected: usize = ds
+                    .class_histogram()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, _)| covered[c])
+                    .map(|(_, &n)| n)
+                    .sum();
+                assert_eq!(total, expected, "held-class samples lost with x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_class_covers_every_class_when_possible() {
+        let ds = mnist(10);
+        // 4 workers × 3 classes = 12 slots ≥ 10 classes.
+        let shards = x_class_partition(&ds, 4, 3, 5);
+        let mut covered = vec![false; 10];
+        for shard in &shards {
+            for (c, &n) in shard.class_histogram().iter().enumerate() {
+                if n > 0 {
+                    covered[c] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b), "not all classes covered: {covered:?}");
+    }
+
+    #[test]
+    fn x_class_is_deterministic_per_seed() {
+        let ds = mnist(5);
+        let a = x_class_partition(&ds, 4, 2, 9);
+        let b = x_class_partition(&ds, 4, 2, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of classes")]
+    fn x_too_large_panics() {
+        let ds = mnist(2);
+        let _ = x_class_partition(&ds, 2, 11, 0);
+    }
+
+    #[test]
+    fn dirichlet_partitions_all_samples() {
+        let ds = mnist(10);
+        for alpha in [0.1, 1.0, 100.0] {
+            let shards = dirichlet_partition(&ds, 5, alpha, 3);
+            let total: usize = shards.iter().map(Dataset::len).sum();
+            assert_eq!(total, ds.len(), "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_is_more_skewed() {
+        let ds = mnist(50);
+        let skew = |alpha: f64| -> f64 {
+            let shards = dirichlet_partition(&ds, 5, alpha, 17);
+            // Mean (over workers) of the max class share within the worker.
+            shards
+                .iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let h = s.class_histogram();
+                    *h.iter().max().unwrap() as f64 / s.len() as f64
+                })
+                .sum::<f64>()
+                / shards.len() as f64
+        };
+        assert!(
+            skew(0.05) > skew(100.0),
+            "alpha=0.05 should be more skewed than alpha=100"
+        );
+    }
+
+    #[test]
+    fn gamma_sampler_has_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for alpha in [0.5, 1.0, 3.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, alpha)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.15 * alpha.max(1.0),
+                "Gamma({alpha}) sample mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Synthetic dataset generators standing in for the paper's real datasets.
+//!
+//! Offline substitution (DESIGN.md §4): each generator produces a problem
+//! with the *same tensor shapes and class counts* as the real dataset, built
+//! from class prototypes plus per-sample noise:
+//!
+//! - image datasets use smooth (low-spatial-frequency) prototypes and random
+//!   translations, so convolutional models genuinely outperform linear ones
+//!   (preserving the paper's model ordering);
+//! - UCI-HAR is emulated by a Gaussian mixture in 561-d with *correlated
+//!   class pairs* (walking vs walking-upstairs style confusions);
+//! - difficulty is controlled by the noise-to-prototype-scale ratio, which
+//!   is tuned so MNIST-like ≫ easier than CIFAR-like ≫ easier than
+//!   ImageNet-like, matching the relative accuracies of Table II.
+
+use std::f32::consts::TAU;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use hieradmo_tensor::Vector;
+
+use crate::dataset::{Dataset, FeatureShape, Sample, Target, TrainTest};
+
+/// Parameters of a prototype-plus-noise synthetic classification dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature shape (flat or image).
+    pub shape: FeatureShape,
+    /// Standard deviation of per-sample additive Gaussian noise.
+    pub noise: f32,
+    /// Scale of the class prototypes (signal strength).
+    pub prototype_scale: f32,
+    /// For image shapes: maximum random translation (pixels, torus roll)
+    /// applied per sample. Zero disables jitter.
+    pub max_shift: usize,
+    /// Group size for correlated prototypes (1 = independent classes).
+    /// Classes within a group share a base pattern, making them mutually
+    /// confusable — used by the HAR-like generator.
+    pub class_group: usize,
+}
+
+impl SyntheticSpec {
+    /// MNIST-like: 10 classes, 1×28×28, strong signal (easy problem).
+    pub fn mnist_like() -> Self {
+        SyntheticSpec {
+            num_classes: 10,
+            shape: FeatureShape::Image {
+                channels: 1,
+                height: 28,
+                width: 28,
+            },
+            noise: 0.45,
+            prototype_scale: 1.0,
+            max_shift: 2,
+            class_group: 1,
+        }
+    }
+
+    /// CIFAR-10-like: 10 classes, 3×32×32, noisier (harder problem).
+    pub fn cifar10_like() -> Self {
+        SyntheticSpec {
+            num_classes: 10,
+            shape: FeatureShape::Image {
+                channels: 3,
+                height: 32,
+                width: 32,
+            },
+            noise: 1.0,
+            prototype_scale: 0.8,
+            max_shift: 3,
+            class_group: 1,
+        }
+    }
+
+    /// Tiny-ImageNet-like: 20 classes, 3×16×16, hardest image problem
+    /// (most classes, lowest signal-to-noise of the image sets).
+    pub fn imagenet_like() -> Self {
+        SyntheticSpec {
+            num_classes: 20,
+            shape: FeatureShape::Image {
+                channels: 3,
+                height: 16,
+                width: 16,
+            },
+            noise: 0.8,
+            prototype_scale: 0.9,
+            max_shift: 2,
+            class_group: 1,
+        }
+    }
+
+    /// UCI-HAR-like: 6 classes, 561 flat features, correlated class pairs.
+    pub fn har_like() -> Self {
+        SyntheticSpec {
+            num_classes: 6,
+            shape: FeatureShape::Flat(561),
+            noise: 0.9,
+            prototype_scale: 0.6,
+            max_shift: 0,
+            class_group: 2,
+        }
+    }
+}
+
+/// A generated synthetic dataset with its train/test splits.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_data::synthetic::SyntheticDataset;
+///
+/// let tt = SyntheticDataset::mnist_like(100, 20, 7);
+/// assert_eq!(tt.train.len(), 1000);  // 100 per class × 10 classes
+/// assert_eq!(tt.test.len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset;
+
+impl SyntheticDataset {
+    /// Generates an MNIST-like train/test pair with `train_per_class` /
+    /// `test_per_class` samples per class.
+    pub fn mnist_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
+        generate(&SyntheticSpec::mnist_like(), train_per_class, test_per_class, seed)
+    }
+
+    /// Generates a CIFAR-10-like train/test pair.
+    pub fn cifar10_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
+        generate(
+            &SyntheticSpec::cifar10_like(),
+            train_per_class,
+            test_per_class,
+            seed,
+        )
+    }
+
+    /// Generates a Tiny-ImageNet-like train/test pair (20 classes).
+    pub fn imagenet_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
+        generate(
+            &SyntheticSpec::imagenet_like(),
+            train_per_class,
+            test_per_class,
+            seed,
+        )
+    }
+
+    /// Generates a UCI-HAR-like train/test pair (6 activity classes).
+    pub fn har_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
+        generate(&SyntheticSpec::har_like(), train_per_class, test_per_class, seed)
+    }
+}
+
+/// Generates a dataset from an arbitrary [`SyntheticSpec`].
+///
+/// Prototypes and both splits are fully determined by `seed`.
+///
+/// # Panics
+///
+/// Panics if the spec has zero classes or a zero-length shape.
+pub fn generate(
+    spec: &SyntheticSpec,
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> TrainTest {
+    assert!(spec.num_classes > 0, "spec needs at least one class");
+    assert!(!spec.shape.is_empty(), "spec needs a non-empty shape");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes = make_prototypes(spec, &mut rng);
+
+    let make_split = |per_class: usize, rng: &mut StdRng| {
+        let mut samples = Vec::with_capacity(per_class * spec.num_classes);
+        for (class, prototype) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                samples.push(Sample {
+                    features: sample_features(spec, prototype, rng),
+                    target: Target::Class(class),
+                });
+            }
+        }
+        // Shuffle so downstream batching over a prefix is not class-ordered.
+        shuffle(&mut samples, rng);
+        Dataset::new(samples, spec.shape, spec.num_classes)
+    };
+
+    let train = make_split(train_per_class, &mut rng);
+    let test = make_split(test_per_class, &mut rng);
+    TrainTest { train, test }
+}
+
+/// Generates a linear-regression dataset `y = W·x + ε` with a hidden true
+/// `W`; used by unit/property tests and the convex-model experiments.
+///
+/// Returns `(train, test)` datasets with [`Target::Regression`] targets of
+/// dimension `out_dim`.
+pub fn linear_regression(
+    in_dim: usize,
+    out_dim: usize,
+    n_train: usize,
+    n_test: usize,
+    noise: f32,
+    seed: u64,
+) -> TrainTest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+    let w: Vec<Vec<f32>> = (0..out_dim)
+        .map(|_| (0..in_dim).map(|_| normal.sample(&mut rng) / (in_dim as f32).sqrt()).collect())
+        .collect();
+    let noise_dist = Normal::new(0.0f32, noise).expect("valid normal");
+
+    let make = |n: usize, rng: &mut StdRng| {
+        let samples = (0..n)
+            .map(|_| {
+                let x: Vector = (0..in_dim).map(|_| normal.sample(rng)).collect();
+                let y: Vector = w
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .zip(x.iter())
+                            .map(|(a, b)| a * b)
+                            .sum::<f32>()
+                            + noise_dist.sample(rng)
+                    })
+                    .collect();
+                Sample {
+                    features: x,
+                    target: Target::Regression(y),
+                }
+            })
+            .collect();
+        Dataset::new(samples, FeatureShape::Flat(in_dim), 0)
+    };
+    let train = make(n_train, &mut rng);
+    let test = make(n_test, &mut rng);
+    TrainTest { train, test }
+}
+
+fn make_prototypes(spec: &SyntheticSpec, rng: &mut StdRng) -> Vec<Vector> {
+    let group = spec.class_group.max(1);
+    let mut bases: Vec<Vector> = Vec::new();
+    let mut prototypes = Vec::with_capacity(spec.num_classes);
+    for class in 0..spec.num_classes {
+        if class % group == 0 {
+            bases.push(make_prototype(spec, rng, spec.prototype_scale));
+        }
+        let base = bases.last().expect("base exists").clone();
+        let proto = if group == 1 {
+            base
+        } else {
+            // Within-group variation at 40% of the prototype scale keeps
+            // grouped classes mutually confusable but separable.
+            let delta = make_prototype(spec, rng, spec.prototype_scale * 0.4);
+            &base + &delta
+        };
+        prototypes.push(proto);
+    }
+    prototypes
+}
+
+/// A single prototype: smooth low-frequency pattern for images, Gaussian
+/// vector for flat shapes.
+fn make_prototype(spec: &SyntheticSpec, rng: &mut StdRng, scale: f32) -> Vector {
+    match spec.shape {
+        FeatureShape::Flat(d) => {
+            let normal = Normal::new(0.0f32, scale).expect("valid normal");
+            (0..d).map(|_| normal.sample(rng)).collect()
+        }
+        FeatureShape::Image {
+            channels,
+            height,
+            width,
+        } => {
+            let mut data = vec![0.0f32; channels * height * width];
+            for c in 0..channels {
+                // Sum of a few random 2-D cosine waves gives spatially
+                // smooth class textures that convolutions can exploit.
+                let waves: Vec<(f32, f32, f32, f32)> = (0..4)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.5..3.0f32), // fy
+                            rng.gen_range(0.5..3.0f32), // fx
+                            rng.gen_range(0.0..TAU),    // phase
+                            rng.gen_range(0.5..1.0f32), // amplitude
+                        )
+                    })
+                    .collect();
+                for y in 0..height {
+                    for x in 0..width {
+                        let mut v = 0.0;
+                        for &(fy, fx, phase, amp) in &waves {
+                            v += amp
+                                * (TAU * (fy * y as f32 / height as f32 + fx * x as f32 / width as f32)
+                                    + phase)
+                                    .cos();
+                        }
+                        data[(c * height + y) * width + x] = v * scale / 2.0;
+                    }
+                }
+            }
+            Vector::from(data)
+        }
+    }
+}
+
+fn sample_features(spec: &SyntheticSpec, prototype: &Vector, rng: &mut StdRng) -> Vector {
+    let noise = Normal::new(0.0f32, spec.noise).expect("valid normal");
+    let mut feats: Vec<f32> = prototype.iter().map(|&p| p + noise.sample(rng)).collect();
+    if spec.max_shift > 0 {
+        if let FeatureShape::Image {
+            channels,
+            height,
+            width,
+        } = spec.shape
+        {
+            let s = spec.max_shift as i64;
+            let dy = rng.gen_range(-s..=s);
+            let dx = rng.gen_range(-s..=s);
+            feats = roll_image(&feats, channels, height, width, dy, dx);
+        }
+    }
+    Vector::from(feats)
+}
+
+/// Torus-rolls a CHW image by `(dy, dx)` pixels.
+fn roll_image(data: &[f32], c: usize, h: usize, w: usize, dy: i64, dx: i64) -> Vec<f32> {
+    let mut out = vec![0.0f32; data.len()];
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = (y as i64 - dy).rem_euclid(h as i64) as usize;
+            for x in 0..w {
+                let sx = (x as i64 - dx).rem_euclid(w as i64) as usize;
+                out[(ch * h + y) * w + x] = data[(ch * h + sy) * w + sx];
+            }
+        }
+    }
+    out
+}
+
+fn shuffle(samples: &mut [Sample], rng: &mut StdRng) {
+    for i in (1..samples.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        samples.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_like_has_expected_shape() {
+        let tt = SyntheticDataset::mnist_like(5, 2, 1);
+        assert_eq!(tt.train.len(), 50);
+        assert_eq!(tt.test.len(), 20);
+        assert_eq!(tt.train.num_classes(), 10);
+        assert_eq!(tt.train.shape().len(), 784);
+        assert_eq!(tt.train.class_histogram(), vec![5; 10]);
+    }
+
+    #[test]
+    fn cifar_and_imagenet_shapes() {
+        let c = SyntheticDataset::cifar10_like(1, 1, 2);
+        assert_eq!(c.train.shape().len(), 3 * 32 * 32);
+        let i = SyntheticDataset::imagenet_like(1, 1, 3);
+        assert_eq!(i.train.num_classes(), 20);
+        assert_eq!(i.train.shape().len(), 3 * 16 * 16);
+    }
+
+    #[test]
+    fn har_like_is_flat_561() {
+        let h = SyntheticDataset::har_like(2, 1, 4);
+        assert_eq!(h.train.shape(), FeatureShape::Flat(561));
+        assert_eq!(h.train.num_classes(), 6);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = SyntheticDataset::mnist_like(3, 1, 42);
+        let b = SyntheticDataset::mnist_like(3, 1, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticDataset::mnist_like(3, 1, 1);
+        let b = SyntheticDataset::mnist_like(3, 1, 2);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn classes_are_separable_signal_exceeds_zero() {
+        // Mean intra-class distance should be well below mean inter-class
+        // prototype distance; cheap proxy: per-class means must differ.
+        let tt = SyntheticDataset::mnist_like(20, 1, 5);
+        let ds = &tt.train;
+        let dim = ds.shape().len();
+        let mut means = vec![Vector::zeros(dim); 10];
+        let hist = ds.class_histogram();
+        for s in ds.iter() {
+            let c = s.target.class().unwrap();
+            means[c].axpy(1.0 / hist[c] as f32, &s.features);
+        }
+        let d01 = means[0].distance(&means[1]);
+        assert!(d01 > 1.0, "class means are not separated: {d01}");
+    }
+
+    #[test]
+    fn linear_regression_targets_follow_model() {
+        let tt = linear_regression(4, 2, 100, 10, 0.0, 9);
+        // With zero noise, the same x always maps to the same y direction:
+        // verify linearity via additivity on two scaled copies is impossible
+        // here, so instead check that targets are deterministic re-generation.
+        let tt2 = linear_regression(4, 2, 100, 10, 0.0, 9);
+        assert_eq!(tt.train, tt2.train);
+        match &tt.train.sample(0).target {
+            Target::Regression(y) => assert_eq!(y.len(), 2),
+            _ => panic!("expected regression target"),
+        }
+    }
+
+    #[test]
+    fn roll_image_is_a_permutation() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let rolled = roll_image(&data, 1, 3, 4, 1, -2);
+        let mut a = data.clone();
+        let mut b = rolled.clone();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+        assert_ne!(data, rolled);
+        // Rolling by (h, w) is identity.
+        assert_eq!(roll_image(&data, 1, 3, 4, 3, 4), data);
+    }
+
+    #[test]
+    fn har_groups_are_more_confusable_than_across_groups() {
+        let spec = SyntheticSpec::har_like();
+        let mut rng = StdRng::seed_from_u64(11);
+        let protos = make_prototypes(&spec, &mut rng);
+        // classes (0,1) share a base; (0,2) do not.
+        let within = protos[0].distance(&protos[1]);
+        let across = protos[0].distance(&protos[2]);
+        assert!(
+            within < across,
+            "within-group distance {within} should be < across-group {across}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Exporters: convergence curves as CSV (for plotting) and JSON lines
+//! (for archival next to `EXPERIMENTS.md`).
+
+use std::fmt::Write as _;
+
+use crate::{ConvergenceCurve, EvalPoint};
+
+/// Renders a curve as CSV with a header row.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_metrics::{ConvergenceCurve, EvalPoint, export};
+///
+/// let curve: ConvergenceCurve = [EvalPoint {
+///     iteration: 10, train_loss: 0.5, test_loss: 0.6, test_accuracy: 0.8,
+/// }].into_iter().collect();
+/// let csv = export::curve_to_csv(&curve);
+/// assert!(csv.starts_with("iteration,train_loss,test_loss,test_accuracy\n"));
+/// assert!(csv.contains("10,"));
+/// ```
+pub fn curve_to_csv(curve: &ConvergenceCurve) -> String {
+    let mut out = String::from("iteration,train_loss,test_loss,test_accuracy\n");
+    for p in curve.points() {
+        writeln!(
+            out,
+            "{},{},{},{}",
+            p.iteration, p.train_loss, p.test_loss, p.test_accuracy
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Parses a curve back from [`curve_to_csv`] output.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn curve_from_csv(csv: &str) -> Result<ConvergenceCurve, String> {
+    let mut curve = ConvergenceCurve::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 {
+            if line != "iteration,train_loss,test_loss,test_accuracy" {
+                return Err(format!("unexpected header: {line}"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+        }
+        let parse_f = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        curve.push(EvalPoint {
+            iteration: fields[0]
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            train_loss: parse_f(fields[1])?,
+            test_loss: parse_f(fields[2])?,
+            test_accuracy: parse_f(fields[3])?,
+        });
+    }
+    Ok(curve)
+}
+
+/// Multiple named curves side by side as CSV (one block per curve), for
+/// figure-style comparisons.
+///
+/// # Panics
+///
+/// Panics if `curves` is empty.
+pub fn comparison_to_csv(curves: &[(&str, &ConvergenceCurve)]) -> String {
+    assert!(!curves.is_empty(), "need at least one curve");
+    let mut out = String::from("algorithm,iteration,train_loss,test_loss,test_accuracy\n");
+    for (name, curve) in curves {
+        for p in curve.points() {
+            writeln!(
+                out,
+                "{name},{},{},{},{}",
+                p.iteration, p.train_loss, p.test_loss, p.test_accuracy
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ConvergenceCurve {
+        [
+            EvalPoint {
+                iteration: 10,
+                train_loss: 1.5,
+                test_loss: 1.6,
+                test_accuracy: 0.4,
+            },
+            EvalPoint {
+                iteration: 20,
+                train_loss: 0.8,
+                test_loss: 0.9,
+                test_accuracy: 0.7,
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let c = curve();
+        let csv = curve_to_csv(&c);
+        let back = curve_from_csv(&csv).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_ragged_rows() {
+        assert!(curve_from_csv("nope\n1,2,3,4").is_err());
+        let bad = "iteration,train_loss,test_loss,test_accuracy\n1,2,3\n";
+        let err = curve_from_csv(bad).unwrap_err();
+        assert!(err.contains("expected 4 fields"));
+    }
+
+    #[test]
+    fn comparison_interleaves_algorithms() {
+        let a = curve();
+        let b = curve();
+        let csv = comparison_to_csv(&[("HierAdMo", &a), ("FedAvg", &b)]);
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("HierAdMo,10,"));
+        assert!(csv.contains("FedAvg,20,"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Metrics for the HierAdMo reproduction: convergence curves,
+//! time-to-accuracy lookups, seed summaries and report tables.
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_metrics::{ConvergenceCurve, EvalPoint};
+//!
+//! let mut curve = ConvergenceCurve::new();
+//! curve.push(EvalPoint { iteration: 100, train_loss: 1.2, test_loss: 1.3, test_accuracy: 0.55 });
+//! curve.push(EvalPoint { iteration: 200, train_loss: 0.6, test_loss: 0.7, test_accuracy: 0.91 });
+//! assert_eq!(curve.iterations_to_accuracy(0.9), Some(200));
+//! assert_eq!(curve.final_accuracy(), Some(0.91));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod summary;
+pub mod table;
+
+pub use summary::MeanStd;
+pub use table::Table;
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation of the global model during training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Local iteration `t` at which the evaluation happened.
+    pub iteration: usize,
+    /// Mean training loss of the global model.
+    pub train_loss: f64,
+    /// Mean test loss of the global model.
+    pub test_loss: f64,
+    /// Test accuracy in `[0, 1]`.
+    pub test_accuracy: f64,
+}
+
+/// Accuracy/loss as a function of training iteration — the raw material of
+/// every figure in the paper.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceCurve {
+    points: Vec<EvalPoint>,
+}
+
+impl ConvergenceCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        ConvergenceCurve { points: Vec::new() }
+    }
+
+    /// Appends an evaluation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.iteration` is not strictly increasing.
+    pub fn push(&mut self, point: EvalPoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                point.iteration > last.iteration,
+                "iterations must be strictly increasing: {} after {}",
+                point.iteration,
+                last.iteration
+            );
+        }
+        self.points.push(point);
+    }
+
+    /// Borrows the points.
+    pub fn points(&self) -> &[EvalPoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Accuracy at the last evaluation, if any.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.points.last().map(|p| p.test_accuracy)
+    }
+
+    /// Best accuracy over the whole run, if any.
+    pub fn best_accuracy(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.test_accuracy)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f64| b.max(a))))
+    }
+
+    /// First iteration at which accuracy reached `target`, if ever — the
+    /// quantity behind the paper's Fig. 2(h)/(l) "time to 0.95 accuracy".
+    pub fn iterations_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.test_accuracy >= target)
+            .map(|p| p.iteration)
+    }
+
+    /// Final training loss, if any.
+    pub fn final_train_loss(&self) -> Option<f64> {
+        self.points.last().map(|p| p.train_loss)
+    }
+}
+
+impl FromIterator<EvalPoint> for ConvergenceCurve {
+    fn from_iter<I: IntoIterator<Item = EvalPoint>>(iter: I) -> Self {
+        let mut c = ConvergenceCurve::new();
+        for p in iter {
+            c.push(p);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(it: usize, acc: f64) -> EvalPoint {
+        EvalPoint {
+            iteration: it,
+            train_loss: 1.0 / (it as f64),
+            test_loss: 1.1 / (it as f64),
+            test_accuracy: acc,
+        }
+    }
+
+    #[test]
+    fn empty_curve_has_no_answers() {
+        let c = ConvergenceCurve::new();
+        assert!(c.is_empty());
+        assert_eq!(c.final_accuracy(), None);
+        assert_eq!(c.best_accuracy(), None);
+        assert_eq!(c.iterations_to_accuracy(0.5), None);
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_first_crossing() {
+        let c: ConvergenceCurve = [pt(10, 0.3), pt(20, 0.8), pt(30, 0.7), pt(40, 0.9)]
+            .into_iter()
+            .collect();
+        assert_eq!(c.iterations_to_accuracy(0.75), Some(20));
+        assert_eq!(c.iterations_to_accuracy(0.95), None);
+        assert_eq!(c.best_accuracy(), Some(0.9));
+        assert_eq!(c.final_accuracy(), Some(0.9));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_iterations_panic() {
+        let mut c = ConvergenceCurve::new();
+        c.push(pt(10, 0.1));
+        c.push(pt(10, 0.2));
+    }
+}

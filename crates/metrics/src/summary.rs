@@ -1,0 +1,82 @@
+//! Mean ± standard-deviation summaries over repeated seeded runs — the
+//! "86.16 ± 0.04" cells of Table II.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Sample mean and (population) standard deviation of a set of runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation (σ, not σₙ₋₁ — with the paper's 3–5
+    /// repetitions the distinction is cosmetic and σ avoids NaN for n=1).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Summarizes a non-empty slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero values");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Renders as a percentage: `86.16 ± 0.04`.
+    pub fn as_percent(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_constant_is_exact() {
+        let s = MeanStd::of(&[0.5, 0.5, 0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let s = MeanStd::of(&[0.9]);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn percent_rendering() {
+        let s = MeanStd::of(&[0.8616, 0.8616]);
+        assert_eq!(s.as_percent(), "86.16 ± 0.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero values")]
+    fn empty_panics() {
+        let _ = MeanStd::of(&[]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal fixed-width text tables for experiment reports.
+
+use std::fmt;
+
+/// A text table with a header row, rendered with aligned columns — used by
+/// every experiment binary to print paper-style result tables.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_metrics::Table;
+///
+/// let mut t = Table::new(vec!["Algorithm".into(), "Accuracy".into()]);
+/// t.add_row(vec!["HierAdMo".into(), "86.16".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("HierAdMo"));
+/// assert!(rendered.lines().count() >= 3); // header + rule + row
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.header)?;
+        let rule_len: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A".into(), "LongHeader".into()]);
+        t.add_row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The second column starts at the same offset in header and row.
+        let header_off = lines[0].find("LongHeader").unwrap();
+        let row_off = lines[2].find('1').unwrap();
+        assert_eq!(header_off, row_off);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["A".into(), "B".into()]);
+        t.add_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Model zoo for the HierAdMo reproduction.
+//!
+//! The paper evaluates five model families — linear regression, logistic
+//! regression, a classic CNN, VGG16 and ResNet18. This crate implements all
+//! five (the deep nets as faithfully-patterned, scaled-down variants; see
+//! `DESIGN.md` §4) on top of a small layer framework with **exact analytic
+//! backpropagation** — no autodiff, no external ML dependency.
+//!
+//! The crate's central abstraction is the [`Model`] trait: federated
+//! algorithms interact with a model *only* through a flat parameter vector
+//! ([`Model::params`] / [`Model::set_params`]) and mini-batch loss/gradient
+//! evaluation ([`Model::loss_and_grad`]). This mirrors how the paper's
+//! Algorithm 1 manipulates `x` and `∇F_{i,ℓ}(x)` as opaque vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_data::synthetic::SyntheticDataset;
+//! use hieradmo_models::{zoo, Model};
+//!
+//! let tt = SyntheticDataset::mnist_like(20, 5, 1);
+//! let mut model = zoo::logistic_regression(&tt.train, 7);
+//! let (loss, grad) = model.loss_and_grad(&tt.train, &[0, 1, 2, 3]);
+//! assert!(loss > 0.0);
+//! assert_eq!(grad.len(), model.dim());
+//! // One SGD step.
+//! let mut p = model.params();
+//! p.axpy(-0.1, &grad);
+//! model.set_params(&p);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod layer;
+pub mod model;
+pub mod optim;
+pub mod sequential;
+pub mod spec;
+pub mod zoo;
+
+pub use model::{Evaluation, Model};
+pub use sequential::{LossHead, Sequential};

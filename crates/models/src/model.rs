@@ -1,0 +1,175 @@
+//! The [`Model`] trait: the flat-parameter interface every federated
+//! algorithm is written against.
+
+use hieradmo_data::{Dataset, Target};
+use hieradmo_tensor::{ops, Vector};
+
+/// Loss and accuracy of a model over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Mean loss over the dataset.
+    pub loss: f64,
+    /// Classification accuracy in `[0, 1]`; for pure-regression datasets
+    /// this is the fraction of samples with prediction error below 0.5 per
+    /// output (a serviceable "accuracy" analogue used only for reporting).
+    pub accuracy: f64,
+}
+
+/// A trainable model seen through a flat parameter vector.
+///
+/// The federated algorithms in `hieradmo-core` call nothing but these
+/// methods, so adding a model family automatically makes it available to
+/// all eleven algorithms.
+pub trait Model: Send {
+    /// Number of scalar parameters.
+    fn dim(&self) -> usize;
+
+    /// Snapshots the parameters as a flat vector of length [`Model::dim`].
+    fn params(&self) -> Vector;
+
+    /// Overwrites the parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.dim()`.
+    fn set_params(&mut self, params: &Vector);
+
+    /// Mean loss and mean gradient over the given mini-batch of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    fn loss_and_grad(&self, data: &Dataset, indices: &[usize]) -> (f32, Vector);
+
+    /// Raw model output for one feature vector (logits for classification
+    /// heads, predictions for regression heads).
+    fn output(&self, features: &Vector) -> Vector;
+
+    /// Mean loss over a mini-batch (no gradient).
+    fn loss(&self, data: &Dataset, indices: &[usize]) -> f32 {
+        self.loss_and_grad(data, indices).0
+    }
+
+    /// Evaluates mean loss and accuracy over an entire dataset.
+    fn evaluate(&self, data: &Dataset) -> Evaluation {
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        for sample in data.iter() {
+            let out = self.output(&sample.features);
+            match &sample.target {
+                Target::Class(c) => {
+                    loss_sum += f64::from(ops::cross_entropy_loss(&out, *c));
+                    if ops::argmax(&out) == *c {
+                        correct += 1;
+                    }
+                }
+                Target::Regression(y) => {
+                    loss_sum += f64::from(ops::mse_loss(&out, y));
+                    let close = out
+                        .iter()
+                        .zip(y.iter())
+                        .all(|(p, t)| (p - t).abs() < 0.5);
+                    if close {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let n = data.len().max(1) as f64;
+        Evaluation {
+            loss: loss_sum / n,
+            accuracy: correct as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieradmo_data::{FeatureShape, Sample};
+
+    /// A minimal hand-rolled model for exercising trait defaults: a single
+    /// scalar weight, output = [w * x0, -w * x0].
+    #[derive(Debug, Clone)]
+    struct Toy {
+        w: f32,
+    }
+
+    impl Model for Toy {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn params(&self) -> Vector {
+            Vector::from(vec![self.w])
+        }
+        fn set_params(&mut self, p: &Vector) {
+            assert_eq!(p.len(), 1);
+            self.w = p[0];
+        }
+        fn loss_and_grad(&self, data: &Dataset, indices: &[usize]) -> (f32, Vector) {
+            assert!(!indices.is_empty());
+            let mut loss = 0.0;
+            let mut g = 0.0;
+            for &i in indices {
+                let s = data.sample(i);
+                let out = self.output(&s.features);
+                let c = s.target.class().expect("toy is classification-only");
+                loss += ops::cross_entropy_loss(&out, c);
+                let gl = ops::cross_entropy_grad(&out, c);
+                // d out0/dw = x0, d out1/dw = -x0
+                g += (gl[0] - gl[1]) * s.features[0];
+            }
+            let n = indices.len() as f32;
+            (loss / n, Vector::from(vec![g / n]))
+        }
+        fn output(&self, features: &Vector) -> Vector {
+            Vector::from(vec![self.w * features[0], -self.w * features[0]])
+        }
+    }
+
+    fn toy_data() -> Dataset {
+        Dataset::new(
+            vec![
+                Sample {
+                    features: Vector::from(vec![1.0]),
+                    target: Target::Class(0),
+                },
+                Sample {
+                    features: Vector::from(vec![-1.0]),
+                    target: Target::Class(1),
+                },
+            ],
+            FeatureShape::Flat(1),
+            2,
+        )
+    }
+
+    #[test]
+    fn evaluate_reports_perfect_accuracy_for_separating_weight() {
+        let m = Toy { w: 5.0 };
+        let eval = m.evaluate(&toy_data());
+        assert_eq!(eval.accuracy, 1.0);
+        assert!(eval.loss < 0.01);
+    }
+
+    #[test]
+    fn default_loss_matches_loss_and_grad() {
+        let m = Toy { w: 0.3 };
+        let data = toy_data();
+        assert_eq!(m.loss(&data, &[0, 1]), m.loss_and_grad(&data, &[0, 1]).0);
+    }
+
+    #[test]
+    fn gradient_descends_loss() {
+        let mut m = Toy { w: 0.0 };
+        let data = toy_data();
+        for _ in 0..50 {
+            let (_, g) = m.loss_and_grad(&data, &[0, 1]);
+            let mut p = m.params();
+            p.axpy(-0.5, &g);
+            m.set_params(&p);
+        }
+        assert!(m.evaluate(&data).accuracy == 1.0);
+        assert!(m.w > 1.0, "weight should have grown positive: {}", m.w);
+    }
+}

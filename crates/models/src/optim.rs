@@ -1,0 +1,261 @@
+//! Centralized optimizers — the paper's Section II reference points.
+//!
+//! Implements the three update rules the paper builds on, verbatim:
+//!
+//! - plain [`Sgd`];
+//! - [`Polyak`] momentum (Eqs. 1–2: `m_t = γ·m_{t−1} − η∇F(w_{t−1})`,
+//!   `w_t = w_{t−1} + m_t`);
+//! - [`Nesterov`] accelerated gradient (the lookahead form the workers of
+//!   Algorithm 1 run locally).
+//!
+//! These exist so the momentum algebra used everywhere else has a minimal,
+//! independently-tested centralized reference — and so the paper's claim
+//! that "momentum leads to faster convergence and reduces oscillation" can
+//! be checked in isolation (see the unit tests).
+
+use hieradmo_data::Dataset;
+use hieradmo_tensor::Vector;
+
+use crate::model::Model;
+
+/// A centralized optimizer stepping a model on mini-batches.
+pub trait Optimizer {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// One optimization step on the given mini-batch; returns the batch
+    /// loss *before* the step.
+    fn step<M: Model>(&mut self, model: &mut M, data: &Dataset, batch: &[usize]) -> f32;
+}
+
+/// Plain stochastic gradient descent: `w ← w − η∇F(w)`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    eta: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `eta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0`.
+    pub fn new(eta: f32) -> Self {
+        assert!(eta > 0.0, "eta must be positive, got {eta}");
+        Sgd { eta }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn name(&self) -> &'static str {
+        "SGD"
+    }
+
+    fn step<M: Model>(&mut self, model: &mut M, data: &Dataset, batch: &[usize]) -> f32 {
+        let (loss, g) = model.loss_and_grad(data, batch);
+        let mut w = model.params();
+        w.axpy(-self.eta, &g);
+        model.set_params(&w);
+        loss
+    }
+}
+
+/// Polyak's heavy-ball momentum, exactly the paper's Eqs. (1)–(2).
+#[derive(Debug, Clone)]
+pub struct Polyak {
+    eta: f32,
+    gamma: f32,
+    m: Option<Vector>,
+}
+
+impl Polyak {
+    /// Creates Polyak momentum with learning rate `eta` and factor
+    /// `gamma ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn new(eta: f32, gamma: f32) -> Self {
+        assert!(eta > 0.0, "eta must be positive, got {eta}");
+        assert!(
+            (0.0..1.0).contains(&gamma),
+            "gamma must be in [0,1), got {gamma}"
+        );
+        Polyak {
+            eta,
+            gamma,
+            m: None,
+        }
+    }
+
+    /// Current momentum vector (zero before the first step).
+    pub fn momentum(&self) -> Option<&Vector> {
+        self.m.as_ref()
+    }
+}
+
+impl Optimizer for Polyak {
+    fn name(&self) -> &'static str {
+        "Polyak"
+    }
+
+    fn step<M: Model>(&mut self, model: &mut M, data: &Dataset, batch: &[usize]) -> f32 {
+        let (loss, g) = model.loss_and_grad(data, batch);
+        let mut w = model.params();
+        let m = self.m.get_or_insert_with(|| Vector::zeros(w.len()));
+        // Eq. (1): m_t = γ m_{t−1} − η ∇F(w_{t−1}).
+        m.scale_in_place(self.gamma);
+        m.axpy(-self.eta, &g);
+        // Eq. (2): w_t = w_{t−1} + m_t.
+        w += m;
+        model.set_params(&w);
+        loss
+    }
+}
+
+/// Nesterov accelerated gradient in its lookahead (`y`) form — the same
+/// recursion the federated workers run (Algorithm 1 lines 5–6).
+#[derive(Debug, Clone)]
+pub struct Nesterov {
+    eta: f32,
+    gamma: f32,
+    y: Option<Vector>,
+}
+
+impl Nesterov {
+    /// Creates NAG with learning rate `eta` and momentum `gamma ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn new(eta: f32, gamma: f32) -> Self {
+        assert!(eta > 0.0, "eta must be positive, got {eta}");
+        assert!(
+            (0.0..1.0).contains(&gamma),
+            "gamma must be in [0,1), got {gamma}"
+        );
+        Nesterov {
+            eta,
+            gamma,
+            y: None,
+        }
+    }
+}
+
+impl Optimizer for Nesterov {
+    fn name(&self) -> &'static str {
+        "NAG"
+    }
+
+    fn step<M: Model>(&mut self, model: &mut M, data: &Dataset, batch: &[usize]) -> f32 {
+        let (loss, g) = model.loss_and_grad(data, batch);
+        let x = model.params();
+        let y_prev = self.y.get_or_insert_with(|| x.clone()).clone();
+        // y_t = x_{t−1} − η∇F(x_{t−1});  x_t = y_t + γ(y_t − y_{t−1}).
+        let mut y_new = x.clone();
+        y_new.axpy(-self.eta, &g);
+        let mut x_new = y_new.clone();
+        x_new.axpy(self.gamma, &(&y_new - &y_prev));
+        self.y = Some(y_new);
+        model.set_params(&x_new);
+        loss
+    }
+}
+
+/// Trains a model for `steps` full-batch iterations; returns the loss
+/// trajectory (before each step).
+pub fn train_full_batch<M: Model, O: Optimizer>(
+    model: &mut M,
+    optimizer: &mut O,
+    data: &Dataset,
+    steps: usize,
+) -> Vec<f32> {
+    let all: Vec<usize> = (0..data.len()).collect();
+    (0..steps)
+        .map(|_| optimizer.step(model, data, &all))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use hieradmo_data::synthetic::linear_regression;
+
+    fn quadratic_problem() -> (hieradmo_data::Dataset, crate::Sequential) {
+        let tt = linear_regression(6, 2, 80, 10, 0.01, 3);
+        let model = zoo::linear_regression(&tt.train, 5);
+        (tt.train, model)
+    }
+
+    #[test]
+    fn all_three_optimizers_descend() {
+        let (data, model) = quadratic_problem();
+        for losses in [
+            train_full_batch(&mut model.clone(), &mut Sgd::new(0.05), &data, 60),
+            train_full_batch(&mut model.clone(), &mut Polyak::new(0.05, 0.5), &data, 60),
+            train_full_batch(&mut model.clone(), &mut Nesterov::new(0.05, 0.5), &data, 60),
+        ] {
+            assert!(
+                losses.last().unwrap() < &(losses[0] * 0.2),
+                "optimizer failed to descend: {} -> {}",
+                losses[0],
+                losses.last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_on_the_quadratic() {
+        // The paper's Section II claim: momentum converges faster than
+        // plain gradient descent at the same learning rate.
+        let (data, model) = quadratic_problem();
+        let steps = 40;
+        let sgd = train_full_batch(&mut model.clone(), &mut Sgd::new(0.03), &data, steps);
+        let polyak =
+            train_full_batch(&mut model.clone(), &mut Polyak::new(0.03, 0.7), &data, steps);
+        let nag =
+            train_full_batch(&mut model.clone(), &mut Nesterov::new(0.03, 0.7), &data, steps);
+        assert!(
+            polyak.last().unwrap() < sgd.last().unwrap(),
+            "Polyak {} should beat SGD {}",
+            polyak.last().unwrap(),
+            sgd.last().unwrap()
+        );
+        assert!(
+            nag.last().unwrap() < sgd.last().unwrap(),
+            "NAG {} should beat SGD {}",
+            nag.last().unwrap(),
+            sgd.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn polyak_momentum_state_follows_eq_1() {
+        // One manual step on a known gradient verifies Eq. (1) literally.
+        let (data, mut model) = quadratic_problem();
+        let all: Vec<usize> = (0..data.len()).collect();
+        let (_, g) = model.loss_and_grad(&data, &all);
+        let mut opt = Polyak::new(0.1, 0.9);
+        opt.step(&mut model, &data, &all);
+        let m = opt.momentum().unwrap();
+        // m_1 = γ·0 − η g = −0.1 g.
+        let expected = g.scaled(-0.1);
+        assert!(m.distance(&expected) < 1e-5);
+    }
+
+    #[test]
+    fn nag_with_zero_gamma_equals_sgd() {
+        let (data, model) = quadratic_problem();
+        let a = train_full_batch(&mut model.clone(), &mut Sgd::new(0.05), &data, 20);
+        let b = train_full_batch(
+            &mut model.clone(),
+            &mut Nesterov::new(0.05, 0.0),
+            &data,
+            20,
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "γ=0 NAG must equal SGD: {x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Serializable model specifications: a declarative, `serde`-friendly way
+//! to name an architecture so experiment configs and checkpoints can
+//! reconstruct the exact model (`ModelSpec` + dataset + seed ⇒ identical
+//! parameters).
+
+use serde::{Deserialize, Serialize};
+
+use hieradmo_data::Dataset;
+
+use crate::sequential::Sequential;
+use crate::zoo;
+
+/// A declarative model architecture, buildable against any compatible
+/// dataset.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_data::synthetic::SyntheticDataset;
+/// use hieradmo_models::spec::ModelSpec;
+/// use hieradmo_models::Model;
+///
+/// let ds = SyntheticDataset::mnist_like(2, 1, 0).train;
+/// let spec = ModelSpec::Cnn;
+/// let a = spec.build(&ds, 7);
+/// let b = spec.build(&ds, 7);
+/// assert_eq!(a.params(), b.params(), "same spec + seed = same model");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Linear regression (MSE head).
+    Linear,
+    /// Multinomial logistic regression.
+    Logistic,
+    /// Two-layer MLP with the given hidden width.
+    Mlp {
+        /// Hidden layer width.
+        hidden: usize,
+    },
+    /// LeNet-style CNN (paper's "classic CNN").
+    Cnn,
+    /// VGG-patterned network (scaled down).
+    Vgg,
+    /// ResNet-patterned network (scaled down).
+    Resnet,
+}
+
+impl ModelSpec {
+    /// All specs corresponding to the paper's five model families.
+    pub fn paper_lineup() -> [ModelSpec; 5] {
+        [
+            ModelSpec::Linear,
+            ModelSpec::Logistic,
+            ModelSpec::Cnn,
+            ModelSpec::Vgg,
+            ModelSpec::Resnet,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::Linear => "linear",
+            ModelSpec::Logistic => "logistic",
+            ModelSpec::Mlp { .. } => "mlp",
+            ModelSpec::Cnn => "cnn",
+            ModelSpec::Vgg => "vgg",
+            ModelSpec::Resnet => "resnet",
+        }
+    }
+
+    /// Whether this family needs image-shaped features.
+    pub fn needs_images(&self) -> bool {
+        matches!(self, ModelSpec::Cnn | ModelSpec::Vgg | ModelSpec::Resnet)
+    }
+
+    /// Builds the model for `data` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the corresponding
+    /// [`crate::zoo`] constructor (e.g. an image model on flat data).
+    pub fn build(&self, data: &Dataset, seed: u64) -> Sequential {
+        match *self {
+            ModelSpec::Linear => zoo::linear_regression(data, seed),
+            ModelSpec::Logistic => zoo::logistic_regression(data, seed),
+            ModelSpec::Mlp { hidden } => zoo::mlp(data, hidden, seed),
+            ModelSpec::Cnn => zoo::cnn(data, seed),
+            ModelSpec::Vgg => zoo::vgg_like(data, seed),
+            ModelSpec::Resnet => zoo::resnet_like(data, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+    use hieradmo_data::synthetic::SyntheticDataset;
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let ds = SyntheticDataset::mnist_like(2, 1, 3).train;
+        for spec in ModelSpec::paper_lineup() {
+            let a = spec.build(&ds, 11);
+            let b = spec.build(&ds, 11);
+            let c = spec.build(&ds, 12);
+            assert_eq!(a.params(), b.params(), "{}", spec.name());
+            assert_ne!(a.params(), c.params(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in [
+            ModelSpec::Linear,
+            ModelSpec::Mlp { hidden: 32 },
+            ModelSpec::Resnet,
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ModelSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn image_requirements_flagged() {
+        assert!(ModelSpec::Cnn.needs_images());
+        assert!(!ModelSpec::Logistic.needs_images());
+        assert!(!ModelSpec::Mlp { hidden: 8 }.needs_images());
+    }
+
+    #[test]
+    #[should_panic(expected = "image-shaped data")]
+    fn image_spec_on_flat_data_panics() {
+        let ds = SyntheticDataset::har_like(1, 1, 0).train;
+        let _ = ModelSpec::Vgg.build(&ds, 0);
+    }
+}

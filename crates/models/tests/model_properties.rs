@@ -1,0 +1,122 @@
+//! Property-based tests over randomized model architectures: the
+//! flat-parameter contract every federated algorithm depends on.
+
+use proptest::prelude::*;
+
+use hieradmo_data::synthetic::{generate, SyntheticSpec};
+use hieradmo_data::{Dataset, FeatureShape};
+use hieradmo_models::{zoo, Model, Sequential};
+use hieradmo_tensor::Vector;
+
+fn dataset(classes: usize, dim: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec {
+        num_classes: classes,
+        shape: FeatureShape::Flat(dim),
+        noise: 0.5,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    generate(&spec, 4, 1, seed).train
+}
+
+/// Builds one of the flat-input model families, chosen by `arch`.
+fn build(arch: u8, data: &Dataset, seed: u64) -> Sequential {
+    match arch % 3 {
+        0 => zoo::linear_regression(data, seed),
+        1 => zoo::logistic_regression(data, seed),
+        _ => zoo::mlp(data, 8, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// params → set_params is the identity for every architecture, and
+    /// set_params(params + δ) round-trips exactly.
+    #[test]
+    fn params_roundtrip(
+        arch in 0u8..3,
+        classes in 2usize..6,
+        dim in 2usize..12,
+        seed in 0u64..100,
+        delta in -2.0f32..2.0,
+    ) {
+        let data = dataset(classes, dim, seed);
+        let mut model = build(arch, &data, seed);
+        let p = model.params();
+        prop_assert_eq!(p.len(), model.dim());
+        let shifted = &p + &Vector::filled(p.len(), delta);
+        model.set_params(&shifted);
+        prop_assert_eq!(model.params(), shifted);
+    }
+
+    /// The gradient of a batch is the mean of per-sample gradients.
+    #[test]
+    fn batch_gradient_is_mean_of_samples(
+        arch in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let data = dataset(3, 6, seed);
+        let model = build(arch, &data, seed);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let (_, batch_grad) = model.loss_and_grad(&data, &idx);
+        let mut mean = Vector::zeros(model.dim());
+        for &i in &idx {
+            let (_, g) = model.loss_and_grad(&data, &[i]);
+            mean.axpy(1.0 / idx.len() as f32, &g);
+        }
+        let gap = batch_grad.distance(&mean);
+        prop_assert!(gap < 1e-3 * (1.0 + batch_grad.norm()),
+            "batch grad differs from per-sample mean by {gap}");
+    }
+
+    /// Model output is deterministic in the parameters.
+    #[test]
+    fn output_is_deterministic(
+        arch in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let data = dataset(3, 5, seed);
+        let model = build(arch, &data, seed);
+        let x = &data.sample(0).features;
+        prop_assert_eq!(model.output(x), model.output(x));
+    }
+
+    /// A gradient step along −g decreases the batch loss for a small
+    /// enough step (descent direction property).
+    #[test]
+    fn negative_gradient_is_a_descent_direction(
+        arch in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let data = dataset(3, 6, seed);
+        let mut model = build(arch, &data, seed);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let (loss0, g) = model.loss_and_grad(&data, &idx);
+        prop_assume!(g.norm() > 1e-4); // skip (near-)stationary draws
+        let mut p = model.params();
+        p.axpy(-1e-3 / g.norm(), &g);
+        model.set_params(&p);
+        let loss1 = model.loss(&data, &idx);
+        prop_assert!(loss1 <= loss0 + 1e-5,
+            "loss rose along −∇F: {loss0} -> {loss1}");
+    }
+
+    /// Evaluation accuracy is always a valid frequency.
+    #[test]
+    fn accuracy_is_a_frequency(
+        arch in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let data = dataset(4, 5, seed);
+        let model = build(arch, &data, seed);
+        let eval = model.evaluate(&data);
+        prop_assert!((0.0..=1.0).contains(&eval.accuracy));
+        prop_assert!(eval.loss.is_finite());
+        // Accuracy is a multiple of 1/n.
+        let n = data.len() as f64;
+        let scaled = eval.accuracy * n;
+        prop_assert!((scaled - scaled.round()).abs() < 1e-9);
+    }
+}

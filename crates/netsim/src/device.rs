@@ -1,0 +1,129 @@
+//! Device computation-delay profiles.
+//!
+//! Per-iteration compute delays are sampled from a lognormal distribution:
+//! compute times are positive, right-skewed (GC pauses, thermal
+//! throttling), and concentrate around a device-specific median — the same
+//! qualitative shape the paper's physical sampling produces.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A device's computation-delay model.
+///
+/// `median_ms` is the median time for the modeled unit of work (one local
+/// training iteration for workers, one aggregation for edge/cloud);
+/// `sigma` is the lognormal shape parameter (0 ⇒ deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Median per-unit computation time in milliseconds.
+    pub median_ms: f64,
+    /// Lognormal σ (dimensionless spread).
+    pub sigma: f64,
+}
+
+impl DeviceProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median_ms <= 0` or `sigma < 0`.
+    pub fn new(name: impl Into<String>, median_ms: f64, sigma: f64) -> Self {
+        let name = name.into();
+        assert!(median_ms > 0.0, "median_ms must be positive for {name}");
+        assert!(sigma >= 0.0, "sigma must be non-negative for {name}");
+        DeviceProfile {
+            name,
+            median_ms,
+            sigma,
+        }
+    }
+
+    /// The paper's worker testbed: one laptop + three Android phones.
+    /// Medians are one-CNN-iteration estimates scaled from the devices'
+    /// relative CPU performance (i3 M380 slowest, Dimensity 1200 fastest).
+    pub fn paper_workers() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::new("laptop-i3-m380", 120.0, 0.25),
+            DeviceProfile::new("nubia-z17s-sd835", 90.0, 0.30),
+            DeviceProfile::new("realme-gt-neo-d1200", 55.0, 0.30),
+            DeviceProfile::new("redmi-k30u-d1000plus", 65.0, 0.30),
+        ]
+    }
+
+    /// The paper's edge node (MacBook Pro 2018, i7-8750H): one edge
+    /// aggregation.
+    pub fn paper_edge() -> DeviceProfile {
+        DeviceProfile::new("macbook-pro-2018-i7", 6.0, 0.20)
+    }
+
+    /// The paper's cloud (GPU tower server): one cloud aggregation.
+    pub fn paper_cloud() -> DeviceProfile {
+        DeviceProfile::new("gpu-tower-server", 2.0, 0.15)
+    }
+
+    /// Samples one computation delay in milliseconds.
+    pub fn sample_ms(&self, rng: &mut StdRng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.median_ms;
+        }
+        // LogNormal(μ, σ) has median e^μ; pick μ = ln(median).
+        let dist = LogNormal::new(self.median_ms.ln(), self.sigma)
+            .expect("sigma validated at construction");
+        dist.sample(rng)
+    }
+
+    /// Samples one delay with an extra uniform ±5% system-noise factor
+    /// (models background load unrelated to the lognormal service time).
+    pub fn sample_noisy_ms(&self, rng: &mut StdRng) -> f64 {
+        self.sample_ms(rng) * rng.gen_range(0.95..1.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_when_sigma_zero() {
+        let d = DeviceProfile::new("fixed", 10.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.sample_ms(&mut rng), 10.0);
+        assert_eq!(d.sample_ms(&mut rng), 10.0);
+    }
+
+    #[test]
+    fn median_is_respected() {
+        let d = DeviceProfile::new("phone", 80.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples: Vec<f64> = (0..4001).map(|_| d.sample_ms(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 80.0).abs() < 8.0,
+            "sample median {median} too far from 80"
+        );
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn paper_testbed_has_four_workers_with_laptop_slowest() {
+        let ws = DeviceProfile::paper_workers();
+        assert_eq!(ws.len(), 4);
+        let laptop = &ws[0];
+        assert!(ws[1..].iter().all(|d| d.median_ms < laptop.median_ms));
+        // Edge and cloud aggregations are much cheaper than an iteration.
+        assert!(DeviceProfile::paper_edge().median_ms < 10.0);
+        assert!(DeviceProfile::paper_cloud().median_ms < DeviceProfile::paper_edge().median_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "median_ms must be positive")]
+    fn rejects_zero_median() {
+        let _ = DeviceProfile::new("bad", 0.0, 0.1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Trace-driven network/computation delay simulator — the substrate for
+//! the paper's Fig. 2(h)/(l) "total training time" experiment.
+//!
+//! The paper samples per-iteration computation delays on four physical
+//! devices (an i3 laptop and three Android phones), edge delays on a
+//! MacBook Pro, cloud delays on a GPU server, and communication delays over
+//! 5 GHz WiFi / 1 Gbps Ethernet / two ISPs' WAN; it then *replays* the
+//! training trace against those samples. Without the physical testbed we do
+//! the same thing with stochastic device/link models whose medians come
+//! from the public specs of those devices (DESIGN.md §4): the crucial
+//! structural property — LAN round-trips are cheap, WAN round-trips are
+//! expensive, so three-tier architectures win on wall-clock — is what the
+//! link model encodes.
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_netsim::{Architecture, NetworkEnv, TraceConfig, simulate_timeline};
+//! use hieradmo_topology::{Hierarchy, Schedule};
+//!
+//! let hierarchy = Hierarchy::balanced(2, 2);
+//! let schedule = Schedule::three_tier(10, 2, 100)?;
+//! let env = NetworkEnv::paper_testbed(hierarchy.num_workers());
+//! let cfg = TraceConfig::new(schedule, hierarchy, Architecture::ThreeTier, 50_000, 1);
+//! let timeline = simulate_timeline(&env, &cfg);
+//! assert!(timeline.time_at(100) > timeline.time_at(50));
+//! # Ok::<(), hieradmo_topology::ScheduleError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod link;
+pub mod payload;
+pub mod proto;
+pub mod timeline;
+
+pub use device::DeviceProfile;
+pub use link::LinkProfile;
+pub use timeline::{simulate_timeline, Architecture, NetworkEnv, TimeBreakdown, Timeline, TraceConfig};

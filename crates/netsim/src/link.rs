@@ -1,0 +1,160 @@
+//! Network-link delay profiles.
+//!
+//! One transfer's delay = propagation (RTT/2 with jitter) + serialization
+//! (`bytes / bandwidth`). The paper's testbed has three links: 5 GHz WiFi
+//! (worker ↔ router), 1 Gbps Ethernet (router ↔ edge node), and the public
+//! Internet via two ISPs (edge/worker ↔ cloud). Two-tier architectures pay
+//! the WAN price on *every* worker round-trip; three-tier ones only every
+//! `π`-th aggregation — exactly the asymmetry Fig. 1 illustrates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A network link's delay model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Human-readable link name.
+    pub name: String,
+    /// Usable bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way base latency in milliseconds.
+    pub latency_ms: f64,
+    /// Multiplicative jitter range: each transfer's latency is scaled by a
+    /// uniform factor in `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl LinkProfile {
+    /// Creates a link profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth or latency are non-positive, or jitter is
+    /// negative.
+    pub fn new(name: impl Into<String>, bandwidth_mbps: f64, latency_ms: f64, jitter: f64) -> Self {
+        let name = name.into();
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive for {name}");
+        assert!(latency_ms > 0.0, "latency must be positive for {name}");
+        assert!(jitter >= 0.0, "jitter must be non-negative for {name}");
+        LinkProfile {
+            name,
+            bandwidth_mbps,
+            latency_ms,
+            jitter,
+        }
+    }
+
+    /// 5 GHz home-router WiFi (HUAWEI Honor X2-class): ~400 Mbps usable,
+    /// 3 ms one-way.
+    pub fn wifi_5ghz() -> Self {
+        LinkProfile::new("wifi-5ghz", 400.0, 3.0, 0.5)
+    }
+
+    /// 1 Gbps wired Ethernet (router ↔ edge node).
+    pub fn ethernet_1gbps() -> Self {
+        LinkProfile::new("ethernet-1gbps", 1000.0, 1.0, 0.1)
+    }
+
+    /// Public Internet across two ISPs' access networks: ~50 Mbps,
+    /// 25 ms one-way, heavy jitter.
+    pub fn wan_public_internet() -> Self {
+        LinkProfile::new("wan-public-internet", 50.0, 25.0, 1.0)
+    }
+
+    /// Samples the delay (ms) of transferring `bytes` over this link with
+    /// the link to itself (a single flow).
+    pub fn sample_transfer_ms(&self, bytes: u64, rng: &mut StdRng) -> f64 {
+        self.sample_shared_transfer_ms(bytes, 1, rng)
+    }
+
+    /// Samples the delay (ms) of one of `flows` *concurrent* transfers of
+    /// `bytes` sharing this link's bandwidth fairly.
+    ///
+    /// This is the mechanism behind the paper's Fig. 1: in a two-tier
+    /// architecture every worker's model crosses the WAN simultaneously
+    /// (`flows = N`), while a three-tier one only sends `flows = L < N`
+    /// edge aggregates — so the WAN serialization cost scales down by the
+    /// fan-in of the edge tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows == 0`.
+    pub fn sample_shared_transfer_ms(&self, bytes: u64, flows: usize, rng: &mut StdRng) -> f64 {
+        assert!(flows > 0, "at least one flow required");
+        let latency = self.latency_ms * rng.gen_range(1.0..=1.0 + self.jitter.max(f64::EPSILON));
+        let serialization =
+            (bytes as f64 * 8.0 * flows as f64) / (self.bandwidth_mbps * 1000.0); // ms
+        latency + serialization
+    }
+
+    /// A composite link: traverse `self` then `next` (e.g. WiFi → WAN for
+    /// a two-tier worker-to-cloud path). Bandwidth is the bottleneck;
+    /// latency adds; jitter takes the max.
+    pub fn chain(&self, next: &LinkProfile) -> LinkProfile {
+        LinkProfile {
+            name: format!("{}+{}", self.name, next.name),
+            bandwidth_mbps: self.bandwidth_mbps.min(next.bandwidth_mbps),
+            latency_ms: self.latency_ms + next.latency_ms,
+            jitter: self.jitter.max(next.jitter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serialization_time_scales_with_bytes() {
+        let link = LinkProfile::new("test", 100.0, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = link.sample_transfer_ms(1_000, &mut rng);
+        let big = link.sample_transfer_ms(10_000_000, &mut rng);
+        // 10 MB at 100 Mbps = 800 ms of serialization alone.
+        assert!(big > small + 700.0, "big transfer {big} vs small {small}");
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan_for_model_payloads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload = 220_000; // a ~55k-parameter f32 model
+        let wifi: f64 = (0..200)
+            .map(|_| LinkProfile::wifi_5ghz().sample_transfer_ms(payload, &mut rng))
+            .sum::<f64>()
+            / 200.0;
+        let wan: f64 = (0..200)
+            .map(|_| LinkProfile::wan_public_internet().sample_transfer_ms(payload, &mut rng))
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            wan > 3.0 * wifi,
+            "WAN ({wan} ms) must dominate WiFi ({wifi} ms)"
+        );
+    }
+
+    #[test]
+    fn chain_compounds_latency_and_bottlenecks_bandwidth() {
+        let c = LinkProfile::wifi_5ghz().chain(&LinkProfile::wan_public_internet());
+        assert_eq!(c.bandwidth_mbps, 50.0);
+        assert_eq!(c.latency_ms, 28.0);
+        assert_eq!(c.jitter, 1.0);
+        assert!(c.name.contains("wifi") && c.name.contains("wan"));
+    }
+
+    #[test]
+    fn jitter_zero_is_deterministic_latency() {
+        let link = LinkProfile::new("det", 1000.0, 5.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = link.sample_transfer_ms(0, &mut rng);
+        let b = link.sample_transfer_ms(0, &mut rng);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = LinkProfile::new("bad", 0.0, 1.0, 0.0);
+    }
+}

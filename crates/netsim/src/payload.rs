@@ -1,0 +1,74 @@
+//! Wire-size accounting for federated payloads.
+//!
+//! Serializes model/momentum vectors the way a real transport would (f32
+//! little-endian frames with a small header) so link delays are computed
+//! from honest byte counts rather than guesses.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Header bytes per framed vector: message tag (u32) + element count (u64).
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Serializes one `f32` vector into a length-prefixed wire frame.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_netsim::payload::{encode_vector, FRAME_HEADER_BYTES};
+///
+/// let frame = encode_vector(7, &[1.0, 2.0, 3.0]);
+/// assert_eq!(frame.len(), FRAME_HEADER_BYTES + 12);
+/// ```
+pub fn encode_vector(tag: u32, values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + values.len() * 4);
+    buf.put_u32_le(tag);
+    buf.put_u64_le(values.len() as u64);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Wire size in bytes of a federated upload/download consisting of
+/// `num_vectors` framed vectors of `dim` parameters each.
+///
+/// Algorithm payloads (per Algorithm 1 line 9 and the baselines):
+///
+/// | Algorithm        | Worker→agg vectors | Agg→worker vectors |
+/// |------------------|--------------------|--------------------|
+/// | FedAvg/HierFAVG  | 1 (`x`)            | 1 (`x`)            |
+/// | FedNAG/FedADC    | 2 (`x`, momentum)  | 2                  |
+/// | HierAdMo         | 4 (`y`, `x`, `Σ∇F`, `Σy`) | 2 (`y_{ℓ−}`, `x_{ℓ+}`) |
+pub fn payload_bytes(dim: usize, num_vectors: usize) -> u64 {
+    (num_vectors * (FRAME_HEADER_BYTES + dim * 4)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_is_exact() {
+        let frame = encode_vector(0xABCD, &[1.5, -2.0]);
+        assert_eq!(frame.len(), 12 + 8);
+        assert_eq!(&frame[0..4], &0xABCDu32.to_le_bytes());
+        assert_eq!(&frame[4..12], &2u64.to_le_bytes());
+        assert_eq!(&frame[12..16], &1.5f32.to_le_bytes());
+        assert_eq!(&frame[16..20], &(-2.0f32).to_le_bytes());
+    }
+
+    #[test]
+    fn payload_bytes_matches_encoded_size() {
+        let dim = 1000;
+        let frame = encode_vector(1, &vec![0.0f32; dim]);
+        assert_eq!(payload_bytes(dim, 1), frame.len() as u64);
+        assert_eq!(payload_bytes(dim, 4), 4 * frame.len() as u64);
+    }
+
+    #[test]
+    fn hieradmo_uploads_more_than_fedavg() {
+        // The richer HierAdMo payload must cost more bytes — the netsim
+        // timeline charges it honestly.
+        assert!(payload_bytes(50_000, 4) > payload_bytes(50_000, 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the delay simulator: structural invariants
+//! that must hold for any topology, schedule, payload and seed.
+
+use proptest::prelude::*;
+
+use hieradmo_netsim::{simulate_timeline, Architecture, NetworkEnv, TraceConfig};
+use hieradmo_topology::{Hierarchy, Schedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cumulative time is strictly increasing and deterministic per seed,
+    /// for any valid configuration.
+    #[test]
+    fn timeline_monotone_and_deterministic(
+        edges in 1usize..4,
+        per_edge in 1usize..4,
+        tau in 1usize..6,
+        pi in 1usize..4,
+        rounds in 1usize..4,
+        payload in 1u64..1_000_000,
+        seed in 0u64..1000,
+        two_tier in any::<bool>(),
+    ) {
+        let workers = edges * per_edge;
+        let total = tau * pi * rounds;
+        let (hierarchy, schedule, arch) = if two_tier {
+            (
+                Hierarchy::two_tier(workers),
+                Schedule::two_tier(tau * pi, total).unwrap(),
+                Architecture::TwoTier,
+            )
+        } else {
+            (
+                Hierarchy::balanced(edges, per_edge),
+                Schedule::three_tier(tau, pi, total).unwrap(),
+                Architecture::ThreeTier,
+            )
+        };
+        let env = NetworkEnv::paper_testbed(workers);
+        let cfg = TraceConfig::new(schedule, hierarchy, arch, payload, seed);
+        let a = simulate_timeline(&env, &cfg);
+        let b = simulate_timeline(&env, &cfg);
+        prop_assert_eq!(&a, &b, "same seed must replay identically");
+        let mut prev = 0.0;
+        for t in 1..=total {
+            let now = a.time_at(t);
+            prop_assert!(now > prev, "non-monotone at t={t}");
+            prev = now;
+        }
+        prop_assert!((a.total_seconds() - prev).abs() < 1e-9);
+    }
+
+    /// Aggregation ticks cost strictly more than plain compute ticks when
+    /// the payload is big enough that serialization dominates compute
+    /// jitter (for tiny payloads the lognormal compute noise can mask the
+    /// few-ms LAN cost, so the property is quantified over ≥ 5 MB).
+    #[test]
+    fn aggregation_ticks_cost_extra(
+        tau in 2usize..6,
+        payload in 5_000_000u64..50_000_000,
+        seed in 0u64..1000,
+    ) {
+        let total = tau * 2;
+        let env = NetworkEnv::paper_testbed(4);
+        let cfg = TraceConfig::new(
+            Schedule::three_tier(tau, 2, total).unwrap(),
+            Hierarchy::balanced(2, 2),
+            Architecture::ThreeTier,
+            payload,
+            seed,
+        );
+        let tl = simulate_timeline(&env, &cfg);
+        // Mean duration of the aggregation tick vs the mean plain tick.
+        let agg_tick = tl.time_at(tau) - tl.time_at(tau - 1);
+        let plain_tick = tl.time_at(tau - 1) / (tau - 1) as f64;
+        prop_assert!(
+            agg_tick > plain_tick,
+            "aggregation tick ({agg_tick}s) should exceed plain tick ({plain_tick}s)"
+        );
+    }
+
+    /// Larger payloads never make the run faster.
+    #[test]
+    fn payload_monotonicity(
+        small in 1_000u64..100_000,
+        factor in 2u64..50,
+        seed in 0u64..1000,
+    ) {
+        let env = NetworkEnv::paper_testbed(4);
+        let mk = |payload| {
+            TraceConfig::new(
+                Schedule::three_tier(5, 2, 20).unwrap(),
+                Hierarchy::balanced(2, 2),
+                Architecture::ThreeTier,
+                payload,
+                seed,
+            )
+        };
+        let t_small = simulate_timeline(&env, &mk(small)).total_seconds();
+        let t_big = simulate_timeline(&env, &mk(small * factor)).total_seconds();
+        prop_assert!(t_big >= t_small,
+            "bigger payload ran faster: {t_big} < {t_small}");
+    }
+}

@@ -1,0 +1,489 @@
+//! Convolution and pooling with analytic gradients.
+//!
+//! These are deliberately straightforward (loop-nest) implementations:
+//! correctness and exact gradients matter more than peak throughput for the
+//! scaled-down models in this reproduction, and the Criterion benches in
+//! `hieradmo-bench` track their cost explicitly.
+//!
+//! Weight layout for convolutions is `(out_channels, in_channels, kh, kw)`
+//! stored in a [`Tensor4`]. All convolutions use stride 1 with configurable
+//! symmetric zero padding; spatial down-sampling is done by 2×2 max pooling,
+//! which is how the scaled-down VGG/ResNet-style models in
+//! `hieradmo-models` reduce resolution.
+
+use crate::Tensor4;
+
+/// Output of [`max_pool2x2_forward`]: the pooled tensor plus the flat index
+/// (into the input storage) of each selected maximum, needed for the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct PoolResult {
+    /// Pooled output, shape `(n, c, h/2, w/2)`.
+    pub output: Tensor4,
+    /// For each output element (in NCHW order), the flat input index of the
+    /// maximum that produced it.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D convolution forward pass with stride 1 and symmetric zero padding.
+///
+/// `input` has shape `(n, c_in, h, w)`; `weight` has shape
+/// `(c_out, c_in, kh, kw)`; `bias` has length `c_out`. The output has shape
+/// `(n, c_out, h + 2*pad - kh + 1, w + 2*pad - kw + 1)`.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree, if `bias.len() != c_out`, or if the
+/// kernel is larger than the padded input.
+pub fn conv2d_forward(input: &Tensor4, weight: &Tensor4, bias: &[f32], pad: usize) -> Tensor4 {
+    let (n, c_in, h, w) = input.shape();
+    let (c_out, wc_in, kh, kw) = weight.shape();
+    assert_eq!(c_in, wc_in, "conv2d channel mismatch: {c_in} vs {wc_in}");
+    assert_eq!(bias.len(), c_out, "conv2d bias length mismatch");
+    let oh = (h + 2 * pad)
+        .checked_sub(kh - 1)
+        .expect("conv2d kernel taller than padded input");
+    let ow = (w + 2 * pad)
+        .checked_sub(kw - 1)
+        .expect("conv2d kernel wider than padded input");
+
+    let mut out = Tensor4::zeros(n, c_out, oh, ow);
+    for b in 0..n {
+        for (oc, &bias_v) in bias.iter().enumerate() {
+            {
+                let out_plane = out.plane_mut(b, oc);
+                out_plane.iter_mut().for_each(|v| *v = bias_v);
+            }
+            for ic in 0..c_in {
+                let in_plane = input.plane(b, ic).to_vec();
+                let w_plane = weight.plane(oc, ic).to_vec();
+                let out_plane = out.plane_mut(b, oc);
+                for ky in 0..kh {
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        let in_row = &in_plane[(iy - pad) * w..(iy - pad) * w + w];
+                        let out_row = &mut out_plane[oy * ow..oy * ow + ow];
+                        for kx in 0..kw {
+                            let wv = w_plane[ky * kw + kx];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let (ox_start, ox_end, ix_start) = row_ranges(pad, kx, w, ow);
+                            if ox_start >= ox_end {
+                                continue;
+                            }
+                            let len = ox_end - ox_start;
+                            for (o, &i) in out_row[ox_start..ox_end]
+                                .iter_mut()
+                                .zip(&in_row[ix_start..ix_start + len])
+                            {
+                                *o += wv * i;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Valid output-column range `[ox_start, ox_end)` and the matching input
+/// start column for a given kernel column `kx`: `ix = ox + kx − pad` must
+/// lie in `[0, w)` and `ox` in `[0, ow)`.
+#[inline]
+fn row_ranges(pad: usize, kx: usize, w: usize, ow: usize) -> (usize, usize, usize) {
+    let ox_start = pad.saturating_sub(kx);
+    let ox_end = (w + pad).saturating_sub(kx).min(ow);
+    // ox_start ≥ pad − kx ensures ox_start + kx − pad ≥ 0.
+    let ix_start = ox_start + kx - pad;
+    (ox_start, ox_end, ix_start)
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the forward inputs and the upstream gradient `grad_out`, returns
+/// `(grad_input, grad_weight, grad_bias)` with the same shapes as `input`,
+/// `weight` and `bias` respectively.
+///
+/// # Panics
+///
+/// Panics if `grad_out`'s shape does not match the forward output shape for
+/// these arguments.
+pub fn conv2d_backward(
+    input: &Tensor4,
+    weight: &Tensor4,
+    pad: usize,
+    grad_out: &Tensor4,
+) -> (Tensor4, Tensor4, Vec<f32>) {
+    let (n, c_in, h, w) = input.shape();
+    let (c_out, _, kh, kw) = weight.shape();
+    let (gn, gc, oh, ow) = grad_out.shape();
+    assert_eq!((gn, gc), (n, c_out), "conv2d_backward batch/channel mismatch");
+    assert_eq!(
+        (oh, ow),
+        (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1),
+        "conv2d_backward spatial shape mismatch"
+    );
+
+    let mut grad_input = Tensor4::zeros(n, c_in, h, w);
+    let mut grad_weight = Tensor4::zeros(c_out, c_in, kh, kw);
+    let mut grad_bias = vec![0.0f32; c_out];
+
+    for b in 0..n {
+        for (oc, gb) in grad_bias.iter_mut().enumerate() {
+            let go_plane = grad_out.plane(b, oc).to_vec();
+            *gb += go_plane.iter().sum::<f32>();
+            for ic in 0..c_in {
+                let in_plane = input.plane(b, ic).to_vec();
+                let w_plane = weight.plane(oc, ic).to_vec();
+                let gi_plane = grad_input.plane_mut(b, ic);
+                let mut gw_local = vec![0.0f32; kh * kw];
+                for ky in 0..kh {
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        let row = (iy - pad) * w;
+                        let go_row = &go_plane[oy * ow..oy * ow + ow];
+                        for kx in 0..kw {
+                            let (ox_start, ox_end, ix_start) = row_ranges(pad, kx, w, ow);
+                            if ox_start >= ox_end {
+                                continue;
+                            }
+                            let len = ox_end - ox_start;
+                            let go_seg = &go_row[ox_start..ox_end];
+                            // grad_input[iy][ix] += g · w.
+                            let wv = w_plane[ky * kw + kx];
+                            if wv != 0.0 {
+                                let gi_seg =
+                                    &mut gi_plane[row + ix_start..row + ix_start + len];
+                                for (gi, &g) in gi_seg.iter_mut().zip(go_seg) {
+                                    *gi += wv * g;
+                                }
+                            }
+                            // grad_weight[ky][kx] += ⟨g_row, in_row⟩.
+                            let in_seg = &in_plane[row + ix_start..row + ix_start + len];
+                            gw_local[ky * kw + kx] += go_seg
+                                .iter()
+                                .zip(in_seg)
+                                .map(|(&g, &i)| g * i)
+                                .sum::<f32>();
+                        }
+                    }
+                }
+                let gw_plane = grad_weight.plane_mut(oc, ic);
+                for (dst, src) in gw_plane.iter_mut().zip(&gw_local) {
+                    *dst += src;
+                }
+            }
+        }
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// 2×2 max pooling with stride 2.
+///
+/// Odd trailing rows/columns are dropped (floor division), matching the
+/// common deep-learning convention.
+///
+/// # Panics
+///
+/// Panics if the input is smaller than 2×2 spatially.
+pub fn max_pool2x2_forward(input: &Tensor4) -> PoolResult {
+    let (n, c, h, w) = input.shape();
+    assert!(h >= 2 && w >= 2, "max_pool2x2 needs at least 2x2 input");
+    let oh = h / 2;
+    let ow = w / 2;
+    let mut output = Tensor4::zeros(n, c, oh, ow);
+    let mut argmax = Vec::with_capacity(n * c * oh * ow);
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = input.plane(b, ch);
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = (2 * oy) * w + 2 * ox;
+                    let mut best = plane[best_idx];
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (2 * oy + dy) * w + (2 * ox + dx);
+                            if plane[idx] > best {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    *output.at_mut(b, ch, oy, ox) = best;
+                    argmax.push(base + best_idx);
+                }
+            }
+        }
+    }
+    PoolResult { output, argmax }
+}
+
+/// Backward pass of [`max_pool2x2_forward`]: routes each upstream gradient
+/// to the input position that won the max.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn max_pool2x2_backward(
+    input_shape: (usize, usize, usize, usize),
+    argmax: &[usize],
+    grad_out: &Tensor4,
+) -> Tensor4 {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "max_pool2x2_backward argmax/gradient length mismatch"
+    );
+    let (n, c, h, w) = input_shape;
+    let mut grad_input = Tensor4::zeros(n, c, h, w);
+    let gi = grad_input.as_mut_slice();
+    for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
+        gi[idx] += g;
+    }
+    grad_input
+}
+
+/// Global average pooling: reduces each `(n, c)` plane to its mean,
+/// producing a `(n, c, 1, 1)` tensor. Used by the ResNet-style head.
+pub fn global_avg_pool_forward(input: &Tensor4) -> Tensor4 {
+    let (n, c, h, w) = input.shape();
+    let mut out = Tensor4::zeros(n, c, 1, 1);
+    let scale = 1.0 / (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let mean: f32 = input.plane(b, ch).iter().sum::<f32>() * scale;
+            *out.at_mut(b, ch, 0, 0) = mean;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`global_avg_pool_forward`]: spreads each upstream
+/// gradient uniformly over the plane.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `(n, c, 1, 1)` for the given input shape.
+pub fn global_avg_pool_backward(
+    input_shape: (usize, usize, usize, usize),
+    grad_out: &Tensor4,
+) -> Tensor4 {
+    let (n, c, h, w) = input_shape;
+    assert_eq!(grad_out.shape(), (n, c, 1, 1), "global_avg_pool_backward shape");
+    let mut grad_input = Tensor4::zeros(n, c, h, w);
+    let scale = 1.0 / (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let g = grad_out.at(b, ch, 0, 0) * scale;
+            for v in grad_input.plane_mut(b, ch) {
+                *v = g;
+            }
+        }
+    }
+    grad_input
+}
+
+/// im2col-based convolution forward pass: identical semantics to
+/// [`conv2d_forward`], implemented as one matrix product per batch element
+/// (`weight-as-matrix · column-matrix`). Better cache behaviour for wide
+/// layers; the `conv_forward` Criterion bench compares the two.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`conv2d_forward`].
+pub fn conv2d_forward_im2col(
+    input: &Tensor4,
+    weight: &Tensor4,
+    bias: &[f32],
+    pad: usize,
+) -> Tensor4 {
+    let (n, c_in, h, w) = input.shape();
+    let (c_out, wc_in, kh, kw) = weight.shape();
+    assert_eq!(c_in, wc_in, "conv2d channel mismatch: {c_in} vs {wc_in}");
+    assert_eq!(bias.len(), c_out, "conv2d bias length mismatch");
+    let oh = (h + 2 * pad)
+        .checked_sub(kh - 1)
+        .expect("conv2d kernel taller than padded input");
+    let ow = (w + 2 * pad)
+        .checked_sub(kw - 1)
+        .expect("conv2d kernel wider than padded input");
+
+    let patch = c_in * kh * kw;
+    let weight_mat = crate::Matrix::from_rows(c_out, patch, weight.as_slice().to_vec());
+    let mut out = Tensor4::zeros(n, c_out, oh, ow);
+
+    for b in 0..n {
+        // Columns matrix: (patch, oh*ow), built column-major by output
+        // position so the product rows land contiguously.
+        let mut cols = crate::Matrix::zeros(patch, oh * ow);
+        for ic in 0..c_in {
+            let plane = input.plane(b, ic);
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = (ic * kh + ky) * kw + kx;
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        let iy = iy - pad;
+                        for ox in 0..ow {
+                            let ix = ox + kx;
+                            if ix < pad || ix - pad >= w {
+                                continue;
+                            }
+                            *cols.at_mut(row, oy * ow + ox) = plane[iy * w + (ix - pad)];
+                        }
+                    }
+                }
+            }
+        }
+        let prod = weight_mat.matmul(&cols); // (c_out, oh*ow)
+        for (oc, &bias_v) in bias.iter().enumerate() {
+            let dst = out.plane_mut(b, oc);
+            let src = &prod.as_slice()[oc * oh * ow..(oc + 1) * oh * ow];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + bias_v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1×1 input, 1×1 kernel: convolution degenerates to scalar affine.
+    #[test]
+    fn conv_scalar_case() {
+        let input = Tensor4::from_data(1, 1, 1, 1, vec![3.0]);
+        let weight = Tensor4::from_data(1, 1, 1, 1, vec![2.0]);
+        let out = conv2d_forward(&input, &weight, &[1.0], 0);
+        assert_eq!(out.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_with_same_padding() {
+        // 3x3 kernel with a single 1 in the centre and pad=1 is identity.
+        let input = Tensor4::from_data(1, 1, 3, 3, (1..=9).map(|i| i as f32).collect());
+        let mut kernel = vec![0.0; 9];
+        kernel[4] = 1.0;
+        let weight = Tensor4::from_data(1, 1, 3, 3, kernel);
+        let out = conv2d_forward(&input, &weight, &[0.0], 1);
+        assert_eq!(out.shape(), input.shape());
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv_valid_shrinks_output() {
+        let input = Tensor4::zeros(2, 3, 8, 8);
+        let weight = Tensor4::zeros(4, 3, 3, 3);
+        let out = conv2d_forward(&input, &weight, &[0.0; 4], 0);
+        assert_eq!(out.shape(), (2, 4, 6, 6));
+    }
+
+    /// Numerical gradient check of the conv backward pass.
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let input = Tensor4::from_data(1, 2, 4, 4, (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let weight = Tensor4::from_data(2, 2, 3, 3, (0..36).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let bias = vec![0.1, -0.2];
+        let pad = 1;
+
+        // Loss = sum of outputs, so upstream gradient is all ones.
+        let out = conv2d_forward(&input, &weight, &bias, pad);
+        let ones = Tensor4::from_data(
+            out.n(),
+            out.c(),
+            out.h(),
+            out.w(),
+            vec![1.0; out.len()],
+        );
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, pad, &ones);
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor4, w: &Tensor4, b: &[f32]| -> f32 {
+            conv2d_forward(inp, w, b, pad).as_slice().iter().sum()
+        };
+
+        // Spot-check a few input positions.
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            assert!(
+                (gi.as_slice()[idx] - fd).abs() < 1e-2,
+                "input grad {idx}: {} vs fd {}",
+                gi.as_slice()[idx],
+                fd
+            );
+        }
+        // Spot-check weights.
+        for &idx in &[0usize, 9, 20, 35] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!(
+                (gw.as_slice()[idx] - fd).abs() < 1e-1,
+                "weight grad {idx}: {} vs fd {}",
+                gw.as_slice()[idx],
+                fd
+            );
+        }
+        // Bias gradient is the number of output positions per channel.
+        let per_channel = (out.h() * out.w()) as f32;
+        assert!((gb[0] - per_channel).abs() < 1e-3);
+        assert!((gb[1] - per_channel).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_pool_selects_maximum_and_routes_gradient() {
+        let input = Tensor4::from_data(
+            1,
+            1,
+            2,
+            4,
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
+        );
+        let res = max_pool2x2_forward(&input);
+        assert_eq!(res.output.shape(), (1, 1, 1, 2));
+        assert_eq!(res.output.as_slice(), &[5.0, 9.0]);
+
+        let go = Tensor4::from_data(1, 1, 1, 2, vec![10.0, 20.0]);
+        let gi = max_pool2x2_backward(input.shape(), &res.argmax, &go);
+        assert_eq!(gi.as_slice(), &[0.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn max_pool_drops_odd_edges() {
+        let input = Tensor4::zeros(1, 1, 5, 5);
+        let res = max_pool2x2_forward(&input);
+        assert_eq!(res.output.shape(), (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let input = Tensor4::from_data(1, 2, 2, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let out = global_avg_pool_forward(&input);
+        assert_eq!(out.as_slice(), &[2.5, 10.0]);
+        let go = Tensor4::from_data(1, 2, 1, 1, vec![4.0, 8.0]);
+        let gi = global_avg_pool_backward(input.shape(), &go);
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Parameter initializers.
+//!
+//! All initializers take a caller-supplied [`rand::Rng`] so that every
+//! federated worker, model and experiment is reproducible from an explicit
+//! seed — a hard requirement for the paper's "same initial model on every
+//! worker" setup (Algorithm 1, line 1).
+
+use rand::Rng;
+
+use crate::{Matrix, Tensor4, Vector};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to linear/sigmoid layers.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, len: usize) -> Vector {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..len).map(|_| rng.gen_range(-a..=a)).collect()
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`. Suited to ReLU layers.
+pub fn he_uniform<R: Rng>(rng: &mut R, fan_in: usize, len: usize) -> Vector {
+    let a = (6.0 / fan_in as f32).sqrt();
+    (0..len).map(|_| rng.gen_range(-a..=a)).collect()
+}
+
+/// Xavier-initialized fully-connected weight matrix of shape
+/// `(fan_out, fan_in)`.
+pub fn xavier_matrix<R: Rng>(rng: &mut R, fan_out: usize, fan_in: usize) -> Matrix {
+    Matrix::from_rows(
+        fan_out,
+        fan_in,
+        xavier_uniform(rng, fan_in, fan_out, fan_out * fan_in).into_inner(),
+    )
+}
+
+/// He-initialized fully-connected weight matrix of shape `(fan_out, fan_in)`.
+pub fn he_matrix<R: Rng>(rng: &mut R, fan_out: usize, fan_in: usize) -> Matrix {
+    Matrix::from_rows(
+        fan_out,
+        fan_in,
+        he_uniform(rng, fan_in, fan_out * fan_in).into_inner(),
+    )
+}
+
+/// He-initialized convolution kernel of shape `(c_out, c_in, kh, kw)`.
+/// `fan_in = c_in * kh * kw`.
+pub fn he_conv<R: Rng>(rng: &mut R, c_out: usize, c_in: usize, kh: usize, kw: usize) -> Tensor4 {
+    let fan_in = c_in * kh * kw;
+    Tensor4::from_data(
+        c_out,
+        c_in,
+        kh,
+        kw,
+        he_uniform(rng, fan_in, c_out * c_in * kh * kw).into_inner(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_stays_in_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let v = xavier_uniform(&mut rng, 100, 100, 1000);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(v.iter().all(|&x| x.abs() <= a));
+        assert!(v.max_abs() > 0.0, "should not be all zeros");
+    }
+
+    #[test]
+    fn he_stays_in_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let v = he_uniform(&mut rng, 64, 500);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(v.iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn same_seed_same_init() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let a = xavier_matrix(&mut r1, 4, 3);
+        let b = xavier_matrix(&mut r2, 4, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shapes_are_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = he_matrix(&mut rng, 5, 7);
+        assert_eq!((m.rows(), m.cols()), (5, 7));
+        let k = he_conv(&mut rng, 8, 3, 5, 5);
+        assert_eq!(k.shape(), (8, 3, 5, 5));
+    }
+}

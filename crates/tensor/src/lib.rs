@@ -1,0 +1,44 @@
+//! Dense tensor and linear-algebra substrate for the HierAdMo reproduction.
+//!
+//! This crate provides everything the model zoo (`hieradmo-models`) and the
+//! federated-learning algorithms (`hieradmo-core`) need to train real
+//! models without any external ML framework:
+//!
+//! - [`Vector`] — a 1-D `f32` vector with the arithmetic used by momentum
+//!   methods (axpy, dot, norms, cosine similarity). Federated algorithms see
+//!   models *only* through flat parameter vectors of this type.
+//! - [`Matrix`] — row-major 2-D matrix with matmul / matvec / transposed
+//!   products, used by fully-connected layers.
+//! - [`Tensor4`] — NCHW 4-D tensor used by convolutional layers.
+//! - [`conv`] — convolution and pooling forward/backward passes with
+//!   analytic gradients.
+//! - [`ops`] — activations and losses (ReLU, softmax, cross-entropy, MSE)
+//!   together with their derivatives.
+//! - [`init`] — Xavier/He initializers driven by a caller-supplied RNG so
+//!   every experiment is reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_tensor::Vector;
+//!
+//! let g = Vector::from(vec![1.0, 0.0]);
+//! let mut m = Vector::zeros(2);
+//! // One Polyak momentum step: m <- 0.9 m - 0.1 g
+//! m.scale_in_place(0.9);
+//! m.axpy(-0.1, &g);
+//! assert_eq!(m.as_slice(), &[-0.1, 0.0]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod conv;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod tensor4;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use tensor4::Tensor4;
+pub use vector::Vector;

@@ -1,0 +1,273 @@
+//! Row-major 2-D matrices used by fully-connected layers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vector;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Used by the model zoo for fully-connected layers: forward passes are
+/// `W·x + b` ([`Matrix::matvec`]) and backward passes need the transposed
+/// product ([`Matrix::matvec_transposed`]) and outer-product gradient
+/// accumulation ([`Matrix::add_outer`]).
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_tensor::{Matrix, Vector};
+///
+/// let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let x = Vector::from(vec![1.0, 1.0]);
+/// assert_eq!(m.matvec(&x).as_slice(), &[3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let xs = x.as_slice();
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(xs).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · y` (backprop through a
+    /// linear layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    pub fn matvec_transposed(&self, y: &Vector) -> Vector {
+        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += yr * a;
+            }
+        }
+        Vector::from(out)
+    }
+
+    /// Accumulates the outer product `self += alpha · y xᵀ` — the weight
+    /// gradient of a linear layer given upstream gradient `y` and input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows` or `x.len() != cols`.
+    pub fn add_outer(&mut self, alpha: f32, y: &Vector, x: &Vector) {
+        assert_eq!(y.len(), self.rows, "add_outer row mismatch");
+        assert_eq!(x.len(), self.cols, "add_outer col mismatch");
+        for (r, &yr) in y.iter().enumerate() {
+            let coeff = alpha * yr;
+            if coeff == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, &xc) in row.iter_mut().zip(x.iter()) {
+                *w += coeff * xc;
+            }
+        }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let id = Matrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let x = Vector::from(vec![5.0, -2.0]);
+        assert_eq!(id.matvec(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = Vector::from(vec![1.0, -1.0]);
+        let via_method = m.matvec_transposed(&y);
+        let via_transpose = m.transposed().matvec(&y);
+        assert_eq!(via_method.as_slice(), via_transpose.as_slice());
+    }
+
+    #[test]
+    fn add_outer_is_rank_one_update() {
+        let mut m = Matrix::zeros(2, 2);
+        let y = Vector::from(vec![1.0, 2.0]);
+        let x = Vector::from(vec![3.0, 4.0]);
+        m.add_outer(1.0, &y, &x);
+        assert_eq!(m.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().at(2, 1), m.at(1, 2));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Matrix::zeros(2, 2);
+        *m.at_mut(1, 0) = 7.0;
+        assert_eq!(m.at(1, 0), 7.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+}

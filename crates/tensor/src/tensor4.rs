@@ -1,0 +1,240 @@
+//! NCHW 4-D tensors used by the convolutional layers of the model zoo.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vector;
+
+/// A dense 4-D tensor in NCHW layout (batch, channels, height, width).
+///
+/// The convolution and pooling routines in [`crate::conv`] operate on this
+/// type. Storage is a single contiguous `Vec<f32>` with the innermost index
+/// being width.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_tensor::Tensor4;
+///
+/// let mut t = Tensor4::zeros(1, 1, 2, 2);
+/// *t.at_mut(0, 0, 1, 1) = 5.0;
+/// assert_eq!(t.at(0, 0, 1, 1), 5.0);
+/// assert_eq!(t.len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Creates a tensor from existing NCHW data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_data(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "tensor data length {} does not match {n}x{c}x{h}x{w}",
+            data.len()
+        );
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel dimension.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && y < self.h && x < self.w);
+        ((n * self.c + c) * self.h + y) * self.w + x
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an index is out of range.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.offset(n, c, y, x)]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an index is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, y: usize, x: usize) -> &mut f32 {
+        let off = self.offset(n, c, y, x);
+        &mut self.data[off]
+    }
+
+    /// Borrows the contiguous NCHW storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the contiguous NCHW storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows the `(n, c)` plane as a `h*w` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `c` are out of range.
+    pub fn plane(&self, n: usize, c: usize) -> &[f32] {
+        assert!(n < self.n && c < self.c, "plane index out of bounds");
+        let start = (n * self.c + c) * self.h * self.w;
+        &self.data[start..start + self.h * self.w]
+    }
+
+    /// Mutably borrows the `(n, c)` plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `c` are out of range.
+    pub fn plane_mut(&mut self, n: usize, c: usize) -> &mut [f32] {
+        assert!(n < self.n && c < self.c, "plane index out of bounds");
+        let hw = self.h * self.w;
+        let start = (n * self.c + c) * hw;
+        &mut self.data[start..start + hw]
+    }
+
+    /// Flattens one batch element to a [`Vector`] (used at the conv→fc
+    /// boundary of CNNs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn flatten_sample(&self, n: usize) -> Vector {
+        assert!(n < self.n, "sample index out of bounds");
+        let chw = self.c * self.h * self.w;
+        Vector::from(&self.data[n * chw..(n + 1) * chw])
+    }
+
+    /// Builds a single-sample tensor (`n = 1`) from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != c*h*w`.
+    pub fn from_flat_sample(v: &Vector, c: usize, h: usize, w: usize) -> Self {
+        assert_eq!(v.len(), c * h * w, "flat sample length mismatch");
+        Tensor4::from_data(1, c, h, w, v.as_slice().to_vec())
+    }
+
+    /// Sets every element to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor4({}x{}x{}x{})", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_len() {
+        let t = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.shape(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 120);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor4::zeros(2, 2, 2, 2);
+        *t.at_mut(1, 0, 1, 0) = 9.0;
+        assert_eq!(t.at(1, 0, 1, 0), 9.0);
+        // NCHW layout: offset = ((n*C + c)*H + y)*W + x = ((1*2+0)*2+1)*2+0 = 10
+        assert_eq!(t.as_slice()[10], 9.0);
+    }
+
+    #[test]
+    fn plane_views() {
+        let mut t = Tensor4::zeros(1, 2, 2, 2);
+        t.plane_mut(0, 1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.plane(0, 1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.plane(0, 0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn flatten_and_restore() {
+        let t = Tensor4::from_data(2, 1, 2, 2, (0..8).map(|i| i as f32).collect());
+        let s1 = t.flatten_sample(1);
+        assert_eq!(s1.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        let back = Tensor4::from_flat_sample(&s1, 1, 2, 2);
+        assert_eq!(back.plane(0, 0), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn bad_data_length_panics() {
+        let _ = Tensor4::from_data(1, 1, 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut t = Tensor4::from_data(1, 1, 1, 2, vec![1.0, 2.0]);
+        t.fill_zero();
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+    }
+}

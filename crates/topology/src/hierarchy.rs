@@ -1,0 +1,214 @@
+//! The cloud → edge → worker tree.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies worker `{i, ℓ}`: the `index`-th worker of edge `edge`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId {
+    /// Edge node index `ℓ` in `0..L`.
+    pub edge: usize,
+    /// Worker index `i` within the edge, in `0..C_ℓ`.
+    pub index: usize,
+}
+
+/// A three-tier hierarchy: one implicit cloud, `L` edges, `C_ℓ` workers per
+/// edge.
+///
+/// Workers are addressed either by [`WorkerId`] or by *flat index* — the
+/// position in edge-major order — which is how per-worker arrays (datasets,
+/// model states) are laid out throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_topology::{Hierarchy, WorkerId};
+///
+/// let h = Hierarchy::new(vec![2, 3]);
+/// assert_eq!(h.num_edges(), 2);
+/// assert_eq!(h.num_workers(), 5);
+/// assert_eq!(h.flat_index(WorkerId { edge: 1, index: 0 }), 2);
+/// assert_eq!(h.worker_at(4), WorkerId { edge: 1, index: 2 });
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    workers_per_edge: Vec<usize>,
+    edge_offsets: Vec<usize>,
+    total: usize,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy with the given worker count per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no edges or any edge has zero workers.
+    pub fn new(workers_per_edge: Vec<usize>) -> Self {
+        assert!(!workers_per_edge.is_empty(), "need at least one edge");
+        assert!(
+            workers_per_edge.iter().all(|&c| c > 0),
+            "every edge needs at least one worker"
+        );
+        let mut edge_offsets = Vec::with_capacity(workers_per_edge.len());
+        let mut total = 0;
+        for &c in &workers_per_edge {
+            edge_offsets.push(total);
+            total += c;
+        }
+        Hierarchy {
+            workers_per_edge,
+            edge_offsets,
+            total,
+        }
+    }
+
+    /// A balanced hierarchy: `edges` edge nodes, each with
+    /// `workers_per_edge` workers (the paper's experimental topologies:
+    /// 2×2, 4×4, 10×10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn balanced(edges: usize, workers_per_edge: usize) -> Self {
+        assert!(edges > 0 && workers_per_edge > 0, "need positive sizes");
+        Hierarchy::new(vec![workers_per_edge; edges])
+    }
+
+    /// A degenerate two-tier topology: a single "edge" that *is* the cloud
+    /// aggregator, serving all `workers` (used by the two-tier baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn two_tier(workers: usize) -> Self {
+        Hierarchy::new(vec![workers])
+    }
+
+    /// Number of edge nodes `L`.
+    pub fn num_edges(&self) -> usize {
+        self.workers_per_edge.len()
+    }
+
+    /// Total number of workers `N`.
+    pub fn num_workers(&self) -> usize {
+        self.total
+    }
+
+    /// Number of workers `C_ℓ` under the given edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge >= num_edges()`.
+    pub fn workers_in_edge(&self, edge: usize) -> usize {
+        self.workers_per_edge[edge]
+    }
+
+    /// `true` when this is a degenerate two-tier topology (one edge).
+    pub fn is_two_tier(&self) -> bool {
+        self.num_edges() == 1
+    }
+
+    /// Flat index of a worker (edge-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn flat_index(&self, id: WorkerId) -> usize {
+        assert!(id.edge < self.num_edges(), "edge {} out of range", id.edge);
+        assert!(
+            id.index < self.workers_per_edge[id.edge],
+            "worker {} out of range for edge {}",
+            id.index,
+            id.edge
+        );
+        self.edge_offsets[id.edge] + id.index
+    }
+
+    /// Inverse of [`Hierarchy::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= num_workers()`.
+    pub fn worker_at(&self, flat: usize) -> WorkerId {
+        assert!(flat < self.total, "flat index {flat} out of range");
+        // edge_offsets is sorted; find the edge whose range contains `flat`.
+        let edge = match self.edge_offsets.binary_search(&flat) {
+            Ok(e) => e,
+            Err(e) => e - 1,
+        };
+        WorkerId {
+            edge,
+            index: flat - self.edge_offsets[edge],
+        }
+    }
+
+    /// Iterates over all workers in flat order.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.num_edges()).flat_map(move |edge| {
+            (0..self.workers_per_edge[edge]).map(move |index| WorkerId { edge, index })
+        })
+    }
+
+    /// Flat indices of the workers under one edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge >= num_edges()`.
+    pub fn edge_workers(&self, edge: usize) -> std::ops::Range<usize> {
+        assert!(edge < self.num_edges(), "edge {edge} out of range");
+        let start = self.edge_offsets[edge];
+        start..start + self.workers_per_edge[edge]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips() {
+        let h = Hierarchy::new(vec![3, 1, 2]);
+        for flat in 0..h.num_workers() {
+            let id = h.worker_at(flat);
+            assert_eq!(h.flat_index(id), flat);
+        }
+    }
+
+    #[test]
+    fn workers_iterates_in_flat_order() {
+        let h = Hierarchy::new(vec![2, 2]);
+        let ids: Vec<WorkerId> = h.workers().collect();
+        assert_eq!(ids.len(), 4);
+        for (flat, id) in ids.iter().enumerate() {
+            assert_eq!(h.flat_index(*id), flat);
+        }
+    }
+
+    #[test]
+    fn edge_workers_ranges() {
+        let h = Hierarchy::new(vec![2, 3]);
+        assert_eq!(h.edge_workers(0), 0..2);
+        assert_eq!(h.edge_workers(1), 2..5);
+    }
+
+    #[test]
+    fn two_tier_is_single_edge() {
+        let h = Hierarchy::two_tier(4);
+        assert!(h.is_two_tier());
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.num_workers(), 4);
+        assert!(!Hierarchy::balanced(2, 2).is_two_tier());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_edge_panics() {
+        let _ = Hierarchy::new(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_flat_index_panics() {
+        let h = Hierarchy::balanced(2, 2);
+        let _ = h.worker_at(4);
+    }
+}

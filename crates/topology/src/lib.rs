@@ -1,0 +1,153 @@
+//! Multi-tier network topology substrate for the HierAdMo reproduction.
+//!
+//! The paper's system model (Section III-A) is one cloud server, `L` edge
+//! nodes and `N` workers, with edge node `ℓ` serving `C_ℓ` workers and every
+//! quantity aggregated by data-size weights `D_{i,ℓ}/D_ℓ` and `D_ℓ/D`.
+//! [`Hierarchy`] captures the tree, [`Weights`] the data-size weights, and
+//! [`Schedule`] the aggregation timing `T = K·τ = P·τ·π`.
+//!
+//! Two-tier baselines (FedAvg, SlowMo, …) run on a *degenerate* hierarchy
+//! with a single edge node ([`Hierarchy::two_tier`]) and `π = 1`, matching
+//! the paper's fairness rule that two-tier `τ` equals three-tier `τ·π`.
+//!
+//! # Example
+//!
+//! ```
+//! use hieradmo_topology::{Hierarchy, Schedule};
+//!
+//! // Table II setting: 2 edges × 2 workers, τ = 10, π = 2, T = 1000.
+//! let h = Hierarchy::balanced(2, 2);
+//! assert_eq!(h.num_workers(), 4);
+//! let s = Schedule::three_tier(10, 2, 1000).unwrap();
+//! assert_eq!(s.num_edge_aggregations(), 100);
+//! assert_eq!(s.num_cloud_aggregations(), 50);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod hierarchy;
+pub mod schedule;
+
+pub use hierarchy::{Hierarchy, WorkerId};
+pub use schedule::{Schedule, ScheduleError, Tick};
+pub use weights::Weights;
+
+pub mod weights {
+    //! Data-size weights `D_{i,ℓ}/D_ℓ` and `D_ℓ/D` used by every
+    //! aggregation in Algorithm 1.
+
+    use serde::{Deserialize, Serialize};
+
+    use crate::hierarchy::Hierarchy;
+
+    /// Data-size weights derived from per-worker sample counts.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Weights {
+        worker_samples: Vec<u64>,
+        edge_samples: Vec<u64>,
+        total: u64,
+        edge_of_worker: Vec<usize>,
+    }
+
+    impl Weights {
+        /// Builds weights from per-worker sample counts, in flat worker
+        /// order (see [`Hierarchy::flat_index`]).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `samples.len() != hierarchy.num_workers()`, or if any
+        /// edge ends up with zero total samples.
+        pub fn from_samples(hierarchy: &Hierarchy, samples: &[u64]) -> Self {
+            assert_eq!(
+                samples.len(),
+                hierarchy.num_workers(),
+                "need one sample count per worker"
+            );
+            let mut edge_samples = vec![0u64; hierarchy.num_edges()];
+            let mut edge_of_worker = vec![0usize; hierarchy.num_workers()];
+            for w in hierarchy.workers() {
+                let flat = hierarchy.flat_index(w);
+                edge_samples[w.edge] += samples[flat];
+                edge_of_worker[flat] = w.edge;
+            }
+            for (e, &n) in edge_samples.iter().enumerate() {
+                assert!(n > 0, "edge {e} has zero data samples");
+            }
+            let total = edge_samples.iter().sum();
+            Weights {
+                worker_samples: samples.to_vec(),
+                edge_samples,
+                total,
+                edge_of_worker,
+            }
+        }
+
+        /// Uniform weights: every worker holds one "unit" of data.
+        pub fn uniform(hierarchy: &Hierarchy) -> Self {
+            Self::from_samples(hierarchy, &vec![1; hierarchy.num_workers()])
+        }
+
+        /// `D_{i,ℓ}/D_ℓ`: the worker's share within its edge.
+        pub fn worker_in_edge(&self, flat_worker: usize) -> f64 {
+            let edge = self.edge_of_worker[flat_worker];
+            self.worker_samples[flat_worker] as f64 / self.edge_samples[edge] as f64
+        }
+
+        /// `D_ℓ/D`: the edge's share of all data.
+        pub fn edge_in_total(&self, edge: usize) -> f64 {
+            self.edge_samples[edge] as f64 / self.total as f64
+        }
+
+        /// `D_{i,ℓ}/D`: the worker's share of all data.
+        pub fn worker_in_total(&self, flat_worker: usize) -> f64 {
+            self.worker_samples[flat_worker] as f64 / self.total as f64
+        }
+
+        /// Raw sample count of a worker.
+        pub fn worker_samples(&self, flat_worker: usize) -> u64 {
+            self.worker_samples[flat_worker]
+        }
+
+        /// Total samples across the system (`D`).
+        pub fn total_samples(&self) -> u64 {
+            self.total
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn weights_sum_to_one_per_edge_and_total() {
+            let h = Hierarchy::new(vec![2, 3]);
+            let w = Weights::from_samples(&h, &[10, 30, 5, 5, 10]);
+            // Edge 0: workers 0,1 → 40 samples.
+            assert!((w.worker_in_edge(0) - 0.25).abs() < 1e-12);
+            assert!((w.worker_in_edge(1) - 0.75).abs() < 1e-12);
+            // Edge shares: 40/60 and 20/60.
+            assert!((w.edge_in_total(0) - 2.0 / 3.0).abs() < 1e-12);
+            assert!((w.edge_in_total(1) - 1.0 / 3.0).abs() < 1e-12);
+            // Global shares sum to 1.
+            let total: f64 = (0..5).map(|i| w.worker_in_total(i)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert_eq!(w.total_samples(), 60);
+            assert_eq!(w.worker_samples(1), 30);
+        }
+
+        #[test]
+        #[should_panic(expected = "zero data samples")]
+        fn zero_edge_panics() {
+            let h = Hierarchy::new(vec![1, 1]);
+            let _ = Weights::from_samples(&h, &[5, 0]);
+        }
+
+        #[test]
+        fn uniform_weights() {
+            let h = Hierarchy::balanced(2, 2);
+            let w = Weights::uniform(&h);
+            assert_eq!(w.worker_in_edge(0), 0.5);
+            assert_eq!(w.edge_in_total(1), 0.5);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Aggregation timing: `T = K·τ = P·τ·π` (paper Section III-B).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What happens at one local iteration `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Local iteration number, `1..=T`.
+    pub t: usize,
+    /// `Some(k)` when `t = kτ`: the `k`-th edge aggregation fires.
+    pub edge_aggregation: Option<usize>,
+    /// `Some(p)` when `t = pτπ`: the `p`-th cloud aggregation fires.
+    pub cloud_aggregation: Option<usize>,
+}
+
+/// Errors from [`Schedule`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// τ, π or T was zero.
+    ZeroParameter,
+    /// `T` is not a multiple of `τ·π`.
+    Indivisible {
+        /// Total iterations requested.
+        total: usize,
+        /// The round length `τ·π` it must divide into.
+        round: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ZeroParameter => write!(f, "tau, pi and T must be positive"),
+            ScheduleError::Indivisible { total, round } => {
+                write!(f, "T = {total} is not a multiple of tau*pi = {round}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// An aggregation schedule: worker iterations every tick, edge aggregation
+/// every `τ` ticks, cloud aggregation every `τ·π` ticks.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_topology::Schedule;
+///
+/// let s = Schedule::three_tier(2, 2, 8)?;
+/// let cloud_ticks: Vec<usize> = s.ticks()
+///     .filter(|tk| tk.cloud_aggregation.is_some())
+///     .map(|tk| tk.t)
+///     .collect();
+/// assert_eq!(cloud_ticks, vec![4, 8]);
+/// # Ok::<(), hieradmo_topology::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    tau: usize,
+    pi: usize,
+    total: usize,
+}
+
+impl Schedule {
+    /// Three-tier schedule with worker-edge period `tau`, edge-cloud period
+    /// `pi`, and `total` local iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if any parameter is zero or `total` is not
+    /// a multiple of `tau * pi`.
+    pub fn three_tier(tau: usize, pi: usize, total: usize) -> Result<Self, ScheduleError> {
+        if tau == 0 || pi == 0 || total == 0 {
+            return Err(ScheduleError::ZeroParameter);
+        }
+        let round = tau * pi;
+        if !total.is_multiple_of(round) {
+            return Err(ScheduleError::Indivisible { total, round });
+        }
+        Ok(Schedule { tau, pi, total })
+    }
+
+    /// Two-tier schedule: aggregation (edge = cloud) every `tau` ticks.
+    ///
+    /// Per the paper's fairness rule, a two-tier baseline compared against a
+    /// three-tier run with periods `(τ, π)` uses `tau = τ·π`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] under the same conditions as
+    /// [`Schedule::three_tier`].
+    pub fn two_tier(tau: usize, total: usize) -> Result<Self, ScheduleError> {
+        Schedule::three_tier(tau, 1, total)
+    }
+
+    /// Worker-edge aggregation period `τ`.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Edge-cloud aggregation period `π` (in units of edge aggregations).
+    pub fn pi(&self) -> usize {
+        self.pi
+    }
+
+    /// Total local iterations `T`.
+    pub fn total_iterations(&self) -> usize {
+        self.total
+    }
+
+    /// Number of edge aggregations `K = T/τ`.
+    pub fn num_edge_aggregations(&self) -> usize {
+        self.total / self.tau
+    }
+
+    /// Number of cloud aggregations `P = T/(τπ)`.
+    pub fn num_cloud_aggregations(&self) -> usize {
+        self.total / (self.tau * self.pi)
+    }
+
+    /// The tick at local iteration `t` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `t > T`.
+    pub fn tick(&self, t: usize) -> Tick {
+        assert!(t >= 1 && t <= self.total, "tick {t} outside 1..={}", self.total);
+        let edge_aggregation = t.is_multiple_of(self.tau).then(|| t / self.tau);
+        let cloud_aggregation = t
+            .is_multiple_of(self.tau * self.pi)
+            .then(|| t / (self.tau * self.pi));
+        Tick {
+            t,
+            edge_aggregation,
+            cloud_aggregation,
+        }
+    }
+
+    /// Iterates over all ticks `1..=T`.
+    pub fn ticks(&self) -> impl Iterator<Item = Tick> + '_ {
+        (1..=self.total).map(move |t| self.tick(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_relation() {
+        // T = Kτ = Pτπ.
+        let s = Schedule::three_tier(10, 2, 1000).unwrap();
+        assert_eq!(s.num_edge_aggregations(), 100);
+        assert_eq!(s.num_cloud_aggregations(), 50);
+        assert_eq!(
+            s.num_edge_aggregations() * s.tau(),
+            s.total_iterations()
+        );
+        assert_eq!(
+            s.num_cloud_aggregations() * s.tau() * s.pi(),
+            s.total_iterations()
+        );
+    }
+
+    #[test]
+    fn every_cloud_agg_coincides_with_an_edge_agg() {
+        let s = Schedule::three_tier(3, 4, 24).unwrap();
+        for tick in s.ticks() {
+            if tick.cloud_aggregation.is_some() {
+                assert!(tick.edge_aggregation.is_some(), "tick {}", tick.t);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_indices_are_sequential() {
+        let s = Schedule::three_tier(2, 3, 12).unwrap();
+        let ks: Vec<usize> = s.ticks().filter_map(|t| t.edge_aggregation).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4, 5, 6]);
+        let ps: Vec<usize> = s.ticks().filter_map(|t| t.cloud_aggregation).collect();
+        assert_eq!(ps, vec![1, 2]);
+    }
+
+    #[test]
+    fn two_tier_aggregates_both_levels_together() {
+        let s = Schedule::two_tier(5, 20).unwrap();
+        for tick in s.ticks() {
+            assert_eq!(
+                tick.edge_aggregation.is_some(),
+                tick.cloud_aggregation.is_some()
+            );
+        }
+        assert_eq!(s.num_cloud_aggregations(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(
+            Schedule::three_tier(0, 1, 10),
+            Err(ScheduleError::ZeroParameter)
+        );
+        assert_eq!(
+            Schedule::three_tier(3, 2, 10),
+            Err(ScheduleError::Indivisible { total: 10, round: 6 })
+        );
+        // Error type displays usefully.
+        let msg = Schedule::three_tier(3, 2, 10).unwrap_err().to_string();
+        assert!(msg.contains("not a multiple"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn tick_out_of_range_panics() {
+        let s = Schedule::two_tier(2, 4).unwrap();
+        let _ = s.tick(5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Checkpointing: persist a finished run to JSON, reload it, and resume
+//! training from the saved global model — long experiments survive
+//! restarts and recorded numbers stay regenerable.
+//!
+//! ```text
+//! cargo run --release --example checkpointing
+//! ```
+
+use hieradmo::core::algorithms::HierAdMo;
+use hieradmo::core::checkpoint::Checkpoint;
+use hieradmo::core::{run, RunConfig, RunError};
+use hieradmo::data::partition::x_class_partition;
+use hieradmo::data::synthetic::SyntheticDataset;
+use hieradmo::models::{zoo, Model};
+use hieradmo::topology::Hierarchy;
+
+fn main() -> Result<(), RunError> {
+    let tt = SyntheticDataset::mnist_like(30, 10, 21);
+    let hierarchy = Hierarchy::balanced(2, 2);
+    let shards = x_class_partition(&tt.train, 4, 5, 21);
+    let model = zoo::logistic_regression(&tt.train, 21);
+    let algo = HierAdMo::adaptive(0.01, 0.5);
+
+    // Phase 1: train half the budget and checkpoint.
+    let cfg1 = RunConfig {
+        tau: 10,
+        pi: 2,
+        total_iters: 100,
+        eval_every: 50,
+        batch_size: 16,
+        ..RunConfig::default()
+    };
+    let phase1 = run(&algo, &model, &hierarchy, &shards, &tt.test, &cfg1)?;
+    let cp = Checkpoint::capture(&phase1, &cfg1);
+    let path = std::env::temp_dir().join("hieradmo-demo-checkpoint.json");
+    cp.save(&path).expect("checkpoint write");
+    println!(
+        "phase 1: accuracy {:.2}% after {} iters — checkpoint saved to {}",
+        phase1.curve.final_accuracy().unwrap() * 100.0,
+        cfg1.total_iters,
+        path.display()
+    );
+
+    // Phase 2 (possibly a new process): reload and continue training from
+    // the saved parameters.
+    let restored = Checkpoint::load(&path).expect("checkpoint read");
+    assert_eq!(restored.algorithm, "HierAdMo");
+    let mut resumed_model = model.clone();
+    resumed_model.set_params(&restored.final_params);
+
+    let cfg2 = RunConfig {
+        seed: 1, // fresh data order for the second phase
+        ..restored.config.clone()
+    };
+    let phase2 = run(&algo, &resumed_model, &hierarchy, &shards, &tt.test, &cfg2)?;
+    println!(
+        "phase 2: accuracy {:.2}% after {} more iters (resumed from checkpoint)",
+        phase2.curve.final_accuracy().unwrap() * 100.0,
+        cfg2.total_iters
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Final EXPERIMENTS.md assembly: splice result tables into placeholders
+and append the per-experiment analysis notes."""
+import pathlib
+import subprocess
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RES = ROOT / "results"
+EXP = ROOT / "EXPERIMENTS.md"
+
+
+def table_part(text: str) -> str:
+    blocks = []
+    for chunk in text.split("== "):
+        if not chunk.strip():
+            continue
+        body = chunk.split("--- json ---")[0].rstrip()
+        blocks.append("== " + body)
+    return "\n\n".join(blocks)
+
+
+def read(fname: str) -> str:
+    p = RES / fname
+    if p.exists() and p.stat().st_size > 0:
+        return table_part(p.read_text())
+    return f"(missing: regenerate with the command above — {fname} not captured)"
+
+
+def read_md(fname: str) -> str:
+    p = RES / fname
+    return p.read_text().strip() if p.exists() else ""
+
+
+def main() -> None:
+    doc = EXP.read_text()
+
+    merged = subprocess.run(
+        ["python3", str(RES / "merge_table2.py")],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.rstrip()
+    table2_block = merged + "\n\n" + read_md("table2_analysis.md")
+    doc = doc.replace("TABLE2_RESULTS_PLACEHOLDER", table2_block)
+
+    other = read_md("other_analysis.md")
+    sections = {}
+    key = None
+    for line in other.splitlines():
+        if line.endswith("_ANALYSIS:"):
+            key = line[: -len("_ANALYSIS:")]
+            sections[key] = []
+        elif key:
+            sections[key].append(line)
+    def analysis(k):
+        return "\n".join(sections.get(k, [])).strip()
+
+    doc = doc.replace(
+        "FIG2ABC_RESULTS_PLACEHOLDER",
+        read("fig2abc_tau_pi.txt") + "\n\n" + analysis("FIG2ABC"),
+    )
+    doc = doc.replace("FIG2D_RESULTS_PLACEHOLDER", read("fig2d_large_n.txt"))
+    doc = doc.replace(
+        "FIG2EFG_RESULTS_PLACEHOLDER",
+        read("fig2efg_noniid.txt") + "\n\n" + analysis("FIG2EFG"),
+    )
+    doc = doc.replace(
+        "FIG2HL_RESULTS_PLACEHOLDER",
+        read("fig2hl_time.txt") + "\n\n" + analysis("FIG2HL"),
+    )
+    doc = doc.replace(
+        "FIG2IJK_RESULTS_PLACEHOLDER",
+        read("fig2ijk_adaptive.txt") + "\n\n" + read_md("fig2ijk_analysis.md"),
+    )
+    doc = doc.replace("ABLATION_RESULTS_PLACEHOLDER", read("ablation.txt"))
+    doc = doc.replace("COMPRESSION_RESULTS_PLACEHOLDER", read("compression.txt"))
+    summary = read_md("summary_section.md")
+    if summary and "Reproduction summary" not in doc:
+        doc = doc.rstrip() + "\n" + summary + "\n"
+    EXP.write_text(doc)
+    print("EXPERIMENTS.md assembled")
+
+
+if __name__ == "__main__":
+    main()

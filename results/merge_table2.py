@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Merge the Table II pieces into one final table.
+
+Sources:
+- table2.txt               : full 11×7 run (HierAdMo row used the verbatim-Σy
+                             adaptation; convex columns used T=200; the
+                             ResNet column predates the 3× schedule)
+- table2_hieradmo_fixed.txt: HierAdMo row, corrected adaptation, all columns
+- table2_linear.txt        : Linear column, T=400, all algorithms
+- table2_logistic.txt      : Logistic column, T=400, all algorithms
+- table2_resnet.txt        : ResNet column, 3× schedule + tuned dataset
+
+Output: merged rows printed as a text table to stdout.
+"""
+import json
+import pathlib
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+COLUMNS = [
+    "Linear on MNIST",
+    "Logistic on MNIST",
+    "CNN on MNIST",
+    "CNN on CIFAR10",
+    "VGG16 on CIFAR10",
+    "ResNet18 on ImageNet",
+    "CNN on UCI-HAR",
+]
+ALGOS = [
+    "HierAdMo", "HierAdMo (GA)", "HierAdMo-R", "HierFAVG", "CFL",
+    "FastSlowMo", "FedADC", "FedMom", "SlowMo", "FedNAG", "Mime", "FedAvg",
+]
+
+
+def load_json_rows(fname):
+    rows = {}
+    path = HERE / fname
+    if not path.exists():
+        return rows
+    for line in path.read_text().splitlines():
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        if "algorithm" in rec:
+            rows[rec["algorithm"]] = rec
+    return rows
+
+
+def main():
+    base = load_json_rows("table2.txt")
+    final = load_json_rows("table2_hieradmo_final.txt")
+    agreementish = load_json_rows("table2_hieradmo_fixed.txt")
+    linear = load_json_rows("table2_linear.txt")
+    logistic = load_json_rows("table2_logistic.txt")
+    resnet = load_json_rows("table2_resnet.txt")
+
+    def cell(algo, col):
+        # "HierAdMo" = the final verbatim-Σy default (fresh row);
+        # "HierAdMo (GA)" = the direction-based variant row, from the
+        # interim rerun (gradient-alignment basis; diverges on convex).
+        if algo == "HierAdMo (GA)":
+            rec = agreementish.get("HierAdMo")
+            return rec.get(col) if rec else None
+        for src in (
+            final if algo == "HierAdMo" else {},
+            linear if col == "Linear on MNIST" else {},
+            logistic if col == "Logistic on MNIST" else {},
+            resnet if col == "ResNet18 on ImageNet" else {},
+            base,
+        ):
+            rec = src.get(algo)
+            if rec and col in rec:
+                return rec[col]
+        return None
+
+    widths = [max(len(c), 12) for c in COLUMNS]
+    header = "Algorithm        " + "  ".join(c.ljust(w) for c, w in zip(COLUMNS, widths))
+    print(header)
+    print("-" * len(header))
+    for algo in ALGOS:
+        cells = []
+        for col, w in zip(COLUMNS, widths):
+            v = cell(algo, col)
+            cells.append(("-" if v is None else f"{v * 100:.2f}").ljust(w))
+        print(f"{algo:<17}" + "  ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+#!/bin/bash
+cd /root/repo
+while pgrep -x table2 >/dev/null; do sleep 10; done
+B=target/release
+$B/fig2ijk_adaptive          > results/fig2ijk_adaptive.txt 2> results/fig2ijk.log
+$B/fig2hl_time both          > results/fig2hl_time.txt      2> results/fig2hl.log
+$B/fig2efg_noniid            > results/fig2efg_noniid.txt   2> results/fig2efg.log
+$B/fig2_tau_pi all           > results/fig2abc_tau_pi.txt   2> results/fig2abc.log
+$B/fig2d_large_n             > results/fig2d_large_n.txt    2> results/fig2d.log
+$B/ablation_adaptive         > results/ablation.txt         2> results/ablation.log
+$B/compression_tradeoff      > results/compression.txt      2> results/compression.log
+echo ALL_DONE > results/queue_done.marker

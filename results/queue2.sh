@@ -1,0 +1,17 @@
+#!/bin/bash
+# Second experiment queue: reruns with the corrected adaptive default,
+# priority-ordered for the time budget.
+cd /root/repo
+B=target/release
+$B/fig2hl_time both                        > results/fig2hl_time.txt      2> results/fig2hl.log
+$B/fig2efg_noniid                          > results/fig2efg_noniid.txt   2> results/fig2efg.log
+$B/table2 --algorithm HierAdMo             > results/table2_hieradmo_fixed.txt 2> results/table2_fix.log
+$B/table2 --workload linear-mnist          > results/table2_linear.txt    2>> results/table2_fix.log
+$B/table2 --workload logistic-mnist        > results/table2_logistic.txt  2>> results/table2_fix.log
+$B/table2 --workload resnet-imagenet       > results/table2_resnet.txt    2>> results/table2_fix.log
+$B/ablation_adaptive                       > results/ablation.txt         2> results/ablation.log
+$B/compression_tradeoff                    > results/compression.txt      2> results/compression.log
+$B/fig2d_large_n                           > results/fig2d_large_n.txt    2> results/fig2d.log
+$B/theory_bounds                           > results/theory_bounds.txt    2> results/theory.log
+$B/fig2_tau_pi all                         > results/fig2abc_tau_pi.txt   2> results/fig2abc.log
+echo ALL_DONE > results/queue2_done.marker

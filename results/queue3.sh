@@ -1,0 +1,9 @@
+#!/bin/bash
+# Final-default (verbatim-Σy) reruns of the HierAdMo-dependent outputs.
+cd /root/repo
+while [ ! -f results/queue2_done.marker ]; do sleep 15; done
+B=target/release
+$B/table2 --algorithm HierAdMo    > results/table2_hieradmo_final.txt 2> results/t2final.log
+$B/fig2hl_time both               > results/fig2hl_time.txt           2> results/fig2hl.log
+$B/fig2efg_noniid                 > results/fig2efg_noniid.txt        2> results/fig2efg.log
+echo ALL_DONE > results/queue3_done.marker

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Splice results/*.txt into the EXPERIMENTS.md placeholders."""
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXP = ROOT / "EXPERIMENTS.md"
+
+MAPPING = {
+    "TABLE2_RESULTS_PLACEHOLDER": "table2.txt",
+    "FIG2ABC_RESULTS_PLACEHOLDER": "fig2abc_tau_pi.txt",
+    "FIG2D_RESULTS_PLACEHOLDER": "fig2d_large_n.txt",
+    "FIG2EFG_RESULTS_PLACEHOLDER": "fig2efg_noniid.txt",
+    "FIG2HL_RESULTS_PLACEHOLDER": "fig2hl_time.txt",
+    "FIG2IJK_RESULTS_PLACEHOLDER": "fig2ijk_adaptive.txt",
+    "ABLATION_RESULTS_PLACEHOLDER": "ablation.txt",
+    "COMPRESSION_RESULTS_PLACEHOLDER": "compression.txt",
+}
+
+
+def table_part(text: str) -> str:
+    """Keep the human-readable tables, drop the JSON archive section."""
+    blocks = []
+    for chunk in text.split("== "):
+        if not chunk.strip():
+            continue
+        body = chunk.split("--- json ---")[0].rstrip()
+        blocks.append("== " + body)
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    doc = EXP.read_text()
+    for placeholder, fname in MAPPING.items():
+        path = ROOT / "results" / fname
+        if placeholder not in doc:
+            continue
+        if path.exists() and path.stat().st_size > 0:
+            doc = doc.replace(placeholder, table_part(path.read_text()))
+            print(f"spliced {fname}")
+        else:
+            doc = doc.replace(
+                placeholder,
+                f"(run `{fname.replace('.txt','')}` to regenerate; "
+                "result not captured in this session)",
+            )
+            print(f"missing {fname}")
+    EXP.write_text(doc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+//! Per-algorithm structural invariants, checked by driving the strategy
+//! hooks directly on a hand-built federation state with analytic
+//! (quadratic-bowl) gradients — no datasets, no models, pure protocol.
+
+use hieradmo::core::algorithms::table2_lineup;
+use hieradmo::core::state::FlState;
+use hieradmo::core::strategy::{Strategy, Tier};
+use hieradmo::tensor::Vector;
+use hieradmo::topology::{Hierarchy, Weights};
+
+const DIM: usize = 6;
+const TAU: usize = 4;
+const PI: usize = 2;
+
+/// Per-worker quadratic objective `F_i(x) = ½‖x − cᵢ‖²`, whose gradient is
+/// `x − cᵢ` — heterogeneous minima emulate non-iid data exactly.
+fn centre(worker: usize) -> Vector {
+    (0..DIM)
+        .map(|d| ((worker * 7 + d * 3) % 5) as f32 - 2.0)
+        .collect()
+}
+
+/// Drives `rounds` full cloud rounds of the algorithm on its natural
+/// topology; returns the final state.
+fn drive(algo: &dyn Strategy, rounds: usize) -> FlState {
+    let hierarchy = match algo.tier() {
+        Tier::Three => Hierarchy::balanced(2, 2),
+        Tier::Two => Hierarchy::two_tier(4),
+    };
+    let weights = Weights::from_samples(&hierarchy, &[1, 2, 3, 4]);
+    let mut state = FlState::new(hierarchy, weights, &Vector::filled(DIM, 1.0));
+    algo.init(&mut state);
+    let mut t = 0;
+    for _round in 0..rounds {
+        for k in 1..=PI {
+            for _ in 0..TAU {
+                t += 1;
+                for i in 0..state.workers.len() {
+                    let c = centre(i);
+                    let mut grad = |p: &Vector| p - &c;
+                    algo.local_step(t, &mut state.workers[i], &mut grad);
+                }
+            }
+            for edge in 0..state.hierarchy.num_edges() {
+                algo.edge_aggregate(k, edge, &mut state);
+            }
+        }
+        algo.cloud_aggregate(1, &mut state);
+    }
+    state
+}
+
+#[test]
+fn all_algorithms_synchronize_workers_at_cloud_aggregation() {
+    for algo in table2_lineup(0.05, 0.5, 0.5) {
+        let state = drive(algo.as_ref(), 1);
+        let reference = &state.workers[0].x;
+        for (i, w) in state.workers.iter().enumerate() {
+            assert_eq!(
+                &w.x, reference,
+                "{}: worker {i} not synchronized after cloud aggregation",
+                algo.name()
+            );
+        }
+        assert!(
+            reference.is_finite(),
+            "{}: non-finite synchronized model",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_approach_the_weighted_optimum() {
+    // The global objective is Σᵢ wᵢ·½‖x − cᵢ‖² with minimum at the
+    // weighted centre mean. Every algorithm must contract toward it.
+    let weights = [1.0f64, 2.0, 3.0, 4.0];
+    let total: f64 = weights.iter().sum();
+    let mut optimum = Vector::zeros(DIM);
+    for (i, w) in weights.iter().enumerate() {
+        optimum.axpy((*w / total) as f32, &centre(i));
+    }
+    for algo in table2_lineup(0.05, 0.5, 0.5) {
+        let start_dist = Vector::filled(DIM, 1.0).distance(&optimum);
+        let state = drive(algo.as_ref(), 20);
+        let end_dist = state.workers[0].x.distance(&optimum);
+        assert!(
+            end_dist < start_dist * 0.5,
+            "{}: did not contract toward the optimum ({start_dist} -> {end_dist})",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn hieradmo_family_records_gamma_and_cosine() {
+    use hieradmo::core::algorithms::HierAdMo;
+    let adaptive = HierAdMo::adaptive(0.05, 0.5);
+    let state = drive(&adaptive, 2);
+    for e in &state.edges {
+        assert!(
+            (0.0..=0.99).contains(&e.gamma_edge),
+            "adaptive γℓ out of range: {}",
+            e.gamma_edge
+        );
+        assert!(
+            (-1.0..=1.0).contains(&e.cos_theta),
+            "cos θ out of range: {}",
+            e.cos_theta
+        );
+    }
+    let reduced = HierAdMo::reduced(0.05, 0.5, 0.3);
+    let state = drive(&reduced, 1);
+    for e in &state.edges {
+        assert_eq!(e.gamma_edge, 0.3, "reduced variant must keep γℓ fixed");
+    }
+}
+
+#[test]
+fn momentum_free_algorithms_leave_momentum_state_untouched() {
+    use hieradmo::core::algorithms::{FedAvg, HierFavg};
+    for algo in [&HierFavg::new(0.05) as &dyn Strategy, &FedAvg::new(0.05)] {
+        let state = drive(algo, 2);
+        for (i, w) in state.workers.iter().enumerate() {
+            // y was initialized to x⁰ and never written by SGD algorithms.
+            assert_eq!(
+                w.y,
+                Vector::filled(DIM, 1.0),
+                "{}: worker {i} momentum parameter was modified",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn data_weights_shape_the_aggregate() {
+    // An algorithm run with skewed weights must land nearer the heavy
+    // worker's optimum than a uniform-weight run does.
+    use hieradmo::core::algorithms::HierFavg;
+    let algo = HierFavg::new(0.05);
+    let hierarchy = Hierarchy::two_tier(2);
+
+    let run_with = |samples: [u64; 2]| {
+        let weights = Weights::from_samples(&hierarchy, &samples);
+        let mut state = FlState::new(hierarchy.clone(), weights, &Vector::zeros(DIM));
+        for _ in 0..40 {
+            for i in 0..2 {
+                let c = centre(i);
+                let mut grad = |p: &Vector| p - &c;
+                algo.local_step(1, &mut state.workers[i], &mut grad);
+            }
+            algo.edge_aggregate(1, 0, &mut state);
+            algo.cloud_aggregate(1, &mut state);
+        }
+        state.workers[0].x.clone()
+    };
+
+    let uniform = run_with([1, 1]);
+    let skewed = run_with([1, 9]);
+    let c1 = centre(1);
+    assert!(
+        skewed.distance(&c1) < uniform.distance(&c1),
+        "weighting worker 1 by 9:1 should pull the model toward its optimum"
+    );
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the paper's headline qualitative claims
+//! on an affordable problem.
+//!
+//! These tests use a flat 4-class synthetic problem (fast) with harsh
+//! non-i.i.d. partitioning, where the paper's orderings are expected to
+//! show up: momentum > no momentum, three-tier > two-tier, adaptive ≈ best
+//! fixed.
+
+use hieradmo::core::algorithms::{FedAvg, FedNag, HierAdMo, HierFavg};
+use hieradmo::core::strategy::Tier;
+use hieradmo::core::{run, RunConfig, Strategy};
+use hieradmo::data::partition::x_class_partition;
+use hieradmo::data::synthetic::{generate, SyntheticSpec};
+use hieradmo::data::{Dataset, FeatureShape};
+use hieradmo::models::{zoo, Sequential};
+use hieradmo::topology::Hierarchy;
+
+/// A moderately hard 6-class flat problem, 2-class non-iid over 4 workers.
+fn problem() -> (Dataset, Dataset, Vec<Dataset>, Sequential) {
+    let spec = SyntheticSpec {
+        num_classes: 6,
+        shape: FeatureShape::Flat(24),
+        noise: 0.8,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    let tt = generate(&spec, 40, 15, 77);
+    let shards = x_class_partition(&tt.train, 4, 2, 78);
+    let model = zoo::logistic_regression(&tt.train, 79);
+    (tt.train, tt.test, shards, model)
+}
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        eta: 0.05,
+        tau: 10,
+        pi: 2,
+        total_iters: 400,
+        batch_size: 16,
+        eval_every: 100,
+        parallel: false,
+        ..RunConfig::default()
+    }
+}
+
+fn final_loss(strategy: &dyn Strategy) -> (f64, f64) {
+    let (_, test, shards, model) = problem();
+    let (hierarchy, cfg) = match strategy.tier() {
+        Tier::Three => (Hierarchy::balanced(2, 2), cfg()),
+        Tier::Two => (Hierarchy::two_tier(4), cfg().two_tier_equivalent()),
+    };
+    let res = run(strategy, &model, &hierarchy, &shards, &test, &cfg).expect("run");
+    (
+        res.curve.final_train_loss().expect("has points"),
+        res.curve.final_accuracy().expect("has points"),
+    )
+}
+
+#[test]
+fn hieradmo_beats_momentum_free_hierarchical_fl() {
+    // Table II category ① > ②.
+    let (adm_loss, adm_acc) = final_loss(&HierAdMo::adaptive(0.05, 0.5));
+    let (favg_loss, favg_acc) = final_loss(&HierFavg::new(0.05));
+    assert!(
+        adm_loss < favg_loss,
+        "HierAdMo train loss {adm_loss} should beat HierFAVG {favg_loss}"
+    );
+    assert!(
+        adm_acc >= favg_acc - 0.02,
+        "HierAdMo acc {adm_acc} should not trail HierFAVG {favg_acc}"
+    );
+}
+
+#[test]
+fn momentum_helps_in_two_tier_as_well() {
+    // Table II category ③ > ④.
+    let (nag_loss, _) = final_loss(&FedNag::new(0.05, 0.5));
+    let (avg_loss, _) = final_loss(&FedAvg::new(0.05));
+    assert!(
+        nag_loss < avg_loss * 1.05,
+        "FedNAG loss {nag_loss} should beat (or match) FedAvg {avg_loss}"
+    );
+}
+
+#[test]
+fn three_tier_beats_two_tier_under_non_iid() {
+    // Table II category ① > ③ (same momentum, extra edge aggregation).
+    let (adm_loss, _) = final_loss(&HierAdMo::reduced(0.05, 0.5, 0.5));
+    let (nag_loss, _) = final_loss(&FedNag::new(0.05, 0.5));
+    assert!(
+        adm_loss < nag_loss * 1.10,
+        "HierAdMo-R loss {adm_loss} should be competitive with FedNAG {nag_loss}"
+    );
+}
+
+#[test]
+fn adaptive_gamma_is_near_optimal_fixed() {
+    // The Fig. 2(i)–(k) claim: adaptive γℓ ≈ best fixed γℓ (within a
+    // tolerance band), without the 9-run grid search.
+    let (adaptive_loss, _) = final_loss(&HierAdMo::adaptive(0.05, 0.5));
+    let best_fixed_loss = [0.1f32, 0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&ge| final_loss(&HierAdMo::reduced(0.05, 0.5, ge)).0)
+        .fold(f64::INFINITY, f64::min);
+    // Multiplicative band plus an absolute floor: on this easy problem the
+    // best fixed run can drive the loss to ~0, where a pure ratio test is
+    // meaningless.
+    assert!(
+        adaptive_loss <= best_fixed_loss * 1.30 + 0.05,
+        "adaptive loss {adaptive_loss} should be near the best fixed-γℓ \
+         loss {best_fixed_loss}"
+    );
+}
+
+#[test]
+fn all_eleven_algorithms_complete_a_run() {
+    use hieradmo::core::algorithms::table2_lineup;
+    let (_, test, shards, model) = problem();
+    let short = RunConfig {
+        total_iters: 40,
+        eval_every: 40,
+        ..cfg()
+    };
+    for algo in table2_lineup(0.05, 0.5, 0.5) {
+        let (hierarchy, run_cfg) = match algo.tier() {
+            Tier::Three => (Hierarchy::balanced(2, 2), short.clone()),
+            Tier::Two => (Hierarchy::two_tier(4), short.two_tier_equivalent()),
+        };
+        let res = run(algo.as_ref(), &model, &hierarchy, &shards, &test, &run_cfg)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+        assert!(
+            res.final_params.is_finite(),
+            "{} produced non-finite parameters",
+            algo.name()
+        );
+        assert!(
+            res.curve.final_accuracy().unwrap() > 1.0 / 6.0 * 0.5,
+            "{} is worse than random guessing",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn agreement_adaptive_variant_also_learns() {
+    let (loss, acc) = final_loss(&HierAdMo::adaptive_agreement(0.05, 0.5));
+    assert!(acc > 0.5, "HierAdMo-AG accuracy {acc} too low (loss {loss})");
+}
+
+#[test]
+fn cnn_federation_end_to_end() {
+    // The full image pipeline: synthetic images → non-iid shards → CNN →
+    // HierAdMo, short but real.
+    let tt = hieradmo::data::synthetic::SyntheticDataset::mnist_like(6, 3, 5);
+    let shards = x_class_partition(&tt.train, 4, 5, 5);
+    let model = zoo::cnn(&tt.train, 5);
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 20,
+        batch_size: 4,
+        eval_every: 10,
+        ..RunConfig::default()
+    };
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let res = run(&algo, &model, &Hierarchy::balanced(2, 2), &shards, &tt.test, &cfg).unwrap();
+    assert_eq!(res.curve.len(), 2);
+    assert!(res.final_params.is_finite());
+}

@@ -1,0 +1,85 @@
+//! Multi-seed statistical checks via the fleet runner: the Table II
+//! headline holds in expectation, not just on one lucky seed.
+
+use hieradmo::core::algorithms::{FedAvg, HierAdMo, HierFavg};
+use hieradmo::core::fleet::repeat;
+use hieradmo::core::strategy::Tier;
+use hieradmo::core::{RunConfig, Strategy};
+use hieradmo::data::partition::x_class_partition;
+use hieradmo::data::synthetic::{generate, SyntheticSpec};
+use hieradmo::models::zoo;
+use hieradmo::topology::Hierarchy;
+
+const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
+    let spec = SyntheticSpec {
+        num_classes: 5,
+        shape: hieradmo::data::FeatureShape::Flat(20),
+        noise: 0.9,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    let tt = generate(&spec, 30, 20, 55);
+    let shards = x_class_partition(&tt.train, 4, 2, 55);
+    let model = zoo::logistic_regression(&tt.train, 55);
+    let base = RunConfig {
+        eta: 0.05,
+        tau: 10,
+        pi: 2,
+        total_iters: 200,
+        batch_size: 16,
+        eval_every: 200,
+        parallel: false,
+        ..RunConfig::default()
+    };
+    let (hierarchy, cfg) = match strategy.tier() {
+        Tier::Three => (Hierarchy::balanced(2, 2), base),
+        Tier::Two => (Hierarchy::two_tier(4), base.two_tier_equivalent()),
+    };
+    repeat(strategy, &model, &hierarchy, &shards, &tt.test, &cfg, &SEEDS)
+        .expect("fleet run")
+        .accuracy
+}
+
+#[test]
+fn hieradmo_beats_fedavg_in_expectation() {
+    let hier = fleet_accuracy(&HierAdMo::adaptive(0.05, 0.5));
+    let favg = fleet_accuracy(&FedAvg::new(0.05));
+    // Mean gap must exceed the combined seed noise — a statistical win,
+    // not a single-seed fluke.
+    let gap = hier.mean - favg.mean;
+    let noise = hier.std + favg.std;
+    assert!(
+        gap > 0.0,
+        "HierAdMo mean {} should beat FedAvg mean {}",
+        hier.mean,
+        favg.mean
+    );
+    assert!(
+        gap + noise > 0.01,
+        "separation should be visible beyond noise: gap {gap}, noise {noise}"
+    );
+}
+
+#[test]
+fn momentum_free_three_tier_sits_between() {
+    // HierFAVG (three-tier, no momentum) should land between HierAdMo and
+    // FedAvg in expectation — the paper's category ordering ① > ② > ④.
+    let hier = fleet_accuracy(&HierAdMo::adaptive(0.05, 0.5));
+    let favg3 = fleet_accuracy(&HierFavg::new(0.05));
+    let favg2 = fleet_accuracy(&FedAvg::new(0.05));
+    assert!(
+        hier.mean >= favg3.mean - favg3.std,
+        "HierAdMo ({}) should not trail HierFAVG ({}) beyond noise",
+        hier.mean,
+        favg3.mean
+    );
+    assert!(
+        favg3.mean >= favg2.mean - favg2.std,
+        "HierFAVG ({}) should not trail FedAvg ({}) beyond noise",
+        favg3.mean,
+        favg2.mean
+    );
+}

@@ -1,0 +1,233 @@
+//! Property-based tests (proptest) on the core data structures and
+//! federated invariants.
+
+use proptest::prelude::*;
+
+use hieradmo::core::adaptive::clamp_gamma;
+use hieradmo::data::partition::{dirichlet_partition, iid_partition, x_class_partition};
+use hieradmo::data::synthetic::{generate, SyntheticSpec};
+use hieradmo::data::{Dataset, FeatureShape};
+use hieradmo::tensor::Vector;
+use hieradmo::topology::{Hierarchy, Schedule, Weights};
+
+fn small_dataset(classes: usize, per_class: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec {
+        num_classes: classes,
+        shape: FeatureShape::Flat(4),
+        noise: 0.5,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    generate(&spec, per_class, 1, seed).train
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted averages stay inside the elementwise min/max envelope.
+    #[test]
+    fn weighted_average_stays_in_envelope(
+        values in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 4),
+            1..6,
+        ),
+        weights in proptest::collection::vec(0.01f64..10.0, 6),
+    ) {
+        let vectors: Vec<Vector> = values.iter().map(|v| Vector::from(v.clone())).collect();
+        let avg = Vector::weighted_average(
+            vectors.iter().zip(&weights).map(|(v, &w)| (w, v)),
+        );
+        for i in 0..4 {
+            let lo = vectors.iter().map(|v| v[i]).fold(f32::INFINITY, f32::min);
+            let hi = vectors.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[i] >= lo - 1e-3 && avg[i] <= hi + 1e-3,
+                "avg[{i}] = {} outside [{lo}, {hi}]", avg[i]);
+        }
+    }
+
+    /// Cosine similarity is always in [-1, 1] and symmetric.
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-50.0f32..50.0, 8),
+        b in proptest::collection::vec(-50.0f32..50.0, 8),
+    ) {
+        let va = Vector::from(a);
+        let vb = Vector::from(b);
+        let c1 = va.cosine(&vb);
+        let c2 = vb.cosine(&va);
+        prop_assert!((-1.0..=1.0).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-5);
+    }
+
+    /// Eq. 7's clamp always lands in [0, 0.99] and is monotone.
+    #[test]
+    fn gamma_clamp_range_and_monotonicity(c1 in -2.0f32..2.0, c2 in -2.0f32..2.0) {
+        let g1 = clamp_gamma(c1);
+        let g2 = clamp_gamma(c2);
+        prop_assert!((0.0..=0.99).contains(&g1));
+        if c1 <= c2 {
+            prop_assert!(g1 <= g2, "clamp must be monotone: {c1}->{g1}, {c2}->{g2}");
+        }
+    }
+
+    /// Any valid (τ, π, T) schedule satisfies T = Kτ = Pτπ with the
+    /// aggregation ticks nested correctly.
+    #[test]
+    fn schedule_invariants(tau in 1usize..20, pi in 1usize..10, rounds in 1usize..10) {
+        let total = tau * pi * rounds;
+        let s = Schedule::three_tier(tau, pi, total).unwrap();
+        prop_assert_eq!(s.num_edge_aggregations() * tau, total);
+        prop_assert_eq!(s.num_cloud_aggregations() * tau * pi, total);
+        let mut edge_count = 0;
+        let mut cloud_count = 0;
+        for tick in s.ticks() {
+            if tick.cloud_aggregation.is_some() {
+                prop_assert!(tick.edge_aggregation.is_some());
+                cloud_count += 1;
+            }
+            if tick.edge_aggregation.is_some() {
+                edge_count += 1;
+            }
+        }
+        prop_assert_eq!(edge_count, s.num_edge_aggregations());
+        prop_assert_eq!(cloud_count, s.num_cloud_aggregations());
+    }
+
+    /// iid partitions preserve every sample exactly once.
+    #[test]
+    fn iid_partition_is_exact_cover(
+        workers in 1usize..8,
+        per_class in 2usize..8,
+        seed in 0u64..50,
+    ) {
+        let ds = small_dataset(4, per_class, seed);
+        prop_assume!(ds.len() >= workers);
+        let shards = iid_partition(&ds, workers, seed);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, ds.len());
+        // Class histograms add up to the original.
+        let mut merged = vec![0usize; 4];
+        for s in &shards {
+            for (c, n) in s.class_histogram().into_iter().enumerate() {
+                merged[c] += n;
+            }
+        }
+        prop_assert_eq!(merged, ds.class_histogram());
+    }
+
+    /// x-class partitions never give a worker more than x classes.
+    #[test]
+    fn x_class_partition_respects_x(
+        workers in 1usize..6,
+        x in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let ds = small_dataset(5, 6, seed);
+        prop_assume!(x <= 5);
+        let shards = x_class_partition(&ds, workers, x, seed);
+        for shard in &shards {
+            let held = shard.class_histogram().iter().filter(|&&n| n > 0).count();
+            prop_assert!(held <= x);
+        }
+    }
+
+    /// Dirichlet partitions cover all samples for any α.
+    #[test]
+    fn dirichlet_partition_is_exact_cover(
+        alpha in 0.05f64..50.0,
+        workers in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let ds = small_dataset(3, 8, seed);
+        let shards = dirichlet_partition(&ds, workers, alpha, seed);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, ds.len());
+    }
+
+    /// Data weights always normalize: Σᵢ D_{i,ℓ}/D_ℓ = 1 per edge and
+    /// Σℓ D_ℓ/D = 1.
+    #[test]
+    fn weights_normalize(
+        sizes in proptest::collection::vec(1u64..100, 2..10),
+        split in 1usize..5,
+    ) {
+        let split = split.min(sizes.len() - 1).max(1);
+        let h = Hierarchy::new(vec![split, sizes.len() - split]);
+        prop_assume!(h.num_workers() == sizes.len());
+        let w = Weights::from_samples(&h, &sizes);
+        for edge in 0..h.num_edges() {
+            let sum: f64 = h.edge_workers(edge).map(|i| w.worker_in_edge(i)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+        let edges_sum: f64 = (0..h.num_edges()).map(|l| w.edge_in_total(l)).sum();
+        prop_assert!((edges_sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Flat-index mapping is a bijection for arbitrary hierarchies.
+    #[test]
+    fn hierarchy_flat_index_bijection(
+        sizes in proptest::collection::vec(1usize..6, 1..6),
+    ) {
+        let h = Hierarchy::new(sizes);
+        let ids: Vec<_> = h.workers().collect();
+        prop_assert_eq!(ids.len(), h.num_workers());
+        for (flat, id) in ids.iter().enumerate() {
+            prop_assert_eq!(h.flat_index(*id), flat);
+            prop_assert_eq!(h.worker_at(flat), *id);
+        }
+    }
+}
+
+/// The paper's Appendix-A equivalence: the y-form NAG update (Algorithm 1
+/// lines 5–6) equals the v-form (Eqs. 24–25) exactly.
+#[test]
+fn nag_forms_are_equivalent() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for _ in 0..50 {
+        let dim = 6;
+        let eta = rng.gen_range(0.001f32..0.2);
+        let gamma = rng.gen_range(0.0f32..0.95);
+        let x0: Vector = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // A fixed quadratic gradient field g(x) = Hx with random diagonal H.
+        let diag: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let grad = |x: &Vector| -> Vector {
+            x.iter().zip(&diag).map(|(v, d)| v * d).collect()
+        };
+
+        // y-form.
+        let mut xy = x0.clone();
+        let mut y = x0.clone();
+        // v-form (Eq. 24–25): v ← γv − η∇F(x); x ← x + γv − η∇F(x).
+        let mut xv = x0.clone();
+        let mut v = Vector::zeros(dim);
+
+        for _ in 0..12 {
+            // y-form step.
+            let g = grad(&xy);
+            let mut y_new = xy.clone();
+            y_new.axpy(-eta, &g);
+            let mut x_new = y_new.clone();
+            x_new.axpy(gamma, &(&y_new - &y));
+            xy = x_new;
+            y = y_new;
+
+            // v-form step.
+            let gv = grad(&xv);
+            let mut v_new = v.scaled(gamma);
+            v_new.axpy(-eta, &gv);
+            let mut xv_new = xv.clone();
+            xv_new += &v_new.scaled(gamma);
+            xv_new.axpy(-eta, &gv);
+            xv = xv_new;
+            v = v_new;
+
+            let gap = xy.distance(&xv);
+            assert!(
+                gap < 1e-4,
+                "y-form and v-form diverged: {gap} (eta={eta}, gamma={gamma})"
+            );
+        }
+    }
+}

@@ -8,8 +8,20 @@ use hieradmo_tensor::Tensor4;
 fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
     // The CNN-on-MNIST first layer: 1→8 channels, 5×5, 28×28, pad 2.
-    let input = Tensor4::from_data(1, 1, 28, 28, (0..784).map(|i| (i as f32 * 0.01).sin()).collect());
-    let weight = Tensor4::from_data(8, 1, 5, 5, (0..200).map(|i| (i as f32 * 0.1).cos()).collect());
+    let input = Tensor4::from_data(
+        1,
+        1,
+        28,
+        28,
+        (0..784).map(|i| (i as f32 * 0.01).sin()).collect(),
+    );
+    let weight = Tensor4::from_data(
+        8,
+        1,
+        5,
+        5,
+        (0..200).map(|i| (i as f32 * 0.1).cos()).collect(),
+    );
     let bias = vec![0.0f32; 8];
     group.bench_function("forward_mnist_l1", |b| {
         b.iter(|| conv::conv2d_forward(&input, &weight, &bias, 2))

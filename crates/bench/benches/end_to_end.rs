@@ -38,7 +38,14 @@ fn bench_pipelines(c: &mut Criterion) {
         ];
         b.iter(|| {
             for a in &algos {
-                run_partitioned(a.as_ref(), &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
+                run_partitioned(
+                    a.as_ref(),
+                    &model,
+                    &shards,
+                    &tt.test,
+                    &mini_cfg(5, 2, 20),
+                    2,
+                );
             }
         })
     });
@@ -49,7 +56,14 @@ fn bench_pipelines(c: &mut Criterion) {
         let algo = HierAdMo::adaptive(0.01, 0.5);
         b.iter(|| {
             for tau in [5usize, 10] {
-                run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(tau, 2, tau * 4), 2);
+                run_partitioned(
+                    &algo,
+                    &model,
+                    &shards,
+                    &tt.test,
+                    &mini_cfg(tau, 2, tau * 4),
+                    2,
+                );
             }
         })
     });
@@ -77,6 +91,25 @@ fn bench_pipelines(c: &mut Criterion) {
             run_partitioned(&algo, &model, &shards, &tt.test, &mini_cfg(5, 2, 20), 2);
         })
     });
+
+    // Execution-engine thread sweep: the same pipeline at 1/2/4/max pool
+    // threads. Results are bitwise identical across the sweep (the engine
+    // chunks in fixed order), so any spread here is pure wall-clock.
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = vec![1usize, 2, 4, max];
+    sweep.sort_unstable();
+    sweep.dedup();
+    for threads in sweep {
+        let shards = x_class_partition(&tt.train, 8, 5, 1);
+        let algo = HierAdMo::adaptive(0.01, 0.5);
+        let cfg = RunConfig {
+            threads: Some(threads),
+            ..mini_cfg(5, 2, 40)
+        };
+        group.bench_function(format!("pool_threads_{threads}"), |b| {
+            b.iter(|| run_partitioned(&algo, &model, &shards, &tt.test, &cfg, 2))
+        });
+    }
 
     group.finish();
 }

@@ -32,11 +32,26 @@ fn main() {
     let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
 
     let variants: Vec<(&str, Box<dyn Strategy>)> = vec![
-        ("edge momentum off (γℓ=0)", Box::new(HierAdMo::reduced(0.01, 0.5, 0.0))),
-        ("fixed γℓ=0.5 (HierAdMo-R)", Box::new(HierAdMo::reduced(0.01, 0.5, 0.5))),
-        ("adaptive verbatim Σy (HierAdMo)", Box::new(HierAdMo::adaptive(0.01, 0.5))),
-        ("adaptive agreement Σv", Box::new(HierAdMo::adaptive_agreement(0.01, 0.5))),
-        ("adaptive grad-align", Box::new(HierAdMo::adaptive_gradient_alignment(0.01, 0.5))),
+        (
+            "edge momentum off (γℓ=0)",
+            Box::new(HierAdMo::reduced(0.01, 0.5, 0.0)),
+        ),
+        (
+            "fixed γℓ=0.5 (HierAdMo-R)",
+            Box::new(HierAdMo::reduced(0.01, 0.5, 0.5)),
+        ),
+        (
+            "adaptive verbatim Σy (HierAdMo)",
+            Box::new(HierAdMo::adaptive(0.01, 0.5)),
+        ),
+        (
+            "adaptive agreement Σv",
+            Box::new(HierAdMo::adaptive_agreement(0.01, 0.5)),
+        ),
+        (
+            "adaptive grad-align",
+            Box::new(HierAdMo::adaptive_gradient_alignment(0.01, 0.5)),
+        ),
         ("no momentum (HierFAVG)", Box::new(HierFavg::new(0.01))),
     ];
 

@@ -47,10 +47,7 @@ fn sweep(
     scale: Scale,
     total: usize,
 ) -> Report {
-    let mut report = Report::new(
-        name,
-        vec!["tau".into(), "pi".into(), "accuracy %".into()],
-    );
+    let mut report = Report::new(name, vec!["tau".into(), "pi".into(), "accuracy %".into()]);
     for &(tau, pi) in pairs {
         // Keep T divisible by τ·π (paper uses T = 1000 with compatible
         // period choices); round T up to the next multiple.
@@ -59,7 +56,11 @@ fn sweep(
         eprintln!("[{name}] tau={tau} pi={pi} T={total}");
         let acc = run_one(workload, scale, tau, pi, total);
         report.row(
-            vec![tau.to_string(), pi.to_string(), format!("{:.2}", acc * 100.0)],
+            vec![
+                tau.to_string(),
+                pi.to_string(),
+                format!("{:.2}", acc * 100.0),
+            ],
             &json!({"tau": tau, "pi": pi, "accuracy": acc}),
         );
     }
@@ -76,16 +77,25 @@ fn main() {
     if mode == "tau" || mode == "all" {
         // Fig. 2(a): vary τ at fixed π = 2.
         let pairs: Vec<(usize, usize)> = [5, 10, 20, 50].iter().map(|&t| (t, 2)).collect();
-        println!("{}", sweep("fig2a_tau", &pairs, workload, scale, total).render());
+        println!(
+            "{}",
+            sweep("fig2a_tau", &pairs, workload, scale, total).render()
+        );
     }
     if mode == "pi" || mode == "all" {
         // Fig. 2(b): vary π at fixed τ = 10.
         let pairs: Vec<(usize, usize)> = [1, 2, 5, 10].iter().map(|&p| (10, p)).collect();
-        println!("{}", sweep("fig2b_pi", &pairs, workload, scale, total).render());
+        println!(
+            "{}",
+            sweep("fig2b_pi", &pairs, workload, scale, total).render()
+        );
     }
     if mode == "joint" || mode == "all" {
         // Fig. 2(c): τ·π = 40 fixed.
         let pairs = [(40, 1), (20, 2), (10, 4), (5, 8)];
-        println!("{}", sweep("fig2c_joint", &pairs, workload, scale, total).render());
+        println!(
+            "{}",
+            sweep("fig2c_joint", &pairs, workload, scale, total).render()
+        );
     }
 }

@@ -60,10 +60,17 @@ fn main() {
         vec!["Algorithm".into(), "accuracy % (N=100)".into()],
     );
     for algo in &lineup {
-        eprintln!("[fig2d] {} on {} with N={WORKERS}", algo.name(), workload.name());
+        eprintln!(
+            "[fig2d] {} on {} with N={WORKERS}",
+            algo.name(),
+            workload.name()
+        );
         let out = run_partitioned(algo.as_ref(), &model, &shards, &tt.test, &cfg, EDGES);
         report.row(
-            vec![out.algorithm.clone(), format!("{:.2}", out.accuracy * 100.0)],
+            vec![
+                out.algorithm.clone(),
+                format!("{:.2}", out.accuracy * 100.0),
+            ],
             &json!({"algorithm": out.algorithm, "accuracy": out.accuracy, "workers": WORKERS}),
         );
     }

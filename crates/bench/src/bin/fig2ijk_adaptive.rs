@@ -49,7 +49,11 @@ fn main() {
     for gamma in [0.3f32, 0.6, 0.9] {
         let mut report = Report::new(
             &format!("fig2ijk_adaptive_gamma{gamma}"),
-            vec!["gamma_edge".into(), "accuracy %".into(), "mean adapted γℓ".into()],
+            vec![
+                "gamma_edge".into(),
+                "accuracy %".into(),
+                "mean adapted γℓ".into(),
+            ],
         );
         let mut best_fixed = (0.0f32, 0.0f64);
         for &ge in &fixed_gammas {
@@ -65,16 +69,21 @@ fn main() {
             );
         }
         for (label, algo) in [
-            ("adaptive (HierAdMo, Σy)", HierAdMo::adaptive(base.eta, gamma)),
-            ("adaptive (agreement Σv)", HierAdMo::adaptive_agreement(base.eta, gamma)),
+            (
+                "adaptive (HierAdMo, Σy)",
+                HierAdMo::adaptive(base.eta, gamma),
+            ),
+            (
+                "adaptive (agreement Σv)",
+                HierAdMo::adaptive_agreement(base.eta, gamma),
+            ),
         ] {
             eprintln!("[fig2ijk] γ={gamma} {label}");
             let out = run_partitioned(&algo, &model, &shards, &tt.test, &base, EDGES);
             let mean_gamma: f32 = if out.gamma_trace.is_empty() {
                 0.0
             } else {
-                out.gamma_trace.iter().map(|&(_, g)| g).sum::<f32>()
-                    / out.gamma_trace.len() as f32
+                out.gamma_trace.iter().map(|&(_, g)| g).sum::<f32>() / out.gamma_trace.len() as f32
             };
             report.row(
                 vec![

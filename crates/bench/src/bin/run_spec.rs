@@ -30,15 +30,16 @@ fn main() {
     let path = cli
         .positional(0)
         .expect("usage: run_spec <spec.json> | run_spec --print-template");
-    let json = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let spec = ExperimentSpec::from_json(&json)
-        .unwrap_or_else(|e| panic!("invalid spec {path}: {e}"));
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let spec =
+        ExperimentSpec::from_json(&json).unwrap_or_else(|e| panic!("invalid spec {path}: {e}"));
     eprintln!(
         "[run_spec] {} / {} on {} edges × {} workers",
         spec.algorithm, spec.workload, spec.edges, spec.workers_per_edge
     );
-    let outcome = spec.execute().unwrap_or_else(|e| panic!("spec failed: {e}"));
+    let outcome = spec
+        .execute()
+        .unwrap_or_else(|e| panic!("spec failed: {e}"));
     println!(
         "algorithm: {}\nfinal accuracy: {:.4}\n",
         outcome.algorithm, outcome.accuracy

@@ -211,8 +211,11 @@ mod tests {
             let model = w.model(&tt.train, 1);
             assert!(model.dim() > 0, "{}", w.name());
             assert!(!w.name().is_empty());
-            assert!(w.total_iters(Scale::Quick) % (w.tau_pi().0 * w.tau_pi().1) == 0,
-                "{}: T must divide the round length", w.name());
+            assert!(
+                w.total_iters(Scale::Quick) % (w.tau_pi().0 * w.tau_pi().1) == 0,
+                "{}: T must divide the round length",
+                w.name()
+            );
         }
     }
 

@@ -134,7 +134,9 @@ impl ExperimentSpec {
                 ..RunConfig::default()
             }
         });
-        Ok(run_partitioned(algo, &model, &shards, &tt.test, &cfg, self.edges))
+        Ok(run_partitioned(
+            algo, &model, &shards, &tt.test, &cfg, self.edges,
+        ))
     }
 }
 

@@ -12,7 +12,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::sgd_local_step;
@@ -51,14 +51,13 @@ impl Cfl {
         Cfl { eta, participation }
     }
 
-    /// The flat worker indices of edge `edge` participating in round `k`.
-    fn participants(&self, k: usize, edge: usize, state: &FlState) -> Vec<usize> {
-        let workers: Vec<usize> = state.hierarchy.edge_workers(edge).collect();
-        let c = workers.len();
+    /// The local worker indices (within an edge of `c` workers)
+    /// participating in round `k`.
+    fn participants(&self, k: usize, c: usize) -> Vec<usize> {
         let m = ((c as f64 * self.participation).ceil() as usize).clamp(1, c);
         // Rotate the window by the round index so every worker participates
         // equally often.
-        (0..m).map(|j| workers[(k + j) % c]).collect()
+        (0..m).map(|j| (k + j) % c).collect()
     }
 }
 
@@ -75,20 +74,20 @@ impl Strategy for Cfl {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         sgd_local_step(self.eta, worker, grad);
     }
 
-    fn edge_aggregate(&self, k: usize, edge: usize, state: &mut FlState) {
-        let participants = self.participants(k, edge, state);
+    fn edge_aggregate(&self, k: usize, view: &mut EdgeView<'_>) {
+        let participants = self.participants(k, view.num_workers());
         let avg = Vector::weighted_average(
             participants
                 .iter()
-                .map(|&i| (state.weights.worker_in_edge(i), &state.workers[i].x)),
+                .map(|&j| (view.worker_weight(j), &view.workers[j].x)),
         );
-        state.edges[edge].x_plus = avg.clone();
-        state.for_edge_workers(edge, |w| w.x = avg.clone());
+        view.state.x_plus = avg.clone();
+        view.for_workers(|w| w.x = avg.clone());
     }
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
@@ -105,39 +104,37 @@ impl Strategy for Cfl {
 mod tests {
     use super::*;
     use crate::algorithms::testutil::{quick_cfg, quick_run};
-    use hieradmo_topology::{Hierarchy, Weights};
+    use hieradmo_topology::Hierarchy;
 
     #[test]
     fn learns_the_small_problem() {
-        let res = quick_run(&Cfl::new(0.05, 0.75), Hierarchy::balanced(2, 2), quick_cfg());
+        let res = quick_run(
+            &Cfl::new(0.05, 0.75),
+            Hierarchy::balanced(2, 2),
+            quick_cfg(),
+        );
         assert!(res.curve.final_accuracy().unwrap() > 0.55);
     }
 
     #[test]
     fn participation_rotates_over_rounds() {
-        let h = Hierarchy::balanced(1, 4);
-        let w = Weights::uniform(&h);
-        let state = FlState::new(h, w, &Vector::zeros(2));
         let cfl = Cfl::new(0.01, 0.5);
-        let r1 = cfl.participants(1, 0, &state);
-        let r2 = cfl.participants(2, 0, &state);
+        let r1 = cfl.participants(1, 4);
+        let r2 = cfl.participants(2, 4);
         assert_eq!(r1.len(), 2);
         assert_ne!(r1, r2, "window must rotate between rounds");
         // Over 4 rounds every worker participates.
         let mut seen = std::collections::HashSet::new();
         for k in 0..4 {
-            seen.extend(cfl.participants(k, 0, &state));
+            seen.extend(cfl.participants(k, 4));
         }
         assert_eq!(seen.len(), 4);
     }
 
     #[test]
     fn full_participation_equals_hierfavg_selection() {
-        let h = Hierarchy::balanced(1, 3);
-        let w = Weights::uniform(&h);
-        let state = FlState::new(h, w, &Vector::zeros(2));
         let cfl = Cfl::new(0.01, 1.0);
-        let mut p = cfl.participants(5, 0, &state);
+        let mut p = cfl.participants(5, 3);
         p.sort_unstable();
         assert_eq!(p, vec![0, 1, 2]);
     }

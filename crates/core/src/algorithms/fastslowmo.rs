@@ -4,7 +4,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::nag_local_step;
@@ -66,12 +66,12 @@ impl Strategy for FastSlowMo {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         nag_local_step(self.eta, self.gamma, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         // Fast state: average model and worker momentum.
@@ -109,7 +109,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(
             &FastSlowMo::new(0.05, 0.5, 0.5),
             Hierarchy::two_tier(4),
@@ -123,7 +127,12 @@ mod tests {
         use super::super::FedNag;
         // β = 0 removes the slow momentum: x_new = x̄ and y is averaged —
         // exactly FedNAG's aggregation.
-        let cfg = RunConfig { pi: 1, tau: 5, total_iters: 100, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 5,
+            total_iters: 100,
+            ..quick_cfg()
+        };
         let fsm = quick_run(
             &FastSlowMo::new(0.05, 0.5, 0.0),
             Hierarchy::two_tier(4),

@@ -4,7 +4,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 /// Two-tier FL with drift-controlled local momentum.
@@ -59,15 +59,17 @@ impl Strategy for FedAdc {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
-        let g = grad(&worker.x);
+        let mut g = std::mem::take(&mut worker.scratch);
+        grad(&worker.x, &mut g);
         worker.v.scale_in_place(self.beta);
         worker.v += &g;
         worker.x.axpy(-self.eta, &worker.v);
+        worker.scratch = g;
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         let x_avg = state.average_worker_models();
@@ -96,7 +98,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&FedAdc::new(0.05, 0.5), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.55);
     }

@@ -3,7 +3,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::sgd_local_step;
@@ -54,12 +54,12 @@ impl Strategy for FedAvg {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         sgd_local_step(self.eta, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {
         // Two-tier: the single "edge" is the cloud; work happens in
         // cloud_aggregate, which fires at the same tick (π = 1).
     }
@@ -80,7 +80,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&FedAvg::new(0.05), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.55);
     }
@@ -90,7 +94,11 @@ mod tests {
         use crate::algorithms::testutil::small_problem;
         use crate::driver::run;
         let (_, test, shards, model) = small_problem(4);
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let err = run(
             &FedAvg::new(0.05),
             &model,

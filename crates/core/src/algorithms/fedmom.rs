@@ -3,7 +3,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::sgd_local_step;
@@ -59,12 +59,12 @@ impl Strategy for FedMom {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         sgd_local_step(self.eta, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         let x_avg = state.average_worker_models();
@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&FedMom::new(0.05, 0.5), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.55);
     }
@@ -98,11 +102,19 @@ mod tests {
     fn zero_beta_reduces_to_fedavg() {
         use super::super::FedAvg;
         // With β = 0: v = Δ, x_new = x_prev − (x_prev − x̄) = x̄ exactly.
-        let cfg = RunConfig { pi: 1, tau: 5, total_iters: 50, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 5,
+            total_iters: 50,
+            ..quick_cfg()
+        };
         let fm = quick_run(&FedMom::new(0.05, 0.0), Hierarchy::two_tier(4), cfg.clone());
         let fa = quick_run(&FedAvg::new(0.05), Hierarchy::two_tier(4), cfg);
         let a = fm.curve.final_accuracy().unwrap();
         let b = fa.curve.final_accuracy().unwrap();
-        assert!((a - b).abs() < 1e-9, "β=0 FedMom ({a}) must equal FedAvg ({b})");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "β=0 FedMom ({a}) must equal FedAvg ({b})"
+        );
     }
 }

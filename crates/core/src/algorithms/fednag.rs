@@ -3,7 +3,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::nag_local_step;
@@ -55,12 +55,12 @@ impl Strategy for FedNag {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         nag_local_step(self.eta, self.gamma, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         // FedNAG aggregates both the model and the momentum state.
@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&FedNag::new(0.05, 0.5), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.6);
     }
@@ -100,7 +104,11 @@ mod tests {
     fn beats_fedavg_on_average_loss() {
         use super::super::FedAvg;
         // Momentum should not be worse on this smooth problem.
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let nag = quick_run(&FedNag::new(0.05, 0.5), Hierarchy::two_tier(4), cfg.clone());
         let avg = quick_run(&FedAvg::new(0.05), Hierarchy::two_tier(4), cfg);
         let nag_loss = nag.curve.final_train_loss().unwrap();

@@ -4,7 +4,7 @@
 use hieradmo_tensor::Vector;
 
 use crate::adaptive::{clamp_gamma, weighted_cosine};
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::nag_local_step;
@@ -116,8 +116,6 @@ impl HierAdMo {
         Self::with_mode(eta, gamma, GammaMode::AdaptiveGradientAlignment)
     }
 
-
-
     /// HierAdMo-R: the reduced variant with fixed `γℓ`.
     ///
     /// # Panics
@@ -169,41 +167,34 @@ impl Strategy for HierAdMo {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         nag_local_step(self.eta, self.gamma, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, edge: usize, state: &mut FlState) {
+    fn edge_aggregate(&self, _k: usize, view: &mut EdgeView<'_>) {
         // Line 10 / Eqs. 6–7: adapt γℓ from the interval's accumulated
         // sums, under the configured cosine basis.
         let cos_theta = match self.mode {
             GammaMode::Adaptive => {
                 // Eq. 6 verbatim: −Σ∇F vs the momentum-parameter sum Σy.
-                weighted_cosine(state.hierarchy.edge_workers(edge).map(|i| {
-                    let w = &state.workers[i];
-                    (state.weights.worker_in_edge(i), &w.grad_accum, &w.y_accum)
-                }))
+                weighted_cosine(
+                    view.weighted_workers()
+                        .map(|(wt, w)| (wt, &w.grad_accum, &w.y_accum)),
+                )
             }
             GammaMode::AdaptiveAgreement => {
                 // Footnote-1 agreement: each worker's displacement vs the
                 // edge-aggregated displacement.
-                let edge_disp = state.edge_average(edge, |w| &w.v_accum);
-                state
-                    .hierarchy
-                    .edge_workers(edge)
-                    .map(|i| {
-                        state.weights.worker_in_edge(i) as f32
-                            * state.workers[i].v_accum.cosine(&edge_disp)
-                    })
+                let edge_disp = view.average(|w| &w.v_accum);
+                view.weighted_workers()
+                    .map(|(wt, w)| wt as f32 * w.v_accum.cosine(&edge_disp))
                     .sum()
             }
-            GammaMode::AdaptiveGradientAlignment => {
-                weighted_cosine(state.hierarchy.edge_workers(edge).map(|i| {
-                    let w = &state.workers[i];
-                    (state.weights.worker_in_edge(i), &w.grad_accum, &w.v_accum)
-                }))
-            }
+            GammaMode::AdaptiveGradientAlignment => weighted_cosine(
+                view.weighted_workers()
+                    .map(|(wt, w)| (wt, &w.grad_accum, &w.v_accum)),
+            ),
             GammaMode::Fixed(_) => 0.0,
         };
         let gamma_edge = match self.mode {
@@ -212,16 +203,16 @@ impl Strategy for HierAdMo {
         };
 
         // Line 11: worker momentum edge aggregation y_{ℓ−}.
-        let y_minus = state.edge_average(edge, |w| &w.y);
+        let y_minus = view.average(|w| &w.y);
         // Line 12: y_{ℓ+} ← x_{ℓ+}^{(k−1)τ} − Σᵢ wᵢ (x_{ℓ+}^{(k−1)τ} − x_i)
         //        = Σᵢ wᵢ x_i   (weights sum to 1).
-        let y_plus_new = state.edge_average(edge, |w| &w.x);
+        let y_plus_new = view.average(|w| &w.x);
         // Line 13: x_{ℓ+} ← y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
         let mut x_plus = y_plus_new.clone();
-        let delta = &y_plus_new - &state.edges[edge].y_plus;
+        let delta = &y_plus_new - &view.state.y_plus;
         x_plus.axpy(gamma_edge, &delta);
 
-        let e = &mut state.edges[edge];
+        let e = &mut *view.state;
         e.y_plus = y_plus_new;
         e.x_plus = x_plus.clone();
         e.y_minus = y_minus.clone();
@@ -230,7 +221,7 @@ impl Strategy for HierAdMo {
 
         // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the workers,
         // and start a fresh accumulation interval.
-        state.for_edge_workers(edge, |w| {
+        view.for_workers(|w| {
             w.y = y_minus.clone();
             w.x = x_plus.clone();
             w.reset_accumulators();
@@ -314,8 +305,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "gamma must be in [0,1)")]
-    fn rejects_gamma_one()
-    {
+    fn rejects_gamma_one() {
         let _ = HierAdMo::adaptive(0.01, 1.0);
     }
 

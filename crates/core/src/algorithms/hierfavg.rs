@@ -3,7 +3,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::sgd_local_step;
@@ -50,15 +50,15 @@ impl Strategy for HierFavg {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         sgd_local_step(self.eta, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, edge: usize, state: &mut FlState) {
-        let avg = state.edge_average(edge, |w| &w.x);
-        state.edges[edge].x_plus = avg.clone();
-        state.for_edge_workers(edge, |w| w.x = avg.clone());
+    fn edge_aggregate(&self, _k: usize, view: &mut EdgeView<'_>) {
+        let avg = view.average(|w| &w.x);
+        view.state.x_plus = avg.clone();
+        view.for_workers(|w| w.x = avg.clone());
     }
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {

@@ -10,7 +10,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 /// Two-tier Mime-style FL.
@@ -59,29 +59,37 @@ impl Strategy for Mime {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
-        let g = grad(&worker.x);
+        let mut g = std::mem::take(&mut worker.scratch);
+        grad(&worker.x, &mut g);
         // Track the round's gradients for the server statistic update.
         worker.grad_accum += &g;
         worker.steps += 1;
         // Blended local direction: (1−β) g + β m, with m in worker.v
-        // (distributed at the last aggregation).
-        let mut dir = g.scaled(1.0 - self.beta);
-        dir.axpy(self.beta, &worker.v);
-        worker.x.axpy(-self.eta, &dir);
+        // (distributed at the last aggregation), formed in place in the
+        // scratch buffer — same per-element expressions as the allocating
+        // form, so bitwise-neutral.
+        g.scale_in_place(1.0 - self.beta);
+        g.axpy(self.beta, &worker.v);
+        worker.x.axpy(-self.eta, &g);
+        worker.scratch = g;
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         // Mean round gradient across workers: each grad_accum holds the
         // *sum* of the round's mini-batch gradients, so normalize by the
         // counted steps — otherwise the statistic scales with τπ and the
         // blended local direction diverges.
-        let g_avg = Vector::weighted_average(state.workers.iter().enumerate().map(|(i, w)| {
-            (state.weights.worker_in_total(i), &w.grad_accum)
-        }))
+        let g_avg = Vector::weighted_average(
+            state
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (state.weights.worker_in_total(i), &w.grad_accum)),
+        )
         .scaled(1.0 / state.workers[0].steps.max(1) as f32);
         // m ← (1−β)·ḡ + β·m
         state.cloud.v.scale_in_place(self.beta);
@@ -107,7 +115,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&Mime::new(0.05, 0.5), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.5);
     }

@@ -41,14 +41,17 @@ use crate::state::WorkerState;
 use crate::strategy::Strategy;
 
 /// Plain SGD local step: `x ← x − η·∇F(x)` (no momentum, used by FedAvg,
-/// HierFAVG, CFL).
+/// HierFAVG, CFL). Allocation-free: the gradient lands in the worker's
+/// scratch buffer.
 pub(crate) fn sgd_local_step(
     eta: f32,
     worker: &mut WorkerState,
-    grad: &mut dyn FnMut(&Vector) -> Vector,
+    grad: &mut dyn FnMut(&Vector, &mut Vector),
 ) {
-    let g = grad(&worker.x);
+    let mut g = std::mem::take(&mut worker.scratch);
+    grad(&worker.x, &mut g);
     worker.x.axpy(-eta, &g);
+    worker.scratch = g;
 }
 
 /// Worker NAG step (Algorithm 1 lines 5–6) with edge-interval accumulation
@@ -61,28 +64,37 @@ pub(crate) fn sgd_local_step(
 ///
 /// Also maintains `v = y_t − y_{t−1}`, the velocity form of Appendix A
 /// (Eqs. 24–25).
+///
+/// Allocation-free: buffers rotate through the worker's own state (`v`
+/// briefly holds `y_t`, then the previous `y` is overwritten in place).
+/// Every per-element float expression matches the textbook clone-based
+/// formulation, so the rewrite is bitwise-neutral.
 pub(crate) fn nag_local_step(
     eta: f32,
     gamma: f32,
     worker: &mut WorkerState,
-    grad: &mut dyn FnMut(&Vector) -> Vector,
+    grad: &mut dyn FnMut(&Vector, &mut Vector),
 ) {
-    let g = grad(&worker.x);
+    let mut g = std::mem::take(&mut worker.scratch);
+    grad(&worker.x, &mut g);
     // Accumulate Σ ∇F_{i,ℓ}(x^t) and Σ y^t over the edge interval
     // *before* updating (the sums run over t = (k−1)τ … kτ−1).
     worker.grad_accum += &g;
     worker.y_accum += &worker.y;
     worker.steps += 1;
 
-    let mut y_new = worker.x.clone();
-    y_new.axpy(-eta, &g);
-    let v = &y_new - &worker.y;
-    worker.v_accum += &v;
-    let mut x = y_new.clone();
-    x.axpy(gamma, &v);
-    worker.x = x;
-    worker.y = y_new;
-    worker.v = v;
+    // v's buffer becomes y_t = x − η·g …
+    worker.v.copy_from(&worker.x);
+    worker.v.axpy(-eta, &g);
+    // … then swaps into place so v's buffer holds y_{t−1} …
+    std::mem::swap(&mut worker.y, &mut worker.v);
+    // … which turns into the velocity v = y_t − y_{t−1} in place.
+    worker.v.sub_from(&worker.y);
+    worker.v_accum += &worker.v;
+    // x_t = y_t + γ·v.
+    worker.x.copy_from(&worker.y);
+    worker.x.axpy(gamma, &worker.v);
+    worker.scratch = g;
 }
 
 /// All eleven algorithms of Table II with the paper's hyper-parameters,

@@ -3,7 +3,7 @@
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 use super::sgd_local_step;
@@ -61,12 +61,12 @@ impl Strategy for SlowMo {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
         sgd_local_step(self.eta, worker, grad);
     }
 
-    fn edge_aggregate(&self, _k: usize, _edge: usize, _state: &mut FlState) {}
+    fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         let x_avg = state.average_worker_models();
@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn learns_the_small_problem() {
-        let cfg = RunConfig { pi: 1, tau: 10, ..quick_cfg() };
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 10,
+            ..quick_cfg()
+        };
         let res = quick_run(&SlowMo::new(0.05, 0.5, 1.0), Hierarchy::two_tier(4), cfg);
         assert!(res.curve.final_accuracy().unwrap() > 0.55);
     }
@@ -98,8 +102,17 @@ mod tests {
     #[test]
     fn alpha_one_matches_fedmom_exactly() {
         use super::super::FedMom;
-        let cfg = RunConfig { pi: 1, tau: 5, total_iters: 100, ..quick_cfg() };
-        let sm = quick_run(&SlowMo::new(0.05, 0.5, 1.0), Hierarchy::two_tier(4), cfg.clone());
+        let cfg = RunConfig {
+            pi: 1,
+            tau: 5,
+            total_iters: 100,
+            ..quick_cfg()
+        };
+        let sm = quick_run(
+            &SlowMo::new(0.05, 0.5, 1.0),
+            Hierarchy::two_tier(4),
+            cfg.clone(),
+        );
         let fm = quick_run(&FedMom::new(0.05, 0.5), Hierarchy::two_tier(4), cfg);
         // Same update rule and same seeds ⇒ identical curves.
         assert_eq!(sm.curve, fm.curve);

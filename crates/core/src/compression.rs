@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use hieradmo_tensor::Vector;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 use crate::strategy::{Strategy, Tier};
 
 /// A lossy vector compressor for federated uplinks.
@@ -58,8 +58,16 @@ pub struct CompressedVector {
 #[derive(Debug, Clone, PartialEq)]
 enum Repr {
     Dense(Vec<f32>),
-    Sparse { indices: Vec<u32>, values: Vec<f32> },
-    Quantized { min: f32, step: f32, bits: u8, codes: Vec<u16> },
+    Sparse {
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    },
+    Quantized {
+        min: f32,
+        step: f32,
+        bits: u8,
+        codes: Vec<u16>,
+    },
 }
 
 impl Compression {
@@ -76,11 +84,7 @@ impl Compression {
             Compression::TopK { k } => {
                 assert!(k > 0 && k <= dim, "top-k needs 0 < k <= dim, got {k}");
                 let mut order: Vec<u32> = (0..dim as u32).collect();
-                order.sort_by(|&a, &b| {
-                    v[b as usize]
-                        .abs()
-                        .total_cmp(&v[a as usize].abs())
-                });
+                order.sort_by(|&a, &b| v[b as usize].abs().total_cmp(&v[a as usize].abs()));
                 let mut indices: Vec<u32> = order[..k].to_vec();
                 indices.sort_unstable();
                 let values = indices.iter().map(|&i| v[i as usize]).collect();
@@ -165,10 +169,7 @@ impl CompressedVector {
             }
             Repr::Quantized {
                 min, step, codes, ..
-            } => codes
-                .iter()
-                .map(|&c| min + step * f32::from(c))
-                .collect(),
+            } => codes.iter().map(|&c| min + step * f32::from(c)).collect(),
         }
     }
 
@@ -269,32 +270,33 @@ impl Strategy for QuantizedHierFavg {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
-        let g = grad(&worker.x);
+        let mut g = std::mem::take(&mut worker.scratch);
+        grad(&worker.x, &mut g);
         worker.x.axpy(-self.eta, &g);
+        worker.scratch = g;
     }
 
-    fn edge_aggregate(&self, k: usize, edge: usize, state: &mut FlState) {
-        let x_edge_prev = state.edges[edge].x_plus.clone();
+    fn edge_aggregate(&self, k: usize, view: &mut EdgeView<'_>) {
+        let x_edge_prev = view.state.x_plus.clone();
         // Compress each worker's update against the last edge model, with
         // per-worker error feedback living in the otherwise-unused `v`.
-        let workers: Vec<usize> = state.hierarchy.edge_workers(edge).collect();
-        let mut updates = Vec::with_capacity(workers.len());
-        for &i in &workers {
-            let w = &mut state.workers[i];
+        let mut updates = Vec::with_capacity(view.num_workers());
+        for j in 0..view.num_workers() {
+            let weight = view.worker_weight(j);
+            let w = &mut view.workers[j];
             let update = &w.x - &x_edge_prev;
-            let compressed =
-                self.compression
-                    .compress_with_feedback(&update, &mut w.v, k as u64);
-            updates.push((state.weights.worker_in_edge(i), compressed.decompress()));
+            let compressed = self
+                .compression
+                .compress_with_feedback(&update, &mut w.v, k as u64);
+            updates.push((weight, compressed.decompress()));
         }
-        let avg_update =
-            Vector::weighted_average(updates.iter().map(|(wgt, u)| (*wgt, u)));
+        let avg_update = Vector::weighted_average(updates.iter().map(|(wgt, u)| (*wgt, u)));
         let mut x_new = x_edge_prev;
         x_new += &avg_update;
-        state.edges[edge].x_plus = x_new.clone();
-        state.for_edge_workers(edge, |w| w.x = x_new.clone());
+        view.state.x_plus = x_new.clone();
+        view.for_workers(|w| w.x = x_new.clone());
     }
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {

@@ -39,8 +39,20 @@ pub struct RunConfig {
     /// Master seed controlling data order and any stochastic algorithm
     /// choices. Model initialization is seeded separately by the caller.
     pub seed: u64,
-    /// Run worker local steps on parallel threads.
+    /// Deprecated alias for [`RunConfig::threads`]: `true` means "use all
+    /// available cores", `false` means single-threaded. Consulted only when
+    /// `threads` is `None`; prefer setting `threads` explicitly. Kept so
+    /// existing configs (and serialized checkpoints) keep working.
     pub parallel: bool,
+    /// Number of execution-engine threads (including the caller's thread).
+    ///
+    /// `Some(n)` pins the worker pool to exactly `n` threads; `None` defers
+    /// to the deprecated [`RunConfig::parallel`] flag (`true` → all
+    /// available cores, `false` → 1). Results are bitwise identical for
+    /// every thread count — the engine chunks work in a fixed order — so
+    /// this knob only trades wall-clock for cores.
+    #[serde(default)]
+    pub threads: Option<usize>,
     /// Cap on the number of *training* samples used for the train-loss
     /// estimate at evaluation points (keeps evaluation cheap).
     pub train_eval_cap: usize,
@@ -71,6 +83,7 @@ impl Default for RunConfig {
             eval_every: 50,
             seed: 0,
             parallel: true,
+            threads: None,
             train_eval_cap: 512,
             dropout: 0.0,
             clip_norm: None,
@@ -94,7 +107,10 @@ impl RunConfig {
             return Err(format!("gamma must be in [0,1), got {}", self.gamma));
         }
         if !(0.0..1.0).contains(&self.gamma_edge) {
-            return Err(format!("gamma_edge must be in [0,1), got {}", self.gamma_edge));
+            return Err(format!(
+                "gamma_edge must be in [0,1), got {}",
+                self.gamma_edge
+            ));
         }
         if self.tau == 0 || self.pi == 0 || self.total_iters == 0 {
             return Err("tau, pi and total_iters must be positive".into());
@@ -120,7 +136,25 @@ impl RunConfig {
                 return Err(format!("clip_norm must be positive and finite, got {clip}"));
             }
         }
+        if self.threads == Some(0) {
+            return Err("threads must be at least 1 when set".into());
+        }
         Ok(())
+    }
+
+    /// Resolves the execution-engine thread count.
+    ///
+    /// `threads` wins when set; otherwise the deprecated `parallel` flag
+    /// maps `true` to the machine's available parallelism and `false` to 1.
+    /// Always at least 1.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None if self.parallel => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            None => 1,
+        }
     }
 
     /// The two-tier counterpart of this config under the paper's fairness
@@ -168,8 +202,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_is_rejected() {
+        let cfg = RunConfig {
+            threads: Some(0),
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        let mut cfg = RunConfig {
+            threads: Some(3),
+            parallel: false,
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.effective_threads(), 3);
+        // `threads` wins over the deprecated flag.
+        cfg.parallel = true;
+        assert_eq!(cfg.effective_threads(), 3);
+        // Unset `threads` defers to `parallel`.
+        cfg.threads = None;
+        assert!(cfg.effective_threads() >= 1);
+        cfg.parallel = false;
+        assert_eq!(cfg.effective_threads(), 1);
+    }
+
+    #[test]
     fn two_tier_equivalent_folds_pi() {
-        let three = RunConfig { tau: 10, pi: 2, ..RunConfig::default() };
+        let three = RunConfig {
+            tau: 10,
+            pi: 2,
+            ..RunConfig::default()
+        };
         let two = three.two_tier_equivalent();
         assert_eq!(two.tau, 20);
         assert_eq!(two.pi, 1);

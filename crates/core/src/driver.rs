@@ -1,21 +1,31 @@
 //! The simulation engine: walks the aggregation schedule, runs worker
-//! steps (optionally in parallel), fires the strategy's aggregation hooks,
-//! and records a convergence curve.
+//! steps on a persistent worker pool, fires the strategy's aggregation
+//! hooks, and records a convergence curve.
+//!
+//! Parallelism is governed by [`RunConfig::effective_threads`]. The engine
+//! chunks every phase — local steps, per-edge aggregation, evaluation — in
+//! a fixed order that does not depend on the thread count, so results are
+//! bitwise identical whether a run uses one thread or all cores.
 
 use std::error::Error;
 use std::fmt;
+use std::mem;
 use std::time::{Duration, Instant};
 
 use hieradmo_data::{Batcher, Dataset};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use hieradmo_metrics::{ConvergenceCurve, EvalPoint};
-use hieradmo_models::Model;
+use hieradmo_models::{EvalSums, Model};
 use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Schedule, ScheduleError, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::RunConfig;
-use crate::state::FlState;
+use crate::pool::{
+    chunk, EdgeItem, EvalChunk, EvalTarget, ExecCtx, Job, Pool, Reply, StepCtx, StepItem,
+    EVAL_CHUNK,
+};
+use crate::state::{EdgeState, FlState, WorkerState};
 use crate::strategy::Strategy;
 
 /// Errors a run can fail with before any training happens.
@@ -57,6 +67,27 @@ impl From<ScheduleError> for RunError {
     }
 }
 
+/// Wall-clock spent in each phase of a run (simulation time, not emulated
+/// network time — see `hieradmo-netsim` for the latter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Worker local steps, summed over all ticks.
+    pub local_steps: Duration,
+    /// Edge aggregations (every `τ` ticks).
+    pub edge_agg: Duration,
+    /// Cloud aggregations (every `τ·π` ticks).
+    pub cloud_agg: Duration,
+    /// Global-model evaluations (test set + training probe).
+    pub eval: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.local_steps + self.edge_agg + self.cloud_agg + self.eval
+    }
+}
+
 /// The outcome of one training run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -75,16 +106,23 @@ pub struct RunResult {
     /// Wall-clock duration of the simulation (not of the emulated network;
     /// see `hieradmo-netsim` for trace-driven time).
     pub elapsed: Duration,
+    /// Per-phase wall-clock breakdown of `elapsed`.
+    pub timings: PhaseTimings,
 }
 
 /// Runs `strategy` on the given topology/data with the paper's training
 /// loop (Algorithm 1's skeleton):
 ///
 /// 1. every tick, each worker takes one local step on its own mini-batch;
-/// 2. at `t = kτ`, every edge aggregates;
+/// 2. at `t = kτ`, every edge aggregates (edges run in parallel on the
+///    pool);
 /// 3. at `t = pτπ`, the cloud aggregates;
 /// 4. every `eval_every` ticks (and at `t = T`) the global model is
 ///    evaluated on the test set and a capped training probe.
+///
+/// The worker pool is created once and lives for the whole loop; see
+/// [`RunConfig::threads`] for the parallelism knob and the determinism
+/// guarantee.
 ///
 /// # Errors
 ///
@@ -99,7 +137,7 @@ pub fn run<M, S>(
     cfg: &RunConfig,
 ) -> Result<RunResult, RunError>
 where
-    M: Model + Clone,
+    M: Model + Clone + Send,
     S: Strategy + ?Sized,
 {
     cfg.validate().map_err(RunError::BadConfig)?;
@@ -121,60 +159,113 @@ where
     let start = Instant::now();
     let samples: Vec<u64> = worker_data.iter().map(|d| d.len() as u64).collect();
     let weights = Weights::from_samples(hierarchy, &samples);
+    // The pool threads need the weights by shared reference while the main
+    // thread holds `&mut state`, so the engine keeps its own copy.
+    let engine_weights = weights.clone();
     let mut state = FlState::new(hierarchy.clone(), weights, &model.params());
     strategy.init(&mut state);
 
-    let mut models: Vec<M> = (0..hierarchy.num_workers()).map(|_| model.clone()).collect();
-    let mut batchers: Vec<Batcher> = worker_data
+    let train_probe = build_train_probe(worker_data, cfg.train_eval_cap);
+    let threads = cfg.effective_threads();
+
+    // Per-worker step contexts: a model replica, a private batcher stream
+    // (so data order is independent of scheduling), and a reusable batch
+    // buffer. `None` while checked out to a job.
+    let mut ctxs: Vec<Option<StepCtx<M>>> = worker_data
         .iter()
         .enumerate()
-        .map(|(i, d)| Batcher::new(d.len(), cfg.batch_size, cfg.seed.wrapping_add(i as u64)))
+        .map(|(i, d)| {
+            Some(StepCtx {
+                model: model.clone(),
+                batcher: Batcher::new(d.len(), cfg.batch_size, cfg.seed.wrapping_add(i as u64)),
+                batch: Vec::with_capacity(cfg.batch_size.min(d.len())),
+            })
+        })
         .collect();
     let mut eval_model = model.clone();
-    let train_probe = build_train_probe(worker_data, cfg.train_eval_cap);
 
     let mut curve = ConvergenceCurve::new();
     let mut gamma_trace = Vec::new();
     let mut cos_trace = Vec::new();
-    // Failure-injection RNG: drawn per (tick, worker) in a fixed order so
-    // runs stay deterministic regardless of threading.
+    let mut timings = PhaseTimings::default();
+    // Failure-injection RNG: drawn per (tick, worker) serially on the main
+    // thread so runs stay deterministic regardless of threading.
     let mut fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5f_5f5f_5f5f_5f5f);
 
-    for tick in schedule.ticks() {
-        let active: Vec<bool> = (0..state.workers.len())
-            .map(|_| cfg.dropout == 0.0 || fault_rng.gen_range(0.0..1.0) >= cfg.dropout)
-            .collect();
-        local_steps(
-            strategy, &mut state, &mut models, &mut batchers, worker_data, &active, tick.t, cfg,
-        );
+    let ctx = ExecCtx {
+        strategy,
+        cfg,
+        worker_data,
+        weights: &engine_weights,
+        test_data,
+        train_probe: &train_probe,
+    };
 
-        if let Some(k) = tick.edge_aggregation {
-            for edge in 0..state.hierarchy.num_edges() {
-                strategy.edge_aggregate(k, edge, &mut state);
+    std::thread::scope(|scope| {
+        let pool = Pool::new(scope, threads - 1, ctx, model);
+
+        for tick in schedule.ticks() {
+            let active: Vec<bool> = (0..state.workers.len())
+                .map(|_| cfg.dropout == 0.0 || fault_rng.gen_range(0.0..1.0) >= cfg.dropout)
+                .collect();
+
+            let t0 = Instant::now();
+            let items: Vec<StepItem<M>> = active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a)
+                .map(|(i, _)| StepItem {
+                    idx: i,
+                    worker: mem::replace(&mut state.workers[i], WorkerState::placeholder()),
+                    ctx: ctxs[i].take().expect("step context double checkout"),
+                })
+                .collect();
+            let jobs = chunk(items, threads)
+                .into_iter()
+                .map(|items| Job::Steps { t: tick.t, items })
+                .collect();
+            for reply in pool.exec(ctx, &mut eval_model, jobs) {
+                let Reply::Steps(items) = reply else {
+                    unreachable!("step job must yield a step reply")
+                };
+                for item in items {
+                    state.workers[item.idx] = item.worker;
+                    ctxs[item.idx] = Some(item.ctx);
+                }
             }
-            let n_edges = state.edges.len() as f32;
-            let mean_gamma = state.edges.iter().map(|e| e.gamma_edge).sum::<f32>() / n_edges;
-            gamma_trace.push((k, mean_gamma));
-            let mean_cos = state.edges.iter().map(|e| e.cos_theta).sum::<f32>() / n_edges;
-            cos_trace.push((k, mean_cos));
-        }
-        if let Some(p) = tick.cloud_aggregation {
-            strategy.cloud_aggregate(p, &mut state);
-        }
+            timings.local_steps += t0.elapsed();
 
-        if tick.t % cfg.eval_every == 0 || tick.t == cfg.total_iters {
-            let global = strategy.global_params(&state);
-            eval_model.set_params(&global);
-            let test_eval = eval_model.evaluate(test_data);
-            let train_eval = eval_model.evaluate(&train_probe);
-            curve.push(EvalPoint {
-                iteration: tick.t,
-                train_loss: train_eval.loss,
-                test_loss: test_eval.loss,
-                test_accuracy: test_eval.accuracy,
-            });
+            if let Some(k) = tick.edge_aggregation {
+                let t0 = Instant::now();
+                edge_aggregations(&pool, ctx, &mut eval_model, &mut state, k, threads);
+                let n_edges = state.edges.len() as f32;
+                let mean_gamma = state.edges.iter().map(|e| e.gamma_edge).sum::<f32>() / n_edges;
+                gamma_trace.push((k, mean_gamma));
+                let mean_cos = state.edges.iter().map(|e| e.cos_theta).sum::<f32>() / n_edges;
+                cos_trace.push((k, mean_cos));
+                timings.edge_agg += t0.elapsed();
+            }
+            if let Some(p) = tick.cloud_aggregation {
+                let t0 = Instant::now();
+                strategy.cloud_aggregate(p, &mut state);
+                timings.cloud_agg += t0.elapsed();
+            }
+
+            if tick.t % cfg.eval_every == 0 || tick.t == cfg.total_iters {
+                let t0 = Instant::now();
+                let global = strategy.global_params(&state);
+                let (test_eval, train_eval) =
+                    evaluate_global(&pool, ctx, &mut eval_model, &global, threads);
+                curve.push(EvalPoint {
+                    iteration: tick.t,
+                    train_loss: train_eval.loss,
+                    test_loss: test_eval.loss,
+                    test_accuracy: test_eval.accuracy,
+                });
+                timings.eval += t0.elapsed();
+            }
         }
-    }
+    });
 
     let final_params = strategy.global_params(&state);
     Ok(RunResult {
@@ -184,79 +275,120 @@ where
         cos_trace,
         final_params,
         elapsed: start.elapsed(),
+        timings,
     })
 }
 
-/// One tick of local steps across all workers, parallelized when enabled.
-#[allow(clippy::too_many_arguments)]
-fn local_steps<M, S>(
-    strategy: &S,
+/// Runs aggregation `k` on every edge, in parallel across the pool: edge
+/// states and workers are checked out as disjoint [`EdgeItem`]s (workers
+/// are stored edge-major, so each edge owns a contiguous block), processed
+/// in fixed edge order within each chunk, and reassembled by edge index.
+fn edge_aggregations<M, S>(
+    pool: &Pool<M>,
+    ctx: ExecCtx<'_, S>,
+    eval_model: &mut M,
     state: &mut FlState,
-    models: &mut [M],
-    batchers: &mut [Batcher],
-    worker_data: &[Dataset],
-    active: &[bool],
-    t: usize,
-    cfg: &RunConfig,
+    k: usize,
+    threads: usize,
 ) where
-    M: Model + Clone,
+    M: Model + Clone + Send,
     S: Strategy + ?Sized,
 {
-    let mut items: Vec<_> = state
-        .workers
-        .iter_mut()
-        .zip(models.iter_mut())
-        .zip(batchers.iter_mut())
-        .zip(worker_data.iter())
-        .zip(active.iter())
-        .filter(|(_, active)| **active)
-        .map(|((((w, m), b), d), _)| (w, m, b, d))
-        .collect();
-
-    let step = |(worker, model, batcher, data): &mut (
-        &mut crate::state::WorkerState,
-        &mut M,
-        &mut Batcher,
-        &Dataset,
-    )| {
-        let batch = batcher.next_batch();
-        let clip = cfg.clip_norm;
-        let mut grad_fn = |p: &Vector| {
-            model.set_params(p);
-            let mut g = model.loss_and_grad(data, &batch).1;
-            if let Some(max_norm) = clip {
-                let norm = g.norm();
-                if norm > max_norm {
-                    g.scale_in_place(max_norm / norm);
-                }
-            }
-            g
-        };
-        strategy.local_step(t, worker, &mut grad_fn);
-    };
-
-    let threads = if cfg.parallel {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        1
-    };
-    if threads <= 1 || items.len() <= 1 {
-        for item in &mut items {
-            step(item);
-        }
-    } else {
-        let chunk = items.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for chunk in items.chunks_mut(chunk) {
-                scope.spawn(move |_| {
-                    for item in chunk {
-                        step(item);
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
+    let mut workers = mem::take(&mut state.workers);
+    let mut items = Vec::with_capacity(state.edges.len());
+    for edge in (0..state.edges.len()).rev() {
+        let offset = state.hierarchy.edge_workers(edge).start;
+        items.push(EdgeItem {
+            edge,
+            offset,
+            workers: workers.split_off(offset),
+            state: mem::replace(&mut state.edges[edge], EdgeState::placeholder()),
+        });
     }
+    items.reverse();
+
+    let jobs = chunk(items, threads)
+        .into_iter()
+        .map(|items| Job::Edges { k, items })
+        .collect();
+    let mut returned: Vec<EdgeItem> = pool
+        .exec(ctx, eval_model, jobs)
+        .into_iter()
+        .flat_map(|reply| {
+            let Reply::Edges(items) = reply else {
+                unreachable!("edge job must yield an edge reply")
+            };
+            items
+        })
+        .collect();
+    returned.sort_unstable_by_key(|item| item.edge);
+
+    // `workers` is empty after the split-offs; refill it edge-major.
+    for item in returned {
+        state.edges[item.edge] = item.state;
+        workers.extend(item.workers);
+    }
+    state.workers = workers;
+}
+
+/// Evaluates `params` on the test set and the training probe, split into
+/// fixed [`EVAL_CHUNK`]-sample chunks fanned out across the pool. Partial
+/// sums are reduced in `(target, chunk index)` order, so the result is
+/// identical for every thread count — including 1, which uses the same
+/// chunking.
+fn evaluate_global<M, S>(
+    pool: &Pool<M>,
+    ctx: ExecCtx<'_, S>,
+    eval_model: &mut M,
+    params: &Vector,
+    threads: usize,
+) -> (hieradmo_models::Evaluation, hieradmo_models::Evaluation)
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let mut chunks = Vec::new();
+    for (target, len) in [
+        (EvalTarget::Test, ctx.test_data.len()),
+        (EvalTarget::Probe, ctx.train_probe.len()),
+    ] {
+        for (idx, start) in (0..len).step_by(EVAL_CHUNK).enumerate() {
+            chunks.push(EvalChunk {
+                target,
+                idx,
+                range: start..(start + EVAL_CHUNK).min(len),
+            });
+        }
+    }
+
+    let jobs = chunk(chunks, threads)
+        .into_iter()
+        .map(|chunks| Job::Eval {
+            params: params.clone(),
+            chunks,
+        })
+        .collect();
+    let mut partials: Vec<(EvalTarget, usize, EvalSums)> = pool
+        .exec(ctx, eval_model, jobs)
+        .into_iter()
+        .flat_map(|reply| {
+            let Reply::Eval(sums) = reply else {
+                unreachable!("eval job must yield an eval reply")
+            };
+            sums
+        })
+        .collect();
+    partials.sort_unstable_by_key(|&(target, idx, _)| (target, idx));
+
+    let mut test_sums = EvalSums::default();
+    let mut probe_sums = EvalSums::default();
+    for (target, _, sums) in partials {
+        match target {
+            EvalTarget::Test => test_sums.merge(&sums),
+            EvalTarget::Probe => probe_sums.merge(&sums),
+        }
+    }
+    (test_sums.finish(), probe_sums.finish())
 }
 
 /// A fixed, affordable probe of training data for the train-loss metric:
@@ -331,9 +463,33 @@ mod tests {
         let h = Hierarchy::balanced(2, 2);
         let algo = HierAdMo::adaptive(0.05, 0.5);
         let serial = run(&algo, &model, &h, &shards, &test, &cfg()).unwrap();
-        let par_cfg = RunConfig { parallel: true, ..cfg() };
+        let par_cfg = RunConfig {
+            parallel: true,
+            ..cfg()
+        };
         let parallel = run(&algo, &model, &h, &shards, &test, &par_cfg).unwrap();
-        assert_eq!(serial.curve, parallel.curve, "determinism across threading modes");
+        assert_eq!(
+            serial.curve, parallel.curve,
+            "determinism across threading modes"
+        );
+        assert_eq!(serial.final_params, parallel.final_params);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_exactly() {
+        let (_, test, shards, model) = small_problem(4);
+        let h = Hierarchy::balanced(2, 2);
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let base = run(&algo, &model, &h, &shards, &test, &cfg()).unwrap();
+        for threads in [2, 3, 8] {
+            let t_cfg = RunConfig {
+                threads: Some(threads),
+                ..cfg()
+            };
+            let res = run(&algo, &model, &h, &shards, &test, &t_cfg).unwrap();
+            assert_eq!(base.curve, res.curve, "threads = {threads}");
+            assert_eq!(base.final_params, res.final_params, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -355,6 +511,19 @@ mod tests {
     }
 
     #[test]
+    fn timings_cover_every_phase() {
+        let (_, test, shards, model) = small_problem(4);
+        let h = Hierarchy::balanced(2, 2);
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let res = run(&algo, &model, &h, &shards, &test, &cfg()).unwrap();
+        assert!(res.timings.local_steps > Duration::ZERO);
+        assert!(res.timings.edge_agg > Duration::ZERO);
+        assert!(res.timings.cloud_agg > Duration::ZERO);
+        assert!(res.timings.eval > Duration::ZERO);
+        assert!(res.timings.total() <= res.elapsed);
+    }
+
+    #[test]
     fn errors_are_reported() {
         let (_, test, shards, model) = small_problem(4);
         let h = Hierarchy::balanced(2, 2);
@@ -367,7 +536,10 @@ mod tests {
         let err = run(&algo3, &model, &h, &shards[..3], &test, &cfg()).unwrap_err();
         assert!(matches!(err, RunError::Data(_)));
         // Bad config.
-        let bad = RunConfig { total_iters: 101, ..cfg() };
+        let bad = RunConfig {
+            total_iters: 101,
+            ..cfg()
+        };
         let err = run(&algo3, &model, &h, &shards, &test, &bad).unwrap_err();
         assert!(matches!(err, RunError::BadConfig(_)));
         // Errors display non-trivially.

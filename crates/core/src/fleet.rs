@@ -67,7 +67,14 @@ where
             seed,
             ..base.clone()
         };
-        results.push(run(strategy, model, hierarchy, worker_data, test_data, &cfg)?);
+        results.push(run(
+            strategy,
+            model,
+            hierarchy,
+            worker_data,
+            test_data,
+            &cfg,
+        )?);
     }
     let accs: Vec<f64> = results
         .iter()

@@ -12,9 +12,10 @@
 //! - [`strategy::Strategy`] — the hook interface an algorithm implements:
 //!   `local_step` (every iteration), `edge_aggregate` (every `τ`),
 //!   `cloud_aggregate` (every `τ·π`).
-//! - [`driver`] — walks the [`hieradmo_topology::Schedule`], runs worker
-//!   steps (optionally in parallel via crossbeam), fires aggregation hooks,
-//!   and records a [`hieradmo_metrics::ConvergenceCurve`].
+//! - [`driver`] — walks the [`hieradmo_topology::Schedule`] on a
+//!   persistent scoped worker pool (see [`config::RunConfig::threads`]),
+//!   fires aggregation hooks, and records a
+//!   [`hieradmo_metrics::ConvergenceCurve`] plus per-phase timings.
 //! - [`algorithms`] — **HierAdMo** (Algorithm 1) with adaptive or fixed
 //!   `γℓ` (the fixed variant is the paper's HierAdMo-R), the three-tier
 //!   baselines HierFAVG and CFL, and the two-tier baselines FedAvg, FedNAG,
@@ -56,12 +57,13 @@ pub mod compression;
 pub mod config;
 pub mod driver;
 pub mod fleet;
+mod pool;
 pub mod state;
 pub mod strategy;
 pub mod theory;
 pub mod virtual_update;
 
 pub use config::RunConfig;
-pub use driver::{run, RunError, RunResult};
-pub use state::{CloudState, EdgeState, FlState, WorkerState};
+pub use driver::{run, PhaseTimings, RunError, RunResult};
+pub use state::{CloudState, EdgeState, EdgeView, FlState, WorkerState};
 pub use strategy::{Strategy, Tier};

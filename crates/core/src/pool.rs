@@ -1,0 +1,284 @@
+//! The persistent parallel execution engine.
+//!
+//! [`Pool`] is a scoped worker pool created once per [`crate::driver::run`]
+//! and kept alive for the whole training loop (replacing per-tick
+//! spawn/join). The driver checks state *out* of [`crate::state::FlState`]
+//! into self-contained job items, ships contiguous fixed-order chunks to
+//! the pool over channels, runs the first chunk on the calling thread, and
+//! reassembles results by identity (worker index, edge index, eval chunk
+//! index) — never by arrival order. Together with per-worker RNG streams
+//! and fixed-size evaluation chunks this makes every run bitwise identical
+//! for any thread count.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::Scope;
+
+use hieradmo_data::{Batcher, Dataset};
+use hieradmo_models::{EvalSums, Model};
+use hieradmo_tensor::Vector;
+use hieradmo_topology::Weights;
+
+use crate::config::RunConfig;
+use crate::state::{EdgeState, EdgeView, WorkerState};
+use crate::strategy::Strategy;
+
+/// Everything a pool thread needs by reference: the strategy and the
+/// run-wide immutable inputs. `Copy` so each job execution can capture it
+/// by value.
+pub(crate) struct ExecCtx<'a, S: ?Sized> {
+    /// The algorithm under execution.
+    pub strategy: &'a S,
+    /// Run configuration (clipping, batch size, …).
+    pub cfg: &'a RunConfig,
+    /// Per-worker training shards, flat order.
+    pub worker_data: &'a [Dataset],
+    /// Data-size weights (an owned copy held by the driver, identical to
+    /// `FlState::weights`).
+    pub weights: &'a Weights,
+    /// Held-out test set for evaluation jobs.
+    pub test_data: &'a Dataset,
+    /// Capped training probe for evaluation jobs.
+    pub train_probe: &'a Dataset,
+}
+
+impl<S: ?Sized> Clone for ExecCtx<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: ?Sized> Copy for ExecCtx<'_, S> {}
+
+/// A worker's checked-out step state: its model replica, its private
+/// batcher stream, and a reusable batch-index buffer.
+pub(crate) struct StepCtx<M> {
+    pub model: M,
+    pub batcher: Batcher,
+    pub batch: Vec<usize>,
+}
+
+/// One worker's local-step work item.
+pub(crate) struct StepItem<M> {
+    /// Flat worker index (identity for reassembly).
+    pub idx: usize,
+    pub worker: WorkerState,
+    pub ctx: StepCtx<M>,
+}
+
+/// One edge's aggregation work item: its workers and edge state, checked
+/// out of `FlState`.
+pub(crate) struct EdgeItem {
+    /// Edge index (identity for reassembly).
+    pub edge: usize,
+    /// Flat index of the edge's first worker.
+    pub offset: usize,
+    pub workers: Vec<WorkerState>,
+    pub state: EdgeState,
+}
+
+/// Which dataset an evaluation chunk reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EvalTarget {
+    Test,
+    Probe,
+}
+
+/// A fixed-size slice of an evaluation pass. Chunk boundaries depend only
+/// on the dataset length (see [`EVAL_CHUNK`]), never on the thread count,
+/// so the f64 partial-sum reduction order is invariant.
+pub(crate) struct EvalChunk {
+    pub target: EvalTarget,
+    /// Chunk ordinal within `target` (identity for ordered reduction).
+    pub idx: usize,
+    pub range: Range<usize>,
+}
+
+/// Samples per evaluation chunk, fixed for all thread counts.
+pub(crate) const EVAL_CHUNK: usize = 256;
+
+/// Work shipped to a pool thread (or run inline on the caller).
+pub(crate) enum Job<M> {
+    /// Local steps at tick `t` for the contained workers.
+    Steps { t: usize, items: Vec<StepItem<M>> },
+    /// Edge aggregations `k` for the contained edges.
+    Edges { k: usize, items: Vec<EdgeItem> },
+    /// Evaluation of `params` over the contained chunks.
+    Eval {
+        params: Vector,
+        chunks: Vec<EvalChunk>,
+    },
+}
+
+/// The completed counterpart of a [`Job`], carrying state back.
+pub(crate) enum Reply<M> {
+    Steps(Vec<StepItem<M>>),
+    Edges(Vec<EdgeItem>),
+    Eval(Vec<(EvalTarget, usize, EvalSums)>),
+}
+
+/// Splits `items` into at most `parts` contiguous chunks (first chunks get
+/// the extra items). Order within and across chunks follows the input.
+pub(crate) fn chunk<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, items.len());
+    let per = items.len().div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(per).collect();
+        if c.is_empty() {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Runs one job to completion. Shared by pool threads and the caller (so
+/// `threads = 1` exercises the identical code path with zero spawns).
+pub(crate) fn execute<M, S>(ctx: ExecCtx<'_, S>, eval_model: &mut M, job: Job<M>) -> Reply<M>
+where
+    M: Model,
+    S: Strategy + ?Sized,
+{
+    match job {
+        Job::Steps { t, mut items } => {
+            for item in &mut items {
+                run_step(ctx, t, item);
+            }
+            Reply::Steps(items)
+        }
+        Job::Edges { k, mut items } => {
+            for item in &mut items {
+                let mut view = EdgeView::detached(
+                    item.edge,
+                    item.offset,
+                    &mut item.workers,
+                    &mut item.state,
+                    ctx.weights,
+                );
+                ctx.strategy.edge_aggregate(k, &mut view);
+            }
+            Reply::Edges(items)
+        }
+        Job::Eval { params, chunks } => {
+            eval_model.set_params(&params);
+            let sums = chunks
+                .into_iter()
+                .map(|c| {
+                    let data = match c.target {
+                        EvalTarget::Test => ctx.test_data,
+                        EvalTarget::Probe => ctx.train_probe,
+                    };
+                    (c.target, c.idx, eval_model.evaluate_range(data, c.range))
+                })
+                .collect();
+            Reply::Eval(sums)
+        }
+    }
+}
+
+/// One worker's local step: draw the next batch into the reusable buffer,
+/// then hand the strategy a gradient hook that reuses the worker's model
+/// replica and scratch vector — no per-step heap allocation.
+fn run_step<M, S>(ctx: ExecCtx<'_, S>, t: usize, item: &mut StepItem<M>)
+where
+    M: Model,
+    S: Strategy + ?Sized,
+{
+    let data = &ctx.worker_data[item.idx];
+    let step = &mut item.ctx;
+    step.batcher.next_batch_into(&mut step.batch);
+    let StepCtx { model, batch, .. } = step;
+    let clip = ctx.cfg.clip_norm;
+    let mut grad_fn = |p: &Vector, out: &mut Vector| {
+        model.set_params(p);
+        model.loss_and_grad_into(data, batch, out);
+        if let Some(max_norm) = clip {
+            let norm = out.norm();
+            if norm > max_norm {
+                out.scale_in_place(max_norm / norm);
+            }
+        }
+    };
+    ctx.strategy.local_step(t, &mut item.worker, &mut grad_fn);
+}
+
+/// A long-lived pool of `spawned` scoped threads, each holding its own
+/// evaluation-model replica and draining jobs from a private channel.
+pub(crate) struct Pool<M> {
+    senders: Vec<Sender<Job<M>>>,
+    reply_rx: Receiver<Reply<M>>,
+}
+
+impl<M> Pool<M>
+where
+    M: Model + Clone + Send,
+{
+    /// Spawns `spawned` worker threads on `scope` (the caller participates
+    /// as thread 0, so the engine runs `spawned + 1` lanes). Dropping the
+    /// pool closes the job channels, which ends every worker loop; the
+    /// scope then joins them.
+    pub(crate) fn new<'env, 'scope, S>(
+        scope: &'scope Scope<'scope, 'env>,
+        spawned: usize,
+        ctx: ExecCtx<'env, S>,
+        model: &M,
+    ) -> Self
+    where
+        S: Strategy + ?Sized,
+        M: 'env,
+    {
+        let (reply_tx, reply_rx) = channel();
+        let mut senders = Vec::with_capacity(spawned);
+        for _ in 0..spawned {
+            let (tx, rx) = channel::<Job<M>>();
+            let reply_tx = reply_tx.clone();
+            let mut eval_model = model.clone();
+            scope.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    if reply_tx.send(execute(ctx, &mut eval_model, job)).is_err() {
+                        break;
+                    }
+                }
+            });
+            senders.push(tx);
+        }
+        Pool { senders, reply_rx }
+    }
+
+    /// Executes a batch of jobs: jobs `1..` go to pool threads, job `0`
+    /// runs on the calling thread (overlapping with the pool), then all
+    /// replies are collected. `jobs.len()` must not exceed the lane count.
+    pub(crate) fn exec<S>(
+        &self,
+        ctx: ExecCtx<'_, S>,
+        eval_model: &mut M,
+        mut jobs: Vec<Job<M>>,
+    ) -> Vec<Reply<M>>
+    where
+        S: Strategy + ?Sized,
+    {
+        assert!(
+            jobs.len() <= self.senders.len() + 1,
+            "more jobs than pool lanes"
+        );
+        let mut replies = Vec::with_capacity(jobs.len());
+        if jobs.is_empty() {
+            return replies;
+        }
+        let main_job = jobs.remove(0);
+        let sent = jobs.len();
+        for (job, tx) in jobs.into_iter().zip(&self.senders) {
+            tx.send(job).expect("pool thread terminated early");
+        }
+        replies.push(execute(ctx, eval_model, main_job));
+        for _ in 0..sent {
+            replies.push(self.reply_rx.recv().expect("pool thread terminated early"));
+        }
+        replies
+    }
+}

@@ -31,6 +31,11 @@ pub struct WorkerState {
     /// Number of local steps accumulated since the last reset (lets
     /// aggregators normalize the sums without knowing τ).
     pub steps: usize,
+    /// Gradient scratch buffer, reused across local steps so the steady
+    /// state allocates nothing. Transient working memory, *not* algorithm
+    /// state: its contents after a step (the last mini-batch gradient) are
+    /// deterministic but carry no meaning to aggregators.
+    pub scratch: Vector,
 }
 
 impl WorkerState {
@@ -45,7 +50,15 @@ impl WorkerState {
             y_accum: Vector::zeros(x0.len()),
             v_accum: Vector::zeros(x0.len()),
             steps: 0,
+            scratch: Vector::zeros(x0.len()),
         }
+    }
+
+    /// Zero-dimensional stand-in used by the execution engine while the
+    /// real state is checked out to a worker thread. Never observed by
+    /// algorithms.
+    pub(crate) fn placeholder() -> Self {
+        WorkerState::new(&Vector::zeros(0))
     }
 
     /// Clears both edge-interval accumulators (done at every aggregation).
@@ -84,6 +97,12 @@ impl EdgeState {
             gamma_edge: 0.0,
             cos_theta: 0.0,
         }
+    }
+
+    /// Zero-dimensional stand-in used by the execution engine while the
+    /// real state is checked out to a worker thread.
+    pub(crate) fn placeholder() -> Self {
+        EdgeState::new(&Vector::zeros(0))
     }
 }
 
@@ -168,12 +187,11 @@ impl FlState {
     where
         F: Fn(&WorkerState) -> &Vector,
     {
-        Vector::weighted_average(self.hierarchy.edge_workers(edge).map(|i| {
-            (
-                self.weights.worker_in_edge(i),
-                f(&self.workers[i]),
-            )
-        }))
+        Vector::weighted_average(
+            self.hierarchy
+                .edge_workers(edge)
+                .map(|i| (self.weights.worker_in_edge(i), f(&self.workers[i]))),
+        )
     }
 
     /// Data-weighted average over edges of an arbitrary per-edge vector
@@ -221,6 +239,120 @@ impl FlState {
         F: FnMut(&mut WorkerState),
     {
         for w in &mut self.workers {
+            f(w);
+        }
+    }
+
+    /// Borrows one edge's slice of the federation: its workers, its
+    /// [`EdgeState`], and the data weights — everything
+    /// [`crate::Strategy::edge_aggregate`] may touch.
+    ///
+    /// Views of distinct edges are disjoint (workers are stored in
+    /// edge-major flat order), which is what lets the execution engine run
+    /// all edges' aggregations in parallel with identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_view(&mut self, edge: usize) -> EdgeView<'_> {
+        let range = self.hierarchy.edge_workers(edge);
+        let offset = range.start;
+        EdgeView {
+            edge,
+            offset,
+            workers: &mut self.workers[range],
+            state: &mut self.edges[edge],
+            weights: &self.weights,
+        }
+    }
+}
+
+/// Mutable view of a single edge: the unit of work of
+/// [`crate::Strategy::edge_aggregate`].
+///
+/// Everything an edge aggregator is allowed to read or write lives here —
+/// the edge's own workers (local indices `0..num_workers()`), its
+/// [`EdgeState`], and read-only data weights. Cross-edge and cloud state
+/// are deliberately out of reach, making data-race freedom of parallel
+/// edge aggregation a type-level fact rather than a convention.
+#[derive(Debug)]
+pub struct EdgeView<'a> {
+    edge: usize,
+    offset: usize,
+    /// This edge's workers, locally indexed from 0.
+    pub workers: &'a mut [WorkerState],
+    /// This edge's aggregation state.
+    pub state: &'a mut EdgeState,
+    weights: &'a Weights,
+}
+
+impl<'a> EdgeView<'a> {
+    /// Assembles a view from detached parts (used by the execution engine
+    /// when edge work is shipped to a pool thread). `offset` is the flat
+    /// index of the edge's first worker.
+    pub(crate) fn detached(
+        edge: usize,
+        offset: usize,
+        workers: &'a mut [WorkerState],
+        state: &'a mut EdgeState,
+        weights: &'a Weights,
+    ) -> Self {
+        EdgeView {
+            edge,
+            offset,
+            workers,
+            state,
+            weights,
+        }
+    }
+
+    /// The edge index this view covers.
+    pub fn edge(&self) -> usize {
+        self.edge
+    }
+
+    /// Number of workers under this edge.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// In-edge data weight `D_{i,ℓ}/D_ℓ` of the worker at local index
+    /// `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= num_workers()`.
+    pub fn worker_weight(&self, local: usize) -> f64 {
+        assert!(
+            local < self.workers.len(),
+            "local worker index out of range"
+        );
+        self.weights.worker_in_edge(self.offset + local)
+    }
+
+    /// Iterates `(D_{i,ℓ}/D_ℓ, worker)` pairs in local order.
+    pub fn weighted_workers(&self) -> impl Iterator<Item = (f64, &WorkerState)> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(j, w)| (self.weights.worker_in_edge(self.offset + j), w))
+    }
+
+    /// Data-weighted average of an arbitrary per-worker vector — the edge
+    /// counterpart of [`FlState::edge_average`].
+    pub fn average<F>(&self, f: F) -> Vector
+    where
+        F: Fn(&WorkerState) -> &Vector,
+    {
+        Vector::weighted_average(self.weighted_workers().map(|(wt, w)| (wt, f(w))))
+    }
+
+    /// Applies a closure to every worker under this edge, in local order.
+    pub fn for_workers<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut WorkerState),
+    {
+        for w in self.workers.iter_mut() {
             f(w);
         }
     }
@@ -302,5 +434,36 @@ mod tests {
         assert_eq!(s.workers[0].x.as_slice(), &[9.0, 9.0]);
         assert_eq!(s.workers[1].x.as_slice(), &[9.0, 9.0]);
         assert_eq!(s.workers[2].x.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn edge_view_exposes_exactly_one_edge() {
+        let mut s = state();
+        {
+            let mut view = s.edge_view(0);
+            assert_eq!(view.edge(), 0);
+            assert_eq!(view.num_workers(), 2);
+            // In-edge weights of edge 0: 10/40 and 30/40.
+            assert!((view.worker_weight(0) - 0.25).abs() < 1e-12);
+            assert!((view.worker_weight(1) - 0.75).abs() < 1e-12);
+            view.for_workers(|w| w.x = Vector::from(vec![8.0, 8.0]));
+        }
+        assert_eq!(s.workers[0].x.as_slice(), &[8.0, 8.0]);
+        assert_eq!(s.workers[1].x.as_slice(), &[8.0, 8.0]);
+        assert_eq!(s.workers[2].x.as_slice(), &[1.0, 2.0]);
+        // Second edge holds one worker with full weight.
+        let view = s.edge_view(1);
+        assert_eq!(view.num_workers(), 1);
+        assert!((view.worker_weight(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_view_average_matches_edge_average() {
+        let mut s = state();
+        s.workers[0].x = Vector::from(vec![0.0, 0.0]);
+        s.workers[1].x = Vector::from(vec![4.0, 4.0]);
+        let via_state = s.edge_average(0, |w| &w.x);
+        let via_view = s.edge_view(0).average(|w| &w.x);
+        assert_eq!(via_state, via_view);
     }
 }

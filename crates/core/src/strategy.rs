@@ -4,7 +4,7 @@
 use hieradmo_tensor::Vector;
 use hieradmo_topology::Hierarchy;
 
-use crate::state::{FlState, WorkerState};
+use crate::state::{EdgeView, FlState, WorkerState};
 
 /// Which architecture an algorithm is defined for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,18 +38,24 @@ pub trait Strategy: Send + Sync {
     /// common initialization). Most algorithms need nothing extra.
     fn init(&self, _state: &mut FlState) {}
 
-    /// One local iteration on one worker. `grad` evaluates the worker's
-    /// mini-batch gradient at arbitrary parameters (the batch is fixed for
-    /// this call).
+    /// One local iteration on one worker. `grad(params, out)` evaluates the
+    /// worker's mini-batch gradient at arbitrary parameters (the batch is
+    /// fixed for this call), writing it into `out` — typically the worker's
+    /// [`WorkerState::scratch`] buffer, so the steady state allocates
+    /// nothing.
     fn local_step(
         &self,
         t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     );
 
-    /// Edge aggregation `k` (at `t = kτ`) for edge `edge`.
-    fn edge_aggregate(&self, k: usize, edge: usize, state: &mut FlState);
+    /// Edge aggregation `k` (at `t = kτ`) for the edge behind `view`.
+    ///
+    /// The view scopes the hook to exactly one edge's workers and state, so
+    /// the driver may run all edges concurrently; implementations needing
+    /// the edge index use [`EdgeView::edge`].
+    fn edge_aggregate(&self, k: usize, view: &mut EdgeView<'_>);
 
     /// Cloud aggregation `p` (at `t = pτπ`).
     fn cloud_aggregate(&self, p: usize, state: &mut FlState);
@@ -97,10 +103,10 @@ mod tests {
             &self,
             _t: usize,
             _w: &mut WorkerState,
-            _g: &mut dyn FnMut(&Vector) -> Vector,
+            _g: &mut dyn FnMut(&Vector, &mut Vector),
         ) {
         }
-        fn edge_aggregate(&self, _k: usize, _e: usize, _s: &mut FlState) {}
+        fn edge_aggregate(&self, _k: usize, _v: &mut EdgeView<'_>) {}
         fn cloud_aggregate(&self, _p: usize, _s: &mut FlState) {}
     }
 

@@ -70,13 +70,25 @@ impl Batcher {
     /// The final batch of an epoch may be short; the following call starts a
     /// freshly shuffled epoch.
     pub fn next_batch(&mut self) -> Vec<usize> {
+        let mut batch = Vec::new();
+        self.next_batch_into(&mut batch);
+        batch
+    }
+
+    /// Writes the indices of the next mini-batch into `out`, clearing it
+    /// first.
+    ///
+    /// Allocation-free once `out`'s capacity has reached the batch size —
+    /// the execution engine reuses one buffer per worker across the whole
+    /// run. Draws from the same stream as [`Batcher::next_batch`].
+    pub fn next_batch_into(&mut self, out: &mut Vec<usize>) {
         if self.cursor >= self.order.len() {
             self.reshuffle();
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
-        let batch = self.order[self.cursor..end].to_vec();
+        out.clear();
+        out.extend_from_slice(&self.order[self.cursor..end]);
         self.cursor = end;
-        batch
     }
 
     fn reshuffle(&mut self) {
@@ -136,5 +148,16 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_panics() {
         let _ = Batcher::new(0, 4, 0);
+    }
+
+    #[test]
+    fn next_batch_into_draws_the_same_stream() {
+        let mut a = Batcher::new(17, 5, 3);
+        let mut b = Batcher::new(17, 5, 3);
+        let mut buf = Vec::new();
+        for _ in 0..8 {
+            b.next_batch_into(&mut buf);
+            assert_eq!(a.next_batch(), buf);
+        }
     }
 }

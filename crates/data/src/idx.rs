@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         assert_eq!(parse_idx(&[0, 0]), Err(IdxError::Truncated));
-        assert_eq!(parse_idx(&[1, 0, 8, 1, 0, 0, 0, 0]), Err(IdxError::BadMagic));
+        assert_eq!(
+            parse_idx(&[1, 0, 8, 1, 0, 0, 0, 0]),
+            Err(IdxError::BadMagic)
+        );
         assert_eq!(
             parse_idx(&[0, 0, 0x0D, 1, 0, 0, 0, 0]),
             Err(IdxError::UnsupportedType(0x0D))
@@ -236,10 +239,16 @@ mod tests {
         let lbl_short = parse_idx(&idx_labels(&[1])).unwrap();
         assert_eq!(
             dataset_from_idx(&img, &lbl_short, 10),
-            Err(IdxError::CountMismatch { images: 2, labels: 1 })
+            Err(IdxError::CountMismatch {
+                images: 2,
+                labels: 1
+            })
         );
         let lbl_bad = parse_idx(&idx_labels(&[1, 12])).unwrap();
-        assert_eq!(dataset_from_idx(&img, &lbl_bad, 10), Err(IdxError::BadLabel(12)));
+        assert_eq!(
+            dataset_from_idx(&img, &lbl_bad, 10),
+            Err(IdxError::BadLabel(12))
+        );
     }
 
     #[test]

@@ -226,11 +226,7 @@ mod tests {
         for x in [1, 3, 6, 9, 10] {
             let shards = x_class_partition(&ds, 4, x, 5);
             for shard in &shards {
-                let held = shard
-                    .class_histogram()
-                    .iter()
-                    .filter(|&&c| c > 0)
-                    .count();
+                let held = shard.class_histogram().iter().filter(|&&c| c > 0).count();
                 assert!(held <= x, "worker holds {held} classes with x={x}");
                 assert!(!shard.is_empty(), "worker shard empty with x={x}");
             }
@@ -273,7 +269,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&b| b), "not all classes covered: {covered:?}");
+        assert!(
+            covered.iter().all(|&b| b),
+            "not all classes covered: {covered:?}"
+        );
     }
 
     #[test]

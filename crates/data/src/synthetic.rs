@@ -124,7 +124,12 @@ impl SyntheticDataset {
     /// Generates an MNIST-like train/test pair with `train_per_class` /
     /// `test_per_class` samples per class.
     pub fn mnist_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
-        generate(&SyntheticSpec::mnist_like(), train_per_class, test_per_class, seed)
+        generate(
+            &SyntheticSpec::mnist_like(),
+            train_per_class,
+            test_per_class,
+            seed,
+        )
     }
 
     /// Generates a CIFAR-10-like train/test pair.
@@ -149,7 +154,12 @@ impl SyntheticDataset {
 
     /// Generates a UCI-HAR-like train/test pair (6 activity classes).
     pub fn har_like(train_per_class: usize, test_per_class: usize, seed: u64) -> TrainTest {
-        generate(&SyntheticSpec::har_like(), train_per_class, test_per_class, seed)
+        generate(
+            &SyntheticSpec::har_like(),
+            train_per_class,
+            test_per_class,
+            seed,
+        )
     }
 }
 
@@ -207,7 +217,11 @@ pub fn linear_regression(
     let mut rng = StdRng::seed_from_u64(seed);
     let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
     let w: Vec<Vec<f32>> = (0..out_dim)
-        .map(|_| (0..in_dim).map(|_| normal.sample(&mut rng) / (in_dim as f32).sqrt()).collect())
+        .map(|_| {
+            (0..in_dim)
+                .map(|_| normal.sample(&mut rng) / (in_dim as f32).sqrt())
+                .collect()
+        })
         .collect();
     let noise_dist = Normal::new(0.0f32, noise).expect("valid normal");
 
@@ -218,10 +232,7 @@ pub fn linear_regression(
                 let y: Vector = w
                     .iter()
                     .map(|row| {
-                        row.iter()
-                            .zip(x.iter())
-                            .map(|(a, b)| a * b)
-                            .sum::<f32>()
+                        row.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f32>()
                             + noise_dist.sample(rng)
                     })
                     .collect();
@@ -292,7 +303,9 @@ fn make_prototype(spec: &SyntheticSpec, rng: &mut StdRng, scale: f32) -> Vector 
                         let mut v = 0.0;
                         for &(fy, fx, phase, amp) in &waves {
                             v += amp
-                                * (TAU * (fy * y as f32 / height as f32 + fx * x as f32 / width as f32)
+                                * (TAU
+                                    * (fy * y as f32 / height as f32
+                                        + fx * x as f32 / width as f32)
                                     + phase)
                                     .cos();
                         }

@@ -51,7 +51,11 @@ pub fn curve_from_csv(csv: &str) -> Result<ConvergenceCurve, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 4 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse_f = |s: &str| -> Result<f64, String> {
             s.parse().map_err(|e| format!("line {}: {e}", lineno + 1))

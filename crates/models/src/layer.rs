@@ -598,10 +598,7 @@ impl Layer for Flatten {
 
     fn forward(&self, input: &Signal) -> (Signal, Cache) {
         let x = input.expect_image();
-        (
-            Signal::Flat(x.flatten_sample(0)),
-            Cache::Flatten(x.shape()),
-        )
+        (Signal::Flat(x.flatten_sample(0)), Cache::Flatten(x.shape()))
     }
 
     fn backward(&self, cache: &Cache, grad_out: &Signal, _grad_params: &mut [f32]) -> Signal {
@@ -804,7 +801,11 @@ mod tests {
         let (y, cache) = d.forward(&x);
         assert_eq!(y.expect_flat().len(), 3);
         let mut gp = vec![0.0; 15];
-        let gi = d.backward(&cache, &Signal::Flat(Vector::from(vec![1.0, 0.0, 0.0])), &mut gp);
+        let gi = d.backward(
+            &cache,
+            &Signal::Flat(Vector::from(vec![1.0, 0.0, 0.0])),
+            &mut gp,
+        );
         assert_eq!(gi.expect_flat().len(), 4);
         // grad_b for the first output must be 1.
         assert_eq!(gp[12], 1.0);
@@ -889,7 +890,13 @@ mod tests {
         };
         assert_eq!(block.output_shape(shape), shape);
 
-        let x = Tensor4::from_data(1, 2, 4, 4, (0..32).map(|i| (i as f32 * 0.1).sin()).collect());
+        let x = Tensor4::from_data(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|i| (i as f32 * 0.1).sin()).collect(),
+        );
         let (y, cache) = block.forward(&Signal::Image(x));
         assert_eq!(y.expect_image().shape(), (1, 2, 4, 4));
         let go = Tensor4::from_data(1, 2, 4, 4, vec![1.0; 32]);
@@ -933,7 +940,10 @@ mod tests {
     #[should_panic(expected = "expected flat signal")]
     fn dense_rejects_image_input() {
         let mut r = rng();
-        let d = Dense::new(hieradmo_tensor::init::xavier_matrix(&mut r, 2, 2), Vector::zeros(2));
+        let d = Dense::new(
+            hieradmo_tensor::init::xavier_matrix(&mut r, 2, 2),
+            Vector::zeros(2),
+        );
         let img = Tensor4::zeros(1, 1, 2, 1);
         let _ = d.forward(&Signal::Image(img));
     }

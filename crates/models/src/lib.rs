@@ -38,5 +38,5 @@ pub mod sequential;
 pub mod spec;
 pub mod zoo;
 
-pub use model::{Evaluation, Model};
+pub use model::{EvalSums, Evaluation, Model};
 pub use sequential::{LossHead, Sequential};

@@ -1,6 +1,8 @@
 //! The [`Model`] trait: the flat-parameter interface every federated
 //! algorithm is written against.
 
+use std::ops::Range;
+
 use hieradmo_data::{Dataset, Target};
 use hieradmo_tensor::{ops, Vector};
 
@@ -13,6 +15,42 @@ pub struct Evaluation {
     /// this is the fraction of samples with prediction error below 0.5 per
     /// output (a serviceable "accuracy" analogue used only for reporting).
     pub accuracy: f64,
+}
+
+/// Unreduced evaluation sums over a slice of a dataset.
+///
+/// Partial sums from disjoint ranges can be [merged](EvalSums::merge) and
+/// [finished](EvalSums::finish) into an [`Evaluation`]; the execution
+/// engine evaluates fixed-size chunks in parallel and reduces them in a
+/// fixed order so results are independent of thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalSums {
+    /// Sum of per-sample losses.
+    pub loss_sum: f64,
+    /// Number of correctly classified (or within-tolerance) samples.
+    pub correct: usize,
+    /// Number of samples covered.
+    pub count: usize,
+}
+
+impl EvalSums {
+    /// Folds another partial sum into this one. Reduction order matters for
+    /// the `f64` loss sum; callers wanting determinism must merge in a
+    /// fixed (e.g. chunk-index) order.
+    pub fn merge(&mut self, other: &EvalSums) {
+        self.loss_sum += other.loss_sum;
+        self.correct += other.correct;
+        self.count += other.count;
+    }
+
+    /// Reduces the sums to mean loss and accuracy (empty sums give zeros).
+    pub fn finish(&self) -> Evaluation {
+        let n = self.count.max(1) as f64;
+        Evaluation {
+            loss: self.loss_sum / n,
+            accuracy: self.correct as f64 / n,
+        }
+    }
 }
 
 /// A trainable model seen through a flat parameter vector.
@@ -41,6 +79,25 @@ pub trait Model: Send {
     /// Panics if any index is out of range or `indices` is empty.
     fn loss_and_grad(&self, data: &Dataset, indices: &[usize]) -> (f32, Vector);
 
+    /// Like [`Model::loss_and_grad`], but writes the gradient into `grad`
+    /// instead of allocating a fresh vector.
+    ///
+    /// The default implementation delegates to [`Model::loss_and_grad`] and
+    /// copies, so existing models keep working unchanged; allocation-aware
+    /// models (e.g. `Sequential`) override it to accumulate directly into
+    /// the buffer, making the training loop's gradient path allocation-free
+    /// in steady state. The numeric result must be identical to
+    /// [`Model::loss_and_grad`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    fn loss_and_grad_into(&self, data: &Dataset, indices: &[usize], grad: &mut Vector) -> f32 {
+        let (loss, g) = self.loss_and_grad(data, indices);
+        grad.copy_from(&g);
+        loss
+    }
+
     /// Raw model output for one feature vector (logits for classification
     /// heads, predictions for regression heads).
     fn output(&self, features: &Vector) -> Vector;
@@ -52,34 +109,43 @@ pub trait Model: Send {
 
     /// Evaluates mean loss and accuracy over an entire dataset.
     fn evaluate(&self, data: &Dataset) -> Evaluation {
-        let mut loss_sum = 0.0f64;
-        let mut correct = 0usize;
-        for sample in data.iter() {
+        self.evaluate_range(data, 0..data.len()).finish()
+    }
+
+    /// Unreduced loss/accuracy sums over `range` of `data` — the partial
+    /// evaluation primitive behind deterministic parallel eval.
+    ///
+    /// Summing [`EvalSums`] from a fixed chunking of `0..data.len()` in
+    /// chunk order reproduces [`Model::evaluate`]'s `f64` accumulation
+    /// exactly for that chunking, regardless of which thread computed which
+    /// chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past the end of `data`.
+    fn evaluate_range(&self, data: &Dataset, range: Range<usize>) -> EvalSums {
+        let mut sums = EvalSums::default();
+        for i in range {
+            let sample = data.sample(i);
             let out = self.output(&sample.features);
             match &sample.target {
                 Target::Class(c) => {
-                    loss_sum += f64::from(ops::cross_entropy_loss(&out, *c));
+                    sums.loss_sum += f64::from(ops::cross_entropy_loss(&out, *c));
                     if ops::argmax(&out) == *c {
-                        correct += 1;
+                        sums.correct += 1;
                     }
                 }
                 Target::Regression(y) => {
-                    loss_sum += f64::from(ops::mse_loss(&out, y));
-                    let close = out
-                        .iter()
-                        .zip(y.iter())
-                        .all(|(p, t)| (p - t).abs() < 0.5);
+                    sums.loss_sum += f64::from(ops::mse_loss(&out, y));
+                    let close = out.iter().zip(y.iter()).all(|(p, t)| (p - t).abs() < 0.5);
                     if close {
-                        correct += 1;
+                        sums.correct += 1;
                     }
                 }
             }
+            sums.count += 1;
         }
-        let n = data.len().max(1) as f64;
-        Evaluation {
-            loss: loss_sum / n,
-            accuracy: correct as f64 / n,
-        }
+        sums
     }
 }
 
@@ -150,6 +216,36 @@ mod tests {
         let eval = m.evaluate(&toy_data());
         assert_eq!(eval.accuracy, 1.0);
         assert!(eval.loss < 0.01);
+    }
+
+    #[test]
+    fn evaluate_range_chunks_reassemble_full_evaluation() {
+        let m = Toy { w: 0.7 };
+        let data = toy_data();
+        let full = m.evaluate(&data);
+        let mut sums = m.evaluate_range(&data, 0..1);
+        sums.merge(&m.evaluate_range(&data, 1..2));
+        let merged = sums.finish();
+        assert_eq!(merged.accuracy, full.accuracy);
+        assert!((merged.loss - full.loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_eval_sums_finish_to_zeros() {
+        let e = EvalSums::default().finish();
+        assert_eq!(e.loss, 0.0);
+        assert_eq!(e.accuracy, 0.0);
+    }
+
+    #[test]
+    fn default_loss_and_grad_into_matches_allocating_form() {
+        let m = Toy { w: 0.3 };
+        let data = toy_data();
+        let (loss, grad) = m.loss_and_grad(&data, &[0, 1]);
+        let mut buf = Vector::zeros(1);
+        let loss_into = m.loss_and_grad_into(&data, &[0, 1], &mut buf);
+        assert_eq!(loss, loss_into);
+        assert_eq!(grad.as_slice(), buf.as_slice());
     }
 
     #[test]

@@ -212,10 +212,18 @@ mod tests {
         let (data, model) = quadratic_problem();
         let steps = 40;
         let sgd = train_full_batch(&mut model.clone(), &mut Sgd::new(0.03), &data, steps);
-        let polyak =
-            train_full_batch(&mut model.clone(), &mut Polyak::new(0.03, 0.7), &data, steps);
-        let nag =
-            train_full_batch(&mut model.clone(), &mut Nesterov::new(0.03, 0.7), &data, steps);
+        let polyak = train_full_batch(
+            &mut model.clone(),
+            &mut Polyak::new(0.03, 0.7),
+            &data,
+            steps,
+        );
+        let nag = train_full_batch(
+            &mut model.clone(),
+            &mut Nesterov::new(0.03, 0.7),
+            &data,
+            steps,
+        );
         assert!(
             polyak.last().unwrap() < sgd.last().unwrap(),
             "Polyak {} should beat SGD {}",
@@ -248,12 +256,7 @@ mod tests {
     fn nag_with_zero_gamma_equals_sgd() {
         let (data, model) = quadratic_problem();
         let a = train_full_batch(&mut model.clone(), &mut Sgd::new(0.05), &data, 20);
-        let b = train_full_batch(
-            &mut model.clone(),
-            &mut Nesterov::new(0.05, 0.0),
-            &data,
-            20,
-        );
+        let b = train_full_batch(&mut model.clone(), &mut Nesterov::new(0.05, 0.0), &data, 20);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-6, "γ=0 NAG must equal SGD: {x} vs {y}");
         }

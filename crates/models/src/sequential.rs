@@ -62,7 +62,10 @@ impl Sequential {
     /// Panics if the layer stack is empty, if consecutive layer shapes are
     /// incompatible, or if the final output is not flat.
     pub fn new(layers: Vec<Box<dyn Layer>>, input_shape: FeatureShape, head: LossHead) -> Self {
-        assert!(!layers.is_empty(), "sequential model needs at least one layer");
+        assert!(
+            !layers.is_empty(),
+            "sequential model needs at least one layer"
+        );
         let mut shape = match input_shape {
             FeatureShape::Flat(d) => SignalShape::Flat(d),
             FeatureShape::Image {
@@ -149,7 +152,10 @@ impl Sequential {
                 assert!(*c < output.len(), "one-hot class out of range");
                 let mut one_hot = Vector::zeros(output.len());
                 one_hot[*c] = 1.0;
-                (ops::mse_loss(output, &one_hot), ops::mse_grad(output, &one_hot))
+                (
+                    ops::mse_loss(output, &one_hot),
+                    ops::mse_grad(output, &one_hot),
+                )
             }
             (LossHead::Mse, Target::Regression(y)) => {
                 (ops::mse_loss(output, y), ops::mse_grad(output, y))
@@ -184,8 +190,19 @@ impl Model for Sequential {
     }
 
     fn loss_and_grad(&self, data: &Dataset, indices: &[usize]) -> (f32, Vector) {
+        let mut grad = Vector::zeros(self.dim);
+        let loss = self.loss_and_grad_into(data, indices, &mut grad);
+        (loss, grad)
+    }
+
+    fn loss_and_grad_into(&self, data: &Dataset, indices: &[usize], grad: &mut Vector) -> f32 {
         assert!(!indices.is_empty(), "loss_and_grad needs a non-empty batch");
-        let mut grad = vec![0.0f32; self.dim];
+        if grad.len() != self.dim {
+            *grad = Vector::zeros(self.dim);
+        } else {
+            grad.fill(0.0);
+        }
+        let gslice = grad.as_mut_slice();
         let mut loss_sum = 0.0f32;
         for &i in indices {
             let sample = data.sample(i);
@@ -196,13 +213,12 @@ impl Model for Sequential {
             for (li, layer) in self.layers.iter().enumerate().rev() {
                 let start = self.param_offsets[li];
                 let end = start + layer.param_len();
-                g = layer.backward(&caches[li], &g, &mut grad[start..end]);
+                g = layer.backward(&caches[li], &g, &mut gslice[start..end]);
             }
         }
         let inv = 1.0 / indices.len() as f32;
-        let mut grad = Vector::from(grad);
         grad.scale_in_place(inv);
-        (loss_sum * inv, grad)
+        loss_sum * inv
     }
 
     fn output(&self, features: &Vector) -> Vector {
@@ -299,6 +315,24 @@ mod tests {
                 g[k]
             );
         }
+    }
+
+    #[test]
+    fn loss_and_grad_into_reuses_buffer_bitwise() {
+        let m = mlp(7);
+        let data = xor_ish_data();
+        let (loss, grad) = m.loss_and_grad(&data, &[0, 1, 2]);
+        // Seed the buffer with garbage of the right length: the override
+        // must zero it, not accumulate on top.
+        let mut buf = Vector::filled(m.dim(), 123.0);
+        let loss_into = m.loss_and_grad_into(&data, &[0, 1, 2], &mut buf);
+        assert_eq!(loss, loss_into);
+        assert_eq!(grad.as_slice(), buf.as_slice());
+        // Wrong-length buffers are resized rather than trusted.
+        let mut short = Vector::zeros(1);
+        let loss_short = m.loss_and_grad_into(&data, &[0, 1, 2], &mut short);
+        assert_eq!(loss, loss_short);
+        assert_eq!(grad.as_slice(), short.as_slice());
     }
 
     #[test]

@@ -37,4 +37,6 @@ pub mod timeline;
 
 pub use device::DeviceProfile;
 pub use link::LinkProfile;
-pub use timeline::{simulate_timeline, Architecture, NetworkEnv, TimeBreakdown, Timeline, TraceConfig};
+pub use timeline::{
+    simulate_timeline, Architecture, NetworkEnv, TimeBreakdown, Timeline, TraceConfig,
+};

@@ -34,7 +34,10 @@ impl LinkProfile {
     /// negative.
     pub fn new(name: impl Into<String>, bandwidth_mbps: f64, latency_ms: f64, jitter: f64) -> Self {
         let name = name.into();
-        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive for {name}");
+        assert!(
+            bandwidth_mbps > 0.0,
+            "bandwidth must be positive for {name}"
+        );
         assert!(latency_ms > 0.0, "latency must be positive for {name}");
         assert!(jitter >= 0.0, "jitter must be non-negative for {name}");
         LinkProfile {
@@ -83,8 +86,7 @@ impl LinkProfile {
     pub fn sample_shared_transfer_ms(&self, bytes: u64, flows: usize, rng: &mut StdRng) -> f64 {
         assert!(flows > 0, "at least one flow required");
         let latency = self.latency_ms * rng.gen_range(1.0..=1.0 + self.jitter.max(f64::EPSILON));
-        let serialization =
-            (bytes as f64 * 8.0 * flows as f64) / (self.bandwidth_mbps * 1000.0); // ms
+        let serialization = (bytes as f64 * 8.0 * flows as f64) / (self.bandwidth_mbps * 1000.0); // ms
         latency + serialization
     }
 

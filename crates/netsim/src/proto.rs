@@ -155,10 +155,18 @@ impl Message {
     fn vectors(&self) -> Vec<&Vector> {
         match self {
             Message::WorkerUpload {
-                y, x, grad_sum, y_sum, ..
+                y,
+                x,
+                grad_sum,
+                y_sum,
+                ..
             } => vec![y, x, grad_sum, y_sum],
-            Message::EdgeBroadcast { y_minus, x_plus, .. }
-            | Message::EdgeUpload { y_minus, x_plus, .. } => vec![y_minus, x_plus],
+            Message::EdgeBroadcast {
+                y_minus, x_plus, ..
+            }
+            | Message::EdgeUpload {
+                y_minus, x_plus, ..
+            } => vec![y_minus, x_plus],
             Message::CloudBroadcast { y, x, .. } => vec![y, x],
             Message::ModelOnly { x, .. } => vec![x],
         }

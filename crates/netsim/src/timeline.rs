@@ -412,8 +412,18 @@ mod tests {
         let cfg = TraceConfig::new(schedule3(), h, Architecture::ThreeTier, 100_000, 3);
         let tl = simulate_timeline(&env, &cfg);
         let curve: ConvergenceCurve = [
-            EvalPoint { iteration: 50, train_loss: 1.0, test_loss: 1.0, test_accuracy: 0.7 },
-            EvalPoint { iteration: 100, train_loss: 0.5, test_loss: 0.5, test_accuracy: 0.96 },
+            EvalPoint {
+                iteration: 50,
+                train_loss: 1.0,
+                test_loss: 1.0,
+                test_accuracy: 0.7,
+            },
+            EvalPoint {
+                iteration: 100,
+                train_loss: 0.5,
+                test_loss: 0.5,
+                test_accuracy: 0.96,
+            },
         ]
         .into_iter()
         .collect();

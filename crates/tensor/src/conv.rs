@@ -122,7 +122,11 @@ pub fn conv2d_backward(
     let (n, c_in, h, w) = input.shape();
     let (c_out, _, kh, kw) = weight.shape();
     let (gn, gc, oh, ow) = grad_out.shape();
-    assert_eq!((gn, gc), (n, c_out), "conv2d_backward batch/channel mismatch");
+    assert_eq!(
+        (gn, gc),
+        (n, c_out),
+        "conv2d_backward batch/channel mismatch"
+    );
     assert_eq!(
         (oh, ow),
         (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1),
@@ -160,19 +164,15 @@ pub fn conv2d_backward(
                             // grad_input[iy][ix] += g · w.
                             let wv = w_plane[ky * kw + kx];
                             if wv != 0.0 {
-                                let gi_seg =
-                                    &mut gi_plane[row + ix_start..row + ix_start + len];
+                                let gi_seg = &mut gi_plane[row + ix_start..row + ix_start + len];
                                 for (gi, &g) in gi_seg.iter_mut().zip(go_seg) {
                                     *gi += wv * g;
                                 }
                             }
                             // grad_weight[ky][kx] += ⟨g_row, in_row⟩.
                             let in_seg = &in_plane[row + ix_start..row + ix_start + len];
-                            gw_local[ky * kw + kx] += go_seg
-                                .iter()
-                                .zip(in_seg)
-                                .map(|(&g, &i)| g * i)
-                                .sum::<f32>();
+                            gw_local[ky * kw + kx] +=
+                                go_seg.iter().zip(in_seg).map(|(&g, &i)| g * i).sum::<f32>();
                         }
                     }
                 }
@@ -278,7 +278,11 @@ pub fn global_avg_pool_backward(
     grad_out: &Tensor4,
 ) -> Tensor4 {
     let (n, c, h, w) = input_shape;
-    assert_eq!(grad_out.shape(), (n, c, 1, 1), "global_avg_pool_backward shape");
+    assert_eq!(
+        grad_out.shape(),
+        (n, c, 1, 1),
+        "global_avg_pool_backward shape"
+    );
     let mut grad_input = Tensor4::zeros(n, c, h, w);
     let scale = 1.0 / (h * w) as f32;
     for b in 0..n {
@@ -397,20 +401,26 @@ mod tests {
     fn conv_backward_matches_finite_differences() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let input = Tensor4::from_data(1, 2, 4, 4, (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect());
-        let weight = Tensor4::from_data(2, 2, 3, 3, (0..36).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let input = Tensor4::from_data(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let weight = Tensor4::from_data(
+            2,
+            2,
+            3,
+            3,
+            (0..36).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         let bias = vec![0.1, -0.2];
         let pad = 1;
 
         // Loss = sum of outputs, so upstream gradient is all ones.
         let out = conv2d_forward(&input, &weight, &bias, pad);
-        let ones = Tensor4::from_data(
-            out.n(),
-            out.c(),
-            out.h(),
-            out.w(),
-            vec![1.0; out.len()],
-        );
+        let ones = Tensor4::from_data(out.n(), out.c(), out.h(), out.w(), vec![1.0; out.len()]);
         let (gi, gw, gb) = conv2d_backward(&input, &weight, pad, &ones);
 
         let eps = 1e-2f32;
@@ -454,13 +464,7 @@ mod tests {
 
     #[test]
     fn max_pool_selects_maximum_and_routes_gradient() {
-        let input = Tensor4::from_data(
-            1,
-            1,
-            2,
-            4,
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
-        );
+        let input = Tensor4::from_data(1, 1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]);
         let res = max_pool2x2_forward(&input);
         assert_eq!(res.output.shape(), (1, 1, 1, 2));
         assert_eq!(res.output.as_slice(), &[5.0, 9.0]);
@@ -479,7 +483,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_round_trip() {
-        let input = Tensor4::from_data(1, 2, 2, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let input =
+            Tensor4::from_data(1, 2, 2, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
         let out = global_avg_pool_forward(&input);
         assert_eq!(out.as_slice(), &[2.5, 10.0]);
         let go = Tensor4::from_data(1, 2, 1, 1, vec![4.0, 8.0]);

@@ -164,41 +164,110 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
+    /// Internally transposes `other` once and runs the blocked kernel
+    /// ([`Matrix::matmul_transposed_into`]), so both operands stream
+    /// through cache contiguously. Allocation-sensitive callers should hold
+    /// the scratch/output buffers themselves and use
+    /// [`Matrix::matmul_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut bt = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut bt, &mut out);
+        out
+    }
+
+    /// Matrix product `self · other` written into `out`, with `bt` reused
+    /// as the transposed-`other` scratch buffer.
+    ///
+    /// After the first call at a given shape, subsequent calls perform zero
+    /// heap allocation: both `bt` and `out` are resized in place and their
+    /// storage is recycled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, bt: &mut Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (d, &b) in dst.iter_mut().zip(orow) {
-                    *d += a * b;
+        other.transpose_into(bt);
+        self.matmul_transposed_into(bt, out);
+    }
+
+    /// Blocked product `self · btᵀ` where `bt` is already the transpose of
+    /// the right-hand operand.
+    ///
+    /// The kernel tiles the `(row, col)` output space so a block of `self`
+    /// rows is reused against a block of `bt` rows while both are hot in
+    /// cache; every inner product runs over `k` in increasing order with a
+    /// single `f32` accumulator. Blocking therefore only reorders *which
+    /// output element* is computed next — each element's summation order is
+    /// identical to the naive triple loop, so results are bitwise equal to
+    /// the textbook implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ (`self.cols != bt.cols`).
+    pub fn matmul_transposed_into(&self, bt: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, bt.cols,
+            "matmul_transposed dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, bt.rows, bt.cols
+        );
+        /// Output-tile edge: 32×32 f32 tiles of A-rows and Bᵀ-rows stay
+        /// resident in L1/L2 across the tile's inner products.
+        const BLOCK: usize = 32;
+        let (n, m, kk) = (self.rows, bt.rows, self.cols);
+        out.reshape(n, m);
+        for r0 in (0..n).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(n);
+            for c0 in (0..m).step_by(BLOCK) {
+                let c1 = (c0 + BLOCK).min(m);
+                for r in r0..r1 {
+                    let arow = &self.data[r * kk..(r + 1) * kk];
+                    let orow = &mut out.data[r * m + c0..r * m + c1];
+                    for (o, c) in orow.iter_mut().zip(c0..c1) {
+                        let brow = &bt.data[c * kk..(c + 1) * kk];
+                        let mut acc = 0.0f32;
+                        for (a, b) in arow.iter().zip(brow) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
                 }
             }
         }
-        out
     }
 
     /// Returns the transpose of `self`.
     pub fn transposed(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out`, recycling its storage.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
+    }
+
+    /// Resizes to `rows × cols` reusing the existing allocation; contents
+    /// afterwards are unspecified (every element is overwritten by callers).
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 }
 
@@ -251,6 +320,67 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Naive triple-loop reference: `out[r][c] = Σ_k a[r][k]·b[k][c]`,
+    /// increasing `k`, one accumulator per element.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.at(r, k) * b.at(k, c);
+                }
+                *out.at_mut(r, c) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_naive() {
+        // Shapes straddling the 32-wide block boundary on every axis.
+        let (n, k, m) = (37, 41, 35);
+        let a = Matrix::from_rows(
+            n,
+            k,
+            (0..n * k)
+                .map(|i| ((i * 37 % 97) as f32 - 48.0) / 7.0)
+                .collect(),
+        );
+        let b = Matrix::from_rows(
+            k,
+            m,
+            (0..k * m)
+                .map(|i| ((i * 53 % 89) as f32 - 44.0) / 9.0)
+                .collect(),
+        );
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn matmul_into_recycles_buffers() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut bt = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut bt, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Second call at the same shape reuses the buffers and agrees.
+        a.matmul_into(&b, &mut bt, &mut out);
+        assert_eq!(out, naive_matmul(&a, &b));
+        assert_eq!(bt, b.transposed());
+    }
+
+    #[test]
+    fn transpose_into_overwrites_stale_contents() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = Matrix::from_rows(1, 2, vec![9.0, 9.0]);
+        m.transpose_into(&mut out);
+        assert_eq!(out, m.transposed());
     }
 
     #[test]

@@ -52,12 +52,7 @@ pub fn softmax(logits: &Vector) -> Vector {
 /// Numerically-stable log-softmax.
 pub fn log_softmax(logits: &Vector) -> Vector {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = logits
-        .iter()
-        .map(|&v| (v - max).exp())
-        .sum::<f32>()
-        .ln()
-        + max;
+    let log_sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
     logits.iter().map(|&v| v - log_sum).collect()
 }
 

@@ -88,6 +88,49 @@ impl Vector {
         }
     }
 
+    /// Copies `other`'s elements into `self` without reallocating when the
+    /// lengths already match (the steady state of a training loop).
+    ///
+    /// This is the allocation-free alternative to `*self = other.clone()`:
+    /// per-worker scratch buffers in the execution engine are reused across
+    /// local steps via `copy_from` + [`Vector::axpy`].
+    pub fn copy_from(&mut self, other: &Vector) {
+        if self.len() == other.len() {
+            self.0.copy_from_slice(&other.0);
+        } else {
+            self.0.clear();
+            self.0.extend_from_slice(&other.0);
+        }
+    }
+
+    /// Reverse in-place subtraction: `self = other - self`, element-wise.
+    ///
+    /// Produces bit-identical results to `&other - &self` (same operand
+    /// order per element) without allocating, which lets momentum updates
+    /// like `v = y_new - y_old` reuse an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn sub_from(&mut self, other: &Vector) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "sub_from length mismatch: {} vs {}",
+            self.len(),
+            other.len()
+        );
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = b - *a;
+        }
+    }
+
+    /// Sets every element to `value` (typically `0.0` to recycle a scratch
+    /// buffer before gradient accumulation).
+    pub fn fill(&mut self, value: f32) {
+        self.0.fill(value);
+    }
+
     /// In-place multiplication by a scalar.
     pub fn scale_in_place(&mut self, alpha: f32) {
         for a in &mut self.0 {
@@ -113,11 +156,7 @@ impl Vector {
             self.len(),
             other.len()
         );
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean (ℓ2) norm.
@@ -397,6 +436,42 @@ mod tests {
     fn axpy_length_mismatch_panics() {
         let mut a = Vector::zeros(2);
         a.axpy(1.0, &Vector::zeros(3));
+    }
+
+    #[test]
+    fn copy_from_reuses_storage() {
+        let mut a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![9.0, -4.0]);
+        a.copy_from(&b);
+        assert_eq!(a.as_slice(), b.as_slice());
+        // Length change still works (grows/shrinks as needed).
+        let c = Vector::from(vec![1.0, 2.0, 3.0]);
+        a.copy_from(&c);
+        assert_eq!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn sub_from_matches_operator() {
+        let y_new = Vector::from(vec![1.5, -2.25, 0.125]);
+        let y_old = Vector::from(vec![0.5, 0.75, -1.0]);
+        let reference = &y_new - &y_old;
+        let mut buf = y_old.clone();
+        buf.sub_from(&y_new);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "sub_from length mismatch")]
+    fn sub_from_length_mismatch_panics() {
+        let mut a = Vector::zeros(2);
+        a.sub_from(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn fill_overwrites_all() {
+        let mut a = Vector::from(vec![1.0, 2.0, 3.0]);
+        a.fill(0.0);
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -216,3 +216,50 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked transposed-B `matmul` kernel is *bitwise* equal to the
+    /// naive triple loop on arbitrary shapes: blocking only reorders which
+    /// output element is computed next, never an element's own summation
+    /// order, so exact f32 equality — not an epsilon — is the contract.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        rows in 1usize..48,
+        inner in 1usize..48,
+        cols in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_rows(
+            rows, inner,
+            (0..rows * inner).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+        );
+        let b = Matrix::from_rows(
+            inner, cols,
+            (0..inner * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+        );
+        // Naive reference: out[r][c] = Σ_k a[r][k]·b[k][c], increasing k,
+        // one accumulator per element.
+        let mut reference = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = 0.0f32;
+                for k in 0..inner {
+                    acc += a.at(r, k) * b.at(k, c);
+                }
+                *reference.at_mut(r, c) = acc;
+            }
+        }
+        let fast = a.matmul(&b);
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+
+        // The buffer-reusing form is the same kernel, byte for byte.
+        let mut bt = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut bt, &mut out);
+        prop_assert_eq!(out.as_slice(), reference.as_slice());
+    }
+}

@@ -129,7 +129,11 @@ impl Schedule {
     ///
     /// Panics if `t == 0` or `t > T`.
     pub fn tick(&self, t: usize) -> Tick {
-        assert!(t >= 1 && t <= self.total, "tick {t} outside 1..={}", self.total);
+        assert!(
+            t >= 1 && t <= self.total,
+            "tick {t} outside 1..={}",
+            self.total
+        );
         let edge_aggregation = t.is_multiple_of(self.tau).then(|| t / self.tau);
         let cloud_aggregation = t
             .is_multiple_of(self.tau * self.pi)
@@ -157,10 +161,7 @@ mod tests {
         let s = Schedule::three_tier(10, 2, 1000).unwrap();
         assert_eq!(s.num_edge_aggregations(), 100);
         assert_eq!(s.num_cloud_aggregations(), 50);
-        assert_eq!(
-            s.num_edge_aggregations() * s.tau(),
-            s.total_iterations()
-        );
+        assert_eq!(s.num_edge_aggregations() * s.tau(), s.total_iterations());
         assert_eq!(
             s.num_cloud_aggregations() * s.tau() * s.pi(),
             s.total_iterations()
@@ -206,7 +207,10 @@ mod tests {
         );
         assert_eq!(
             Schedule::three_tier(3, 2, 10),
-            Err(ScheduleError::Indivisible { total: 10, round: 6 })
+            Err(ScheduleError::Indivisible {
+                total: 10,
+                round: 6
+            })
         );
         // Error type displays usefully.
         let msg = Schedule::three_tier(3, 2, 10).unwrap_err().to_string();

@@ -11,7 +11,7 @@
 //! ```
 
 use hieradmo::core::algorithms::HierFavg;
-use hieradmo::core::state::{FlState, WorkerState};
+use hieradmo::core::state::{EdgeView, FlState, WorkerState};
 use hieradmo::core::strategy::{Strategy, Tier};
 use hieradmo::core::{run, RunConfig, RunError};
 use hieradmo::data::partition::x_class_partition;
@@ -42,22 +42,25 @@ impl Strategy for HierProx {
         &self,
         _t: usize,
         worker: &mut WorkerState,
-        grad: &mut dyn FnMut(&Vector) -> Vector,
+        grad: &mut dyn FnMut(&Vector, &mut Vector),
     ) {
-        let g = grad(&worker.x);
+        // The gradient lands in the worker's scratch buffer, so the step
+        // stays allocation-free apart from the proximal drift term.
+        let mut g = std::mem::take(&mut worker.scratch);
+        grad(&worker.x, &mut g);
         // The anchor (last distributed edge model) lives in `y`, which
         // this algorithm repurposes since it runs no worker momentum.
         let mut drift = worker.x.clone();
         drift -= &worker.y;
-        let mut direction = g;
-        direction.axpy(self.mu, &drift);
-        worker.x.axpy(-self.eta, &direction);
+        g.axpy(self.mu, &drift);
+        worker.x.axpy(-self.eta, &g);
+        worker.scratch = g;
     }
 
-    fn edge_aggregate(&self, _k: usize, edge: usize, state: &mut FlState) {
-        let avg = state.edge_average(edge, |w| &w.x);
-        state.edges[edge].x_plus = avg.clone();
-        state.for_edge_workers(edge, |w| {
+    fn edge_aggregate(&self, _k: usize, view: &mut EdgeView<'_>) {
+        let avg = view.average(|w| &w.x);
+        view.state.x_plus = avg.clone();
+        view.for_workers(|w| {
             w.x = avg.clone();
             w.y = avg.clone(); // refresh the proximal anchor
         });
@@ -94,7 +97,13 @@ fn main() -> Result<(), RunError> {
     println!("{:<12} {:>8} {:>12}", "algorithm", "acc %", "train loss");
     for (name, strategy) in [
         ("HierFAVG", &HierFavg::new(cfg.eta) as &dyn Strategy),
-        ("HierProx", &HierProx { eta: cfg.eta, mu: 0.1 }),
+        (
+            "HierProx",
+            &HierProx {
+                eta: cfg.eta,
+                mu: 0.1,
+            },
+        ),
     ] {
         let res = run(strategy, &model, &hierarchy, &shards, &tt.test, &cfg)?;
         println!(

@@ -35,7 +35,14 @@ fn main() -> Result<(), RunError> {
         ..RunConfig::default()
     };
     let h3 = Hierarchy::balanced(2, 2);
-    let res3 = run(&HierAdMo::adaptive(cfg3.eta, cfg3.gamma), &model, &h3, &shards, &tt.test, &cfg3)?;
+    let res3 = run(
+        &HierAdMo::adaptive(cfg3.eta, cfg3.gamma),
+        &model,
+        &h3,
+        &shards,
+        &tt.test,
+        &cfg3,
+    )?;
     let trace3 = TraceConfig {
         schedule: Schedule::three_tier(10, 2, total).expect("valid"),
         hierarchy: h3,
@@ -49,7 +56,14 @@ fn main() -> Result<(), RunError> {
     // Two-tier FedNAG: τ = 20 (the fairness rule).
     let cfg2 = cfg3.two_tier_equivalent();
     let h2 = Hierarchy::two_tier(4);
-    let res2 = run(&FedNag::new(cfg2.eta, cfg2.gamma), &model, &h2, &shards, &tt.test, &cfg2)?;
+    let res2 = run(
+        &FedNag::new(cfg2.eta, cfg2.gamma),
+        &model,
+        &h2,
+        &shards,
+        &tt.test,
+        &cfg2,
+    )?;
     let trace2 = TraceConfig {
         schedule: Schedule::two_tier(20, total).expect("valid"),
         hierarchy: h2,

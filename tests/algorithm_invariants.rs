@@ -37,12 +37,12 @@ fn drive(algo: &dyn Strategy, rounds: usize) -> FlState {
                 t += 1;
                 for i in 0..state.workers.len() {
                     let c = centre(i);
-                    let mut grad = |p: &Vector| p - &c;
+                    let mut grad = |p: &Vector, g: &mut Vector| *g = p - &c;
                     algo.local_step(t, &mut state.workers[i], &mut grad);
                 }
             }
             for edge in 0..state.hierarchy.num_edges() {
-                algo.edge_aggregate(k, edge, &mut state);
+                algo.edge_aggregate(k, &mut state.edge_view(edge));
             }
         }
         algo.cloud_aggregate(1, &mut state);
@@ -57,7 +57,8 @@ fn all_algorithms_synchronize_workers_at_cloud_aggregation() {
         let reference = &state.workers[0].x;
         for (i, w) in state.workers.iter().enumerate() {
             assert_eq!(
-                &w.x, reference,
+                &w.x,
+                reference,
                 "{}: worker {i} not synchronized after cloud aggregation",
                 algo.name()
             );
@@ -147,10 +148,10 @@ fn data_weights_shape_the_aggregate() {
         for _ in 0..40 {
             for i in 0..2 {
                 let c = centre(i);
-                let mut grad = |p: &Vector| p - &c;
+                let mut grad = |p: &Vector, g: &mut Vector| *g = p - &c;
                 algo.local_step(1, &mut state.workers[i], &mut grad);
             }
-            algo.edge_aggregate(1, 0, &mut state);
+            algo.edge_aggregate(1, &mut state.edge_view(0));
             algo.cloud_aggregate(1, &mut state);
         }
         state.workers[0].x.clone()

@@ -48,7 +48,12 @@ fn compressed_federation_learns_and_saves_wire_time() {
     let h = Hierarchy::balanced(2, 2);
 
     let dense = QuantizedHierFavg::new(cfg.eta, Compression::None);
-    let sparse = QuantizedHierFavg::new(cfg.eta, Compression::TopK { k: model.dim() / 10 });
+    let sparse = QuantizedHierFavg::new(
+        cfg.eta,
+        Compression::TopK {
+            k: model.dim() / 10,
+        },
+    );
     let dense_res = run(&dense, &model, &h, &shards, &test, &cfg).unwrap();
     let sparse_res = run(&sparse, &model, &h, &shards, &test, &cfg).unwrap();
 
@@ -63,10 +68,15 @@ fn compressed_federation_learns_and_saves_wire_time() {
     // the same schedule.
     let probe = Vector::filled(model.dim(), 0.5);
     let dense_bytes = Compression::None.compress(&probe, 0).wire_bytes();
-    let sparse_bytes = Compression::TopK { k: model.dim() / 10 }
-        .compress(&probe, 0)
-        .wire_bytes();
-    assert!(sparse_bytes * 4 < dense_bytes, "top-10% should be ≲ 20% of dense bytes");
+    let sparse_bytes = Compression::TopK {
+        k: model.dim() / 10,
+    }
+    .compress(&probe, 0)
+    .wire_bytes();
+    assert!(
+        sparse_bytes * 4 < dense_bytes,
+        "top-10% should be ≲ 20% of dense bytes"
+    );
 
     let env = NetworkEnv::paper_testbed(4);
     let time = |bytes: u64| {

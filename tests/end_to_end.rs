@@ -145,7 +145,10 @@ fn all_eleven_algorithms_complete_a_run() {
 #[test]
 fn agreement_adaptive_variant_also_learns() {
     let (loss, acc) = final_loss(&HierAdMo::adaptive_agreement(0.05, 0.5));
-    assert!(acc > 0.5, "HierAdMo-AG accuracy {acc} too low (loss {loss})");
+    assert!(
+        acc > 0.5,
+        "HierAdMo-AG accuracy {acc} too low (loss {loss})"
+    );
 }
 
 #[test]
@@ -164,7 +167,15 @@ fn cnn_federation_end_to_end() {
         ..RunConfig::default()
     };
     let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
-    let res = run(&algo, &model, &Hierarchy::balanced(2, 2), &shards, &tt.test, &cfg).unwrap();
+    let res = run(
+        &algo,
+        &model,
+        &Hierarchy::balanced(2, 2),
+        &shards,
+        &tt.test,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(res.curve.len(), 2);
     assert!(res.final_params.is_finite());
 }

@@ -13,10 +13,12 @@ use hieradmo::topology::Hierarchy;
 const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
 
 fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
+    // Noise and horizon are tuned so no algorithm saturates: momentum's
+    // early-phase advantage is exactly what Table II measures.
     let spec = SyntheticSpec {
         num_classes: 5,
         shape: hieradmo::data::FeatureShape::Flat(20),
-        noise: 0.9,
+        noise: 1.4,
         prototype_scale: 1.0,
         max_shift: 0,
         class_group: 1,
@@ -28,9 +30,9 @@ fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
         eta: 0.05,
         tau: 10,
         pi: 2,
-        total_iters: 200,
+        total_iters: 100,
         batch_size: 16,
-        eval_every: 200,
+        eval_every: 100,
         parallel: false,
         ..RunConfig::default()
     };
@@ -38,9 +40,11 @@ fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
         Tier::Three => (Hierarchy::balanced(2, 2), base),
         Tier::Two => (Hierarchy::two_tier(4), base.two_tier_equivalent()),
     };
-    repeat(strategy, &model, &hierarchy, &shards, &tt.test, &cfg, &SEEDS)
-        .expect("fleet run")
-        .accuracy
+    repeat(
+        strategy, &model, &hierarchy, &shards, &tt.test, &cfg, &SEEDS,
+    )
+    .expect("fleet run")
+    .accuracy
 }
 
 #[test]

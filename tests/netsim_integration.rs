@@ -63,7 +63,15 @@ fn full_trace_driven_pipeline_produces_times() {
     // Two-tier FedNAG with the fairness-rule schedule.
     let cfg2 = cfg3.two_tier_equivalent();
     let h2 = Hierarchy::two_tier(4);
-    let res2 = run(&FedNag::new(0.05, 0.5), &model, &h2, &shards, &tt.test, &cfg2).unwrap();
+    let res2 = run(
+        &FedNag::new(0.05, 0.5),
+        &model,
+        &h2,
+        &shards,
+        &tt.test,
+        &cfg2,
+    )
+    .unwrap();
     let tl2 = simulate_timeline(
         &env,
         &TraceConfig {
@@ -128,5 +136,8 @@ fn wan_dominance_grows_with_model_size() {
         "two-tier/three-tier time ratio should grow with model size: \
          {small:.3} (1k params) vs {large:.3} (5M params)"
     );
-    assert!(large > 1.0, "for big models two-tier must be slower: {large:.3}");
+    assert!(
+        large > 1.0,
+        "for big models two-tier must be slower: {large:.3}"
+    );
 }

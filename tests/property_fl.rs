@@ -192,9 +192,7 @@ fn nag_forms_are_equivalent() {
         let x0: Vector = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         // A fixed quadratic gradient field g(x) = Hx with random diagonal H.
         let diag: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
-        let grad = |x: &Vector| -> Vector {
-            x.iter().zip(&diag).map(|(v, d)| v * d).collect()
-        };
+        let grad = |x: &Vector| -> Vector { x.iter().zip(&diag).map(|(v, d)| v * d).collect() };
 
         // y-form.
         let mut xy = x0.clone();

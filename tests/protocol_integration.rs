@@ -20,7 +20,7 @@ fn state_before_aggregation() -> FlState {
     for t in 1..=5 {
         for i in 0..4 {
             let centre: Vector = (0..8).map(|d| ((i + d) % 3) as f32).collect();
-            let mut grad = |p: &Vector| p - &centre;
+            let mut grad = |p: &Vector, g: &mut Vector| *g = p - &centre;
             algo.local_step(t, &mut state.workers[i], &mut grad);
         }
     }
@@ -48,8 +48,8 @@ fn worker_upload_round_trips_live_state() {
 fn edge_and_cloud_messages_round_trip() {
     let algo = HierAdMo::adaptive(0.05, 0.5);
     let mut state = state_before_aggregation();
-    algo.edge_aggregate(1, 0, &mut state);
-    algo.edge_aggregate(1, 1, &mut state);
+    algo.edge_aggregate(1, &mut state.edge_view(0));
+    algo.edge_aggregate(1, &mut state.edge_view(1));
     for (l, e) in state.edges.iter().enumerate() {
         let broadcast = Message::EdgeBroadcast {
             sender: l as u32,

@@ -91,8 +91,7 @@ fn theorem1_gap_is_bounded_by_h() {
     }
     let safety = 1.5;
     let beta = beta * safety;
-    let delta_edge =
-        weighted_delta(&deltas, &[shards[0].len(), shards[1].len()]) * safety;
+    let delta_edge = weighted_delta(&deltas, &[shards[0].len(), shards[1].len()]) * safety;
     let consts = BoundConstants::new(f64::from(eta), beta, f64::from(gamma));
 
     for (t, virt_t) in virt.iter().enumerate().skip(1) {
@@ -182,11 +181,18 @@ fn theorem4_larger_tau_hurts_both_measured_and_bound() {
             ..RunConfig::default()
         };
         let algo = HierAdMo::reduced(0.05, 0.5, 0.5);
-        run(&algo, &model, &Hierarchy::balanced(2, 2), &shards, &test, &cfg)
-            .expect("run")
-            .curve
-            .final_train_loss()
-            .unwrap()
+        run(
+            &algo,
+            &model,
+            &Hierarchy::balanced(2, 2),
+            &shards,
+            &test,
+            &cfg,
+        )
+        .expect("run")
+        .curve
+        .final_train_loss()
+        .unwrap()
     };
     let small_tau = run_with_tau(4);
     let large_tau = run_with_tau(40);
@@ -219,7 +225,15 @@ fn theorem5_adapted_gamma_mean_is_moderate() {
         ..RunConfig::default()
     };
     let algo = HierAdMo::adaptive(0.05, 0.5);
-    let res = run(&algo, &model, &Hierarchy::balanced(2, 2), &shards, &test, &cfg).expect("run");
+    let res = run(
+        &algo,
+        &model,
+        &Hierarchy::balanced(2, 2),
+        &shards,
+        &test,
+        &cfg,
+    )
+    .expect("run");
     let mean: f32 =
         res.gamma_trace.iter().map(|&(_, g)| g).sum::<f32>() / res.gamma_trace.len() as f32;
     assert!(

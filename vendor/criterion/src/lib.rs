@@ -1,0 +1,298 @@
+//! Offline vendored stand-in for the [`criterion`] crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the macro/builder
+//! surface this workspace uses: [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`], and [`black_box`]. Statistics are
+//! simple (mean/median of timed samples) but honest; there are no HTML
+//! reports or regression baselines.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from the standard library.
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; drop would also do).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally carrying a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The final id text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Iterations per sample, chosen during warm-up.
+    iters_per_sample: u64,
+    /// Collected per-iteration times (seconds), one entry per sample.
+    samples: Vec<f64>,
+}
+
+enum BencherMode {
+    /// Warm-up: estimate cost per iteration.
+    Calibrate { spent: Duration, budget: Duration },
+    /// Measurement: record `samples`.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches sized during warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BencherMode::Calibrate { spent, budget } => {
+                let mut iters = 0u64;
+                while *spent < *budget {
+                    let start = Instant::now();
+                    black_box(routine());
+                    *spent += start.elapsed();
+                    iters += 1;
+                }
+                // Aim for roughly measurement_time / sample_size per sample.
+                self.iters_per_sample = iters.max(1);
+            }
+            BencherMode::Measure => {
+                let iters = self.iters_per_sample.max(1);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let total = start.elapsed().as_secs_f64();
+                self.samples.push(total / iters as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    // Warm-up pass: run the routine for warm_up_time to estimate cost.
+    let mut bencher = Bencher {
+        mode: BencherMode::Calibrate {
+            spent: Duration::ZERO,
+            budget: criterion.warm_up_time,
+        },
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let warm_iters = bencher.iters_per_sample;
+    let warm_secs = criterion.warm_up_time.as_secs_f64().max(1e-9);
+    let per_iter = warm_secs / warm_iters as f64;
+    let per_sample_budget = criterion.measurement_time.as_secs_f64() / criterion.sample_size as f64;
+    let iters_per_sample = ((per_sample_budget / per_iter).round() as u64).max(1);
+
+    // Measurement pass: sample_size timed batches.
+    bencher.mode = BencherMode::Measure;
+    bencher.iters_per_sample = iters_per_sample;
+    bencher.samples.clear();
+    for _ in 0..criterion.sample_size {
+        f(&mut bencher);
+    }
+
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "bench: {id:<50} mean {:>12}  median {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(median),
+        sorted.len(),
+        iters_per_sample,
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_tiny_benchmark() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.bench_function("incr", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline vendored stand-in for the [`rand_distr`] crate.
+//!
+//! Implements exactly the surface this workspace uses: the
+//! [`Distribution`] trait plus [`Normal`] and [`LogNormal`] over `f32`
+//! and `f64`, sampled with Box–Muller. Streams are deterministic per
+//! RNG seed but not bit-compatible with upstream `rand_distr` (nothing
+//! here depends on upstream streams).
+//!
+//! [`rand_distr`]: https://crates.io/crates/rand_distr
+
+use rand::Rng;
+
+/// Types that can produce samples of `T` from an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The standard deviation (or shape parameter) was negative or NaN.
+    BadVariance,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadVariance => write!(f, "standard deviation must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Floating-point ops the distributions need, implemented for `f32`/`f64`
+/// so `Normal<F>` can offer one generic constructor (letting inference
+/// resolve `F` from the arguments, as upstream does).
+pub trait Float: Copy + PartialOrd {
+    /// Archimedes' constant at this precision.
+    const PI: Self;
+    /// Zero.
+    const ZERO: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// `self * rhs`.
+    fn mul(self, rhs: Self) -> Self;
+    /// `self + rhs`.
+    fn add(self, rhs: Self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Square root of `-2 * self`.
+    fn neg_two_ln_sqrt(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Exponential.
+    fn exp(self) -> Self;
+    /// Whether the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Two at this precision.
+    const TWO: Self;
+    /// Uniform draw in `[0, 1)`.
+    fn unit<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_float {
+    ($f:ty, $pi:expr, $shift:expr, $denom:expr) => {
+        impl Float for $f {
+            const PI: $f = $pi;
+            const ZERO: $f = 0.0;
+            const MIN_POSITIVE: $f = <$f>::MIN_POSITIVE;
+            const TWO: $f = 2.0;
+
+            fn mul(self, rhs: Self) -> Self {
+                self * rhs
+            }
+
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+
+            fn ln(self) -> Self {
+                <$f>::ln(self)
+            }
+
+            fn neg_two_ln_sqrt(self) -> Self {
+                (-2.0 * <$f>::ln(self)).sqrt()
+            }
+
+            fn cos(self) -> Self {
+                <$f>::cos(self)
+            }
+
+            fn exp(self) -> Self {
+                <$f>::exp(self)
+            }
+
+            fn is_nan(self) -> bool {
+                <$f>::is_nan(self)
+            }
+
+            fn unit<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                (rng.next_u64() >> $shift) as $f * (1.0 / $denom as $f)
+            }
+        }
+    };
+}
+
+impl_float!(f32, std::f32::consts::PI, 40, (1u64 << 24));
+impl_float!(f64, std::f64::consts::PI, 11, (1u64 << 53));
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates `N(mean, std_dev²)`; errors if `std_dev` is negative or NaN.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        if std_dev.is_nan() || std_dev < F::ZERO {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: two uniforms -> one standard normal draw. u1 is
+        // nudged away from zero so ln(u1) stays finite.
+        let mut u1 = F::unit(rng);
+        if u1 < F::MIN_POSITIVE {
+            u1 = F::MIN_POSITIVE;
+        }
+        let u2 = F::unit(rng);
+        let r = u1.neg_two_ln_sqrt();
+        let theta = F::TWO.mul(F::PI).mul(u2);
+        self.mean.add(self.std_dev.mul(r.mul(theta.cos())))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates `exp(N(mu, sigma²))`; errors if `sigma` is negative or NaN.
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let dist = Normal::new(3.0f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn f32_inference_from_arguments() {
+        let dist = Normal::new(0.0f32, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: f32 = dist.sample(&mut rng);
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let dist = LogNormal::new(0.0f64, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_std_dev_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(LogNormal::new(0.0f64, -0.5).is_err());
+    }
+}

@@ -1,0 +1,478 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls against the vendored
+//! `serde` crate's value-tree model. The input is parsed directly from
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline), which is sufficient because every derived type in this
+//! workspace is a non-generic struct or enum.
+//!
+//! Supported shapes:
+//! - named-field structs (with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes)
+//! - newtype structs (serialized transparently)
+//! - enums with unit variants (`"Variant"`), one-field tuple variants
+//!   (`{"Variant": value}`), and struct variants
+//!   (`{"Variant": {..fields..}}`) — upstream's externally-tagged format
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` via the value-tree model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` via the value-tree model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity (only 1 is supported downstream).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum FieldDefault {
+    /// No attribute: absence falls back to `Deserialize::from_missing`.
+    Required,
+    /// `#[serde(default)]`.
+    Std,
+    /// `#[serde(default = "path")]`.
+    Path(String),
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the field default
+    /// if any of them is a `#[serde(default...)]`.
+    fn eat_attrs(&mut self) -> FieldDefault {
+        let mut default = FieldDefault::Required;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if let Some(d) = parse_serde_attr(g.stream()) {
+                        default = d;
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+        default
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, etc.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type expression up to a top-level `,` (angle-bracket aware),
+    /// without consuming the comma.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Extracts a `default` spec from the inside of a `#[...]` group, if it is
+/// a `serde(...)` attribute carrying one.
+fn parse_serde_attr(stream: TokenStream) -> Option<FieldDefault> {
+    let mut c = Cursor::new(stream);
+    if !c.eat_ident("serde") {
+        return None;
+    }
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde_derive: malformed #[serde] attribute, found {other:?}"),
+    };
+    let mut inner = Cursor::new(group.stream());
+    if !inner.eat_ident("default") {
+        panic!(
+            "serde_derive (vendored): unsupported #[serde(...)] attribute: {}",
+            group.stream()
+        );
+    }
+    if inner.eat_punct('=') {
+        match inner.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let s = lit.to_string();
+                let path = s.trim_matches('"').to_string();
+                Some(FieldDefault::Path(path))
+            }
+            other => panic!("serde_derive: expected path literal after default =, found {other:?}"),
+        }
+    } else {
+        Some(FieldDefault::Std)
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+
+    let keyword = loop {
+        if c.eat_ident("struct") {
+            break "struct";
+        }
+        if c.eat_ident("enum") {
+            break "enum";
+        }
+        if c.next().is_none() {
+            panic!("serde_derive: expected `struct` or `enum`");
+        }
+    };
+
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive: expected item body for {name}, found {other:?}"),
+    };
+
+    let kind = match (keyword, body.delimiter()) {
+        ("struct", Delimiter::Brace) => Kind::NamedStruct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Kind::TupleStruct(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Kind::Enum(parse_variants(body.stream())),
+        _ => panic!("serde_derive: unsupported item shape for {name}"),
+    };
+
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.eat_attrs();
+        c.eat_visibility();
+        let name = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    loop {
+        c.skip_type();
+        if c.eat_punct(',') {
+            if c.at_end() {
+                break; // trailing comma
+            }
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.eat_attrs();
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                if arity != 1 {
+                    panic!(
+                        "serde_derive (vendored): tuple variant {name} must have exactly \
+                         one field, has {arity}"
+                    );
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Kind::TupleStruct(arity) => {
+            if *arity != 1 {
+                panic!("serde_derive (vendored): tuple struct {name} must have exactly one field");
+            }
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(inner) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(\"{v}\".to_string(), ::serde::Serialize::to_value(inner));\n\
+                         ::serde::Value::Object(map)\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fields.insert(\"{0}\".to_string(), \
+                                 ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(\"{v}\".to_string(), ::serde::Value::Object(fields));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            v = v.name,
+                            binds = bindings.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression evaluating to the field's value when its key is absent.
+fn missing_expr(item: &str, f: &Field) -> String {
+    match &f.default {
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+        FieldDefault::Required => format!(
+            "match ::serde::Deserialize::from_missing() {{\n\
+             ::std::option::Option::Some(v) => v,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::DeError::msg(\"missing field `{field}` in {item}\")),\n}}",
+            field = f.name,
+        ),
+    }
+}
+
+/// Struct-literal field initializers reading from an object `obj`.
+fn named_field_inits(item: &str, fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!(
+            "{field}: match obj.get(\"{field}\") {{\n\
+             ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            field = f.name,
+            missing = missing_expr(item, f),
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => format!(
+            "let obj = v.as_object().ok_or_else(|| \
+             ::serde::DeError::msg(\"expected object for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{\n{inits}}})",
+            inits = named_field_inits(name, fields),
+        ),
+        Kind::TupleStruct(arity) => {
+            if *arity != 1 {
+                panic!("serde_derive (vendored): tuple struct {name} must have exactly one field");
+            }
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => keyed_arms.push_str(&format!(
+                        "if let ::std::option::Option::Some(inner) = obj.get(\"{v}\") {{\n\
+                         return ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(inner)?));\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => keyed_arms.push_str(&format!(
+                        "if let ::std::option::Option::Some(inner) = obj.get(\"{v}\") {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::msg(\"expected object for {name}::{v}\"))?;\n\
+                         return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n}}\n",
+                        v = v.name,
+                        inits = named_field_inits(name, fields),
+                    )),
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                 {keyed_arms}\
+                 let _ = obj;\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"unrecognised {name} variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

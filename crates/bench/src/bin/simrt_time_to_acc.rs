@@ -1,0 +1,141 @@
+//! **Fig. 2(h)/(l), co-simulated**: time-to-target-accuracy under the
+//! event-driven runtime, in one pass per (policy, architecture) cell.
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin simrt_time_to_acc -- \
+//!     [--scale quick|paper] [--target 0.8] [--workload logistic-mnist] [--seed 41]
+//! ```
+//!
+//! Unlike `fig2hl_time` — which trains a logical-time curve and *replays*
+//! it against a fixed network trace — this binary runs training **inside**
+//! the network simulation (`hieradmo-simrt`), so delays gate aggregation
+//! and the synchronization policy changes the trajectory itself:
+//!
+//! - `full-sync`: the paper's barrier semantics on an honest time axis;
+//! - `deadline(q=0.5,200ms)`: semi-synchronous quorum firing — stragglers
+//!   carry over with recorded staleness;
+//! - `async(age<=2)`: per-arrival firing with a bounded age.
+//!
+//! Each is swept over the three-tier (τ=10, π=2) and two-tier (τ=20, π=1)
+//! architectures of Fig. 2, and every row is emitted as a
+//! `SimRunRecord` JSON line with its derived `time_to_target_s`.
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_bench::{Report, Scale, Workload};
+use hieradmo_core::algorithms::HierAdMo;
+use hieradmo_core::{RunConfig, Strategy};
+use hieradmo_data::partition::x_class_partition;
+use hieradmo_metrics::export::SimRunRecord;
+use hieradmo_models::Model;
+use hieradmo_netsim::payload::payload_bytes;
+use hieradmo_netsim::{Architecture, NetworkEnv};
+use hieradmo_simrt::{simulate, SimConfig, SyncPolicy};
+use hieradmo_topology::Hierarchy;
+
+const EDGES: usize = 2;
+const WORKERS: usize = 4;
+/// Algorithm 1 line 9 ships y, x, Σ∇F, Σy per upload.
+const UPLOAD_VECTORS: usize = 4;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let target: f64 = cli.get_or("target", 0.8);
+    let seed: u64 = cli.get_or("seed", 41);
+    let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
+
+    let tt = workload.dataset(scale, seed);
+    let model = workload.model(&tt.train, seed.wrapping_add(100));
+    let x = workload.noniid_classes(tt.train.num_classes());
+    let shards = x_class_partition(&tt.train, WORKERS, x, seed.wrapping_add(2));
+    let env = NetworkEnv::paper_testbed(WORKERS);
+    let payload = payload_bytes(model.dim(), UPLOAD_VECTORS);
+
+    let policies = [
+        SyncPolicy::FullSync,
+        SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 200.0,
+        },
+        SyncPolicy::AsyncAge { max_staleness: 2 },
+    ];
+    let architectures = [
+        (Architecture::ThreeTier, 10usize, 2usize),
+        (Architecture::TwoTier, 20, 1),
+    ];
+
+    let mut report = Report::new(
+        "simrt_time_to_acc",
+        vec![
+            "policy".into(),
+            "arch".into(),
+            format!("time to {target:.2} (s)"),
+            "total (s)".into(),
+            "final acc %".into(),
+            "events".into(),
+        ],
+    );
+
+    for &(arch, tau, pi) in &architectures {
+        let hierarchy = match arch {
+            Architecture::ThreeTier => Hierarchy::balanced(EDGES, WORKERS / EDGES),
+            Architecture::TwoTier => Hierarchy::two_tier(WORKERS),
+        };
+        let total = {
+            let round = tau * pi;
+            match scale {
+                Scale::Quick => (workload.total_iters(scale) / 4).max(round),
+                Scale::Paper => workload.total_iters(scale),
+            }
+            .div_ceil(round)
+                * round
+        };
+        let cfg = RunConfig {
+            tau,
+            pi,
+            total_iters: total,
+            batch_size: scale.batch_size(),
+            eval_every: (total / 20).max(1),
+            seed,
+            ..RunConfig::default()
+        };
+        let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+        for &policy in &policies {
+            eprintln!(
+                "[simrt] {} under {} on {arch:?}",
+                algo.name(),
+                policy.label()
+            );
+            let sim = SimConfig::new(env.clone(), arch, payload, seed.wrapping_add(7), policy);
+            let res = simulate(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
+                .expect("co-simulation failed");
+            let final_acc = res
+                .timed_curve
+                .points()
+                .last()
+                .map_or(0.0, |p| p.test_accuracy);
+            let record = SimRunRecord::new(
+                res.algorithm.clone(),
+                res.policy.clone(),
+                res.timed_curve.clone(),
+                target,
+                res.utilization.clone(),
+            );
+            report.row(
+                vec![
+                    res.policy.clone(),
+                    format!("{arch:?}"),
+                    record
+                        .time_to_target_s
+                        .map_or("never".into(), |s| format!("{s:.2}")),
+                    format!("{:.2}", res.simulated_seconds),
+                    format!("{:.2}", final_acc * 100.0),
+                    res.events.to_string(),
+                ],
+                &record,
+            );
+        }
+    }
+
+    println!("{}", report.render());
+}

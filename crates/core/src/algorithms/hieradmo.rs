@@ -244,6 +244,134 @@ impl Strategy for HierAdMo {
             w.x = x_cloud.clone();
         });
     }
+
+    /// Age-weighted edge aggregation for relaxed-synchrony drivers.
+    ///
+    /// Two deviations from the synchronous hook, both restricted to the
+    /// updates actually received:
+    ///
+    /// 1. the adaptive-`γℓ` cosine (Eq. 6) is computed only over *fresh*
+    ///    workers (`staleness == 0`), with their data weights renormalized
+    ///    — stale accumulators describe an older model and would poison the
+    ///    agreement signal;
+    /// 2. the momentum/model averages down-weight each worker by
+    ///    `1/(1 + staleness)`, the standard staleness discount of async FL,
+    ///    so a carried-over update decays rather than dominating.
+    ///
+    /// With an all-zero staleness vector this is exactly
+    /// [`Strategy::edge_aggregate`].
+    fn edge_aggregate_stale(&self, k: usize, view: &mut EdgeView<'_>, staleness: &[usize]) {
+        debug_assert_eq!(staleness.len(), view.num_workers());
+        if staleness.iter().all(|&s| s == 0) {
+            self.edge_aggregate(k, view);
+            return;
+        }
+
+        let fresh_weight: f64 = view
+            .weighted_workers()
+            .zip(staleness)
+            .filter(|(_, &s)| s == 0)
+            .map(|((wt, _), _)| wt)
+            .sum();
+        let cos_theta = match self.mode {
+            GammaMode::Fixed(_) => 0.0,
+            _ if fresh_weight <= 0.0 => 0.0,
+            GammaMode::Adaptive => weighted_cosine(
+                view.weighted_workers()
+                    .zip(staleness)
+                    .filter(|(_, &s)| s == 0)
+                    .map(|((wt, w), _)| (wt / fresh_weight, &w.grad_accum, &w.y_accum)),
+            ),
+            GammaMode::AdaptiveAgreement => {
+                let edge_disp = Vector::weighted_average(
+                    view.weighted_workers()
+                        .zip(staleness)
+                        .filter(|(_, &s)| s == 0)
+                        .map(|((wt, w), _)| (wt, &w.v_accum)),
+                );
+                view.weighted_workers()
+                    .zip(staleness)
+                    .filter(|(_, &s)| s == 0)
+                    .map(|((wt, w), _)| (wt / fresh_weight) as f32 * w.v_accum.cosine(&edge_disp))
+                    .sum()
+            }
+            GammaMode::AdaptiveGradientAlignment => weighted_cosine(
+                view.weighted_workers()
+                    .zip(staleness)
+                    .filter(|(_, &s)| s == 0)
+                    .map(|((wt, w), _)| (wt / fresh_weight, &w.grad_accum, &w.v_accum)),
+            ),
+        };
+        let gamma_edge = match self.mode {
+            GammaMode::Fixed(g) => g,
+            _ => clamp_gamma(cos_theta),
+        };
+
+        // Lines 11–13 with the staleness discount folded into the data
+        // weights (`Vector::weighted_average` renormalizes internally).
+        let age = |s: usize| 1.0 / (1.0 + s as f64);
+        let y_minus = Vector::weighted_average(
+            view.weighted_workers()
+                .zip(staleness)
+                .map(|((wt, w), &s)| (wt * age(s), &w.y)),
+        );
+        let y_plus_new = Vector::weighted_average(
+            view.weighted_workers()
+                .zip(staleness)
+                .map(|((wt, w), &s)| (wt * age(s), &w.x)),
+        );
+        let mut x_plus = y_plus_new.clone();
+        let delta = &y_plus_new - &view.state.y_plus;
+        x_plus.axpy(gamma_edge, &delta);
+
+        let e = &mut *view.state;
+        e.y_plus = y_plus_new;
+        e.x_plus = x_plus.clone();
+        e.y_minus = y_minus.clone();
+        e.gamma_edge = gamma_edge;
+        e.cos_theta = cos_theta;
+
+        view.for_workers(|w| {
+            w.y = y_minus.clone();
+            w.x = x_plus.clone();
+            w.reset_accumulators();
+        });
+    }
+
+    /// Age-weighted cloud aggregation: edges are down-weighted by
+    /// `1/(1 + staleness)` before the lines 18–19 averages; distribution is
+    /// unchanged. All-zero staleness is exactly
+    /// [`Strategy::cloud_aggregate`].
+    fn cloud_aggregate_stale(&self, p: usize, state: &mut FlState, staleness: &[usize]) {
+        debug_assert_eq!(staleness.len(), state.edges.len());
+        if staleness.iter().all(|&s| s == 0) {
+            self.cloud_aggregate(p, state);
+            return;
+        }
+        let age = |s: usize| 1.0 / (1.0 + s as f64);
+        let y_cloud = Vector::weighted_average(state.edges.iter().enumerate().map(|(l, e)| {
+            (
+                state.weights.edge_in_total(l) * age(staleness[l]),
+                &e.y_minus,
+            )
+        }));
+        let x_cloud = Vector::weighted_average(state.edges.iter().enumerate().map(|(l, e)| {
+            (
+                state.weights.edge_in_total(l) * age(staleness[l]),
+                &e.x_plus,
+            )
+        }));
+        state.cloud.y = y_cloud.clone();
+        state.cloud.x = x_cloud.clone();
+        for e in &mut state.edges {
+            e.y_minus = y_cloud.clone();
+            e.x_plus = x_cloud.clone();
+        }
+        state.for_all_workers(|w| {
+            w.y = y_cloud.clone();
+            w.x = x_cloud.clone();
+        });
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +429,78 @@ mod tests {
         let h = Hierarchy::balanced(2, 2);
         let res = run(&algo, &model, &h, &shards, &test, &cfg).unwrap();
         assert_eq!(res.curve.len(), 1);
+    }
+
+    fn toy_state() -> crate::state::FlState {
+        use hieradmo_topology::Weights;
+        let h = Hierarchy::balanced(2, 2);
+        let w = Weights::from_samples(&h, &[10, 20, 30, 40]);
+        let mut s = crate::state::FlState::new(h, w, &Vector::from(vec![1.0, -1.0, 0.5]));
+        for (i, ws) in s.workers.iter_mut().enumerate() {
+            let v = i as f32 + 1.0;
+            ws.x = Vector::from(vec![v, -v, v * 0.5]);
+            ws.y = Vector::from(vec![v * 0.1, v, -v]);
+            ws.grad_accum = Vector::from(vec![-v, v * 0.3, 0.2]);
+            ws.y_accum = Vector::from(vec![v, -v * 0.2, 0.1]);
+            ws.v_accum = Vector::from(vec![0.5, v, -0.25]);
+            ws.steps = 3;
+        }
+        s
+    }
+
+    #[test]
+    fn stale_hook_with_zero_staleness_matches_synchronous_hook() {
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let mut a = toy_state();
+        let mut b = a.clone();
+        algo.edge_aggregate(1, &mut a.edge_view(0));
+        algo.edge_aggregate_stale(1, &mut b.edge_view(0), &[0, 0]);
+        assert_eq!(a.workers, b.workers);
+        assert_eq!(a.edges[0], b.edges[0]);
+        algo.cloud_aggregate(1, &mut a);
+        algo.cloud_aggregate_stale(1, &mut b, &[0, 0]);
+        assert_eq!(a.workers, b.workers);
+        assert_eq!(a.cloud, b.cloud);
+    }
+
+    #[test]
+    fn stale_hook_down_weights_old_updates() {
+        let algo = HierAdMo::reduced(0.05, 0.5, 0.0);
+        let mut fresh = toy_state();
+        let mut stale = fresh.clone();
+        algo.edge_aggregate_stale(1, &mut fresh.edge_view(0), &[0, 0]);
+        algo.edge_aggregate_stale(1, &mut stale.edge_view(0), &[0, 3]);
+        // Worker 1 (the heavier shard) is stale: discounting it must pull
+        // the aggregate toward worker 0's model.
+        let toward_w0 = |s: &crate::state::FlState| {
+            let d = &s.edges[0].y_plus - &Vector::from(vec![1.0, -1.0, 0.5]);
+            d.norm()
+        };
+        assert!(
+            toward_w0(&stale) < toward_w0(&fresh),
+            "staleness discount should shift the edge model toward the fresh worker"
+        );
+    }
+
+    #[test]
+    fn stale_cosine_ignores_stale_workers() {
+        let algo = HierAdMo::adaptive(0.05, 0.5);
+        let mut s = toy_state();
+        // Make worker 1's accumulators pathological; marking it stale must
+        // keep the cosine equal to a lone-worker-0 edge.
+        s.workers[1].grad_accum = Vector::from(vec![1e6, -1e6, 1e6]);
+        s.workers[1].y_accum = Vector::from(vec![-1e6, 1e6, -1e6]);
+        // Reference: with worker 1 stale, the renormalized cosine reduces
+        // to worker 0's own (−Σ∇F, Σy) cosine at full weight.
+        let w0 = &s.workers[0];
+        let expected = (-&w0.grad_accum).cosine(&w0.y_accum);
+        algo.edge_aggregate_stale(1, &mut s.edge_view(0), &[0, 2]);
+        assert!(
+            (s.edges[0].cos_theta - expected).abs() < 1e-6,
+            "cos {} vs lone-fresh-worker {}",
+            s.edges[0].cos_theta,
+            expected
+        );
     }
 
     #[test]

@@ -144,10 +144,13 @@ impl RunConfig {
 
     /// Resolves the execution-engine thread count.
     ///
-    /// `threads` wins when set; otherwise the deprecated `parallel` flag
-    /// maps `true` to the machine's available parallelism and `false` to 1.
-    /// Always at least 1.
-    pub fn effective_threads(&self) -> usize {
+    /// This is the single place the deprecated [`RunConfig::parallel`] flag
+    /// and [`RunConfig::threads`] are folded together; both the tick-driven
+    /// engine ([`crate::driver::run`]) and the event-driven co-simulation
+    /// runtime (`hieradmo-simrt`) consult it. `threads` wins when set;
+    /// otherwise `parallel` maps `true` to the machine's available
+    /// parallelism and `false` to 1. Always at least 1.
+    pub fn resolved_threads(&self) -> usize {
         match self.threads {
             Some(n) => n.max(1),
             None if self.parallel => std::thread::available_parallelism()
@@ -191,14 +194,55 @@ mod tests {
         assert!(bad(&|c| c.eta = 0.0));
         assert!(bad(&|c| c.gamma = 1.0));
         assert!(bad(&|c| c.gamma_edge = -0.1));
-        assert!(bad(&|c| c.tau = 0));
         assert!(bad(&|c| c.total_iters = 1001));
         assert!(bad(&|c| c.batch_size = 0));
-        assert!(bad(&|c| c.eval_every = 0));
-        assert!(bad(&|c| c.dropout = 1.5));
-        assert!(bad(&|c| c.dropout = -0.1));
         assert!(bad(&|c| c.clip_norm = Some(0.0)));
         assert!(bad(&|c| c.clip_norm = Some(f32::NAN)));
+    }
+
+    #[test]
+    fn rejects_zero_tau() {
+        let cfg = RunConfig {
+            tau: 0,
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("tau"));
+    }
+
+    #[test]
+    fn rejects_zero_pi() {
+        let cfg = RunConfig {
+            pi: 0,
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("pi"));
+    }
+
+    #[test]
+    fn rejects_zero_eval_every() {
+        let cfg = RunConfig {
+            eval_every: 0,
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("eval_every"));
+    }
+
+    #[test]
+    fn rejects_dropout_above_one() {
+        let cfg = RunConfig {
+            dropout: 1.5,
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("dropout"));
+    }
+
+    #[test]
+    fn rejects_negative_dropout() {
+        let cfg = RunConfig {
+            dropout: -0.1,
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("dropout"));
     }
 
     #[test]
@@ -211,21 +255,22 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_resolution() {
+    fn resolved_threads_covers_all_combinations() {
+        // Combination 1: explicit `threads` — wins regardless of `parallel`.
         let mut cfg = RunConfig {
             threads: Some(3),
             parallel: false,
             ..RunConfig::default()
         };
-        assert_eq!(cfg.effective_threads(), 3);
-        // `threads` wins over the deprecated flag.
+        assert_eq!(cfg.resolved_threads(), 3);
         cfg.parallel = true;
-        assert_eq!(cfg.effective_threads(), 3);
-        // Unset `threads` defers to `parallel`.
+        assert_eq!(cfg.resolved_threads(), 3);
+        // Combination 2: `threads = None`, `parallel = true` → all cores.
         cfg.threads = None;
-        assert!(cfg.effective_threads() >= 1);
+        assert!(cfg.resolved_threads() >= 1);
+        // Combination 3: `threads = None`, `parallel = false` → sequential.
         cfg.parallel = false;
-        assert_eq!(cfg.effective_threads(), 1);
+        assert_eq!(cfg.resolved_threads(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! steps on a persistent worker pool, fires the strategy's aggregation
 //! hooks, and records a convergence curve.
 //!
-//! Parallelism is governed by [`RunConfig::effective_threads`]. The engine
+//! Parallelism is governed by [`RunConfig::resolved_threads`]. The engine
 //! chunks every phase — local steps, per-edge aggregation, evaluation — in
 //! a fixed order that does not depend on the thread count, so results are
 //! bitwise identical whether a run uses one thread or all cores.
@@ -21,9 +21,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::RunConfig;
+/// Samples per evaluation chunk, re-exported so alternative drivers (the
+/// event-driven runtime in `hieradmo-simrt`) can reproduce this engine's
+/// exact f64 partial-sum reduction order.
+pub use crate::pool::EVAL_CHUNK;
 use crate::pool::{
     chunk, EdgeItem, EvalChunk, EvalTarget, ExecCtx, Job, Pool, Reply, StepCtx, StepItem,
-    EVAL_CHUNK,
 };
 use crate::state::{EdgeState, FlState, WorkerState};
 use crate::strategy::Strategy;
@@ -85,6 +88,19 @@ impl PhaseTimings {
     /// Total time across all phases.
     pub fn total(&self) -> Duration {
         self.local_steps + self.edge_agg + self.cloud_agg + self.eval
+    }
+}
+
+impl From<PhaseTimings> for hieradmo_metrics::PhaseBreakdown {
+    /// The serializable (milliseconds) form of the timings, as persisted by
+    /// `hieradmo_metrics::export::RunRecord`.
+    fn from(t: PhaseTimings) -> Self {
+        hieradmo_metrics::PhaseBreakdown {
+            local_steps_ms: t.local_steps.as_secs_f64() * 1000.0,
+            edge_agg_ms: t.edge_agg.as_secs_f64() * 1000.0,
+            cloud_agg_ms: t.cloud_agg.as_secs_f64() * 1000.0,
+            eval_ms: t.eval.as_secs_f64() * 1000.0,
+        }
     }
 }
 
@@ -166,7 +182,7 @@ where
     strategy.init(&mut state);
 
     let train_probe = build_train_probe(worker_data, cfg.train_eval_cap);
-    let threads = cfg.effective_threads();
+    let threads = cfg.resolved_threads();
 
     // Per-worker step contexts: a model replica, a private batcher stream
     // (so data order is independent of scheduling), and a reusable batch
@@ -392,8 +408,13 @@ where
 }
 
 /// A fixed, affordable probe of training data for the train-loss metric:
-/// round-robin over the worker shards up to `cap` samples total.
-fn build_train_probe(worker_data: &[Dataset], cap: usize) -> Dataset {
+/// round-robin over the worker shards up to `cap` samples total (always at
+/// least one sample).
+///
+/// Public so alternative drivers (the event-driven co-simulation runtime in
+/// `hieradmo-simrt`) can build the *same* probe and keep their evaluation
+/// bitwise comparable to [`run`].
+pub fn build_train_probe(worker_data: &[Dataset], cap: usize) -> Dataset {
     let total: usize = worker_data.iter().map(Dataset::len).sum();
     let take = cap.min(total).max(1);
     let mut samples = Vec::with_capacity(take);

@@ -95,7 +95,7 @@ pub(crate) struct EvalChunk {
 }
 
 /// Samples per evaluation chunk, fixed for all thread counts.
-pub(crate) const EVAL_CHUNK: usize = 256;
+pub const EVAL_CHUNK: usize = 256;
 
 /// Work shipped to a pool thread (or run inline on the caller).
 pub(crate) enum Job<M> {

@@ -60,6 +60,34 @@ pub trait Strategy: Send + Sync {
     /// Cloud aggregation `p` (at `t = pτπ`).
     fn cloud_aggregate(&self, p: usize, state: &mut FlState);
 
+    /// Staleness-aware edge aggregation, called by relaxed-synchrony
+    /// drivers (the event-driven runtime in `hieradmo-simrt` under its
+    /// `Deadline`/`AsyncAge` policies) instead of
+    /// [`Strategy::edge_aggregate`].
+    ///
+    /// `staleness[j]` is the number of edge rounds since local worker `j`'s
+    /// server-side state was refreshed by an upload: `0` means the worker
+    /// participated in this round, larger values mean the edge is merging a
+    /// carried-over (stale) model/momentum. The all-zero case **must** be
+    /// exactly equivalent to [`Strategy::edge_aggregate`] — the default
+    /// implementation guarantees this by delegating unconditionally, which
+    /// keeps every synchronous algorithm compiling and semantically
+    /// unchanged (stale entries are then merged at full weight).
+    fn edge_aggregate_stale(&self, k: usize, view: &mut EdgeView<'_>, staleness: &[usize]) {
+        let _ = staleness;
+        self.edge_aggregate(k, view);
+    }
+
+    /// Staleness-aware cloud aggregation; the edge-level analogue of
+    /// [`Strategy::edge_aggregate_stale`]. `staleness[l]` counts cloud
+    /// rounds since edge `l` last submitted. Defaults to
+    /// [`Strategy::cloud_aggregate`] (stale edges merged at full weight),
+    /// so the all-zero case is always equivalent to the synchronous hook.
+    fn cloud_aggregate_stale(&self, p: usize, state: &mut FlState, staleness: &[usize]) {
+        let _ = staleness;
+        self.cloud_aggregate(p, state);
+    }
+
     /// The parameters evaluated as "the global model" between aggregations.
     /// Defaults to the data-weighted average of worker models.
     fn global_params(&self, state: &FlState) -> Vector {
@@ -128,5 +156,49 @@ mod tests {
     fn strategies_are_object_safe() {
         let boxed: Box<dyn Strategy> = Box::new(Dummy(Tier::Three));
         assert_eq!(boxed.name(), "Dummy");
+    }
+
+    #[test]
+    fn default_stale_hooks_delegate_to_synchronous_hooks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            edge_calls: AtomicUsize,
+            cloud_calls: AtomicUsize,
+        }
+        impl Strategy for Counting {
+            fn name(&self) -> &'static str {
+                "Counting"
+            }
+            fn tier(&self) -> Tier {
+                Tier::Three
+            }
+            fn local_step(
+                &self,
+                _t: usize,
+                _w: &mut WorkerState,
+                _g: &mut dyn FnMut(&Vector, &mut Vector),
+            ) {
+            }
+            fn edge_aggregate(&self, _k: usize, _v: &mut EdgeView<'_>) {
+                self.edge_calls.fetch_add(1, Ordering::SeqCst);
+            }
+            fn cloud_aggregate(&self, _p: usize, _s: &mut FlState) {
+                self.cloud_calls.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        use hieradmo_topology::{Hierarchy, Weights};
+        let h = Hierarchy::balanced(1, 2);
+        let w = Weights::from_samples(&h, &[1, 1]);
+        let mut state = FlState::new(h, w, &Vector::from(vec![0.0]));
+        let s = Counting::default();
+        // Even a non-trivial staleness vector reaches the synchronous hook
+        // under the default impls (stale entries merged at full weight).
+        s.edge_aggregate_stale(1, &mut state.edge_view(0), &[0, 3]);
+        s.cloud_aggregate_stale(1, &mut state, &[2]);
+        assert_eq!(s.edge_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(s.cloud_calls.load(Ordering::SeqCst), 1);
     }
 }

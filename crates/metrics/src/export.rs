@@ -1,8 +1,11 @@
-//! Exporters: convergence curves as CSV (for plotting) and JSON lines
-//! (for archival next to `EXPERIMENTS.md`).
+//! Exporters: convergence curves as CSV (for plotting) and whole runs as
+//! JSON (for archival next to `EXPERIMENTS.md`).
 
 use std::fmt::Write as _;
 
+use serde::{Deserialize, Serialize};
+
+use crate::timed::{ActorUtilization, PhaseBreakdown, TimedCurve};
 use crate::{ConvergenceCurve, EvalPoint};
 
 /// Renders a curve as CSV with a header row.
@@ -94,9 +97,107 @@ pub fn comparison_to_csv(curves: &[(&str, &ConvergenceCurve)]) -> String {
     out
 }
 
+/// Everything a bench run persists about one training run: the curve plus
+/// the per-phase wall-clock breakdown (`RunResult::timings` in
+/// `hieradmo-core`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Algorithm name (Table II row label).
+    pub algorithm: String,
+    /// The convergence curve of the run.
+    pub curve: ConvergenceCurve,
+    /// Per-phase wall-clock durations.
+    pub timings: PhaseBreakdown,
+}
+
+/// Everything a co-simulation run persists: a time-indexed curve, the
+/// policy it ran under, its time-to-target, and per-actor utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRunRecord {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Sync-policy label, e.g. `"full-sync"` or `"deadline(q=0.5,300ms)"`.
+    pub policy: String,
+    /// Accuracy versus simulated seconds (monotone by construction).
+    pub timed_curve: TimedCurve,
+    /// Simulated seconds until the target accuracy was first reached
+    /// (`None` if never), together with the target used.
+    pub target_accuracy: f64,
+    /// Simulated seconds at which `target_accuracy` was first reached.
+    pub time_to_target_s: Option<f64>,
+    /// Per-actor busy time and utilization.
+    pub utilization: Vec<ActorUtilization>,
+}
+
+impl SimRunRecord {
+    /// Builds a record, deriving `time_to_target_s` from the curve.
+    pub fn new(
+        algorithm: impl Into<String>,
+        policy: impl Into<String>,
+        timed_curve: TimedCurve,
+        target_accuracy: f64,
+        utilization: Vec<ActorUtilization>,
+    ) -> Self {
+        let time_to_target_s = timed_curve.time_to_accuracy(target_accuracy);
+        SimRunRecord {
+            algorithm: algorithm.into(),
+            policy: policy.into(),
+            timed_curve,
+            target_accuracy,
+            time_to_target_s,
+            utilization,
+        }
+    }
+}
+
+/// Serializes a [`RunRecord`] as JSON.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_metrics::export::{run_to_json, run_from_json, RunRecord};
+/// use hieradmo_metrics::timed::PhaseBreakdown;
+/// use hieradmo_metrics::ConvergenceCurve;
+///
+/// let rec = RunRecord {
+///     algorithm: "HierAdMo".into(),
+///     curve: ConvergenceCurve::new(),
+///     timings: PhaseBreakdown { local_steps_ms: 12.5, ..Default::default() },
+/// };
+/// let back = run_from_json(&run_to_json(&rec)).unwrap();
+/// assert_eq!(back, rec);
+/// ```
+pub fn run_to_json(record: &RunRecord) -> String {
+    serde_json::to_string(record).expect("RunRecord serialization cannot fail")
+}
+
+/// Parses a [`RunRecord`] back from [`run_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the parser's message on malformed input.
+pub fn run_from_json(json: &str) -> Result<RunRecord, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Serializes a [`SimRunRecord`] as JSON.
+pub fn sim_run_to_json(record: &SimRunRecord) -> String {
+    serde_json::to_string(record).expect("SimRunRecord serialization cannot fail")
+}
+
+/// Parses a [`SimRunRecord`] back from [`sim_run_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the parser's message on malformed input.
+pub fn sim_run_from_json(json: &str) -> Result<SimRunRecord, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timed::TimedPoint;
 
     fn curve() -> ConvergenceCurve {
         [
@@ -131,6 +232,67 @@ mod tests {
         let bad = "iteration,train_loss,test_loss,test_accuracy\n1,2,3\n";
         let err = curve_from_csv(bad).unwrap_err();
         assert!(err.contains("expected 4 fields"));
+    }
+
+    #[test]
+    fn run_record_round_trips_with_timings() {
+        let rec = RunRecord {
+            algorithm: "HierAdMo-R".into(),
+            curve: curve(),
+            timings: PhaseBreakdown {
+                local_steps_ms: 120.25,
+                edge_agg_ms: 8.5,
+                cloud_agg_ms: 3.125,
+                eval_ms: 40.0,
+            },
+        };
+        let json = run_to_json(&rec);
+        assert!(json.contains("local_steps_ms"));
+        let back = run_from_json(&json).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.timings.total_ms(), rec.timings.total_ms());
+    }
+
+    #[test]
+    fn sim_run_record_round_trips_and_derives_time_to_target() {
+        let timed: TimedCurve = [
+            TimedPoint {
+                seconds: 2.0,
+                iteration: 10,
+                train_loss: 1.0,
+                test_loss: 1.0,
+                test_accuracy: 0.4,
+            },
+            TimedPoint {
+                seconds: 5.5,
+                iteration: 20,
+                train_loss: 0.4,
+                test_loss: 0.5,
+                test_accuracy: 0.85,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let rec = SimRunRecord::new(
+            "HierAdMo",
+            "deadline(q=0.5,300ms)",
+            timed,
+            0.8,
+            vec![ActorUtilization {
+                actor: "worker-0".into(),
+                busy_seconds: 4.0,
+                utilization: 0.72,
+            }],
+        );
+        assert_eq!(rec.time_to_target_s, Some(5.5));
+        let back = sim_run_from_json(&sim_run_to_json(&rec)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn bad_json_is_an_error_not_a_panic() {
+        assert!(run_from_json("{not json").is_err());
+        assert!(sim_run_from_json("42").is_err());
     }
 
     #[test]

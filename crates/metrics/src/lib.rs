@@ -18,9 +18,11 @@
 pub mod export;
 pub mod summary;
 pub mod table;
+pub mod timed;
 
 pub use summary::MeanStd;
 pub use table::Table;
+pub use timed::{ActorUtilization, PhaseBreakdown, TimedCurve, TimedPoint};
 
 use serde::{Deserialize, Serialize};
 

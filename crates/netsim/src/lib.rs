@@ -33,10 +33,12 @@ pub mod device;
 pub mod link;
 pub mod payload;
 pub mod proto;
+pub mod sampler;
 pub mod timeline;
 
 pub use device::DeviceProfile;
 pub use link::LinkProfile;
+pub use sampler::{stream_seed, DelaySampler};
 pub use timeline::{
     simulate_timeline, Architecture, NetworkEnv, TimeBreakdown, Timeline, TraceConfig,
 };

@@ -3,8 +3,6 @@
 //! convergence curve to answer "how long to reach accuracy X?" —
 //! reproducing Fig. 2(h)/(l).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use hieradmo_metrics::ConvergenceCurve;
@@ -12,6 +10,7 @@ use hieradmo_topology::{Hierarchy, Schedule};
 
 use crate::device::DeviceProfile;
 use crate::link::LinkProfile;
+use crate::sampler::DelaySampler;
 
 /// Which architecture's communication pattern to replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -197,7 +196,7 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
         cfg.hierarchy.num_workers(),
         "one device profile per worker required"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sampler = DelaySampler::new(cfg.seed);
     let n = cfg.hierarchy.num_workers();
     let mut cumulative = Vec::with_capacity(cfg.schedule.total_iterations());
     let mut now_ms = 0.0f64;
@@ -206,7 +205,7 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
     for tick in cfg.schedule.ticks() {
         // Parallel local compute: the tick advances by the slowest worker.
         let slowest_compute = (0..n)
-            .map(|i| env.worker_devices[i].sample_noisy_ms(&mut rng))
+            .map(|i| sampler.compute_ms(&env.worker_devices[i]))
             .fold(0.0f64, f64::max);
         now_ms += slowest_compute;
         breakdown.compute_ms += slowest_compute;
@@ -220,16 +219,16 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
                     let slowest_up = (0..cfg.hierarchy.num_edges())
                         .map(|e| {
                             let flows = cfg.hierarchy.workers_in_edge(e);
-                            env.worker_edge_link.sample_shared_transfer_ms(
+                            sampler.shared_transfer_ms(
+                                &env.worker_edge_link,
                                 cfg.upload_bytes,
                                 flows,
-                                &mut rng,
                             )
                         })
                         .fold(0.0f64, f64::max);
                     now_ms += slowest_up;
                     breakdown.lan_ms += slowest_up;
-                    let agg = env.edge_device.sample_noisy_ms(&mut rng);
+                    let agg = sampler.compute_ms(&env.edge_device);
                     now_ms += agg;
                     breakdown.aggregation_ms += agg;
 
@@ -239,24 +238,24 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
                         let l = cfg.hierarchy.num_edges();
                         let slowest_edge_up = (0..l)
                             .map(|_| {
-                                env.edge_cloud_link.sample_shared_transfer_ms(
+                                sampler.shared_transfer_ms(
+                                    &env.edge_cloud_link,
                                     cfg.upload_bytes,
                                     l,
-                                    &mut rng,
                                 )
                             })
                             .fold(0.0f64, f64::max);
                         now_ms += slowest_edge_up;
                         breakdown.wan_ms += slowest_edge_up;
-                        let agg = env.cloud_device.sample_noisy_ms(&mut rng);
+                        let agg = sampler.compute_ms(&env.cloud_device);
                         now_ms += agg;
                         breakdown.aggregation_ms += agg;
                         let slowest_edge_down = (0..l)
                             .map(|_| {
-                                env.edge_cloud_link.sample_shared_transfer_ms(
+                                sampler.shared_transfer_ms(
+                                    &env.edge_cloud_link,
                                     cfg.download_bytes,
                                     l,
-                                    &mut rng,
                                 )
                             })
                             .fold(0.0f64, f64::max);
@@ -268,10 +267,10 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
                     let slowest_down = (0..cfg.hierarchy.num_edges())
                         .map(|e| {
                             let flows = cfg.hierarchy.workers_in_edge(e);
-                            env.worker_edge_link.sample_shared_transfer_ms(
+                            sampler.shared_transfer_ms(
+                                &env.worker_edge_link,
                                 cfg.download_bytes,
                                 flows,
-                                &mut rng,
                             )
                         })
                         .fold(0.0f64, f64::max);
@@ -284,24 +283,20 @@ pub fn simulate_timeline(env: &NetworkEnv, cfg: &TraceConfig) -> Timeline {
                     // All N worker models cross the shared WAN at once.
                     let slowest_up = (0..n)
                         .map(|_| {
-                            env.worker_cloud_link.sample_shared_transfer_ms(
-                                cfg.upload_bytes,
-                                n,
-                                &mut rng,
-                            )
+                            sampler.shared_transfer_ms(&env.worker_cloud_link, cfg.upload_bytes, n)
                         })
                         .fold(0.0f64, f64::max);
                     now_ms += slowest_up;
                     breakdown.wan_ms += slowest_up;
-                    let agg = env.cloud_device.sample_noisy_ms(&mut rng);
+                    let agg = sampler.compute_ms(&env.cloud_device);
                     now_ms += agg;
                     breakdown.aggregation_ms += agg;
                     let slowest_down = (0..n)
                         .map(|_| {
-                            env.worker_cloud_link.sample_shared_transfer_ms(
+                            sampler.shared_transfer_ms(
+                                &env.worker_cloud_link,
                                 cfg.download_bytes,
                                 n,
-                                &mut rng,
                             )
                         })
                         .fold(0.0f64, f64::max);

@@ -1,0 +1,146 @@
+//! Property tests tying the replay path (`simulate_timeline`) to the
+//! on-demand sampling path (`DelaySampler`): both must derive the *same*
+//! delay sequence from the same seed, and every timeline must be strictly
+//! monotone in simulated time.
+
+use hieradmo_netsim::{simulate_timeline, Architecture, DelaySampler, NetworkEnv, TraceConfig};
+use hieradmo_topology::{Hierarchy, Schedule};
+use proptest::prelude::*;
+
+/// An independent reimplementation of the three-tier replay loop that pulls
+/// every delay on demand from a [`DelaySampler`] instead of a raw RNG. If
+/// the sampler refactor ever reordered or dropped a draw, this diverges
+/// from `simulate_timeline` immediately.
+fn replay_three_tier_on_demand(env: &NetworkEnv, cfg: &TraceConfig) -> Vec<f64> {
+    let mut sampler = DelaySampler::new(cfg.seed);
+    let n = cfg.hierarchy.num_workers();
+    let l = cfg.hierarchy.num_edges();
+    let mut now_ms = 0.0f64;
+    let mut cumulative = Vec::new();
+    for tick in cfg.schedule.ticks() {
+        now_ms += (0..n)
+            .map(|i| sampler.compute_ms(&env.worker_devices[i]))
+            .fold(0.0f64, f64::max);
+        if tick.edge_aggregation.is_some() {
+            now_ms += (0..l)
+                .map(|e| {
+                    let flows = cfg.hierarchy.workers_in_edge(e);
+                    sampler.shared_transfer_ms(&env.worker_edge_link, cfg.upload_bytes, flows)
+                })
+                .fold(0.0f64, f64::max);
+            now_ms += sampler.compute_ms(&env.edge_device);
+            if tick.cloud_aggregation.is_some() {
+                now_ms += (0..l)
+                    .map(|_| sampler.shared_transfer_ms(&env.edge_cloud_link, cfg.upload_bytes, l))
+                    .fold(0.0f64, f64::max);
+                now_ms += sampler.compute_ms(&env.cloud_device);
+                now_ms += (0..l)
+                    .map(|_| {
+                        sampler.shared_transfer_ms(&env.edge_cloud_link, cfg.download_bytes, l)
+                    })
+                    .fold(0.0f64, f64::max);
+            }
+            now_ms += (0..l)
+                .map(|e| {
+                    let flows = cfg.hierarchy.workers_in_edge(e);
+                    sampler.shared_transfer_ms(&env.worker_edge_link, cfg.download_bytes, flows)
+                })
+                .fold(0.0f64, f64::max);
+        }
+        cumulative.push(now_ms);
+    }
+    cumulative
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed ⇒ the replay engine and an on-demand sampler walk the
+    /// exact same delay sequence (bitwise, not approximately).
+    #[test]
+    fn replay_and_on_demand_sampler_agree(
+        seed in any::<u64>(),
+        edges in 1usize..4,
+        wpe in 1usize..4,
+        tau in 1usize..6,
+        pi in 1usize..4,
+        rounds in 1usize..5,
+        payload in 1_000u64..2_000_000,
+    ) {
+        let total = tau * pi * rounds;
+        let hierarchy = Hierarchy::balanced(edges, wpe);
+        let schedule = Schedule::three_tier(tau, pi, total).unwrap();
+        let env = NetworkEnv::paper_testbed(hierarchy.num_workers());
+        let cfg = TraceConfig::new(schedule, hierarchy, Architecture::ThreeTier, payload, seed);
+
+        let timeline = simulate_timeline(&env, &cfg);
+        let on_demand = replay_three_tier_on_demand(&env, &cfg);
+        prop_assert_eq!(on_demand.len(), total);
+        for (t, &ms) in on_demand.iter().enumerate() {
+            let replay_s = timeline.time_at(t + 1);
+            prop_assert_eq!(
+                ms / 1000.0,
+                replay_s,
+                "tick {} diverged: on-demand {} ms vs replay {} s",
+                t + 1,
+                ms,
+                replay_s
+            );
+        }
+    }
+
+    /// Timelines are strictly monotone: every tick costs positive time.
+    #[test]
+    fn timelines_are_strictly_monotone(
+        seed in any::<u64>(),
+        two_tier in any::<bool>(),
+        tau in 1usize..6,
+        pi in 1usize..4,
+        rounds in 1usize..5,
+        payload in 0u64..2_000_000,
+    ) {
+        let total = tau * pi * rounds;
+        let (hierarchy, architecture, schedule) = if two_tier {
+            (
+                Hierarchy::two_tier(4),
+                Architecture::TwoTier,
+                Schedule::two_tier(tau * pi, total).unwrap(),
+            )
+        } else {
+            (
+                Hierarchy::balanced(2, 2),
+                Architecture::ThreeTier,
+                Schedule::three_tier(tau, pi, total).unwrap(),
+            )
+        };
+        let env = NetworkEnv::paper_testbed(4);
+        let cfg = TraceConfig::new(schedule, hierarchy, architecture, payload, seed);
+        let timeline = simulate_timeline(&env, &cfg);
+        let mut prev = 0.0;
+        for t in 1..=total {
+            let now = timeline.time_at(t);
+            prop_assert!(now > prev, "t={} time {} not after {}", t, now, prev);
+            prev = now;
+        }
+    }
+
+    /// Per-stream sampling is self-deterministic and decorrelated across
+    /// streams — the property the event-driven runtime's reproducibility
+    /// rests on.
+    #[test]
+    fn stream_samplers_are_deterministic(master in any::<u64>(), stream in 0u64..64) {
+        let env = NetworkEnv::paper_testbed(1);
+        let mut a = DelaySampler::from_stream(master, stream);
+        let mut b = DelaySampler::from_stream(master, stream);
+        for _ in 0..8 {
+            prop_assert_eq!(
+                a.compute_ms(&env.worker_devices[0]),
+                b.compute_ms(&env.worker_devices[0])
+            );
+            prop_assert_eq!(
+                a.shared_transfer_ms(&env.worker_edge_link, 10_000, 2),
+                b.shared_transfer_ms(&env.worker_edge_link, 10_000, 2)
+            );
+        }
+    }
+}

@@ -1,0 +1,1246 @@
+//! The co-simulation engine: the real training functions under a virtual
+//! clock.
+//!
+//! # How the trajectory stays bitwise-faithful
+//!
+//! The engine keeps the canonical [`FlState`] as the *server-side mailbox*:
+//! worker actors own private training state (a model replica, a private
+//! batch stream seeded exactly like the core driver's, and their
+//! [`WorkerState`]); an upload copies the actor's state into its `FlState`
+//! slot; aggregation hooks run against `FlState` through the same
+//! `EdgeView` the core driver uses; and a download ships the post-hook slot
+//! back to the actor. Under [`SyncPolicy::FullSync`] the mailbox therefore
+//! undergoes *exactly* the mutation sequence of [`hieradmo_core::run`] —
+//! same gradient path (batch draw, clipping, `local_step`), same
+//! aggregation order, same fixed-chunk ordered evaluation reduction — so
+//! the final model, convergence curve and γℓ diagnostics are bitwise
+//! identical; only the time axis is new.
+//!
+//! # Determinism
+//!
+//! Events are processed in `(time, actor, seq)` order from a single queue
+//! ([`crate::EventQueue`]); every actor draws its delays from a private
+//! decorrelated RNG stream ([`hieradmo_netsim::stream_seed`]), so an
+//! actor's delay sequence depends only on its own draw count, never on
+//! global interleaving. Threads are used only inside evaluation, which
+//! reduces partial sums in a fixed order — results are identical for any
+//! `RunConfig::threads`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+use hieradmo_core::driver::{build_train_probe, EVAL_CHUNK};
+use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, WorkerState};
+use hieradmo_data::{Batcher, Dataset};
+use hieradmo_metrics::{ActorUtilization, ConvergenceCurve, EvalPoint, TimedCurve, TimedPoint};
+use hieradmo_models::{EvalSums, Evaluation, Model};
+use hieradmo_netsim::{Architecture, DelaySampler, LinkProfile};
+use hieradmo_tensor::Vector;
+use hieradmo_topology::{Hierarchy, Schedule, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{ActorId, EventQueue};
+use crate::policy::{SimConfig, SyncPolicy};
+
+/// Errors a co-simulation can fail with before any events are processed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The training inputs are inconsistent (same checks as the core
+    /// driver).
+    Run(RunError),
+    /// The network environment does not match the topology.
+    Net(String),
+    /// The synchronization policy's parameters are invalid.
+    Policy(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Run(e) => write!(f, "{e}"),
+            SimError::Net(m) => write!(f, "network mismatch: {m}"),
+            SimError::Policy(m) => write!(f, "invalid sync policy: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for SimError {
+    fn from(e: RunError) -> Self {
+        SimError::Run(e)
+    }
+}
+
+/// The outcome of one co-simulated training run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Algorithm name (Table II row label).
+    pub algorithm: String,
+    /// Label of the [`SyncPolicy`] the run used.
+    pub policy: String,
+    /// Accuracy/loss trajectory, indexed by training progress. Under
+    /// [`SyncPolicy::FullSync`] this is bitwise identical to
+    /// [`hieradmo_core::RunResult::curve`]; under relaxed policies one
+    /// point is recorded per cloud aggregation, indexed by committed local
+    /// steps.
+    pub curve: ConvergenceCurve,
+    /// The same trajectory against *simulated seconds* — the honest
+    /// time-to-accuracy axis of the paper's Fig. 2(h)/(l).
+    pub timed_curve: TimedCurve,
+    /// `(k, γℓ)` diagnostics. Under full sync: `(round, mean over edges)`,
+    /// identical to the core driver's; under relaxed policies one entry per
+    /// edge firing (in firing order).
+    pub gamma_trace: Vec<(usize, f32)>,
+    /// `(k, cos θ)` diagnostics, same convention as
+    /// [`SimResult::gamma_trace`].
+    pub cos_trace: Vec<(usize, f32)>,
+    /// Final global model parameters.
+    pub final_params: Vector,
+    /// Virtual duration of the whole run.
+    pub simulated_seconds: f64,
+    /// Per-actor busy time and utilization over the run.
+    pub utilization: Vec<ActorUtilization>,
+    /// Number of discrete events processed.
+    pub events: u64,
+}
+
+/// One scheduled occurrence in the simulation.
+enum Ev {
+    /// A worker finished local step `tick + 1`.
+    Step { worker: usize },
+    /// A worker's end-of-interval upload reached its aggregator.
+    Upload { worker: usize },
+    /// A Deadline-policy edge round's timeout expired.
+    EdgeTimeout { edge: usize, round: usize },
+    /// A distributed model reached a worker (payload snapshotted at fire
+    /// time, so later mailbox writes cannot race with it).
+    Deliver {
+        worker: usize,
+        state: Box<WorkerState>,
+    },
+    /// An edge's submission reached the cloud.
+    CloudSubmit { edge: usize, round: usize },
+    /// A Deadline-policy cloud round's timeout expired.
+    CloudTimeout { round: usize },
+    /// The cloud's reply reached an edge.
+    CloudReply { edge: usize },
+}
+
+/// A worker actor: private training state plus its virtual-clock bookkeeping.
+struct WorkerSim<M> {
+    state: WorkerState,
+    model: M,
+    batcher: Batcher,
+    batch: Vec<usize>,
+    /// Completed local steps.
+    tick: usize,
+    sampler: DelaySampler,
+    busy_ms: f64,
+    /// Final model received; the worker schedules nothing further.
+    done: bool,
+}
+
+/// An edge actor: round-collection state for the current aggregation.
+struct EdgeSim {
+    /// Round currently being collected (1-based; sync policies only).
+    round: usize,
+    /// Completed firings.
+    firings: usize,
+    /// Which local workers have arrived for the current round.
+    arrived: Vec<bool>,
+    /// Last round each local worker's upload refreshed its slot
+    /// (Deadline staleness bookkeeping).
+    last_round: Vec<usize>,
+    /// Firings since each local worker's slot was refreshed (AsyncAge).
+    age: Vec<usize>,
+    /// The current round's timeout has expired (Deadline).
+    timed_out: bool,
+    /// A cloud submission is outstanding; firing is paused.
+    waiting_cloud: bool,
+    /// Local workers to release when the cloud replies.
+    pending_release: Vec<usize>,
+    /// Post-hook worker slots of the last firing — what a late-rejoining
+    /// worker is handed (relaxed policies only).
+    last_dist: Vec<WorkerState>,
+    sampler: DelaySampler,
+    busy_ms: f64,
+}
+
+/// The cloud actor: the edge-level analogue of [`EdgeSim`].
+struct CloudSim {
+    round: usize,
+    firings: usize,
+    arrived: Vec<bool>,
+    last_round: Vec<usize>,
+    age: Vec<usize>,
+    timed_out: bool,
+    /// Post-hook worker slots per edge from the last firing, handed to
+    /// edges whose submissions arrive late (relaxed policies only).
+    last_dist: Vec<Option<Vec<WorkerState>>>,
+    sampler: DelaySampler,
+    busy_ms: f64,
+}
+
+/// Pending full-sync evaluation at one tick: per-worker model snapshots,
+/// evaluated once all `N` have contributed.
+struct EvalStage {
+    xs: Vec<Option<Vector>>,
+    count: usize,
+    last_ms: f64,
+}
+
+/// One completed evaluation, ordered by `iter` when the curves are built.
+struct EvalRec {
+    iter: usize,
+    at_ms: f64,
+    test: Evaluation,
+    train: Evaluation,
+}
+
+/// `ceil(quorum · n)`, clamped to `[1, n]`.
+fn quorum_count(quorum: f64, n: usize) -> usize {
+    ((quorum * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Evaluates `params` on the test set and training probe with the core
+/// engine's exact reduction: fixed [`EVAL_CHUNK`]-sample chunks, partial
+/// sums merged in `(target, chunk index)` order. `models` provides one
+/// replica per evaluation lane; with a single replica everything runs on
+/// the calling thread through the identical code path.
+fn evaluate_params<M>(
+    models: &mut [M],
+    test: &Dataset,
+    probe: &Dataset,
+    params: &Vector,
+) -> (Evaluation, Evaluation)
+where
+    M: Model + Send,
+{
+    let mut chunks: Vec<(u8, usize, Range<usize>)> = Vec::new();
+    for (target, len) in [(0u8, test.len()), (1u8, probe.len())] {
+        for (idx, start) in (0..len).step_by(EVAL_CHUNK).enumerate() {
+            chunks.push((target, idx, start..(start + EVAL_CHUNK).min(len)));
+        }
+    }
+    let lanes = models.len().clamp(1, chunks.len().max(1));
+    let mut partials: Vec<(u8, usize, EvalSums)> = Vec::with_capacity(chunks.len());
+    if lanes <= 1 {
+        let model = &mut models[0];
+        model.set_params(params);
+        for (t, idx, r) in chunks {
+            let data = if t == 0 { test } else { probe };
+            partials.push((t, idx, model.evaluate_range(data, r)));
+        }
+    } else {
+        let per = chunks.len().div_ceil(lanes);
+        let groups: Vec<Vec<(u8, usize, Range<usize>)>> =
+            chunks.chunks(per).map(<[_]>::to_vec).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .zip(models.iter_mut())
+                .map(|(group, model)| {
+                    scope.spawn(move || {
+                        model.set_params(params);
+                        group
+                            .into_iter()
+                            .map(|(t, idx, r)| {
+                                let data = if t == 0 { test } else { probe };
+                                (t, idx, model.evaluate_range(data, r))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.extend(h.join().expect("evaluation thread panicked"));
+            }
+        });
+    }
+    partials.sort_unstable_by_key(|&(t, idx, _)| (t, idx));
+    let mut test_sums = EvalSums::default();
+    let mut probe_sums = EvalSums::default();
+    for (t, _, s) in partials {
+        if t == 0 {
+            test_sums.merge(&s);
+        } else {
+            probe_sums.merge(&s);
+        }
+    }
+    (test_sums.finish(), probe_sums.finish())
+}
+
+struct Engine<'a, M, S: ?Sized> {
+    strategy: &'a S,
+    cfg: &'a RunConfig,
+    sim: &'a SimConfig,
+    hierarchy: &'a Hierarchy,
+    worker_data: &'a [Dataset],
+    test_data: &'a Dataset,
+    train_probe: Dataset,
+    eval_models: Vec<M>,
+    /// Flat-worker → edge index.
+    edge_of: Vec<usize>,
+    /// Edge → flat index of its first worker.
+    offsets: Vec<usize>,
+    /// Pre-drawn dropout table, `(tick - 1) * N + worker`, in the core
+    /// driver's exact draw order.
+    active: Vec<bool>,
+    fl: FlState,
+    workers: Vec<WorkerSim<M>>,
+    edges: Vec<EdgeSim>,
+    cloud: CloudSim,
+    queue: EventQueue<Ev>,
+    now: f64,
+    events: u64,
+    evals: Vec<EvalRec>,
+    pending_evals: BTreeMap<usize, EvalStage>,
+    /// Per-round `(γℓ, cos θ)` per edge, emitted as means once every edge
+    /// has fired the round (full sync only).
+    gamma_stage: BTreeMap<usize, Vec<Option<(f32, f32)>>>,
+    gamma_trace: Vec<(usize, f32)>,
+    cos_trace: Vec<(usize, f32)>,
+    /// Global edge-firing counter (relaxed-policy trace index).
+    firing_seq: usize,
+    /// Last curve iteration issued (relaxed policies).
+    last_iter: usize,
+}
+
+impl<'a, M, S> Engine<'a, M, S>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    fn new(
+        strategy: &'a S,
+        model: &M,
+        hierarchy: &'a Hierarchy,
+        worker_data: &'a [Dataset],
+        test_data: &'a Dataset,
+        cfg: &'a RunConfig,
+        sim: &'a SimConfig,
+    ) -> Self {
+        let n = hierarchy.num_workers();
+        let l_count = hierarchy.num_edges();
+        let samples: Vec<u64> = worker_data.iter().map(|d| d.len() as u64).collect();
+        let weights = Weights::from_samples(hierarchy, &samples);
+        let mut fl = FlState::new(hierarchy.clone(), weights, &model.params());
+        strategy.init(&mut fl);
+
+        let mut edge_of = vec![0usize; n];
+        let mut offsets = vec![0usize; l_count];
+        for (e, offset) in offsets.iter_mut().enumerate() {
+            let range = hierarchy.edge_workers(e);
+            *offset = range.start;
+            for i in range {
+                edge_of[i] = e;
+            }
+        }
+
+        // Dropout table, pre-drawn in the core driver's (tick-major,
+        // worker-minor) order; when dropout is zero the driver draws
+        // nothing, and neither does the table.
+        let total = cfg.total_iters;
+        let active = if cfg.dropout == 0.0 {
+            vec![true; total * n]
+        } else {
+            let mut fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5f_5f5f_5f5f_5f5f);
+            (0..total * n)
+                .map(|_| fault_rng.gen_range(0.0..1.0) >= cfg.dropout)
+                .collect()
+        };
+
+        let workers: Vec<WorkerSim<M>> = (0..n)
+            .map(|i| WorkerSim {
+                state: fl.workers[i].clone(),
+                model: model.clone(),
+                batcher: Batcher::new(
+                    worker_data[i].len(),
+                    cfg.batch_size,
+                    cfg.seed.wrapping_add(i as u64),
+                ),
+                batch: Vec::with_capacity(cfg.batch_size.min(worker_data[i].len())),
+                tick: 0,
+                sampler: DelaySampler::from_stream(sim.net_seed, i as u64),
+                busy_ms: 0.0,
+                done: false,
+            })
+            .collect();
+        let edges: Vec<EdgeSim> = (0..l_count)
+            .map(|e| {
+                let c = hierarchy.workers_in_edge(e);
+                EdgeSim {
+                    round: 1,
+                    firings: 0,
+                    arrived: vec![false; c],
+                    last_round: vec![0; c],
+                    age: vec![0; c],
+                    timed_out: false,
+                    waiting_cloud: false,
+                    pending_release: Vec::new(),
+                    last_dist: fl.workers[hierarchy.edge_workers(e)].to_vec(),
+                    sampler: DelaySampler::from_stream(sim.net_seed, (n + e) as u64),
+                    busy_ms: 0.0,
+                }
+            })
+            .collect();
+        let cloud = CloudSim {
+            round: 1,
+            firings: 0,
+            arrived: vec![false; l_count],
+            last_round: vec![0; l_count],
+            age: vec![0; l_count],
+            timed_out: false,
+            last_dist: vec![None; l_count],
+            sampler: DelaySampler::from_stream(sim.net_seed, (n + l_count) as u64),
+            busy_ms: 0.0,
+        };
+        let threads = cfg.resolved_threads();
+
+        Engine {
+            strategy,
+            cfg,
+            sim,
+            hierarchy,
+            worker_data,
+            test_data,
+            train_probe: build_train_probe(worker_data, cfg.train_eval_cap),
+            eval_models: (0..threads).map(|_| model.clone()).collect(),
+            edge_of,
+            offsets,
+            active,
+            fl,
+            workers,
+            edges,
+            cloud,
+            queue: EventQueue::new(),
+            now: 0.0,
+            events: 0,
+            evals: Vec::new(),
+            pending_evals: BTreeMap::new(),
+            gamma_stage: BTreeMap::new(),
+            gamma_trace: Vec::new(),
+            cos_trace: Vec::new(),
+            firing_seq: 0,
+            last_iter: 0,
+        }
+    }
+
+    fn full_sync(&self) -> bool {
+        matches!(self.sim.policy, SyncPolicy::FullSync)
+    }
+
+    fn is_eval_tick(&self, t: usize) -> bool {
+        t.is_multiple_of(self.cfg.eval_every) || t == self.cfg.total_iters
+    }
+
+    /// The link and concurrent-flow count a worker's transfers use.
+    fn worker_link(&self, edge: usize) -> (&'a LinkProfile, usize) {
+        let sim = self.sim;
+        let hierarchy = self.hierarchy;
+        match sim.architecture {
+            Architecture::ThreeTier => (&sim.env.worker_edge_link, hierarchy.workers_in_edge(edge)),
+            Architecture::TwoTier => (&sim.env.worker_cloud_link, hierarchy.num_workers()),
+        }
+    }
+
+    /// Draws a worker's up/down transfer delay and charges its busy time.
+    fn worker_transfer(&mut self, i: usize, bytes: u64) -> f64 {
+        let (link, flows) = self.worker_link(self.edge_of[i]);
+        let w = &mut self.workers[i];
+        let d = w.sampler.shared_transfer_ms(link, bytes, flows);
+        w.busy_ms += d;
+        d
+    }
+
+    fn schedule_step(&mut self, i: usize, now: f64) {
+        let sim = self.sim;
+        let w = &mut self.workers[i];
+        let d = w.sampler.compute_ms(&sim.env.worker_devices[i]);
+        w.busy_ms += d;
+        self.queue
+            .push(now + d, ActorId::Worker(i), Ev::Step { worker: i });
+    }
+
+    /// Sends `state` down to worker `flat` (payload snapshotted now).
+    fn deliver(&mut self, flat: usize, state: Box<WorkerState>, now: f64) {
+        let d = self.worker_transfer(flat, self.sim.download_bytes);
+        self.queue.push(
+            now + d,
+            ActorId::Worker(flat),
+            Ev::Deliver {
+                worker: flat,
+                state,
+            },
+        );
+    }
+
+    fn run_eval(&mut self, params: &Vector) -> (Evaluation, Evaluation) {
+        let Engine {
+            eval_models,
+            test_data,
+            train_probe,
+            ..
+        } = self;
+        evaluate_params(eval_models, test_data, train_probe, params)
+    }
+
+    /// Full-sync evaluation staging: collects one model snapshot per worker
+    /// for tick `t` and evaluates their data-weighted average once all `N`
+    /// have contributed — reproducing the core driver's
+    /// `global_params`-then-evaluate at that tick bit-for-bit.
+    fn stage_eval(&mut self, t: usize, flat: usize, x: Vector, at_ms: f64) {
+        let n = self.workers.len();
+        let stage = self.pending_evals.entry(t).or_insert_with(|| EvalStage {
+            xs: vec![None; n],
+            count: 0,
+            last_ms: 0.0,
+        });
+        debug_assert!(
+            stage.xs[flat].is_none(),
+            "worker {flat} contributed twice to tick {t}"
+        );
+        stage.xs[flat] = Some(x);
+        stage.count += 1;
+        stage.last_ms = stage.last_ms.max(at_ms);
+        if stage.count == n {
+            let stage = self.pending_evals.remove(&t).expect("stage just inserted");
+            let params = Vector::weighted_average(stage.xs.iter().enumerate().map(|(i, x)| {
+                (
+                    self.fl.weights.worker_in_total(i),
+                    x.as_ref().expect("all workers contributed"),
+                )
+            }));
+            let (test, train) = self.run_eval(&params);
+            self.evals.push(EvalRec {
+                iter: t,
+                at_ms: stage.last_ms,
+                test,
+                train,
+            });
+        }
+    }
+
+    /// Full-sync trace staging: per-edge `(γℓ, cos θ)` of round `k`,
+    /// reduced to the driver's edge-index-order `f32` means once every edge
+    /// has fired the round.
+    fn stage_gamma(&mut self, k: usize, e: usize, gamma: f32, cos: f32) {
+        let l_count = self.edges.len();
+        let slot = self
+            .gamma_stage
+            .entry(k)
+            .or_insert_with(|| vec![None; l_count]);
+        slot[e] = Some((gamma, cos));
+        if slot.iter().all(Option::is_some) {
+            let slot = self.gamma_stage.remove(&k).expect("stage just inserted");
+            let n = l_count as f32;
+            let vals = |f: fn((f32, f32)) -> f32| {
+                slot.iter()
+                    .map(|p| f(p.expect("all edges fired")))
+                    .sum::<f32>()
+                    / n
+            };
+            self.gamma_trace.push((k, vals(|p| p.0)));
+            self.cos_trace.push((k, vals(|p| p.1)));
+        }
+    }
+
+    /// Relaxed-policy evaluation: the server's current global view, indexed
+    /// by committed local steps (made strictly increasing).
+    fn record_relaxed_eval(&mut self, at_ms: f64) {
+        let committed: usize = self.workers.iter().map(|w| w.tick).sum();
+        let iter = committed.max(self.last_iter + 1);
+        self.last_iter = iter;
+        let params = self.strategy.global_params(&self.fl);
+        let (test, train) = self.run_eval(&params);
+        self.evals.push(EvalRec {
+            iter,
+            at_ms,
+            test,
+            train,
+        });
+    }
+
+    fn on_step_done(&mut self, i: usize, now: f64) {
+        self.workers[i].tick += 1;
+        let t = self.workers[i].tick;
+        let n = self.workers.len();
+        if self.active[(t - 1) * n + i] {
+            self.do_local_step(i, t);
+        }
+        if t.is_multiple_of(self.cfg.tau) {
+            // End of interval: upload (dropout skips the step, never the
+            // aggregation — matching the core driver).
+            let d = self.worker_transfer(i, self.sim.upload_bytes);
+            self.queue
+                .push(now + d, ActorId::Worker(i), Ev::Upload { worker: i });
+        } else {
+            if self.full_sync() && self.is_eval_tick(t) {
+                let x = self.workers[i].state.x.clone();
+                self.stage_eval(t, i, x, now);
+            }
+            self.schedule_step(i, now);
+        }
+    }
+
+    /// One local step, replicating the core pool's gradient path exactly:
+    /// batch draw into the reusable buffer, clipped gradient hook against
+    /// the worker's private model replica, then the strategy's step.
+    fn do_local_step(&mut self, i: usize, t: usize) {
+        let strategy = self.strategy;
+        let cfg = self.cfg;
+        let worker_data = self.worker_data;
+        let data = &worker_data[i];
+        let w = &mut self.workers[i];
+        w.batcher.next_batch_into(&mut w.batch);
+        let WorkerSim {
+            model,
+            batch,
+            state,
+            ..
+        } = w;
+        let clip = cfg.clip_norm;
+        let mut grad_fn = |p: &Vector, out: &mut Vector| {
+            model.set_params(p);
+            model.loss_and_grad_into(data, batch, out);
+            if let Some(max_norm) = clip {
+                let norm = out.norm();
+                if norm > max_norm {
+                    out.scale_in_place(max_norm / norm);
+                }
+            }
+        };
+        strategy.local_step(t, state, &mut grad_fn);
+    }
+
+    fn on_upload(&mut self, i: usize, now: f64) {
+        let e = self.edge_of[i];
+        let j = i - self.offsets[e];
+        let k_up = self.workers[i].tick / self.cfg.tau;
+        // Mailbox write: the server-side slot now holds the upload.
+        self.fl.workers[i] = self.workers[i].state.clone();
+        match self.sim.policy {
+            SyncPolicy::FullSync => {
+                self.edges[e].arrived[j] = true;
+                if self.edges[e].arrived.iter().all(|&a| a) {
+                    self.fire_edge(e, now);
+                }
+            }
+            SyncPolicy::Deadline { timeout_ms, .. } => {
+                if k_up < self.edges[e].round {
+                    // Late: the round fired without this worker. Its upload
+                    // carries over in the mailbox; hand it the round's
+                    // distribution so it rejoins immediately.
+                    self.edges[e].last_round[j] = k_up;
+                    if self.edges[e].waiting_cloud {
+                        self.edges[e].pending_release.push(j);
+                    } else {
+                        let payload = Box::new(self.edges[e].last_dist[j].clone());
+                        self.deliver(i, payload, now);
+                    }
+                } else {
+                    let first = !self.edges[e].arrived.iter().any(|&a| a);
+                    self.edges[e].arrived[j] = true;
+                    self.edges[e].last_round[j] = k_up;
+                    if first {
+                        let round = self.edges[e].round;
+                        self.queue.push(
+                            now + timeout_ms,
+                            ActorId::Edge(e),
+                            Ev::EdgeTimeout { edge: e, round },
+                        );
+                    }
+                    self.maybe_fire_edge_deadline(e, now);
+                }
+            }
+            SyncPolicy::AsyncAge { .. } => {
+                self.edges[e].arrived[j] = true;
+                self.edges[e].age[j] = 0;
+                self.maybe_fire_edge_async(e, now);
+            }
+        }
+    }
+
+    fn on_edge_timeout(&mut self, e: usize, round: usize, now: f64) {
+        if self.edges[e].round != round {
+            return; // stale timer for an already-fired round
+        }
+        self.edges[e].timed_out = true;
+        self.maybe_fire_edge_deadline(e, now);
+    }
+
+    fn maybe_fire_edge_deadline(&mut self, e: usize, now: f64) {
+        let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
+            return;
+        };
+        let edge = &self.edges[e];
+        if edge.waiting_cloud {
+            return;
+        }
+        let have = edge.arrived.iter().filter(|&&a| a).count();
+        if have == 0 {
+            return;
+        }
+        let total = edge.arrived.len();
+        if have == total || (edge.timed_out && have >= quorum_count(quorum, total)) {
+            self.fire_edge(e, now);
+        }
+    }
+
+    fn maybe_fire_edge_async(&mut self, e: usize, now: f64) {
+        let SyncPolicy::AsyncAge { max_staleness } = self.sim.policy else {
+            return;
+        };
+        let edge = &self.edges[e];
+        if edge.waiting_cloud || !edge.arrived.iter().any(|&a| a) {
+            return;
+        }
+        // A too-stale absent worker blocks the firing — unless it is done
+        // and will never upload again.
+        let offset = self.offsets[e];
+        let blocked = edge.arrived.iter().enumerate().any(|(j, &arr)| {
+            !arr && edge.age[j] >= max_staleness && !self.workers[offset + j].done
+        });
+        if !blocked {
+            self.fire_edge(e, now);
+        }
+    }
+
+    /// Fires the edge's current round with whoever has arrived: runs the
+    /// strategy's (staleness-aware) edge hook against the mailbox, then
+    /// either submits to the cloud (boundary rounds) or distributes the
+    /// post-hook slots back to the participants.
+    fn fire_edge(&mut self, e: usize, now: f64) {
+        let strategy = self.strategy;
+        let sim = self.sim;
+        let offset = self.offsets[e];
+        let c = self.edges[e].arrived.len();
+        let participants: Vec<usize> = (0..c).filter(|&j| self.edges[e].arrived[j]).collect();
+        let (k, staleness): (usize, Vec<usize>) = match sim.policy {
+            SyncPolicy::FullSync => (self.edges[e].round, vec![0; c]),
+            SyncPolicy::Deadline { .. } => {
+                let r = self.edges[e].round;
+                let stale = (0..c)
+                    .map(|j| r.saturating_sub(self.edges[e].last_round[j]))
+                    .collect();
+                (r, stale)
+            }
+            SyncPolicy::AsyncAge { .. } => (self.edges[e].firings + 1, self.edges[e].age.clone()),
+        };
+        // Aggregation compute (three-tier only: a two-tier "edge" is the
+        // cloud's frontend and charges nothing of its own).
+        let d = match sim.architecture {
+            Architecture::ThreeTier => {
+                let dd = self.edges[e].sampler.compute_ms(&sim.env.edge_device);
+                self.edges[e].busy_ms += dd;
+                dd
+            }
+            Architecture::TwoTier => 0.0,
+        };
+        {
+            let mut view = self.fl.edge_view(e);
+            strategy.edge_aggregate_stale(k, &mut view, &staleness);
+        }
+        let (gamma, cos) = (self.fl.edges[e].gamma_edge, self.fl.edges[e].cos_theta);
+        if self.full_sync() {
+            self.stage_gamma(k, e, gamma, cos);
+        } else {
+            self.firing_seq += 1;
+            self.gamma_trace.push((self.firing_seq, gamma));
+            self.cos_trace.push((self.firing_seq, cos));
+            self.edges[e].last_dist = self.fl.workers[offset..offset + c].to_vec();
+        }
+        let firings_after = self.edges[e].firings + 1;
+        let cloud_round = match sim.policy {
+            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => k.is_multiple_of(self.cfg.pi),
+            SyncPolicy::AsyncAge { .. } => firings_after.is_multiple_of(self.cfg.pi),
+        };
+        if self.full_sync() {
+            let t = k * self.cfg.tau;
+            if !cloud_round && self.is_eval_tick(t) {
+                for j in 0..c {
+                    let x = self.fl.workers[offset + j].x.clone();
+                    self.stage_eval(t, offset + j, x, now + d);
+                }
+            }
+        }
+        if cloud_round {
+            self.edges[e].waiting_cloud = true;
+            self.edges[e].pending_release = participants.clone();
+            let du = match sim.architecture {
+                Architecture::ThreeTier => {
+                    let flows = self.edges.len();
+                    let dd = self.edges[e].sampler.shared_transfer_ms(
+                        &sim.env.edge_cloud_link,
+                        sim.upload_bytes,
+                        flows,
+                    );
+                    self.edges[e].busy_ms += dd;
+                    dd
+                }
+                Architecture::TwoTier => 0.0,
+            };
+            let p = match sim.policy {
+                SyncPolicy::AsyncAge { .. } => firings_after / self.cfg.pi,
+                _ => k / self.cfg.pi,
+            };
+            self.queue.push(
+                now + d + du,
+                ActorId::Edge(e),
+                Ev::CloudSubmit { edge: e, round: p },
+            );
+        } else {
+            for &j in &participants {
+                let flat = offset + j;
+                let payload = Box::new(self.fl.workers[flat].clone());
+                self.deliver(flat, payload, now + d);
+            }
+        }
+        let edge = &mut self.edges[e];
+        edge.firings = firings_after;
+        edge.arrived.fill(false);
+        edge.timed_out = false;
+        match sim.policy {
+            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => edge.round += 1,
+            SyncPolicy::AsyncAge { .. } => {
+                for (j, a) in edge.age.iter_mut().enumerate() {
+                    if participants.contains(&j) {
+                        *a = 0;
+                    } else {
+                        *a += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_cloud_submit(&mut self, e: usize, p: usize, now: f64) {
+        match self.sim.policy {
+            SyncPolicy::FullSync => {
+                self.cloud.arrived[e] = true;
+                self.cloud.last_round[e] = p;
+                if self.cloud.arrived.iter().all(|&a| a) {
+                    self.fire_cloud(now);
+                }
+            }
+            SyncPolicy::Deadline { timeout_ms, .. } => {
+                if p < self.cloud.round {
+                    // Late: the cloud round fired without this edge. Its
+                    // submission carries over in the mailbox; release its
+                    // waiting workers with the last distributed global.
+                    self.cloud.last_round[e] = p;
+                    self.release_edge_from_snapshot(e, now);
+                } else {
+                    let first = !self.cloud.arrived.iter().any(|&a| a);
+                    self.cloud.arrived[e] = true;
+                    self.cloud.last_round[e] = p;
+                    if first {
+                        let round = self.cloud.round;
+                        self.queue.push(
+                            now + timeout_ms,
+                            ActorId::Cloud,
+                            Ev::CloudTimeout { round },
+                        );
+                    }
+                    self.maybe_fire_cloud_deadline(now);
+                }
+            }
+            SyncPolicy::AsyncAge { .. } => {
+                self.cloud.arrived[e] = true;
+                self.cloud.age[e] = 0;
+                self.cloud.last_round[e] = p;
+                self.maybe_fire_cloud_async(now);
+            }
+        }
+    }
+
+    fn on_cloud_timeout(&mut self, round: usize, now: f64) {
+        if self.cloud.round != round {
+            return;
+        }
+        self.cloud.timed_out = true;
+        self.maybe_fire_cloud_deadline(now);
+    }
+
+    fn maybe_fire_cloud_deadline(&mut self, now: f64) {
+        let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
+            return;
+        };
+        let have = self.cloud.arrived.iter().filter(|&&a| a).count();
+        if have == 0 {
+            return;
+        }
+        let total = self.cloud.arrived.len();
+        if have == total || (self.cloud.timed_out && have >= quorum_count(quorum, total)) {
+            self.fire_cloud(now);
+        }
+    }
+
+    /// An edge that can never submit again: all of its workers hold their
+    /// final model and nothing of its is in flight.
+    fn edge_exhausted(&self, l: usize) -> bool {
+        !self.edges[l].waiting_cloud && self.hierarchy.edge_workers(l).all(|i| self.workers[i].done)
+    }
+
+    fn maybe_fire_cloud_async(&mut self, now: f64) {
+        let SyncPolicy::AsyncAge { max_staleness } = self.sim.policy else {
+            return;
+        };
+        if !self.cloud.arrived.iter().any(|&a| a) {
+            return;
+        }
+        let blocked =
+            self.cloud.arrived.iter().enumerate().any(|(l, &arr)| {
+                !arr && self.cloud.age[l] >= max_staleness && !self.edge_exhausted(l)
+            });
+        if !blocked {
+            self.fire_cloud(now);
+        }
+    }
+
+    /// Fires the cloud round with whichever edges have submitted. For
+    /// partial rounds the absent edges' mailbox state is snapshotted around
+    /// the hook, so the global update reads their carried-over submissions
+    /// but does not overwrite state they never received.
+    fn fire_cloud(&mut self, now: f64) {
+        let strategy = self.strategy;
+        let sim = self.sim;
+        let hierarchy = self.hierarchy;
+        let l_count = self.cloud.arrived.len();
+        let participants: Vec<usize> = (0..l_count).filter(|&l| self.cloud.arrived[l]).collect();
+        let (p, staleness): (usize, Vec<usize>) = match sim.policy {
+            SyncPolicy::FullSync => (self.cloud.round, vec![0; l_count]),
+            SyncPolicy::Deadline { .. } => {
+                let r = self.cloud.round;
+                let stale = (0..l_count)
+                    .map(|l| r.saturating_sub(self.cloud.last_round[l]))
+                    .collect();
+                (r, stale)
+            }
+            SyncPolicy::AsyncAge { .. } => (self.cloud.firings + 1, self.cloud.age.clone()),
+        };
+        let d = self.cloud.sampler.compute_ms(&sim.env.cloud_device);
+        self.cloud.busy_ms += d;
+        let saved: Vec<(usize, EdgeState, Vec<WorkerState>)> = (0..l_count)
+            .filter(|l| !participants.contains(l))
+            .map(|l| {
+                (
+                    l,
+                    self.fl.edges[l].clone(),
+                    self.fl.workers[hierarchy.edge_workers(l)].to_vec(),
+                )
+            })
+            .collect();
+        strategy.cloud_aggregate_stale(p, &mut self.fl, &staleness);
+        if !self.full_sync() {
+            for l in 0..l_count {
+                self.cloud.last_dist[l] = Some(self.fl.workers[hierarchy.edge_workers(l)].to_vec());
+            }
+        }
+        for (l, es, ws) in saved {
+            self.fl.edges[l] = es;
+            self.fl.workers[hierarchy.edge_workers(l)].clone_from_slice(&ws);
+        }
+        if self.full_sync() {
+            let t = p * self.cfg.tau * self.cfg.pi;
+            if self.is_eval_tick(t) {
+                let params = strategy.global_params(&self.fl);
+                let (test, train) = self.run_eval(&params);
+                self.evals.push(EvalRec {
+                    iter: t,
+                    at_ms: now + d,
+                    test,
+                    train,
+                });
+            }
+        } else {
+            self.record_relaxed_eval(now + d);
+        }
+        for &l in &participants {
+            let dd = match sim.architecture {
+                Architecture::ThreeTier => {
+                    let delay = self.edges[l].sampler.shared_transfer_ms(
+                        &sim.env.edge_cloud_link,
+                        sim.download_bytes,
+                        l_count,
+                    );
+                    self.edges[l].busy_ms += delay;
+                    delay
+                }
+                Architecture::TwoTier => 0.0,
+            };
+            self.queue
+                .push(now + d + dd, ActorId::Edge(l), Ev::CloudReply { edge: l });
+        }
+        self.cloud.firings += 1;
+        self.cloud.arrived.fill(false);
+        self.cloud.timed_out = false;
+        match sim.policy {
+            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => self.cloud.round += 1,
+            SyncPolicy::AsyncAge { .. } => {
+                for (l, a) in self.cloud.age.iter_mut().enumerate() {
+                    if participants.contains(&l) {
+                        *a = 0;
+                    } else {
+                        *a += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases an edge whose submission arrived after its cloud round
+    /// fired: its waiting workers get the last distributed global model.
+    fn release_edge_from_snapshot(&mut self, e: usize, now: f64) {
+        let ws = self.cloud.last_dist[e]
+            .clone()
+            .expect("late cloud submission implies a prior cloud firing");
+        self.edges[e].waiting_cloud = false;
+        self.edges[e].last_dist = ws.clone();
+        let offset = self.offsets[e];
+        let pending: Vec<usize> = std::mem::take(&mut self.edges[e].pending_release);
+        for j in pending {
+            self.deliver(offset + j, Box::new(ws[j].clone()), now);
+        }
+    }
+
+    fn on_cloud_reply(&mut self, e: usize, now: f64) {
+        self.edges[e].waiting_cloud = false;
+        let offset = self.offsets[e];
+        let c = self.edges[e].arrived.len();
+        if !self.full_sync() {
+            // Late joiners from here on get the post-cloud distribution.
+            self.edges[e].last_dist = self.fl.workers[offset..offset + c].to_vec();
+        }
+        let pending: Vec<usize> = std::mem::take(&mut self.edges[e].pending_release);
+        for j in pending {
+            let flat = offset + j;
+            let payload = Box::new(self.fl.workers[flat].clone());
+            self.deliver(flat, payload, now);
+        }
+        if matches!(self.sim.policy, SyncPolicy::AsyncAge { .. }) {
+            // Arrivals queued while the submission was outstanding.
+            self.maybe_fire_edge_async(e, now);
+        }
+    }
+
+    fn on_deliver(&mut self, flat: usize, state: WorkerState, now: f64) {
+        self.workers[flat].state = state;
+        if self.workers[flat].tick < self.cfg.total_iters {
+            self.schedule_step(flat, now);
+        } else {
+            self.workers[flat].done = true;
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev, now: f64) {
+        match ev {
+            Ev::Step { worker } => self.on_step_done(worker, now),
+            Ev::Upload { worker } => self.on_upload(worker, now),
+            Ev::EdgeTimeout { edge, round } => self.on_edge_timeout(edge, round, now),
+            Ev::Deliver { worker, state } => self.on_deliver(worker, *state, now),
+            Ev::CloudSubmit { edge, round } => self.on_cloud_submit(edge, round, now),
+            Ev::CloudTimeout { round } => self.on_cloud_timeout(round, now),
+            Ev::CloudReply { edge } => self.on_cloud_reply(edge, now),
+        }
+    }
+
+    /// End-of-run safety net: if the queue is dry but a barrier is still
+    /// collecting (an async age gate can be left waiting for a child that
+    /// exhausted mid-round), force the pending rounds to fire so every
+    /// worker is released and the run terminates.
+    fn drain_stalled(&mut self) -> bool {
+        for e in 0..self.edges.len() {
+            if !self.edges[e].waiting_cloud && self.edges[e].arrived.iter().any(|&a| a) {
+                self.fire_edge(e, self.now);
+                return true;
+            }
+        }
+        if self.cloud.arrived.iter().any(|&a| a) {
+            self.fire_cloud(self.now);
+            return true;
+        }
+        false
+    }
+
+    fn run(&mut self) {
+        for i in 0..self.workers.len() {
+            self.schedule_step(i, 0.0);
+        }
+        loop {
+            match self.queue.pop() {
+                Some((time, _actor, payload)) => {
+                    // A stale timeout (its round already fired) is a no-op
+                    // and must not advance the clock — otherwise a generous
+                    // deadline inflates the run's end time long after the
+                    // last real event.
+                    let live = match &payload {
+                        Ev::EdgeTimeout { edge, round } => self.edges[*edge].round == *round,
+                        Ev::CloudTimeout { round } => self.cloud.round == *round,
+                        _ => true,
+                    };
+                    if !live {
+                        continue;
+                    }
+                    self.now = time;
+                    self.events += 1;
+                    self.dispatch(payload, time);
+                }
+                None => {
+                    if !self.drain_stalled() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> SimResult {
+        let strategy = self.strategy;
+        if !self.full_sync() {
+            // Final state after all deliveries (late arrivals may have
+            // landed after the last cloud firing).
+            self.record_relaxed_eval(self.now);
+        }
+        self.evals.sort_by_key(|r| r.iter);
+        let mut curve = ConvergenceCurve::new();
+        let mut timed = TimedCurve::new();
+        for r in &self.evals {
+            curve.push(EvalPoint {
+                iteration: r.iter,
+                train_loss: r.train.loss,
+                test_loss: r.test.loss,
+                test_accuracy: r.test.accuracy,
+            });
+            timed.push(TimedPoint {
+                seconds: r.at_ms / 1000.0,
+                iteration: r.iter,
+                train_loss: r.train.loss,
+                test_loss: r.test.loss,
+                test_accuracy: r.test.accuracy,
+            });
+        }
+        let end_ms = self.now;
+        let util = |busy_ms: f64| {
+            if end_ms > 0.0 {
+                (busy_ms / end_ms).min(1.0)
+            } else {
+                0.0
+            }
+        };
+        let mut utilization = Vec::with_capacity(self.workers.len() + self.edges.len() + 1);
+        for (i, w) in self.workers.iter().enumerate() {
+            utilization.push(ActorUtilization {
+                actor: format!("worker-{i}"),
+                busy_seconds: w.busy_ms / 1000.0,
+                utilization: util(w.busy_ms),
+            });
+        }
+        for (l, e) in self.edges.iter().enumerate() {
+            utilization.push(ActorUtilization {
+                actor: format!("edge-{l}"),
+                busy_seconds: e.busy_ms / 1000.0,
+                utilization: util(e.busy_ms),
+            });
+        }
+        utilization.push(ActorUtilization {
+            actor: "cloud".to_string(),
+            busy_seconds: self.cloud.busy_ms / 1000.0,
+            utilization: util(self.cloud.busy_ms),
+        });
+        SimResult {
+            algorithm: strategy.name().to_string(),
+            policy: self.sim.policy.label(),
+            curve,
+            timed_curve: timed,
+            gamma_trace: self.gamma_trace,
+            cos_trace: self.cos_trace,
+            final_params: strategy.global_params(&self.fl),
+            simulated_seconds: end_ms / 1000.0,
+            utilization,
+            events: self.events,
+        }
+    }
+}
+
+/// Runs `strategy` under the co-simulation: same training semantics as
+/// [`hieradmo_core::run`] (bitwise-identical under
+/// [`SyncPolicy::FullSync`]), but every compute and transfer charges
+/// virtual time drawn from `sim.env`, and aggregation fires per
+/// `sim.policy` rather than at a global barrier.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the config, schedule, topology, data, network
+/// environment or policy are inconsistent — the same pre-flight checks as
+/// the core driver plus the network/policy ones.
+pub fn simulate<M, S>(
+    strategy: &S,
+    model: &M,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    sim: &SimConfig,
+) -> Result<SimResult, SimError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    cfg.validate()
+        .map_err(|m| SimError::Run(RunError::BadConfig(m)))?;
+    strategy
+        .check_topology(hierarchy)
+        .map_err(|m| SimError::Run(RunError::Topology(m)))?;
+    if worker_data.len() != hierarchy.num_workers() {
+        return Err(SimError::Run(RunError::Data(format!(
+            "{} worker datasets for {} workers",
+            worker_data.len(),
+            hierarchy.num_workers()
+        ))));
+    }
+    if let Some(i) = worker_data.iter().position(Dataset::is_empty) {
+        return Err(SimError::Run(RunError::Data(format!(
+            "worker {i} has no data"
+        ))));
+    }
+    Schedule::three_tier(cfg.tau, cfg.pi, cfg.total_iters)
+        .map_err(|e| SimError::Run(RunError::Schedule(e)))?;
+    sim.policy.validate().map_err(SimError::Policy)?;
+    if sim.env.worker_devices.len() != hierarchy.num_workers() {
+        return Err(SimError::Net(format!(
+            "{} device profiles for {} workers",
+            sim.env.worker_devices.len(),
+            hierarchy.num_workers()
+        )));
+    }
+
+    let mut engine = Engine::new(strategy, model, hierarchy, worker_data, test_data, cfg, sim);
+    engine.run();
+    Ok(engine.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_count_ceils_and_clamps() {
+        assert_eq!(quorum_count(0.5, 4), 2);
+        assert_eq!(quorum_count(0.5, 3), 2);
+        assert_eq!(quorum_count(0.01, 4), 1);
+        assert_eq!(quorum_count(1.0, 4), 4);
+        assert_eq!(quorum_count(0.0, 4), 1, "clamped to at least one");
+    }
+}

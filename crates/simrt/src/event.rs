@@ -1,0 +1,181 @@
+//! The deterministic discrete-event queue.
+//!
+//! Events are ordered by `(virtual time, actor, sequence number)`: ties in
+//! virtual time (common — zero-latency hops and identical delay draws both
+//! produce them) break first by actor identity and then by insertion order,
+//! so the processing order is a pure function of the pushed events and
+//! never of hash seeds, thread interleaving or float quirks (`f64` is
+//! compared with [`f64::total_cmp`]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identity of a simulated actor, used as the event tie-breaker.
+///
+/// The derived order (workers by flat index, then edges, then the cloud)
+/// fixes the processing order of same-time events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ActorId {
+    /// A worker, by flat index.
+    Worker(usize),
+    /// An edge server, by index.
+    Edge(usize),
+    /// The cloud server.
+    Cloud,
+}
+
+struct Entry<P> {
+    time_ms: f64,
+    actor: ActorId,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<P> Eq for Entry<P> {}
+
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and the queue pops the
+        // earliest event first.
+        other
+            .time_ms
+            .total_cmp(&self.time_ms)
+            .then_with(|| other.actor.cmp(&self.actor))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of timestamped events with deterministic tie-breaking.
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for `actor` at absolute virtual time `time_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is not a finite, non-negative number — a NaN
+    /// timestamp would silently scramble the queue order.
+    pub fn push(&mut self, time_ms: f64, actor: ActorId, payload: P) {
+        assert!(
+            time_ms.is_finite() && time_ms >= 0.0,
+            "event time must be finite and non-negative, got {time_ms}"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time_ms,
+            actor,
+            seq,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event as `(time_ms, actor,
+    /// payload)`, or `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(f64, ActorId, P)> {
+        self.heap.pop().map(|e| (e.time_ms, e.actor, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, ActorId::Cloud, "c");
+        q.push(1.0, ActorId::Worker(0), "a");
+        q.push(2.0, ActorId::Edge(1), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_actor_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ActorId::Cloud, "cloud");
+        q.push(5.0, ActorId::Edge(0), "edge0-late");
+        q.push(5.0, ActorId::Worker(3), "w3");
+        q.push(5.0, ActorId::Worker(1), "w1");
+        q.push(5.0, ActorId::Edge(0), "edge0-later");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, ["w1", "w3", "edge0-late", "edge0-later", "cloud"]);
+    }
+
+    #[test]
+    fn identical_push_sequences_pop_identically() {
+        let pushes = [
+            (2.0, ActorId::Edge(0)),
+            (2.0, ActorId::Worker(5)),
+            (0.5, ActorId::Cloud),
+            (2.0, ActorId::Worker(5)),
+        ];
+        let drain = |q: &mut EventQueue<usize>| -> Vec<(f64, ActorId, usize)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &(t, actor)) in pushes.iter().enumerate() {
+            a.push(t, actor, i);
+            b.push(t, actor, i);
+        }
+        assert_eq!(drain(&mut a), drain(&mut b));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, ActorId::Worker(0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ActorId::Cloud, ());
+    }
+}

@@ -1,0 +1,173 @@
+//! Synchronization policies and the co-simulation configuration.
+
+use hieradmo_netsim::{Architecture, NetworkEnv};
+
+/// When an aggregation round is allowed to fire, given that uploads now
+/// arrive at different virtual times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncPolicy {
+    /// Every round waits for *all* of its children — the paper's barrier
+    /// semantics. The model trajectory is bitwise identical to
+    /// [`hieradmo_core::run`]; only the (now honest) time axis differs.
+    FullSync,
+    /// Semi-synchronous: a round fires as soon as either everyone has
+    /// arrived, or at least `ceil(quorum · n)` children have arrived *and*
+    /// `timeout_ms` of virtual time has passed since the round's first
+    /// arrival. Stragglers' uploads carry over into the next round; the
+    /// aggregation hook sees their staleness and may down-weight them
+    /// (see `Strategy::edge_aggregate_stale`).
+    Deadline {
+        /// Fraction of children required before the timeout can fire the
+        /// round, in `(0, 1]`.
+        quorum: f64,
+        /// Virtual milliseconds after the round's first arrival at which a
+        /// quorum is allowed to proceed without the stragglers.
+        timeout_ms: f64,
+    },
+    /// Asynchronous with an age bound: a round fires on every arrival,
+    /// merging whatever has arrived since the previous firing — unless some
+    /// absent child's server-side state is already `max_staleness` rounds
+    /// old, in which case the round waits for that child (bounded-staleness
+    /// async in the FedBuff/FedAsync tradition).
+    AsyncAge {
+        /// Maximum tolerated age, in rounds, of any merged child state.
+        max_staleness: usize,
+    },
+}
+
+impl SyncPolicy {
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SyncPolicy::FullSync => Ok(()),
+            SyncPolicy::Deadline { quorum, timeout_ms } => {
+                if !(quorum > 0.0 && quorum <= 1.0) {
+                    return Err(format!("deadline quorum must be in (0, 1], got {quorum}"));
+                }
+                if !(timeout_ms.is_finite() && timeout_ms > 0.0) {
+                    return Err(format!(
+                        "deadline timeout must be positive and finite, got {timeout_ms}"
+                    ));
+                }
+                Ok(())
+            }
+            SyncPolicy::AsyncAge { max_staleness } => {
+                if max_staleness == 0 {
+                    return Err("async max_staleness must be at least 1".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A short human-readable label, used in exports and report tables.
+    pub fn label(&self) -> String {
+        match *self {
+            SyncPolicy::FullSync => "full-sync".to_string(),
+            SyncPolicy::Deadline { quorum, timeout_ms } => {
+                format!("deadline(q={quorum},{timeout_ms}ms)")
+            }
+            SyncPolicy::AsyncAge { max_staleness } => format!("async(age<={max_staleness})"),
+        }
+    }
+}
+
+/// Everything [`crate::simulate`] needs beyond the training inputs: the
+/// emulated testbed, the communication pattern, payload sizes, the network
+/// RNG seed, and the synchronization policy.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Device compute profiles and link profiles.
+    pub env: NetworkEnv,
+    /// Which hops the traffic takes. [`Architecture::TwoTier`] charges
+    /// worker ↔ cloud transfers (all workers sharing the link) and no edge
+    /// compute; [`Architecture::ThreeTier`] charges worker ↔ edge and
+    /// edge ↔ cloud hops plus edge aggregation compute.
+    pub architecture: Architecture,
+    /// Serialized model bytes per upload.
+    pub upload_bytes: u64,
+    /// Serialized model bytes per download.
+    pub download_bytes: u64,
+    /// Master seed for the per-actor delay streams. Independent of the
+    /// training seed in `RunConfig`, so the same trajectory can be timed
+    /// under many network draws.
+    pub net_seed: u64,
+    /// The synchronization policy.
+    pub policy: SyncPolicy,
+}
+
+impl SimConfig {
+    /// A config with symmetric `payload_bytes` uploads and downloads.
+    pub fn new(
+        env: NetworkEnv,
+        architecture: Architecture,
+        payload_bytes: u64,
+        net_seed: u64,
+        policy: SyncPolicy,
+    ) -> Self {
+        SimConfig {
+            env,
+            architecture,
+            upload_bytes: payload_bytes,
+            download_bytes: payload_bytes,
+            net_seed,
+            policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sync_always_validates() {
+        assert!(SyncPolicy::FullSync.validate().is_ok());
+        assert_eq!(SyncPolicy::FullSync.label(), "full-sync");
+    }
+
+    #[test]
+    fn deadline_rejects_bad_quorum_and_timeout() {
+        let ok = SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 100.0,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ok.label().contains("deadline"));
+        for (q, t) in [(0.0, 100.0), (1.5, 100.0), (0.5, 0.0), (0.5, f64::NAN)] {
+            let bad = SyncPolicy::Deadline {
+                quorum: q,
+                timeout_ms: t,
+            };
+            assert!(bad.validate().is_err(), "q={q} t={t} should be rejected");
+        }
+    }
+
+    #[test]
+    fn async_rejects_zero_staleness() {
+        assert!(SyncPolicy::AsyncAge { max_staleness: 0 }
+            .validate()
+            .is_err());
+        let ok = SyncPolicy::AsyncAge { max_staleness: 3 };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.label(), "async(age<=3)");
+    }
+
+    #[test]
+    fn sim_config_uses_symmetric_payloads() {
+        let cfg = SimConfig::new(
+            NetworkEnv::paper_testbed(2),
+            Architecture::ThreeTier,
+            50_000,
+            7,
+            SyncPolicy::FullSync,
+        );
+        assert_eq!(cfg.upload_bytes, 50_000);
+        assert_eq!(cfg.download_bytes, 50_000);
+        assert_eq!(cfg.net_seed, 7);
+    }
+}

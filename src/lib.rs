@@ -18,6 +18,7 @@
 //! | [`data`] | `hieradmo-data` | synthetic datasets, non-iid partitioners |
 //! | [`topology`] | `hieradmo-topology` | hierarchies, schedules, weights |
 //! | [`netsim`] | `hieradmo-netsim` | trace-driven delay simulation |
+//! | [`simrt`] | `hieradmo-simrt` | event-driven co-simulation runtime |
 //! | [`metrics`] | `hieradmo-metrics` | curves, summaries, tables |
 //! | [`tensor`] | `hieradmo-tensor` | vectors/matrices/conv substrate |
 //!
@@ -53,6 +54,7 @@ pub use hieradmo_data as data;
 pub use hieradmo_metrics as metrics;
 pub use hieradmo_models as models;
 pub use hieradmo_netsim as netsim;
+pub use hieradmo_simrt as simrt;
 pub use hieradmo_tensor as tensor;
 pub use hieradmo_topology as topology;
 

@@ -179,3 +179,36 @@ fn cnn_federation_end_to_end() {
     assert_eq!(res.curve.len(), 2);
     assert!(res.final_params.is_finite());
 }
+
+#[test]
+fn run_result_timings_round_trip_through_metrics_export() {
+    use hieradmo::metrics::export::{run_from_json, run_to_json, RunRecord};
+
+    let (_train, test, shards, model) = problem();
+    let cfg = RunConfig {
+        total_iters: 20,
+        tau: 5,
+        pi: 2,
+        eval_every: 10,
+        ..cfg()
+    };
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let res = run(
+        &algo,
+        &model,
+        &Hierarchy::balanced(2, 2),
+        &shards,
+        &test,
+        &cfg,
+    )
+    .unwrap();
+
+    let rec = RunRecord {
+        algorithm: res.algorithm.clone(),
+        curve: res.curve.clone(),
+        timings: res.timings.into(),
+    };
+    assert!(rec.timings.total_ms() > 0.0, "a real run spends real time");
+    let back = run_from_json(&run_to_json(&rec)).unwrap();
+    assert_eq!(back, rec);
+}

@@ -23,11 +23,20 @@ fn bench_conv(c: &mut Criterion) {
         (0..200).map(|i| (i as f32 * 0.1).cos()).collect(),
     );
     let bias = vec![0.0f32; 8];
-    group.bench_function("forward_mnist_l1", |b| {
-        b.iter(|| conv::conv2d_forward(&input, &weight, &bias, 2))
+    group.bench_function("forward_mnist_l1_direct", |b| {
+        b.iter(|| conv::conv2d_forward_direct(&input, &weight, &bias, 2))
     });
     group.bench_function("forward_mnist_l1_im2col", |b| {
         b.iter(|| conv::conv2d_forward_im2col(&input, &weight, &bias, 2))
+    });
+    group.bench_function("forward_mnist_l1_im2col_scratch", |b| {
+        // The steady-state layer path: scratch and output held across calls.
+        let mut scratch = conv::Im2colScratch::new();
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        b.iter(|| {
+            conv::conv2d_forward_into(&input, &weight, &bias, 2, &mut scratch, &mut out);
+            out.at(0, 0, 0, 0)
+        })
     });
     let out = conv::conv2d_forward(&input, &weight, &bias, 2);
     let ones = Tensor4::from_data(out.n(), out.c(), out.h(), out.w(), vec![1.0; out.len()]);

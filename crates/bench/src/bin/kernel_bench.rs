@@ -1,0 +1,425 @@
+//! **Kernel benchmark harness**: old-vs-new compute kernels across the
+//! shapes the training hot path actually runs, plus one end-to-end
+//! `core::run` timing. Writes `BENCH_kernels.json` — the start of the
+//! repo's recorded perf trajectory.
+//!
+//! ```text
+//! cargo run -p hieradmo-bench --release --bin kernel_bench -- \
+//!     [--smoke] [--out BENCH_kernels.json] [--reps 7]
+//! ```
+//!
+//! The "old" kernels are the pre-kernel-layer scalar implementations —
+//! single-accumulator serial FMA chains — reimplemented here verbatim so
+//! the comparison survives the originals being deleted from the library.
+//! The "new" kernels are whatever `hieradmo_tensor::kernels` currently
+//! ships, so this binary keeps measuring honest speedups as the kernel
+//! layer evolves.
+//!
+//! `--smoke` runs every kernel pair once at tiny shapes, asserts all
+//! outputs are finite and within tolerance of the scalar baseline, and
+//! emits the same JSON schema — CI runs this so the bench cannot rot.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hieradmo_bench::cli::Cli;
+use hieradmo_core::algorithms::HierAdMo;
+use hieradmo_core::{run, RunConfig};
+use hieradmo_data::partition::x_class_partition;
+use hieradmo_data::synthetic::SyntheticDataset;
+use hieradmo_models::zoo;
+use hieradmo_tensor::{conv, kernels, Tensor4, Vector};
+use hieradmo_topology::Hierarchy;
+use serde::Serialize;
+
+// ---------------------------------------------------------------------------
+// Old (pre-kernel-layer) scalar baselines
+// ---------------------------------------------------------------------------
+
+/// Old `Vector::dot`: one serial accumulator.
+fn old_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Old `Vector::axpy`: scalar element loop.
+fn old_axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += alpha * b;
+    }
+}
+
+/// Old blocked `matmul_transposed_into`: 32×32 cache blocking with a
+/// single `f32` accumulator per output element.
+fn old_matmul_bt(a: &[f32], bt: &[f32], out: &mut [f32], n: usize, m: usize, k: usize) {
+    const BLOCK: usize = 32;
+    for r0 in (0..n).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(n);
+        for c0 in (0..m).step_by(BLOCK) {
+            let c1 = (c0 + BLOCK).min(m);
+            for r in r0..r1 {
+                let arow = &a[r * k..(r + 1) * k];
+                for c in c0..c1 {
+                    let brow = &bt[c * k..(c + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    out[r * m + c] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Old `conv2d_forward`: the loop-nest with a scalar inner row update.
+fn old_conv2d_forward(input: &Tensor4, weight: &Tensor4, bias: &[f32], pad: usize) -> Tensor4 {
+    let (n, c_in, h, w) = input.shape();
+    let (c_out, _, kh, kw) = weight.shape();
+    let oh = h + 2 * pad - kh + 1;
+    let ow = w + 2 * pad - kw + 1;
+    let mut out = Tensor4::zeros(n, c_out, oh, ow);
+    for b in 0..n {
+        for (oc, &bias_v) in bias.iter().enumerate() {
+            out.plane_mut(b, oc).iter_mut().for_each(|v| *v = bias_v);
+            for ic in 0..c_in {
+                let in_plane = input.plane(b, ic).to_vec();
+                let w_plane = weight.plane(oc, ic).to_vec();
+                let out_plane = out.plane_mut(b, oc);
+                for ky in 0..kh {
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        let in_row = &in_plane[(iy - pad) * w..(iy - pad) * w + w];
+                        let out_row = &mut out_plane[oy * ow..oy * ow + ow];
+                        for kx in 0..kw {
+                            let wv = w_plane[ky * kw + kx];
+                            let ox_start = pad.saturating_sub(kx);
+                            let ox_end = (w + pad).saturating_sub(kx).min(ow);
+                            if ox_start >= ox_end {
+                                continue;
+                            }
+                            let ix_start = ox_start + kx - pad;
+                            let len = ox_end - ox_start;
+                            for (o, &i) in out_row[ox_start..ox_end]
+                                .iter_mut()
+                                .zip(&in_row[ix_start..ix_start + len])
+                            {
+                                *o += wv * i;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Old `Vector::weighted_average`: scalar f64 accumulation.
+fn old_weighted_average(items: &[(f64, &Vector)]) -> Vector {
+    let mut acc = vec![0.0f64; items[0].1.len()];
+    let mut total = 0.0f64;
+    for (w, v) in items {
+        for (a, &b) in acc.iter_mut().zip(v.as_slice()) {
+            *a += w * f64::from(b);
+        }
+        total += w;
+    }
+    acc.into_iter().map(|a| (a / total) as f32).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Minimum-of-`reps` wall time of `f`, in nanoseconds.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    name: String,
+    shape: String,
+    baseline_ns: f64,
+    kernel_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    scenario: String,
+    total_iters: usize,
+    wall_s: f64,
+    final_accuracy: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    mode: &'static str,
+    target: String,
+    kernels: Vec<KernelRow>,
+    end_to_end: Option<EndToEnd>,
+}
+
+fn seq(n: usize, scale: f32) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * scale).sin()).collect()
+}
+
+fn assert_close(name: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(g.is_finite(), "{name}: non-finite output at {i}: {g}");
+        assert!(
+            (g - w).abs() <= 1e-3 * (1.0 + w.abs()),
+            "{name}: kernel diverged from baseline at {i}: {g} vs {w}"
+        );
+    }
+}
+
+fn bench_matmul(rows: &mut Vec<KernelRow>, reps: usize, n: usize, m: usize, k: usize) {
+    let a = seq(n * k, 0.013);
+    let bt = seq(m * k, 0.029);
+    let mut out_old = vec![0.0f32; n * m];
+    let mut out_new = vec![0.0f32; n * m];
+    old_matmul_bt(&a, &bt, &mut out_old, n, m, k);
+    kernels::matmul_bt(&a, &bt, &mut out_new, n, m, k);
+    assert_close("matmul", &out_new, &out_old);
+    let baseline_ns = time_ns(reps, || {
+        old_matmul_bt(black_box(&a), black_box(&bt), &mut out_old, n, m, k)
+    });
+    let kernel_ns = time_ns(reps, || {
+        kernels::matmul_bt(black_box(&a), black_box(&bt), &mut out_new, n, m, k)
+    });
+    rows.push(KernelRow {
+        name: "matmul_bt".into(),
+        shape: format!("{n}x{k}·{k}x{m}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+fn bench_dot(rows: &mut Vec<KernelRow>, reps: usize, len: usize) {
+    let a = seq(len, 0.017);
+    let b = seq(len, 0.031);
+    let want = old_dot(&a, &b);
+    let got = kernels::dot(&a, &b);
+    assert_close("dot", &[got], &[want]);
+    let baseline_ns = time_ns(reps, || {
+        black_box(old_dot(black_box(&a), black_box(&b)));
+    });
+    let kernel_ns = time_ns(reps, || {
+        black_box(kernels::dot(black_box(&a), black_box(&b)));
+    });
+    rows.push(KernelRow {
+        name: "dot".into(),
+        shape: format!("{len}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+fn bench_axpy(rows: &mut Vec<KernelRow>, reps: usize, len: usize) {
+    let x = seq(len, 0.019);
+    let mut y_old = seq(len, 0.023);
+    let mut y_new = y_old.clone();
+    old_axpy(&mut y_old, 0.5, &x);
+    kernels::axpy(&mut y_new, 0.5, &x);
+    assert_close("axpy", &y_new, &y_old);
+    let baseline_ns = time_ns(reps, || old_axpy(black_box(&mut y_old), 0.5, black_box(&x)));
+    let kernel_ns = time_ns(reps, || {
+        kernels::axpy(black_box(&mut y_new), 0.5, black_box(&x))
+    });
+    rows.push(KernelRow {
+        name: "axpy".into(),
+        shape: format!("{len}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+fn bench_weighted_average(rows: &mut Vec<KernelRow>, reps: usize, workers: usize, dim: usize) {
+    let vs: Vec<Vector> = (0..workers)
+        .map(|i| Vector::from(seq(dim, 0.011 + i as f32 * 0.002)))
+        .collect();
+    let items: Vec<(f64, &Vector)> = vs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (1.0 + i as f64, v))
+        .collect();
+    let want = old_weighted_average(&items);
+    let got = Vector::weighted_average(items.iter().copied());
+    assert_close("weighted_average", got.as_slice(), want.as_slice());
+    let baseline_ns = time_ns(reps, || {
+        black_box(old_weighted_average(black_box(&items)));
+    });
+    let kernel_ns = time_ns(reps, || {
+        black_box(Vector::weighted_average(black_box(&items).iter().copied()));
+    });
+    rows.push(KernelRow {
+        name: "weighted_average".into(),
+        shape: format!("{workers}x{dim}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+fn bench_conv(
+    rows: &mut Vec<KernelRow>,
+    reps: usize,
+    c_in: usize,
+    c_out: usize,
+    hw: usize,
+    k: usize,
+    pad: usize,
+) {
+    let input = Tensor4::from_data(1, c_in, hw, hw, seq(c_in * hw * hw, 0.01));
+    let weight = Tensor4::from_data(c_out, c_in, k, k, seq(c_out * c_in * k * k, 0.07));
+    let bias = seq(c_out, 0.5);
+    let want = old_conv2d_forward(&input, &weight, &bias, pad);
+    let mut scratch = conv::Im2colScratch::new();
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    conv::conv2d_forward_into(&input, &weight, &bias, pad, &mut scratch, &mut out);
+    assert_close("conv2d", out.as_slice(), want.as_slice());
+    let baseline_ns = time_ns(reps, || {
+        black_box(old_conv2d_forward(
+            black_box(&input),
+            black_box(&weight),
+            &bias,
+            pad,
+        ));
+    });
+    let kernel_ns = time_ns(reps, || {
+        conv::conv2d_forward_into(
+            black_box(&input),
+            black_box(&weight),
+            &bias,
+            pad,
+            &mut scratch,
+            &mut out,
+        );
+    });
+    rows.push(KernelRow {
+        name: "conv2d_forward".into(),
+        shape: format!("{c_in}->{c_out} {hw}x{hw} k{k} p{pad}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+fn end_to_end(total_iters: usize) -> EndToEnd {
+    let tt = SyntheticDataset::mnist_like(60, 10, 17);
+    let shards = x_class_partition(&tt.train, 4, 2, 17);
+    let model = zoo::logistic_regression(&tt.train, 7);
+    let cfg = RunConfig {
+        eta: 0.05,
+        tau: 5,
+        pi: 2,
+        total_iters,
+        batch_size: 16,
+        eval_every: total_iters,
+        threads: Some(1),
+        ..RunConfig::default()
+    };
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+    let t = Instant::now();
+    let res = run(
+        &algo,
+        &model,
+        &Hierarchy::balanced(2, 2),
+        &shards,
+        &tt.test,
+        &cfg,
+    )
+    .expect("end-to-end run should succeed");
+    let wall_s = t.elapsed().as_secs_f64();
+    let final_accuracy = res.curve.final_accuracy().unwrap_or(0.0);
+    EndToEnd {
+        scenario: "hieradmo-adaptive logistic mnist-like N=4 L=2 τ=5 π=2".into(),
+        total_iters,
+        wall_s,
+        final_accuracy,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let smoke = cli.get("smoke").is_some();
+    let out_path = cli.get("out").unwrap_or("BENCH_kernels.json").to_string();
+    let reps: usize = cli.get_or("reps", if smoke { 1 } else { 7 });
+
+    let mut rows = Vec::new();
+    if smoke {
+        // Tiny shapes: correctness + schema only, so CI stays fast.
+        bench_matmul(&mut rows, reps, 9, 7, 33);
+        bench_dot(&mut rows, reps, 100);
+        bench_axpy(&mut rows, reps, 100);
+        bench_weighted_average(&mut rows, reps, 3, 64);
+        bench_conv(&mut rows, reps, 2, 3, 8, 3, 1);
+    } else {
+        // MLP layer shapes (Algorithm 1's dense path; 256×784·784×128 is
+        // the acceptance shape), a conv-as-im2col shape, and small blocks.
+        bench_matmul(&mut rows, reps, 256, 128, 784);
+        bench_matmul(&mut rows, reps, 32, 196, 288);
+        bench_matmul(&mut rows, reps, 128, 64, 128);
+        // Aggregation-width vectors: logistic-MNIST (7850) and MLP (~100k).
+        bench_dot(&mut rows, reps, 7850);
+        bench_dot(&mut rows, reps, 101_770);
+        bench_axpy(&mut rows, reps, 7850);
+        bench_axpy(&mut rows, reps, 101_770);
+        bench_weighted_average(&mut rows, reps, 4, 101_770);
+        // CNN zoo layers: MNIST first conv and a mid-network conv.
+        bench_conv(&mut rows, reps, 1, 8, 28, 5, 2);
+        bench_conv(&mut rows, reps, 8, 16, 14, 3, 1);
+    }
+
+    for r in &rows {
+        assert!(
+            r.baseline_ns.is_finite() && r.kernel_ns.is_finite() && r.speedup.is_finite(),
+            "non-finite timing for {}",
+            r.name
+        );
+    }
+
+    let e2e = Some(end_to_end(if smoke { 20 } else { 200 }));
+
+    let report = BenchReport {
+        bench: "kernel_bench",
+        mode: if smoke { "smoke" } else { "full" },
+        target: std::env::consts::ARCH.to_string(),
+        kernels: rows,
+        end_to_end: e2e,
+    };
+
+    println!("== kernel_bench ({}) ==", report.mode);
+    for r in &report.kernels {
+        println!(
+            "{:>18} {:>24}  old {:>12.0} ns  new {:>12.0} ns  speedup {:>5.2}x",
+            r.name, r.shape, r.baseline_ns, r.kernel_ns, r.speedup
+        );
+    }
+    if let Some(e) = &report.end_to_end {
+        println!(
+            "{:>18} {:>24}  wall {:.3} s  acc {:.3}",
+            "end_to_end", e.scenario, e.wall_s, e.final_accuracy
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report must serialize");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH json");
+    println!("wrote {out_path}");
+}

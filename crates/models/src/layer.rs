@@ -5,9 +5,10 @@
 //! [`crate::Sequential`]); a forward pass returns both the output signal and
 //! a [`Cache`] holding exactly what the backward pass needs.
 
+use std::cell::RefCell;
 use std::fmt;
 
-use hieradmo_tensor::{conv, ops, Matrix, Tensor4, Vector};
+use hieradmo_tensor::{conv, kernels, ops, Matrix, Tensor4, Vector};
 
 /// A value flowing between layers: either a flat vector or a single-sample
 /// NCHW image tensor (`n = 1`).
@@ -260,9 +261,7 @@ impl Layer for Dense {
                 continue;
             }
             let row = &mut grad_params[r * cols..(r + 1) * cols];
-            for (dst, &xv) in row.iter_mut().zip(x.iter()) {
-                *dst += gr * xv;
-            }
+            kernels::axpy(row, gr, x.as_slice());
         }
         // grad_b += g
         for (dst, &gv) in grad_params[wn..].iter_mut().zip(g.iter()) {
@@ -356,11 +355,29 @@ impl Layer for Relu {
 // ---------------------------------------------------------------------------
 
 /// 2-D convolution, stride 1, symmetric zero padding.
-#[derive(Debug, Clone)]
+///
+/// Each layer instance carries its own [`conv::Im2colScratch`] so the
+/// im2col patch/product buffers are recycled across forward passes —
+/// model replicas are per-thread (`Layer` is `Send`, not `Sync`), so the
+/// `RefCell` is never contended.
+#[derive(Debug)]
 pub struct Conv {
     w: Tensor4,
     b: Vec<f32>,
     pad: usize,
+    scratch: RefCell<conv::Im2colScratch>,
+}
+
+impl Clone for Conv {
+    fn clone(&self) -> Self {
+        // Fresh (empty) scratch: each replica grows its own buffers.
+        Conv {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            pad: self.pad,
+            scratch: RefCell::new(conv::Im2colScratch::new()),
+        }
+    }
 }
 
 impl Conv {
@@ -372,7 +389,12 @@ impl Conv {
     /// Panics if `b.len() != c_out`.
     pub fn new(w: Tensor4, b: Vec<f32>, pad: usize) -> Self {
         assert_eq!(b.len(), w.n(), "conv bias length mismatch");
-        Conv { w, b, pad }
+        Conv {
+            w,
+            b,
+            pad,
+            scratch: RefCell::new(conv::Im2colScratch::new()),
+        }
     }
 
     /// Output channels.
@@ -401,7 +423,15 @@ impl Layer for Conv {
 
     fn forward(&self, input: &Signal) -> (Signal, Cache) {
         let x = input.expect_image();
-        let y = conv::conv2d_forward(x, &self.w, &self.b, self.pad);
+        let mut y = Tensor4::zeros(0, 0, 0, 0);
+        conv::conv2d_forward_into(
+            x,
+            &self.w,
+            &self.b,
+            self.pad,
+            &mut self.scratch.borrow_mut(),
+            &mut y,
+        );
         (Signal::Image(y), Cache::Conv(x.clone()))
     }
 

@@ -1,9 +1,14 @@
 //! Convolution and pooling with analytic gradients.
 //!
-//! These are deliberately straightforward (loop-nest) implementations:
-//! correctness and exact gradients matter more than peak throughput for the
-//! scaled-down models in this reproduction, and the Criterion benches in
-//! `hieradmo-bench` track their cost explicitly.
+//! The default forward path ([`conv2d_forward`]) lowers each batch element
+//! to an im2col patch matrix and runs the register-tiled
+//! [`crate::kernels::matmul_bt`] product, with caller-holdable scratch
+//! ([`Im2colScratch`], [`conv2d_forward_into`]) so steady-state layers
+//! allocate nothing. A direct loop-nest reference
+//! ([`conv2d_forward_direct`]) is kept as the oracle the property tests
+//! and the `kernel_bench` baseline compare against; the backward pass
+//! stays a loop nest but delegates its inner row operations to
+//! [`crate::kernels`].
 //!
 //! Weight layout for convolutions is `(out_channels, in_channels, kh, kw)`
 //! stored in a [`Tensor4`]. All convolutions use stride 1 with configurable
@@ -11,7 +16,7 @@
 //! which is how the scaled-down VGG/ResNet-style models in
 //! `hieradmo-models` reduce resolution.
 
-use crate::Tensor4;
+use crate::{kernels, Tensor4};
 
 /// Output of [`max_pool2x2_forward`]: the pooled tensor plus the flat index
 /// (into the input storage) of each selected maximum, needed for the
@@ -31,11 +36,39 @@ pub struct PoolResult {
 /// `(c_out, c_in, kh, kw)`; `bias` has length `c_out`. The output has shape
 /// `(n, c_out, h + 2*pad - kh + 1, w + 2*pad - kw + 1)`.
 ///
+/// Routes through the im2col + tiled-matmul path
+/// ([`conv2d_forward_into`]); allocation-sensitive callers should hold the
+/// [`Im2colScratch`] and output tensor themselves and call the `_into`
+/// form directly, the way `matmul_into` callers hold their buffers.
+///
 /// # Panics
 ///
 /// Panics if channel counts disagree, if `bias.len() != c_out`, or if the
 /// kernel is larger than the padded input.
 pub fn conv2d_forward(input: &Tensor4, weight: &Tensor4, bias: &[f32], pad: usize) -> Tensor4 {
+    let mut scratch = Im2colScratch::default();
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    conv2d_forward_into(input, weight, bias, pad, &mut scratch, &mut out);
+    out
+}
+
+/// Direct loop-nest 2-D convolution: identical semantics to
+/// [`conv2d_forward`], computed without the im2col lowering.
+///
+/// Kept as the straightforward reference implementation — the oracle for
+/// the im2col property tests and the "old kernel" baseline of
+/// `kernel_bench` — and still the better choice for very small spatial
+/// extents where building patches costs more than it saves.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`conv2d_forward`].
+pub fn conv2d_forward_direct(
+    input: &Tensor4,
+    weight: &Tensor4,
+    bias: &[f32],
+    pad: usize,
+) -> Tensor4 {
     let (n, c_in, h, w) = input.shape();
     let (c_out, wc_in, kh, kw) = weight.shape();
     assert_eq!(c_in, wc_in, "conv2d channel mismatch: {c_in} vs {wc_in}");
@@ -76,12 +109,11 @@ pub fn conv2d_forward(input: &Tensor4, weight: &Tensor4, bias: &[f32], pad: usiz
                                 continue;
                             }
                             let len = ox_end - ox_start;
-                            for (o, &i) in out_row[ox_start..ox_end]
-                                .iter_mut()
-                                .zip(&in_row[ix_start..ix_start + len])
-                            {
-                                *o += wv * i;
-                            }
+                            kernels::axpy(
+                                &mut out_row[ox_start..ox_end],
+                                wv,
+                                &in_row[ix_start..ix_start + len],
+                            );
                         }
                     }
                 }
@@ -165,14 +197,11 @@ pub fn conv2d_backward(
                             let wv = w_plane[ky * kw + kx];
                             if wv != 0.0 {
                                 let gi_seg = &mut gi_plane[row + ix_start..row + ix_start + len];
-                                for (gi, &g) in gi_seg.iter_mut().zip(go_seg) {
-                                    *gi += wv * g;
-                                }
+                                kernels::axpy(gi_seg, wv, go_seg);
                             }
                             // grad_weight[ky][kx] += ⟨g_row, in_row⟩.
                             let in_seg = &in_plane[row + ix_start..row + ix_start + len];
-                            gw_local[ky * kw + kx] +=
-                                go_seg.iter().zip(in_seg).map(|(&g, &i)| g * i).sum::<f32>();
+                            gw_local[ky * kw + kx] += kernels::dot(go_seg, in_seg);
                         }
                     }
                 }
@@ -296,20 +325,49 @@ pub fn global_avg_pool_backward(
     grad_input
 }
 
-/// im2col-based convolution forward pass: identical semantics to
-/// [`conv2d_forward`], implemented as one matrix product per batch element
-/// (`weight-as-matrix · column-matrix`). Better cache behaviour for wide
-/// layers; the `conv_forward` Criterion bench compares the two.
+/// Reusable scratch for the im2col convolution path: the per-batch patch
+/// matrix and the product buffer.
+///
+/// Holding one of these across calls (the way `matmul_into` callers hold
+/// their `bt`/`out` matrices) makes steady-state convolution forward
+/// passes allocation-free after the first call at a given shape — each
+/// `Conv` layer in `hieradmo-models` keeps one per replica.
+#[derive(Debug, Clone, Default)]
+pub struct Im2colScratch {
+    /// Patch matrix, `(oh·ow) × (c_in·kh·kw)` row-major: one row per
+    /// output position, laid out as the transpose the tiled matmul kernel
+    /// consumes directly.
+    patches: Vec<f32>,
+    /// Product buffer, `c_out × (oh·ow)` row-major.
+    prod: Vec<f32>,
+}
+
+impl Im2colScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// im2col-based convolution forward pass into a caller-held output tensor
+/// and scratch: identical semantics to [`conv2d_forward_direct`],
+/// implemented as one register-tiled matrix product per batch element
+/// (`weight-as-matrix · patch-matrixᵀ` via [`kernels::matmul_bt`]).
+///
+/// `out` is reshaped to `(n, c_out, oh, ow)` reusing its storage; after
+/// the first call at a given shape neither `scratch` nor `out` allocates.
 ///
 /// # Panics
 ///
 /// Panics under the same conditions as [`conv2d_forward`].
-pub fn conv2d_forward_im2col(
+pub fn conv2d_forward_into(
     input: &Tensor4,
     weight: &Tensor4,
     bias: &[f32],
     pad: usize,
-) -> Tensor4 {
+    scratch: &mut Im2colScratch,
+    out: &mut Tensor4,
+) {
     let (n, c_in, h, w) = input.shape();
     let (c_out, wc_in, kh, kw) = weight.shape();
     assert_eq!(c_in, wc_in, "conv2d channel mismatch: {c_in} vs {wc_in}");
@@ -322,44 +380,79 @@ pub fn conv2d_forward_im2col(
         .expect("conv2d kernel wider than padded input");
 
     let patch = c_in * kh * kw;
-    let weight_mat = crate::Matrix::from_rows(c_out, patch, weight.as_slice().to_vec());
-    let mut out = Tensor4::zeros(n, c_out, oh, ow);
+    let spatial = oh * ow;
+    out.reshape(n, c_out, oh, ow);
+    // Zero once per call: padding positions are never written below, and
+    // the in/out-of-range pattern depends only on the geometry, which is
+    // fixed across batch elements.
+    scratch.patches.clear();
+    scratch.patches.resize(spatial * patch, 0.0);
+    scratch.prod.resize(c_out * spatial, 0.0);
 
     for b in 0..n {
-        // Columns matrix: (patch, oh*ow), built column-major by output
-        // position so the product rows land contiguously.
-        let mut cols = crate::Matrix::zeros(patch, oh * ow);
+        // One patch row per output position: row (oy·ow + ox) holds
+        // input[ic][oy+ky−pad][ox+kx−pad] indexed by (ic, ky, kx), i.e.
+        // exactly the transposed right-hand operand of the product.
         for ic in 0..c_in {
             let plane = input.plane(b, ic);
-            for ky in 0..kh {
-                for kx in 0..kw {
-                    let row = (ic * kh + ky) * kw + kx;
-                    for oy in 0..oh {
-                        let iy = oy + ky;
-                        if iy < pad || iy - pad >= h {
+            for oy in 0..oh {
+                for ky in 0..kh {
+                    let iy = oy + ky;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    for ox in 0..ow {
+                        // Valid kernel columns: ix = ox + kx − pad ∈ [0, w).
+                        let kx_start = pad.saturating_sub(ox);
+                        let kx_end = (w + pad).saturating_sub(ox).min(kw);
+                        if kx_start >= kx_end {
                             continue;
                         }
-                        let iy = iy - pad;
-                        for ox in 0..ow {
-                            let ix = ox + kx;
-                            if ix < pad || ix - pad >= w {
-                                continue;
-                            }
-                            *cols.at_mut(row, oy * ow + ox) = plane[iy * w + (ix - pad)];
-                        }
+                        let ix_start = ox + kx_start - pad;
+                        let len = kx_end - kx_start;
+                        let dst = (oy * ow + ox) * patch + (ic * kh + ky) * kw + kx_start;
+                        scratch.patches[dst..dst + len]
+                            .copy_from_slice(&plane[iy * w + ix_start..iy * w + ix_start + len]);
                     }
                 }
             }
         }
-        let prod = weight_mat.matmul(&cols); // (c_out, oh*ow)
+        kernels::matmul_bt(
+            weight.as_slice(),
+            &scratch.patches,
+            &mut scratch.prod,
+            c_out,
+            spatial,
+            patch,
+        );
         for (oc, &bias_v) in bias.iter().enumerate() {
             let dst = out.plane_mut(b, oc);
-            let src = &prod.as_slice()[oc * oh * ow..(oc + 1) * oh * ow];
+            let src = &scratch.prod[oc * spatial..(oc + 1) * spatial];
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d = s + bias_v;
             }
         }
     }
+}
+
+/// im2col-based convolution forward pass: identical semantics to
+/// [`conv2d_forward_direct`]. Allocating wrapper around
+/// [`conv2d_forward_into`]; the `conv_forward` Criterion bench compares
+/// the paths.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`conv2d_forward`].
+pub fn conv2d_forward_im2col(
+    input: &Tensor4,
+    weight: &Tensor4,
+    bias: &[f32],
+    pad: usize,
+) -> Tensor4 {
+    let mut scratch = Im2colScratch::default();
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    conv2d_forward_into(input, weight, bias, pad, &mut scratch, &mut out);
     out
 }
 

@@ -1,0 +1,411 @@
+//! Multi-lane compute kernels for the training hot path.
+//!
+//! Every HierAdMo run spends almost all of its wall-clock in a handful of
+//! `f32` primitives: the dense products behind `loss_and_grad_into`, the
+//! im2col convolution path, and the BLAS-1 vector ops that implement the
+//! worker-NAG step (Algorithm 1 lines 5–6) and the edge/cloud aggregations
+//! (lines 11–13, 18–23). The naive forms of these loops are single
+//! serial FMA dependency chains — one accumulator per output — which caps
+//! throughput at one multiply-add per FMA latency. The kernels here break
+//! that chain into [`LANES`] *independent* accumulators over
+//! `chunks_exact(LANES)` so the autovectorizer can keep every SIMD lane and
+//! execution port busy, on stable Rust with no intrinsics.
+//!
+//! # Determinism contract
+//!
+//! Each kernel uses a **fixed summation order** that depends only on the
+//! input lengths — never on thread count, alignment, or runtime CPU
+//! detection — so results are bitwise reproducible run-to-run on the same
+//! build. The order is *not* the naive left-to-right order: a reduction
+//! over `n` elements is split into `LANES` strided partial sums plus a
+//! serial tail, then combined by a fixed balanced tree (see
+//! `reduce_lanes`). Reference tests therefore compare against naive
+//! oracles within a relative tolerance instead of expecting bit equality,
+//! while thread-count invariance (what `tests/parallel_determinism.rs`
+//! pins) is untouched: the same kernel with the same input produces the
+//! same bits no matter which thread runs it.
+//!
+//! The matmul micro-kernel ([`matmul_bt`]) computes every output element
+//! with *exactly* the same per-element order as [`dot`], whether the
+//! element lands in a full register tile or on a remainder edge, so
+//! `matmul` results never depend on how the output space was tiled.
+
+/// Number of independent accumulator lanes per kernel.
+///
+/// Eight `f32` lanes fill two SSE registers or one AVX register, and give
+/// the out-of-order core 8 independent FMA chains to overlap — enough to
+/// hide the 4–5 cycle FMA latency on every x86-64 / aarch64 core we target.
+pub const LANES: usize = 8;
+
+/// Fused (or contracted) multiply-add `a * b + c`.
+///
+/// `f32::mul_add` is only an FMA *instruction* when the target has one
+/// compiled in; on a baseline `x86-64` build (SSE2, no `+fma`) it lowers to
+/// a `fmaf` libm call that is ~50× slower than `mulss`/`addss`. Gate on the
+/// compile-time feature so the kernels are fast on every build. This makes
+/// results differ between `+fma` and non-`fma` *builds* (single vs double
+/// rounding) but stays bitwise deterministic within any one build.
+#[inline(always)]
+fn fma(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Fixed balanced-tree reduction of the lane accumulators:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+///
+/// Shared by every reducing kernel so any two code paths that accumulate
+/// the same lanes produce the same bits.
+#[inline(always)]
+fn reduce_lanes(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Inner product `⟨a, b⟩` with [`LANES`] independent accumulators.
+///
+/// Summation order: element `i` of chunk `j` goes to lane `i`; lanes are
+/// combined by `reduce_lanes`; the `len % LANES` tail is accumulated
+/// serially and added last. Bitwise deterministic for a given input.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "kernels::dot length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            acc[l] = fma(ca[l], cb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail = fma(x, y, tail);
+    }
+    reduce_lanes(acc) + tail
+}
+
+/// Squared Euclidean norm `⟨a, a⟩` (same summation order as [`dot`]).
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// In-place scaled addition `y[i] += alpha * x[i]` (BLAS `axpy`).
+///
+/// Element-wise with no cross-element dependency, so the chunked form
+/// exists purely to hand the autovectorizer a fixed-width inner loop.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "kernels::axpy length mismatch");
+    let mut yc = y.chunks_exact_mut(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        for l in 0..LANES {
+            cy[l] = fma(alpha, cx[l], cy[l]);
+        }
+    }
+    for (vy, &vx) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *vy = fma(alpha, vx, *vy);
+    }
+}
+
+/// In-place scaling `x[i] *= alpha` (BLAS `scal`).
+///
+/// Purely elementwise, so a flat loop vectorizes without any lane
+/// bookkeeping.
+#[inline]
+pub fn scal(x: &mut [f32], alpha: f32) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Fused two-operand scale-add `out[i] = alpha * a[i] + beta * b[i]`.
+///
+/// This is the worker-NAG lookahead / `lerp` shape (`(1−t)·a + t·b`) and
+/// the momentum-combination shape of Algorithm 1 in one pass.
+///
+/// # Panics
+///
+/// Panics if any length differs.
+#[inline]
+pub fn fused_scale_add(out: &mut [f32], alpha: f32, a: &[f32], beta: f32, b: &[f32]) {
+    assert_eq!(
+        out.len(),
+        a.len(),
+        "kernels::fused_scale_add length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        b.len(),
+        "kernels::fused_scale_add length mismatch"
+    );
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for ((co, ca), cb) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            co[l] = fma(alpha, ca[l], beta * cb[l]);
+        }
+    }
+    for ((vo, &va), &vb) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *vo = fma(alpha, va, beta * vb);
+    }
+}
+
+/// Weighted accumulation into an `f64` buffer: `acc[i] += w * v[i]`.
+///
+/// The aggregation primitive of Algorithm 1 (lines 11, 12, 18, 19) — the
+/// data-size-weighted average keeps an `f64` accumulator per coordinate so
+/// shard-count growth cannot lose worker contributions to `f32` rounding.
+///
+/// Unlike the reduction kernels this is purely elementwise — there is no
+/// cross-iteration dependency chain to break — so a flat zip both
+/// autovectorizes best and trivially preserves the per-coordinate
+/// summation order.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn weighted_accumulate(acc: &mut [f64], w: f64, v: &[f32]) {
+    assert_eq!(
+        acc.len(),
+        v.len(),
+        "kernels::weighted_accumulate length mismatch"
+    );
+    for (a, &x) in acc.iter_mut().zip(v) {
+        *a += w * f64::from(x);
+    }
+}
+
+/// Output-tile edge for [`matmul_bt`]: tiles of A-rows and Bᵀ-rows stay
+/// resident in L1/L2 across the tile's inner products.
+const BLOCK: usize = 32;
+
+/// Register micro-tile: 2 A-rows × 2 Bᵀ-rows computed together, each
+/// output carrying its own [`LANES`]-wide accumulator (4·8 = 32 live
+/// `f32` accumulators — eight SSE / four AVX registers), so every loaded
+/// `a` and `b` chunk is reused twice.
+const TILE: usize = 2;
+
+/// Blocked, register-tiled product `out = a · btᵀ` on raw row-major
+/// slices, where `bt` is already the transpose of the right-hand operand.
+///
+/// * `a` is `n × k` row-major, `bt` is `m × k` row-major, `out` is
+///   `n × m` row-major and fully overwritten.
+/// * The `(row, col)` output space is tiled `BLOCK`² for cache reuse and
+///   `TILE`² for register reuse; every output element's own summation
+///   order is identical to [`dot`] regardless of which tile computed it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul_bt(a: &[f32], bt: &[f32], out: &mut [f32], n: usize, m: usize, k: usize) {
+    assert_eq!(a.len(), n * k, "kernels::matmul_bt lhs size mismatch");
+    assert_eq!(bt.len(), m * k, "kernels::matmul_bt rhs size mismatch");
+    assert_eq!(out.len(), n * m, "kernels::matmul_bt out size mismatch");
+    for r0 in (0..n).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(n);
+        for c0 in (0..m).step_by(BLOCK) {
+            let c1 = (c0 + BLOCK).min(m);
+            // 2×2 register micro-tiles over the cache block.
+            let mut r = r0;
+            while r + TILE <= r1 {
+                let mut c = c0;
+                while c + TILE <= c1 {
+                    micro_2x2(a, bt, out, m, k, r, c);
+                    c += TILE;
+                }
+                // Remainder column(s) of this row pair.
+                for rr in r..r + TILE {
+                    for cc in c..c1 {
+                        out[rr * m + cc] = dot(&a[rr * k..(rr + 1) * k], &bt[cc * k..(cc + 1) * k]);
+                    }
+                }
+                r += TILE;
+            }
+            // Remainder row(s) of this block.
+            for rr in r..r1 {
+                for cc in c0..c1 {
+                    out[rr * m + cc] = dot(&a[rr * k..(rr + 1) * k], &bt[cc * k..(cc + 1) * k]);
+                }
+            }
+        }
+    }
+}
+
+/// The 2×2 micro-kernel: four inner products over `k` advance in lock-step
+/// so each `a`/`bt` chunk loaded from L1 feeds two accumulator sets.
+///
+/// Per output element this performs exactly the [`dot`] recurrence (same
+/// lane assignment, same `reduce_lanes` tree, same serial tail), so the
+/// result is bitwise identical to calling [`dot`] on that row pair.
+#[inline(always)]
+fn micro_2x2(a: &[f32], bt: &[f32], out: &mut [f32], m: usize, k: usize, r: usize, c: usize) {
+    let a0 = &a[r * k..(r + 1) * k];
+    let a1 = &a[(r + 1) * k..(r + 2) * k];
+    let b0 = &bt[c * k..(c + 1) * k];
+    let b1 = &bt[(c + 1) * k..(c + 2) * k];
+
+    let mut acc00 = [0.0f32; LANES];
+    let mut acc01 = [0.0f32; LANES];
+    let mut acc10 = [0.0f32; LANES];
+    let mut acc11 = [0.0f32; LANES];
+
+    let mut a0c = a0.chunks_exact(LANES);
+    let mut a1c = a1.chunks_exact(LANES);
+    let mut b0c = b0.chunks_exact(LANES);
+    let mut b1c = b1.chunks_exact(LANES);
+    for (((c_a0, c_a1), c_b0), c_b1) in (&mut a0c).zip(&mut a1c).zip(&mut b0c).zip(&mut b1c) {
+        for l in 0..LANES {
+            acc00[l] = fma(c_a0[l], c_b0[l], acc00[l]);
+            acc01[l] = fma(c_a0[l], c_b1[l], acc01[l]);
+            acc10[l] = fma(c_a1[l], c_b0[l], acc10[l]);
+            acc11[l] = fma(c_a1[l], c_b1[l], acc11[l]);
+        }
+    }
+    let (mut t00, mut t01, mut t10, mut t11) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (((&x0, &x1), &y0), &y1) in a0c
+        .remainder()
+        .iter()
+        .zip(a1c.remainder())
+        .zip(b0c.remainder())
+        .zip(b1c.remainder())
+    {
+        t00 = fma(x0, y0, t00);
+        t01 = fma(x0, y1, t01);
+        t10 = fma(x1, y0, t10);
+        t11 = fma(x1, y1, t11);
+    }
+    out[r * m + c] = reduce_lanes(acc00) + t00;
+    out[r * m + c + 1] = reduce_lanes(acc01) + t01;
+    out[(r + 1) * m + c] = reduce_lanes(acc10) + t10;
+    out[(r + 1) * m + c + 1] = reduce_lanes(acc11) + t11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f32, shift: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32).mul_add(scale, shift).sin())
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_within_tolerance() {
+        for n in [0, 1, 7, 8, 9, 64, 100] {
+            let a = seq(n, 0.3, 0.1);
+            let b = seq(n, 0.7, -0.2);
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let fast = dot(&a, &b);
+            assert!(
+                (fast - naive).abs() <= 1e-4 * (1.0 + naive.abs()),
+                "n={n}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_bitwise_reproducible() {
+        let a = seq(1000, 0.13, 0.4);
+        let b = seq(1000, 0.91, -0.7);
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_scal_elementwise() {
+        for n in [3, 8, 17] {
+            let x = seq(n, 0.5, 0.0);
+            let mut y = seq(n, 0.2, 1.0);
+            let expect: Vec<f32> = y.iter().zip(&x).map(|(v, u)| v + 2.5 * u).collect();
+            axpy(&mut y, 2.5, &x);
+            for (got, want) in y.iter().zip(&expect) {
+                assert!((got - want).abs() <= 1e-5, "{got} vs {want}");
+            }
+            scal(&mut y, 0.5);
+            for (got, want) in y.iter().zip(&expect) {
+                assert!((got - 0.5 * want).abs() <= 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scale_add_matches_lerp_form() {
+        let a = seq(11, 0.4, 0.2);
+        let b = seq(11, 0.8, -0.1);
+        let mut out = vec![0.0f32; 11];
+        fused_scale_add(&mut out, 0.75, &a, 0.25, &b);
+        for i in 0..11 {
+            let want = 0.75 * a[i] + 0.25 * b[i];
+            assert!((out[i] - want).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_accumulate_matches_naive() {
+        let v = seq(19, 0.6, 0.3);
+        let mut acc = vec![1.0f64; 19];
+        weighted_accumulate(&mut acc, 0.25, &v);
+        for i in 0..19 {
+            let want = 1.0 + 0.25 * f64::from(v[i]);
+            assert!((acc[i] - want).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_elements_are_bitwise_equal_to_dot() {
+        // Shapes exercising full 2×2 tiles, row/col remainders, and block
+        // edges; every element must match a direct `dot` of its row pair.
+        for (n, m, k) in [(1, 1, 1), (2, 2, 8), (5, 3, 17), (33, 35, 41), (64, 64, 64)] {
+            let a = seq(n * k, 0.21, 0.05);
+            let bt = seq(m * k, 0.37, -0.11);
+            let mut out = vec![0.0f32; n * m];
+            matmul_bt(&a, &bt, &mut out, n, m, k);
+            for r in 0..n {
+                for c in 0..m {
+                    let want = dot(&a[r * k..(r + 1) * k], &bt[c * k..(c + 1) * k]);
+                    assert_eq!(
+                        out[r * m + c].to_bits(),
+                        want.to_bits(),
+                        "({r},{c}) of {n}x{m}x{k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bt_handles_empty_inner_dim() {
+        let mut out = vec![7.0f32; 6];
+        matmul_bt(&[], &[], &mut out, 2, 3, 0);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

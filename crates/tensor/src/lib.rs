@@ -16,6 +16,9 @@
 //!   together with their derivatives.
 //! - [`init`] — Xavier/He initializers driven by a caller-supplied RNG so
 //!   every experiment is reproducible from a seed.
+//! - [`kernels`] — multi-accumulator, autovectorization-friendly `f32`
+//!   primitives (lane-chunked dot/axpy/scal, register-tiled matmul) that
+//!   the types above delegate their hot loops to.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 
 pub mod conv;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod tensor4;

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::Vector;
+use crate::{kernels, Vector};
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -113,10 +113,7 @@ impl Matrix {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let xs = x.as_slice();
         (0..self.rows)
-            .map(|r| {
-                let row = &self.data[r * self.cols..(r + 1) * self.cols];
-                row.iter().zip(xs).map(|(a, b)| a * b).sum()
-            })
+            .map(|r| kernels::dot(&self.data[r * self.cols..(r + 1) * self.cols], xs))
             .collect()
     }
 
@@ -133,10 +130,7 @@ impl Matrix {
             if yr == 0.0 {
                 continue;
             }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (o, &a) in out.iter_mut().zip(row) {
-                *o += yr * a;
-            }
+            kernels::axpy(&mut out, yr, &self.data[r * self.cols..(r + 1) * self.cols]);
         }
         Vector::from(out)
     }
@@ -156,9 +150,7 @@ impl Matrix {
                 continue;
             }
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (w, &xc) in row.iter_mut().zip(x.iter()) {
-                *w += coeff * xc;
-            }
+            kernels::axpy(row, coeff, x.as_slice());
         }
     }
 
@@ -200,16 +192,23 @@ impl Matrix {
         self.matmul_transposed_into(bt, out);
     }
 
-    /// Blocked product `self · btᵀ` where `bt` is already the transpose of
-    /// the right-hand operand.
+    /// Blocked, register-tiled product `self · btᵀ` where `bt` is already
+    /// the transpose of the right-hand operand
+    /// ([`kernels::matmul_bt`]).
     ///
-    /// The kernel tiles the `(row, col)` output space so a block of `self`
-    /// rows is reused against a block of `bt` rows while both are hot in
-    /// cache; every inner product runs over `k` in increasing order with a
-    /// single `f32` accumulator. Blocking therefore only reorders *which
-    /// output element* is computed next — each element's summation order is
-    /// identical to the naive triple loop, so results are bitwise equal to
-    /// the textbook implementation.
+    /// The kernel tiles the `(row, col)` output space 32×32 so a block of
+    /// `self` rows is reused against a block of `bt` rows while both are
+    /// hot in cache, and computes 2×2 output micro-tiles together, each
+    /// element carrying eight independent lane accumulators
+    /// ([`kernels::LANES`]). Each element's summation therefore runs as
+    /// eight strided partial sums over `k` plus a serial tail, combined by
+    /// a fixed balanced tree — **not** the naive left-to-right order, so
+    /// results agree with the textbook triple loop only within `f32`
+    /// rounding (reference tests use a relative tolerance). The order is a
+    /// pure function of the shapes: the same operands give bitwise
+    /// identical results on every call, every thread, every run of the
+    /// same build, and every element is bitwise equal to
+    /// [`kernels::dot`] of its row pair regardless of tiling.
     ///
     /// # Panics
     ///
@@ -220,29 +219,9 @@ impl Matrix {
             "matmul_transposed dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, bt.rows, bt.cols
         );
-        /// Output-tile edge: 32×32 f32 tiles of A-rows and Bᵀ-rows stay
-        /// resident in L1/L2 across the tile's inner products.
-        const BLOCK: usize = 32;
         let (n, m, kk) = (self.rows, bt.rows, self.cols);
         out.reshape(n, m);
-        for r0 in (0..n).step_by(BLOCK) {
-            let r1 = (r0 + BLOCK).min(n);
-            for c0 in (0..m).step_by(BLOCK) {
-                let c1 = (c0 + BLOCK).min(m);
-                for r in r0..r1 {
-                    let arow = &self.data[r * kk..(r + 1) * kk];
-                    let orow = &mut out.data[r * m + c0..r * m + c1];
-                    for (o, c) in orow.iter_mut().zip(c0..c1) {
-                        let brow = &bt.data[c * kk..(c + 1) * kk];
-                        let mut acc = 0.0f32;
-                        for (a, b) in arow.iter().zip(brow) {
-                            acc += a * b;
-                        }
-                        *o = acc;
-                    }
-                }
-            }
-        }
+        kernels::matmul_bt(&self.data, &bt.data, &mut out.data, n, m, kk);
     }
 
     /// Returns the transpose of `self`.
@@ -339,8 +318,10 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_is_bitwise_equal_to_naive() {
-        // Shapes straddling the 32-wide block boundary on every axis.
+    fn tiled_matmul_matches_naive_within_tolerance() {
+        // Shapes straddling the 32-wide block boundary on every axis. The
+        // multi-accumulator kernel reorders each element's summation, so
+        // the naive oracle is matched within f32 rounding, not bitwise.
         let (n, k, m) = (37, 41, 35);
         let a = Matrix::from_rows(
             n,
@@ -358,7 +339,11 @@ mod tests {
         );
         let fast = a.matmul(&b);
         let slow = naive_matmul(&a, &b);
-        assert_eq!(fast.as_slice(), slow.as_slice());
+        for (f, s) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((f - s).abs() <= 1e-4 * (1.0 + s.abs()), "{f} vs {s}");
+        }
+        // Same input, same bits: the kernel's order is fixed per shape.
+        assert_eq!(fast.as_slice(), a.matmul(&b).as_slice());
     }
 
     #[test]
@@ -369,10 +354,14 @@ mod tests {
         let mut out = Matrix::zeros(0, 0);
         a.matmul_into(&b, &mut bt, &mut out);
         assert_eq!(out, a.matmul(&b));
-        // Second call at the same shape reuses the buffers and agrees.
+        // Second call at the same shape reuses the buffers and agrees
+        // bitwise with the first (identical kernel, identical order).
         a.matmul_into(&b, &mut bt, &mut out);
-        assert_eq!(out, naive_matmul(&a, &b));
+        assert_eq!(out, a.matmul(&b));
         assert_eq!(bt, b.transposed());
+        for (f, s) in out.as_slice().iter().zip(naive_matmul(&a, &b).as_slice()) {
+            assert!((f - s).abs() <= 1e-4 * (1.0 + s.abs()), "{f} vs {s}");
+        }
     }
 
     #[test]

@@ -63,6 +63,18 @@ impl Tensor4 {
         (self.n, self.c, self.h, self.w)
     }
 
+    /// Resizes to the given shape reusing the existing allocation;
+    /// contents afterwards are unspecified (callers overwrite every
+    /// element). This is how `conv2d_forward_into` recycles its output
+    /// tensor across layers and batches.
+    pub fn reshape(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.resize(n * c * h * w, 0.0);
+    }
+
     /// Batch dimension.
     pub fn n(&self) -> usize {
         self.n

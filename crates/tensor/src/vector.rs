@@ -9,6 +9,8 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels;
+
 /// A dense 1-D vector of `f32` values.
 ///
 /// `Vector` is intentionally simple: a thin, owned wrapper around `Vec<f32>`
@@ -83,9 +85,7 @@ impl Vector {
             self.len(),
             other.len()
         );
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.0, alpha, &other.0);
     }
 
     /// Copies `other`'s elements into `self` without reallocating when the
@@ -133,9 +133,7 @@ impl Vector {
 
     /// In-place multiplication by a scalar.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for a in &mut self.0 {
-            *a *= alpha;
-        }
+        kernels::scal(&mut self.0, alpha);
     }
 
     /// Returns `self * alpha` as a new vector.
@@ -143,7 +141,7 @@ impl Vector {
         Vector(self.0.iter().map(|a| a * alpha).collect())
     }
 
-    /// Inner product `<self, other>`.
+    /// Inner product `<self, other>` (lane-chunked [`kernels::dot`]).
     ///
     /// # Panics
     ///
@@ -156,7 +154,7 @@ impl Vector {
             self.len(),
             other.len()
         );
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+        kernels::dot(&self.0, &other.0)
     }
 
     /// Euclidean (ℓ2) norm.
@@ -166,7 +164,7 @@ impl Vector {
 
     /// Squared Euclidean norm, avoiding the square root.
     pub fn norm_sq(&self) -> f32 {
-        self.dot(self)
+        kernels::norm_sq(&self.0)
     }
 
     /// Euclidean distance `‖self - other‖`.
@@ -194,15 +192,17 @@ impl Vector {
     /// gradients and momenta.
     ///
     /// Returns `0.0` when either vector has (near-)zero norm, which matches
-    /// the paper's clamping rule: with no signal the edge momentum gets zero
-    /// weight.
+    /// the paper's clamping rule: with no signal the edge momentum gets
+    /// zero weight. The same guard covers a non-finite denominator (norms
+    /// so large their product overflows `f32`), so this can never hand a
+    /// NaN to the adaptive γℓ clamp (Eq. 7) downstream.
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn cosine(&self, other: &Vector) -> f32 {
         let denom = self.norm() * other.norm();
-        if denom <= f32::EPSILON {
+        if denom <= f32::EPSILON || !denom.is_finite() {
             0.0
         } else {
             (self.dot(other) / denom).clamp(-1.0, 1.0)
@@ -216,13 +216,9 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn lerp(&self, other: &Vector, t: f32) -> Vector {
         assert_eq!(self.len(), other.len(), "lerp length mismatch");
-        Vector(
-            self.0
-                .iter()
-                .zip(other.0.iter())
-                .map(|(a, b)| (1.0 - t) * a + t * b)
-                .collect(),
-        )
+        let mut out = vec![0.0f32; self.len()];
+        kernels::fused_scale_add(&mut out, 1.0 - t, &self.0, t, &other.0);
+        Vector(out)
     }
 
     /// Data-size-weighted average of vectors, the aggregation primitive of
@@ -240,13 +236,12 @@ impl Vector {
         let (w0, v0) = iter
             .next()
             .expect("weighted_average requires at least one vector");
-        let mut acc: Vec<f64> = v0.0.iter().map(|x| w0 * *x as f64).collect();
+        let mut acc = vec![0.0f64; v0.len()];
+        kernels::weighted_accumulate(&mut acc, w0, &v0.0);
         let mut total = w0;
         for (w, v) in iter {
             assert_eq!(acc.len(), v.len(), "weighted_average length mismatch");
-            for (a, b) in acc.iter_mut().zip(v.0.iter()) {
-                *a += w * *b as f64;
-            }
+            kernels::weighted_accumulate(&mut acc, w, &v.0);
             total += w;
         }
         assert!(
@@ -505,6 +500,25 @@ mod tests {
         let a = Vector::zeros(3);
         let b = Vector::from(vec![1.0, 2.0, 3.0]);
         assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    /// Zero-norm inputs yield a well-defined 0.0 — never NaN — because the
+    /// result feeds the adaptive γℓ clamp (Eq. 6/7), where a NaN would
+    /// silently poison every subsequent edge aggregation.
+    #[test]
+    fn cosine_of_degenerate_inputs_is_zero_not_nan() {
+        let z = Vector::zeros(4);
+        assert_eq!(z.cosine(&z), 0.0);
+        assert_eq!(z.cosine(&Vector::zeros(4)), 0.0);
+        // Norms whose product overflows f32 would make the naive formula
+        // produce inf/inf = NaN; the guard returns 0.0 instead.
+        let huge = Vector::filled(8, 1.0e30);
+        let cos = huge.cosine(&huge);
+        assert!(!cos.is_nan(), "cosine must never be NaN, got {cos}");
+        assert_eq!(cos, 0.0);
+        // Subnormal-but-nonzero vectors also land in the zero-weight case.
+        let tiny = Vector::filled(3, 1.0e-30);
+        assert_eq!(tiny.cosine(&tiny), 0.0);
     }
 
     #[test]

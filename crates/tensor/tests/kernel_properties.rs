@@ -1,0 +1,205 @@
+//! Property-based contracts of the multi-lane kernel layer.
+//!
+//! Two invariants per kernel, on arbitrary lengths (deliberately spanning
+//! the `chunks_exact(LANES)` boundary so remainder-lane handling is
+//! exercised):
+//!
+//! 1. **Accuracy** — the lane-split summation agrees with a naive
+//!    single-accumulator reference within `1e-4` relative tolerance.
+//! 2. **Determinism** — calling the kernel twice on the same input yields
+//!    bitwise-identical results. The lane order is fixed, so this holds
+//!    by construction; the proptest guards against accidental
+//!    order-dependent rewrites.
+
+use proptest::prelude::*;
+
+use hieradmo_tensor::kernels;
+
+/// Backing-store length; tests slice `[..len]` out of it so every
+/// remainder residue mod `LANES` is exercised.
+const MAX_LEN: usize = 40;
+
+fn vec_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, MAX_LEN)
+}
+
+fn close(got: f32, want: f32) -> bool {
+    (got - want).abs() <= 1e-4 * (1.0 + want.abs())
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `dot` matches a serial left-to-right accumulation and is
+    /// bitwise reproducible.
+    #[test]
+    fn dot_matches_naive_and_is_deterministic(
+        a in vec_strategy(),
+        b in vec_strategy(),
+        len in 0usize..MAX_LEN,
+    ) {
+        let (a, b) = (&a[..len], &b[..len]);
+        let naive: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let fast = kernels::dot(a, b);
+        prop_assert!(close(fast, naive), "dot: {fast} vs naive {naive}");
+        prop_assert_eq!(fast.to_bits(), kernels::dot(a, b).to_bits());
+    }
+
+    /// `norm_sq` is `dot(v, v)`, bit for bit, and close to the naive sum.
+    #[test]
+    fn norm_sq_matches_naive_and_is_deterministic(
+        v in vec_strategy(),
+        len in 0usize..MAX_LEN,
+    ) {
+        let v = &v[..len];
+        let naive: f32 = v.iter().map(|x| x * x).sum();
+        let fast = kernels::norm_sq(v);
+        prop_assert!(close(fast, naive), "norm_sq: {fast} vs naive {naive}");
+        prop_assert_eq!(fast.to_bits(), kernels::norm_sq(v).to_bits());
+        prop_assert_eq!(fast.to_bits(), kernels::dot(v, v).to_bits());
+    }
+
+    /// `axpy` matches the scalar update elementwise and is bitwise
+    /// reproducible from the same starting buffer.
+    #[test]
+    fn axpy_matches_naive_and_is_deterministic(
+        x in vec_strategy(),
+        y0 in vec_strategy(),
+        len in 0usize..MAX_LEN,
+        alpha in -4.0f32..4.0,
+    ) {
+        let (x, y0) = (&x[..len], &y0[..len]);
+        let mut naive = y0.to_vec();
+        for (a, &b) in naive.iter_mut().zip(x) {
+            *a += alpha * b;
+        }
+        let mut fast = y0.to_vec();
+        kernels::axpy(&mut fast, alpha, x);
+        for i in 0..len {
+            prop_assert!(close(fast[i], naive[i]), "axpy[{i}]: {} vs {}", fast[i], naive[i]);
+        }
+        let mut again = y0.to_vec();
+        kernels::axpy(&mut again, alpha, x);
+        prop_assert_eq!(bits(&fast), bits(&again));
+    }
+
+    /// `scal` matches the scalar scale elementwise and is bitwise
+    /// reproducible.
+    #[test]
+    fn scal_matches_naive_and_is_deterministic(
+        v0 in vec_strategy(),
+        len in 0usize..MAX_LEN,
+        alpha in -4.0f32..4.0,
+    ) {
+        let v0 = &v0[..len];
+        let naive: Vec<f32> = v0.iter().map(|x| alpha * x).collect();
+        let mut fast = v0.to_vec();
+        kernels::scal(&mut fast, alpha);
+        for i in 0..len {
+            prop_assert!(close(fast[i], naive[i]), "scal[{i}]: {} vs {}", fast[i], naive[i]);
+        }
+        let mut again = v0.to_vec();
+        kernels::scal(&mut again, alpha);
+        prop_assert_eq!(bits(&fast), bits(&again));
+    }
+
+    /// `fused_scale_add` matches `alpha·a + beta·b` elementwise and is
+    /// bitwise reproducible.
+    #[test]
+    fn fused_scale_add_matches_naive_and_is_deterministic(
+        a in vec_strategy(),
+        b in vec_strategy(),
+        len in 0usize..MAX_LEN,
+        alpha in -4.0f32..4.0,
+        beta in -4.0f32..4.0,
+    ) {
+        let (a, b) = (&a[..len], &b[..len]);
+        let naive: Vec<f32> = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| alpha * x + beta * y)
+            .collect();
+        let mut fast = vec![0.0f32; len];
+        kernels::fused_scale_add(&mut fast, alpha, a, beta, b);
+        for i in 0..len {
+            prop_assert!(close(fast[i], naive[i]), "fsa[{i}]: {} vs {}", fast[i], naive[i]);
+        }
+        let mut again = vec![0.0f32; len];
+        kernels::fused_scale_add(&mut again, alpha, a, beta, b);
+        prop_assert_eq!(bits(&fast), bits(&again));
+    }
+
+    /// `weighted_accumulate` matches the scalar f64 update elementwise
+    /// (it is purely elementwise, so agreement is to f64 precision) and
+    /// is bitwise reproducible.
+    #[test]
+    fn weighted_accumulate_matches_naive_and_is_deterministic(
+        v in vec_strategy(),
+        len in 0usize..MAX_LEN,
+        w in -4.0f64..4.0,
+    ) {
+        let v = &v[..len];
+        let mut naive = vec![0.5f64; len];
+        for (a, &x) in naive.iter_mut().zip(v) {
+            *a += w * f64::from(x);
+        }
+        let mut fast = vec![0.5f64; len];
+        kernels::weighted_accumulate(&mut fast, w, v);
+        for i in 0..len {
+            prop_assert!(
+                (fast[i] - naive[i]).abs() <= 1e-12 * (1.0 + naive[i].abs()),
+                "wacc[{i}]: {} vs {}", fast[i], naive[i]
+            );
+        }
+        let mut again = vec![0.5f64; len];
+        kernels::weighted_accumulate(&mut again, w, v);
+        let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+        let again_bits: Vec<u64> = again.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(fast_bits, again_bits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul_bt` matches the naive triple loop within tolerance, every
+    /// element is bitwise the `dot` of its row pair (tiling never changes
+    /// values), and repeat calls reproduce identical bits.
+    #[test]
+    fn matmul_bt_matches_naive_and_is_deterministic(
+        n in 1usize..20,
+        m in 1usize..20,
+        k in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let bt: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+
+        let mut fast = vec![0.0f32; n * m];
+        kernels::matmul_bt(&a, &bt, &mut fast, n, m, k);
+
+        for r in 0..n {
+            for c in 0..m {
+                let mut naive = 0.0f32;
+                for i in 0..k {
+                    naive += a[r * k + i] * bt[c * k + i];
+                }
+                let got = fast[r * m + c];
+                prop_assert!(close(got, naive), "matmul[{r},{c}]: {got} vs {naive}");
+                // Tiling invariant: identical bits to the dot kernel.
+                let row_dot = kernels::dot(&a[r * k..(r + 1) * k], &bt[c * k..(c + 1) * k]);
+                prop_assert_eq!(got.to_bits(), row_dot.to_bits());
+            }
+        }
+
+        let mut again = vec![0.0f32; n * m];
+        kernels::matmul_bt(&a, &bt, &mut again, n, m, k);
+        prop_assert_eq!(bits(&fast), bits(&again));
+    }
+}

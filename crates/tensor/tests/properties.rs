@@ -184,8 +184,9 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// The im2col fast path computes exactly the same convolution as the
-    /// loop-nest reference, for arbitrary shapes/padding.
+    /// The im2col fast path (the default `conv2d_forward`) computes the
+    /// same convolution as the loop-nest reference within f32 rounding,
+    /// for arbitrary shapes/padding.
     #[test]
     fn im2col_matches_reference_conv(
         c_in in 1usize..3,
@@ -208,24 +209,29 @@ proptest! {
             (0..c_out * c_in * k * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
         let bias: Vec<f32> = (0..c_out).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
-        let reference = conv::conv2d_forward(&input, &weight, &bias, pad);
+        let reference = conv::conv2d_forward_direct(&input, &weight, &bias, pad);
         let fast = conv::conv2d_forward_im2col(&input, &weight, &bias, pad);
         prop_assert_eq!(reference.shape(), fast.shape());
         for (a, b) in reference.as_slice().iter().zip(fast.as_slice()) {
             prop_assert!((a - b).abs() < 1e-4, "im2col mismatch: {a} vs {b}");
         }
+        // The default path is the im2col path, bit for bit.
+        let default = conv::conv2d_forward(&input, &weight, &bias, pad);
+        prop_assert_eq!(default.as_slice(), fast.as_slice());
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The blocked transposed-B `matmul` kernel is *bitwise* equal to the
-    /// naive triple loop on arbitrary shapes: blocking only reorders which
-    /// output element is computed next, never an element's own summation
-    /// order, so exact f32 equality — not an epsilon — is the contract.
+    /// The tiled multi-accumulator `matmul` kernel matches the naive
+    /// triple loop within f32 rounding on arbitrary shapes. The kernel
+    /// splits each element's summation into eight strided lanes plus a
+    /// tail, so the contract is a relative tolerance against the naive
+    /// oracle plus bitwise reproducibility of the kernel itself — not bit
+    /// equality with the textbook order.
     #[test]
-    fn blocked_matmul_matches_naive_reference(
+    fn tiled_matmul_matches_naive_reference(
         rows in 1usize..48,
         inner in 1usize..48,
         cols in 1usize..48,
@@ -254,12 +260,20 @@ proptest! {
             }
         }
         let fast = a.matmul(&b);
-        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+        for (f, s) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!(
+                (f - s).abs() <= 1e-4 * (1.0 + s.abs()),
+                "matmul vs naive: {f} vs {s}"
+            );
+        }
 
-        // The buffer-reusing form is the same kernel, byte for byte.
+        // The buffer-reusing form is the same kernel, byte for byte, and
+        // repeating the call reproduces the exact same bits.
         let mut bt = Matrix::zeros(0, 0);
         let mut out = Matrix::zeros(0, 0);
         a.matmul_into(&b, &mut bt, &mut out);
-        prop_assert_eq!(out.as_slice(), reference.as_slice());
+        prop_assert_eq!(out.as_slice(), fast.as_slice());
+        a.matmul_into(&b, &mut bt, &mut out);
+        prop_assert_eq!(out.as_slice(), fast.as_slice());
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p hieradmo-bench --release --bin simrt_time_to_acc -- \
-//!     [--scale quick|paper] [--target 0.8] [--workload logistic-mnist] [--seed 41]
+//!     [--scale quick|paper] [--target 0.8] [--workload logistic-mnist] \
+//!     [--seed 41] [--faults none|flaky|hostile]
 //! ```
 //!
 //! Unlike `fig2hl_time` — which trains a logical-time curve and *replays*
@@ -19,9 +20,13 @@
 //! Each is swept over the three-tier (τ=10, π=2) and two-tier (τ=20, π=1)
 //! architectures of Fig. 2, and every row is emitted as a
 //! `SimRunRecord` JSON line with its derived `time_to_target_s`.
+//!
+//! `--faults` attaches a named [`FaultScenario`] plan (crashes, lossy
+//! links, stragglers) to every cell, reporting time-to-accuracy *under
+//! faults*; per-actor fault tallies ride along in each record.
 
 use hieradmo_bench::cli::Cli;
-use hieradmo_bench::{Report, Scale, Workload};
+use hieradmo_bench::{FaultScenario, Report, Scale, Workload};
 use hieradmo_core::algorithms::HierAdMo;
 use hieradmo_core::{RunConfig, Strategy};
 use hieradmo_data::partition::x_class_partition;
@@ -43,6 +48,7 @@ fn main() {
     let target: f64 = cli.get_or("target", 0.8);
     let seed: u64 = cli.get_or("seed", 41);
     let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
+    let scenario = FaultScenario::from_name(cli.get("faults").unwrap_or("none"));
 
     let tt = workload.dataset(scale, seed);
     let model = workload.model(&tt.train, seed.wrapping_add(100));
@@ -69,6 +75,7 @@ fn main() {
         vec![
             "policy".into(),
             "arch".into(),
+            "faults".into(),
             format!("time to {target:.2} (s)"),
             "total (s)".into(),
             "final acc %".into(),
@@ -102,11 +109,13 @@ fn main() {
         let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
         for &policy in &policies {
             eprintln!(
-                "[simrt] {} under {} on {arch:?}",
+                "[simrt] {} under {} on {arch:?} (faults: {})",
                 algo.name(),
-                policy.label()
+                policy.label(),
+                scenario.name()
             );
-            let sim = SimConfig::new(env.clone(), arch, payload, seed.wrapping_add(7), policy);
+            let sim = SimConfig::new(env.clone(), arch, payload, seed.wrapping_add(7), policy)
+                .with_faults(scenario.plan());
             let res = simulate(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
                 .expect("co-simulation failed");
             let final_acc = res
@@ -120,11 +129,13 @@ fn main() {
                 res.timed_curve.clone(),
                 target,
                 res.utilization.clone(),
-            );
+            )
+            .with_faults(res.faults.clone());
             report.row(
                 vec![
                     res.policy.clone(),
                     format!("{arch:?}"),
+                    scenario.name().into(),
                     record
                         .time_to_target_s
                         .map_or("never".into(), |s| format!("{s:.2}")),

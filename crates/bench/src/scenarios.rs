@@ -1,8 +1,10 @@
-//! The seven Table II workloads (model × dataset) and the scale knob.
+//! The seven Table II workloads (model × dataset), the scale knob, and
+//! named fault scenarios for the chaos benches.
 
 use hieradmo_data::dataset::TrainTest;
 use hieradmo_data::synthetic::SyntheticDataset;
 use hieradmo_models::{zoo, Sequential};
+use hieradmo_netsim::{CrashProfile, DelaySpikes, FaultPlan, LinkFaults};
 
 /// How large to make each experiment.
 ///
@@ -57,6 +59,84 @@ impl Scale {
         match self {
             Scale::Quick => 8,
             Scale::Paper => 64,
+        }
+    }
+}
+
+/// A named fault environment for the co-simulation benches, so
+/// `simrt_time_to_acc` can report time-to-accuracy *under faults* with a
+/// reproducible, CLI-selectable plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// No injected faults (the empty plan).
+    None,
+    /// A realistically unreliable deployment: occasional worker crashes
+    /// with sub-second downtime, mildly lossy links, a few stragglers.
+    Flaky,
+    /// An adversarially bad deployment: frequent crashes, heavy loss and
+    /// duplication, strong delay spikes.
+    Hostile,
+}
+
+impl FaultScenario {
+    /// Parses a CLI scenario name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name, listing the valid ones.
+    pub fn from_name(name: &str) -> FaultScenario {
+        match name {
+            "none" => FaultScenario::None,
+            "flaky" => FaultScenario::Flaky,
+            "hostile" => FaultScenario::Hostile,
+            other => panic!("unknown fault scenario {other}; valid: none flaky hostile"),
+        }
+    }
+
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenario::None => "none",
+            FaultScenario::Flaky => "flaky",
+            FaultScenario::Hostile => "hostile",
+        }
+    }
+
+    /// The concrete fault plan. Always passes `FaultPlan::validate`.
+    pub fn plan(&self) -> FaultPlan {
+        match self {
+            FaultScenario::None => FaultPlan::none(),
+            FaultScenario::Flaky => FaultPlan {
+                crash: Some(CrashProfile {
+                    per_step: 0.02,
+                    min_downtime_ms: 50.0,
+                    max_downtime_ms: 400.0,
+                }),
+                permanent: Vec::new(),
+                link: Some(LinkFaults::flaky()),
+                spikes: Some(DelaySpikes {
+                    prob: 0.1,
+                    factor: 4.0,
+                }),
+            },
+            FaultScenario::Hostile => FaultPlan {
+                crash: Some(CrashProfile {
+                    per_step: 0.08,
+                    min_downtime_ms: 100.0,
+                    max_downtime_ms: 1500.0,
+                }),
+                permanent: Vec::new(),
+                link: Some(LinkFaults {
+                    loss_prob: 0.15,
+                    fail_prob: 0.1,
+                    dup_prob: 0.1,
+                    ..LinkFaults::flaky()
+                }),
+                spikes: Some(DelaySpikes {
+                    prob: 0.25,
+                    factor: 8.0,
+                }),
+            },
         }
     }
 }
@@ -232,5 +312,23 @@ mod tests {
     fn scales_are_ordered() {
         assert!(Scale::Quick.train_per_class() < Scale::Paper.train_per_class());
         assert!(Scale::Quick.iters_nonconvex() < Scale::Paper.iters_nonconvex());
+    }
+
+    #[test]
+    fn fault_scenarios_parse_and_validate() {
+        for (name, scenario) in [
+            ("none", FaultScenario::None),
+            ("flaky", FaultScenario::Flaky),
+            ("hostile", FaultScenario::Hostile),
+        ] {
+            assert_eq!(FaultScenario::from_name(name), scenario);
+            assert_eq!(scenario.name(), name);
+            scenario
+                .plan()
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} plan invalid: {e}"));
+        }
+        assert!(FaultScenario::None.plan().is_empty());
+        assert!(!FaultScenario::Flaky.plan().is_empty());
     }
 }

@@ -2,6 +2,15 @@
 //! — config, curve, γℓ trace and final parameters — as JSON, so long
 //! experiments survive process restarts and `EXPERIMENTS.md` numbers stay
 //! regenerable from artifacts.
+//!
+//! Two snapshot kinds live here:
+//!
+//! * [`Checkpoint`] — the *outcome* of a run (curve + final parameters),
+//!   enough to regenerate report numbers but not to continue training;
+//! * [`TrainingSnapshot`] — the full mid-run federation state at an edge
+//!   boundary, enough to resume training bitwise identically via
+//!   [`crate::run_resumed`]. This is also the state shape the
+//!   co-simulation runtime's crash-recovery path restores workers from.
 
 use std::fs;
 use std::io;
@@ -14,6 +23,7 @@ use hieradmo_tensor::Vector;
 
 use crate::config::RunConfig;
 use crate::driver::RunResult;
+use crate::state::{CloudState, EdgeState, WorkerState};
 
 /// The serializable snapshot of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +94,72 @@ impl Checkpoint {
     }
 }
 
+/// The complete federation state at a tick boundary — everything
+/// [`crate::run_resumed`] needs to continue a run exactly where
+/// [`crate::run_until`] stopped it.
+///
+/// The batcher and dropout RNG streams are *not* stored: both are seeded
+/// from `RunConfig::seed` alone, so the resuming driver replays their
+/// draws up to `tick` and lands on the identical stream position. That
+/// keeps the snapshot small (model-sized, not run-sized) and makes the
+/// resumed trajectory bitwise identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSnapshot {
+    /// Algorithm name — resuming under a different strategy is rejected.
+    pub algorithm: String,
+    /// The tick `t` the state was captured after (a multiple of `τ`).
+    pub tick: usize,
+    /// Worker states in flat (edge-major) order.
+    pub workers: Vec<WorkerState>,
+    /// Edge states.
+    pub edges: Vec<EdgeState>,
+    /// Cloud state.
+    pub cloud: CloudState,
+}
+
+impl TrainingSnapshot {
+    /// Serializes to a JSON string.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: all fields serialize infallibly.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot fields always serialize")
+    }
+
+    /// Parses a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Writes the snapshot to a file (atomically via a temp file + rename,
+    /// so a crash never leaves a torn snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_json())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +206,34 @@ mod tests {
     fn malformed_json_is_invalid_data() {
         let err = Checkpoint::from_json("{not json").unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn training_snapshot_round_trips_json_and_file() {
+        use crate::state::FlState;
+        use hieradmo_topology::{Hierarchy, Weights};
+        let h = Hierarchy::new(vec![2, 1]);
+        let w = Weights::from_samples(&h, &[10, 30, 20]);
+        let s = FlState::new(h, w, &Vector::from(vec![1.5, -0.5]));
+        let snap = TrainingSnapshot {
+            algorithm: "HierAdMo".into(),
+            tick: 10,
+            workers: s.workers.clone(),
+            edges: s.edges.clone(),
+            cloud: s.cloud.clone(),
+        };
+        let back = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+
+        let dir = std::env::temp_dir().join("hieradmo-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        let back = TrainingSnapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+
+        assert!(TrainingSnapshot::from_json("{truncated").is_err());
     }
 
     #[test]

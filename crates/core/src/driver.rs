@@ -20,6 +20,7 @@ use hieradmo_topology::{Hierarchy, Schedule, ScheduleError, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::TrainingSnapshot;
 use crate::config::RunConfig;
 /// Samples per evaluation chunk, re-exported so alternative drivers (the
 /// event-driven runtime in `hieradmo-simrt`) can reproduce this engine's
@@ -156,7 +157,175 @@ where
     M: Model + Clone + Send,
     S: Strategy + ?Sized,
 {
+    run_span(
+        strategy,
+        model,
+        hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        None,
+        None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// Like [`run`], but stops after tick `stop_at` (which must be a positive
+/// multiple of `τ` no larger than `T`) and returns the federation state at
+/// that edge boundary alongside the partial result. Feeding the snapshot
+/// to [`run_resumed`] continues the run bitwise identically: concatenating
+/// the two partial curves (and γℓ traces) reproduces an uninterrupted
+/// [`run`] exactly.
+///
+/// # Errors
+///
+/// Everything [`run`] rejects, plus a `stop_at` that is zero, past `T`, or
+/// not on an edge-aggregation boundary ([`RunError::BadConfig`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_until<M, S>(
+    strategy: &S,
+    model: &M,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    stop_at: usize,
+) -> Result<(RunResult, TrainingSnapshot), RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let (result, snapshot) = run_span(
+        strategy,
+        model,
+        hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        None,
+        Some(stop_at),
+    )?;
+    Ok((
+        result,
+        snapshot.expect("run_span produces a snapshot whenever stop_at is given"),
+    ))
+}
+
+/// Continues a run from a [`TrainingSnapshot`] captured by [`run_until`],
+/// with the *same* strategy, model, data and config, through the remaining
+/// ticks `snapshot.tick + 1 ..= T`. The resumed trajectory is bitwise
+/// identical to the corresponding suffix of an uninterrupted [`run`]: the
+/// driver replays the dropout and mini-batch RNG draws of the completed
+/// prefix (without recomputing any steps), so every stream resumes at the
+/// exact position it held at the snapshot. The returned curve and traces
+/// cover only the resumed span.
+///
+/// # Errors
+///
+/// Everything [`run`] rejects, plus a snapshot whose algorithm, tick or
+/// shapes do not match this run ([`RunError::BadConfig`] /
+/// [`RunError::Data`]).
+pub fn run_resumed<M, S>(
+    strategy: &S,
+    model: &M,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    snapshot: &TrainingSnapshot,
+) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    run_span(
+        strategy,
+        model,
+        hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        Some(snapshot),
+        None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// The shared engine behind [`run`], [`run_until`] and [`run_resumed`]:
+/// optionally starts from a mid-run snapshot (`resume`), optionally stops
+/// at an edge boundary (`stop_at`, which also makes it return the state
+/// there).
+#[allow(clippy::too_many_arguments)]
+fn run_span<M, S>(
+    strategy: &S,
+    model: &M,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    resume: Option<&TrainingSnapshot>,
+    stop_at: Option<usize>,
+) -> Result<(RunResult, Option<TrainingSnapshot>), RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
     cfg.validate().map_err(RunError::BadConfig)?;
+    if let Some(stop) = stop_at {
+        if stop == 0 || stop > cfg.total_iters || stop % cfg.tau != 0 {
+            return Err(RunError::BadConfig(format!(
+                "stop_at must be a positive multiple of tau ({}) no larger than \
+                 total_iters ({}), got {stop}",
+                cfg.tau, cfg.total_iters
+            )));
+        }
+    }
+    let start = match resume {
+        None => 0,
+        Some(snap) => {
+            if snap.algorithm != strategy.name() {
+                return Err(RunError::BadConfig(format!(
+                    "snapshot was captured by {}, cannot resume under {}",
+                    snap.algorithm,
+                    strategy.name()
+                )));
+            }
+            if snap.tick == 0 || snap.tick >= cfg.total_iters || snap.tick % cfg.tau != 0 {
+                return Err(RunError::BadConfig(format!(
+                    "snapshot tick {} is not an edge boundary (multiple of tau = {}) \
+                     strictly before total_iters = {}",
+                    snap.tick, cfg.tau, cfg.total_iters
+                )));
+            }
+            if snap.workers.len() != hierarchy.num_workers()
+                || snap.edges.len() != hierarchy.num_edges()
+            {
+                return Err(RunError::Data(format!(
+                    "snapshot holds {} workers / {} edges for a hierarchy with {} / {}",
+                    snap.workers.len(),
+                    snap.edges.len(),
+                    hierarchy.num_workers(),
+                    hierarchy.num_edges()
+                )));
+            }
+            if snap.cloud.x.len() != model.params().len() {
+                return Err(RunError::Data(format!(
+                    "snapshot dimension {} does not match model dimension {}",
+                    snap.cloud.x.len(),
+                    model.params().len()
+                )));
+            }
+            if let Some(stop) = stop_at {
+                if stop <= snap.tick {
+                    return Err(RunError::BadConfig(format!(
+                        "stop_at ({stop}) must be past the snapshot tick ({})",
+                        snap.tick
+                    )));
+                }
+            }
+            snap.tick
+        }
+    };
     strategy
         .check_topology(hierarchy)
         .map_err(RunError::Topology)?;
@@ -172,7 +341,7 @@ where
     }
     let schedule = Schedule::three_tier(cfg.tau, cfg.pi, cfg.total_iters)?;
 
-    let start = Instant::now();
+    let started = Instant::now();
     let samples: Vec<u64> = worker_data.iter().map(|d| d.len() as u64).collect();
     let weights = Weights::from_samples(hierarchy, &samples);
     // The pool threads need the weights by shared reference while the main
@@ -180,6 +349,13 @@ where
     let engine_weights = weights.clone();
     let mut state = FlState::new(hierarchy.clone(), weights, &model.params());
     strategy.init(&mut state);
+    if let Some(snap) = resume {
+        // All algorithm state lives in the three tier vectors, so restoring
+        // them overwrites everything `init` set up.
+        state.workers = snap.workers.clone();
+        state.edges = snap.edges.clone();
+        state.cloud = snap.cloud.clone();
+    }
 
     let train_probe = build_train_probe(worker_data, cfg.train_eval_cap);
     let threads = cfg.resolved_threads();
@@ -221,9 +397,26 @@ where
         let pool = Pool::new(scope, threads - 1, ctx, model);
 
         for tick in schedule.ticks() {
+            if stop_at.is_some_and(|stop| tick.t > stop) {
+                break;
+            }
             let active: Vec<bool> = (0..state.workers.len())
                 .map(|_| cfg.dropout == 0.0 || fault_rng.gen_range(0.0..1.0) >= cfg.dropout)
                 .collect();
+
+            if tick.t <= start {
+                // Fast-forward over the already-trained prefix: replay
+                // exactly the RNG draws an uninterrupted run would make —
+                // one dropout draw per worker (above) and one mini-batch
+                // draw per *active* worker (here) — without recomputing any
+                // steps, so every stream resumes at the position it held
+                // when the snapshot was captured.
+                for (i, _) in active.iter().enumerate().filter(|(_, a)| **a) {
+                    let c = ctxs[i].as_mut().expect("step context double checkout");
+                    c.batcher.next_batch_into(&mut c.batch);
+                }
+                continue;
+            }
 
             let t0 = Instant::now();
             let items: Vec<StepItem<M>> = active
@@ -284,15 +477,25 @@ where
     });
 
     let final_params = strategy.global_params(&state);
-    Ok(RunResult {
+    let snapshot = stop_at.map(|stop| TrainingSnapshot {
         algorithm: strategy.name().to_string(),
-        curve,
-        gamma_trace,
-        cos_trace,
-        final_params,
-        elapsed: start.elapsed(),
-        timings,
-    })
+        tick: stop,
+        workers: state.workers.clone(),
+        edges: state.edges.clone(),
+        cloud: state.cloud.clone(),
+    });
+    Ok((
+        RunResult {
+            algorithm: strategy.name().to_string(),
+            curve,
+            gamma_trace,
+            cos_trace,
+            final_params,
+            elapsed: started.elapsed(),
+            timings,
+        },
+        snapshot,
+    ))
 }
 
 /// Runs aggregation `k` on every edge, in parallel across the pool: edge

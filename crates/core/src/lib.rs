@@ -63,7 +63,8 @@ pub mod strategy;
 pub mod theory;
 pub mod virtual_update;
 
+pub use checkpoint::{Checkpoint, TrainingSnapshot};
 pub use config::RunConfig;
-pub use driver::{run, PhaseTimings, RunError, RunResult};
+pub use driver::{run, run_resumed, run_until, PhaseTimings, RunError, RunResult};
 pub use state::{CloudState, EdgeState, EdgeView, FlState, WorkerState};
 pub use strategy::{Strategy, Tier};

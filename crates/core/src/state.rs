@@ -7,9 +7,13 @@
 
 use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Weights};
+use serde::{Deserialize, Serialize};
 
 /// Per-worker state.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a run can be snapshotted mid-training and resumed
+/// bitwise-identically (see [`crate::checkpoint::TrainingSnapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkerState {
     /// Model parameters `x_{i,ℓ}`.
     pub x: Vector,
@@ -71,7 +75,7 @@ impl WorkerState {
 }
 
 /// Per-edge state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EdgeState {
     /// Edge model `x_{ℓ+}` (after the edge momentum update, line 13).
     pub x_plus: Vector,
@@ -107,7 +111,7 @@ impl EdgeState {
 }
 
 /// Cloud state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CloudState {
     /// Cloud model `x` (line 19).
     pub x: Vector,

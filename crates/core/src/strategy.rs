@@ -27,6 +27,15 @@ pub enum Tier {
 /// Algorithms keep *all* mutable run state inside [`FlState`]; the strategy
 /// object itself only holds hyper-parameters, which keeps every algorithm
 /// trivially `Send + Sync`.
+///
+/// Under the fault-injecting co-simulation (`hieradmo-simrt`, DESIGN.md
+/// §11) the same hooks also serve crash/rejoin: a worker that crashed and
+/// rejoined re-enters `local_step` from the last model its server
+/// delivered, so aggregation hooks may observe contributions whose local
+/// trajectory restarted mid-interval. Hooks must therefore not assume
+/// every worker's `steps` counter advanced uniformly — only that each
+/// upload is internally consistent (state, accumulators, and step count
+/// all describe the same locally-executed interval).
 pub trait Strategy: Send + Sync {
     /// Display name (matches the paper's Table II row labels).
     fn name(&self) -> &'static str;

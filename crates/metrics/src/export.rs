@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
-use crate::timed::{ActorUtilization, PhaseBreakdown, TimedCurve};
+use crate::timed::{ActorFaults, ActorUtilization, PhaseBreakdown, TimedCurve};
 use crate::{ConvergenceCurve, EvalPoint};
 
 /// Renders a curve as CSV with a header row.
@@ -127,6 +127,11 @@ pub struct SimRunRecord {
     pub time_to_target_s: Option<f64>,
     /// Per-actor busy time and utilization.
     pub utilization: Vec<ActorUtilization>,
+    /// Per-actor fault tallies from the fault-injection layer. Empty for
+    /// fault-free runs; absent in records written before fault injection
+    /// existed, which deserialize to empty.
+    #[serde(default)]
+    pub faults: Vec<ActorFaults>,
 }
 
 impl SimRunRecord {
@@ -146,7 +151,14 @@ impl SimRunRecord {
             target_accuracy,
             time_to_target_s,
             utilization,
+            faults: Vec::new(),
         }
+    }
+
+    /// Attaches per-actor fault tallies (builder style).
+    pub fn with_faults(mut self, faults: Vec<ActorFaults>) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -287,6 +299,35 @@ mod tests {
         assert_eq!(rec.time_to_target_s, Some(5.5));
         let back = sim_run_from_json(&sim_run_to_json(&rec)).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn sim_run_record_faults_round_trip_and_default_empty() {
+        use crate::timed::FaultCounters;
+
+        let rec = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new())
+            .with_faults(vec![ActorFaults {
+                actor: "worker-1".into(),
+                counters: FaultCounters {
+                    crashes: 3,
+                    recovery_ms: 120.5,
+                    retries: 7,
+                    ..Default::default()
+                },
+            }]);
+        let json = sim_run_to_json(&rec);
+        assert!(json.contains("recovery_ms"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert_eq!(back, rec);
+
+        // Records written before fault injection existed carry no `faults`
+        // key; they must still deserialize (to an empty list).
+        let legacy = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new());
+        let mut json = sim_run_to_json(&legacy);
+        json = json.replace(",\"faults\":[]", "");
+        assert!(!json.contains("faults"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert!(back.faults.is_empty());
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod timed;
 
 pub use summary::MeanStd;
 pub use table::Table;
-pub use timed::{ActorUtilization, PhaseBreakdown, TimedCurve, TimedPoint};
+pub use timed::{
+    ActorFaults, ActorUtilization, FaultCounters, PhaseBreakdown, TimedCurve, TimedPoint,
+};
 
 use serde::{Deserialize, Serialize};
 

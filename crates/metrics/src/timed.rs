@@ -134,6 +134,62 @@ pub struct ActorUtilization {
     pub utilization: f64,
 }
 
+/// Fault-event tallies for one simulated actor, accumulated by the
+/// co-simulation runtime's fault-injection layer.
+///
+/// Counters are additive over a run; `recovery_ms` is the summed downtime
+/// so `recovery_ms / crashes` gives the mean recovery latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transient crashes (each followed by a recovery) plus a permanent
+    /// death, if one occurred.
+    pub crashes: u64,
+    /// Total downtime spent crashed before recovering, in milliseconds.
+    pub recovery_ms: f64,
+    /// Sends from this actor silently lost on the wire.
+    pub messages_lost: u64,
+    /// Delivered messages that were also duplicated in transit.
+    pub messages_duplicated: u64,
+    /// Duplicate arrivals observed (and suppressed) at this actor.
+    pub duplicates_received: u64,
+    /// Sends that failed with an observable transport error.
+    pub transfer_failures: u64,
+    /// Resends after a lost or failed attempt.
+    pub retries: u64,
+    /// Uploads lost because the sender crashed mid-transfer or died.
+    pub lost_uploads: u64,
+    /// Compute-delay straggler spikes suffered.
+    pub delay_spikes: u64,
+}
+
+impl FaultCounters {
+    /// Returns `true` when nothing ever went wrong for this actor.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// Folds a transfer's loss/failure/retry tallies into this actor's
+    /// counters.
+    pub fn add_transfer(&mut self, lost: u64, failures: u64, retries: u64, duplicated: bool) {
+        self.messages_lost += lost;
+        self.transfer_failures += failures;
+        self.retries += retries;
+        if duplicated {
+            self.messages_duplicated += 1;
+        }
+    }
+}
+
+/// [`FaultCounters`] stamped with the actor they belong to, in the same
+/// label scheme as [`ActorUtilization`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorFaults {
+    /// Actor label, e.g. `"worker-3"`, `"edge-0"`, `"cloud"`.
+    pub actor: String,
+    /// The tallies.
+    pub counters: FaultCounters,
+}
+
 /// Per-phase durations of a run, in milliseconds — the serializable form
 /// of `hieradmo-core`'s `PhaseTimings`, surfaced in the JSON export so
 /// bench runs persist where their wall-clock went.

@@ -1,0 +1,505 @@
+//! Deterministic fault injection: what can go *wrong* on the network.
+//!
+//! The delay models ([`crate::link`], [`crate::device`]) describe a slow but
+//! perfectly reliable world. Real multi-tier deployments are not reliable:
+//! workers crash and come back, links drop and duplicate messages, transfers
+//! fail and must be retried, and devices stall. A [`FaultPlan`] describes
+//! that unreliability declaratively; a [`FaultSampler`] turns the plan into
+//! concrete fault draws.
+//!
+//! # Determinism discipline
+//!
+//! Fault draws follow the same per-actor decorrelation rule as
+//! [`crate::DelaySampler`]: every actor owns a private stream derived from
+//! the master `net_seed` via [`crate::stream_seed`], salted with
+//! [`FAULT_SEED_SALT`] so fault streams never collide with the delay streams
+//! that use the same stream indices. An actor's fault sequence therefore
+//! depends only on its own draw count — never on global event interleaving —
+//! and a given `(FaultPlan, net_seed)` replays bitwise identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sampler::stream_seed;
+
+/// Salt XOR-ed into the master seed before deriving fault streams, so
+/// fault stream `i` is decorrelated from delay stream `i` of the same
+/// master seed.
+pub const FAULT_SEED_SALT: u64 = 0xfa17_5eed_0dd5_ba5e;
+
+/// Transient worker crashes: at each draw point (one per scheduled local
+/// step and one per upload) the worker crashes with probability
+/// `per_step`, losing its in-progress interval (or in-flight upload) and
+/// staying down for a uniform downtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashProfile {
+    /// Crash probability per draw point, in `[0, 1)`. Strictly below 1 so
+    /// a worker cannot crash forever.
+    pub per_step: f64,
+    /// Minimum downtime before recovery, in virtual milliseconds.
+    pub min_downtime_ms: f64,
+    /// Maximum downtime before recovery, in virtual milliseconds.
+    pub max_downtime_ms: f64,
+}
+
+/// A worker that crashes at a fixed virtual time and never recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PermanentCrash {
+    /// Flat worker index.
+    pub worker: usize,
+    /// Virtual time of death, in milliseconds.
+    pub at_ms: f64,
+}
+
+/// Link-level message faults applied to every transfer: loss (detected by
+/// an acknowledgement timeout), transient transfer failure (detected
+/// faster), and duplication. Failed sends are retried with capped
+/// exponential backoff; after `max_attempts` the transport escalates to a
+/// reliable slow path and the payload goes through, so no message is lost
+/// forever and every synchronization policy stays live.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a send is silently lost, in `[0, 1)`.
+    pub loss_prob: f64,
+    /// Probability a send fails with an observable transport error, in
+    /// `[0, 1)`. `loss_prob + fail_prob` must stay below 1.
+    pub fail_prob: f64,
+    /// Probability a *delivered* message is also duplicated, in `[0, 1]`.
+    /// The duplicate trails the original by a uniform lag within the ack
+    /// timeout and is suppressed by the receiver's protocol-level dedup
+    /// (see `crate::proto`): it costs bookkeeping, never state.
+    pub dup_prob: f64,
+    /// Per-hop acknowledgement timeout: how long a sender waits before
+    /// declaring a silent loss, in milliseconds. Must be positive.
+    pub ack_timeout_ms: f64,
+    /// How quickly an observable transport error is detected, in
+    /// milliseconds (typically well below `ack_timeout_ms`).
+    pub fail_detect_ms: f64,
+    /// Base retry backoff, in milliseconds. Attempt `a` (0-based) backs
+    /// off `min(backoff_base_ms · 2^a, backoff_cap_ms)` before resending.
+    pub backoff_base_ms: f64,
+    /// Cap on the exponential backoff, in milliseconds.
+    pub backoff_cap_ms: f64,
+    /// Attempts before the transport escalates to the reliable slow path
+    /// (the final attempt always delivers). At least 1.
+    pub max_attempts: u32,
+}
+
+impl LinkFaults {
+    /// A moderate profile: a few percent loss/failure/duplication with
+    /// snappy retries — a believable flaky WAN.
+    pub fn flaky() -> Self {
+        LinkFaults {
+            loss_prob: 0.05,
+            fail_prob: 0.05,
+            dup_prob: 0.05,
+            ack_timeout_ms: 40.0,
+            fail_detect_ms: 5.0,
+            backoff_base_ms: 10.0,
+            backoff_cap_ms: 160.0,
+            max_attempts: 6,
+        }
+    }
+}
+
+/// Straggler delay spikes: with probability `prob` a worker's local step
+/// takes `factor`× its drawn compute time (GC pause, thermal throttling,
+/// contending tenant — the classic transient straggler).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelaySpikes {
+    /// Spike probability per local step, in `[0, 1)`.
+    pub prob: f64,
+    /// Multiplier on the step's compute delay, at least 1.
+    pub factor: f64,
+}
+
+/// A declarative description of everything that goes wrong during a run.
+///
+/// The empty plan ([`FaultPlan::none`], also `Default`) injects nothing
+/// and draws nothing: a simulation under the empty plan is bitwise
+/// identical to one without fault injection at all (the equivalence gate
+/// in `tests/chaos.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Transient worker crash/recover windows, if any.
+    pub crash: Option<CrashProfile>,
+    /// Workers that die permanently at fixed times.
+    pub permanent: Vec<PermanentCrash>,
+    /// Link loss / failure / duplication with retry + backoff, if any.
+    pub link: Option<LinkFaults>,
+    /// Straggler compute-delay spikes, if any.
+    pub spikes: Option<DelaySpikes>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no draws.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Returns `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crash.is_none()
+            && self.permanent.is_empty()
+            && self.link.is_none()
+            && self.spikes.is_none()
+    }
+
+    /// Validates every component's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| -> Result<(), String> {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1), got {p}"));
+            }
+            Ok(())
+        };
+        let finite_nonneg = |name: &str, v: f64| -> Result<(), String> {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+            Ok(())
+        };
+        if let Some(c) = &self.crash {
+            prob("crash per_step", c.per_step)?;
+            finite_nonneg("crash min_downtime_ms", c.min_downtime_ms)?;
+            finite_nonneg("crash max_downtime_ms", c.max_downtime_ms)?;
+            if c.max_downtime_ms < c.min_downtime_ms {
+                return Err(format!(
+                    "crash downtime range inverted: {} > {}",
+                    c.min_downtime_ms, c.max_downtime_ms
+                ));
+            }
+        }
+        for p in &self.permanent {
+            finite_nonneg("permanent crash at_ms", p.at_ms)?;
+        }
+        if let Some(l) = &self.link {
+            prob("link loss_prob", l.loss_prob)?;
+            prob("link fail_prob", l.fail_prob)?;
+            if l.loss_prob + l.fail_prob >= 1.0 {
+                return Err(format!(
+                    "link loss_prob + fail_prob must stay below 1, got {}",
+                    l.loss_prob + l.fail_prob
+                ));
+            }
+            if !(0.0..=1.0).contains(&l.dup_prob) {
+                return Err(format!(
+                    "link dup_prob must be in [0, 1], got {}",
+                    l.dup_prob
+                ));
+            }
+            if !(l.ack_timeout_ms.is_finite() && l.ack_timeout_ms > 0.0) {
+                return Err(format!(
+                    "link ack_timeout_ms must be positive and finite, got {}",
+                    l.ack_timeout_ms
+                ));
+            }
+            finite_nonneg("link fail_detect_ms", l.fail_detect_ms)?;
+            finite_nonneg("link backoff_base_ms", l.backoff_base_ms)?;
+            finite_nonneg("link backoff_cap_ms", l.backoff_cap_ms)?;
+            if l.backoff_cap_ms < l.backoff_base_ms {
+                return Err(format!(
+                    "link backoff cap {} below base {}",
+                    l.backoff_cap_ms, l.backoff_base_ms
+                ));
+            }
+            if l.max_attempts == 0 {
+                return Err("link max_attempts must be at least 1".to_string());
+            }
+        }
+        if let Some(s) = &self.spikes {
+            prob("spike prob", s.prob)?;
+            if !(s.factor.is_finite() && s.factor >= 1.0) {
+                return Err(format!("spike factor must be at least 1, got {}", s.factor));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of pushing one transfer through [`FaultSampler::transfer`]:
+/// how many sends were lost or failed, how many retries that cost, the
+/// total extra delay, and whether the delivered message was duplicated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferOutcome {
+    /// Sends silently lost (each cost `ack_timeout_ms`).
+    pub messages_lost: u64,
+    /// Sends that failed with an observable error (each cost
+    /// `fail_detect_ms`).
+    pub transfer_failures: u64,
+    /// Resends after a lost/failed attempt (each cost its backoff).
+    pub retries: u64,
+    /// Total extra delay over a fault-free transfer, in milliseconds.
+    pub penalty_ms: f64,
+    /// When `Some(lag)`, a duplicate of the delivered message arrives
+    /// `lag` milliseconds after the original.
+    pub duplicate_lag_ms: Option<f64>,
+}
+
+/// A per-actor seeded source of fault draws (the fault-side analogue of
+/// [`crate::DelaySampler`]).
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_netsim::fault::{FaultSampler, LinkFaults};
+///
+/// let mut a = FaultSampler::from_stream(7, 0);
+/// let mut b = FaultSampler::from_stream(7, 0);
+/// let lf = LinkFaults::flaky();
+/// assert_eq!(a.transfer(&lf), b.transfer(&lf), "same stream, same faults");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    rng: StdRng,
+}
+
+impl FaultSampler {
+    /// A sampler for fault stream `stream` of `master`, decorrelated from
+    /// the delay stream of the same index (see [`FAULT_SEED_SALT`]).
+    pub fn from_stream(master: u64, stream: u64) -> Self {
+        FaultSampler {
+            rng: StdRng::seed_from_u64(stream_seed(master ^ FAULT_SEED_SALT, stream)),
+        }
+    }
+
+    /// One crash draw: `Some(downtime_ms)` when the actor crashes here.
+    /// Draws nothing when `per_step` is zero, so an inert profile leaves
+    /// the stream untouched.
+    pub fn crash_downtime_ms(&mut self, c: &CrashProfile) -> Option<f64> {
+        if c.per_step <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        if u >= c.per_step {
+            return None;
+        }
+        let frac: f64 = self.rng.gen_range(0.0..1.0);
+        Some(c.min_downtime_ms + (c.max_downtime_ms - c.min_downtime_ms) * frac)
+    }
+
+    /// One straggler draw: `Some(factor)` when this step spikes. Draws
+    /// nothing when `prob` is zero.
+    pub fn spike_factor(&mut self, s: &DelaySpikes) -> Option<f64> {
+        if s.prob <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        (u < s.prob).then_some(s.factor)
+    }
+
+    /// Pushes one transfer through the lossy link: repeated attempts with
+    /// capped exponential backoff until one delivers (the attempt at
+    /// `max_attempts` always does — the reliable escalation path).
+    pub fn transfer(&mut self, l: &LinkFaults) -> TransferOutcome {
+        let mut out = TransferOutcome::default();
+        for attempt in 0..l.max_attempts {
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            let delivered = if u < l.loss_prob {
+                out.messages_lost += 1;
+                out.penalty_ms += l.ack_timeout_ms;
+                false
+            } else if u < l.loss_prob + l.fail_prob {
+                out.transfer_failures += 1;
+                out.penalty_ms += l.fail_detect_ms;
+                false
+            } else {
+                true
+            };
+            if delivered || attempt + 1 == l.max_attempts {
+                break;
+            }
+            out.retries += 1;
+            let backoff = l.backoff_base_ms * f64::from(1u32 << attempt.min(20));
+            out.penalty_ms += backoff.min(l.backoff_cap_ms);
+        }
+        if l.dup_prob > 0.0 {
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            if u < l.dup_prob {
+                let frac: f64 = self.rng.gen_range(0.0..1.0);
+                out.duplicate_lag_ms = Some(l.ack_timeout_ms * frac);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan {
+            crash: Some(CrashProfile {
+                per_step: 0.1,
+                min_downtime_ms: 20.0,
+                max_downtime_ms: 200.0,
+            }),
+            permanent: vec![PermanentCrash {
+                worker: 1,
+                at_ms: 500.0,
+            }],
+            link: Some(LinkFaults::flaky()),
+            spikes: Some(DelaySpikes {
+                prob: 0.2,
+                factor: 5.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().validate().is_ok());
+        assert!(!full_plan().is_empty());
+        assert!(full_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let mut p = full_plan();
+        p.crash.as_mut().unwrap().per_step = 1.0;
+        assert!(p.validate().is_err(), "certain crash must be rejected");
+
+        let mut p = full_plan();
+        p.crash.as_mut().unwrap().min_downtime_ms = 300.0;
+        assert!(p.validate().is_err(), "inverted downtime range");
+
+        let mut p = full_plan();
+        p.link.as_mut().unwrap().loss_prob = 0.6;
+        p.link.as_mut().unwrap().fail_prob = 0.5;
+        assert!(p.validate().is_err(), "loss + fail >= 1");
+
+        let mut p = full_plan();
+        p.link.as_mut().unwrap().max_attempts = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = full_plan();
+        p.link.as_mut().unwrap().ack_timeout_ms = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = full_plan();
+        p.spikes.as_mut().unwrap().factor = 0.5;
+        assert!(p.validate().is_err(), "sub-unit spike factor");
+
+        let mut p = full_plan();
+        p.permanent[0].at_ms = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn same_stream_replays_bitwise() {
+        let plan = full_plan();
+        let (c, l, s) = (
+            plan.crash.unwrap(),
+            plan.link.unwrap(),
+            plan.spikes.unwrap(),
+        );
+        let mut a = FaultSampler::from_stream(42, 3);
+        let mut b = FaultSampler::from_stream(42, 3);
+        for _ in 0..64 {
+            assert_eq!(a.crash_downtime_ms(&c), b.crash_downtime_ms(&c));
+            assert_eq!(a.spike_factor(&s), b.spike_factor(&s));
+            assert_eq!(a.transfer(&l), b.transfer(&l));
+        }
+    }
+
+    #[test]
+    fn fault_streams_decorrelate_from_delay_streams_and_each_other() {
+        let l = LinkFaults {
+            loss_prob: 0.45,
+            fail_prob: 0.45,
+            ..LinkFaults::flaky()
+        };
+        let seq = |stream: u64| -> Vec<TransferOutcome> {
+            let mut s = FaultSampler::from_stream(9, stream);
+            (0..32).map(|_| s.transfer(&l)).collect()
+        };
+        assert_ne!(seq(0), seq(1), "neighbouring fault streams must differ");
+        // The salted master means fault stream 0 differs from what a
+        // DelaySampler-style derivation of stream 0 would seed.
+        assert_ne!(
+            stream_seed(9 ^ FAULT_SEED_SALT, 0),
+            stream_seed(9, 0),
+            "fault and delay streams of the same index must not collide"
+        );
+    }
+
+    #[test]
+    fn inert_components_draw_nothing() {
+        let c = CrashProfile {
+            per_step: 0.0,
+            min_downtime_ms: 1.0,
+            max_downtime_ms: 2.0,
+        };
+        let s = DelaySpikes {
+            prob: 0.0,
+            factor: 3.0,
+        };
+        let l = LinkFaults {
+            loss_prob: 0.9,
+            fail_prob: 0.0,
+            dup_prob: 0.0,
+            max_attempts: 1,
+            ..LinkFaults::flaky()
+        };
+        let mut f = FaultSampler::from_stream(1, 0);
+        let mut g = FaultSampler::from_stream(1, 0);
+        // f draws through the inert components, g does not: the next real
+        // draw must agree, proving the inert paths consumed no entropy.
+        assert_eq!(f.crash_downtime_ms(&c), None);
+        assert_eq!(f.spike_factor(&s), None);
+        assert_eq!(f.transfer(&l), g.transfer(&l));
+    }
+
+    #[test]
+    fn forced_delivery_caps_the_attempt_loop() {
+        // With certain loss, every attempt up to the cap is lost and the
+        // final attempt escalates: retries == max_attempts - 1.
+        let l = LinkFaults {
+            loss_prob: 0.999,
+            fail_prob: 0.0,
+            dup_prob: 0.0,
+            max_attempts: 4,
+            ..LinkFaults::flaky()
+        };
+        let mut f = FaultSampler::from_stream(3, 0);
+        for _ in 0..16 {
+            let out = f.transfer(&l);
+            assert!(out.messages_lost <= 4);
+            assert_eq!(out.retries, out.messages_lost.saturating_sub(1));
+            assert!(out.penalty_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let l = LinkFaults {
+            loss_prob: 0.999,
+            fail_prob: 0.0,
+            dup_prob: 0.0,
+            ack_timeout_ms: 1.0,
+            backoff_base_ms: 100.0,
+            backoff_cap_ms: 150.0,
+            max_attempts: 8,
+            ..LinkFaults::flaky()
+        };
+        let mut f = FaultSampler::from_stream(4, 0);
+        let out = f.transfer(&l);
+        // 7 retries, each backoff <= 150, plus 8 timeouts of 1ms.
+        assert!(out.penalty_ms <= 7.0 * 150.0 + 8.0 * 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn plan_serializes_round_trip() {
+        let plan = full_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

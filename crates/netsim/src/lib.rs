@@ -30,6 +30,7 @@
 #![deny(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod link;
 pub mod payload;
 pub mod proto;
@@ -37,6 +38,9 @@ pub mod sampler;
 pub mod timeline;
 
 pub use device::DeviceProfile;
+pub use fault::{
+    CrashProfile, DelaySpikes, FaultPlan, FaultSampler, LinkFaults, PermanentCrash, TransferOutcome,
+};
 pub use link::LinkProfile;
 pub use sampler::{stream_seed, DelaySampler};
 pub use timeline::{

@@ -6,6 +6,11 @@
 //! Internet via two ISPs (edge/worker ↔ cloud). Two-tier architectures pay
 //! the WAN price on *every* worker round-trip; three-tier ones only every
 //! `π`-th aggregation — exactly the asymmetry Fig. 1 illustrates.
+//!
+//! These profiles model only *healthy* transfer delay. Unreliability —
+//! loss, transient failure, duplication, retry/backoff — is layered on
+//! top by [`crate::fault`], which charges each extra attempt through the
+//! same delay model so retries stretch the clock consistently.
 
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -13,6 +13,12 @@
 //! The checksum is Fletcher-32 over everything before it — enough to
 //! catch the truncation/corruption failures a lossy transport produces,
 //! without pulling in a CRC dependency.
+//!
+//! Every message carries its aggregation `round`, so a receiver can
+//! discard redundant re-deliveries by comparing against the round it has
+//! already applied. This is what lets the fault layer (DESIGN.md §11)
+//! treat duplicated frames as counting-only events: a duplicate is
+//! observable in the tallies but can never change aggregation state.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

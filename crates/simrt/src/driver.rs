@@ -26,7 +26,7 @@
 //! reduces partial sums in a fixed order — results are identical for any
 //! `RunConfig::threads`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::ops::Range;
@@ -34,9 +34,12 @@ use std::ops::Range;
 use hieradmo_core::driver::{build_train_probe, EVAL_CHUNK};
 use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, WorkerState};
 use hieradmo_data::{Batcher, Dataset};
-use hieradmo_metrics::{ActorUtilization, ConvergenceCurve, EvalPoint, TimedCurve, TimedPoint};
+use hieradmo_metrics::{
+    ActorFaults, ActorUtilization, ConvergenceCurve, EvalPoint, FaultCounters, TimedCurve,
+    TimedPoint,
+};
 use hieradmo_models::{EvalSums, Evaluation, Model};
-use hieradmo_netsim::{Architecture, DelaySampler, LinkProfile};
+use hieradmo_netsim::{Architecture, DelaySampler, FaultSampler, LinkProfile};
 use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Schedule, Weights};
 use rand::rngs::StdRng;
@@ -55,6 +58,9 @@ pub enum SimError {
     Net(String),
     /// The synchronization policy's parameters are invalid.
     Policy(String),
+    /// The fault plan's parameters are invalid or reference unknown
+    /// actors.
+    Fault(String),
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +69,7 @@ impl fmt::Display for SimError {
             SimError::Run(e) => write!(f, "{e}"),
             SimError::Net(m) => write!(f, "network mismatch: {m}"),
             SimError::Policy(m) => write!(f, "invalid sync policy: {m}"),
+            SimError::Fault(m) => write!(f, "invalid fault plan: {m}"),
         }
     }
 }
@@ -111,6 +118,10 @@ pub struct SimResult {
     pub simulated_seconds: f64,
     /// Per-actor busy time and utilization over the run.
     pub utilization: Vec<ActorUtilization>,
+    /// Per-actor fault tallies, in the same actor order as
+    /// [`SimResult::utilization`]. All-zero when the run's
+    /// [`hieradmo_netsim::FaultPlan`] is empty.
+    pub faults: Vec<ActorFaults>,
     /// Number of discrete events processed.
     pub events: u64,
 }
@@ -135,6 +146,15 @@ enum Ev {
     CloudTimeout { round: usize },
     /// The cloud's reply reached an edge.
     CloudReply { edge: usize },
+    /// A transiently-crashed worker's downtime expired; it rejoins from
+    /// its last server-delivered state.
+    Recover { worker: usize },
+    /// A worker's scheduled permanent death.
+    Die { worker: usize },
+    /// A duplicated message's trailing copy arrived at `to`; the
+    /// protocol-level round-number dedup (see `hieradmo_netsim::proto`)
+    /// suppresses it, so it costs bookkeeping, never state.
+    DupArrival { to: ActorId },
 }
 
 /// A worker actor: private training state plus its virtual-clock bookkeeping.
@@ -149,6 +169,16 @@ struct WorkerSim<M> {
     busy_ms: f64,
     /// Final model received; the worker schedules nothing further.
     done: bool,
+    /// Fault draws for this worker's crashes, spikes and link faults.
+    fsampler: FaultSampler,
+    /// Transiently crashed: down until its pending `Recover` fires.
+    down: bool,
+    /// Permanently crashed: never recovers, never uploads again.
+    dead: bool,
+    /// `(tick, state)` of the last server-delivered model — the rejoin
+    /// point after a crash. Maintained only when faults are on.
+    chain: Option<(usize, Box<WorkerState>)>,
+    faults: FaultCounters,
 }
 
 /// An edge actor: round-collection state for the current aggregation.
@@ -171,10 +201,15 @@ struct EdgeSim {
     /// Local workers to release when the cloud replies.
     pending_release: Vec<usize>,
     /// Post-hook worker slots of the last firing — what a late-rejoining
-    /// worker is handed (relaxed policies only).
+    /// worker is handed (relaxed policies; also maintained under full
+    /// sync when faults are on).
     last_dist: Vec<WorkerState>,
     sampler: DelaySampler,
     busy_ms: f64,
+    /// Fault draws for this edge's cloud-hop transfers (both directions:
+    /// link-fault tallies live at the non-root endpoint of each hop).
+    fsampler: FaultSampler,
+    faults: FaultCounters,
 }
 
 /// The cloud actor: the edge-level analogue of [`EdgeSim`].
@@ -186,10 +221,12 @@ struct CloudSim {
     age: Vec<usize>,
     timed_out: bool,
     /// Post-hook worker slots per edge from the last firing, handed to
-    /// edges whose submissions arrive late (relaxed policies only).
+    /// edges whose submissions arrive late (relaxed policies; also
+    /// maintained under full sync when faults are on).
     last_dist: Vec<Option<Vec<WorkerState>>>,
     sampler: DelaySampler,
     busy_ms: f64,
+    faults: FaultCounters,
 }
 
 /// Pending full-sync evaluation at one tick: per-worker model snapshots,
@@ -306,6 +343,9 @@ struct Engine<'a, M, S: ?Sized> {
     events: u64,
     evals: Vec<EvalRec>,
     pending_evals: BTreeMap<usize, EvalStage>,
+    /// Full-sync eval ticks already evaluated — a crash-redo must not
+    /// re-create a completed stage (faults only; empty otherwise).
+    completed_evals: BTreeSet<usize>,
     /// Per-round `(γℓ, cos θ)` per edge, emitted as means once every edge
     /// has fired the round (full sync only).
     gamma_stage: BTreeMap<usize, Vec<Option<(f32, f32)>>>,
@@ -315,6 +355,9 @@ struct Engine<'a, M, S: ?Sized> {
     firing_seq: usize,
     /// Last curve iteration issued (relaxed policies).
     last_iter: usize,
+    /// The fault plan injects something; `false` guarantees zero fault
+    /// draws and a run bitwise identical to one without fault injection.
+    faults_on: bool,
 }
 
 impl<'a, M, S> Engine<'a, M, S>
@@ -361,6 +404,7 @@ where
                 .collect()
         };
 
+        let faults_on = !sim.faults.is_empty();
         let workers: Vec<WorkerSim<M>> = (0..n)
             .map(|i| WorkerSim {
                 state: fl.workers[i].clone(),
@@ -375,6 +419,11 @@ where
                 sampler: DelaySampler::from_stream(sim.net_seed, i as u64),
                 busy_ms: 0.0,
                 done: false,
+                fsampler: FaultSampler::from_stream(sim.net_seed, i as u64),
+                down: false,
+                dead: false,
+                chain: faults_on.then(|| (0, Box::new(fl.workers[i].clone()))),
+                faults: FaultCounters::default(),
             })
             .collect();
         let edges: Vec<EdgeSim> = (0..l_count)
@@ -392,6 +441,8 @@ where
                     last_dist: fl.workers[hierarchy.edge_workers(e)].to_vec(),
                     sampler: DelaySampler::from_stream(sim.net_seed, (n + e) as u64),
                     busy_ms: 0.0,
+                    fsampler: FaultSampler::from_stream(sim.net_seed, (n + e) as u64),
+                    faults: FaultCounters::default(),
                 }
             })
             .collect();
@@ -405,6 +456,7 @@ where
             last_dist: vec![None; l_count],
             sampler: DelaySampler::from_stream(sim.net_seed, (n + l_count) as u64),
             busy_ms: 0.0,
+            faults: FaultCounters::default(),
         };
         let threads = cfg.resolved_threads();
 
@@ -429,11 +481,13 @@ where
             events: 0,
             evals: Vec::new(),
             pending_evals: BTreeMap::new(),
+            completed_evals: BTreeSet::new(),
             gamma_stage: BTreeMap::new(),
             gamma_trace: Vec::new(),
             cos_trace: Vec::new(),
             firing_seq: 0,
             last_iter: 0,
+            faults_on,
         }
     }
 
@@ -455,27 +509,78 @@ where
         }
     }
 
-    /// Draws a worker's up/down transfer delay and charges its busy time.
-    fn worker_transfer(&mut self, i: usize, bytes: u64) -> f64 {
+    /// Draws a worker's up/down transfer delay (including retry/backoff
+    /// penalties when link faults are on) and charges its busy time.
+    /// Returns `(delay_ms, duplicate_lag_ms)`.
+    fn worker_transfer(&mut self, i: usize, bytes: u64) -> (f64, Option<f64>) {
+        let link_faults = self.sim.faults.link;
         let (link, flows) = self.worker_link(self.edge_of[i]);
         let w = &mut self.workers[i];
-        let d = w.sampler.shared_transfer_ms(link, bytes, flows);
+        let mut d = w.sampler.shared_transfer_ms(link, bytes, flows);
+        let mut dup = None;
+        if let Some(lf) = link_faults {
+            let out = w.fsampler.transfer(&lf);
+            w.faults.add_transfer(
+                out.messages_lost,
+                out.transfer_failures,
+                out.retries,
+                out.duplicate_lag_ms.is_some(),
+            );
+            d += out.penalty_ms;
+            dup = out.duplicate_lag_ms;
+        }
         w.busy_ms += d;
-        d
+        (d, dup)
+    }
+
+    /// Crash draw at one of a worker's two draw points. On a crash the
+    /// worker goes down, its in-progress work is lost, and a `Recover`
+    /// fires after the drawn downtime. Returns `true` when it crashed.
+    fn maybe_crash(&mut self, i: usize, now: f64, lost_upload: bool) -> bool {
+        let Some(cp) = self.sim.faults.crash else {
+            return false;
+        };
+        let w = &mut self.workers[i];
+        let Some(dt) = w.fsampler.crash_downtime_ms(&cp) else {
+            return false;
+        };
+        w.faults.crashes += 1;
+        w.faults.recovery_ms += dt;
+        if lost_upload {
+            w.faults.lost_uploads += 1;
+        }
+        w.down = true;
+        self.queue
+            .push(now + dt, ActorId::Worker(i), Ev::Recover { worker: i });
+        true
     }
 
     fn schedule_step(&mut self, i: usize, now: f64) {
+        if self.maybe_crash(i, now, false) {
+            return;
+        }
         let sim = self.sim;
+        let spikes = sim.faults.spikes;
         let w = &mut self.workers[i];
-        let d = w.sampler.compute_ms(&sim.env.worker_devices[i]);
+        let mut d = w.sampler.compute_ms(&sim.env.worker_devices[i]);
+        if let Some(sp) = spikes {
+            if let Some(factor) = w.fsampler.spike_factor(&sp) {
+                d *= factor;
+                w.faults.delay_spikes += 1;
+            }
+        }
         w.busy_ms += d;
         self.queue
             .push(now + d, ActorId::Worker(i), Ev::Step { worker: i });
     }
 
     /// Sends `state` down to worker `flat` (payload snapshotted now).
+    /// Messages to permanently-dead workers are not sent at all.
     fn deliver(&mut self, flat: usize, state: Box<WorkerState>, now: f64) {
-        let d = self.worker_transfer(flat, self.sim.download_bytes);
+        if self.workers[flat].dead {
+            return;
+        }
+        let (d, dup) = self.worker_transfer(flat, self.sim.download_bytes);
         self.queue.push(
             now + d,
             ActorId::Worker(flat),
@@ -484,6 +589,10 @@ where
                 state,
             },
         );
+        if let Some(lag) = dup {
+            let to = ActorId::Worker(flat);
+            self.queue.push(now + d + lag, to, Ev::DupArrival { to });
+        }
     }
 
     fn run_eval(&mut self, params: &Vector) -> (Evaluation, Evaluation) {
@@ -501,35 +610,62 @@ where
     /// have contributed — reproducing the core driver's
     /// `global_params`-then-evaluate at that tick bit-for-bit.
     fn stage_eval(&mut self, t: usize, flat: usize, x: Vector, at_ms: f64) {
+        if self.completed_evals.contains(&t) {
+            // A crash-redo re-passed an already-evaluated tick.
+            debug_assert!(self.faults_on);
+            return;
+        }
         let n = self.workers.len();
         let stage = self.pending_evals.entry(t).or_insert_with(|| EvalStage {
             xs: vec![None; n],
             count: 0,
             last_ms: 0.0,
         });
-        debug_assert!(
-            stage.xs[flat].is_none(),
-            "worker {flat} contributed twice to tick {t}"
-        );
+        if stage.xs[flat].is_some() {
+            // A crash-redo re-contributed: keep the first pass's snapshot.
+            debug_assert!(
+                self.faults_on,
+                "worker {flat} contributed twice to tick {t}"
+            );
+            return;
+        }
         stage.xs[flat] = Some(x);
         stage.count += 1;
         stage.last_ms = stage.last_ms.max(at_ms);
-        if stage.count == n {
-            let stage = self.pending_evals.remove(&t).expect("stage just inserted");
-            let params = Vector::weighted_average(stage.xs.iter().enumerate().map(|(i, x)| {
-                (
-                    self.fl.weights.worker_in_total(i),
-                    x.as_ref().expect("all workers contributed"),
-                )
-            }));
-            let (test, train) = self.run_eval(&params);
-            self.evals.push(EvalRec {
-                iter: t,
-                at_ms: stage.last_ms,
-                test,
-                train,
-            });
+        self.try_finish_eval(t, at_ms);
+    }
+
+    /// Fires a staged full-sync evaluation once every worker has either
+    /// contributed or died permanently; dead workers' snapshots come from
+    /// their server-side mailbox slots. With no faults this is exactly the
+    /// "all `N` contributed" barrier.
+    fn try_finish_eval(&mut self, t: usize, now: f64) {
+        let complete = match self.pending_evals.get(&t) {
+            Some(stage) => stage
+                .xs
+                .iter()
+                .enumerate()
+                .all(|(i, x)| x.is_some() || self.workers[i].dead),
+            None => return,
+        };
+        if !complete {
+            return;
         }
+        let stage = self.pending_evals.remove(&t).expect("stage just checked");
+        self.completed_evals.insert(t);
+        let params = Vector::weighted_average(stage.xs.iter().enumerate().map(|(i, x)| {
+            (
+                self.fl.weights.worker_in_total(i),
+                x.as_ref().unwrap_or(&self.fl.workers[i].x),
+            )
+        }));
+        let (test, train) = self.run_eval(&params);
+        self.evals.push(EvalRec {
+            iter: t,
+            at_ms: stage.last_ms.max(now),
+            test,
+            train,
+        });
     }
 
     /// Full-sync trace staging: per-edge `(γℓ, cos θ)` of round `k`,
@@ -542,18 +678,37 @@ where
             .entry(k)
             .or_insert_with(|| vec![None; l_count]);
         slot[e] = Some((gamma, cos));
-        if slot.iter().all(Option::is_some) {
-            let slot = self.gamma_stage.remove(&k).expect("stage just inserted");
-            let n = l_count as f32;
-            let vals = |f: fn((f32, f32)) -> f32| {
-                slot.iter()
-                    .map(|p| f(p.expect("all edges fired")))
-                    .sum::<f32>()
-                    / n
-            };
-            self.gamma_trace.push((k, vals(|p| p.0)));
-            self.cos_trace.push((k, vals(|p| p.1)));
+        self.try_finish_gamma(k);
+    }
+
+    /// All of an edge's workers have died permanently: it will never fire
+    /// a round again.
+    fn edge_all_dead(&self, e: usize) -> bool {
+        self.faults_on && self.hierarchy.edge_workers(e).all(|i| self.workers[i].dead)
+    }
+
+    /// Emits a staged full-sync `(γℓ, cos θ)` round once every edge has
+    /// fired it or will never fire again; the mean is over the edges that
+    /// did fire. With no faults this is exactly the "all edges fired"
+    /// barrier with the driver's edge-index-order means.
+    fn try_finish_gamma(&mut self, k: usize) {
+        let complete = match self.gamma_stage.get(&k) {
+            Some(slot) => slot
+                .iter()
+                .enumerate()
+                .all(|(e, p)| p.is_some() || self.edge_all_dead(e)),
+            None => return,
+        };
+        if !complete {
+            return;
         }
+        let slot = self.gamma_stage.remove(&k).expect("stage just checked");
+        let fired: Vec<(f32, f32)> = slot.into_iter().flatten().collect();
+        let n = fired.len() as f32;
+        self.gamma_trace
+            .push((k, fired.iter().map(|p| p.0).sum::<f32>() / n));
+        self.cos_trace
+            .push((k, fired.iter().map(|p| p.1).sum::<f32>() / n));
     }
 
     /// Relaxed-policy evaluation: the server's current global view, indexed
@@ -573,6 +728,9 @@ where
     }
 
     fn on_step_done(&mut self, i: usize, now: f64) {
+        if self.workers[i].dead || self.workers[i].down {
+            return; // step was in flight when the worker crashed
+        }
         self.workers[i].tick += 1;
         let t = self.workers[i].tick;
         let n = self.workers.len();
@@ -581,10 +739,21 @@ where
         }
         if t.is_multiple_of(self.cfg.tau) {
             // End of interval: upload (dropout skips the step, never the
-            // aggregation — matching the core driver).
-            let d = self.worker_transfer(i, self.sim.upload_bytes);
+            // aggregation — matching the core driver). A crash here loses
+            // the upload outright.
+            if self.maybe_crash(i, now, true) {
+                return;
+            }
+            let (d, dup) = self.worker_transfer(i, self.sim.upload_bytes);
             self.queue
                 .push(now + d, ActorId::Worker(i), Ev::Upload { worker: i });
+            if let Some(lag) = dup {
+                let to = match self.sim.architecture {
+                    Architecture::ThreeTier => ActorId::Edge(self.edge_of[i]),
+                    Architecture::TwoTier => ActorId::Cloud,
+                };
+                self.queue.push(now + d + lag, to, Ev::DupArrival { to });
+            }
         } else {
             if self.full_sync() && self.is_eval_tick(t) {
                 let x = self.workers[i].state.x.clone();
@@ -625,6 +794,11 @@ where
     }
 
     fn on_upload(&mut self, i: usize, now: f64) {
+        if self.workers[i].dead {
+            // The sender died while its upload was in flight: lost.
+            self.workers[i].faults.lost_uploads += 1;
+            return;
+        }
         let e = self.edge_of[i];
         let j = i - self.offsets[e];
         let k_up = self.workers[i].tick / self.cfg.tau;
@@ -633,9 +807,7 @@ where
         match self.sim.policy {
             SyncPolicy::FullSync => {
                 self.edges[e].arrived[j] = true;
-                if self.edges[e].arrived.iter().all(|&a| a) {
-                    self.fire_edge(e, now);
-                }
+                self.maybe_fire_edge_full(e, now);
             }
             SyncPolicy::Deadline { timeout_ms, .. } => {
                 if k_up < self.edges[e].round {
@@ -680,10 +852,30 @@ where
         self.maybe_fire_edge_deadline(e, now);
     }
 
+    /// Full-sync edge barrier with a fault waiver: fires once every local
+    /// worker has arrived or died permanently (at least one arrival). With
+    /// no faults this is exactly the all-arrived barrier.
+    fn maybe_fire_edge_full(&mut self, e: usize, now: f64) {
+        let offset = self.offsets[e];
+        let edge = &self.edges[e];
+        if edge.waiting_cloud || !edge.arrived.iter().any(|&a| a) {
+            return;
+        }
+        let all = edge
+            .arrived
+            .iter()
+            .enumerate()
+            .all(|(j, &a)| a || self.workers[offset + j].dead);
+        if all {
+            self.fire_edge(e, now);
+        }
+    }
+
     fn maybe_fire_edge_deadline(&mut self, e: usize, now: f64) {
         let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
             return;
         };
+        let offset = self.offsets[e];
         let edge = &self.edges[e];
         if edge.waiting_cloud {
             return;
@@ -693,7 +885,17 @@ where
             return;
         }
         let total = edge.arrived.len();
-        if have == total || (edge.timed_out && have >= quorum_count(quorum, total)) {
+        // Quorum re-derivation: permanently-dead absentees leave the
+        // denominator, so a strict minority dying can never deadlock the
+        // round. `live_total >= have >= 1` keeps the clamp well-defined.
+        let absent_dead = edge
+            .arrived
+            .iter()
+            .enumerate()
+            .filter(|&(j, &a)| !a && self.workers[offset + j].dead)
+            .count();
+        let live_total = total - absent_dead;
+        if have == live_total || (edge.timed_out && have >= quorum_count(quorum, live_total)) {
             self.fire_edge(e, now);
         }
     }
@@ -707,10 +909,12 @@ where
             return;
         }
         // A too-stale absent worker blocks the firing — unless it is done
-        // and will never upload again.
+        // (or permanently dead) and will never upload again: the
+        // staleness cap is waived for children that cannot catch up.
         let offset = self.offsets[e];
         let blocked = edge.arrived.iter().enumerate().any(|(j, &arr)| {
-            !arr && edge.age[j] >= max_staleness && !self.workers[offset + j].done
+            let w = &self.workers[offset + j];
+            !arr && edge.age[j] >= max_staleness && !w.done && !w.dead
         });
         if !blocked {
             self.fire_edge(e, now);
@@ -759,6 +963,9 @@ where
             self.firing_seq += 1;
             self.gamma_trace.push((self.firing_seq, gamma));
             self.cos_trace.push((self.firing_seq, cos));
+        }
+        if !self.full_sync() || self.faults_on {
+            // Rejoin snapshot for late or recovering workers.
             self.edges[e].last_dist = self.fl.workers[offset..offset + c].to_vec();
         }
         let firings_after = self.edges[e].firings + 1;
@@ -778,18 +985,30 @@ where
         if cloud_round {
             self.edges[e].waiting_cloud = true;
             self.edges[e].pending_release = participants.clone();
-            let du = match sim.architecture {
+            let (du, dup) = match sim.architecture {
                 Architecture::ThreeTier => {
                     let flows = self.edges.len();
-                    let dd = self.edges[e].sampler.shared_transfer_ms(
+                    let mut dd = self.edges[e].sampler.shared_transfer_ms(
                         &sim.env.edge_cloud_link,
                         sim.upload_bytes,
                         flows,
                     );
+                    let mut dup = None;
+                    if let Some(lf) = sim.faults.link {
+                        let out = self.edges[e].fsampler.transfer(&lf);
+                        self.edges[e].faults.add_transfer(
+                            out.messages_lost,
+                            out.transfer_failures,
+                            out.retries,
+                            out.duplicate_lag_ms.is_some(),
+                        );
+                        dd += out.penalty_ms;
+                        dup = out.duplicate_lag_ms;
+                    }
                     self.edges[e].busy_ms += dd;
-                    dd
+                    (dd, dup)
                 }
-                Architecture::TwoTier => 0.0,
+                Architecture::TwoTier => (0.0, None),
             };
             let p = match sim.policy {
                 SyncPolicy::AsyncAge { .. } => firings_after / self.cfg.pi,
@@ -800,6 +1019,13 @@ where
                 ActorId::Edge(e),
                 Ev::CloudSubmit { edge: e, round: p },
             );
+            if let Some(lag) = dup {
+                self.queue.push(
+                    now + d + du + lag,
+                    ActorId::Cloud,
+                    Ev::DupArrival { to: ActorId::Cloud },
+                );
+            }
         } else {
             for &j in &participants {
                 let flat = offset + j;
@@ -828,10 +1054,16 @@ where
     fn on_cloud_submit(&mut self, e: usize, p: usize, now: f64) {
         match self.sim.policy {
             SyncPolicy::FullSync => {
-                self.cloud.arrived[e] = true;
-                self.cloud.last_round[e] = p;
-                if self.cloud.arrived.iter().all(|&a| a) {
-                    self.fire_cloud(now);
+                if self.faults_on && p < self.cloud.round {
+                    // A dead-waived round fired without this edge and its
+                    // submission only arrived now; releasing from the last
+                    // snapshot keeps the next round's collection clean.
+                    self.cloud.last_round[e] = p;
+                    self.release_edge_from_snapshot(e, now);
+                } else {
+                    self.cloud.arrived[e] = true;
+                    self.cloud.last_round[e] = p;
+                    self.maybe_fire_cloud_full(now);
                 }
             }
             SyncPolicy::Deadline { timeout_ms, .. } => {
@@ -873,6 +1105,29 @@ where
         self.maybe_fire_cloud_deadline(now);
     }
 
+    /// An edge that will never submit again because every one of its
+    /// workers died permanently (and nothing of its is in flight).
+    fn edge_perma_dead(&self, l: usize) -> bool {
+        !self.edges[l].waiting_cloud && self.edge_all_dead(l)
+    }
+
+    /// Full-sync cloud barrier with a fault waiver: fires once every edge
+    /// has submitted or is permanently dead (at least one submission).
+    fn maybe_fire_cloud_full(&mut self, now: f64) {
+        if !self.cloud.arrived.iter().any(|&a| a) {
+            return;
+        }
+        let all = self
+            .cloud
+            .arrived
+            .iter()
+            .enumerate()
+            .all(|(l, &a)| a || self.edge_perma_dead(l));
+        if all {
+            self.fire_cloud(now);
+        }
+    }
+
     fn maybe_fire_cloud_deadline(&mut self, now: f64) {
         let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
             return;
@@ -882,15 +1137,26 @@ where
             return;
         }
         let total = self.cloud.arrived.len();
-        if have == total || (self.cloud.timed_out && have >= quorum_count(quorum, total)) {
+        // Same quorum re-derivation as the edge barrier: permanently-dead
+        // edges leave the denominator.
+        let absent_dead = (0..total)
+            .filter(|&l| !self.cloud.arrived[l] && self.edge_perma_dead(l))
+            .count();
+        let live_total = total - absent_dead;
+        if have == live_total || (self.cloud.timed_out && have >= quorum_count(quorum, live_total))
+        {
             self.fire_cloud(now);
         }
     }
 
     /// An edge that can never submit again: all of its workers hold their
-    /// final model and nothing of its is in flight.
+    /// final model (or died permanently) and nothing of its is in flight.
     fn edge_exhausted(&self, l: usize) -> bool {
-        !self.edges[l].waiting_cloud && self.hierarchy.edge_workers(l).all(|i| self.workers[i].done)
+        !self.edges[l].waiting_cloud
+            && self
+                .hierarchy
+                .edge_workers(l)
+                .all(|i| self.workers[i].done || self.workers[i].dead)
     }
 
     fn maybe_fire_cloud_async(&mut self, now: f64) {
@@ -943,7 +1209,7 @@ where
             })
             .collect();
         strategy.cloud_aggregate_stale(p, &mut self.fl, &staleness);
-        if !self.full_sync() {
+        if !self.full_sync() || self.faults_on {
             for l in 0..l_count {
                 self.cloud.last_dist[l] = Some(self.fl.workers[hierarchy.edge_workers(l)].to_vec());
             }
@@ -968,20 +1234,37 @@ where
             self.record_relaxed_eval(now + d);
         }
         for &l in &participants {
-            let dd = match sim.architecture {
+            let (dd, dup) = match sim.architecture {
                 Architecture::ThreeTier => {
-                    let delay = self.edges[l].sampler.shared_transfer_ms(
+                    let mut delay = self.edges[l].sampler.shared_transfer_ms(
                         &sim.env.edge_cloud_link,
                         sim.download_bytes,
                         l_count,
                     );
+                    let mut dup = None;
+                    if let Some(lf) = sim.faults.link {
+                        let out = self.edges[l].fsampler.transfer(&lf);
+                        self.edges[l].faults.add_transfer(
+                            out.messages_lost,
+                            out.transfer_failures,
+                            out.retries,
+                            out.duplicate_lag_ms.is_some(),
+                        );
+                        delay += out.penalty_ms;
+                        dup = out.duplicate_lag_ms;
+                    }
                     self.edges[l].busy_ms += delay;
-                    delay
+                    (delay, dup)
                 }
-                Architecture::TwoTier => 0.0,
+                Architecture::TwoTier => (0.0, None),
             };
             self.queue
                 .push(now + d + dd, ActorId::Edge(l), Ev::CloudReply { edge: l });
+            if let Some(lag) = dup {
+                let to = ActorId::Edge(l);
+                self.queue
+                    .push(now + d + dd + lag, to, Ev::DupArrival { to });
+            }
         }
         self.cloud.firings += 1;
         self.cloud.arrived.fill(false);
@@ -1019,7 +1302,7 @@ where
         self.edges[e].waiting_cloud = false;
         let offset = self.offsets[e];
         let c = self.edges[e].arrived.len();
-        if !self.full_sync() {
+        if !self.full_sync() || self.faults_on {
             // Late joiners from here on get the post-cloud distribution.
             self.edges[e].last_dist = self.fl.workers[offset..offset + c].to_vec();
         }
@@ -1029,18 +1312,102 @@ where
             let payload = Box::new(self.fl.workers[flat].clone());
             self.deliver(flat, payload, now);
         }
-        if matches!(self.sim.policy, SyncPolicy::AsyncAge { .. }) {
-            // Arrivals queued while the submission was outstanding.
-            self.maybe_fire_edge_async(e, now);
+        match self.sim.policy {
+            SyncPolicy::AsyncAge { .. } => {
+                // Arrivals queued while the submission was outstanding.
+                self.maybe_fire_edge_async(e, now);
+            }
+            SyncPolicy::FullSync if self.faults_on => {
+                // A death while the submission was outstanding may have
+                // satisfied the waived barrier.
+                self.maybe_fire_edge_full(e, now);
+                self.maybe_fire_cloud_full(now);
+            }
+            _ => {}
         }
     }
 
     fn on_deliver(&mut self, flat: usize, state: WorkerState, now: f64) {
+        if self.workers[flat].dead {
+            return; // delivery raced the worker's permanent death
+        }
         self.workers[flat].state = state;
+        if self.faults_on {
+            let snap = (
+                self.workers[flat].tick,
+                Box::new(self.workers[flat].state.clone()),
+            );
+            self.workers[flat].chain = Some(snap);
+        }
+        if self.workers[flat].down {
+            return; // its pending Recover rejoins from the fresh snapshot
+        }
         if self.workers[flat].tick < self.cfg.total_iters {
             self.schedule_step(flat, now);
         } else {
             self.workers[flat].done = true;
+        }
+    }
+
+    /// A transiently-crashed worker comes back: it lost whatever it was
+    /// doing and rejoins from the last server-delivered model at that
+    /// snapshot's tick, replaying the interval with fresh batch draws.
+    fn on_recover(&mut self, i: usize, now: f64) {
+        let w = &mut self.workers[i];
+        if w.dead || !w.down {
+            return;
+        }
+        w.down = false;
+        let (tick, state) = w
+            .chain
+            .clone()
+            .expect("fault injection keeps a rejoin snapshot");
+        w.tick = tick;
+        w.state = *state;
+        if w.tick >= self.cfg.total_iters {
+            w.done = true;
+            return;
+        }
+        self.schedule_step(i, now);
+    }
+
+    /// A worker dies permanently: it never uploads again, and every
+    /// barrier that could wait for it is re-derived so the run cannot
+    /// deadlock on a dead child.
+    fn on_die(&mut self, i: usize, now: f64) {
+        {
+            let w = &mut self.workers[i];
+            if w.dead || w.done {
+                return;
+            }
+            w.dead = true;
+            w.down = false;
+            w.faults.crashes += 1;
+        }
+        let e = self.edge_of[i];
+        match self.sim.policy {
+            SyncPolicy::FullSync => {
+                // Stages first (they evaluate at `now`), then barriers
+                // (their evaluations land after aggregation compute).
+                let ts: Vec<usize> = self.pending_evals.keys().copied().collect();
+                for t in ts {
+                    self.try_finish_eval(t, now);
+                }
+                let ks: Vec<usize> = self.gamma_stage.keys().copied().collect();
+                for k in ks {
+                    self.try_finish_gamma(k);
+                }
+                self.maybe_fire_edge_full(e, now);
+                self.maybe_fire_cloud_full(now);
+            }
+            SyncPolicy::Deadline { .. } => {
+                self.maybe_fire_edge_deadline(e, now);
+                self.maybe_fire_cloud_deadline(now);
+            }
+            SyncPolicy::AsyncAge { .. } => {
+                self.maybe_fire_edge_async(e, now);
+                self.maybe_fire_cloud_async(now);
+            }
         }
     }
 
@@ -1053,6 +1420,16 @@ where
             Ev::CloudSubmit { edge, round } => self.on_cloud_submit(edge, round, now),
             Ev::CloudTimeout { round } => self.on_cloud_timeout(round, now),
             Ev::CloudReply { edge } => self.on_cloud_reply(edge, now),
+            Ev::Recover { worker } => self.on_recover(worker, now),
+            Ev::Die { worker } => self.on_die(worker, now),
+            Ev::DupArrival { to } => {
+                let counters = match to {
+                    ActorId::Worker(i) => &mut self.workers[i].faults,
+                    ActorId::Edge(e) => &mut self.edges[e].faults,
+                    ActorId::Cloud => &mut self.cloud.faults,
+                };
+                counters.duplicates_received += 1;
+            }
         }
     }
 
@@ -1075,6 +1452,14 @@ where
     }
 
     fn run(&mut self) {
+        let sim = self.sim;
+        for p in &sim.faults.permanent {
+            self.queue.push(
+                p.at_ms,
+                ActorId::Worker(p.worker),
+                Ev::Die { worker: p.worker },
+            );
+        }
         for i in 0..self.workers.len() {
             self.schedule_step(i, 0.0);
         }
@@ -1140,11 +1525,16 @@ where
             }
         };
         let mut utilization = Vec::with_capacity(self.workers.len() + self.edges.len() + 1);
+        let mut faults = Vec::with_capacity(self.workers.len() + self.edges.len() + 1);
         for (i, w) in self.workers.iter().enumerate() {
             utilization.push(ActorUtilization {
                 actor: format!("worker-{i}"),
                 busy_seconds: w.busy_ms / 1000.0,
                 utilization: util(w.busy_ms),
+            });
+            faults.push(ActorFaults {
+                actor: format!("worker-{i}"),
+                counters: w.faults,
             });
         }
         for (l, e) in self.edges.iter().enumerate() {
@@ -1153,11 +1543,19 @@ where
                 busy_seconds: e.busy_ms / 1000.0,
                 utilization: util(e.busy_ms),
             });
+            faults.push(ActorFaults {
+                actor: format!("edge-{l}"),
+                counters: e.faults,
+            });
         }
         utilization.push(ActorUtilization {
             actor: "cloud".to_string(),
             busy_seconds: self.cloud.busy_ms / 1000.0,
             utilization: util(self.cloud.busy_ms),
+        });
+        faults.push(ActorFaults {
+            actor: "cloud".to_string(),
+            counters: self.cloud.faults,
         });
         SimResult {
             algorithm: strategy.name().to_string(),
@@ -1169,6 +1567,7 @@ where
             final_params: strategy.global_params(&self.fl),
             simulated_seconds: end_ms / 1000.0,
             utilization,
+            faults,
             events: self.events,
         }
     }
@@ -1217,7 +1616,25 @@ where
     }
     Schedule::three_tier(cfg.tau, cfg.pi, cfg.total_iters)
         .map_err(|e| SimError::Run(RunError::Schedule(e)))?;
-    sim.policy.validate().map_err(SimError::Policy)?;
+    sim.faults.validate().map_err(SimError::Fault)?;
+    for p in &sim.faults.permanent {
+        if p.worker >= hierarchy.num_workers() {
+            return Err(SimError::Fault(format!(
+                "permanent crash targets worker {} but the topology has {} workers",
+                p.worker,
+                hierarchy.num_workers()
+            )));
+        }
+    }
+    sim.validate(None).map_err(SimError::Policy)?;
+    for e in 0..hierarchy.num_edges() {
+        sim.policy
+            .validate_for_children(hierarchy.workers_in_edge(e))
+            .map_err(SimError::Policy)?;
+    }
+    sim.policy
+        .validate_for_children(hierarchy.num_edges())
+        .map_err(SimError::Policy)?;
     if sim.env.worker_devices.len() != hierarchy.num_workers() {
         return Err(SimError::Net(format!(
             "{} device profiles for {} workers",

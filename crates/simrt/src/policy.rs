@@ -1,6 +1,6 @@
 //! Synchronization policies and the co-simulation configuration.
 
-use hieradmo_netsim::{Architecture, NetworkEnv};
+use hieradmo_netsim::{Architecture, FaultPlan, NetworkEnv};
 
 /// When an aggregation round is allowed to fire, given that uploads now
 /// arrive at different virtual times.
@@ -64,6 +64,30 @@ impl SyncPolicy {
         }
     }
 
+    /// Validates the policy against a concrete child count `n`: everything
+    /// in [`SyncPolicy::validate`], plus the requirement that a
+    /// `Deadline` quorum not round `ceil(quorum · n)` down to zero — a
+    /// zero-child quorum would let rounds fire with no contributions at
+    /// all (and panics the runtime's clamp for `n == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate_for_children(&self, n: usize) -> Result<(), String> {
+        self.validate()?;
+        if let SyncPolicy::Deadline { quorum, .. } = *self {
+            let count = (quorum * n as f64).ceil();
+            if count < 1.0 {
+                return Err(format!(
+                    "deadline quorum {quorum} rounds ceil(quorum * n) to {count} \
+                     for n = {n} children; the effective quorum must be at least \
+                     1 child"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// A short human-readable label, used in exports and report tables.
     pub fn label(&self) -> String {
         match *self {
@@ -98,10 +122,15 @@ pub struct SimConfig {
     pub net_seed: u64,
     /// The synchronization policy.
     pub policy: SyncPolicy,
+    /// What goes wrong during the run. The empty plan (the default)
+    /// injects nothing and leaves the simulation bitwise identical to a
+    /// fault-free run; see [`hieradmo_netsim::FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
-    /// A config with symmetric `payload_bytes` uploads and downloads.
+    /// A config with symmetric `payload_bytes` uploads and downloads and
+    /// no fault injection.
     pub fn new(
         env: NetworkEnv,
         architecture: Architecture,
@@ -116,7 +145,36 @@ impl SimConfig {
             download_bytes: payload_bytes,
             net_seed,
             policy,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Attaches a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validates the whole co-simulation configuration: payload sizes,
+    /// the policy (against the per-edge child count `workers_per_edge`
+    /// when known), and the fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self, workers_per_edge: Option<usize>) -> Result<(), String> {
+        if self.upload_bytes == 0 {
+            return Err("upload_bytes must be positive".to_string());
+        }
+        if self.download_bytes == 0 {
+            return Err("download_bytes must be positive".to_string());
+        }
+        match workers_per_edge {
+            Some(n) => self.policy.validate_for_children(n)?,
+            None => self.policy.validate()?,
+        }
+        self.faults.validate()?;
+        Ok(())
     }
 }
 
@@ -155,6 +213,65 @@ mod tests {
         let ok = SyncPolicy::AsyncAge { max_staleness: 3 };
         assert!(ok.validate().is_ok());
         assert_eq!(ok.label(), "async(age<=3)");
+    }
+
+    #[test]
+    fn deadline_quorum_rounding_to_zero_children_is_rejected() {
+        let p = SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 100.0,
+        };
+        assert!(p.validate_for_children(4).is_ok());
+        assert!(p.validate_for_children(1).is_ok(), "ceil(0.5) = 1");
+        // Any positive quorum with zero children rounds to zero — the
+        // degenerate case the plain validate() cannot see.
+        let err = p.validate_for_children(0).unwrap_err();
+        assert!(
+            err.contains("at least") && err.contains("1 child"),
+            "error must document the >= 1 child requirement: {err}"
+        );
+        assert!(SyncPolicy::FullSync.validate_for_children(0).is_ok());
+    }
+
+    #[test]
+    fn sim_config_validate_checks_payloads_policy_and_faults() {
+        let base = || {
+            SimConfig::new(
+                NetworkEnv::paper_testbed(2),
+                Architecture::ThreeTier,
+                50_000,
+                7,
+                SyncPolicy::FullSync,
+            )
+        };
+        assert!(base().validate(Some(2)).is_ok());
+
+        let mut cfg = base();
+        cfg.upload_bytes = 0;
+        assert!(cfg.validate(Some(2)).is_err());
+
+        let mut cfg = base();
+        cfg.download_bytes = 0;
+        assert!(cfg.validate(None).is_err());
+
+        let mut cfg = base();
+        cfg.policy = SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 100.0,
+        };
+        assert!(cfg.validate(Some(2)).is_ok());
+        assert!(cfg.validate(Some(0)).is_err(), "quorum rounds to zero");
+
+        let mut cfg = base();
+        cfg.faults = FaultPlan {
+            crash: Some(hieradmo_netsim::CrashProfile {
+                per_step: 1.0,
+                min_downtime_ms: 1.0,
+                max_downtime_ms: 2.0,
+            }),
+            ..FaultPlan::none()
+        };
+        assert!(cfg.validate(Some(2)).is_err(), "bad fault plan");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Mid-run checkpoint/restore: a run stopped at an edge boundary, saved,
+//! reloaded and resumed must reproduce the uninterrupted trajectory
+//! bitwise — curve, γℓ trace and final parameters.
+
+mod common;
+
+use common::sim_fixture;
+use hieradmo::core::algorithms::HierAdMo;
+use hieradmo::core::{
+    run, run_resumed, run_until, RunConfig, RunError, RunResult, TrainingSnapshot,
+};
+use hieradmo::models::zoo;
+
+/// The equivalence fixture stretched to 40 ticks so the stop point (t=15,
+/// an edge boundary k=3 that is *not* a cloud boundary) leaves plenty of
+/// run on both sides, with eval points in both segments.
+fn cfg(dropout: f64) -> (common::SimFixture, RunConfig) {
+    let f = sim_fixture(dropout);
+    let cfg = RunConfig {
+        total_iters: 40,
+        ..f.cfg.clone()
+    };
+    (f, cfg)
+}
+
+fn check_restore_round_trip(dropout: f64, resumed_threads: Option<usize>) {
+    let (f, cfg) = cfg(dropout);
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+
+    let full = run(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg).unwrap();
+    let (first, snap) =
+        run_until(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, 15).unwrap();
+    assert_eq!(snap.tick, 15);
+    assert_eq!(snap.algorithm, "HierAdMo");
+
+    // The snapshot survives serialization bit-for-bit.
+    let snap = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
+
+    let resumed_cfg = RunConfig {
+        threads: resumed_threads,
+        ..cfg.clone()
+    };
+    let resumed = run_resumed(
+        &algo,
+        &model,
+        &f.hierarchy,
+        &f.shards,
+        &f.test,
+        &resumed_cfg,
+        &snap,
+    )
+    .unwrap();
+
+    // The two segments partition the uninterrupted run exactly.
+    assert!(first.curve.points().iter().all(|p| p.iteration <= 15));
+    assert!(resumed.curve.points().iter().all(|p| p.iteration > 15));
+    let concat: Vec<_> = first
+        .curve
+        .points()
+        .iter()
+        .chain(resumed.curve.points())
+        .copied()
+        .collect();
+    assert_eq!(
+        concat,
+        full.curve.points().to_vec(),
+        "dropout={dropout}: concatenated curves must match the full run bitwise"
+    );
+
+    let concat_gamma: Vec<_> = first
+        .gamma_trace
+        .iter()
+        .chain(&resumed.gamma_trace)
+        .copied()
+        .collect();
+    assert_eq!(concat_gamma, full.gamma_trace, "gamma trace differs");
+    let concat_cos: Vec<_> = first
+        .cos_trace
+        .iter()
+        .chain(&resumed.cos_trace)
+        .copied()
+        .collect();
+    assert_eq!(concat_cos, full.cos_trace, "cos trace differs");
+
+    assert_eq!(
+        resumed.final_params, full.final_params,
+        "dropout={dropout}: resumed run must land on the exact same model"
+    );
+}
+
+#[test]
+fn restore_at_edge_boundary_matches_uninterrupted_run() {
+    check_restore_round_trip(0.0, Some(1));
+}
+
+#[test]
+fn restore_replays_dropout_draws_exactly() {
+    check_restore_round_trip(0.3, Some(1));
+}
+
+#[test]
+fn restore_is_thread_count_invariant() {
+    check_restore_round_trip(0.0, Some(4));
+}
+
+#[test]
+fn file_round_trip_preserves_the_snapshot() {
+    let (f, cfg) = cfg(0.0);
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+    let (_, snap) = run_until(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, 20).unwrap();
+
+    let dir = std::env::temp_dir().join("hieradmo-restore-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid_run.json");
+    snap.save(&path).unwrap();
+    let back = TrainingSnapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn invalid_stop_points_and_snapshots_are_rejected() {
+    let (f, cfg) = cfg(0.0);
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+    let go_until = |stop: usize| -> Result<(RunResult, TrainingSnapshot), RunError> {
+        run_until(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, stop)
+    };
+
+    // Off-boundary, zero and past-the-end stop points.
+    assert!(matches!(go_until(7), Err(RunError::BadConfig(_))));
+    assert!(matches!(go_until(0), Err(RunError::BadConfig(_))));
+    assert!(matches!(go_until(45), Err(RunError::BadConfig(_))));
+
+    let (_, snap) = go_until(15).unwrap();
+
+    // Wrong algorithm: HierAdMo-R is a different strategy.
+    let other = HierAdMo::reduced(0.05, 0.5, 0.5);
+    let err = run_resumed(
+        &other,
+        &model,
+        &f.hierarchy,
+        &f.shards,
+        &f.test,
+        &cfg,
+        &snap,
+    );
+    assert!(matches!(err, Err(RunError::BadConfig(_))));
+
+    // A snapshot at (or past) the end of the run cannot be resumed.
+    let (_, done) = go_until(40).unwrap();
+    let err = run_resumed(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, &done);
+    assert!(matches!(err, Err(RunError::BadConfig(_))));
+
+    // Shape mismatch: snapshot against a smaller hierarchy.
+    let mut short = snap.clone();
+    short.workers.truncate(2);
+    let err = run_resumed(
+        &algo,
+        &model,
+        &f.hierarchy,
+        &f.shards,
+        &f.test,
+        &cfg,
+        &short,
+    );
+    assert!(matches!(err, Err(RunError::Data(_))));
+}

@@ -1,0 +1,117 @@
+//! Shared fixtures for the top-level integration suites (`chaos`,
+//! `simrt_equivalence`, `fault_injection`, `checkpoint_restore`): one
+//! small non-iid federation for co-simulation equivalence checks and one
+//! for dropout/convergence checks, so every suite exercises the same
+//! problems and the boilerplate lives in one place.
+
+// Each test binary compiles this module independently and uses a subset.
+#![allow(dead_code)]
+
+use hieradmo::core::{RunConfig, RunResult};
+use hieradmo::data::partition::x_class_partition;
+use hieradmo::data::synthetic::{generate, SyntheticDataset, SyntheticSpec};
+use hieradmo::data::{Dataset, FeatureShape};
+use hieradmo::models::{zoo, Sequential};
+use hieradmo::netsim::{Architecture, NetworkEnv};
+use hieradmo::simrt::{SimConfig, SimResult, SyncPolicy};
+use hieradmo::topology::Hierarchy;
+
+/// A small 2-edge × 2-worker federation for co-simulation checks.
+pub struct SimFixture {
+    pub hierarchy: Hierarchy,
+    pub shards: Vec<Dataset>,
+    pub train: Dataset,
+    pub test: Dataset,
+    pub cfg: RunConfig,
+}
+
+/// 2 edges × 2 workers, non-iid shards, and a schedule whose eval ticks
+/// (3, 6, 9, 12, 15, 18, 20 with τ=5, π=2) cover all three evaluation
+/// paths: mid-interval, edge-boundary (t=15, k=3 odd) and cloud-boundary
+/// (t=20, p=2).
+pub fn sim_fixture(dropout: f64) -> SimFixture {
+    let tt = SyntheticDataset::mnist_like(60, 30, 11);
+    let hierarchy = Hierarchy::balanced(2, 2);
+    let shards = x_class_partition(&tt.train, 4, 2, 11);
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 20,
+        eval_every: 3,
+        batch_size: 8,
+        seed: 42,
+        dropout,
+        threads: Some(1),
+        ..RunConfig::default()
+    };
+    SimFixture {
+        hierarchy,
+        shards,
+        train: tt.train,
+        test: tt.test,
+        cfg,
+    }
+}
+
+/// The paper-testbed network over [`sim_fixture`]'s four workers, under
+/// the given policy, with no fault plan attached.
+pub fn sim_config(net_seed: u64, policy: SyncPolicy) -> SimConfig {
+    SimConfig::new(
+        NetworkEnv::paper_testbed(4),
+        Architecture::ThreeTier,
+        50_000,
+        net_seed,
+        policy,
+    )
+}
+
+/// A tiny 4-class synthetic problem (flat 16-feature inputs, 2 classes per
+/// worker) for dropout and convergence-degradation checks.
+pub fn synthetic_setup() -> (Dataset, Vec<Dataset>, Sequential) {
+    let spec = SyntheticSpec {
+        num_classes: 4,
+        shape: FeatureShape::Flat(16),
+        noise: 0.5,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    let tt = generate(&spec, 30, 15, 41);
+    let shards = x_class_partition(&tt.train, 4, 2, 41);
+    let model = zoo::logistic_regression(&tt.train, 41);
+    (tt.test, shards, model)
+}
+
+/// The run configuration paired with [`synthetic_setup`]: long enough to
+/// converge, with per-tick worker dropout at the given rate.
+pub fn dropout_cfg(dropout: f64) -> RunConfig {
+    RunConfig {
+        eta: 0.05,
+        tau: 5,
+        pi: 2,
+        total_iters: 200,
+        batch_size: 16,
+        eval_every: 100,
+        parallel: false,
+        dropout,
+        ..RunConfig::default()
+    }
+}
+
+/// Asserts that a co-simulation reproduced the core driver's trajectory
+/// bitwise: curve, final parameters and both diagnostics traces.
+pub fn assert_bitwise_equal(reference: &RunResult, sim: &SimResult, label: &str) {
+    assert_eq!(reference.curve, sim.curve, "{label}: curve differs");
+    assert_eq!(
+        reference.final_params, sim.final_params,
+        "{label}: final params differ"
+    );
+    assert_eq!(
+        reference.gamma_trace, sim.gamma_trace,
+        "{label}: gamma trace differs"
+    );
+    assert_eq!(
+        reference.cos_trace, sim.cos_trace,
+        "{label}: cos trace differs"
+    );
+}

@@ -2,45 +2,12 @@
 //! must degrade gracefully, never corrupt the protocol, and vanish
 //! exactly when disabled.
 
+mod common;
+
+use common::{dropout_cfg as cfg, synthetic_setup as setup};
 use hieradmo::core::algorithms::{HierAdMo, HierFavg};
 use hieradmo::core::{run, RunConfig};
-use hieradmo::data::partition::x_class_partition;
-use hieradmo::data::synthetic::{generate, SyntheticSpec};
-use hieradmo::models::zoo;
 use hieradmo::topology::Hierarchy;
-
-fn setup() -> (
-    hieradmo::data::Dataset,
-    Vec<hieradmo::data::Dataset>,
-    hieradmo::models::Sequential,
-) {
-    let spec = SyntheticSpec {
-        num_classes: 4,
-        shape: hieradmo::data::FeatureShape::Flat(16),
-        noise: 0.5,
-        prototype_scale: 1.0,
-        max_shift: 0,
-        class_group: 1,
-    };
-    let tt = generate(&spec, 30, 15, 41);
-    let shards = x_class_partition(&tt.train, 4, 2, 41);
-    let model = zoo::logistic_regression(&tt.train, 41);
-    (tt.test, shards, model)
-}
-
-fn cfg(dropout: f64) -> RunConfig {
-    RunConfig {
-        eta: 0.05,
-        tau: 5,
-        pi: 2,
-        total_iters: 200,
-        batch_size: 16,
-        eval_every: 100,
-        parallel: false,
-        dropout,
-        ..RunConfig::default()
-    }
-}
 
 #[test]
 fn zero_dropout_is_bit_identical_to_fault_free() {

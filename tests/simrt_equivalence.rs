@@ -5,80 +5,20 @@
 //! final parameters, same γℓ/cos θ diagnostics — for any thread count and
 //! any network seed. The network only stretches the time axis.
 
+mod common;
+
+use common::{assert_bitwise_equal, sim_config, sim_fixture};
 use hieradmo::core::algorithms::HierAdMo;
-use hieradmo::core::{run, RunConfig, RunResult, Strategy};
-use hieradmo::data::partition::x_class_partition;
-use hieradmo::data::synthetic::SyntheticDataset;
-use hieradmo::data::Dataset;
+use hieradmo::core::{run, RunConfig, Strategy};
 use hieradmo::models::zoo;
-use hieradmo::netsim::{Architecture, NetworkEnv};
-use hieradmo::simrt::{simulate, SimConfig, SimResult, SyncPolicy};
-use hieradmo::topology::Hierarchy;
+use hieradmo::simrt::{simulate, SimConfig, SyncPolicy};
 
-struct Fixture {
-    hierarchy: Hierarchy,
-    shards: Vec<Dataset>,
-    train: Dataset,
-    test: Dataset,
-    cfg: RunConfig,
-}
-
-/// 2 edges × 2 workers, non-iid shards, and a schedule whose eval ticks
-/// (3, 6, 9, 12, 15, 18, 20 with τ=5, π=2) cover all three evaluation
-/// paths: mid-interval, edge-boundary (t=15, k=3 odd) and cloud-boundary
-/// (t=20, p=2).
-fn fixture(dropout: f64) -> Fixture {
-    let tt = SyntheticDataset::mnist_like(60, 30, 11);
-    let hierarchy = Hierarchy::balanced(2, 2);
-    let shards = x_class_partition(&tt.train, 4, 2, 11);
-    let cfg = RunConfig {
-        tau: 5,
-        pi: 2,
-        total_iters: 20,
-        eval_every: 3,
-        batch_size: 8,
-        seed: 42,
-        dropout,
-        threads: Some(1),
-        ..RunConfig::default()
-    };
-    Fixture {
-        hierarchy,
-        shards,
-        train: tt.train,
-        test: tt.test,
-        cfg,
-    }
-}
-
-fn sim_config(net_seed: u64) -> SimConfig {
-    SimConfig::new(
-        NetworkEnv::paper_testbed(4),
-        Architecture::ThreeTier,
-        50_000,
-        net_seed,
-        SyncPolicy::FullSync,
-    )
-}
-
-fn assert_bitwise_equal(reference: &RunResult, sim: &SimResult, label: &str) {
-    assert_eq!(reference.curve, sim.curve, "{label}: curve differs");
-    assert_eq!(
-        reference.final_params, sim.final_params,
-        "{label}: final params differ"
-    );
-    assert_eq!(
-        reference.gamma_trace, sim.gamma_trace,
-        "{label}: gamma trace differs"
-    );
-    assert_eq!(
-        reference.cos_trace, sim.cos_trace,
-        "{label}: cos trace differs"
-    );
+fn full_sync_config(net_seed: u64) -> SimConfig {
+    sim_config(net_seed, SyncPolicy::FullSync)
 }
 
 fn check_equivalence<S: Strategy>(algo: &S, dropout: f64) {
-    let f = fixture(dropout);
+    let f = sim_fixture(dropout);
     let model = zoo::logistic_regression(&f.train, 1);
     let reference =
         run(algo, &model, &f.hierarchy, &f.shards, &f.test, &f.cfg).expect("reference run failed");
@@ -95,7 +35,7 @@ fn check_equivalence<S: Strategy>(algo: &S, dropout: f64) {
             &f.shards,
             &f.test,
             &cfg,
-            &sim_config(7),
+            &full_sync_config(7),
         )
         .expect("simulation failed");
         assert_bitwise_equal(
@@ -125,7 +65,7 @@ fn full_sync_matches_driver_under_dropout() {
 
 #[test]
 fn network_seed_changes_time_axis_but_not_trajectory() {
-    let f = fixture(0.0);
+    let f = sim_fixture(0.0);
     let model = zoo::logistic_regression(&f.train, 1);
     let algo = HierAdMo::adaptive(0.01, 0.5);
     let a = simulate(
@@ -135,7 +75,7 @@ fn network_seed_changes_time_axis_but_not_trajectory() {
         &f.shards,
         &f.test,
         &f.cfg,
-        &sim_config(1),
+        &full_sync_config(1),
     )
     .expect("sim a failed");
     let b = simulate(
@@ -145,7 +85,7 @@ fn network_seed_changes_time_axis_but_not_trajectory() {
         &f.shards,
         &f.test,
         &f.cfg,
-        &sim_config(2),
+        &full_sync_config(2),
     )
     .expect("sim b failed");
     assert_eq!(a.curve, b.curve, "trajectory must not depend on net seed");
@@ -168,7 +108,7 @@ fn network_seed_changes_time_axis_but_not_trajectory() {
         &f.shards,
         &f.test,
         &f.cfg,
-        &sim_config(1),
+        &full_sync_config(1),
     )
     .expect("sim c failed");
     assert_eq!(a.simulated_seconds, c.simulated_seconds);

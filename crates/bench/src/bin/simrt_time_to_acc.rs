@@ -4,7 +4,9 @@
 //! ```text
 //! cargo run -p hieradmo-bench --release --bin simrt_time_to_acc -- \
 //!     [--scale quick|paper] [--target 0.8] [--workload logistic-mnist] \
-//!     [--seed 41] [--faults none|flaky|hostile]
+//!     [--seed 41] [--faults none|flaky|hostile] \
+//!     [--adversary none|sign_flip|momentum_poison] \
+//!     [--defense mean|trimmed|median|clip]
 //! ```
 //!
 //! Unlike `fig2hl_time` — which trains a logical-time curve and *replays*
@@ -24,9 +26,19 @@
 //! `--faults` attaches a named [`FaultScenario`] plan (crashes, lossy
 //! links, stragglers) to every cell, reporting time-to-accuracy *under
 //! faults*; per-actor fault tallies ride along in each record.
+//!
+//! `--adversary` turns a named minority of workers Byzantine
+//! ([`AdversaryScenario`]) and `--defense` selects the robust aggregation
+//! rule that guards both the model and momentum reductions — one
+//! (attack, defense) cell per invocation, so a shell loop over both flags
+//! sweeps the full grid (recipe in `EXPERIMENTS.md`). The defaults
+//! (`none` × `mean`) reproduce the clean run bit-for-bit; per-actor
+//! poisoned-upload tallies ride along in each record.
 
 use hieradmo_bench::cli::Cli;
-use hieradmo_bench::{FaultScenario, Report, Scale, Workload};
+use hieradmo_bench::{
+    defense_from_name, AdversaryScenario, FaultScenario, Report, Scale, Workload,
+};
 use hieradmo_core::algorithms::HierAdMo;
 use hieradmo_core::{RunConfig, Strategy};
 use hieradmo_data::partition::x_class_partition;
@@ -49,6 +61,8 @@ fn main() {
     let seed: u64 = cli.get_or("seed", 41);
     let workload = Workload::from_name(cli.get("workload").unwrap_or("logistic-mnist"));
     let scenario = FaultScenario::from_name(cli.get("faults").unwrap_or("none"));
+    let adversary = AdversaryScenario::from_name(cli.get("adversary").unwrap_or("none"));
+    let defense = defense_from_name(cli.get("defense").unwrap_or("mean"));
 
     let tt = workload.dataset(scale, seed);
     let model = workload.model(&tt.train, seed.wrapping_add(100));
@@ -76,6 +90,8 @@ fn main() {
             "policy".into(),
             "arch".into(),
             "faults".into(),
+            "adversary".into(),
+            "defense".into(),
             format!("time to {target:.2} (s)"),
             "total (s)".into(),
             "final acc %".into(),
@@ -104,15 +120,19 @@ fn main() {
             batch_size: scale.batch_size(),
             eval_every: (total / 20).max(1),
             seed,
+            aggregator: defense,
+            adversary: adversary.plan(WORKERS),
             ..RunConfig::default()
         };
         let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
         for &policy in &policies {
             eprintln!(
-                "[simrt] {} under {} on {arch:?} (faults: {})",
+                "[simrt] {} under {} on {arch:?} (faults: {}, adversary: {}, defense: {})",
                 algo.name(),
                 policy.label(),
-                scenario.name()
+                scenario.name(),
+                adversary.name(),
+                defense.label()
             );
             let sim = SimConfig::new(env.clone(), arch, payload, seed.wrapping_add(7), policy)
                 .with_faults(scenario.plan());
@@ -130,12 +150,15 @@ fn main() {
                 target,
                 res.utilization.clone(),
             )
-            .with_faults(res.faults.clone());
+            .with_faults(res.faults.clone())
+            .with_adversaries(res.adversaries.clone());
             report.row(
                 vec![
                     res.policy.clone(),
                     format!("{arch:?}"),
                     scenario.name().into(),
+                    adversary.name().into(),
+                    defense.label().to_string(),
                     record
                         .time_to_target_s
                         .map_or("never".into(), |s| format!("{s:.2}")),

@@ -20,4 +20,4 @@ pub mod spec;
 
 pub use harness::{run_on_scenario, Outcome};
 pub use report::Report;
-pub use scenarios::{FaultScenario, Scale, Workload};
+pub use scenarios::{defense_from_name, AdversaryScenario, FaultScenario, Scale, Workload};

@@ -1,10 +1,13 @@
 //! The seven Table II workloads (model × dataset), the scale knob, and
 //! named fault scenarios for the chaos benches.
 
+use hieradmo_core::RobustAggregator;
 use hieradmo_data::dataset::TrainTest;
 use hieradmo_data::synthetic::SyntheticDataset;
 use hieradmo_models::{zoo, Sequential};
-use hieradmo_netsim::{CrashProfile, DelaySpikes, FaultPlan, LinkFaults};
+use hieradmo_netsim::{
+    AdversaryPlan, AttackModel, CrashProfile, DelaySpikes, FaultPlan, LinkFaults,
+};
 
 /// How large to make each experiment.
 ///
@@ -138,6 +141,78 @@ impl FaultScenario {
                 }),
             },
         }
+    }
+}
+
+/// A named Byzantine-worker scenario for the co-simulation benches, so
+/// `simrt_time_to_acc` can sweep an attack × defense grid with
+/// reproducible, CLI-selectable plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryScenario {
+    /// No Byzantine workers (the empty plan).
+    None,
+    /// A strict minority (one in four, rounded up to at least one worker)
+    /// uploads sign-flipped, 3×-amplified state — the classic label-flip
+    /// style model attack.
+    SignFlip,
+    /// The same minority poisons only its momentum upload (5× reversed),
+    /// leaving the model honest — the HierAdMo-specific vector aimed at
+    /// the Eq. 6–7 adaptive γℓ path.
+    MomentumPoison,
+}
+
+impl AdversaryScenario {
+    /// Parses a CLI scenario name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name, listing the valid ones.
+    pub fn from_name(name: &str) -> AdversaryScenario {
+        match name {
+            "none" => AdversaryScenario::None,
+            "sign_flip" => AdversaryScenario::SignFlip,
+            "momentum_poison" => AdversaryScenario::MomentumPoison,
+            other => {
+                panic!("unknown adversary scenario {other}; valid: none sign_flip momentum_poison")
+            }
+        }
+    }
+
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryScenario::None => "none",
+            AdversaryScenario::SignFlip => "sign_flip",
+            AdversaryScenario::MomentumPoison => "momentum_poison",
+        }
+    }
+
+    /// The concrete plan over a topology of `workers` flat workers: the
+    /// first `max(1, workers / 4)` indices turn Byzantine. Always passes
+    /// `AdversaryPlan::validate`.
+    pub fn plan(&self, workers: usize) -> AdversaryPlan {
+        let attack = match self {
+            AdversaryScenario::None => return AdversaryPlan::none(),
+            AdversaryScenario::SignFlip => AttackModel::SignFlip { scale: 3.0 },
+            AdversaryScenario::MomentumPoison => AttackModel::MomentumPoison { scale: 5.0 },
+        };
+        AdversaryPlan::uniform(0..(workers / 4).max(1).min(workers), attack)
+    }
+}
+
+/// Parses a CLI defense name into the robust aggregation rule applied to
+/// every model *and* momentum reduction.
+///
+/// # Panics
+///
+/// Panics on an unknown name, listing the valid ones.
+pub fn defense_from_name(name: &str) -> RobustAggregator {
+    match name {
+        "mean" => RobustAggregator::Mean,
+        "trimmed" => RobustAggregator::TrimmedMean { trim_ratio: 0.25 },
+        "median" => RobustAggregator::Median,
+        "clip" => RobustAggregator::NormClip { threshold: 10.0 },
+        other => panic!("unknown defense {other}; valid: mean trimmed median clip"),
     }
 }
 
@@ -330,5 +405,39 @@ mod tests {
         }
         assert!(FaultScenario::None.plan().is_empty());
         assert!(!FaultScenario::Flaky.plan().is_empty());
+    }
+
+    #[test]
+    fn adversary_scenarios_parse_and_validate() {
+        for (name, scenario) in [
+            ("none", AdversaryScenario::None),
+            ("sign_flip", AdversaryScenario::SignFlip),
+            ("momentum_poison", AdversaryScenario::MomentumPoison),
+        ] {
+            assert_eq!(AdversaryScenario::from_name(name), scenario);
+            assert_eq!(scenario.name(), name);
+            for workers in [1, 4, 8] {
+                let plan = scenario.plan(workers);
+                plan.validate()
+                    .unwrap_or_else(|e| panic!("{name} plan invalid: {e}"));
+                if scenario == AdversaryScenario::None {
+                    assert!(plan.is_empty());
+                } else {
+                    // A strict minority, and at least one Byzantine worker.
+                    assert!(!plan.is_empty());
+                    assert!(plan.byzantine.len() <= (workers / 4).max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn defenses_parse_and_validate() {
+        for name in ["mean", "trimmed", "median", "clip"] {
+            defense_from_name(name)
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} defense invalid: {e}"));
+        }
+        assert_eq!(defense_from_name("mean"), RobustAggregator::Mean);
     }
 }

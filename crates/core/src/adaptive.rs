@@ -15,15 +15,22 @@ pub const GAMMA_EDGE_CAP: f32 = 0.99;
 
 /// Eq. (7): maps a measured cosine to the adapted `γℓ`.
 ///
+/// A non-finite cosine — possible only when upstream inputs are poisoned
+/// or overflowed, since [`Vector::cosine`] already guards zero/overflow
+/// norms — maps to 0 (no edge momentum), *not* to the cap: a NaN fails
+/// every ordered comparison, so without the explicit guard it would fall
+/// through to the 0.99 branch and hand an adversary maximal amplification.
+///
 /// ```
 /// use hieradmo_core::adaptive::clamp_gamma;
 ///
 /// assert_eq!(clamp_gamma(-0.4), 0.0);   // disagreement → no edge momentum
 /// assert_eq!(clamp_gamma(0.6), 0.6);    // agreement → proportional weight
 /// assert_eq!(clamp_gamma(0.999), 0.99); // capped below 1
+/// assert_eq!(clamp_gamma(f32::NAN), 0.0); // poisoned input → no momentum
 /// ```
 pub fn clamp_gamma(cos_theta: f32) -> f32 {
-    if cos_theta <= 0.0 {
+    if !cos_theta.is_finite() || cos_theta <= 0.0 {
         0.0
     } else if cos_theta < GAMMA_EDGE_CAP {
         cos_theta
@@ -67,6 +74,44 @@ mod tests {
         assert_eq!(clamp_gamma(0.989), 0.989);
         assert_eq!(clamp_gamma(0.99), 0.99);
         assert_eq!(clamp_gamma(1.0), 0.99);
+    }
+
+    #[test]
+    fn clamp_stays_in_range_for_poisoned_cosines() {
+        // Regression: a NaN cosine fails both ordered comparisons, so the
+        // pre-guard code fell through to the 0.99 cap — the *worst* value
+        // to hand an adversary. Every pathological input must land in
+        // [0, GAMMA_EDGE_CAP], with non-finite inputs pinned to 0.
+        assert_eq!(clamp_gamma(f32::NAN), 0.0);
+        assert_eq!(clamp_gamma(f32::INFINITY), 0.0);
+        assert_eq!(clamp_gamma(f32::NEG_INFINITY), 0.0);
+        for cos in [-1e30, -1.0, 0.0, 1e-30, 0.5, 1.0, 1e30] {
+            let g = clamp_gamma(cos);
+            assert!((0.0..=GAMMA_EDGE_CAP).contains(&g), "cos={cos} -> {g}");
+        }
+    }
+
+    #[test]
+    fn weighted_cosine_of_extreme_norm_vectors_yields_clampable_gamma() {
+        // A momentum-poisoning adversary uploads y-accumulators at extreme
+        // norms. The cosine path must stay finite (Vector::cosine guards
+        // overflowed norms by returning 0) and clamp_gamma must keep the
+        // Eq. 7 factor in [0, 0.99].
+        let g = Vector::from(vec![1.0, 2.0]);
+        for y in [
+            Vector::from(vec![f32::MAX, f32::MAX]),
+            Vector::from(vec![-f32::MAX, f32::MAX]),
+            Vector::from(vec![1e38, -1e38]),
+            Vector::zeros(2),
+        ] {
+            let cos = weighted_cosine([(1.0, &g, &y)]);
+            let gamma = clamp_gamma(cos);
+            assert!(
+                (0.0..=GAMMA_EDGE_CAP).contains(&gamma),
+                "y={:?} -> cos={cos}, gamma={gamma}",
+                y.as_slice()
+            );
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl Strategy for Cfl {
 
     fn edge_aggregate(&self, k: usize, view: &mut EdgeView<'_>) {
         let participants = self.participants(k, view.num_workers());
-        let avg = Vector::weighted_average(
+        let avg = view.aggregate(
             participants
                 .iter()
                 .map(|&j| (view.worker_weight(j), &view.workers[j].x)),

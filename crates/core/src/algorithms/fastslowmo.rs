@@ -74,9 +74,16 @@ impl Strategy for FastSlowMo {
     fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
-        // Fast state: average model and worker momentum.
-        let x_avg = state.average_worker_models();
-        let y_avg = Vector::weighted_average(
+        // Fast state: aggregate model and worker momentum — both worker
+        // uploads, so both route through the robust rule.
+        let x_avg = state.aggregate(
+            state
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (state.weights.worker_in_total(i), &w.x)),
+        );
+        let y_avg = state.aggregate(
             state
                 .workers
                 .iter()

@@ -72,8 +72,14 @@ impl Strategy for FedAdc {
     fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
-        let x_avg = state.average_worker_models();
-        let v_avg = Vector::weighted_average(
+        let x_avg = state.aggregate(
+            state
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (state.weights.worker_in_total(i), &w.x)),
+        );
+        let v_avg = state.aggregate(
             state
                 .workers
                 .iter()

@@ -63,9 +63,16 @@ impl Strategy for FedNag {
     fn edge_aggregate(&self, _k: usize, _view: &mut EdgeView<'_>) {}
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
-        // FedNAG aggregates both the model and the momentum state.
-        let x_avg = state.average_worker_models();
-        let y_avg = Vector::weighted_average(
+        // FedNAG aggregates both the model and the momentum state — both
+        // are worker uploads, so both route through the robust rule.
+        let x_avg = state.aggregate(
+            state
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (state.weights.worker_in_total(i), &w.x)),
+        );
+        let y_avg = state.aggregate(
             state
                 .workers
                 .iter()

@@ -283,7 +283,7 @@ impl Strategy for HierAdMo {
                     .map(|((wt, w), _)| (wt / fresh_weight, &w.grad_accum, &w.y_accum)),
             ),
             GammaMode::AdaptiveAgreement => {
-                let edge_disp = Vector::weighted_average(
+                let edge_disp = view.aggregate(
                     view.weighted_workers()
                         .zip(staleness)
                         .filter(|(_, &s)| s == 0)
@@ -308,14 +308,15 @@ impl Strategy for HierAdMo {
         };
 
         // Lines 11–13 with the staleness discount folded into the data
-        // weights (`Vector::weighted_average` renormalizes internally).
+        // weights (the aggregator renormalizes internally), routed through
+        // the federation's robust aggregation rule.
         let age = |s: usize| 1.0 / (1.0 + s as f64);
-        let y_minus = Vector::weighted_average(
+        let y_minus = view.aggregate(
             view.weighted_workers()
                 .zip(staleness)
                 .map(|((wt, w), &s)| (wt * age(s), &w.y)),
         );
-        let y_plus_new = Vector::weighted_average(
+        let y_plus_new = view.aggregate(
             view.weighted_workers()
                 .zip(staleness)
                 .map(|((wt, w), &s)| (wt * age(s), &w.x)),
@@ -349,13 +350,13 @@ impl Strategy for HierAdMo {
             return;
         }
         let age = |s: usize| 1.0 / (1.0 + s as f64);
-        let y_cloud = Vector::weighted_average(state.edges.iter().enumerate().map(|(l, e)| {
+        let y_cloud = state.aggregate(state.edges.iter().enumerate().map(|(l, e)| {
             (
                 state.weights.edge_in_total(l) * age(staleness[l]),
                 &e.y_minus,
             )
         }));
-        let x_cloud = Vector::weighted_average(state.edges.iter().enumerate().map(|(l, e)| {
+        let x_cloud = state.aggregate(state.edges.iter().enumerate().map(|(l, e)| {
             (
                 state.weights.edge_in_total(l) * age(staleness[l]),
                 &e.x_plus,

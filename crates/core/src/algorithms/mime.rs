@@ -83,14 +83,15 @@ impl Strategy for Mime {
         // *sum* of the round's mini-batch gradients, so normalize by the
         // counted steps — otherwise the statistic scales with τπ and the
         // blended local direction diverges.
-        let g_avg = Vector::weighted_average(
-            state
-                .workers
-                .iter()
-                .enumerate()
-                .map(|(i, w)| (state.weights.worker_in_total(i), &w.grad_accum)),
-        )
-        .scaled(1.0 / state.workers[0].steps.max(1) as f32);
+        let g_avg = state
+            .aggregate(
+                state
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (state.weights.worker_in_total(i), &w.grad_accum)),
+            )
+            .scaled(1.0 / state.workers[0].steps.max(1) as f32);
         // m ← (1−β)·ḡ + β·m
         state.cloud.v.scale_in_place(self.beta);
         state.cloud.v.axpy(1.0 - self.beta, &g_avg);

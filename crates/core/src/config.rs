@@ -1,6 +1,9 @@
 //! Run configuration: the paper's hyper-parameters in one struct.
 
+use hieradmo_netsim::AdversaryPlan;
 use serde::{Deserialize, Serialize};
+
+use crate::robust::RobustAggregator;
 
 /// Hyper-parameters of one federated training run.
 ///
@@ -68,6 +71,19 @@ pub struct RunConfig {
     /// large-momentum regimes where fixed γℓ diverges (see the
     /// Fig. 2(i)–(k) measurements in `EXPERIMENTS.md`).
     pub clip_norm: Option<f32>,
+    /// The aggregation rule every child reduction (worker → edge and
+    /// edge → cloud, model and momentum alike) routes through. The default
+    /// ([`RobustAggregator::Mean`]) is the paper's data-weighted mean and
+    /// keeps runs bitwise identical to configs that predate this field.
+    #[serde(default)]
+    pub aggregator: RobustAggregator,
+    /// Which workers are Byzantine and what each one does to its uploads.
+    /// The empty plan (default) corrupts nothing, draws nothing, and is
+    /// bitwise identical to a run without adversary injection. Adversary
+    /// RNG streams derive from [`RunConfig::seed`], so the same poisoned
+    /// trajectory replays under any network timing seed.
+    #[serde(default)]
+    pub adversary: AdversaryPlan,
 }
 
 impl Default for RunConfig {
@@ -87,6 +103,8 @@ impl Default for RunConfig {
             train_eval_cap: 512,
             dropout: 0.0,
             clip_norm: None,
+            aggregator: RobustAggregator::default(),
+            adversary: AdversaryPlan::none(),
         }
     }
 }
@@ -139,6 +157,8 @@ impl RunConfig {
         if self.threads == Some(0) {
             return Err("threads must be at least 1 when set".into());
         }
+        self.aggregator.validate()?;
+        self.adversary.validate()?;
         Ok(())
     }
 
@@ -198,6 +218,33 @@ mod tests {
         assert!(bad(&|c| c.batch_size = 0));
         assert!(bad(&|c| c.clip_norm = Some(0.0)));
         assert!(bad(&|c| c.clip_norm = Some(f32::NAN)));
+        assert!(bad(
+            &|c| c.aggregator = RobustAggregator::TrimmedMean { trim_ratio: 0.5 }
+        ));
+        assert!(bad(&|c| {
+            c.adversary = AdversaryPlan::uniform(
+                [0],
+                hieradmo_netsim::AttackModel::SignFlip { scale: f32::NAN },
+            );
+        }));
+    }
+
+    #[test]
+    fn legacy_configs_without_robustness_fields_deserialize_to_defaults() {
+        // A config serialized before the robustness layer existed carries
+        // neither `aggregator` nor `adversary`; it must deserialize to the
+        // identity defaults (plain mean, no adversaries).
+        let json = serde_json::to_string(&RunConfig::default()).unwrap();
+        // `aggregator` and `adversary` are the struct's last two fields:
+        // drop everything from `,"aggregator"` on and re-close the object.
+        let cut = json
+            .find(",\"aggregator\"")
+            .expect("serialized config must contain the aggregator field");
+        let legacy = format!("{}}}", &json[..cut]);
+        let back: RunConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.aggregator, RobustAggregator::Mean);
+        assert!(back.adversary.is_empty());
+        assert_eq!(back, RunConfig::default());
     }
 
     #[test]

@@ -13,13 +13,15 @@ use std::mem;
 use std::time::{Duration, Instant};
 
 use hieradmo_data::{Batcher, Dataset};
-use hieradmo_metrics::{ConvergenceCurve, EvalPoint};
+use hieradmo_metrics::{AdversaryCounters, ConvergenceCurve, EvalPoint};
 use hieradmo_models::{EvalSums, Model};
+use hieradmo_netsim::adversary::{AdversarySampler, AttackModel};
 use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Schedule, ScheduleError, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::byzantine::{corrupt_upload, replay_upload};
 use crate::checkpoint::TrainingSnapshot;
 use crate::config::RunConfig;
 /// Samples per evaluation chunk, re-exported so alternative drivers (the
@@ -125,6 +127,10 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Per-phase wall-clock breakdown of `elapsed`.
     pub timings: PhaseTimings,
+    /// Per-worker Byzantine corruption tallies, indexed like the
+    /// hierarchy's workers. All-zero (but still one entry per worker)
+    /// when [`RunConfig::adversary`](crate::RunConfig) is empty.
+    pub adversaries: Vec<AdversaryCounters>,
 }
 
 /// Runs `strategy` on the given topology/data with the paper's training
@@ -339,6 +345,19 @@ where
     if let Some(i) = worker_data.iter().position(Dataset::is_empty) {
         return Err(RunError::Data(format!("worker {i} has no data")));
     }
+    if let Some(b) = cfg
+        .adversary
+        .byzantine
+        .iter()
+        .find(|b| b.worker >= hierarchy.num_workers())
+    {
+        return Err(RunError::BadConfig(format!(
+            "adversary plan marks worker {} Byzantine, but the hierarchy has \
+             only {} workers",
+            b.worker,
+            hierarchy.num_workers()
+        )));
+    }
     let schedule = Schedule::three_tier(cfg.tau, cfg.pi, cfg.total_iters)?;
 
     let started = Instant::now();
@@ -348,6 +367,7 @@ where
     // thread holds `&mut state`, so the engine keeps its own copy.
     let engine_weights = weights.clone();
     let mut state = FlState::new(hierarchy.clone(), weights, &model.params());
+    state.aggregator = cfg.aggregator;
     strategy.init(&mut state);
     if let Some(snap) = resume {
         // All algorithm state lives in the three tier vectors, so restoring
@@ -383,6 +403,18 @@ where
     // Failure-injection RNG: drawn per (tick, worker) serially on the main
     // thread so runs stay deterministic regardless of threading.
     let mut fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5f_5f5f_5f5f_5f5f);
+    // Byzantine workers: each owns a salted per-worker adversary stream
+    // derived from the *training* seed, so the same poisoned trajectory
+    // replays under any network seed and any thread count (uploads are
+    // corrupted serially on the main thread, in flat worker order).
+    let mut adversaries: Vec<Option<(AttackModel, AdversarySampler)>> = (0..state.workers.len())
+        .map(|i| {
+            cfg.adversary
+                .attack_for(i)
+                .map(|a| (a, AdversarySampler::from_stream(cfg.seed, i as u64)))
+        })
+        .collect();
+    let mut adversary_counters = vec![AdversaryCounters::default(); state.workers.len()];
 
     let ctx = ExecCtx {
         strategy,
@@ -415,6 +447,14 @@ where
                     let c = ctxs[i].as_mut().expect("step context double checkout");
                     c.batcher.next_batch_into(&mut c.batch);
                 }
+                // Adversary streams advance once per upload (edge
+                // boundary); replay them too, without touching state.
+                if tick.edge_aggregation.is_some() {
+                    let dim = state.dim();
+                    for (attack, sampler) in adversaries.iter_mut().flatten() {
+                        replay_upload(dim, attack, sampler);
+                    }
+                }
                 continue;
             }
 
@@ -446,6 +486,23 @@ where
 
             if let Some(k) = tick.edge_aggregation {
                 let t0 = Instant::now();
+                // Byzantine workers corrupt their upload at the moment it
+                // becomes visible to the edge — i.e. right before the edge
+                // aggregates. In this synchronous driver the worker state
+                // *is* the upload, so corrupt it in place; the
+                // redistribution at the end of `edge_aggregate` then
+                // overwrites the poisoned fields, exactly as a mailbox
+                // model would.
+                for (i, adv) in adversaries.iter_mut().enumerate() {
+                    if let Some((attack, sampler)) = adv {
+                        corrupt_upload(
+                            &mut state.workers[i],
+                            attack,
+                            sampler,
+                            &mut adversary_counters[i],
+                        );
+                    }
+                }
                 edge_aggregations(&pool, ctx, &mut eval_model, &mut state, k, threads);
                 let n_edges = state.edges.len() as f32;
                 let mean_gamma = state.edges.iter().map(|e| e.gamma_edge).sum::<f32>() / n_edges;
@@ -493,6 +550,7 @@ where
             final_params,
             elapsed: started.elapsed(),
             timings,
+            adversaries: adversary_counters,
         },
         snapshot,
     ))

@@ -52,12 +52,14 @@
 
 pub mod adaptive;
 pub mod algorithms;
+pub mod byzantine;
 pub mod checkpoint;
 pub mod compression;
 pub mod config;
 pub mod driver;
 pub mod fleet;
 mod pool;
+pub mod robust;
 pub mod state;
 pub mod strategy;
 pub mod theory;
@@ -66,5 +68,6 @@ pub mod virtual_update;
 pub use checkpoint::{Checkpoint, TrainingSnapshot};
 pub use config::RunConfig;
 pub use driver::{run, run_resumed, run_until, PhaseTimings, RunError, RunResult};
+pub use robust::RobustAggregator;
 pub use state::{CloudState, EdgeState, EdgeView, FlState, WorkerState};
 pub use strategy::{Strategy, Tier};

@@ -159,6 +159,7 @@ where
                     &mut item.workers,
                     &mut item.state,
                     ctx.weights,
+                    ctx.cfg.aggregator,
                 );
                 ctx.strategy.edge_aggregate(k, &mut view);
             }

@@ -1,0 +1,354 @@
+//! Byzantine-robust aggregation rules.
+//!
+//! Every reduction of child states in this crate — worker → edge and
+//! edge → cloud, for models *and* momenta — funnels through a
+//! [`RobustAggregator`]. The default, [`RobustAggregator::Mean`], is the
+//! paper's data-weighted mean and routes through the exact same
+//! [`Vector::weighted_average`] code path as before, so a run configured
+//! with the default is bitwise identical to one that predates this module.
+//! The remaining rules trade a little statistical efficiency for bounded
+//! influence of malicious children (see DESIGN §12 for the trade-off
+//! table):
+//!
+//! * [`RobustAggregator::TrimmedMean`] — coordinate-wise: drop the
+//!   `⌊trim_ratio · n⌋` largest and smallest values per coordinate, then
+//!   take the data-weighted mean of the survivors. Tolerates up to
+//!   `trim_ratio · n` Byzantine children.
+//! * [`RobustAggregator::Median`] — coordinate-wise weighted median; the
+//!   `trim_ratio → 0.5` limit. Maximal breakdown point, highest variance.
+//! * [`RobustAggregator::NormClip`] — rescale any child whose Euclidean
+//!   norm exceeds `threshold` down to the threshold, then take the
+//!   data-weighted mean. Defends against magnitude attacks only, but is
+//!   the cheapest rule and never discards honest information.
+
+use hieradmo_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// A rule for reducing weighted child vectors to one aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum RobustAggregator {
+    /// The paper's data-weighted mean (the identity default): no defense,
+    /// bitwise identical to the historical `Vector::weighted_average`.
+    #[default]
+    Mean,
+    /// Coordinate-wise trimmed mean: per coordinate, drop the
+    /// `⌊trim_ratio · n⌋` smallest and largest values, then take the
+    /// data-weighted mean of the survivors (weights renormalized over the
+    /// survivors). `trim_ratio = 0` never trims and reduces to `Mean`.
+    TrimmedMean {
+        /// Fraction trimmed from *each* end, in `[0, 0.5)`.
+        trim_ratio: f64,
+    },
+    /// Coordinate-wise weighted median: per coordinate, the smallest value
+    /// whose cumulative data weight reaches half the total; when the
+    /// cumulative weight lands on exactly half at a value boundary, the two
+    /// straddling values are averaged (the textbook even-count convention —
+    /// without it, a median over two equally-weighted children degenerates
+    /// to picking one child wholesale).
+    Median,
+    /// Norm clipping: children whose Euclidean norm exceeds `threshold`
+    /// are rescaled to `threshold` before the data-weighted mean. When no
+    /// child exceeds the threshold this reduces to `Mean`.
+    NormClip {
+        /// Maximum tolerated child norm; must be positive and finite.
+        threshold: f32,
+    },
+}
+
+impl RobustAggregator {
+    /// A short human-readable label, used in exports and report tables.
+    pub fn label(&self) -> String {
+        match *self {
+            RobustAggregator::Mean => "mean".to_string(),
+            RobustAggregator::TrimmedMean { trim_ratio } => format!("trimmed({trim_ratio})"),
+            RobustAggregator::Median => "median".to_string(),
+            RobustAggregator::NormClip { threshold } => format!("clip({threshold})"),
+        }
+    }
+
+    /// Validates the rule's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            RobustAggregator::Mean | RobustAggregator::Median => Ok(()),
+            RobustAggregator::TrimmedMean { trim_ratio } => {
+                if !(trim_ratio.is_finite() && (0.0..0.5).contains(&trim_ratio)) {
+                    return Err(format!(
+                        "trimmed-mean trim_ratio must be in [0, 0.5), got {trim_ratio}"
+                    ));
+                }
+                Ok(())
+            }
+            RobustAggregator::NormClip { threshold } => {
+                if !(threshold.is_finite() && threshold > 0.0) {
+                    return Err(format!(
+                        "norm-clip threshold must be positive and finite, got {threshold}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reduces weighted child vectors under this rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, the vectors' lengths differ, or the
+    /// total weight is not positive — the same contract as
+    /// [`Vector::weighted_average`].
+    pub fn aggregate<'a, I>(&self, items: I) -> Vector
+    where
+        I: IntoIterator<Item = (f64, &'a Vector)>,
+    {
+        match *self {
+            RobustAggregator::Mean => Vector::weighted_average(items),
+            RobustAggregator::TrimmedMean { trim_ratio } => {
+                let children: Vec<(f64, &Vector)> = items.into_iter().collect();
+                let g = (trim_ratio * children.len() as f64).floor() as usize;
+                if g == 0 {
+                    // Nothing to trim: take the identical code path to Mean
+                    // so the degenerate rule stays bitwise-compatible.
+                    return Vector::weighted_average(children);
+                }
+                coordinate_wise(&children, |sorted| {
+                    let kept = &sorted[g..sorted.len() - g];
+                    let (mut acc, mut total) = (0.0f64, 0.0f64);
+                    for &(v, w) in kept {
+                        acc += w * v;
+                        total += w;
+                    }
+                    (acc / total) as f32
+                })
+            }
+            RobustAggregator::Median => {
+                let children: Vec<(f64, &Vector)> = items.into_iter().collect();
+                coordinate_wise(&children, |sorted| {
+                    let half = sorted.iter().map(|&(_, w)| w).sum::<f64>() / 2.0;
+                    let mut cum = 0.0f64;
+                    for (idx, &(v, w)) in sorted.iter().enumerate() {
+                        cum += w;
+                        if cum >= half {
+                            // Exactly half the weight sits at or below this
+                            // value: the median straddles the boundary, so
+                            // average with the next value (even-count
+                            // convention).
+                            return if cum == half && idx + 1 < sorted.len() {
+                                ((v + sorted[idx + 1].0) / 2.0) as f32
+                            } else {
+                                v as f32
+                            };
+                        }
+                    }
+                    sorted.last().expect("median of no children").0 as f32
+                })
+            }
+            RobustAggregator::NormClip { threshold } => {
+                let children: Vec<(f64, &Vector)> = items.into_iter().collect();
+                if children.iter().all(|(_, v)| v.norm() <= threshold) {
+                    // No clip triggers: identical code path to Mean.
+                    return Vector::weighted_average(children);
+                }
+                let clipped: Vec<(f64, Vector)> = children
+                    .into_iter()
+                    .map(|(w, v)| {
+                        let n = v.norm();
+                        if n > threshold {
+                            (w, v.scaled(threshold / n))
+                        } else {
+                            (w, v.clone())
+                        }
+                    })
+                    .collect();
+                Vector::weighted_average(clipped.iter().map(|(w, v)| (*w, v)))
+            }
+        }
+    }
+}
+
+/// Applies `reduce` to every coordinate's `(value, weight)` list, sorted
+/// ascending by value (`f64::total_cmp`, so NaNs sort to the extremes and
+/// get trimmed first). Values are widened to `f64` so the per-coordinate
+/// arithmetic matches [`Vector::weighted_average`]'s accumulation width.
+fn coordinate_wise(children: &[(f64, &Vector)], reduce: impl Fn(&[(f64, f64)]) -> f32) -> Vector {
+    let (_, first) = children
+        .first()
+        .expect("aggregate requires at least one child");
+    let dim = first.len();
+    let mut sorted: Vec<(f64, f64)> = Vec::with_capacity(children.len());
+    let mut out = Vec::with_capacity(dim);
+    for j in 0..dim {
+        sorted.clear();
+        for &(w, v) in children {
+            assert_eq!(v.len(), dim, "aggregate length mismatch");
+            sorted.push((f64::from(v.as_slice()[j]), w));
+        }
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out.push(reduce(&sorted));
+    }
+    Vector::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(rows: &[&[f32]]) -> Vec<Vector> {
+        rows.iter().map(|r| Vector::from(r.to_vec())).collect()
+    }
+
+    fn weighted(vs: &[Vector]) -> Vec<(f64, Vector)> {
+        vs.iter().map(|v| (1.0, v.clone())).collect()
+    }
+
+    fn agg(rule: RobustAggregator, items: &[(f64, Vector)]) -> Vector {
+        rule.aggregate(items.iter().map(|(w, v)| (*w, v)))
+    }
+
+    #[test]
+    fn mean_matches_weighted_average_bitwise() {
+        let vs = vecs(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.5]]);
+        let items = [(0.25, vs[0].clone()), (0.75, vs[1].clone())];
+        let want = Vector::weighted_average(items.iter().map(|(w, v)| (*w, v)));
+        assert_eq!(agg(RobustAggregator::Mean, &items), want);
+        // Degenerate rules reduce to the identical bit pattern.
+        assert_eq!(
+            agg(RobustAggregator::TrimmedMean { trim_ratio: 0.2 }, &items),
+            want,
+            "floor(0.2 * 2) = 0: nothing trimmed"
+        );
+        assert_eq!(
+            agg(RobustAggregator::NormClip { threshold: 100.0 }, &items),
+            want,
+            "no norm exceeds 100"
+        );
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_extremes() {
+        let vs = vecs(&[&[1.0], &[2.0], &[3.0], &[100.0], &[-100.0]]);
+        let rule = RobustAggregator::TrimmedMean { trim_ratio: 0.2 };
+        let out = agg(rule, &weighted(&vs));
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-6, "got {out:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_renormalizes_surviving_weights() {
+        let vs = vecs(&[&[0.0], &[10.0], &[20.0], &[1000.0]]);
+        let items: Vec<(f64, Vector)> = vs
+            .iter()
+            .zip([1.0, 2.0, 1.0, 1.0])
+            .map(|(v, w)| (w, v.clone()))
+            .collect();
+        // g = floor(0.25 * 4) = 1: drop 0.0 and 1000.0, mean of
+        // {10 (w=2), 20 (w=1)} = 40/3.
+        let out = agg(RobustAggregator::TrimmedMean { trim_ratio: 0.25 }, &items);
+        assert!((out.as_slice()[0] - 40.0 / 3.0).abs() < 1e-4, "got {out:?}");
+    }
+
+    #[test]
+    fn median_is_coordinate_wise_and_weighted() {
+        let vs = vecs(&[&[1.0, 9.0], &[2.0, 8.0], &[1000.0, -1000.0]]);
+        let out = agg(RobustAggregator::Median, &weighted(&vs));
+        assert_eq!(out.as_slice(), &[2.0, 8.0]);
+
+        // A heavy child pulls the weighted median to itself.
+        let items = vec![
+            (5.0, Vector::from(vec![1.0])),
+            (1.0, Vector::from(vec![2.0])),
+            (1.0, Vector::from(vec![3.0])),
+        ];
+        let out = agg(RobustAggregator::Median, &items);
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn median_of_an_even_equal_weight_split_averages_the_straddle() {
+        // Two equally-weighted children: picking either one wholesale would
+        // let a single child dictate the aggregate; the even-count
+        // convention averages them.
+        let vs = vecs(&[&[1.0, -4.0], &[3.0, 2.0]]);
+        let out = agg(RobustAggregator::Median, &weighted(&vs));
+        assert_eq!(out.as_slice(), &[2.0, -1.0]);
+        // Four equal weights: midpoint of the inner two.
+        let vs = vecs(&[&[1.0], &[2.0], &[4.0], &[100.0]]);
+        let out = agg(RobustAggregator::Median, &weighted(&vs));
+        assert_eq!(out.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn norm_clip_rescales_only_the_oversized() {
+        let vs = vecs(&[&[3.0, 4.0], &[30.0, 40.0]]);
+        let rule = RobustAggregator::NormClip { threshold: 5.0 };
+        let out = agg(rule, &weighted(&vs));
+        // The second child is rescaled from norm 50 to norm 5 → [3, 4];
+        // mean of [3,4] and [3,4] is [3,4].
+        assert!((out.as_slice()[0] - 3.0).abs() < 1e-5);
+        assert!((out.as_slice()[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nan_coordinates_sort_to_the_extremes_and_get_trimmed() {
+        // `f32::total_cmp` sorts (positive) NaN above every number, so the
+        // single NaN lands in the top trim slot and the honest middle
+        // values [2, 3, 4] are averaged.
+        let vs = vecs(&[&[1.0], &[2.0], &[3.0], &[4.0], &[f32::NAN]]);
+        let out = agg(
+            RobustAggregator::TrimmedMean { trim_ratio: 0.2 },
+            &weighted(&vs),
+        );
+        assert_eq!(out.as_slice(), &[3.0], "NaNs must be trimmed, not averaged");
+        let out = agg(RobustAggregator::Median, &weighted(&vs[..4]));
+        assert!(out.as_slice()[0].is_finite(), "median must dodge the NaN");
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(RobustAggregator::Mean.validate().is_ok());
+        assert!(RobustAggregator::Median.validate().is_ok());
+        assert!(RobustAggregator::TrimmedMean { trim_ratio: 0.49 }
+            .validate()
+            .is_ok());
+        for r in [0.5, 1.0, -0.1, f64::NAN] {
+            assert!(
+                RobustAggregator::TrimmedMean { trim_ratio: r }
+                    .validate()
+                    .is_err(),
+                "trim_ratio {r} should be rejected"
+            );
+        }
+        assert!(RobustAggregator::NormClip { threshold: 1.0 }
+            .validate()
+            .is_ok());
+        for t in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            assert!(
+                RobustAggregator::NormClip { threshold: t }
+                    .validate()
+                    .is_err(),
+                "threshold {t} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_the_identity_mean() {
+        assert_eq!(RobustAggregator::default(), RobustAggregator::Mean);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        for rule in [
+            RobustAggregator::Mean,
+            RobustAggregator::TrimmedMean { trim_ratio: 0.25 },
+            RobustAggregator::Median,
+            RobustAggregator::NormClip { threshold: 2.5 },
+        ] {
+            let json = serde_json::to_string(&rule).unwrap();
+            let back: RobustAggregator = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, rule);
+        }
+    }
+}

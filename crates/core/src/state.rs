@@ -9,6 +9,8 @@ use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Weights};
 use serde::{Deserialize, Serialize};
 
+use crate::robust::RobustAggregator;
+
 /// Per-worker state.
 ///
 /// Serializable so a run can be snapshotted mid-training and resumed
@@ -149,6 +151,12 @@ pub struct FlState {
     pub edges: Vec<EdgeState>,
     /// Cloud state.
     pub cloud: CloudState,
+    /// The aggregation rule every child reduction routes through. The
+    /// default ([`RobustAggregator::Mean`]) is the paper's data-weighted
+    /// mean and keeps runs bitwise identical to the pre-robustness code.
+    /// Runtime policy, *not* algorithm state: snapshots do not carry it —
+    /// a resumed run takes the rule from its `RunConfig`.
+    pub aggregator: RobustAggregator,
 }
 
 impl FlState {
@@ -172,6 +180,7 @@ impl FlState {
             workers,
             edges,
             cloud: CloudState::new(x0),
+            aggregator: RobustAggregator::default(),
         }
     }
 
@@ -180,9 +189,9 @@ impl FlState {
         self.cloud.x.len()
     }
 
-    /// Data-weighted average over one edge's workers of an arbitrary
+    /// Data-weighted reduction over one edge's workers of an arbitrary
     /// per-worker vector (the `Σᵢ D_{i,ℓ}/D_ℓ · (·)` primitive of lines
-    /// 11–12).
+    /// 11–12), routed through [`FlState::aggregator`].
     ///
     /// # Panics
     ///
@@ -191,25 +200,37 @@ impl FlState {
     where
         F: Fn(&WorkerState) -> &Vector,
     {
-        Vector::weighted_average(
+        self.aggregator.aggregate(
             self.hierarchy
                 .edge_workers(edge)
                 .map(|i| (self.weights.worker_in_edge(i), f(&self.workers[i]))),
         )
     }
 
-    /// Data-weighted average over edges of an arbitrary per-edge vector
-    /// (the `Σℓ D_ℓ/D · (·)` primitive of lines 18–19).
+    /// Data-weighted reduction over edges of an arbitrary per-edge vector
+    /// (the `Σℓ D_ℓ/D · (·)` primitive of lines 18–19), routed through
+    /// [`FlState::aggregator`].
     pub fn cloud_average<F>(&self, f: F) -> Vector
     where
         F: Fn(&EdgeState) -> &Vector,
     {
-        Vector::weighted_average(
+        self.aggregator.aggregate(
             self.edges
                 .iter()
                 .enumerate()
                 .map(|(l, e)| (self.weights.edge_in_total(l), f(e))),
         )
+    }
+
+    /// Reduces an arbitrary weighted item list under the state's
+    /// aggregation rule — the primitive behind the staleness-aware cloud
+    /// hooks, which mix current and snapshotted edge states and so cannot
+    /// use the closure form of [`FlState::cloud_average`].
+    pub fn aggregate<'a, I>(&self, items: I) -> Vector
+    where
+        I: IntoIterator<Item = (f64, &'a Vector)>,
+    {
+        self.aggregator.aggregate(items)
     }
 
     /// Data-weighted average of all worker models — the global model used
@@ -267,6 +288,7 @@ impl FlState {
             workers: &mut self.workers[range],
             state: &mut self.edges[edge],
             weights: &self.weights,
+            aggregator: self.aggregator,
         }
     }
 }
@@ -288,6 +310,7 @@ pub struct EdgeView<'a> {
     /// This edge's aggregation state.
     pub state: &'a mut EdgeState,
     weights: &'a Weights,
+    aggregator: RobustAggregator,
 }
 
 impl<'a> EdgeView<'a> {
@@ -300,6 +323,7 @@ impl<'a> EdgeView<'a> {
         workers: &'a mut [WorkerState],
         state: &'a mut EdgeState,
         weights: &'a Weights,
+        aggregator: RobustAggregator,
     ) -> Self {
         EdgeView {
             edge,
@@ -307,6 +331,7 @@ impl<'a> EdgeView<'a> {
             workers,
             state,
             weights,
+            aggregator,
         }
     }
 
@@ -342,13 +367,27 @@ impl<'a> EdgeView<'a> {
             .map(|(j, w)| (self.weights.worker_in_edge(self.offset + j), w))
     }
 
-    /// Data-weighted average of an arbitrary per-worker vector — the edge
-    /// counterpart of [`FlState::edge_average`].
+    /// Data-weighted reduction of an arbitrary per-worker vector — the
+    /// edge counterpart of [`FlState::edge_average`], routed through the
+    /// federation's [`RobustAggregator`] so every `Strategy` written
+    /// against this API gets Byzantine defenses for free.
     pub fn average<F>(&self, f: F) -> Vector
     where
         F: Fn(&WorkerState) -> &Vector,
     {
-        Vector::weighted_average(self.weighted_workers().map(|(wt, w)| (wt, f(w))))
+        self.aggregator
+            .aggregate(self.weighted_workers().map(|(wt, w)| (wt, f(w))))
+    }
+
+    /// Reduces an arbitrary weighted item list under the federation's
+    /// aggregation rule — for staleness-aware hooks whose inputs mix live
+    /// worker state with server-side snapshots and custom (age-discounted)
+    /// weights.
+    pub fn aggregate<'b, I>(&self, items: I) -> Vector
+    where
+        I: IntoIterator<Item = (f64, &'b Vector)>,
+    {
+        self.aggregator.aggregate(items)
     }
 
     /// Applies a closure to every worker under this edge, in local order.

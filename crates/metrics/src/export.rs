@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
-use crate::timed::{ActorFaults, ActorUtilization, PhaseBreakdown, TimedCurve};
+use crate::timed::{ActorAdversaries, ActorFaults, ActorUtilization, PhaseBreakdown, TimedCurve};
 use crate::{ConvergenceCurve, EvalPoint};
 
 /// Renders a curve as CSV with a header row.
@@ -132,6 +132,11 @@ pub struct SimRunRecord {
     /// existed, which deserialize to empty.
     #[serde(default)]
     pub faults: Vec<ActorFaults>,
+    /// Per-actor adversary tallies from the Byzantine-injection layer.
+    /// Empty for honest runs; absent in records written before adversary
+    /// injection existed, which deserialize to empty.
+    #[serde(default)]
+    pub adversaries: Vec<ActorAdversaries>,
 }
 
 impl SimRunRecord {
@@ -152,12 +157,19 @@ impl SimRunRecord {
             time_to_target_s,
             utilization,
             faults: Vec::new(),
+            adversaries: Vec::new(),
         }
     }
 
     /// Attaches per-actor fault tallies (builder style).
     pub fn with_faults(mut self, faults: Vec<ActorFaults>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches per-actor adversary tallies (builder style).
+    pub fn with_adversaries(mut self, adversaries: Vec<ActorAdversaries>) -> Self {
+        self.adversaries = adversaries;
         self
     }
 }
@@ -328,6 +340,34 @@ mod tests {
         assert!(!json.contains("faults"));
         let back = sim_run_from_json(&json).unwrap();
         assert!(back.faults.is_empty());
+    }
+
+    #[test]
+    fn sim_run_record_adversaries_round_trip_and_default_empty() {
+        use crate::timed::AdversaryCounters;
+
+        let rec = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new())
+            .with_adversaries(vec![ActorAdversaries {
+                actor: "worker-2".into(),
+                counters: AdversaryCounters {
+                    poisoned_uploads: 4,
+                    poisoned_momenta: 4,
+                    ..Default::default()
+                },
+            }]);
+        let json = sim_run_to_json(&rec);
+        assert!(json.contains("poisoned_momenta"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert_eq!(back, rec);
+
+        // Records written before adversary injection existed carry no
+        // `adversaries` key; they must still deserialize (to an empty list).
+        let legacy = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new());
+        let mut json = sim_run_to_json(&legacy);
+        json = json.replace(",\"adversaries\":[]", "");
+        assert!(!json.contains("adversaries"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert!(back.adversaries.is_empty());
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod timed;
 pub use summary::MeanStd;
 pub use table::Table;
 pub use timed::{
-    ActorFaults, ActorUtilization, FaultCounters, PhaseBreakdown, TimedCurve, TimedPoint,
+    ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, FaultCounters,
+    PhaseBreakdown, TimedCurve, TimedPoint,
 };
 
 use serde::{Deserialize, Serialize};

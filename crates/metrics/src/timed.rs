@@ -190,6 +190,44 @@ pub struct ActorFaults {
     pub counters: FaultCounters,
 }
 
+/// Adversary-event tallies for one Byzantine actor, accumulated wherever
+/// uploads are corrupted (the core driver's injection point or the
+/// co-simulation runtime's mailbox hook).
+///
+/// Counters are additive over a run. An honest worker's counters stay at
+/// the all-zero default, so `is_zero` distinguishes "honest" from
+/// "Byzantine but idle".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryCounters {
+    /// Uploads this actor corrupted (one per edge aggregation it reached).
+    pub poisoned_uploads: u64,
+    /// Uploads whose *model* vector was corrupted.
+    pub poisoned_models: u64,
+    /// Uploads whose *momentum* vectors were corrupted — the
+    /// HierAdMo-specific surface (Algorithm 1, lines 11–13).
+    pub poisoned_momenta: u64,
+    /// Calibrated-norm Gaussian noise vectors injected (each consumed one
+    /// adversary-stream draw of the model dimension).
+    pub noise_injections: u64,
+}
+
+impl AdversaryCounters {
+    /// Returns `true` when this actor never corrupted anything.
+    pub fn is_zero(&self) -> bool {
+        *self == AdversaryCounters::default()
+    }
+}
+
+/// [`AdversaryCounters`] stamped with the actor they belong to, in the
+/// same label scheme as [`ActorUtilization`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorAdversaries {
+    /// Actor label, e.g. `"worker-3"`.
+    pub actor: String,
+    /// The tallies.
+    pub counters: AdversaryCounters,
+}
+
 /// Per-phase durations of a run, in milliseconds — the serializable form
 /// of `hieradmo-core`'s `PhaseTimings`, surfaced in the JSON export so
 /// bench runs persist where their wall-clock went.

@@ -1,0 +1,400 @@
+//! Deterministic adversary injection: what can go *wrong on purpose*.
+//!
+//! The fault layer ([`crate::fault`]) models a benign world that merely
+//! breaks — crashes, lossy links, stragglers. A real multi-tier fleet must
+//! also survive *malicious* participants: workers that upload adversarially
+//! crafted models or momenta. An [`AdversaryPlan`] declares which workers
+//! are Byzantine and which [`AttackModel`] each runs; an
+//! [`AdversarySampler`] supplies the attack's randomness (only the
+//! Gaussian-noise attack draws any).
+//!
+//! HierAdMo is doubly exposed: edges aggregate worker *momenta* as well as
+//! models (Algorithm 1, lines 11–13), and the adaptive γℓ factor (Eq. 6–7)
+//! feeds on the aggregated momentum direction — so a poisoned momentum
+//! upload is re-amplified every edge round. [`AttackModel::MomentumPoison`]
+//! targets exactly that surface while leaving the model upload honest.
+//!
+//! # Determinism discipline
+//!
+//! Adversary draws follow the same per-actor decorrelation rule as
+//! [`crate::DelaySampler`] and [`crate::FaultSampler`]: every Byzantine
+//! worker owns a private stream derived from the master seed via
+//! [`crate::stream_seed`], salted with [`ADVERSARY_SEED_SALT`] so adversary
+//! streams never collide with the delay or fault streams that use the same
+//! stream indices. A worker's attack sequence depends only on its own draw
+//! count — never on event interleaving — so a given
+//! `(AdversaryPlan, seed)` replays bitwise identically, and the empty plan
+//! draws nothing at all.
+//!
+//! Unlike fault streams (derived from the *network* seed), adversary
+//! streams are derived from the *training* seed: the adversary corrupts the
+//! training trajectory itself, so the same poisoned trajectory must replay
+//! under any network timing draw.
+
+use hieradmo_tensor::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::sampler::stream_seed;
+
+/// Salt XOR-ed into the master seed before deriving adversary streams, so
+/// adversary stream `i` is decorrelated from the delay stream and the
+/// fault stream of the same index.
+pub const ADVERSARY_SEED_SALT: u64 = 0xbada_c702_5bad_5eed;
+
+/// What a Byzantine worker does to its upload.
+///
+/// Every attack corrupts the worker's *upload* (the state the edge
+/// aggregates); the worker's local training is honest up to that point, so
+/// attacks compose cleanly with crashes, link faults and stragglers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackModel {
+    /// Negate and rescale the entire upload (model, momentum and the
+    /// accumulators behind them): the classic sign-flipping attack that
+    /// drags a plain mean in the exact wrong direction.
+    SignFlip {
+        /// Magnitude multiplier applied after negation; `1.0` is a pure
+        /// sign flip. Must be positive and finite.
+        scale: f32,
+    },
+    /// Scale the entire upload by a large factor without changing its
+    /// direction — a magnitude attack that dominates a data-weighted mean
+    /// but survives direction-based diagnostics.
+    GradScale {
+        /// Multiplier on every uploaded vector. Must be positive and
+        /// finite.
+        factor: f32,
+    },
+    /// Replace the informative part of the upload with Gaussian noise:
+    /// independent zero-mean noise at a calibrated norm is *added* to the
+    /// uploaded model and momentum. The only attack that consumes
+    /// adversary-stream entropy (exactly `2 · dim` draws per upload).
+    GaussianNoise {
+        /// Euclidean norm of each injected noise vector. Must be positive
+        /// and finite.
+        norm: f32,
+    },
+    /// Negate and rescale only the momentum upload (y and the momentum
+    /// accumulators), leaving the model upload honest — the
+    /// HierAdMo-specific vector: the poisoned momentum steers the edge's
+    /// aggregated momentum `y⁻`, which is redistributed to every sibling
+    /// worker *and* feeds the adaptive γℓ cosine (Eq. 6), while the honest
+    /// model keeps simple model-space anomaly checks blind.
+    MomentumPoison {
+        /// Magnitude multiplier applied after negating the momentum
+        /// vectors. Must be positive and finite.
+        scale: f32,
+    },
+}
+
+impl AttackModel {
+    /// A short human-readable label, used in exports and report tables.
+    pub fn label(&self) -> String {
+        match *self {
+            AttackModel::SignFlip { scale } => format!("sign_flip(x{scale})"),
+            AttackModel::GradScale { factor } => format!("grad_scale(x{factor})"),
+            AttackModel::GaussianNoise { norm } => format!("gauss_noise(|{norm}|)"),
+            AttackModel::MomentumPoison { scale } => format!("momentum_poison(x{scale})"),
+        }
+    }
+
+    /// Validates the attack's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = |name: &str, v: f32| -> Result<(), String> {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+            Ok(())
+        };
+        match *self {
+            AttackModel::SignFlip { scale } => pos("sign_flip scale", scale),
+            AttackModel::GradScale { factor } => pos("grad_scale factor", factor),
+            AttackModel::GaussianNoise { norm } => pos("gauss_noise norm", norm),
+            AttackModel::MomentumPoison { scale } => pos("momentum_poison scale", scale),
+        }
+    }
+}
+
+/// One Byzantine worker: a flat worker index and the attack it runs on
+/// every upload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ByzantineWorker {
+    /// Flat worker index (the same indexing as
+    /// [`crate::fault::PermanentCrash::worker`]).
+    pub worker: usize,
+    /// The attack this worker runs.
+    pub attack: AttackModel,
+}
+
+/// A declarative description of which workers are Byzantine.
+///
+/// The empty plan ([`AdversaryPlan::none`], also `Default`) corrupts
+/// nothing and draws nothing: a run under the empty plan is bitwise
+/// identical to one without adversary injection at all (the equivalence
+/// gate in `tests/adversary.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryPlan {
+    /// The Byzantine workers. Indices must be unique.
+    pub byzantine: Vec<ByzantineWorker>,
+}
+
+impl AdversaryPlan {
+    /// The empty plan: no adversaries, no draws.
+    pub fn none() -> Self {
+        AdversaryPlan::default()
+    }
+
+    /// Marks every worker in `workers` Byzantine with the same `attack`.
+    pub fn uniform(workers: impl IntoIterator<Item = usize>, attack: AttackModel) -> Self {
+        AdversaryPlan {
+            byzantine: workers
+                .into_iter()
+                .map(|worker| ByzantineWorker { worker, attack })
+                .collect(),
+        }
+    }
+
+    /// Returns `true` when the plan marks no workers Byzantine.
+    pub fn is_empty(&self) -> bool {
+        self.byzantine.is_empty()
+    }
+
+    /// The attack assigned to flat worker `worker`, if any.
+    pub fn attack_for(&self, worker: usize) -> Option<AttackModel> {
+        self.byzantine
+            .iter()
+            .find(|b| b.worker == worker)
+            .map(|b| b.attack)
+    }
+
+    /// Validates every attack's parameters and rejects duplicate worker
+    /// indices (one worker cannot run two attacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending entry.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &self.byzantine {
+            b.attack.validate()?;
+            if !seen.insert(b.worker) {
+                return Err(format!(
+                    "worker {} appears twice in the adversary plan",
+                    b.worker
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A per-actor seeded source of attack randomness (the adversary-side
+/// analogue of [`crate::FaultSampler`]).
+///
+/// Only [`AttackModel::GaussianNoise`] consumes entropy; the deterministic
+/// attacks never touch the stream, so an inert sampler stays untouched and
+/// resume-from-checkpoint can replay the stream by draw count alone.
+///
+/// # Example
+///
+/// ```
+/// use hieradmo_netsim::adversary::AdversarySampler;
+///
+/// let mut a = AdversarySampler::from_stream(7, 0);
+/// let mut b = AdversarySampler::from_stream(7, 0);
+/// assert_eq!(a.gaussian(4, 1.5), b.gaussian(4, 1.5), "same stream, same noise");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdversarySampler {
+    rng: StdRng,
+}
+
+impl AdversarySampler {
+    /// A sampler for adversary stream `stream` of `master`, decorrelated
+    /// from the delay and fault streams of the same index (see
+    /// [`ADVERSARY_SEED_SALT`]).
+    pub fn from_stream(master: u64, stream: u64) -> Self {
+        AdversarySampler {
+            rng: StdRng::seed_from_u64(stream_seed(master ^ ADVERSARY_SEED_SALT, stream)),
+        }
+    }
+
+    /// One noise vector: `dim` standard-normal draws rescaled to Euclidean
+    /// norm `norm`. Always consumes exactly `dim` draws, so replaying the
+    /// stream is a pure function of the draw count.
+    pub fn gaussian(&mut self, dim: usize, norm: f32) -> Vector {
+        let std_normal = Normal::new(0.0f32, 1.0).expect("unit variance is valid");
+        let mut raw: Vec<f32> = (0..dim).map(|_| std_normal.sample(&mut self.rng)).collect();
+        let mag = raw
+            .iter()
+            .map(|x| f64::from(*x) * f64::from(*x))
+            .sum::<f64>()
+            .sqrt();
+        if mag > 0.0 {
+            let k = (f64::from(norm) / mag) as f32;
+            for x in &mut raw {
+                *x *= k;
+            }
+        }
+        Vector::from(raw)
+    }
+
+    /// Advances the stream past one `gaussian(dim, _)` draw without
+    /// materialising the vector — the replay path for resuming a
+    /// checkpointed run mid-plan.
+    pub fn skip_gaussian(&mut self, dim: usize) {
+        let std_normal = Normal::new(0.0f32, 1.0).expect("unit variance is valid");
+        for _ in 0..dim {
+            let _: f32 = std_normal.sample(&mut self.rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FAULT_SEED_SALT;
+
+    fn full_plan() -> AdversaryPlan {
+        AdversaryPlan {
+            byzantine: vec![
+                ByzantineWorker {
+                    worker: 0,
+                    attack: AttackModel::SignFlip { scale: 2.0 },
+                },
+                ByzantineWorker {
+                    worker: 2,
+                    attack: AttackModel::GradScale { factor: 50.0 },
+                },
+                ByzantineWorker {
+                    worker: 3,
+                    attack: AttackModel::GaussianNoise { norm: 10.0 },
+                },
+                ByzantineWorker {
+                    worker: 5,
+                    attack: AttackModel::MomentumPoison { scale: 3.0 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        assert!(AdversaryPlan::none().is_empty());
+        assert!(AdversaryPlan::default().validate().is_ok());
+        assert!(!full_plan().is_empty());
+        assert!(full_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn attack_for_resolves_by_flat_index() {
+        let plan = full_plan();
+        assert_eq!(
+            plan.attack_for(0),
+            Some(AttackModel::SignFlip { scale: 2.0 })
+        );
+        assert_eq!(plan.attack_for(1), None);
+        assert_eq!(
+            plan.attack_for(5),
+            Some(AttackModel::MomentumPoison { scale: 3.0 })
+        );
+    }
+
+    #[test]
+    fn uniform_builder_marks_all_listed_workers() {
+        let plan = AdversaryPlan::uniform([1, 4], AttackModel::SignFlip { scale: 1.0 });
+        assert_eq!(plan.byzantine.len(), 2);
+        assert!(plan.attack_for(4).is_some());
+        assert!(plan.attack_for(0).is_none());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        for attack in [
+            AttackModel::SignFlip { scale: 0.0 },
+            AttackModel::SignFlip { scale: f32::NAN },
+            AttackModel::GradScale { factor: -1.0 },
+            AttackModel::GradScale {
+                factor: f32::INFINITY,
+            },
+            AttackModel::GaussianNoise { norm: 0.0 },
+            AttackModel::MomentumPoison { scale: -2.0 },
+        ] {
+            let plan = AdversaryPlan::uniform([0], attack);
+            assert!(plan.validate().is_err(), "{attack:?} should be rejected");
+        }
+
+        let mut plan = full_plan();
+        plan.byzantine.push(ByzantineWorker {
+            worker: 2,
+            attack: AttackModel::SignFlip { scale: 1.0 },
+        });
+        assert!(plan.validate().is_err(), "duplicate worker index");
+    }
+
+    #[test]
+    fn same_stream_replays_bitwise() {
+        let mut a = AdversarySampler::from_stream(42, 3);
+        let mut b = AdversarySampler::from_stream(42, 3);
+        for _ in 0..16 {
+            assert_eq!(a.gaussian(7, 2.5), b.gaussian(7, 2.5));
+        }
+    }
+
+    #[test]
+    fn skip_gaussian_advances_exactly_one_draw() {
+        let mut a = AdversarySampler::from_stream(11, 0);
+        let mut b = AdversarySampler::from_stream(11, 0);
+        let _ = a.gaussian(9, 1.0);
+        b.skip_gaussian(9);
+        assert_eq!(
+            a.gaussian(9, 1.0),
+            b.gaussian(9, 1.0),
+            "skip must consume the same entropy as a materialised draw"
+        );
+    }
+
+    #[test]
+    fn adversary_streams_decorrelate() {
+        let seq = |stream: u64| -> Vec<f32> {
+            let mut s = AdversarySampler::from_stream(9, stream);
+            s.gaussian(16, 1.0).into_inner()
+        };
+        assert_ne!(seq(0), seq(1), "neighbouring adversary streams must differ");
+        assert_ne!(
+            stream_seed(9 ^ ADVERSARY_SEED_SALT, 0),
+            stream_seed(9, 0),
+            "adversary and delay streams of the same index must not collide"
+        );
+        assert_ne!(
+            stream_seed(9 ^ ADVERSARY_SEED_SALT, 0),
+            stream_seed(9 ^ FAULT_SEED_SALT, 0),
+            "adversary and fault streams of the same index must not collide"
+        );
+    }
+
+    #[test]
+    fn gaussian_hits_the_calibrated_norm() {
+        let mut s = AdversarySampler::from_stream(5, 0);
+        let v = s.gaussian(64, 12.5);
+        assert_eq!(v.len(), 64);
+        assert!((v.norm() - 12.5).abs() < 1e-3, "norm = {}", v.norm());
+        // Degenerate dimension: no draws, no panic.
+        assert_eq!(s.gaussian(0, 1.0).len(), 0);
+    }
+
+    #[test]
+    fn plan_serializes_round_trip() {
+        let plan = full_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: AdversaryPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

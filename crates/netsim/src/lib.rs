@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+pub mod adversary;
 pub mod device;
 pub mod fault;
 pub mod link;
@@ -37,6 +38,7 @@ pub mod proto;
 pub mod sampler;
 pub mod timeline;
 
+pub use adversary::{AdversaryPlan, AdversarySampler, AttackModel, ByzantineWorker};
 pub use device::DeviceProfile;
 pub use fault::{
     CrashProfile, DelaySpikes, FaultPlan, FaultSampler, LinkFaults, PermanentCrash, TransferOutcome,

@@ -31,15 +31,18 @@ use std::error::Error;
 use std::fmt;
 use std::ops::Range;
 
+use hieradmo_core::byzantine::corrupt_upload;
 use hieradmo_core::driver::{build_train_probe, EVAL_CHUNK};
 use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, WorkerState};
 use hieradmo_data::{Batcher, Dataset};
 use hieradmo_metrics::{
-    ActorFaults, ActorUtilization, ConvergenceCurve, EvalPoint, FaultCounters, TimedCurve,
-    TimedPoint,
+    ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
+    EvalPoint, FaultCounters, TimedCurve, TimedPoint,
 };
 use hieradmo_models::{EvalSums, Evaluation, Model};
-use hieradmo_netsim::{Architecture, DelaySampler, FaultSampler, LinkProfile};
+use hieradmo_netsim::{
+    AdversarySampler, Architecture, AttackModel, DelaySampler, FaultSampler, LinkProfile,
+};
 use hieradmo_tensor::Vector;
 use hieradmo_topology::{Hierarchy, Schedule, Weights};
 use rand::rngs::StdRng;
@@ -61,6 +64,9 @@ pub enum SimError {
     /// The fault plan's parameters are invalid or reference unknown
     /// actors.
     Fault(String),
+    /// The adversary plan references workers outside the topology (its
+    /// parameter validity is checked by [`RunConfig::validate`]).
+    Adversary(String),
 }
 
 impl fmt::Display for SimError {
@@ -70,6 +76,7 @@ impl fmt::Display for SimError {
             SimError::Net(m) => write!(f, "network mismatch: {m}"),
             SimError::Policy(m) => write!(f, "invalid sync policy: {m}"),
             SimError::Fault(m) => write!(f, "invalid fault plan: {m}"),
+            SimError::Adversary(m) => write!(f, "invalid adversary plan: {m}"),
         }
     }
 }
@@ -122,6 +129,11 @@ pub struct SimResult {
     /// [`SimResult::utilization`]. All-zero when the run's
     /// [`hieradmo_netsim::FaultPlan`] is empty.
     pub faults: Vec<ActorFaults>,
+    /// Per-actor Byzantine-attack tallies, in the same actor order as
+    /// [`SimResult::utilization`]. Only workers can be Byzantine, so edge
+    /// and cloud entries are always zero; everything is zero when the
+    /// run's [`hieradmo_netsim::AdversaryPlan`] is empty.
+    pub adversaries: Vec<ActorAdversaries>,
     /// Number of discrete events processed.
     pub events: u64,
 }
@@ -179,6 +191,13 @@ struct WorkerSim<M> {
     /// point after a crash. Maintained only when faults are on.
     chain: Option<(usize, Box<WorkerState>)>,
     faults: FaultCounters,
+    /// `Some` when this worker is Byzantine: every upload it lands is
+    /// corrupted in the server-side mailbox before aggregation.
+    attack: Option<AttackModel>,
+    /// Noise draws for this worker's attacks (same stream the core driver
+    /// uses, so trajectories are comparable run-for-run).
+    asampler: AdversarySampler,
+    advers: AdversaryCounters,
 }
 
 /// An edge actor: round-collection state for the current aggregation.
@@ -379,6 +398,7 @@ where
         let samples: Vec<u64> = worker_data.iter().map(|d| d.len() as u64).collect();
         let weights = Weights::from_samples(hierarchy, &samples);
         let mut fl = FlState::new(hierarchy.clone(), weights, &model.params());
+        fl.aggregator = cfg.aggregator;
         strategy.init(&mut fl);
 
         let mut edge_of = vec![0usize; n];
@@ -424,6 +444,9 @@ where
                 dead: false,
                 chain: faults_on.then(|| (0, Box::new(fl.workers[i].clone()))),
                 faults: FaultCounters::default(),
+                attack: cfg.adversary.attack_for(i),
+                asampler: AdversarySampler::from_stream(cfg.seed, i as u64),
+                advers: AdversaryCounters::default(),
             })
             .collect();
         let edges: Vec<EdgeSim> = (0..l_count)
@@ -804,6 +827,22 @@ where
         let k_up = self.workers[i].tick / self.cfg.tau;
         // Mailbox write: the server-side slot now holds the upload.
         self.fl.workers[i] = self.workers[i].state.clone();
+        // A Byzantine worker poisons the upload in flight: the corruption
+        // lands on the mailbox slot (what aggregation reads), never on the
+        // actor's private state — under full sync this is exactly the core
+        // driver's corrupt-before-aggregate, because the post-hook slot is
+        // shipped back wholesale on the download. One draw per landed
+        // upload keeps the per-worker stream aligned with the core driver's
+        // per-boundary draws.
+        if let Some(attack) = self.workers[i].attack {
+            let w = &mut self.workers[i];
+            corrupt_upload(
+                &mut self.fl.workers[i],
+                &attack,
+                &mut w.asampler,
+                &mut w.advers,
+            );
+        }
         match self.sim.policy {
             SyncPolicy::FullSync => {
                 self.edges[e].arrived[j] = true;
@@ -1524,8 +1563,10 @@ where
                 0.0
             }
         };
-        let mut utilization = Vec::with_capacity(self.workers.len() + self.edges.len() + 1);
-        let mut faults = Vec::with_capacity(self.workers.len() + self.edges.len() + 1);
+        let actors = self.workers.len() + self.edges.len() + 1;
+        let mut utilization = Vec::with_capacity(actors);
+        let mut faults = Vec::with_capacity(actors);
+        let mut adversaries = Vec::with_capacity(actors);
         for (i, w) in self.workers.iter().enumerate() {
             utilization.push(ActorUtilization {
                 actor: format!("worker-{i}"),
@@ -1535,6 +1576,10 @@ where
             faults.push(ActorFaults {
                 actor: format!("worker-{i}"),
                 counters: w.faults,
+            });
+            adversaries.push(ActorAdversaries {
+                actor: format!("worker-{i}"),
+                counters: w.advers,
             });
         }
         for (l, e) in self.edges.iter().enumerate() {
@@ -1547,6 +1592,10 @@ where
                 actor: format!("edge-{l}"),
                 counters: e.faults,
             });
+            adversaries.push(ActorAdversaries {
+                actor: format!("edge-{l}"),
+                counters: AdversaryCounters::default(),
+            });
         }
         utilization.push(ActorUtilization {
             actor: "cloud".to_string(),
@@ -1556,6 +1605,10 @@ where
         faults.push(ActorFaults {
             actor: "cloud".to_string(),
             counters: self.cloud.faults,
+        });
+        adversaries.push(ActorAdversaries {
+            actor: "cloud".to_string(),
+            counters: AdversaryCounters::default(),
         });
         SimResult {
             algorithm: strategy.name().to_string(),
@@ -1568,6 +1621,7 @@ where
             simulated_seconds: end_ms / 1000.0,
             utilization,
             faults,
+            adversaries,
             events: self.events,
         }
     }
@@ -1622,6 +1676,15 @@ where
             return Err(SimError::Fault(format!(
                 "permanent crash targets worker {} but the topology has {} workers",
                 p.worker,
+                hierarchy.num_workers()
+            )));
+        }
+    }
+    for b in &cfg.adversary.byzantine {
+        if b.worker >= hierarchy.num_workers() {
+            return Err(SimError::Adversary(format!(
+                "attack targets worker {} but the topology has {} workers",
+                b.worker,
                 hierarchy.num_workers()
             )));
         }

@@ -104,6 +104,62 @@ fn restore_is_thread_count_invariant() {
     check_restore_round_trip(0.0, Some(4));
 }
 
+/// Resuming under an active `AdversaryPlan` replays the adversary RNG
+/// streams instead of storing them: the stop/resume trajectory must match
+/// the uninterrupted adversarial run bitwise. `GaussianNoise` is in the
+/// plan on purpose — it is the only stateful attack, so the test fails if
+/// the fast-forward path skips the wrong number of draws.
+#[test]
+fn restore_replays_adversary_streams_exactly() {
+    use hieradmo::core::RobustAggregator;
+    use hieradmo::netsim::{AdversaryPlan, AttackModel, ByzantineWorker};
+
+    let (f, base) = cfg(0.0);
+    let cfg = RunConfig {
+        adversary: AdversaryPlan {
+            byzantine: vec![
+                ByzantineWorker {
+                    worker: 0,
+                    attack: AttackModel::GaussianNoise { norm: 4.0 },
+                },
+                ByzantineWorker {
+                    worker: 3,
+                    attack: AttackModel::MomentumPoison { scale: 5.0 },
+                },
+            ],
+        },
+        aggregator: RobustAggregator::Median,
+        ..base
+    };
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+
+    let full = run(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg).unwrap();
+    let (first, snap) =
+        run_until(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, 15).unwrap();
+    // The adversary draws from replayable streams; nothing of it is stored.
+    let snap = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
+    let resumed =
+        run_resumed(&algo, &model, &f.hierarchy, &f.shards, &f.test, &cfg, &snap).unwrap();
+
+    let concat: Vec<_> = first
+        .curve
+        .points()
+        .iter()
+        .chain(resumed.curve.points())
+        .copied()
+        .collect();
+    assert_eq!(
+        concat,
+        full.curve.points().to_vec(),
+        "adversarial stop/resume must match the uninterrupted run bitwise"
+    );
+    assert_eq!(
+        resumed.final_params, full.final_params,
+        "adversarial resume must land on the exact same model"
+    );
+}
+
 #[test]
 fn file_round_trip_preserves_the_snapshot() {
     let (f, cfg) = cfg(0.0);

@@ -65,6 +65,49 @@ pub fn sim_config(net_seed: u64, policy: SyncPolicy) -> SimConfig {
     )
 }
 
+/// A wider 2-edge × 4-worker federation for Byzantine-robustness checks:
+/// with four workers per edge a coordinate-wise trimmed mean
+/// (`trim_ratio = 0.25`) can drop exactly one corrupted upload per edge,
+/// which the 2 × 2 fixture is too small to express (one Byzantine worker
+/// there is already half its edge). Heterogeneity is milder than in
+/// [`sim_fixture`] (5 of 10 classes per worker): with 2-class shards an
+/// honest outlier is often the *only* carrier of a class's signal, so
+/// order-statistic defenses trim away accuracy even with no attack — this
+/// fixture isolates the Byzantine effect instead.
+pub fn wide_sim_fixture() -> SimFixture {
+    let tt = SyntheticDataset::mnist_like(120, 40, 11);
+    let hierarchy = Hierarchy::balanced(2, 4);
+    let shards = x_class_partition(&tt.train, 8, 5, 11);
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 200,
+        eval_every: 50,
+        batch_size: 8,
+        seed: 42,
+        threads: Some(1),
+        ..RunConfig::default()
+    };
+    SimFixture {
+        hierarchy,
+        shards,
+        train: tt.train,
+        test: tt.test,
+        cfg,
+    }
+}
+
+/// The paper-testbed network over [`wide_sim_fixture`]'s eight workers.
+pub fn wide_sim_config(net_seed: u64, policy: SyncPolicy) -> SimConfig {
+    SimConfig::new(
+        NetworkEnv::paper_testbed(8),
+        Architecture::ThreeTier,
+        50_000,
+        net_seed,
+        policy,
+    )
+}
+
 /// A tiny 4-class synthetic problem (flat 16-feature inputs, 2 classes per
 /// worker) for dropout and convergence-degradation checks.
 pub fn synthetic_setup() -> (Dataset, Vec<Dataset>, Sequential) {

@@ -6,7 +6,7 @@
 //!     [--scale quick|paper] [--target 0.8] [--workload logistic-mnist] \
 //!     [--seed 41] [--faults none|flaky|hostile] \
 //!     [--adversary none|sign_flip|momentum_poison] \
-//!     [--defense mean|trimmed|median|clip]
+//!     [--defense mean|trimmed|median|clip] [--tiers 3,4,5]
 //! ```
 //!
 //! Unlike `fig2hl_time` — which trains a logical-time curve and *replays*
@@ -34,6 +34,14 @@
 //! sweeps the full grid (recipe in `EXPERIMENTS.md`). The defaults
 //! (`none` × `mean`) reproduce the clean run bit-for-bit; per-actor
 //! poisoned-upload tallies ride along in each record.
+//!
+//! `--tiers` sweeps hierarchy depth: each listed depth beyond 3 adds a
+//! binary N-tier cell (2 children per node, leaf period τ=10, every upper
+//! tier syncing its children every 2 rounds) run under `full-sync` on the
+//! three-tier network — middle tiers are co-hosted at the cloud actor.
+//! Depth 3 keeps the classic (policy × architecture) grid. Deeper trees
+//! have more workers (2^(depth-1)), so cells are comparable within a
+//! depth, not across depths.
 
 use hieradmo_bench::cli::Cli;
 use hieradmo_bench::{
@@ -47,7 +55,7 @@ use hieradmo_models::Model;
 use hieradmo_netsim::payload::payload_bytes;
 use hieradmo_netsim::{Architecture, NetworkEnv};
 use hieradmo_simrt::{simulate, SimConfig, SyncPolicy};
-use hieradmo_topology::Hierarchy;
+use hieradmo_topology::{Hierarchy, TierSpec, TierTree};
 
 const EDGES: usize = 2;
 const WORKERS: usize = 4;
@@ -63,6 +71,19 @@ fn main() {
     let scenario = FaultScenario::from_name(cli.get("faults").unwrap_or("none"));
     let adversary = AdversaryScenario::from_name(cli.get("adversary").unwrap_or("none"));
     let defense = defense_from_name(cli.get("defense").unwrap_or("mean"));
+    let depths: Vec<usize> = cli
+        .get("tiers")
+        .unwrap_or("3")
+        .split(',')
+        .map(|s| {
+            let d: usize = s
+                .trim()
+                .parse()
+                .expect("--tiers takes a comma-separated list of depths, e.g. 3,4,5");
+            assert!(d >= 3, "--tiers depths must be at least 3, got {d}");
+            d
+        })
+        .collect();
 
     let tt = workload.dataset(scale, seed);
     let model = workload.model(&tt.train, seed.wrapping_add(100));
@@ -89,6 +110,7 @@ fn main() {
         vec![
             "policy".into(),
             "arch".into(),
+            "tiers".into(),
             "faults".into(),
             "adversary".into(),
             "defense".into(),
@@ -99,7 +121,7 @@ fn main() {
         ],
     );
 
-    for &(arch, tau, pi) in &architectures {
+    for &(arch, tau, pi) in architectures.iter().filter(|_| depths.contains(&3)) {
         let hierarchy = match arch {
             Architecture::ThreeTier => Hierarchy::balanced(EDGES, WORKERS / EDGES),
             Architecture::TwoTier => Hierarchy::two_tier(WORKERS),
@@ -156,6 +178,7 @@ fn main() {
                 vec![
                     res.policy.clone(),
                     format!("{arch:?}"),
+                    "3".into(),
                     scenario.name().into(),
                     adversary.name().into(),
                     defense.label().to_string(),
@@ -169,6 +192,93 @@ fn main() {
                 &record,
             );
         }
+    }
+
+    // Depth sweep: one full-sync three-tier-network cell per depth ≥ 4,
+    // on a binary tree (2 children per node) with leaf period τ = 10 and
+    // every upper tier syncing its children every 2 of their rounds.
+    for &depth in depths.iter().filter(|&&d| d > 3) {
+        let mut levels = vec![TierSpec::new(2, 2); depth - 1];
+        *levels.last_mut().expect("depth >= 4 has levels") = TierSpec::new(2, 10);
+        let tree = TierTree::new(levels).expect("sweep tree is valid");
+        let hierarchy = tree.edge_hierarchy();
+        let n = tree.num_workers();
+        let shards = x_class_partition(&tt.train, n, x, seed.wrapping_add(2));
+        let env = NetworkEnv::paper_testbed(n);
+        let (tau, pi) = (tree.tau(), tree.pi_total());
+        let total = {
+            let round = tau * pi;
+            match scale {
+                Scale::Quick => (workload.total_iters(scale) / 4).max(round),
+                Scale::Paper => workload.total_iters(scale),
+            }
+            .div_ceil(round)
+                * round
+        };
+        let cfg = RunConfig {
+            tau,
+            pi,
+            total_iters: total,
+            batch_size: scale.batch_size(),
+            eval_every: (total / 20).max(1),
+            seed,
+            aggregator: defense,
+            adversary: adversary.plan(n),
+            ..RunConfig::default()
+        };
+        let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+        let policy = SyncPolicy::FullSync;
+        eprintln!(
+            "[simrt] {} under {} at depth {depth} ({n} workers; faults: {}, adversary: {}, \
+             defense: {})",
+            algo.name(),
+            policy.label(),
+            scenario.name(),
+            adversary.name(),
+            defense.label()
+        );
+        let sim = SimConfig::new(
+            env,
+            Architecture::ThreeTier,
+            payload,
+            seed.wrapping_add(7),
+            policy,
+        )
+        .with_faults(scenario.plan())
+        .with_tiers(tree);
+        let res = simulate(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
+            .expect("co-simulation failed");
+        let final_acc = res
+            .timed_curve
+            .points()
+            .last()
+            .map_or(0.0, |p| p.test_accuracy);
+        let record = SimRunRecord::new(
+            res.algorithm.clone(),
+            res.policy.clone(),
+            res.timed_curve.clone(),
+            target,
+            res.utilization.clone(),
+        )
+        .with_faults(res.faults.clone())
+        .with_adversaries(res.adversaries.clone());
+        report.row(
+            vec![
+                res.policy.clone(),
+                "ThreeTier".into(),
+                depth.to_string(),
+                scenario.name().into(),
+                adversary.name().into(),
+                defense.label().to_string(),
+                record
+                    .time_to_target_s
+                    .map_or("never".into(), |s| format!("{s:.2}")),
+                format!("{:.2}", res.simulated_seconds),
+                format!("{:.2}", final_acc * 100.0),
+                res.events.to_string(),
+            ],
+            &record,
+        );
     }
 
     println!("{}", report.render());

@@ -92,7 +92,7 @@ impl Strategy for Cfl {
 
     fn cloud_aggregate(&self, _p: usize, state: &mut FlState) {
         let avg = state.cloud_average(|e| &e.x_plus);
-        state.cloud.x = avg.clone();
+        state.cloud.x_plus = avg.clone();
         for e in &mut state.edges {
             e.x_plus = avg.clone();
         }

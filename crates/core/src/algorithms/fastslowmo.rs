@@ -97,8 +97,8 @@ impl Strategy for FastSlowMo {
         let mut x_new = state.cloud.x_prev.clone();
         x_new -= &state.cloud.v;
         state.cloud.x_prev = x_new.clone();
-        state.cloud.x = x_new.clone();
-        state.cloud.y = y_avg.clone();
+        state.cloud.x_plus = x_new.clone();
+        state.cloud.y_plus = y_avg.clone();
         state.for_all_workers(|w| {
             w.x = x_new.clone();
             w.y = y_avg.clone();

@@ -86,7 +86,7 @@ impl Strategy for FedAdc {
                 .enumerate()
                 .map(|(i, w)| (state.weights.worker_in_total(i), &w.v)),
         );
-        state.cloud.x = x_avg.clone();
+        state.cloud.x_plus = x_avg.clone();
         state.cloud.v = v_avg.clone();
         state.for_all_workers(|w| {
             w.x = x_avg.clone();

@@ -75,7 +75,7 @@ impl Strategy for FedMom {
         let mut x_new = state.cloud.x_prev.clone();
         x_new -= &state.cloud.v;
         state.cloud.x_prev = x_new.clone();
-        state.cloud.x = x_new.clone();
+        state.cloud.x_plus = x_new.clone();
         state.for_all_workers(|w| w.x = x_new.clone());
     }
 }

@@ -79,8 +79,8 @@ impl Strategy for FedNag {
                 .enumerate()
                 .map(|(i, w)| (state.weights.worker_in_total(i), &w.y)),
         );
-        state.cloud.x = x_avg.clone();
-        state.cloud.y = y_avg.clone();
+        state.cloud.x_plus = x_avg.clone();
+        state.cloud.y_plus = y_avg.clone();
         state.for_all_workers(|w| {
             w.x = x_avg.clone();
             w.y = y_avg.clone();

@@ -232,8 +232,8 @@ impl Strategy for HierAdMo {
         // Lines 18–19: cloud aggregation of worker momenta and edge models.
         let y_cloud = state.cloud_average(|e| &e.y_minus);
         let x_cloud = state.cloud_average(|e| &e.x_plus);
-        state.cloud.y = y_cloud.clone();
-        state.cloud.x = x_cloud.clone();
+        state.cloud.y_plus = y_cloud.clone();
+        state.cloud.x_plus = x_cloud.clone();
         // Lines 20–23: re-distribute to every edge and worker.
         for e in &mut state.edges {
             e.y_minus = y_cloud.clone();
@@ -362,8 +362,8 @@ impl Strategy for HierAdMo {
                 &e.x_plus,
             )
         }));
-        state.cloud.y = y_cloud.clone();
-        state.cloud.x = x_cloud.clone();
+        state.cloud.y_plus = y_cloud.clone();
+        state.cloud.x_plus = x_cloud.clone();
         for e in &mut state.edges {
             e.y_minus = y_cloud.clone();
             e.x_plus = x_cloud.clone();

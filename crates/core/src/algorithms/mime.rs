@@ -97,7 +97,7 @@ impl Strategy for Mime {
         state.cloud.v.axpy(1.0 - self.beta, &g_avg);
 
         let x_avg = state.average_worker_models();
-        state.cloud.x = x_avg.clone();
+        state.cloud.x_plus = x_avg.clone();
         let m = state.cloud.v.clone();
         state.for_all_workers(|w| {
             w.x = x_avg.clone();

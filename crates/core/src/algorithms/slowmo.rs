@@ -76,7 +76,7 @@ impl Strategy for SlowMo {
         let mut x_new = state.cloud.x_prev.clone();
         x_new.axpy(-self.alpha, &state.cloud.v);
         state.cloud.x_prev = x_new.clone();
-        state.cloud.x = x_new.clone();
+        state.cloud.x_plus = x_new.clone();
         state.for_all_workers(|w| w.x = x_new.clone());
     }
 }

@@ -23,7 +23,7 @@ use hieradmo_tensor::Vector;
 
 use crate::config::RunConfig;
 use crate::driver::RunResult;
-use crate::state::{CloudState, EdgeState, WorkerState};
+use crate::state::{CloudState, EdgeState, TierState, WorkerState};
 
 /// The serializable snapshot of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,6 +115,11 @@ pub struct TrainingSnapshot {
     pub edges: Vec<EdgeState>,
     /// Cloud state.
     pub cloud: CloudState,
+    /// Middle-tier states on N-tier runs, one vector per middle depth in
+    /// [`hieradmo_topology::TierTree::middle_depths`] order. Empty on
+    /// three-tier runs, so depth-3 snapshots keep their seed wire format.
+    #[serde(default)]
+    pub middle: Vec<Vec<TierState>>,
 }
 
 impl TrainingSnapshot {
@@ -221,9 +226,19 @@ mod tests {
             workers: s.workers.clone(),
             edges: s.edges.clone(),
             cloud: s.cloud.clone(),
+            middle: vec![vec![s.cloud.clone()]],
         };
         let back = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+        // Seed-era snapshots carry no `middle` key; it defaults to empty.
+        let flat = TrainingSnapshot {
+            middle: Vec::new(),
+            ..snap.clone()
+        };
+        let legacy = flat.to_json().replace(",\"middle\":[]", "");
+        assert!(legacy.len() < flat.to_json().len(), "middle key not found");
+        let back = TrainingSnapshot::from_json(&legacy).unwrap();
+        assert_eq!(back, flat);
 
         let dir = std::env::temp_dir().join("hieradmo-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -1,6 +1,7 @@
 //! Run configuration: the paper's hyper-parameters in one struct.
 
 use hieradmo_netsim::AdversaryPlan;
+use hieradmo_topology::TierTree;
 use serde::{Deserialize, Serialize};
 
 use crate::robust::RobustAggregator;
@@ -84,6 +85,18 @@ pub struct RunConfig {
     /// trajectory replays under any network timing seed.
     #[serde(default)]
     pub adversary: AdversaryPlan,
+    /// **Deprecated.** Edge-server count from seed-era flat configs that
+    /// embedded the topology in the run config. Topology now lives in a
+    /// [`hieradmo_topology::TierTree`] passed alongside the config; when
+    /// both legacy fields are present, [`RunConfig::legacy_tier_tree`]
+    /// maps them onto the equivalent depth-3 tree. Never re-serialized
+    /// intent: leave `None` in new configs.
+    #[serde(default)]
+    pub edges: Option<usize>,
+    /// **Deprecated.** Workers-per-edge count from seed-era flat configs;
+    /// see [`RunConfig::edges`].
+    #[serde(default)]
+    pub workers_per_edge: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -105,6 +118,8 @@ impl Default for RunConfig {
             clip_norm: None,
             aggregator: RobustAggregator::default(),
             adversary: AdversaryPlan::none(),
+            edges: None,
+            workers_per_edge: None,
         }
     }
 }
@@ -159,6 +174,7 @@ impl RunConfig {
         }
         self.aggregator.validate()?;
         self.adversary.validate()?;
+        self.legacy_tier_tree()?;
         Ok(())
     }
 
@@ -177,6 +193,46 @@ impl RunConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             None => 1,
+        }
+    }
+
+    /// Maps the deprecated [`RunConfig::edges`] / `workers_per_edge`
+    /// fields onto the depth-3 [`TierTree`] they always described:
+    /// `[{fanout: edges, interval: pi, Wan}, {fanout: workers_per_edge,
+    /// interval: tau, Lan}]`.
+    ///
+    /// Returns `Ok(None)` when neither legacy field is set (the modern
+    /// shape: topology travels separately).
+    ///
+    /// # Errors
+    ///
+    /// One legacy field without the other, or a zero count.
+    pub fn legacy_tier_tree(&self) -> Result<Option<TierTree>, String> {
+        match (self.edges, self.workers_per_edge) {
+            (None, None) => Ok(None),
+            (Some(edges), Some(wpe)) => {
+                if edges == 0 || wpe == 0 {
+                    return Err(format!(
+                        "legacy edges ({edges}) and workers_per_edge ({wpe}) must be positive"
+                    ));
+                }
+                // Once per process, not per call: configs are re-validated on
+                // every run and checkpoint load.
+                static NOTE: std::sync::Once = std::sync::Once::new();
+                NOTE.call_once(|| {
+                    eprintln!(
+                        "note: RunConfig fields `edges`/`workers_per_edge` are deprecated; \
+                         topology now travels as a TierTree (this config maps to \
+                         TierTree::three_tier({edges}, {wpe}, {}, {}))",
+                        self.tau, self.pi
+                    );
+                });
+                Ok(Some(TierTree::three_tier(edges, wpe, self.tau, self.pi)))
+            }
+            _ => Err(
+                "legacy fields edges and workers_per_edge must be set together or not at all"
+                    .into(),
+            ),
         }
     }
 
@@ -245,6 +301,53 @@ mod tests {
         assert_eq!(back.aggregator, RobustAggregator::Mean);
         assert!(back.adversary.is_empty());
         assert_eq!(back, RunConfig::default());
+    }
+
+    #[test]
+    fn legacy_topology_fields_map_to_the_depth_3_tree() {
+        use hieradmo_topology::{LinkClass, TierTree};
+        // A seed-era config that embedded the topology inline still
+        // parses — the deprecated counts are carried as optional fields.
+        let json = serde_json::to_string(&RunConfig::default()).unwrap();
+        let legacy = json.replace(
+            "\"edges\":null,\"workers_per_edge\":null",
+            "\"edges\":4,\"workers_per_edge\":8",
+        );
+        assert_ne!(legacy, json, "expected the legacy keys in the wire form");
+        let cfg: RunConfig = serde_json::from_str(&legacy).unwrap();
+        cfg.validate().unwrap();
+        // ... and pins exactly the depth-3 tree it always described:
+        // 4 edges syncing every π cloud-wards, 8 workers each every τ.
+        let tree = cfg.legacy_tier_tree().unwrap().unwrap();
+        assert_eq!(tree, TierTree::three_tier(4, 8, cfg.tau, cfg.pi));
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.num_edges(), 4);
+        assert_eq!(tree.num_workers(), 32);
+        assert_eq!(tree.tau(), cfg.tau);
+        assert_eq!(tree.pi_total(), cfg.pi);
+        assert_eq!(tree.levels()[0].link_class, LinkClass::Wan);
+        assert_eq!(tree.levels()[1].link_class, LinkClass::Lan);
+    }
+
+    #[test]
+    fn modern_configs_carry_no_legacy_topology() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.legacy_tier_tree().unwrap(), None);
+    }
+
+    #[test]
+    fn half_specified_legacy_topology_is_rejected() {
+        let cfg = RunConfig {
+            edges: Some(4),
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("workers_per_edge"));
+        let cfg = RunConfig {
+            edges: Some(0),
+            workers_per_edge: Some(8),
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

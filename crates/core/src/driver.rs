@@ -17,7 +17,7 @@ use hieradmo_metrics::{AdversaryCounters, ConvergenceCurve, EvalPoint};
 use hieradmo_models::{EvalSums, Model};
 use hieradmo_netsim::adversary::{AdversarySampler, AttackModel};
 use hieradmo_tensor::Vector;
-use hieradmo_topology::{Hierarchy, Schedule, ScheduleError, Weights};
+use hieradmo_topology::{Hierarchy, Schedule, ScheduleError, TierAggregation, TierTree, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,7 +32,7 @@ use crate::pool::{
     chunk, EdgeItem, EvalChunk, EvalTarget, ExecCtx, Job, Pool, Reply, StepCtx, StepItem,
 };
 use crate::state::{EdgeState, FlState, WorkerState};
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, TierScope};
 
 /// Errors a run can fail with before any training happens.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +120,13 @@ pub struct RunResult {
     /// `(k, mean-over-edges cos θ)` at every edge aggregation (Eq. 6's
     /// measured worker/edge momentum agreement).
     pub cos_trace: Vec<(usize, f32)>,
+    /// Per-middle-tier γ diagnostics on N-tier runs: one trace per
+    /// middle depth (in [`TierTree::middle_depths`] order), each holding
+    /// `(round, mean-over-nodes γ)` at that tier's aggregations — the
+    /// per-tier generalization of [`RunResult::gamma_trace`]. Empty on
+    /// three-tier runs; an identity (pass-through) tier's trace stays
+    /// empty, since that tier never aggregates.
+    pub tier_gamma: Vec<Vec<(usize, f32)>>,
     /// Final global model parameters.
     pub final_params: Vector,
     /// Wall-clock duration of the simulation (not of the emulated network;
@@ -172,6 +179,127 @@ where
         cfg,
         None,
         None,
+        None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// Runs `strategy` over an arbitrary-depth [`TierTree`]: the N-tier
+/// generalization of [`run`]. Worker state is laid out over the tree's
+/// edge tier ([`TierTree::edge_hierarchy`]); middle tiers fire bottom-up
+/// at their interval boundaries through
+/// [`Strategy::tier_aggregate`], between the edge and root aggregations.
+///
+/// A depth-3 tree runs the *identical* code path as [`run`] on the
+/// corresponding hierarchy — no middle tiers exist, and the edge/root
+/// hooks default to the seed behavior — so results are bitwise equal
+/// (pinned by `tests/tier_equivalence.rs`).
+///
+/// # Errors
+///
+/// Everything [`run`] rejects, plus a config whose `(τ, π)` disagree
+/// with the tree (`cfg.tau` must equal [`TierTree::tau`], `cfg.pi` must
+/// equal [`TierTree::pi_total`]) or worker data that does not span the
+/// tree's leaves.
+pub fn run_tiered<M, S>(
+    strategy: &S,
+    model: &M,
+    tree: &TierTree,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let hierarchy = tree.edge_hierarchy();
+    run_span(
+        strategy,
+        model,
+        &hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        None,
+        None,
+        Some(tree),
+    )
+    .map(|(result, _)| result)
+}
+
+/// The N-tier counterpart of [`run_until`]: stops at an edge boundary
+/// and returns the snapshot (which carries every middle tier's state —
+/// see [`TrainingSnapshot::middle`]) alongside the partial result.
+///
+/// # Errors
+///
+/// Everything [`run_tiered`] and [`run_until`] reject.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tiered_until<M, S>(
+    strategy: &S,
+    model: &M,
+    tree: &TierTree,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    stop_at: usize,
+) -> Result<(RunResult, TrainingSnapshot), RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let hierarchy = tree.edge_hierarchy();
+    let (result, snapshot) = run_span(
+        strategy,
+        model,
+        &hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        None,
+        Some(stop_at),
+        Some(tree),
+    )?;
+    Ok((
+        result,
+        snapshot.expect("run_span produces a snapshot whenever stop_at is given"),
+    ))
+}
+
+/// The N-tier counterpart of [`run_resumed`]: continues from a snapshot
+/// captured by [`run_tiered_until`] with the same tree, strategy, model,
+/// data and config, bitwise identically to the uninterrupted
+/// [`run_tiered`].
+///
+/// # Errors
+///
+/// Everything [`run_tiered`] and [`run_resumed`] reject, plus a
+/// snapshot whose middle-tier shape does not match the tree.
+pub fn run_tiered_resumed<M, S>(
+    strategy: &S,
+    model: &M,
+    tree: &TierTree,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    snapshot: &TrainingSnapshot,
+) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let hierarchy = tree.edge_hierarchy();
+    run_span(
+        strategy,
+        model,
+        &hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        Some(snapshot),
+        None,
+        Some(tree),
     )
     .map(|(result, _)| result)
 }
@@ -210,6 +338,7 @@ where
         cfg,
         None,
         Some(stop_at),
+        None,
     )?;
     Ok((
         result,
@@ -253,6 +382,7 @@ where
         cfg,
         Some(snapshot),
         None,
+        None,
     )
     .map(|(result, _)| result)
 }
@@ -271,12 +401,25 @@ fn run_span<M, S>(
     cfg: &RunConfig,
     resume: Option<&TrainingSnapshot>,
     stop_at: Option<usize>,
+    tiers: Option<&TierTree>,
 ) -> Result<(RunResult, Option<TrainingSnapshot>), RunError>
 where
     M: Model + Clone + Send,
     S: Strategy + ?Sized,
 {
     cfg.validate().map_err(RunError::BadConfig)?;
+    if let Some(tree) = tiers {
+        if cfg.tau != tree.tau() || cfg.pi != tree.pi_total() {
+            return Err(RunError::BadConfig(format!(
+                "config (tau = {}, pi = {}) disagrees with the tier tree \
+                 (tau = {}, pi_total = {})",
+                cfg.tau,
+                cfg.pi,
+                tree.tau(),
+                tree.pi_total()
+            )));
+        }
+    }
     if let Some(stop) = stop_at {
         if stop == 0 || stop > cfg.total_iters || stop % cfg.tau != 0 {
             return Err(RunError::BadConfig(format!(
@@ -314,10 +457,10 @@ where
                     hierarchy.num_edges()
                 )));
             }
-            if snap.cloud.x.len() != model.params().len() {
+            if snap.cloud.x_plus.len() != model.params().len() {
                 return Err(RunError::Data(format!(
                     "snapshot dimension {} does not match model dimension {}",
-                    snap.cloud.x.len(),
+                    snap.cloud.x_plus.len(),
                     model.params().len()
                 )));
             }
@@ -368,13 +511,30 @@ where
     let engine_weights = weights.clone();
     let mut state = FlState::new(hierarchy.clone(), weights, &model.params());
     state.aggregator = cfg.aggregator;
+    if let Some(tree) = tiers {
+        state.attach_tree(tree.clone());
+    }
     strategy.init(&mut state);
     if let Some(snap) = resume {
-        // All algorithm state lives in the three tier vectors, so restoring
+        if snap.middle.len() != state.middle.len()
+            || snap
+                .middle
+                .iter()
+                .zip(&state.middle)
+                .any(|(s, m)| s.len() != m.len())
+        {
+            return Err(RunError::Data(format!(
+                "snapshot holds {} middle tiers for a tree with {}",
+                snap.middle.len(),
+                state.middle.len()
+            )));
+        }
+        // All algorithm state lives in the tier vectors, so restoring
         // them overwrites everything `init` set up.
         state.workers = snap.workers.clone();
         state.edges = snap.edges.clone();
         state.cloud = snap.cloud.clone();
+        state.middle = snap.middle.clone();
     }
 
     let train_probe = build_train_probe(worker_data, cfg.train_eval_cap);
@@ -399,6 +559,7 @@ where
     let mut curve = ConvergenceCurve::new();
     let mut gamma_trace = Vec::new();
     let mut cos_trace = Vec::new();
+    let mut tier_gamma: Vec<Vec<(usize, f32)>> = vec![Vec::new(); state.middle.len()];
     let mut timings = PhaseTimings::default();
     // Failure-injection RNG: drawn per (tick, worker) serially on the main
     // thread so runs stay deterministic regardless of threading.
@@ -510,10 +671,51 @@ where
                 let mean_cos = state.edges.iter().map(|e| e.cos_theta).sum::<f32>() / n_edges;
                 cos_trace.push((k, mean_cos));
                 timings.edge_agg += t0.elapsed();
+
+                // Middle tiers fire bottom-up whenever the edge round count
+                // divides their synchronization period. They run serially on
+                // the main thread and draw no RNG, so adding (or removing)
+                // pass-through tiers cannot perturb any stream — the basis
+                // of the depth-collapse equivalence guarantee.
+                if let Some(tree) = tiers {
+                    let t0 = Instant::now();
+                    for d in tree.middle_depths().rev() {
+                        // Identity tiers forward their children untouched:
+                        // they neither fire the hook nor record γ, so a
+                        // pass-through tree is bit-identical to its
+                        // collapse, traces included.
+                        if tree.levels()[d].aggregation == TierAggregation::Identity {
+                            continue;
+                        }
+                        let period = tree.sync_rounds(d);
+                        if k % period == 0 {
+                            let round = k / period;
+                            for node in 0..tree.nodes_at(d) {
+                                strategy.tier_aggregate(
+                                    TierScope::Middle {
+                                        depth: d,
+                                        node,
+                                        state: &mut state,
+                                    },
+                                    round,
+                                );
+                            }
+                            let tier = &state.middle[d - 1];
+                            let mean =
+                                tier.iter().map(|s| s.gamma_edge).sum::<f32>() / tier.len() as f32;
+                            tier_gamma[d - 1].push((round, mean));
+                        }
+                    }
+                    timings.cloud_agg += t0.elapsed();
+                }
             }
             if let Some(p) = tick.cloud_aggregation {
                 let t0 = Instant::now();
-                strategy.cloud_aggregate(p, &mut state);
+                if tiers.is_some() {
+                    strategy.tier_aggregate(TierScope::Root(&mut state), p);
+                } else {
+                    strategy.cloud_aggregate(p, &mut state);
+                }
                 timings.cloud_agg += t0.elapsed();
             }
 
@@ -540,6 +742,7 @@ where
         workers: state.workers.clone(),
         edges: state.edges.clone(),
         cloud: state.cloud.clone(),
+        middle: state.middle.clone(),
     });
     Ok((
         RunResult {
@@ -547,6 +750,7 @@ where
             curve,
             gamma_trace,
             cos_trace,
+            tier_gamma,
             final_params,
             elapsed: started.elapsed(),
             timings,

@@ -67,7 +67,10 @@ pub mod virtual_update;
 
 pub use checkpoint::{Checkpoint, TrainingSnapshot};
 pub use config::RunConfig;
-pub use driver::{run, run_resumed, run_until, PhaseTimings, RunError, RunResult};
+pub use driver::{
+    run, run_resumed, run_tiered, run_tiered_resumed, run_tiered_until, run_until, PhaseTimings,
+    RunError, RunResult,
+};
 pub use robust::RobustAggregator;
-pub use state::{CloudState, EdgeState, EdgeView, FlState, WorkerState};
-pub use strategy::{Strategy, Tier};
+pub use state::{CloudState, EdgeState, EdgeView, FlState, TierState, WorkerState};
+pub use strategy::{default_middle_aggregate, Strategy, Tier, TierScope};

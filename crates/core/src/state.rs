@@ -1,12 +1,14 @@
-//! The complete state of a three-tier federation, shared by all algorithms.
+//! The complete state of an N-tier federation, shared by all algorithms.
 //!
 //! Field names follow Table I of the paper: worker `{i, ℓ}` holds model
-//! `x_{i,ℓ}` and momentum `y_{i,ℓ}`; edge `ℓ` holds the post-aggregation
-//! values `y_{ℓ−}` / `x_{ℓ+}` / `y_{ℓ+}`; the cloud holds `x` and `y`.
-//! Algorithms use whichever fields they need and leave the rest untouched.
+//! `x_{i,ℓ}` and momentum `y_{i,ℓ}`; every aggregator tier — edge,
+//! middle, or cloud — holds one [`TierState`] with the post-aggregation
+//! values `y_{ℓ−}` / `x_{ℓ+}` / `y_{ℓ+}` plus the server-momentum fields
+//! the two-tier baselines keep at the root. Algorithms use whichever
+//! fields they need and leave the rest untouched.
 
 use hieradmo_tensor::Vector;
-use hieradmo_topology::{Hierarchy, Weights};
+use hieradmo_topology::{Hierarchy, TierTree, Weights};
 use serde::{Deserialize, Serialize};
 
 use crate::robust::RobustAggregator;
@@ -76,17 +78,33 @@ impl WorkerState {
     }
 }
 
-/// Per-edge state.
+/// State of one aggregator node at *any* non-leaf tier — edge, middle,
+/// or cloud root. One struct serves every level so deeper trees are just
+/// more vectors of the same state, and a middle node's children are
+/// always `&mut [TierState]` whether they are edges or lower middles.
+///
+/// Field naming follows the edge row of Table I; at the root, `x_plus`
+/// *is* the cloud model `x` (line 19) and `y_plus` the cloud momentum
+/// `y` (line 18). Fields a given role never touches stay at their
+/// initial values and cost one model-sized vector each.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EdgeState {
-    /// Edge model `x_{ℓ+}` (after the edge momentum update, line 13).
+pub struct TierState {
+    /// The node's model: `x_{ℓ+}` at an edge (after the edge momentum
+    /// update, line 13), the global `x` at the root.
     pub x_plus: Vector,
-    /// Edge momentum `y_{ℓ+}` (line 12); its previous value feeds line 13.
+    /// The node's momentum: `y_{ℓ+}` at an edge (line 12; its previous
+    /// value feeds line 13), the cloud `y` at the root.
     pub y_plus: Vector,
-    /// Aggregated worker momentum `y_{ℓ−}` (line 11).
+    /// Aggregated child momentum `y_{ℓ−}` (line 11).
     pub y_minus: Vector,
-    /// The edge momentum factor `γℓ` used at the latest aggregation
-    /// (adapted by HierAdMo, fixed for HierAdMo-R) — recorded for the
+    /// Server momentum/velocity for aggregator-momentum baselines
+    /// (FedMom, SlowMo, FastSlowMo, Mime's statistic) — root-only today.
+    pub v: Vector,
+    /// Previous model, kept by server-momentum baselines to form the
+    /// pseudo-gradient `x_prev − x̄` — root-only today.
+    pub x_prev: Vector,
+    /// The momentum factor `γℓ` used at the latest aggregation (adapted
+    /// by HierAdMo, fixed for HierAdMo-R) — recorded per tier for the
     /// Fig. 2(i)–(k) diagnostics.
     pub gamma_edge: f32,
     /// The weighted cosine `cos θ_{k,ℓ}` measured at the latest
@@ -94,12 +112,21 @@ pub struct EdgeState {
     pub cos_theta: f32,
 }
 
-impl EdgeState {
-    fn new(x0: &Vector) -> Self {
-        EdgeState {
+/// Per-edge state: the leaf-parent instance of [`TierState`].
+pub type EdgeState = TierState;
+
+/// Cloud (root) state: the root instance of [`TierState`]. The root's
+/// model and momentum live in [`TierState::x_plus`] / [`TierState::y_plus`].
+pub type CloudState = TierState;
+
+impl TierState {
+    pub(crate) fn new(x0: &Vector) -> Self {
+        TierState {
             x_plus: x0.clone(),
             y_plus: x0.clone(),
             y_minus: x0.clone(),
+            v: Vector::zeros(x0.len()),
+            x_prev: x0.clone(),
             gamma_edge: 0.0,
             cos_theta: 0.0,
         }
@@ -108,33 +135,7 @@ impl EdgeState {
     /// Zero-dimensional stand-in used by the execution engine while the
     /// real state is checked out to a worker thread.
     pub(crate) fn placeholder() -> Self {
-        EdgeState::new(&Vector::zeros(0))
-    }
-}
-
-/// Cloud state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CloudState {
-    /// Cloud model `x` (line 19).
-    pub x: Vector,
-    /// Cloud-aggregated worker momentum `y` (line 18).
-    pub y: Vector,
-    /// Server momentum/velocity for aggregator-momentum baselines
-    /// (FedMom, SlowMo, FastSlowMo, Mime's statistic).
-    pub v: Vector,
-    /// Previous global model, kept by server-momentum baselines to form
-    /// the pseudo-gradient `x_prev − x̄`.
-    pub x_prev: Vector,
-}
-
-impl CloudState {
-    fn new(x0: &Vector) -> Self {
-        CloudState {
-            x: x0.clone(),
-            y: x0.clone(),
-            v: Vector::zeros(x0.len()),
-            x_prev: x0.clone(),
-        }
+        TierState::new(&Vector::zeros(0))
     }
 }
 
@@ -147,10 +148,17 @@ pub struct FlState {
     pub weights: Weights,
     /// Worker states in flat order.
     pub workers: Vec<WorkerState>,
-    /// Edge states.
+    /// Edge (leaf-parent tier) states.
     pub edges: Vec<EdgeState>,
-    /// Cloud state.
+    /// Cloud (root) state.
     pub cloud: CloudState,
+    /// Middle-tier states for depth ≥ 4 trees, outer-indexed by tier
+    /// depth in [`TierTree::middle_depths`] order (top-down), inner by
+    /// node. Empty — and never touched by any hook — on three-tier runs.
+    pub middle: Vec<Vec<TierState>>,
+    /// The tier tree behind `middle`, when this federation runs the
+    /// N-tier path. `None` on the seed three-tier path.
+    pub tree: Option<TierTree>,
     /// The aggregation rule every child reduction routes through. The
     /// default ([`RobustAggregator::Mean`]) is the paper's data-weighted
     /// mean and keeps runs bitwise identical to the pre-robustness code.
@@ -180,13 +188,72 @@ impl FlState {
             workers,
             edges,
             cloud: CloudState::new(x0),
+            middle: Vec::new(),
+            tree: None,
             aggregator: RobustAggregator::default(),
         }
     }
 
+    /// Attaches a tier tree, allocating one [`TierState`] per middle
+    /// node (initialized like every other tier: `x⁰` everywhere,
+    /// `y⁰ = x⁰`). The tree's edge tier must span this state's
+    /// hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's edge/worker counts disagree with the
+    /// hierarchy.
+    pub fn attach_tree(&mut self, tree: TierTree) {
+        assert_eq!(
+            tree.num_edges(),
+            self.hierarchy.num_edges(),
+            "tier tree spans {} edges for a hierarchy with {}",
+            tree.num_edges(),
+            self.hierarchy.num_edges()
+        );
+        assert_eq!(
+            tree.num_workers(),
+            self.hierarchy.num_workers(),
+            "tier tree spans {} workers for a hierarchy with {}",
+            tree.num_workers(),
+            self.hierarchy.num_workers()
+        );
+        let x0 = self.cloud.x_plus.clone();
+        self.middle = tree
+            .middle_depths()
+            .map(|d| (0..tree.nodes_at(d)).map(|_| TierState::new(&x0)).collect())
+            .collect();
+        self.tree = Some(tree);
+    }
+
+    /// Data weight of one middle node's subtree within its parent's
+    /// subtree: the sum of its edges' `D_ℓ/D` shares, renormalized so
+    /// siblings sum to 1. `depth` indexes the tree as in
+    /// [`TierTree::middle_depths`]; for the root's children pass
+    /// `depth = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tree is attached or the node is out of range.
+    pub fn subtree_weight(&self, depth: usize, node: usize) -> f64 {
+        let tree = self.tree.as_ref().expect("subtree_weight needs a tree");
+        let span = tree.edges_per_node(depth);
+        let share = |n: usize| -> f64 {
+            (n * span..(n + 1) * span)
+                .map(|e| self.weights.edge_in_total(e))
+                .sum()
+        };
+        let parent_fanout = tree.levels()[depth - 1].fanout;
+        let first_sibling = (node / parent_fanout) * parent_fanout;
+        let parent_share: f64 = (first_sibling..first_sibling + parent_fanout)
+            .map(&share)
+            .sum();
+        share(node) / parent_share
+    }
+
     /// Model dimension.
     pub fn dim(&self) -> usize {
-        self.cloud.x.len()
+        self.cloud.x_plus.len()
     }
 
     /// Data-weighted reduction over one edge's workers of an arbitrary
@@ -412,6 +479,43 @@ mod tests {
     }
 
     #[test]
+    fn subtree_weights_are_finite_and_sum_to_one_per_parent() {
+        use hieradmo_topology::{TierSpec, TierTree};
+        // Depth 4, 2 regions x 2 edges x 1 worker, heavily skewed data:
+        // one worker owns almost everything. The division in
+        // `subtree_weight` is guarded structurally — `Weights` rejects
+        // zero-sample edges, so no parent share can reach 0 — and this
+        // pins that invariant: every weight is finite and each parent's
+        // children sum to 1.
+        let tree = TierTree::new(vec![
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 1),
+            TierSpec::new(1, 5),
+        ])
+        .unwrap();
+        let h = tree.edge_hierarchy();
+        let w = Weights::from_samples(&h, &[1_000_000, 1, 1, 1]);
+        let mut s = FlState::new(h, w, &Vector::from(vec![0.0]));
+        s.attach_tree(tree.clone());
+        for d in 1..tree.levels().len() {
+            let fanout = tree.levels()[d - 1].fanout;
+            for parent in 0..tree.nodes_at(d - 1) {
+                let total: f64 = (parent * fanout..(parent + 1) * fanout)
+                    .map(|n| {
+                        let wt = s.subtree_weight(d, n);
+                        assert!(wt.is_finite() && wt > 0.0, "weight({d}, {n}) = {wt}");
+                        wt
+                    })
+                    .sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "parent {parent} sums to {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn initialization_matches_algorithm_lines_1_and_2() {
         let s = state();
         for w in &s.workers {
@@ -423,7 +527,7 @@ mod tests {
             assert_eq!(e.x_plus.as_slice(), &[1.0, 2.0]);
             assert_eq!(e.y_plus, e.x_plus, "y0_{{l+}} = x0_{{l+}}");
         }
-        assert_eq!(s.cloud.x.as_slice(), &[1.0, 2.0]);
+        assert_eq!(s.cloud.x_plus.as_slice(), &[1.0, 2.0]);
         assert_eq!(s.dim(), 2);
     }
 

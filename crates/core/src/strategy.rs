@@ -2,7 +2,7 @@
 //! implements against the shared [`FlState`].
 
 use hieradmo_tensor::Vector;
-use hieradmo_topology::Hierarchy;
+use hieradmo_topology::{Hierarchy, TierAggregation};
 
 use crate::state::{EdgeView, FlState, WorkerState};
 
@@ -14,6 +14,33 @@ pub enum Tier {
     Two,
     /// Three-tier (workers ↔ edges ↔ cloud).
     Three,
+}
+
+/// The tier a depth-indexed aggregation targets — the argument of
+/// [`Strategy::tier_aggregate`].
+///
+/// On the seed three-tier path only `Edge` and `Root` occur; `Middle`
+/// appears on depth ≥ 4 [`hieradmo_topology::TierTree`] runs, once per
+/// middle node at that tier's boundary. Edge scopes may be dispatched
+/// concurrently (one view per edge, disjoint by construction); middle
+/// and root scopes always run serially on the driver thread with the
+/// whole federation in reach.
+#[derive(Debug)]
+pub enum TierScope<'a, 'b> {
+    /// The leaf-parent ("edge") tier: one edge's workers and state.
+    Edge(&'b mut EdgeView<'a>),
+    /// One middle-tier node of a depth ≥ 4 tree.
+    Middle {
+        /// The node's tree depth (an element of
+        /// [`hieradmo_topology::TierTree::middle_depths`]).
+        depth: usize,
+        /// The node's index within its tier.
+        node: usize,
+        /// The full federation state (middle hooks run serially).
+        state: &'b mut FlState,
+    },
+    /// The root ("cloud") tier.
+    Root(&'b mut FlState),
 }
 
 /// A federated-learning algorithm as a set of hooks called by
@@ -97,6 +124,46 @@ pub trait Strategy: Send + Sync {
         self.cloud_aggregate(p, state);
     }
 
+    /// Depth-indexed aggregation dispatch: one hook for every tier of an
+    /// N-tier tree. `round` is the firing tier's own aggregation index
+    /// (`k` at the edges, `p` at the root, the node tier's round for
+    /// middles).
+    ///
+    /// The default is exactly today's three-tier behavior — edge scopes
+    /// delegate to [`Strategy::edge_aggregate`], the root to
+    /// [`Strategy::cloud_aggregate`] — so every existing algorithm runs
+    /// the N-tier path bitwise identically to the seed code (pinned by
+    /// `tests/tier_equivalence.rs`). Middle scopes run
+    /// [`default_middle_aggregate`]: subtree-weighted averaging through
+    /// the federation's robust aggregator, or a no-op for
+    /// [`TierAggregation::Identity`] levels. Override to give an
+    /// algorithm genuine per-depth semantics.
+    fn tier_aggregate(&self, scope: TierScope<'_, '_>, round: usize) {
+        match scope {
+            TierScope::Edge(view) => self.edge_aggregate(round, view),
+            TierScope::Middle { depth, node, state } => {
+                default_middle_aggregate(depth, node, state);
+            }
+            TierScope::Root(state) => self.cloud_aggregate(round, state),
+        }
+    }
+
+    /// Staleness-aware variant of [`Strategy::tier_aggregate`], with the
+    /// same contract as the edge/cloud stale hooks: all-zero staleness
+    /// must be equivalent to the synchronous hook, which the default
+    /// guarantees by delegating per scope (middles fall through to
+    /// [`Strategy::tier_aggregate`] — middle tiers are co-hosted at the
+    /// barrier actor, so their children are never stale today).
+    fn tier_aggregate_stale(&self, scope: TierScope<'_, '_>, round: usize, staleness: &[usize]) {
+        match scope {
+            TierScope::Edge(view) => self.edge_aggregate_stale(round, view, staleness),
+            TierScope::Middle { depth, node, state } => {
+                self.tier_aggregate(TierScope::Middle { depth, node, state }, round);
+            }
+            TierScope::Root(state) => self.cloud_aggregate_stale(round, state, staleness),
+        }
+    }
+
     /// The parameters evaluated as "the global model" between aggregations.
     /// Defaults to the data-weighted average of worker models.
     fn global_params(&self, state: &FlState) -> Vector {
@@ -119,6 +186,62 @@ pub trait Strategy: Send + Sync {
             ));
         }
         Ok(())
+    }
+}
+
+/// The stock middle-tier aggregation behind the default
+/// [`Strategy::tier_aggregate`]: the paper's cloud rule (Algorithm 1
+/// lines 18–19 without server momentum) restricted to one node's
+/// subtree.
+///
+/// For an [`TierAggregation::Average`] level, the node reduces its
+/// subtree's edge states — `y_{ℓ−}` and `x_{ℓ+}`, weighted by the
+/// subtree-renormalized data shares `D_ℓ / D_subtree` and routed through
+/// the federation's [`crate::RobustAggregator`] — stores the result as
+/// its own momentum/model, and redistributes both down the subtree
+/// (edges' `y_minus`/`x_plus`, workers' `y`/`x`), exactly as the cloud
+/// does globally. For [`TierAggregation::Identity`] levels it does
+/// nothing at all, which is what makes pass-through tiers collapsible
+/// (see [`hieradmo_topology::TierTree::collapse`]).
+///
+/// # Panics
+///
+/// Panics if `state` has no attached tier tree or `depth`/`node` are out
+/// of range.
+pub fn default_middle_aggregate(depth: usize, node: usize, state: &mut FlState) {
+    let tree = state
+        .tree
+        .as_ref()
+        .expect("middle aggregation needs a tier tree");
+    // The node at `depth` aggregates its children per the spec of the
+    // depth → depth+1 relation.
+    if tree.levels()[depth].aggregation == TierAggregation::Identity {
+        return;
+    }
+    let span = tree.edges_per_node(depth);
+    let edges = node * span..(node + 1) * span;
+    let subtree_total: f64 = edges.clone().map(|e| state.weights.edge_in_total(e)).sum();
+    let weighted = |l: usize| state.weights.edge_in_total(l) / subtree_total;
+    let y = state.aggregate(
+        edges
+            .clone()
+            .map(|l| (weighted(l), &state.edges[l].y_minus)),
+    );
+    let x = state.aggregate(edges.clone().map(|l| (weighted(l), &state.edges[l].x_plus)));
+
+    let idx = depth - 1;
+    state.middle[idx][node].y_minus = y.clone();
+    state.middle[idx][node].y_plus = y.clone();
+    state.middle[idx][node].x_plus = x.clone();
+    for l in edges {
+        state.edges[l].y_minus = y.clone();
+        state.edges[l].x_plus = x.clone();
+    }
+    let workers = state.hierarchy.edge_workers(node * span).start
+        ..state.hierarchy.edge_workers((node + 1) * span - 1).end;
+    for i in workers {
+        state.workers[i].y = y.clone();
+        state.workers[i].x = x.clone();
     }
 }
 

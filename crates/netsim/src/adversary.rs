@@ -32,6 +32,7 @@
 //! under any network timing draw.
 
 use hieradmo_tensor::Vector;
+use hieradmo_topology::{TierPath, TierTree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
@@ -160,6 +161,29 @@ impl AdversaryPlan {
         }
     }
 
+    /// Marks every worker addressed by a [`TierPath`] Byzantine with the
+    /// same `attack` — the N-tier spelling of [`AdversaryPlan::uniform`].
+    /// Each path must be a full worker address (one component per tier
+    /// level) in `tree`; the plan stores the equivalent flat indices, so
+    /// the run itself is bitwise identical to one built from
+    /// [`AdversaryPlan::uniform`] on the resolved indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first path that is not a valid worker
+    /// address in `tree`.
+    pub fn uniform_at_paths<'a>(
+        tree: &TierTree,
+        paths: impl IntoIterator<Item = &'a TierPath>,
+        attack: AttackModel,
+    ) -> Result<Self, String> {
+        let workers = paths
+            .into_iter()
+            .map(|p| p.flat_worker(tree))
+            .collect::<Result<Vec<usize>, String>>()?;
+        Ok(AdversaryPlan::uniform(workers, attack))
+    }
+
     /// Returns `true` when the plan marks no workers Byzantine.
     pub fn is_empty(&self) -> bool {
         self.byzantine.is_empty()
@@ -260,6 +284,32 @@ impl AdversarySampler {
 mod tests {
     use super::*;
     use crate::fault::FAULT_SEED_SALT;
+
+    #[test]
+    fn tier_path_plan_resolves_to_flat_indices() {
+        // Depth 4: 2 regions x 2 edges x 3 workers.
+        let tree = TierTree::new(vec![
+            hieradmo_topology::TierSpec::new(2, 2),
+            hieradmo_topology::TierSpec::new(2, 2),
+            hieradmo_topology::TierSpec::new(3, 5),
+        ])
+        .unwrap();
+        let attack = AttackModel::SignFlip { scale: 2.0 };
+        let paths = [TierPath(vec![0, 0, 0]), TierPath(vec![1, 0, 2])];
+        let plan = AdversaryPlan::uniform_at_paths(&tree, &paths, attack).unwrap();
+        // Path 1/0/2: region 1 starts at flat worker 6, edge 0, worker 2.
+        assert_eq!(plan, AdversaryPlan::uniform([0, 8], attack));
+        plan.validate().unwrap();
+
+        // A node address (too short) is not a worker address.
+        let err =
+            AdversaryPlan::uniform_at_paths(&tree, &[TierPath(vec![0, 1])], attack).unwrap_err();
+        assert!(err.contains("worker"), "{err}");
+        // Out-of-range components are rejected too.
+        assert!(
+            AdversaryPlan::uniform_at_paths(&tree, &[TierPath(vec![0, 0, 3])], attack).is_err()
+        );
+    }
 
     fn full_plan() -> AdversaryPlan {
         AdversaryPlan {

@@ -17,6 +17,7 @@
 //! depends only on its own draw count — never on global event interleaving —
 //! and a given `(FaultPlan, net_seed)` replays bitwise identically.
 
+use hieradmo_topology::{TierPath, TierTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,23 @@ pub struct PermanentCrash {
     pub worker: usize,
     /// Virtual time of death, in milliseconds.
     pub at_ms: f64,
+}
+
+impl PermanentCrash {
+    /// The N-tier spelling: a permanent crash for the worker addressed by
+    /// a full [`TierPath`] in `tree`. The plan stores the equivalent flat
+    /// index, so the injected run is bitwise identical to one built with
+    /// that index directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `path` is not a valid worker address.
+    pub fn at_path(tree: &TierTree, path: &TierPath, at_ms: f64) -> Result<Self, String> {
+        Ok(PermanentCrash {
+            worker: path.flat_worker(tree)?,
+            at_ms,
+        })
+    }
 }
 
 /// Link-level message faults applied to every transfer: loss (detected by
@@ -332,6 +350,22 @@ impl FaultSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn permanent_crash_at_tier_path_resolves_to_flat_index() {
+        let tree = TierTree::new(vec![
+            hieradmo_topology::TierSpec::new(2, 2),
+            hieradmo_topology::TierSpec::new(2, 2),
+            hieradmo_topology::TierSpec::new(3, 5),
+        ])
+        .unwrap();
+        let p = PermanentCrash::at_path(&tree, &TierPath(vec![1, 1, 1]), 250.0).unwrap();
+        // Region 1 starts at flat worker 6, its edge 1 at 9; worker 1 → 10.
+        assert_eq!(p.worker, 10);
+        assert_eq!(p.at_ms, 250.0);
+        assert!(PermanentCrash::at_path(&tree, &TierPath(vec![1, 1]), 0.0).is_err());
+        assert!(PermanentCrash::at_path(&tree, &TierPath(vec![2, 0, 0]), 0.0).is_err());
+    }
 
     fn full_plan() -> FaultPlan {
         FaultPlan {

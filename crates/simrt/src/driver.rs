@@ -33,7 +33,7 @@ use std::ops::Range;
 
 use hieradmo_core::byzantine::corrupt_upload;
 use hieradmo_core::driver::{build_train_probe, EVAL_CHUNK};
-use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, WorkerState};
+use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, TierScope, WorkerState};
 use hieradmo_data::{Batcher, Dataset};
 use hieradmo_metrics::{
     ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
@@ -44,7 +44,7 @@ use hieradmo_netsim::{
     AdversarySampler, Architecture, AttackModel, DelaySampler, FaultSampler, LinkProfile,
 };
 use hieradmo_tensor::Vector;
-use hieradmo_topology::{Hierarchy, Schedule, Weights};
+use hieradmo_topology::{Hierarchy, Schedule, TierAggregation, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +119,12 @@ pub struct SimResult {
     /// `(k, cos θ)` diagnostics, same convention as
     /// [`SimResult::gamma_trace`].
     pub cos_trace: Vec<(usize, f32)>,
+    /// Per-middle-tier γ diagnostics on N-tier runs, one trace per middle
+    /// depth in `TierTree::middle_depths` order — the event-driven
+    /// counterpart of `hieradmo_core::RunResult::tier_gamma`. Empty on
+    /// three-tier runs; an identity (pass-through) tier's trace stays
+    /// empty, since that tier never aggregates.
+    pub tier_gamma: Vec<Vec<(usize, f32)>>,
     /// Final global model parameters.
     pub final_params: Vector,
     /// Virtual duration of the whole run.
@@ -370,6 +376,15 @@ struct Engine<'a, M, S: ?Sized> {
     gamma_stage: BTreeMap<usize, Vec<Option<(f32, f32)>>>,
     gamma_trace: Vec<(usize, f32)>,
     cos_trace: Vec<(usize, f32)>,
+    /// Per-middle-depth `(round, mean γℓ)` traces (N-tier runs only).
+    tier_gamma: Vec<Vec<(usize, f32)>>,
+    /// Edge rounds between cloud submissions: the most frequent boundary
+    /// at which any state-changing aggregation above the edges fires —
+    /// `π` on three-tier runs (and whenever every middle tier is
+    /// identity), else the deepest non-identity middle tier's
+    /// `TierTree::sync_rounds`. Divides `π` by construction, so root
+    /// boundaries are always submission boundaries.
+    submit_period: usize,
     /// Global edge-firing counter (relaxed-policy trace index).
     firing_seq: usize,
     /// Last curve iteration issued (relaxed policies).
@@ -399,7 +414,23 @@ where
         let weights = Weights::from_samples(hierarchy, &samples);
         let mut fl = FlState::new(hierarchy.clone(), weights, &model.params());
         fl.aggregator = cfg.aggregator;
+        if let Some(tree) = &sim.tiers {
+            fl.attach_tree(tree.clone());
+        }
         strategy.init(&mut fl);
+        // Edges submit cloud-wards at every boundary where some tier above
+        // them mutates state; identity middles are free, so a pure
+        // pass-through tree keeps the three-tier submission cadence (and
+        // every delay stream) untouched.
+        let submit_period = match &sim.tiers {
+            Some(tree) => tree
+                .middle_depths()
+                .filter(|&d| tree.levels()[d].aggregation != TierAggregation::Identity)
+                .map(|d| tree.sync_rounds(d))
+                .min()
+                .unwrap_or(cfg.pi),
+            None => cfg.pi,
+        };
 
         let mut edge_of = vec![0usize; n];
         let mut offsets = vec![0usize; l_count];
@@ -482,6 +513,7 @@ where
             faults: FaultCounters::default(),
         };
         let threads = cfg.resolved_threads();
+        let tier_gamma = vec![Vec::new(); fl.middle.len()];
 
         Engine {
             strategy,
@@ -508,6 +540,8 @@ where
             gamma_stage: BTreeMap::new(),
             gamma_trace: Vec::new(),
             cos_trace: Vec::new(),
+            tier_gamma,
+            submit_period,
             firing_seq: 0,
             last_iter: 0,
             faults_on,
@@ -1008,9 +1042,13 @@ where
             self.edges[e].last_dist = self.fl.workers[offset..offset + c].to_vec();
         }
         let firings_after = self.edges[e].firings + 1;
+        // `submit_period` equals `π` except on N-tier runs, where a
+        // non-identity middle tier pulls the submission boundary in.
         let cloud_round = match sim.policy {
-            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => k.is_multiple_of(self.cfg.pi),
-            SyncPolicy::AsyncAge { .. } => firings_after.is_multiple_of(self.cfg.pi),
+            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => {
+                k.is_multiple_of(self.submit_period)
+            }
+            SyncPolicy::AsyncAge { .. } => firings_after.is_multiple_of(self.submit_period),
         };
         if self.full_sync() {
             let t = k * self.cfg.tau;
@@ -1050,8 +1088,8 @@ where
                 Architecture::TwoTier => (0.0, None),
             };
             let p = match sim.policy {
-                SyncPolicy::AsyncAge { .. } => firings_after / self.cfg.pi,
-                _ => k / self.cfg.pi,
+                SyncPolicy::AsyncAge { .. } => firings_after / self.submit_period,
+                _ => k / self.submit_period,
             };
             self.queue.push(
                 now + d + du,
@@ -1247,7 +1285,47 @@ where
                 )
             })
             .collect();
-        strategy.cloud_aggregate_stale(p, &mut self.fl, &staleness);
+        // The edge round this submission closes; `p` counts submission
+        // boundaries, which fall every `submit_period` edge rounds.
+        let k = p * self.submit_period;
+        // Middle tiers (co-hosted here, at the cloud actor) fire bottom-up
+        // at their own interval boundaries, exactly as the tick-driven
+        // driver does between its edge and cloud phases. They draw no RNG
+        // and identity tiers touch no state, so three-tier and
+        // pass-through runs are unaffected draw for draw.
+        if let Some(tree) = &sim.tiers {
+            for td in tree.middle_depths().rev() {
+                // Identity tiers fire nothing and record nothing — a
+                // pass-through tree must match its collapse bitwise,
+                // γ traces included.
+                if tree.levels()[td].aggregation == TierAggregation::Identity {
+                    continue;
+                }
+                let period = tree.sync_rounds(td);
+                if k.is_multiple_of(period) {
+                    let round = k / period;
+                    for node in 0..tree.nodes_at(td) {
+                        strategy.tier_aggregate(
+                            TierScope::Middle {
+                                depth: td,
+                                node,
+                                state: &mut self.fl,
+                            },
+                            round,
+                        );
+                    }
+                    let tier = &self.fl.middle[td - 1];
+                    let mean = tier.iter().map(|s| s.gamma_edge).sum::<f32>() / tier.len() as f32;
+                    self.tier_gamma[td - 1].push((round, mean));
+                }
+            }
+        }
+        // The root fires only on its own boundary — every submission on
+        // three-tier runs, every `π / submit_period`-th on N-tier runs.
+        let root_fires = k.is_multiple_of(self.cfg.pi);
+        if root_fires {
+            strategy.cloud_aggregate_stale(k / self.cfg.pi, &mut self.fl, &staleness);
+        }
         if !self.full_sync() || self.faults_on {
             for l in 0..l_count {
                 self.cloud.last_dist[l] = Some(self.fl.workers[hierarchy.edge_workers(l)].to_vec());
@@ -1258,7 +1336,7 @@ where
             self.fl.workers[hierarchy.edge_workers(l)].clone_from_slice(&ws);
         }
         if self.full_sync() {
-            let t = p * self.cfg.tau * self.cfg.pi;
+            let t = k * self.cfg.tau;
             if self.is_eval_tick(t) {
                 let params = strategy.global_params(&self.fl);
                 let (test, train) = self.run_eval(&params);
@@ -1617,6 +1695,7 @@ where
             timed_curve: timed,
             gamma_trace: self.gamma_trace,
             cos_trace: self.cos_trace,
+            tier_gamma: self.tier_gamma,
             final_params: strategy.global_params(&self.fl),
             simulated_seconds: end_ms / 1000.0,
             utilization,
@@ -1690,6 +1769,30 @@ where
         }
     }
     sim.validate(None).map_err(SimError::Policy)?;
+    if let Some(tree) = &sim.tiers {
+        if tree.tau() != cfg.tau || tree.pi_total() != cfg.pi {
+            return Err(SimError::Run(RunError::BadConfig(format!(
+                "config (tau = {}, pi = {}) disagrees with the tier tree \
+                 (tau = {}, pi_total = {})",
+                cfg.tau,
+                cfg.pi,
+                tree.tau(),
+                tree.pi_total()
+            ))));
+        }
+        if tree.num_edges() != hierarchy.num_edges()
+            || tree.num_workers() != hierarchy.num_workers()
+        {
+            return Err(SimError::Run(RunError::Topology(format!(
+                "tier tree spans {} edges / {} workers but the hierarchy \
+                 has {} / {}",
+                tree.num_edges(),
+                tree.num_workers(),
+                hierarchy.num_edges(),
+                hierarchy.num_workers()
+            ))));
+        }
+    }
     for e in 0..hierarchy.num_edges() {
         sim.policy
             .validate_for_children(hierarchy.workers_in_edge(e))

@@ -1,6 +1,7 @@
 //! Synchronization policies and the co-simulation configuration.
 
 use hieradmo_netsim::{Architecture, FaultPlan, NetworkEnv};
+use hieradmo_topology::TierTree;
 
 /// When an aggregation round is allowed to fire, given that uploads now
 /// arrive at different virtual times.
@@ -126,6 +127,14 @@ pub struct SimConfig {
     /// injects nothing and leaves the simulation bitwise identical to a
     /// fault-free run; see [`hieradmo_netsim::FaultPlan`].
     pub faults: FaultPlan,
+    /// Optional N-tier topology. `None` (the default) is the classic
+    /// three-tier worker/edge/cloud arrangement. When set, middle tiers
+    /// are co-hosted at the cloud actor (no extra network hops, so delay
+    /// streams match the three-tier run draw for draw) and fire bottom-up
+    /// at their interval boundaries. Depth ≥ 4 requires
+    /// [`SyncPolicy::FullSync`]: partial-participation semantics for
+    /// middle tiers are not defined yet.
+    pub tiers: Option<TierTree>,
 }
 
 impl SimConfig {
@@ -146,12 +155,20 @@ impl SimConfig {
             net_seed,
             policy,
             faults: FaultPlan::none(),
+            tiers: None,
         }
     }
 
     /// Attaches a fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches an N-tier topology (builder style); see
+    /// [`SimConfig::tiers`].
+    pub fn with_tiers(mut self, tiers: TierTree) -> Self {
+        self.tiers = Some(tiers);
         self
     }
 
@@ -174,6 +191,16 @@ impl SimConfig {
             None => self.policy.validate()?,
         }
         self.faults.validate()?;
+        if let Some(tree) = &self.tiers {
+            if tree.depth() > 3 && self.policy != SyncPolicy::FullSync {
+                return Err(format!(
+                    "depth-{} tier trees require SyncPolicy::FullSync; middle tiers \
+                     have no partial-participation semantics under {}",
+                    tree.depth(),
+                    self.policy.label()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -272,6 +299,41 @@ mod tests {
             ..FaultPlan::none()
         };
         assert!(cfg.validate(Some(2)).is_err(), "bad fault plan");
+    }
+
+    #[test]
+    fn deep_tier_trees_are_gated_to_full_sync() {
+        use hieradmo_topology::{TierSpec, TierTree};
+        let deep = TierTree::new(vec![
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 5),
+        ])
+        .unwrap();
+        let base = |policy| {
+            SimConfig::new(
+                NetworkEnv::paper_testbed(2),
+                Architecture::ThreeTier,
+                50_000,
+                7,
+                policy,
+            )
+        };
+        // Depth 4 under FullSync: fine.
+        let cfg = base(SyncPolicy::FullSync).with_tiers(deep.clone());
+        assert!(cfg.validate(Some(2)).is_ok());
+        // Depth 4 under any partial-participation policy: rejected.
+        let cfg = base(SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 100.0,
+        })
+        .with_tiers(deep);
+        let err = cfg.validate(Some(2)).unwrap_err();
+        assert!(err.contains("FullSync"), "{err}");
+        // Depth 3 carries no such restriction.
+        let cfg = base(SyncPolicy::AsyncAge { max_staleness: 3 })
+            .with_tiers(TierTree::three_tier(2, 2, 5, 2));
+        assert!(cfg.validate(Some(2)).is_ok());
     }
 
     #[test]

@@ -27,9 +27,11 @@
 
 pub mod hierarchy;
 pub mod schedule;
+pub mod tier;
 
 pub use hierarchy::{Hierarchy, WorkerId};
 pub use schedule::{Schedule, ScheduleError, Tick};
+pub use tier::{LinkClass, TierAggregation, TierPath, TierSpec, TierTree};
 pub use weights::Weights;
 
 pub mod weights {

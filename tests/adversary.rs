@@ -18,7 +18,10 @@
 
 mod common;
 
-use common::{assert_bitwise_equal, sim_config, sim_fixture, wide_sim_fixture};
+use common::{
+    assert_bitwise_equal, sim_config, sim_fixture, small_tier_trees, tiered_fixture,
+    tiered_sim_config, wide_sim_fixture,
+};
 use hieradmo::core::algorithms::HierAdMo;
 use hieradmo::core::{run, RobustAggregator, RunConfig, RunError};
 use hieradmo::metrics::export::{sim_run_from_json, sim_run_to_json, SimRunRecord};
@@ -27,6 +30,7 @@ use hieradmo::netsim::{
     AdversaryPlan, AttackModel, ByzantineWorker, CrashProfile, FaultPlan, LinkFaults,
 };
 use hieradmo::simrt::{simulate, SimError, SyncPolicy};
+use proptest::prelude::*;
 
 /// One attacker of each flavor on the 2 × 2 fixture (worker 1 stays
 /// honest): a model flipper, a noise injector and a momentum poisoner.
@@ -398,4 +402,118 @@ fn invalid_adversary_plans_are_rejected_before_the_run() {
     )
     .unwrap_err();
     assert!(matches!(err, RunError::BadConfig(_)), "got {err}");
+}
+
+/// Depth-4 adversary smoke for the CI `adversary-smoke` step: Byzantine
+/// workers addressed by tier path, defended by a trimmed mean, replay
+/// bitwise across engines and thread counts on an N-tier tree — the
+/// middle-tier reductions must neither consume nor skip any adversary
+/// RNG draws.
+#[test]
+fn depth_4_adversary_smoke() {
+    use hieradmo::core::run_tiered;
+    use hieradmo::topology::{TierPath, TierSpec, TierTree};
+
+    let tree = TierTree::new(vec![
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 5),
+    ])
+    .unwrap();
+    let f = tiered_fixture(&tree);
+    // One attacker per region, by path; GaussianNoise draws RNG, so a
+    // misaligned stream breaks bitwise equality immediately.
+    let paths = [TierPath(vec![0, 0, 0]), TierPath(vec![1, 1, 0])];
+    let plan =
+        AdversaryPlan::uniform_at_paths(&tree, &paths, AttackModel::GaussianNoise { norm: 4.0 })
+            .unwrap();
+    assert_eq!(
+        plan.byzantine.iter().map(|b| b.worker).collect::<Vec<_>>(),
+        vec![0, 6]
+    );
+    let cfg = RunConfig {
+        adversary: plan,
+        aggregator: RobustAggregator::TrimmedMean { trim_ratio: 0.4 },
+        ..f.cfg.clone()
+    };
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.01, 0.5);
+    let reference = run_tiered(&algo, &model, &tree, &f.shards, &f.test, &cfg).unwrap();
+    for threads in [1usize, 4] {
+        let cfg = RunConfig {
+            threads: Some(threads),
+            ..cfg.clone()
+        };
+        let sim = simulate(
+            &algo,
+            &model,
+            &f.hierarchy,
+            &f.shards,
+            &f.test,
+            &cfg,
+            &tiered_sim_config(&tree, 7, SyncPolicy::FullSync),
+        )
+        .unwrap();
+        assert_bitwise_equal(
+            &reference,
+            &sim,
+            &format!("depth-4 adversary threads={threads}"),
+        );
+        let poisoned: u64 = sim
+            .adversaries
+            .iter()
+            .map(|a| a.counters.poisoned_uploads)
+            .sum();
+        assert!(poisoned >= 2, "both attackers must actually fire");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Path-addressed attackers generalize past the fixtures: on random
+    /// small tier trees the first worker of the leftmost branch
+    /// sign-flips under the trimmed mean, and the tiered core driver
+    /// matches the full-sync co-simulation bitwise, poison tally
+    /// included.
+    #[test]
+    fn path_addressed_attacks_are_bitwise_on_random_trees(tree in small_tier_trees()) {
+        use hieradmo::core::run_tiered;
+        use hieradmo::topology::TierPath;
+
+        let f = tiered_fixture(&tree);
+        let path = TierPath(vec![0; tree.levels().len()]);
+        let plan = AdversaryPlan::uniform_at_paths(
+            &tree,
+            &[path],
+            AttackModel::SignFlip { scale: 3.0 },
+        )
+        .unwrap();
+        prop_assert_eq!(plan.byzantine[0].worker, 0, "the leftmost path is flat worker 0");
+        let cfg = RunConfig {
+            adversary: plan,
+            aggregator: RobustAggregator::TrimmedMean { trim_ratio: 0.4 },
+            ..f.cfg.clone()
+        };
+        let model = zoo::logistic_regression(&f.train, 1);
+        let algo = HierAdMo::adaptive(0.01, 0.5);
+        let reference = run_tiered(&algo, &model, &tree, &f.shards, &f.test, &cfg).unwrap();
+        let sim = simulate(
+            &algo,
+            &model,
+            &f.hierarchy,
+            &f.shards,
+            &f.test,
+            &cfg,
+            &tiered_sim_config(&tree, 31, SyncPolicy::FullSync),
+        )
+        .unwrap();
+        assert_bitwise_equal(&reference, &sim, &format!("random tree {:?}", tree.levels()));
+        let poisoned: u64 = sim
+            .adversaries
+            .iter()
+            .map(|a| a.counters.poisoned_uploads)
+            .sum();
+        prop_assert!(poisoned >= 1, "the attacker must actually fire");
+    }
 }

@@ -15,7 +15,10 @@
 
 mod common;
 
-use common::{assert_bitwise_equal, sim_config, sim_fixture};
+use common::{
+    assert_bitwise_equal, sim_config, sim_fixture, small_tier_trees, tiered_fixture,
+    tiered_sim_config,
+};
 use hieradmo::core::algorithms::HierAdMo;
 use hieradmo::core::{run, RunConfig, Strategy};
 use hieradmo::metrics::export::{sim_run_from_json, sim_run_to_json, SimRunRecord};
@@ -499,4 +502,123 @@ fn chaos_smoke_small_fixed_plan() {
     assert_eq!(sim.faults.len(), 7);
     let (crashes, ..) = total_counters(&sim);
     assert!(crashes >= 1, "the smoke plan must actually inject faults");
+}
+
+/// Depth-4 chaos smoke for the CI `chaos-smoke` step: on an N-tier tree
+/// an *empty* plan keeps the co-simulation bitwise identical to the
+/// tiered core driver for any thread count, and a fixed plan — with the
+/// crash target addressed by tier path rather than flat index — replays
+/// bitwise under the same `(plan, net_seed)` while actually injecting
+/// faults.
+#[test]
+fn depth_4_chaos_smoke() {
+    use hieradmo::core::run_tiered;
+    use hieradmo::topology::{TierPath, TierSpec, TierTree};
+
+    let tree = TierTree::new(vec![
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 5),
+    ])
+    .unwrap();
+    let f = tiered_fixture(&tree);
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.01, 0.5);
+
+    // Empty plan: bitwise the tiered core driver, clock included.
+    let reference = run_tiered(&algo, &model, &tree, &f.shards, &f.test, &f.cfg).unwrap();
+    for threads in [1usize, 4] {
+        let cfg = RunConfig {
+            threads: Some(threads),
+            ..f.cfg.clone()
+        };
+        let sim = simulate(
+            &algo,
+            &model,
+            &f.hierarchy,
+            &f.shards,
+            &f.test,
+            &cfg,
+            &tiered_sim_config(&tree, 13, SyncPolicy::FullSync),
+        )
+        .unwrap();
+        assert_bitwise_equal(
+            &reference,
+            &sim,
+            &format!("depth-4 empty threads={threads}"),
+        );
+        assert_zero_counters(&sim, "depth-4 empty plan");
+    }
+
+    // Fixed plan, crash target addressed as region 1 / edge 0 / worker 1.
+    let crash = PermanentCrash::at_path(&tree, &TierPath(vec![1, 0, 1]), 200.0).unwrap();
+    assert_eq!(crash.worker, 5, "path [1,0,1] is flat worker 5");
+    let plan = FaultPlan {
+        crash: Some(CrashProfile {
+            per_step: 0.1,
+            min_downtime_ms: 10.0,
+            max_downtime_ms: 50.0,
+        }),
+        permanent: vec![crash],
+        link: Some(LinkFaults::flaky()),
+        spikes: Some(DelaySpikes {
+            prob: 0.2,
+            factor: 3.0,
+        }),
+    };
+    let run_plan = |threads: usize| {
+        let cfg = RunConfig {
+            threads: Some(threads),
+            ..f.cfg.clone()
+        };
+        simulate(
+            &algo,
+            &model,
+            &f.hierarchy,
+            &f.shards,
+            &f.test,
+            &cfg,
+            &tiered_sim_config(&tree, 13, SyncPolicy::FullSync).with_faults(plan.clone()),
+        )
+        .unwrap()
+    };
+    let a = run_plan(1);
+    let b = run_plan(4);
+    assert_eq!(a.curve, b.curve, "depth-4 fault replay across threads");
+    assert_eq!(a.final_params, b.final_params);
+    assert_eq!(a.simulated_seconds, b.simulated_seconds);
+    assert_eq!(total_counters(&a), total_counters(&b));
+    let (crashes, ..) = total_counters(&a);
+    assert!(crashes >= 1, "the depth-4 plan must actually inject faults");
+    assert!(a.final_params.is_finite());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The empty-plan guarantee generalizes past the fixtures: on random
+    /// small tier trees (depth 3–5, pass-through middles included), a
+    /// faultless full-sync co-simulation is bitwise identical to the
+    /// tiered core driver and takes zero fault draws.
+    #[test]
+    fn empty_plans_are_bitwise_on_random_trees(tree in small_tier_trees()) {
+        use hieradmo::core::run_tiered;
+
+        let f = tiered_fixture(&tree);
+        let model = zoo::logistic_regression(&f.train, 1);
+        let algo = HierAdMo::adaptive(0.01, 0.5);
+        let reference = run_tiered(&algo, &model, &tree, &f.shards, &f.test, &f.cfg).unwrap();
+        let sim = simulate(
+            &algo,
+            &model,
+            &f.hierarchy,
+            &f.shards,
+            &f.test,
+            &f.cfg,
+            &tiered_sim_config(&tree, 29, SyncPolicy::FullSync).with_faults(FaultPlan::none()),
+        )
+        .unwrap();
+        assert_bitwise_equal(&reference, &sim, &format!("random tree {:?}", tree.levels()));
+        assert_zero_counters(&sim, "random-tree empty plan");
+    }
 }

@@ -160,6 +160,105 @@ fn restore_replays_adversary_streams_exactly() {
     );
 }
 
+/// Depth-4 stop/resume: the snapshot is taken at an edge round that is a
+/// *middle*-tier boundary but not a root boundary (k=2 with the region
+/// tier syncing every 2 edge rounds and the root every 4), survives a
+/// JSON round-trip carrying the middle-tier states, and resumes under a
+/// different thread count bitwise identically to the uninterrupted
+/// N-tier run — γ traces, per-tier γ traces and final model included.
+#[test]
+fn restore_at_a_middle_tier_boundary_is_bitwise_on_depth_4_trees() {
+    use common::tiered_fixture;
+    use hieradmo::core::{run_tiered, run_tiered_resumed, run_tiered_until};
+    use hieradmo::topology::{TierSpec, TierTree};
+
+    let tree = TierTree::new(vec![
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 5),
+    ])
+    .unwrap();
+    let f = tiered_fixture(&tree);
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+
+    // Tick 10 = edge round 2: the region tier (period 2) just fired,
+    // the root (period 4) did not — a non-leaf, non-root boundary.
+    let stop = 2 * f.cfg.tau;
+    assert_eq!(stop % (f.cfg.tau * tree.sync_rounds(1)), 0);
+    assert_ne!(stop % (f.cfg.tau * tree.pi_total()), 0);
+
+    let full = run_tiered(&algo, &model, &tree, &f.shards, &f.test, &f.cfg).unwrap();
+    let (first, snap) =
+        run_tiered_until(&algo, &model, &tree, &f.shards, &f.test, &f.cfg, stop).unwrap();
+    assert_eq!(snap.tick, stop);
+    assert_eq!(
+        snap.middle.len(),
+        1,
+        "the snapshot must carry the middle tier"
+    );
+    assert_eq!(snap.middle[0].len(), 2, "two region nodes");
+
+    // The middle tier survives serialization bit-for-bit.
+    let snap = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
+
+    let resumed_cfg = RunConfig {
+        threads: Some(4),
+        ..f.cfg.clone()
+    };
+    let resumed = run_tiered_resumed(
+        &algo,
+        &model,
+        &tree,
+        &f.shards,
+        &f.test,
+        &resumed_cfg,
+        &snap,
+    )
+    .unwrap();
+
+    let concat: Vec<_> = first
+        .curve
+        .points()
+        .iter()
+        .chain(resumed.curve.points())
+        .copied()
+        .collect();
+    assert_eq!(
+        concat,
+        full.curve.points().to_vec(),
+        "depth-4 stop/resume must match the uninterrupted run bitwise"
+    );
+    let concat_gamma: Vec<_> = first
+        .gamma_trace
+        .iter()
+        .chain(&resumed.gamma_trace)
+        .copied()
+        .collect();
+    assert_eq!(concat_gamma, full.gamma_trace, "gamma trace differs");
+    assert_eq!(full.tier_gamma.len(), 1);
+    let concat_tier: Vec<_> = first.tier_gamma[0]
+        .iter()
+        .chain(&resumed.tier_gamma[0])
+        .copied()
+        .collect();
+    assert_eq!(
+        concat_tier, full.tier_gamma[0],
+        "the region tier's γ trace must partition exactly"
+    );
+    assert_eq!(
+        resumed.final_params, full.final_params,
+        "depth-4 resume must land on the exact same model"
+    );
+
+    // A snapshot whose middle-tier shape disagrees with the tree is
+    // rejected before any training step.
+    let mut wrong = snap.clone();
+    wrong.middle.clear();
+    let err = run_tiered_resumed(&algo, &model, &tree, &f.shards, &f.test, &f.cfg, &wrong);
+    assert!(matches!(err, Err(RunError::Data(_))));
+}
+
 #[test]
 fn file_round_trip_preserves_the_snapshot() {
     let (f, cfg) = cfg(0.0);

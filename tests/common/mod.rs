@@ -14,7 +14,10 @@ use hieradmo::data::{Dataset, FeatureShape};
 use hieradmo::models::{zoo, Sequential};
 use hieradmo::netsim::{Architecture, NetworkEnv};
 use hieradmo::simrt::{SimConfig, SimResult, SyncPolicy};
-use hieradmo::topology::Hierarchy;
+use hieradmo::topology::{Hierarchy, TierSpec, TierTree};
+use proptest::Strategy as GenStrategy;
+use rand::rngs::StdRng;
+use rand::Rng;
 
 /// A small 2-edge × 2-worker federation for co-simulation checks.
 pub struct SimFixture {
@@ -139,6 +142,120 @@ pub fn dropout_cfg(dropout: f64) -> RunConfig {
         dropout,
         ..RunConfig::default()
     }
+}
+
+/// Proptest strategy over bounded, always-valid [`TierTree`]s, shared by
+/// the `tier_equivalence`, `chaos` and `adversary` suites.
+///
+/// Every generated tree passes [`TierTree::new`]'s validator by
+/// construction: depth is drawn from `depth`, each level's fanout from
+/// `1..=max_fanout` and interval from `1..=max_interval`. Middle levels
+/// (strictly between the root and the leaf-parent tier) become
+/// pass-throughs (interval 1, identity aggregation) with probability
+/// `pass_through_bias`, so collapse-equivalence properties see both
+/// removable and load-bearing middles. Link classes follow the testbed
+/// convention: WAN at the root boundary, LAN at the leaves, MAN between.
+#[derive(Debug, Clone, Copy)]
+pub struct TierTreeStrategy {
+    /// Inclusive tree-depth bounds; depth 3 is the seed shape.
+    pub depth: (usize, usize),
+    /// Per-level fanout drawn from `1..=max_fanout`.
+    pub max_fanout: usize,
+    /// Per-level interval drawn from `1..=max_interval`.
+    pub max_interval: usize,
+    /// Probability that a middle level is a pass-through.
+    pub pass_through_bias: f64,
+}
+
+/// Small trees cheap enough to train on inside a property: at most
+/// 16 workers and τ·π ≤ 8.
+pub fn small_tier_trees() -> TierTreeStrategy {
+    TierTreeStrategy {
+        depth: (3, 5),
+        max_fanout: 2,
+        max_interval: 2,
+        pass_through_bias: 0.35,
+    }
+}
+
+/// Wider structural-only trees (up to 4^4 = 256 workers): never train on
+/// these, they exercise the topology arithmetic.
+pub fn structural_tier_trees() -> TierTreeStrategy {
+    TierTreeStrategy {
+        depth: (3, 6),
+        max_fanout: 4,
+        max_interval: 5,
+        pass_through_bias: 0.25,
+    }
+}
+
+impl GenStrategy for TierTreeStrategy {
+    type Value = TierTree;
+
+    fn generate(&self, rng: &mut StdRng) -> TierTree {
+        let depth = rng.gen_range(self.depth.0..=self.depth.1);
+        let n_levels = depth - 1;
+        let levels: Vec<TierSpec> = (0..n_levels)
+            .map(|d| {
+                let fanout = rng.gen_range(1..=self.max_fanout);
+                let is_middle = d >= 1 && d + 1 < n_levels;
+                let mut spec = if is_middle && rng.gen_bool(self.pass_through_bias) {
+                    TierSpec::pass_through(fanout)
+                } else {
+                    TierSpec::new(fanout, rng.gen_range(1..=self.max_interval))
+                };
+                spec.link_class = match d {
+                    0 => hieradmo::topology::LinkClass::Wan,
+                    _ if d + 1 == n_levels => hieradmo::topology::LinkClass::Lan,
+                    _ => hieradmo::topology::LinkClass::Man,
+                };
+                spec
+            })
+            .collect();
+        TierTree::new(levels).expect("generated levels are positive")
+    }
+}
+
+/// A training fixture sized to `tree`: non-iid shards over its workers
+/// and a [`RunConfig`] whose `(τ, π)` match the tree, running two full
+/// root rounds. Usable with `run_tiered` directly or with `simulate` via
+/// [`tiered_sim_config`] and [`TierTree::edge_hierarchy`].
+pub fn tiered_fixture(tree: &TierTree) -> SimFixture {
+    let n = tree.num_workers();
+    let tt = SyntheticDataset::mnist_like((15 * n).max(60), 30, 11);
+    let shards = x_class_partition(&tt.train, n, 3, 11);
+    let round = tree.tau() * tree.pi_total();
+    let cfg = RunConfig {
+        tau: tree.tau(),
+        pi: tree.pi_total(),
+        total_iters: 2 * round,
+        eval_every: 3,
+        batch_size: 8,
+        seed: 42,
+        threads: Some(1),
+        ..RunConfig::default()
+    };
+    SimFixture {
+        hierarchy: tree.edge_hierarchy(),
+        shards,
+        train: tt.train,
+        test: tt.test,
+        cfg,
+    }
+}
+
+/// The paper-testbed network over `tree`'s workers with the tree
+/// attached, under the given policy (N-tier runs require
+/// [`SyncPolicy::FullSync`]).
+pub fn tiered_sim_config(tree: &TierTree, net_seed: u64, policy: SyncPolicy) -> SimConfig {
+    SimConfig::new(
+        NetworkEnv::paper_testbed(tree.num_workers()),
+        Architecture::ThreeTier,
+        50_000,
+        net_seed,
+        policy,
+    )
+    .with_tiers(tree.clone())
 }
 
 /// Asserts that a co-simulation reproduced the core driver's trajectory

@@ -63,8 +63,8 @@ fn edge_and_cloud_messages_round_trip() {
     algo.cloud_aggregate(1, &mut state);
     let cloud = Message::CloudBroadcast {
         round: 1,
-        y: state.cloud.y.clone(),
-        x: state.cloud.x.clone(),
+        y: state.cloud.y_plus.clone(),
+        x: state.cloud.x_plus.clone(),
     };
     assert_eq!(Message::decode(&cloud.encode()).unwrap(), cloud);
 }

@@ -169,6 +169,7 @@ struct BenchReport {
     target: String,
     kernels: Vec<KernelRow>,
     end_to_end: Option<EndToEnd>,
+    peak_rss_bytes: Option<u64>,
 }
 
 fn seq(n: usize, scale: f32) -> Vec<f32> {
@@ -403,6 +404,7 @@ fn main() {
         target: std::env::consts::ARCH.to_string(),
         kernels: rows,
         end_to_end: e2e,
+        peak_rss_bytes: hieradmo_bench::peak_rss_bytes(),
     };
 
     println!("== kernel_bench ({}) ==", report.mode);
@@ -416,6 +418,14 @@ fn main() {
         println!(
             "{:>18} {:>24}  wall {:.3} s  acc {:.3}",
             "end_to_end", e.scenario, e.wall_s, e.final_accuracy
+        );
+    }
+    if let Some(rss) = report.peak_rss_bytes {
+        println!(
+            "{:>18} {:>24}  {:.1} MiB",
+            "peak_rss",
+            "",
+            rss as f64 / (1024.0 * 1024.0)
         );
     }
 

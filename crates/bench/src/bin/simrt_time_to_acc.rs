@@ -173,7 +173,8 @@ fn main() {
                 res.utilization.clone(),
             )
             .with_faults(res.faults.clone())
-            .with_adversaries(res.adversaries.clone());
+            .with_adversaries(res.adversaries.clone())
+            .with_run_stats(res.events, res.simulated_seconds);
             report.row(
                 vec![
                     res.policy.clone(),
@@ -261,7 +262,8 @@ fn main() {
             res.utilization.clone(),
         )
         .with_faults(res.faults.clone())
-        .with_adversaries(res.adversaries.clone());
+        .with_adversaries(res.adversaries.clone())
+        .with_run_stats(res.events, res.simulated_seconds);
         report.row(
             vec![
                 res.policy.clone(),

@@ -9,6 +9,8 @@
 //!   equivalent per the paper's fairness rule), and collects outcomes.
 //! - [`report`] — result rows rendered both as text tables and JSON lines
 //!   (so `EXPERIMENTS.md` numbers are regenerable and diffable).
+//! - [`sys`] — process-level measurements (peak RSS) shared by the
+//!   benchmark binaries.
 
 #![deny(missing_docs)]
 
@@ -17,7 +19,9 @@ pub mod harness;
 pub mod report;
 pub mod scenarios;
 pub mod spec;
+pub mod sys;
 
 pub use harness::{run_on_scenario, Outcome};
 pub use report::Report;
 pub use scenarios::{defense_from_name, AdversaryScenario, FaultScenario, Scale, Workload};
+pub use sys::peak_rss_bytes;

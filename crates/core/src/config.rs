@@ -4,6 +4,7 @@ use hieradmo_netsim::AdversaryPlan;
 use hieradmo_topology::TierTree;
 use serde::{Deserialize, Serialize};
 
+use crate::population::ClientSampling;
 use crate::robust::RobustAggregator;
 
 /// Hyper-parameters of one federated training run.
@@ -85,6 +86,13 @@ pub struct RunConfig {
     /// trajectory replays under any network timing seed.
     #[serde(default)]
     pub adversary: AdversaryPlan,
+    /// Per-round client sampling policy for virtual-population runs
+    /// ([`crate::population::run_virtual`]). The default
+    /// ([`ClientSampling::Full`]) is today's full participation; classic
+    /// [`crate::driver::run`] ignores this field entirely, so legacy
+    /// configs (which predate it) deserialize and behave unchanged.
+    #[serde(default)]
+    pub sampling: ClientSampling,
     /// **Deprecated.** Edge-server count from seed-era flat configs that
     /// embedded the topology in the run config. Topology now lives in a
     /// [`hieradmo_topology::TierTree`] passed alongside the config; when
@@ -118,6 +126,7 @@ impl Default for RunConfig {
             clip_norm: None,
             aggregator: RobustAggregator::default(),
             adversary: AdversaryPlan::none(),
+            sampling: ClientSampling::Full,
             edges: None,
             workers_per_edge: None,
         }
@@ -174,6 +183,7 @@ impl RunConfig {
         }
         self.aggregator.validate()?;
         self.adversary.validate()?;
+        self.sampling.validate()?;
         self.legacy_tier_tree()?;
         Ok(())
     }
@@ -300,6 +310,51 @@ mod tests {
         let back: RunConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.aggregator, RobustAggregator::Mean);
         assert!(back.adversary.is_empty());
+        assert_eq!(back, RunConfig::default());
+    }
+
+    #[test]
+    fn validate_rejects_bad_sampling_policies() {
+        // Zero sample size.
+        let cfg = RunConfig {
+            sampling: ClientSampling::PerEdge { count: 0 },
+            ..RunConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Non-finite and out-of-range fractions.
+        for fraction in [f64::NAN, f64::INFINITY, 0.0, -0.5, 1.5] {
+            let cfg = RunConfig {
+                sampling: ClientSampling::Fraction { fraction },
+                ..RunConfig::default()
+            };
+            assert!(
+                cfg.validate().is_err(),
+                "fraction {fraction} must be rejected"
+            );
+        }
+        // The valid shapes pass.
+        for sampling in [
+            ClientSampling::Full,
+            ClientSampling::Fraction { fraction: 0.01 },
+            ClientSampling::Fraction { fraction: 1.0 },
+            ClientSampling::PerEdge { count: 5 },
+        ] {
+            let cfg = RunConfig {
+                sampling,
+                ..RunConfig::default()
+            };
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn legacy_configs_without_sampling_field_deserialize_to_full_participation() {
+        let json = serde_json::to_string(&RunConfig::default()).unwrap();
+        let legacy = json.replace(",\"sampling\":\"Full\"", "");
+        assert_ne!(legacy, json, "sampling field must serialize");
+        let back: RunConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.sampling, ClientSampling::Full);
         assert_eq!(back, RunConfig::default());
     }
 

@@ -872,6 +872,84 @@ where
     (test_sums.finish(), probe_sums.finish())
 }
 
+/// Evaluates `params` on the test set and training probe with this
+/// engine's exact reduction — fixed [`EVAL_CHUNK`]-sample chunks, partial
+/// sums merged in `(target, chunk index)` order — on caller-provided model
+/// replicas, one per evaluation lane. With a single replica everything
+/// runs on the calling thread through the identical code path, so the
+/// result is bitwise independent of the lane count.
+///
+/// Public so alternative drivers (the event-driven runtime in
+/// `hieradmo-simrt` and the virtual-population engines) evaluate through
+/// *one* implementation and stay bitwise comparable to [`run`].
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn evaluate_on_replicas<M>(
+    models: &mut [M],
+    test: &Dataset,
+    probe: &Dataset,
+    params: &Vector,
+) -> (hieradmo_models::Evaluation, hieradmo_models::Evaluation)
+where
+    M: Model + Send,
+{
+    assert!(!models.is_empty(), "need at least one model replica");
+    let mut chunks: Vec<(u8, usize, std::ops::Range<usize>)> = Vec::new();
+    for (target, len) in [(0u8, test.len()), (1u8, probe.len())] {
+        for (idx, start) in (0..len).step_by(EVAL_CHUNK).enumerate() {
+            chunks.push((target, idx, start..(start + EVAL_CHUNK).min(len)));
+        }
+    }
+    let lanes = models.len().clamp(1, chunks.len().max(1));
+    let mut partials: Vec<(u8, usize, EvalSums)> = Vec::with_capacity(chunks.len());
+    if lanes <= 1 {
+        let model = &mut models[0];
+        model.set_params(params);
+        for (t, idx, r) in chunks {
+            let data = if t == 0 { test } else { probe };
+            partials.push((t, idx, model.evaluate_range(data, r)));
+        }
+    } else {
+        let per = chunks.len().div_ceil(lanes);
+        let groups: Vec<Vec<(u8, usize, std::ops::Range<usize>)>> =
+            chunks.chunks(per).map(<[_]>::to_vec).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .zip(models.iter_mut())
+                .map(|(group, model)| {
+                    scope.spawn(move || {
+                        model.set_params(params);
+                        group
+                            .into_iter()
+                            .map(|(t, idx, r)| {
+                                let data = if t == 0 { test } else { probe };
+                                (t, idx, model.evaluate_range(data, r))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.extend(h.join().expect("evaluation thread panicked"));
+            }
+        });
+    }
+    partials.sort_unstable_by_key(|&(t, idx, _)| (t, idx));
+    let mut test_sums = EvalSums::default();
+    let mut probe_sums = EvalSums::default();
+    for (t, _, s) in partials {
+        if t == 0 {
+            test_sums.merge(&s);
+        } else {
+            probe_sums.merge(&s);
+        }
+    }
+    (test_sums.finish(), probe_sums.finish())
+}
+
 /// A fixed, affordable probe of training data for the train-loss metric:
 /// round-robin over the worker shards up to `cap` samples total (always at
 /// least one sample).

@@ -59,6 +59,7 @@ pub mod config;
 pub mod driver;
 pub mod fleet;
 mod pool;
+pub mod population;
 pub mod robust;
 pub mod state;
 pub mod strategy;
@@ -70,6 +71,9 @@ pub use config::RunConfig;
 pub use driver::{
     run, run_resumed, run_tiered, run_tiered_resumed, run_tiered_until, run_until, PhaseTimings,
     RunError, RunResult,
+};
+pub use population::{
+    run_virtual, ClientSampling, CohortSampler, ShardAssignment, StatePool, WorkerPopulation,
 };
 pub use robust::RobustAggregator;
 pub use state::{CloudState, EdgeState, EdgeView, FlState, TierState, WorkerState};

@@ -137,6 +137,19 @@ pub struct SimRunRecord {
     /// injection existed, which deserialize to empty.
     #[serde(default)]
     pub adversaries: Vec<ActorAdversaries>,
+    /// Total events processed by the discrete-event runtime, as a typed
+    /// number (not a stringified table cell). Zero in records written
+    /// before run statistics existed.
+    #[serde(default)]
+    pub events: u64,
+    /// Total simulated wall-clock seconds for the run. Zero in records
+    /// written before run statistics existed.
+    #[serde(default)]
+    pub simulated_seconds: f64,
+    /// Final test accuracy — the last point of `timed_curve` — as a typed
+    /// number. `None` for an empty curve and in legacy records.
+    #[serde(default)]
+    pub final_accuracy: Option<f64>,
 }
 
 impl SimRunRecord {
@@ -149,6 +162,7 @@ impl SimRunRecord {
         utilization: Vec<ActorUtilization>,
     ) -> Self {
         let time_to_target_s = timed_curve.time_to_accuracy(target_accuracy);
+        let final_accuracy = timed_curve.points().last().map(|p| p.test_accuracy);
         SimRunRecord {
             algorithm: algorithm.into(),
             policy: policy.into(),
@@ -158,7 +172,19 @@ impl SimRunRecord {
             utilization,
             faults: Vec::new(),
             adversaries: Vec::new(),
+            events: 0,
+            simulated_seconds: 0.0,
+            final_accuracy,
         }
+    }
+
+    /// Attaches the runtime's event count and simulated duration
+    /// (builder style). These land in the JSON as typed numbers so
+    /// downstream tooling never has to parse table-cell strings.
+    pub fn with_run_stats(mut self, events: u64, simulated_seconds: f64) -> Self {
+        self.events = events;
+        self.simulated_seconds = simulated_seconds;
+        self
     }
 
     /// Attaches per-actor fault tallies (builder style).
@@ -368,6 +394,46 @@ mod tests {
         assert!(!json.contains("adversaries"));
         let back = sim_run_from_json(&json).unwrap();
         assert!(back.adversaries.is_empty());
+    }
+
+    #[test]
+    fn sim_run_record_stats_are_typed_numbers_and_default_for_legacy_json() {
+        let timed: TimedCurve = [TimedPoint {
+            seconds: 3.0,
+            iteration: 10,
+            train_loss: 0.5,
+            test_loss: 0.6,
+            test_accuracy: 0.75,
+        }]
+        .into_iter()
+        .collect();
+        let rec = SimRunRecord::new("HierAdMo", "full-sync", timed, 0.9, Vec::new())
+            .with_run_stats(12_345, 67.5);
+        assert_eq!(rec.final_accuracy, Some(0.75));
+        let json = sim_run_to_json(&rec);
+        // Typed numbers, not stringified cells.
+        assert!(json.contains("\"events\":12345"));
+        assert!(json.contains("\"simulated_seconds\":67.5"));
+        assert!(json.contains("\"final_accuracy\":0.75"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert_eq!(back, rec);
+
+        // Records written before run statistics existed carry none of the
+        // stats keys; they must still deserialize (to zero / None).
+        let legacy = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new());
+        let mut json = sim_run_to_json(&legacy);
+        for gone in [
+            ",\"events\":0",
+            ",\"simulated_seconds\":0.0",
+            ",\"final_accuracy\":null",
+        ] {
+            assert!(json.contains(gone), "missing {gone} in {json}");
+            json = json.replace(gone, "");
+        }
+        let back = sim_run_from_json(&json).unwrap();
+        assert_eq!(back.events, 0);
+        assert_eq!(back.simulated_seconds, 0.0);
+        assert_eq!(back.final_accuracy, None);
     }
 
     #[test]

@@ -29,17 +29,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
-use std::ops::Range;
 
 use hieradmo_core::byzantine::corrupt_upload;
-use hieradmo_core::driver::{build_train_probe, EVAL_CHUNK};
+use hieradmo_core::driver::{build_train_probe, evaluate_on_replicas};
 use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, TierScope, WorkerState};
 use hieradmo_data::{Batcher, Dataset};
 use hieradmo_metrics::{
     ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
     EvalPoint, FaultCounters, TimedCurve, TimedPoint,
 };
-use hieradmo_models::{EvalSums, Evaluation, Model};
+use hieradmo_models::{Evaluation, Model};
 use hieradmo_netsim::{
     AdversarySampler, Architecture, AttackModel, DelaySampler, FaultSampler, LinkProfile,
 };
@@ -289,58 +288,7 @@ fn evaluate_params<M>(
 where
     M: Model + Send,
 {
-    let mut chunks: Vec<(u8, usize, Range<usize>)> = Vec::new();
-    for (target, len) in [(0u8, test.len()), (1u8, probe.len())] {
-        for (idx, start) in (0..len).step_by(EVAL_CHUNK).enumerate() {
-            chunks.push((target, idx, start..(start + EVAL_CHUNK).min(len)));
-        }
-    }
-    let lanes = models.len().clamp(1, chunks.len().max(1));
-    let mut partials: Vec<(u8, usize, EvalSums)> = Vec::with_capacity(chunks.len());
-    if lanes <= 1 {
-        let model = &mut models[0];
-        model.set_params(params);
-        for (t, idx, r) in chunks {
-            let data = if t == 0 { test } else { probe };
-            partials.push((t, idx, model.evaluate_range(data, r)));
-        }
-    } else {
-        let per = chunks.len().div_ceil(lanes);
-        let groups: Vec<Vec<(u8, usize, Range<usize>)>> =
-            chunks.chunks(per).map(<[_]>::to_vec).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .into_iter()
-                .zip(models.iter_mut())
-                .map(|(group, model)| {
-                    scope.spawn(move || {
-                        model.set_params(params);
-                        group
-                            .into_iter()
-                            .map(|(t, idx, r)| {
-                                let data = if t == 0 { test } else { probe };
-                                (t, idx, model.evaluate_range(data, r))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.extend(h.join().expect("evaluation thread panicked"));
-            }
-        });
-    }
-    partials.sort_unstable_by_key(|&(t, idx, _)| (t, idx));
-    let mut test_sums = EvalSums::default();
-    let mut probe_sums = EvalSums::default();
-    for (t, _, s) in partials {
-        if t == 0 {
-            test_sums.merge(&s);
-        } else {
-            probe_sums.merge(&s);
-        }
-    }
-    (test_sums.finish(), probe_sums.finish())
+    evaluate_on_replicas(models, test, probe, params)
 }
 
 struct Engine<'a, M, S: ?Sized> {

@@ -36,7 +36,9 @@
 pub mod driver;
 pub mod event;
 pub mod policy;
+pub mod vpop;
 
 pub use driver::{simulate, SimError, SimResult};
 pub use event::{ActorId, EventQueue};
 pub use policy::{SimConfig, SyncPolicy};
+pub use vpop::simulate_virtual;

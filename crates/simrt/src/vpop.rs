@@ -1,0 +1,689 @@
+//! Event-driven co-simulation over a *virtual* worker population: only the
+//! per-round sampled cohort exists as actors, so queue cost, memory, and
+//! events processed are all `O(active)`, never `O(registered)`.
+//!
+//! [`simulate_virtual`] is the event-driven counterpart of
+//! [`hieradmo_core::population::run_virtual`]. Under full participation it
+//! materializes the population and delegates to [`crate::simulate`]
+//! (bitwise identical to the classic path); under sampling it runs a
+//! full-sync event loop whose per-slot RNG streams — mini-batch order,
+//! adversary draws, network delays — all re-derive from
+//! `(seed, worker_id, round)`, so the model trajectory is bitwise
+//! identical to `run_virtual`'s and independent of thread count (gated by
+//! `tests/sampling_equivalence.rs`).
+//!
+//! Edges progress their rounds independently between cloud barriers;
+//! evaluation and γ traces are staged per round at *edge* granularity and
+//! emitted once every edge has contributed, reproducing the tick-driven
+//! round means exactly.
+
+use std::collections::BTreeMap;
+
+use hieradmo_core::byzantine::corrupt_upload;
+use hieradmo_core::driver::{build_train_probe, evaluate_on_replicas, RunError};
+use hieradmo_core::population::{
+    adversary_stream, batcher_seed, delay_stream, materialize_edge_cohort, virtual_global_params,
+    weighted_edge_average, CohortSampler, WorkerPopulation,
+};
+use hieradmo_core::{FlState, RunConfig, Strategy};
+use hieradmo_data::{Batcher, Dataset};
+use hieradmo_metrics::{
+    ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
+    EvalPoint, FaultCounters, TimedCurve, TimedPoint,
+};
+use hieradmo_models::{Evaluation, Model};
+use hieradmo_netsim::{AdversarySampler, Architecture, AttackModel, DelaySampler};
+use hieradmo_tensor::Vector;
+use hieradmo_topology::{Hierarchy, Weights};
+
+use crate::driver::{SimError, SimResult};
+use crate::event::{ActorId, EventQueue};
+use crate::policy::{SimConfig, SyncPolicy};
+
+/// One scheduled occurrence in the virtual-population simulation. `slot`
+/// indexes the cohort (the active actors), never the registered
+/// population.
+enum VEv {
+    /// An edge begins its next round: sample the cohort, charge downloads.
+    StartRound { edge: usize },
+    /// A cohort slot's model download landed; local steps begin.
+    Arrive { slot: usize },
+    /// A cohort slot finished one local step.
+    StepDone { slot: usize },
+    /// A cohort slot's end-of-round upload reached its edge.
+    Upload { slot: usize },
+    /// An edge's boundary-round submission reached the cloud.
+    CloudSubmit { edge: usize },
+    /// The cloud's reply reached an edge.
+    CloudReply { edge: usize },
+}
+
+/// Round-scoped context of one cohort slot, rebuilt from
+/// `(seed, worker_id, round)` at every materialization.
+struct SlotCtx {
+    /// Global (population) id of the worker occupying the slot this round.
+    gid: u64,
+    /// The slot's edge (fixed: the cohort hierarchy is constant).
+    edge: usize,
+    /// The worker's shard index this round.
+    shard: usize,
+    /// Local steps completed this round.
+    steps: usize,
+    /// This round's mini-batch stream.
+    batcher: Batcher,
+    /// This round's private delay stream.
+    delays: DelaySampler,
+    /// The occupying worker's attack, if it is Byzantine.
+    attack: Option<AttackModel>,
+}
+
+struct EdgeSim {
+    /// Current round (1-based; 0 before the first `StartRound`).
+    round: usize,
+    /// Cohort uploads landed this round.
+    arrived: usize,
+    /// Busy virtual milliseconds (aggregation compute + cloud transfers).
+    busy_ms: f64,
+    /// Private delay stream for aggregation compute and cloud hops.
+    sampler: DelaySampler,
+}
+
+struct EvalRec {
+    iter: usize,
+    at_ms: f64,
+    test: Evaluation,
+    train: Evaluation,
+}
+
+struct VEngine<'a, M, S: ?Sized> {
+    strategy: &'a S,
+    cfg: &'a RunConfig,
+    sim: &'a SimConfig,
+    population: &'a WorkerPopulation,
+    shards: &'a [Dataset],
+    shard_sizes: Vec<u64>,
+    sampler: CohortSampler,
+    fl: FlState,
+    slots: Vec<SlotCtx>,
+    edges: Vec<EdgeSim>,
+    cloud_arrived: Vec<bool>,
+    cloud_busy_ms: f64,
+    cloud_sampler: DelaySampler,
+    /// Aggregate busy time of all sampled workers (the worker tier is
+    /// virtual, so per-actor accounting would be `O(registered)`).
+    workers_busy_ms: f64,
+    queue: EventQueue<VEv>,
+    /// Per-round staged edge `x_plus` snapshots for evaluation.
+    eval_stage: BTreeMap<usize, (Vec<Option<Vector>>, f64)>,
+    /// Per-round staged `(γℓ, cos θ)` per edge.
+    gamma_stage: BTreeMap<usize, Vec<Option<(f32, f32)>>>,
+    gamma_trace: Vec<(usize, f32)>,
+    cos_trace: Vec<(usize, f32)>,
+    evals: Vec<EvalRec>,
+    /// One scratch model for gradient math (params are set before every
+    /// use, so slots can share it) and the evaluation replicas.
+    step_model: M,
+    eval_models: Vec<M>,
+    test_data: &'a Dataset,
+    train_probe: Dataset,
+    batch: Vec<usize>,
+    /// One counter per adversary-plan entry, in plan order.
+    adversaries: Vec<AdversaryCounters>,
+    rounds: usize,
+    edges_done: usize,
+    events: u64,
+    now: f64,
+}
+
+impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
+    fn is_eval_round(&self, k: usize) -> bool {
+        (k * self.cfg.tau).is_multiple_of(self.cfg.eval_every) || k == self.rounds
+    }
+
+    fn device_of(&self, gid: u64) -> usize {
+        // Profile-pool semantics: registered worker `g` draws its compute
+        // profile from the pool slot `g mod pool size`, so a small profile
+        // set covers any population size.
+        (gid % self.sim.env.worker_devices.len() as u64) as usize
+    }
+
+    fn on_start_round(&mut self, e: usize, now: f64) {
+        self.edges[e].round += 1;
+        let k = self.edges[e].round;
+        self.edges[e].arrived = 0;
+        let ids = materialize_edge_cohort(
+            &mut self.fl,
+            self.population,
+            &self.shard_sizes,
+            &self.sampler,
+            e,
+            k,
+        );
+        let range = self.fl.hierarchy.edge_workers(e);
+        for (j, &g) in ids.iter().enumerate() {
+            let slot = range.start + j;
+            let ctx = &mut self.slots[slot];
+            ctx.gid = g;
+            ctx.shard = self.population.shard_of(g);
+            ctx.steps = 0;
+            ctx.batcher = Batcher::new(
+                self.shard_sizes[ctx.shard] as usize,
+                self.cfg.batch_size,
+                batcher_seed(self.cfg.seed, g, k as u64),
+            );
+            ctx.delays = DelaySampler::from_stream(self.sim.net_seed, delay_stream(g, k as u64));
+            ctx.attack = self.cfg.adversary.attack_for(g as usize);
+            // Model download to the freshly sampled participant.
+            let d = ctx
+                .delays
+                .transfer_ms(&self.sim.env.worker_edge_link, self.sim.download_bytes);
+            self.workers_busy_ms += d;
+            self.queue
+                .push(now + d, ActorId::Worker(slot), VEv::Arrive { slot });
+        }
+    }
+
+    fn schedule_step(&mut self, slot: usize, now: f64) {
+        let device = self.device_of(self.slots[slot].gid);
+        let d = self.slots[slot]
+            .delays
+            .compute_ms(&self.sim.env.worker_devices[device]);
+        self.workers_busy_ms += d;
+        self.queue
+            .push(now + d, ActorId::Worker(slot), VEv::StepDone { slot });
+    }
+
+    fn on_step_done(&mut self, slot: usize, now: f64) {
+        let e = self.slots[slot].edge;
+        let k = self.edges[e].round;
+        self.slots[slot].steps += 1;
+        let t = (k - 1) * self.cfg.tau + self.slots[slot].steps;
+        let ctx = &mut self.slots[slot];
+        ctx.batcher.next_batch_into(&mut self.batch);
+        let data = &self.shards[ctx.shard];
+        let model = &mut self.step_model;
+        let batch = &self.batch;
+        let clip = self.cfg.clip_norm;
+        let mut grad_fn = |p: &Vector, out: &mut Vector| {
+            model.set_params(p);
+            model.loss_and_grad_into(data, batch, out);
+            if let Some(max_norm) = clip {
+                let norm = out.norm();
+                if norm > max_norm {
+                    out.scale_in_place(max_norm / norm);
+                }
+            }
+        };
+        self.strategy
+            .local_step(t, &mut self.fl.workers[slot], &mut grad_fn);
+        if self.slots[slot].steps < self.cfg.tau {
+            self.schedule_step(slot, now);
+        } else {
+            let d = self.slots[slot]
+                .delays
+                .transfer_ms(&self.sim.env.worker_edge_link, self.sim.upload_bytes);
+            self.workers_busy_ms += d;
+            self.queue
+                .push(now + d, ActorId::Worker(slot), VEv::Upload { slot });
+        }
+    }
+
+    fn on_upload(&mut self, slot: usize, now: f64) {
+        let e = self.slots[slot].edge;
+        let k = self.edges[e].round;
+        if let Some(attack) = self.slots[slot].attack {
+            let g = self.slots[slot].gid;
+            let entry = self
+                .cfg
+                .adversary
+                .byzantine
+                .iter()
+                .position(|b| b.worker as u64 == g)
+                .expect("attack implies a plan entry");
+            // A fresh per-(worker, round) stream: the draw is independent
+            // of event interleaving and of every other corruption.
+            let mut sampler =
+                AdversarySampler::from_stream(self.cfg.seed, adversary_stream(g, k as u64));
+            corrupt_upload(
+                &mut self.fl.workers[slot],
+                &attack,
+                &mut sampler,
+                &mut self.adversaries[entry],
+            );
+        }
+        self.edges[e].arrived += 1;
+        if self.edges[e].arrived == self.fl.hierarchy.workers_in_edge(e) {
+            self.fire_edge(e, now);
+        }
+    }
+
+    fn fire_edge(&mut self, e: usize, now: f64) {
+        let k = self.edges[e].round;
+        let d = self.edges[e].sampler.compute_ms(&self.sim.env.edge_device);
+        self.edges[e].busy_ms += d;
+        self.strategy.edge_aggregate(k, &mut self.fl.edge_view(e));
+        let (gamma, cos) = (self.fl.edges[e].gamma_edge, self.fl.edges[e].cos_theta);
+        self.stage_gamma(k, e, gamma, cos);
+        if k.is_multiple_of(self.cfg.pi) {
+            // Boundary round: submit to the cloud and wait for its reply
+            // before evaluating or advancing.
+            let flows = self.edges.len();
+            let du = self.edges[e].sampler.shared_transfer_ms(
+                &self.sim.env.edge_cloud_link,
+                self.sim.upload_bytes,
+                flows,
+            );
+            self.edges[e].busy_ms += du;
+            self.queue
+                .push(now + d + du, ActorId::Edge(e), VEv::CloudSubmit { edge: e });
+        } else {
+            self.finish_edge_round(e, now + d);
+        }
+    }
+
+    /// Post-aggregation bookkeeping of edge `e`'s round `k`: stage the
+    /// evaluation snapshot if this is an evaluation round, then start the
+    /// next round or retire the edge.
+    fn finish_edge_round(&mut self, e: usize, now: f64) {
+        let k = self.edges[e].round;
+        if self.is_eval_round(k) {
+            let x = self.fl.edges[e].x_plus.clone();
+            self.stage_eval(k, e, x, now);
+        }
+        if k < self.rounds {
+            self.queue
+                .push(now, ActorId::Edge(e), VEv::StartRound { edge: e });
+        } else {
+            self.edges_done += 1;
+        }
+    }
+
+    fn on_cloud_submit(&mut self, e: usize, now: f64) {
+        self.cloud_arrived[e] = true;
+        if self.cloud_arrived.iter().all(|&a| a) {
+            self.fire_cloud(now);
+        }
+    }
+
+    fn fire_cloud(&mut self, now: f64) {
+        // Full sync: every edge is parked at the same boundary round.
+        let k = self.edges[0].round;
+        let p = k / self.cfg.pi;
+        let d = self.cloud_sampler.compute_ms(&self.sim.env.cloud_device);
+        self.cloud_busy_ms += d;
+        self.strategy.cloud_aggregate(p, &mut self.fl);
+        self.cloud_arrived.fill(false);
+        let flows = self.edges.len();
+        for e in 0..self.edges.len() {
+            let dd = self.edges[e].sampler.shared_transfer_ms(
+                &self.sim.env.edge_cloud_link,
+                self.sim.download_bytes,
+                flows,
+            );
+            self.edges[e].busy_ms += dd;
+            self.queue
+                .push(now + d + dd, ActorId::Edge(e), VEv::CloudReply { edge: e });
+        }
+    }
+
+    /// Stages edge `e`'s round-`k` post-aggregation model; fires the
+    /// evaluation once all edges have contributed, on the same
+    /// population-weighted edge average as the tick-driven engine.
+    fn stage_eval(&mut self, k: usize, e: usize, x: Vector, at_ms: f64) {
+        let l = self.edges.len();
+        let (xs, last_ms) = self
+            .eval_stage
+            .entry(k)
+            .or_insert_with(|| (vec![None; l], 0.0));
+        xs[e] = Some(x);
+        *last_ms = last_ms.max(at_ms);
+        let complete = xs.iter().all(Option::is_some);
+        if !complete {
+            return;
+        }
+        let (xs, last_ms) = self.eval_stage.remove(&k).expect("stage just checked");
+        let params = weighted_edge_average(
+            &self.fl.weights,
+            xs.iter().map(|x| x.as_ref().expect("stage complete")),
+        );
+        let (test, train) = evaluate_on_replicas(
+            &mut self.eval_models,
+            self.test_data,
+            &self.train_probe,
+            &params,
+        );
+        self.evals.push(EvalRec {
+            iter: k * self.cfg.tau,
+            at_ms: last_ms,
+            test,
+            train,
+        });
+    }
+
+    fn stage_gamma(&mut self, k: usize, e: usize, gamma: f32, cos: f32) {
+        let l = self.edges.len();
+        let slot = self.gamma_stage.entry(k).or_insert_with(|| vec![None; l]);
+        slot[e] = Some((gamma, cos));
+        if !slot.iter().all(Option::is_some) {
+            return;
+        }
+        let slot = self.gamma_stage.remove(&k).expect("stage just checked");
+        let fired: Vec<(f32, f32)> = slot.into_iter().flatten().collect();
+        let n = fired.len() as f32;
+        self.gamma_trace
+            .push((k, fired.iter().map(|p| p.0).sum::<f32>() / n));
+        self.cos_trace
+            .push((k, fired.iter().map(|p| p.1).sum::<f32>() / n));
+    }
+
+    fn run(&mut self) {
+        for e in 0..self.edges.len() {
+            self.queue
+                .push(0.0, ActorId::Edge(e), VEv::StartRound { edge: e });
+        }
+        while let Some((time, _actor, payload)) = self.queue.pop() {
+            self.now = time;
+            self.events += 1;
+            match payload {
+                VEv::StartRound { edge } => self.on_start_round(edge, time),
+                VEv::Arrive { slot } => self.schedule_step(slot, time),
+                VEv::StepDone { slot } => self.on_step_done(slot, time),
+                VEv::Upload { slot } => self.on_upload(slot, time),
+                VEv::CloudSubmit { edge } => self.on_cloud_submit(edge, time),
+                VEv::CloudReply { edge } => self.finish_edge_round(edge, time),
+            }
+        }
+        assert_eq!(
+            self.edges_done,
+            self.edges.len(),
+            "event queue drained before every edge finished its rounds"
+        );
+    }
+
+    fn finish(mut self) -> SimResult {
+        self.evals.sort_by_key(|r| r.iter);
+        let mut curve = ConvergenceCurve::new();
+        let mut timed = TimedCurve::new();
+        for r in &self.evals {
+            curve.push(EvalPoint {
+                iteration: r.iter,
+                train_loss: r.train.loss,
+                test_loss: r.test.loss,
+                test_accuracy: r.test.accuracy,
+            });
+            timed.push(TimedPoint {
+                seconds: r.at_ms / 1000.0,
+                iteration: r.iter,
+                train_loss: r.train.loss,
+                test_loss: r.test.loss,
+                test_accuracy: r.test.accuracy,
+            });
+        }
+        let end_ms = self.now;
+        let util = |busy_ms: f64| {
+            if end_ms > 0.0 {
+                (busy_ms / end_ms).min(1.0)
+            } else {
+                0.0
+            }
+        };
+        // O(edges) actor accounting: the worker tier is virtual, so all
+        // sampled slots report as one aggregate "workers" entry.
+        let mut utilization = Vec::with_capacity(self.edges.len() + 2);
+        let mut faults = Vec::with_capacity(self.edges.len() + 2);
+        utilization.push(ActorUtilization {
+            actor: "workers".to_string(),
+            busy_seconds: self.workers_busy_ms / 1000.0,
+            utilization: util(self.workers_busy_ms),
+        });
+        faults.push(ActorFaults {
+            actor: "workers".to_string(),
+            counters: FaultCounters::default(),
+        });
+        for (l, e) in self.edges.iter().enumerate() {
+            utilization.push(ActorUtilization {
+                actor: format!("edge-{l}"),
+                busy_seconds: e.busy_ms / 1000.0,
+                utilization: util(e.busy_ms),
+            });
+            faults.push(ActorFaults {
+                actor: format!("edge-{l}"),
+                counters: FaultCounters::default(),
+            });
+        }
+        utilization.push(ActorUtilization {
+            actor: "cloud".to_string(),
+            busy_seconds: self.cloud_busy_ms / 1000.0,
+            utilization: util(self.cloud_busy_ms),
+        });
+        faults.push(ActorFaults {
+            actor: "cloud".to_string(),
+            counters: FaultCounters::default(),
+        });
+        let adversaries: Vec<ActorAdversaries> = self
+            .cfg
+            .adversary
+            .byzantine
+            .iter()
+            .zip(self.adversaries.iter())
+            .map(|(b, c)| ActorAdversaries {
+                actor: format!("worker-{}", b.worker),
+                counters: *c,
+            })
+            .collect();
+        SimResult {
+            algorithm: self.strategy.name().to_string(),
+            policy: self.sim.policy.label(),
+            curve,
+            timed_curve: timed,
+            gamma_trace: self.gamma_trace,
+            cos_trace: self.cos_trace,
+            tier_gamma: Vec::new(),
+            final_params: virtual_global_params(&self.fl),
+            simulated_seconds: end_ms / 1000.0,
+            utilization,
+            faults,
+            adversaries,
+            events: self.events,
+        }
+    }
+}
+
+/// Runs `strategy` over a virtual population under the co-simulation: the
+/// event-driven counterpart of
+/// [`hieradmo_core::population::run_virtual`], with the same sampled
+/// model trajectory bit for bit (gated by `tests/sampling_equivalence.rs`)
+/// and an honest virtual-time axis on top.
+///
+/// Under full participation this materializes the population and
+/// delegates to [`crate::simulate`] — `sim.env.worker_devices` must then
+/// cover the whole materialized population. Under sampling, device
+/// profiles act as a *pool*: registered worker `g` computes on profile
+/// `g mod pool size`, so a small profile set describes any population.
+///
+/// Per round and edge, only the sampled cohort exists: the event queue
+/// holds `O(cohort + edges)` events, registered-but-idle workers cost
+/// nothing, and the actor tallies in the result are `O(edges)` (workers
+/// report as one aggregate entry; `adversaries` carries one entry per
+/// plan entry instead of one per registered worker).
+///
+/// Sampled-path restrictions (validated): [`SyncPolicy::FullSync`] only,
+/// no fault plan, no N-tier tree, [`Architecture::ThreeTier`] only, no
+/// dropout, and no legacy `edges`/`workers_per_edge` fields.
+///
+/// # Errors
+///
+/// [`SimError`] on any inconsistency above, plus everything the
+/// population/sampling validation in
+/// [`hieradmo_core::population::run_virtual`] rejects.
+pub fn simulate_virtual<M, S>(
+    strategy: &S,
+    model: &M,
+    population: &WorkerPopulation,
+    shards: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    sim: &SimConfig,
+) -> Result<SimResult, SimError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    cfg.validate()
+        .map_err(|m| SimError::Run(RunError::BadConfig(m)))?;
+    population
+        .validate_shards(shards)
+        .map_err(|m| SimError::Run(RunError::Data(m)))?;
+    if let Some(b) = cfg
+        .adversary
+        .byzantine
+        .iter()
+        .find(|b| b.worker as u64 >= population.total_workers())
+    {
+        return Err(SimError::Adversary(format!(
+            "attack targets worker {} but the population registers only {} workers",
+            b.worker,
+            population.total_workers()
+        )));
+    }
+    if cfg.sampling.is_full() {
+        let hierarchy = population
+            .materialize_hierarchy()
+            .map_err(|m| SimError::Run(RunError::Data(m)))?;
+        let worker_data = population.materialize_shards(shards);
+        return crate::simulate(
+            strategy,
+            model,
+            &hierarchy,
+            &worker_data,
+            test_data,
+            cfg,
+            sim,
+        );
+    }
+    if sim.policy != SyncPolicy::FullSync {
+        return Err(SimError::Policy(format!(
+            "client sampling requires SyncPolicy::FullSync, got {}",
+            sim.policy.label()
+        )));
+    }
+    if !sim.faults.is_empty() {
+        return Err(SimError::Fault(
+            "fault injection is not supported with client sampling".into(),
+        ));
+    }
+    if sim.tiers.is_some() {
+        return Err(SimError::Run(RunError::BadConfig(
+            "N-tier trees are not supported with client sampling".into(),
+        )));
+    }
+    if sim.architecture != Architecture::ThreeTier {
+        return Err(SimError::Net(
+            "client sampling requires Architecture::ThreeTier".into(),
+        ));
+    }
+    if sim.env.worker_devices.is_empty() {
+        return Err(SimError::Net(
+            "the device-profile pool must not be empty".into(),
+        ));
+    }
+    if cfg.dropout != 0.0 {
+        return Err(SimError::Run(RunError::BadConfig(
+            "dropout is not supported with client sampling; model partial \
+             participation by lowering the sampling fraction instead"
+                .into(),
+        )));
+    }
+    if cfg.edges.is_some() || cfg.workers_per_edge.is_some() {
+        return Err(SimError::Run(RunError::BadConfig(
+            "legacy edges/workers_per_edge fields are not supported with a \
+             virtual population (the population defines the topology)"
+                .into(),
+        )));
+    }
+    sim.validate(None).map_err(SimError::Policy)?;
+
+    let cohort = population
+        .cohort_sizes(&cfg.sampling)
+        .map_err(|m| SimError::Run(RunError::BadConfig(m)))?;
+    let hierarchy = Hierarchy::new(cohort);
+    strategy
+        .check_topology(&hierarchy)
+        .map_err(|m| SimError::Run(RunError::Topology(m)))?;
+
+    let shard_sizes: Vec<u64> = shards.iter().map(|d| d.len() as u64).collect();
+    let edge_totals = population.edge_data_samples(&shard_sizes);
+    let total_slots = hierarchy.num_workers();
+    let l_count = hierarchy.num_edges();
+    let weights = Weights::from_cohort(&hierarchy, &vec![1u64; total_slots], edge_totals);
+    let x0 = model.params();
+    let mut fl = FlState::new(hierarchy.clone(), weights, &x0);
+    fl.aggregator = cfg.aggregator;
+    strategy.init(&mut fl);
+
+    // Placeholder slot contexts; every field is rebuilt at each round's
+    // materialization. Edge/cloud delay streams are drawn from dedicated
+    // salted stream ids so they never depend on the population size.
+    let slots: Vec<SlotCtx> = (0..total_slots)
+        .map(|slot| SlotCtx {
+            gid: 0,
+            edge: (0..l_count)
+                .find(|&e| hierarchy.edge_workers(e).contains(&slot))
+                .expect("every slot belongs to an edge"),
+            shard: 0,
+            steps: 0,
+            batcher: Batcher::new(1, 1, 0),
+            delays: DelaySampler::from_stream(sim.net_seed, 0),
+            attack: None,
+        })
+        .collect();
+    let edges: Vec<EdgeSim> = (0..l_count)
+        .map(|e| EdgeSim {
+            round: 0,
+            arrived: 0,
+            busy_ms: 0.0,
+            sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_EDGE_STREAM, e as u64),
+        })
+        .collect();
+
+    let threads = cfg.resolved_threads();
+    let mut engine = VEngine {
+        strategy,
+        cfg,
+        sim,
+        population,
+        shards,
+        shard_sizes,
+        sampler: CohortSampler::new(cfg.seed),
+        fl,
+        slots,
+        edges,
+        cloud_arrived: vec![false; l_count],
+        cloud_busy_ms: 0.0,
+        cloud_sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_CLOUD_STREAM, 0),
+        workers_busy_ms: 0.0,
+        queue: EventQueue::new(),
+        eval_stage: BTreeMap::new(),
+        gamma_stage: BTreeMap::new(),
+        gamma_trace: Vec::new(),
+        cos_trace: Vec::new(),
+        evals: Vec::new(),
+        step_model: model.clone(),
+        eval_models: (0..threads).map(|_| model.clone()).collect(),
+        test_data,
+        train_probe: build_train_probe(shards, cfg.train_eval_cap),
+        batch: Vec::new(),
+        adversaries: vec![AdversaryCounters::default(); cfg.adversary.byzantine.len()],
+        rounds: cfg.total_iters / cfg.tau,
+        edges_done: 0,
+        events: 0,
+        now: 0.0,
+    };
+    engine.run();
+    Ok(engine.finish())
+}
+
+/// Stream salts keeping the edge/cloud aggregator delay streams disjoint
+/// from every per-(worker, round) stream whatever the population size.
+const SALT_EDGE_STREAM: u64 = 0x6564_6765_5f76_706f;
+const SALT_CLOUD_STREAM: u64 = 0x636c_6f75_645f_7670;

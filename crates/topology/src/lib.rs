@@ -49,6 +49,23 @@ pub mod weights {
         edge_samples: Vec<u64>,
         total: u64,
         edge_of_worker: Vec<usize>,
+        /// Full-population edge data totals, when the flat workers are a
+        /// sampled *cohort* of a larger virtual population (see
+        /// `core::population`). `None` (the default, and the only value
+        /// older serialized forms can carry) means the workers *are* the
+        /// population and cross-edge shares come from `edge_samples`.
+        #[serde(default)]
+        population: Option<PopulationShares>,
+    }
+
+    /// Cross-edge data shares of the full registered population, carried
+    /// alongside cohort weights so `D_ℓ/D` reflects *all* of edge ℓ's
+    /// data while `D_{i,ℓ}/D_ℓ` renormalizes within the sampled cohort —
+    /// the partition-of-unity split client sampling needs.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct PopulationShares {
+        edge_samples: Vec<u64>,
+        total: u64,
     }
 
     impl Weights {
@@ -81,6 +98,7 @@ pub mod weights {
                 edge_samples,
                 total,
                 edge_of_worker,
+                population: None,
             }
         }
 
@@ -89,20 +107,93 @@ pub mod weights {
             Self::from_samples(hierarchy, &vec![1; hierarchy.num_workers()])
         }
 
+        /// Builds *cohort* weights: the flat workers are a per-round sample
+        /// of a larger registered population whose per-edge data totals are
+        /// `population_edge_samples`. Within an edge, shares renormalize
+        /// over the cohort ([`Weights::worker_in_edge`] sums to 1 over the
+        /// sampled workers); across edges, shares keep the full-population
+        /// proportions ([`Weights::edge_in_total`] is `Dℓ/D` of *all*
+        /// registered data, not just the sampled slice).
+        ///
+        /// # Panics
+        ///
+        /// Panics on the [`Weights::from_samples`] conditions, on a length
+        /// mismatch between `population_edge_samples` and the hierarchy's
+        /// edges, or on a zero-data population edge.
+        pub fn from_cohort(
+            hierarchy: &Hierarchy,
+            cohort_samples: &[u64],
+            population_edge_samples: Vec<u64>,
+        ) -> Self {
+            assert_eq!(
+                population_edge_samples.len(),
+                hierarchy.num_edges(),
+                "need one population data total per edge"
+            );
+            for (e, &n) in population_edge_samples.iter().enumerate() {
+                assert!(n > 0, "population edge {e} has zero data samples");
+            }
+            let mut w = Self::from_samples(hierarchy, cohort_samples);
+            let total = population_edge_samples.iter().sum();
+            w.population = Some(PopulationShares {
+                edge_samples: population_edge_samples,
+                total,
+            });
+            w
+        }
+
+        /// Replaces one edge's cohort sample counts in place (the per-round
+        /// re-materialization path: a fresh cohort arrives, the edge's
+        /// in-cohort denominators move with it, the population cross-edge
+        /// shares stay put). The slice must match the edge's worker count.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `edge` is out of range, the length differs from the
+        /// edge's worker count, or the new cohort has zero total samples.
+        pub fn set_edge_cohort(&mut self, edge: usize, samples: &[u64]) {
+            let start = self.edge_of_worker.partition_point(|&e| e < edge);
+            let end = self.edge_of_worker.partition_point(|&e| e <= edge);
+            assert!(start < end, "edge {edge} out of range or empty");
+            assert_eq!(
+                samples.len(),
+                end - start,
+                "edge {edge} holds {} workers",
+                end - start
+            );
+            let new_edge_total: u64 = samples.iter().sum();
+            assert!(new_edge_total > 0, "edge {edge} cohort has zero samples");
+            self.worker_samples[start..end].copy_from_slice(samples);
+            self.total = self.total - self.edge_samples[edge] + new_edge_total;
+            self.edge_samples[edge] = new_edge_total;
+        }
+
         /// `D_{i,ℓ}/D_ℓ`: the worker's share within its edge.
         pub fn worker_in_edge(&self, flat_worker: usize) -> f64 {
             let edge = self.edge_of_worker[flat_worker];
             self.worker_samples[flat_worker] as f64 / self.edge_samples[edge] as f64
         }
 
-        /// `D_ℓ/D`: the edge's share of all data.
+        /// `D_ℓ/D`: the edge's share of all data — of the full registered
+        /// population when these are cohort weights ([`Weights::from_cohort`]).
         pub fn edge_in_total(&self, edge: usize) -> f64 {
-            self.edge_samples[edge] as f64 / self.total as f64
+            match &self.population {
+                Some(p) => p.edge_samples[edge] as f64 / p.total as f64,
+                None => self.edge_samples[edge] as f64 / self.total as f64,
+            }
         }
 
-        /// `D_{i,ℓ}/D`: the worker's share of all data.
+        /// `D_{i,ℓ}/D`: the worker's share of all data. Under cohort
+        /// weights this composes the in-cohort edge share with the
+        /// population cross-edge share, so shares still sum to 1.
         pub fn worker_in_total(&self, flat_worker: usize) -> f64 {
-            self.worker_samples[flat_worker] as f64 / self.total as f64
+            match &self.population {
+                Some(_) => {
+                    let edge = self.edge_of_worker[flat_worker];
+                    self.worker_in_edge(flat_worker) * self.edge_in_total(edge)
+                }
+                None => self.worker_samples[flat_worker] as f64 / self.total as f64,
+            }
         }
 
         /// Raw sample count of a worker.
@@ -150,6 +241,71 @@ pub mod weights {
             let w = Weights::uniform(&h);
             assert_eq!(w.worker_in_edge(0), 0.5);
             assert_eq!(w.edge_in_total(1), 0.5);
+        }
+
+        #[test]
+        fn cohort_weights_mix_cohort_and_population_shares() {
+            // 2-worker cohorts per edge, drawn from a population where
+            // edge 0 owns 3/4 of the data.
+            let h = Hierarchy::balanced(2, 2);
+            let w = Weights::from_cohort(&h, &[10, 30, 5, 15], vec![300, 100]);
+            // In-edge shares renormalize over the cohort…
+            assert!((w.worker_in_edge(0) - 0.25).abs() < 1e-12);
+            assert!((w.worker_in_edge(1) - 0.75).abs() < 1e-12);
+            // …cross-edge shares are population shares, not 40/60 vs 20/60.
+            assert!((w.edge_in_total(0) - 0.75).abs() < 1e-12);
+            assert!((w.edge_in_total(1) - 0.25).abs() < 1e-12);
+            // worker_in_total composes the two and still partitions unity.
+            let total: f64 = (0..4).map(|i| w.worker_in_total(i)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn set_edge_cohort_replaces_one_edge_in_place() {
+            let h = Hierarchy::new(vec![2, 3]);
+            let mut w = Weights::from_cohort(&h, &[10, 30, 5, 5, 10], vec![100, 100]);
+            w.set_edge_cohort(0, &[7, 1]);
+            assert!((w.worker_in_edge(0) - 7.0 / 8.0).abs() < 1e-12);
+            assert!((w.worker_in_edge(1) - 1.0 / 8.0).abs() < 1e-12);
+            // Edge 1 untouched; population shares untouched.
+            assert!((w.worker_in_edge(2) - 0.25).abs() < 1e-12);
+            assert!((w.edge_in_total(0) - 0.5).abs() < 1e-12);
+        }
+
+        #[test]
+        #[should_panic(expected = "zero samples")]
+        fn set_edge_cohort_rejects_zero_total() {
+            let h = Hierarchy::balanced(2, 1);
+            let mut w = Weights::uniform(&h);
+            w.set_edge_cohort(0, &[0]);
+        }
+
+        #[test]
+        #[should_panic(expected = "zero data samples")]
+        fn cohort_rejects_zero_population_edge() {
+            let h = Hierarchy::balanced(2, 1);
+            let _ = Weights::from_cohort(&h, &[1, 1], vec![5, 0]);
+        }
+
+        #[test]
+        fn plain_weights_serde_is_unchanged_and_population_round_trips() {
+            let h = Hierarchy::balanced(2, 2);
+            let plain = Weights::uniform(&h);
+            let json = serde_json::to_string(&plain).unwrap();
+            let back: Weights = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, plain);
+            // Serialized forms that predate the population field (no
+            // `population` key at all) still deserialize, to `None`.
+            let legacy = json.replace(",\"population\":null", "");
+            assert_ne!(legacy, json, "expected the population key in the wire form");
+            let back: Weights = serde_json::from_str(&legacy).unwrap();
+            assert_eq!(back, plain);
+
+            let cohort = Weights::from_cohort(&h, &[1, 1, 1, 1], vec![9, 3]);
+            let back: Weights =
+                serde_json::from_str(&serde_json::to_string(&cohort).unwrap()).unwrap();
+            assert_eq!(back, cohort);
+            assert!((back.edge_in_total(0) - 0.75).abs() < 1e-12);
         }
     }
 }

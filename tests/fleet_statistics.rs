@@ -48,6 +48,68 @@ fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
 }
 
 #[test]
+fn fleet_repeat_is_bitwise_identical_across_thread_counts() {
+    // `repeat` varies only the seed between runs; the execution-engine
+    // thread count must not leak into any curve. Compare full per-seed
+    // curves bitwise, not just the Mean±Std summary.
+    let spec = SyntheticSpec {
+        num_classes: 5,
+        shape: hieradmo::data::FeatureShape::Flat(20),
+        noise: 1.4,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    let tt = generate(&spec, 30, 20, 55);
+    let shards = x_class_partition(&tt.train, 4, 2, 55);
+    let model = zoo::logistic_regression(&tt.train, 55);
+    let base = RunConfig {
+        eta: 0.05,
+        tau: 5,
+        pi: 2,
+        total_iters: 40,
+        batch_size: 16,
+        eval_every: 10,
+        ..RunConfig::default()
+    };
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+    let fleet_at = |threads: usize| {
+        let cfg = RunConfig {
+            threads: Some(threads),
+            ..base.clone()
+        };
+        repeat(
+            &algo,
+            &model,
+            &Hierarchy::balanced(2, 2),
+            &shards,
+            &tt.test,
+            &cfg,
+            &SEEDS,
+        )
+        .expect("fleet run")
+    };
+    let single = fleet_at(1);
+    let quad = fleet_at(4);
+    assert_eq!(single.curves.len(), SEEDS.len());
+    for (i, (a, b)) in single.curves.iter().zip(&quad.curves).enumerate() {
+        assert_eq!(
+            a, b,
+            "seed {} curve differs between 1 and 4 threads",
+            SEEDS[i]
+        );
+    }
+    assert_eq!(single.accuracy.mean.to_bits(), quad.accuracy.mean.to_bits());
+    assert_eq!(single.accuracy.std.to_bits(), quad.accuracy.std.to_bits());
+    // Distinct seeds must actually produce distinct trajectories, or the
+    // invariance above would be vacuous.
+    assert!(
+        single.curves.windows(2).any(|w| w[0] != w[1]),
+        "all seeds produced identical curves; seed plumbing is broken"
+    );
+}
+
+#[test]
 fn hieradmo_beats_fedavg_in_expectation() {
     let hier = fleet_accuracy(&HierAdMo::adaptive(0.05, 0.5));
     let favg = fleet_accuracy(&FedAvg::new(0.05));

@@ -1,0 +1,328 @@
+//! Virtual-population gates: full participation delegates to the classic
+//! engines bitwise, sampled runs agree bitwise between the tick-driven
+//! and event-driven engines, results are invariant to thread count, and
+//! the 100k-registered/512-sampled scale smoke replays identically.
+
+mod common;
+
+use common::{sim_config, sim_fixture};
+use hieradmo::core::algorithms::HierAdMo;
+use hieradmo::core::population::{run_virtual, ClientSampling, WorkerPopulation};
+use hieradmo::core::{run, RobustAggregator, RunConfig, RunResult};
+use hieradmo::data::partition::x_class_partition;
+use hieradmo::data::synthetic::SyntheticDataset;
+use hieradmo::data::Dataset;
+use hieradmo::models::zoo;
+use hieradmo::netsim::{AdversaryPlan, Architecture, AttackModel, NetworkEnv};
+use hieradmo::simrt::{simulate, simulate_virtual, SimConfig, SimResult, SyncPolicy};
+
+/// A 2-edge federation of 100 registered workers per edge over 4 shards,
+/// with a config whose eval rounds (k = 2 at t = 10, k = 4 at t = 20)
+/// cover a mid-cloud-window boundary and the final cloud boundary.
+fn virtual_fixture() -> (WorkerPopulation, Vec<Dataset>, Dataset, RunConfig) {
+    let tt = SyntheticDataset::mnist_like(60, 30, 11);
+    let shards = x_class_partition(&tt.train, 4, 2, 11);
+    let population = WorkerPopulation::uniform(2, 100, 4).unwrap();
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 20,
+        eval_every: 10,
+        batch_size: 8,
+        seed: 42,
+        threads: Some(1),
+        sampling: ClientSampling::PerEdge { count: 3 },
+        ..RunConfig::default()
+    };
+    (population, shards, tt.test, cfg)
+}
+
+fn virtual_sim_config(net_seed: u64) -> SimConfig {
+    // 4 worker-device profiles acting as a pool over the population.
+    SimConfig::new(
+        NetworkEnv::paper_testbed(4),
+        Architecture::ThreeTier,
+        50_000,
+        net_seed,
+        SyncPolicy::FullSync,
+    )
+}
+
+fn assert_same_trajectory(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.curve, b.curve, "{label}: curve differs");
+    assert_eq!(a.final_params, b.final_params, "{label}: params differ");
+    assert_eq!(a.gamma_trace, b.gamma_trace, "{label}: gamma differs");
+    assert_eq!(a.cos_trace, b.cos_trace, "{label}: cos differs");
+}
+
+fn assert_core_sim_equal(a: &RunResult, sim: &SimResult, label: &str) {
+    assert_eq!(a.curve, sim.curve, "{label}: curve differs");
+    assert_eq!(a.final_params, sim.final_params, "{label}: params differ");
+    assert_eq!(a.gamma_trace, sim.gamma_trace, "{label}: gamma differs");
+    assert_eq!(a.cos_trace, sim.cos_trace, "{label}: cos differs");
+}
+
+/// Full participation (the default) must reproduce the classic
+/// tick-driven trajectory bitwise — the delegation gate of ISSUE 7.
+#[test]
+fn full_participation_delegates_to_classic_run_bitwise() {
+    let f = sim_fixture(0.0);
+    let algo = HierAdMo::adaptive(f.cfg.eta, f.cfg.gamma);
+    let model = zoo::logistic_regression(&f.train, 7);
+    let legacy = run(&algo, &model, &f.hierarchy, &f.shards, &f.test, &f.cfg).unwrap();
+
+    // The population whose edges mirror the fixture's hierarchy; with 4
+    // round-robin shards over 4 workers, worker g holds shard g — the
+    // same assignment the legacy run used.
+    let population = WorkerPopulation::from_hierarchy(&f.hierarchy, 4).unwrap();
+    for sampling in [
+        ClientSampling::Full,
+        ClientSampling::Fraction { fraction: 1.0 },
+    ] {
+        let cfg = RunConfig {
+            sampling,
+            ..f.cfg.clone()
+        };
+        let virt = run_virtual(&algo, &model, &population, &f.shards, &f.test, &cfg).unwrap();
+        assert_same_trajectory(&legacy, &virt, "full-participation delegation");
+    }
+}
+
+/// The event-driven engine's full-participation path delegates to the
+/// classic `simulate` — trajectory *and* time axis identical.
+#[test]
+fn full_participation_delegates_to_classic_simulate_bitwise() {
+    let f = sim_fixture(0.0);
+    let algo = HierAdMo::adaptive(f.cfg.eta, f.cfg.gamma);
+    let model = zoo::logistic_regression(&f.train, 7);
+    let sim = sim_config(9, SyncPolicy::FullSync);
+    let legacy = simulate(
+        &algo,
+        &model,
+        &f.hierarchy,
+        &f.shards,
+        &f.test,
+        &f.cfg,
+        &sim,
+    )
+    .unwrap();
+
+    let population = WorkerPopulation::from_hierarchy(&f.hierarchy, 4).unwrap();
+    let virt =
+        simulate_virtual(&algo, &model, &population, &f.shards, &f.test, &f.cfg, &sim).unwrap();
+    assert_eq!(legacy.curve, virt.curve);
+    assert_eq!(legacy.timed_curve, virt.timed_curve);
+    assert_eq!(legacy.final_params, virt.final_params);
+    assert_eq!(legacy.events, virt.events);
+    assert_eq!(legacy.simulated_seconds, virt.simulated_seconds);
+}
+
+/// The sampled regime's cross-engine gate: the tick-driven and
+/// event-driven engines agree bitwise on the model trajectory.
+#[test]
+fn sampled_runs_agree_across_engines_bitwise() {
+    let (population, shards, test, cfg) = virtual_fixture();
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&shards[0], 7);
+    let core = run_virtual(&algo, &model, &population, &shards, &test, &cfg).unwrap();
+    let sim = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg,
+        &virtual_sim_config(9),
+    )
+    .unwrap();
+    assert_core_sim_equal(&core, &sim, "sampled cross-engine");
+    assert!(core.curve.final_accuracy().is_some());
+    assert!(sim.simulated_seconds > 0.0);
+    assert!(sim.events > 0);
+    // The trajectory must not depend on the network seed.
+    let sim2 = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg,
+        &virtual_sim_config(1234),
+    )
+    .unwrap();
+    assert_eq!(sim.curve, sim2.curve, "net seed leaked into training");
+    assert_ne!(
+        sim.simulated_seconds, sim2.simulated_seconds,
+        "different net seeds should draw different delays"
+    );
+}
+
+/// Sampled results are bitwise identical for every engine thread count.
+#[test]
+fn sampled_runs_are_thread_count_invariant() {
+    let (population, shards, test, cfg) = virtual_fixture();
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&shards[0], 7);
+    let one = run_virtual(&algo, &model, &population, &shards, &test, &cfg).unwrap();
+    let cfg4 = RunConfig {
+        threads: Some(4),
+        ..cfg.clone()
+    };
+    let four = run_virtual(&algo, &model, &population, &shards, &test, &cfg4).unwrap();
+    assert_same_trajectory(&one, &four, "threads 1 vs 4");
+
+    let s1 = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg,
+        &virtual_sim_config(9),
+    )
+    .unwrap();
+    let s4 = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg4,
+        &virtual_sim_config(9),
+    )
+    .unwrap();
+    assert_eq!(s1.curve, s4.curve);
+    assert_eq!(s1.final_params, s4.final_params);
+    assert_eq!(s1.simulated_seconds, s4.simulated_seconds);
+    assert_eq!(s1.events, s4.events);
+}
+
+/// Sampling composes with a robust aggregator and a Byzantine adversary
+/// addressed by *global* (population) worker id — identically in both
+/// engines, counters included.
+#[test]
+fn sampling_composes_with_robustness_and_adversaries() {
+    let (population, shards, test, mut cfg) = virtual_fixture();
+    cfg.aggregator = RobustAggregator::TrimmedMean { trim_ratio: 0.25 };
+    // Mark a whole residue stripe of edge 0 Byzantine so sampled cohorts
+    // regularly include an attacker.
+    let byzantine: Vec<usize> = (0..100).step_by(3).collect();
+    cfg.adversary = AdversaryPlan::uniform(byzantine, AttackModel::SignFlip { scale: 2.0 });
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&shards[0], 7);
+    let core = run_virtual(&algo, &model, &population, &shards, &test, &cfg).unwrap();
+    let sim = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg,
+        &virtual_sim_config(9),
+    )
+    .unwrap();
+    assert_core_sim_equal(&core, &sim, "robust + adversary sampled");
+    // Someone must actually have been sampled and poisoned, and both
+    // engines must agree on every per-attacker tally.
+    let total: u64 = core.adversaries.iter().map(|c| c.poisoned_uploads).sum();
+    assert!(total > 0, "no Byzantine worker was ever sampled");
+    assert_eq!(core.adversaries.len(), sim.adversaries.len());
+    for (c, s) in core.adversaries.iter().zip(sim.adversaries.iter()) {
+        assert_eq!(*c, s.counters);
+    }
+}
+
+/// The CI scale smoke: 100k registered workers, 512 sampled per round,
+/// replayed bitwise at 1 and 4 engine threads. Memory stays cohort-sized
+/// — the 100k registered workers never materialize.
+#[test]
+fn scale_smoke_100k_registered_512_sampled_is_deterministic() {
+    let tt = SyntheticDataset::mnist_like(60, 30, 5);
+    let shards = x_class_partition(&tt.train, 4, 2, 5);
+    let population = WorkerPopulation::uniform(8, 12_500, 4).unwrap();
+    assert_eq!(population.total_workers(), 100_000);
+    let cfg = RunConfig {
+        tau: 2,
+        pi: 1,
+        total_iters: 4,
+        eval_every: 4,
+        batch_size: 8,
+        seed: 7,
+        threads: Some(1),
+        sampling: ClientSampling::PerEdge { count: 64 },
+        ..RunConfig::default()
+    };
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&tt.train, 3);
+    let one = run_virtual(&algo, &model, &population, &shards, &tt.test, &cfg).unwrap();
+    let cfg4 = RunConfig {
+        threads: Some(4),
+        ..cfg.clone()
+    };
+    let four = run_virtual(&algo, &model, &population, &shards, &tt.test, &cfg4).unwrap();
+    assert_same_trajectory(&one, &four, "scale smoke threads 1 vs 4");
+
+    let sim = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &tt.test,
+        &cfg,
+        &virtual_sim_config(3),
+    )
+    .unwrap();
+    assert_core_sim_equal(&one, &sim, "scale smoke cross-engine");
+    // O(active) scheduling: far fewer events than one per registered
+    // worker, despite 100k registrations.
+    assert!(
+        sim.events < 10_000,
+        "event count {} should be cohort-sized, not population-sized",
+        sim.events
+    );
+}
+
+/// The sampled paths reject what they cannot honor, with actionable
+/// messages.
+#[test]
+fn sampled_paths_validate_their_restrictions() {
+    let (population, shards, test, cfg) = virtual_fixture();
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&shards[0], 7);
+
+    // Oversized per-edge sample.
+    let big = RunConfig {
+        sampling: ClientSampling::PerEdge { count: 101 },
+        ..cfg.clone()
+    };
+    let err = run_virtual(&algo, &model, &population, &shards, &test, &big).unwrap_err();
+    assert!(format!("{err}").contains("exceeds"), "{err}");
+
+    // Dropout cannot combine with sampling.
+    let drop = RunConfig {
+        dropout: 0.5,
+        ..cfg.clone()
+    };
+    let err = run_virtual(&algo, &model, &population, &shards, &test, &drop).unwrap_err();
+    assert!(format!("{err}").contains("dropout"), "{err}");
+
+    // The event-driven engine additionally requires FullSync.
+    let mut relaxed = virtual_sim_config(9);
+    relaxed.policy = SyncPolicy::Deadline {
+        quorum: 0.5,
+        timeout_ms: 100.0,
+    };
+    let err =
+        simulate_virtual(&algo, &model, &population, &shards, &test, &cfg, &relaxed).unwrap_err();
+    assert!(format!("{err}").contains("FullSync"), "{err}");
+
+    // A full-participation delegation over a million workers is refused
+    // (that is exactly what sampling is for).
+    let huge = WorkerPopulation::uniform(4, 300_000, 4).unwrap();
+    let full = RunConfig {
+        sampling: ClientSampling::Full,
+        ..cfg.clone()
+    };
+    let err = run_virtual(&algo, &model, &huge, &shards, &test, &full).unwrap_err();
+    assert!(format!("{err}").contains("sampling"), "{err}");
+}

@@ -20,7 +20,7 @@ fn bench_algorithms(c: &mut Criterion) {
         total_iters: 10, // exactly one cloud round
         batch_size: 8,
         eval_every: 10,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     for algo in table2_lineup(0.01, 0.5, 0.5) {

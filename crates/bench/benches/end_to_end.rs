@@ -17,7 +17,7 @@ fn mini_cfg(tau: usize, pi: usize, total: usize) -> RunConfig {
         total_iters: total,
         batch_size: 8,
         eval_every: total,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     }
 }

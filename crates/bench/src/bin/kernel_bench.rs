@@ -17,7 +17,16 @@
 //!
 //! `--smoke` runs every kernel pair once at tiny shapes, asserts all
 //! outputs are finite and within tolerance of the scalar baseline, and
-//! emits the same JSON schema — CI runs this so the bench cannot rot.
+//! emits the same JSON schema — CI runs this so the bench cannot rot. When
+//! a committed baseline report exists (`--baseline`, default
+//! `BENCH_kernels.json`), smoke mode additionally re-times the tracked
+//! full-size shapes and fails if any kernel's speedup regressed more than
+//! 10% against the committed number.
+//!
+//! Full runs append a dated one-line summary to
+//! `results/bench_history.jsonl`, so the perf trajectory is recorded
+//! across PRs, with the runtime-dispatched CPU-feature level
+//! (`kernels::dispatch_level()`) alongside every entry.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -130,6 +139,24 @@ fn old_weighted_average(items: &[(f64, &Vector)]) -> Vector {
     acc.into_iter().map(|a| (a / total) as f32).collect()
 }
 
+/// Old aggregation + momentum composition (Algorithm 2 lines 12–13 before
+/// fusion): finalize the mean from the f64 accumulator, then
+/// clone / subtract / axpy for the look-ahead update — three extra passes
+/// and two temporaries per aggregation.
+fn old_finalize_momentum(
+    acc: &[f64],
+    total: f64,
+    gamma: f32,
+    y_old: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let mean: Vec<f32> = acc.iter().map(|&a| (a / total) as f32).collect();
+    let mut delta = mean.clone();
+    kernels::axpy(&mut delta, -1.0, y_old);
+    let mut looked = mean.clone();
+    kernels::axpy(&mut looked, gamma, &delta);
+    (mean, looked)
+}
+
 // ---------------------------------------------------------------------------
 // Harness
 // ---------------------------------------------------------------------------
@@ -167,6 +194,10 @@ struct BenchReport {
     bench: &'static str,
     mode: &'static str,
     target: String,
+    /// CPU-feature level the kernel layer dispatched to at startup
+    /// (`"avx2"` or `"scalar"`) — numbers are only comparable between
+    /// reports with the same dispatch level.
+    dispatch: &'static str,
     kernels: Vec<KernelRow>,
     end_to_end: Option<EndToEnd>,
     peak_rss_bytes: Option<u64>,
@@ -278,6 +309,86 @@ fn bench_weighted_average(rows: &mut Vec<KernelRow>, reps: usize, workers: usize
     });
 }
 
+/// K-way batched accumulation vs the previous production path (K
+/// sequential `weighted_accumulate` passes over the accumulator).
+fn bench_weighted_sum_batch(rows: &mut Vec<KernelRow>, reps: usize, workers: usize, dim: usize) {
+    let vs: Vec<Vec<f32>> = (0..workers)
+        .map(|i| seq(dim, 0.011 + i as f32 * 0.002))
+        .collect();
+    let weights: Vec<f64> = (0..workers).map(|i| 1.0 + i as f64).collect();
+    let views: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+    let mut acc_old = vec![0.0f64; dim];
+    let mut acc_new = vec![0.0f64; dim];
+    for (w, v) in weights.iter().zip(&views) {
+        kernels::weighted_accumulate(&mut acc_old, *w, v);
+    }
+    kernels::weighted_sum_batch(&mut acc_new, &weights, &views);
+    let old32: Vec<f32> = acc_old.iter().map(|&a| a as f32).collect();
+    let new32: Vec<f32> = acc_new.iter().map(|&a| a as f32).collect();
+    assert_close("weighted_sum_batch", &new32, &old32);
+    let baseline_ns = time_ns(reps, || {
+        acc_old.fill(0.0);
+        for (w, v) in weights.iter().zip(&views) {
+            kernels::weighted_accumulate(black_box(&mut acc_old), *w, black_box(v));
+        }
+    });
+    let kernel_ns = time_ns(reps, || {
+        acc_new.fill(0.0);
+        kernels::weighted_sum_batch(
+            black_box(&mut acc_new),
+            black_box(&weights),
+            black_box(&views),
+        );
+    });
+    rows.push(KernelRow {
+        name: "weighted_sum_batch".into(),
+        shape: format!("{workers}x{dim}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
+/// Fused mean-finalize + momentum look-ahead vs the unfused
+/// clone/sub/axpy composition it replaced.
+fn bench_fused_momentum(rows: &mut Vec<KernelRow>, reps: usize, dim: usize) {
+    let acc: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.003).cos() * 5.0).collect();
+    let total = 3.5f64;
+    let gamma = 0.625f32;
+    let y_old = seq(dim, 0.021);
+    let (want_mean, want_looked) = old_finalize_momentum(&acc, total, gamma, &y_old);
+    let mut mean = vec![0.0f32; dim];
+    let mut looked = vec![0.0f32; dim];
+    kernels::fused_aggregate_momentum(&acc, total, gamma, &y_old, &mut mean, &mut looked);
+    assert_close("fused_aggregate_momentum mean", &mean, &want_mean);
+    assert_close("fused_aggregate_momentum looked", &looked, &want_looked);
+    let baseline_ns = time_ns(reps, || {
+        black_box(old_finalize_momentum(
+            black_box(&acc),
+            total,
+            gamma,
+            black_box(&y_old),
+        ));
+    });
+    let kernel_ns = time_ns(reps, || {
+        kernels::fused_aggregate_momentum(
+            black_box(&acc),
+            total,
+            gamma,
+            black_box(&y_old),
+            &mut mean,
+            &mut looked,
+        );
+    });
+    rows.push(KernelRow {
+        name: "fused_aggregate_momentum".into(),
+        shape: format!("{dim}"),
+        baseline_ns,
+        kernel_ns,
+        speedup: baseline_ns / kernel_ns,
+    });
+}
+
 fn bench_conv(
     rows: &mut Vec<KernelRow>,
     reps: usize,
@@ -357,11 +468,197 @@ fn end_to_end(total_iters: usize) -> EndToEnd {
     }
 }
 
+/// The tracked full-size shapes: every production hot-path kernel at the
+/// widths the training loop actually runs. Full mode times these for the
+/// committed report; smoke mode re-times them (fewer reps) to enforce the
+/// speedup floor against that report.
+fn full_kernel_shapes(rows: &mut Vec<KernelRow>, reps: usize) {
+    // MLP layer shapes (Algorithm 1's dense path; 256×784·784×128 is
+    // the acceptance shape), a conv-as-im2col shape, and small blocks.
+    bench_matmul(rows, reps, 256, 128, 784);
+    bench_matmul(rows, reps, 32, 196, 288);
+    bench_matmul(rows, reps, 128, 64, 128);
+    // Aggregation-width vectors: logistic-MNIST (7850) and MLP (~100k).
+    bench_dot(rows, reps, 7850);
+    bench_dot(rows, reps, 101_770);
+    bench_axpy(rows, reps, 7850);
+    bench_axpy(rows, reps, 101_770);
+    // A production fan-in (16 workers × logistic-MNIST width), not the
+    // old 4-input toy.
+    bench_weighted_average(rows, reps, 16, 7850);
+    // Batched K-way aggregation at edge fan-in (16×7850), cloud-scale MLP
+    // fan-in (64×101770), and virtual-population fan-in (2048×7850).
+    bench_weighted_sum_batch(rows, reps, 16, 7850);
+    bench_weighted_sum_batch(rows, reps, 64, 101_770);
+    bench_weighted_sum_batch(rows, reps, 2048, 7850);
+    // Fused aggregation + momentum at both aggregation widths.
+    bench_fused_momentum(rows, reps, 7850);
+    bench_fused_momentum(rows, reps, 101_770);
+    // CNN zoo layers: MNIST first conv and a mid-network conv.
+    bench_conv(rows, reps, 1, 8, 28, 5, 2);
+    bench_conv(rows, reps, 8, 16, 14, 3, 1);
+}
+
+/// Parses the committed full-mode report into `(name, shape) → speedup`.
+/// Returns `None` (gate skipped) when the file is missing or malformed —
+/// a fresh checkout without a committed baseline must not fail smoke.
+fn baseline_speedups(path: &str) -> Option<Vec<(String, String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let obj = value.as_object()?;
+    if obj.get("mode").and_then(|m| m.as_str()) != Some("full") {
+        return None;
+    }
+    let kernels = match obj.get("kernels")? {
+        serde_json::Value::Array(rows) => rows,
+        _ => return None,
+    };
+    let mut out = Vec::with_capacity(kernels.len());
+    for row in kernels {
+        let row = row.as_object()?;
+        out.push((
+            row.get("name")?.as_str()?.to_string(),
+            row.get("shape")?.as_str()?.to_string(),
+            row.get("speedup")?.as_number()?.as_f64(),
+        ));
+    }
+    Some(out)
+}
+
+/// Shapes whose best observed speedup is >10% below the committed one.
+fn speedup_violations<'a>(
+    best: &[KernelRow],
+    baseline: &'a [(String, String, f64)],
+) -> Vec<(&'a str, &'a str, f64, f64)> {
+    let mut out = Vec::new();
+    for (name, shape, committed) in baseline {
+        // Retired shapes just drop out of the gate; the committed report
+        // is regenerated on the next full run.
+        if let Some(row) = best.iter().find(|r| &r.name == name && &r.shape == shape) {
+            if row.speedup < 0.9 * committed {
+                out.push((name.as_str(), shape.as_str(), row.speedup, *committed));
+            }
+        }
+    }
+    out
+}
+
+/// Fails the smoke run if any tracked kernel's speedup fell more than 10%
+/// below the committed baseline's (matched by name and shape).
+///
+/// Timing on a shared box is noisy in both the numerator and the
+/// denominator of a speedup, so the gate keeps the best per-shape speedup
+/// across up to three measurement passes and only fails a kernel that
+/// stays below the floor in all of them — a real regression is persistent,
+/// a scheduling hiccup is not.
+fn enforce_speedup_floor(reps: usize, baseline: &[(String, String, f64)]) {
+    let mut best: Vec<KernelRow> = Vec::new();
+    for attempt in 0..3 {
+        let mut tracked = Vec::new();
+        full_kernel_shapes(&mut tracked, reps);
+        for row in tracked {
+            match best
+                .iter_mut()
+                .find(|b| b.name == row.name && b.shape == row.shape)
+            {
+                Some(b) if b.speedup < row.speedup => *b = row,
+                Some(_) => {}
+                None => best.push(row),
+            }
+        }
+        let violations = speedup_violations(&best, baseline);
+        if violations.is_empty() {
+            println!(
+                "speedup floor held for {} tracked kernel shapes (pass {})",
+                best.len(),
+                attempt + 1
+            );
+            return;
+        }
+        for (name, shape, got, committed) in &violations {
+            println!(
+                "pass {}: kernel {name} {shape} below floor: {got:.2}x vs committed {committed:.2}x",
+                attempt + 1
+            );
+        }
+    }
+    let violations = speedup_violations(&best, baseline);
+    assert!(
+        violations.is_empty(),
+        "kernels regressed more than 10% below the committed baseline in all \
+         passes: {violations:?} — investigate or regenerate the baseline with a \
+         full `kernel_bench` run"
+    );
+}
+
+/// Civil date (UTC) from the system clock, for the bench history log.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    // Howard Hinnant's days-to-civil algorithm.
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends a dated one-line summary of this full run to
+/// `results/bench_history.jsonl`.
+fn append_history(rows: &[KernelRow], dispatch: &str) {
+    use serde_json::{Map, Number, Value};
+    let kernels: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let mut k = Map::new();
+            k.insert("name".into(), Value::String(r.name.clone()));
+            k.insert("shape".into(), Value::String(r.shape.clone()));
+            k.insert("speedup".into(), Value::Number(Number::from_f64(r.speedup)));
+            Value::Object(k)
+        })
+        .collect();
+    let mut entry = Map::new();
+    entry.insert("date".into(), Value::String(today_utc()));
+    entry.insert("bench".into(), Value::String("kernel_bench".into()));
+    entry.insert("dispatch".into(), Value::String(dispatch.into()));
+    entry.insert("kernels".into(), Value::Array(kernels));
+    let line = serde_json::to_string(&Value::Object(entry)).expect("history entry must serialize");
+    if std::fs::create_dir_all("results").is_err() {
+        eprintln!("warning: could not create results/; skipping bench history");
+        return;
+    }
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/bench_history.jsonl")
+    {
+        Ok(mut f) => {
+            writeln!(f, "{line}").expect("append bench history");
+            println!("appended results/bench_history.jsonl");
+        }
+        Err(e) => eprintln!("warning: could not append bench history: {e}"),
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let smoke = cli.get("smoke").is_some();
     let out_path = cli.get("out").unwrap_or("BENCH_kernels.json").to_string();
+    let baseline_path = cli
+        .get("baseline")
+        .unwrap_or("BENCH_kernels.json")
+        .to_string();
     let reps: usize = cli.get_or("reps", if smoke { 1 } else { 7 });
+    let dispatch = kernels::dispatch_level().name();
 
     let mut rows = Vec::new();
     if smoke {
@@ -370,22 +667,39 @@ fn main() {
         bench_dot(&mut rows, reps, 100);
         bench_axpy(&mut rows, reps, 100);
         bench_weighted_average(&mut rows, reps, 3, 64);
+        bench_weighted_sum_batch(&mut rows, reps, 4, 64);
+        bench_fused_momentum(&mut rows, reps, 64);
         bench_conv(&mut rows, reps, 2, 3, 8, 3, 1);
     } else {
-        // MLP layer shapes (Algorithm 1's dense path; 256×784·784×128 is
-        // the acceptance shape), a conv-as-im2col shape, and small blocks.
-        bench_matmul(&mut rows, reps, 256, 128, 784);
-        bench_matmul(&mut rows, reps, 32, 196, 288);
-        bench_matmul(&mut rows, reps, 128, 64, 128);
-        // Aggregation-width vectors: logistic-MNIST (7850) and MLP (~100k).
-        bench_dot(&mut rows, reps, 7850);
-        bench_dot(&mut rows, reps, 101_770);
-        bench_axpy(&mut rows, reps, 7850);
-        bench_axpy(&mut rows, reps, 101_770);
-        bench_weighted_average(&mut rows, reps, 4, 101_770);
-        // CNN zoo layers: MNIST first conv and a mid-network conv.
-        bench_conv(&mut rows, reps, 1, 8, 28, 5, 2);
-        bench_conv(&mut rows, reps, 8, 16, 14, 3, 1);
+        // Three measurement passes, keeping each shape's LOWEST-speedup
+        // row. A single pass's speedup is the ratio of two noisy minima
+        // and swings with machine load; since the committed report doubles
+        // as the smoke gate's baseline, it must record a conservative
+        // claim — one the gate (which keeps the best of its own passes)
+        // can hold every future build to without flaking.
+        let mut passes: Vec<Vec<KernelRow>> = Vec::new();
+        for _ in 0..3 {
+            let mut pass = Vec::new();
+            full_kernel_shapes(&mut pass, reps);
+            passes.push(pass);
+        }
+        let shapes: Vec<(String, String)> = passes[0]
+            .iter()
+            .map(|r| (r.name.clone(), r.shape.clone()))
+            .collect();
+        for (name, shape) in shapes {
+            let mut candidates: Vec<KernelRow> = passes
+                .iter_mut()
+                .flat_map(|p| {
+                    p.iter()
+                        .position(|r| r.name == name && r.shape == shape)
+                        .map(|i| p.swap_remove(i))
+                })
+                .collect();
+            candidates.sort_by(|a, b| a.speedup.total_cmp(&b.speedup));
+            candidates.truncate(1);
+            rows.push(candidates.remove(0));
+        }
     }
 
     for r in &rows {
@@ -396,18 +710,33 @@ fn main() {
         );
     }
 
+    if smoke {
+        match baseline_speedups(&baseline_path) {
+            Some(baseline) => {
+                // Re-time the tracked shapes at full size (a few reps keep
+                // this quick) and hold them to the committed speedups.
+                enforce_speedup_floor(reps.max(5), &baseline);
+            }
+            None => println!("no committed full baseline at {baseline_path}; gate skipped"),
+        }
+    }
+
     let e2e = Some(end_to_end(if smoke { 20 } else { 200 }));
 
     let report = BenchReport {
         bench: "kernel_bench",
         mode: if smoke { "smoke" } else { "full" },
         target: std::env::consts::ARCH.to_string(),
+        dispatch,
         kernels: rows,
         end_to_end: e2e,
         peak_rss_bytes: hieradmo_bench::peak_rss_bytes(),
     };
 
-    println!("== kernel_bench ({}) ==", report.mode);
+    println!(
+        "== kernel_bench ({}, dispatch: {}) ==",
+        report.mode, report.dispatch
+    );
     for r in &report.kernels {
         println!(
             "{:>18} {:>24}  old {:>12.0} ns  new {:>12.0} ns  speedup {:>5.2}x",
@@ -432,4 +761,8 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report must serialize");
     std::fs::write(&out_path, json + "\n").expect("write BENCH json");
     println!("wrote {out_path}");
+
+    if !smoke {
+        append_history(&report.kernels, report.dispatch);
+    }
 }

@@ -204,13 +204,11 @@ impl Strategy for HierAdMo {
 
         // Line 11: worker momentum edge aggregation y_{ℓ−}.
         let y_minus = view.average(|w| &w.y);
-        // Line 12: y_{ℓ+} ← x_{ℓ+}^{(k−1)τ} − Σᵢ wᵢ (x_{ℓ+}^{(k−1)τ} − x_i)
-        //        = Σᵢ wᵢ x_i   (weights sum to 1).
-        let y_plus_new = view.average(|w| &w.x);
-        // Line 13: x_{ℓ+} ← y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
-        let mut x_plus = y_plus_new.clone();
-        let delta = &y_plus_new - &view.state.y_plus;
-        x_plus.axpy(gamma_edge, &delta);
+        // Lines 12–13 fused into one batched traversal:
+        //   y_{ℓ+} ← x_{ℓ+}^{(k−1)τ} − Σᵢ wᵢ (x_{ℓ+}^{(k−1)τ} − x_i)
+        //          = Σᵢ wᵢ x_i   (weights sum to 1),
+        //   x_{ℓ+} ← y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
+        let (y_plus_new, x_plus) = view.average_momentum(|w| &w.x, gamma_edge, &view.state.y_plus);
 
         let e = &mut *view.state;
         e.y_plus = y_plus_new;
@@ -316,14 +314,13 @@ impl Strategy for HierAdMo {
                 .zip(staleness)
                 .map(|((wt, w), &s)| (wt * age(s), &w.y)),
         );
-        let y_plus_new = view.aggregate(
+        let (y_plus_new, x_plus) = view.aggregate_momentum(
             view.weighted_workers()
                 .zip(staleness)
                 .map(|((wt, w), &s)| (wt * age(s), &w.x)),
+            gamma_edge,
+            &view.state.y_plus,
         );
-        let mut x_plus = y_plus_new.clone();
-        let delta = &y_plus_new - &view.state.y_plus;
-        x_plus.axpy(gamma_edge, &delta);
 
         let e = &mut *view.state;
         e.y_plus = y_plus_new;
@@ -423,7 +420,7 @@ mod tests {
             pi: 1,
             total_iters: 3,
             eval_every: 3,
-            parallel: false,
+            threads: Some(1),
             ..RunConfig::default()
         };
         let algo = HierAdMo::adaptive(0.05, 0.5);

@@ -165,7 +165,7 @@ pub(crate) mod testutil {
             total_iters: 200,
             batch_size: 16,
             eval_every: 50,
-            parallel: false,
+            threads: Some(1),
             ..RunConfig::default()
         }
     }

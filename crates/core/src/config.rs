@@ -44,18 +44,14 @@ pub struct RunConfig {
     /// Master seed controlling data order and any stochastic algorithm
     /// choices. Model initialization is seeded separately by the caller.
     pub seed: u64,
-    /// Deprecated alias for [`RunConfig::threads`]: `true` means "use all
-    /// available cores", `false` means single-threaded. Consulted only when
-    /// `threads` is `None`; prefer setting `threads` explicitly. Kept so
-    /// existing configs (and serialized checkpoints) keep working.
-    pub parallel: bool,
     /// Number of execution-engine threads (including the caller's thread).
     ///
-    /// `Some(n)` pins the worker pool to exactly `n` threads; `None` defers
-    /// to the deprecated [`RunConfig::parallel`] flag (`true` → all
-    /// available cores, `false` → 1). Results are bitwise identical for
-    /// every thread count — the engine chunks work in a fixed order — so
-    /// this knob only trades wall-clock for cores.
+    /// `Some(n)` pins the worker pool to exactly `n` threads; `None` uses
+    /// all available cores. Results are bitwise identical for every thread
+    /// count — the engine chunks work in a fixed order — so this knob only
+    /// trades wall-clock for cores. (This supersedes the removed boolean
+    /// `parallel` flag; legacy configs carrying that field still
+    /// deserialize, the unknown key is simply ignored.)
     #[serde(default)]
     pub threads: Option<usize>,
     /// Cap on the number of *training* samples used for the train-loss
@@ -119,7 +115,6 @@ impl Default for RunConfig {
             batch_size: 64,
             eval_every: 50,
             seed: 0,
-            parallel: true,
             threads: None,
             train_eval_cap: 512,
             dropout: 0.0,
@@ -190,19 +185,17 @@ impl RunConfig {
 
     /// Resolves the execution-engine thread count.
     ///
-    /// This is the single place the deprecated [`RunConfig::parallel`] flag
-    /// and [`RunConfig::threads`] are folded together; both the tick-driven
-    /// engine ([`crate::driver::run`]) and the event-driven co-simulation
-    /// runtime (`hieradmo-simrt`) consult it. `threads` wins when set;
-    /// otherwise `parallel` maps `true` to the machine's available
-    /// parallelism and `false` to 1. Always at least 1.
+    /// This is the single place [`RunConfig::threads`] is interpreted; both
+    /// the tick-driven engine ([`crate::driver::run`]) and the event-driven
+    /// co-simulation runtime (`hieradmo-simrt`) consult it. `Some(n)` pins
+    /// the pool to `n` threads; `None` uses the machine's available
+    /// parallelism. Always at least 1.
     pub fn resolved_threads(&self) -> usize {
         match self.threads {
             Some(n) => n.max(1),
-            None if self.parallel => std::thread::available_parallelism()
+            None => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
-            None => 1,
         }
     }
 
@@ -461,21 +454,28 @@ mod tests {
 
     #[test]
     fn resolved_threads_covers_all_combinations() {
-        // Combination 1: explicit `threads` — wins regardless of `parallel`.
+        // Explicit `threads` pins the pool (clamped to at least 1).
         let mut cfg = RunConfig {
             threads: Some(3),
-            parallel: false,
             ..RunConfig::default()
         };
         assert_eq!(cfg.resolved_threads(), 3);
-        cfg.parallel = true;
-        assert_eq!(cfg.resolved_threads(), 3);
-        // Combination 2: `threads = None`, `parallel = true` → all cores.
+        cfg.threads = Some(1);
+        assert_eq!(cfg.resolved_threads(), 1);
+        // `threads = None` → all available cores.
         cfg.threads = None;
         assert!(cfg.resolved_threads() >= 1);
-        // Combination 3: `threads = None`, `parallel = false` → sequential.
-        cfg.parallel = false;
-        assert_eq!(cfg.resolved_threads(), 1);
+    }
+
+    #[test]
+    fn legacy_configs_with_the_removed_parallel_flag_still_deserialize() {
+        // Serialized checkpoints from before the boolean flag was removed
+        // carry `"parallel"` — the deserializer must ignore the unknown
+        // field rather than reject the config.
+        let json = serde_json::to_string(&RunConfig::default()).unwrap();
+        let legacy = json.replacen('{', "{\"parallel\":false,", 1);
+        let cfg: RunConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(cfg, RunConfig::default());
     }
 
     #[test]

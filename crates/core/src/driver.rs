@@ -999,7 +999,7 @@ mod tests {
             total_iters: 100,
             eval_every: 25,
             batch_size: 16,
-            parallel: false,
+            threads: Some(1),
             ..RunConfig::default()
         }
     }
@@ -1028,7 +1028,7 @@ mod tests {
         let algo = HierAdMo::adaptive(0.05, 0.5);
         let serial = run(&algo, &model, &h, &shards, &test, &cfg()).unwrap();
         let par_cfg = RunConfig {
-            parallel: true,
+            threads: None,
             ..cfg()
         };
         let parallel = run(&algo, &model, &h, &shards, &test, &par_cfg).unwrap();

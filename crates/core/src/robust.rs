@@ -21,7 +21,7 @@
 //!   data-weighted mean. Defends against magnitude attacks only, but is
 //!   the cheapest rule and never discards honest information.
 
-use hieradmo_tensor::Vector;
+use hieradmo_tensor::{kernels, Vector};
 use serde::{Deserialize, Serialize};
 
 /// A rule for reducing weighted child vectors to one aggregate.
@@ -167,6 +167,55 @@ impl RobustAggregator {
             }
         }
     }
+
+    /// Reduces weighted child vectors **and** applies the Eq. 7 momentum
+    /// lookahead `x⁺ = m + gamma · (m − y_old)` in one shot, returning
+    /// `(m, x⁺)`.
+    ///
+    /// For [`RobustAggregator::Mean`] the whole thing is a single batched
+    /// traversal ([`kernels::weighted_sum_batch`] +
+    /// [`kernels::fused_aggregate_momentum`]); every other rule aggregates
+    /// as usual and applies [`kernels::momentum_step`]. Both routes are
+    /// bitwise identical to the historical
+    /// `aggregate → clone → subtract → axpy` composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RobustAggregator::aggregate`],
+    /// or if `y_old`'s length differs from the children's.
+    pub fn aggregate_momentum<'a, I>(
+        &self,
+        items: I,
+        gamma: f32,
+        y_old: &Vector,
+    ) -> (Vector, Vector)
+    where
+        I: IntoIterator<Item = (f64, &'a Vector)>,
+    {
+        if let RobustAggregator::Mean = *self {
+            let (weights, views) = Vector::collect_batch(items);
+            let dim = views[0].len();
+            let mut acc = vec![0.0f64; dim];
+            kernels::weighted_sum_batch(&mut acc, &weights, &views);
+            let total = Vector::total_weight(&weights);
+            let mut mean = vec![0.0f32; dim];
+            let mut looked = vec![0.0f32; dim];
+            kernels::fused_aggregate_momentum(
+                &acc,
+                total,
+                gamma,
+                y_old.as_slice(),
+                &mut mean,
+                &mut looked,
+            );
+            (Vector::from(mean), Vector::from(looked))
+        } else {
+            let mean = self.aggregate(items);
+            let mut looked = vec![0.0f32; mean.len()];
+            kernels::momentum_step(&mut looked, gamma, mean.as_slice(), y_old.as_slice());
+            (mean, Vector::from(looked))
+        }
+    }
 }
 
 /// Applies `reduce` to every coordinate's `(value, weight)` list, sorted
@@ -225,6 +274,37 @@ mod tests {
             want,
             "no norm exceeds 100"
         );
+    }
+
+    #[test]
+    fn aggregate_momentum_matches_the_unfused_composition_bitwise() {
+        let vs = vecs(&[
+            &[1.0, -2.0, 0.5, 7.25],
+            &[3.0, 4.0, -1.5, 0.125],
+            &[-0.75, 2.5, 9.0, -3.0],
+        ]);
+        let items = [
+            (0.25, vs[0].clone()),
+            (0.5, vs[1].clone()),
+            (0.25, vs[2].clone()),
+        ];
+        let y_old = Vector::from(vec![0.5, -1.25, 2.0, 0.0]);
+        let gamma = 0.625f32;
+        for rule in [
+            RobustAggregator::Mean,
+            RobustAggregator::TrimmedMean { trim_ratio: 0.34 },
+            RobustAggregator::Median,
+            RobustAggregator::NormClip { threshold: 2.0 },
+        ] {
+            let mean_ref = agg(rule, &items);
+            let mut looked_ref = mean_ref.clone();
+            let delta = &mean_ref - &y_old;
+            looked_ref.axpy(gamma, &delta);
+            let (mean, looked) =
+                rule.aggregate_momentum(items.iter().map(|(w, v)| (*w, v)), gamma, &y_old);
+            assert_eq!(mean, mean_ref, "{}", rule.label());
+            assert_eq!(looked, looked_ref, "{}", rule.label());
+        }
     }
 
     #[test]

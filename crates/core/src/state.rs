@@ -457,6 +457,35 @@ impl<'a> EdgeView<'a> {
         self.aggregator.aggregate(items)
     }
 
+    /// Fused form of [`EdgeView::average`] + the Eq. 7 momentum lookahead:
+    /// returns `(m, m + gamma · (m − y_old))` in one batched traversal
+    /// (see [`RobustAggregator::aggregate_momentum`]), bitwise identical
+    /// to aggregating and then applying clone → subtract → `axpy`.
+    pub fn average_momentum<F>(&self, f: F, gamma: f32, y_old: &Vector) -> (Vector, Vector)
+    where
+        F: Fn(&WorkerState) -> &Vector,
+    {
+        self.aggregator.aggregate_momentum(
+            self.weighted_workers().map(|(wt, w)| (wt, f(w))),
+            gamma,
+            y_old,
+        )
+    }
+
+    /// Fused form of [`EdgeView::aggregate`] + the Eq. 7 momentum
+    /// lookahead, for staleness-aware hooks carrying custom weights.
+    pub fn aggregate_momentum<'b, I>(
+        &self,
+        items: I,
+        gamma: f32,
+        y_old: &Vector,
+    ) -> (Vector, Vector)
+    where
+        I: IntoIterator<Item = (f64, &'b Vector)>,
+    {
+        self.aggregator.aggregate_momentum(items, gamma, y_old)
+    }
+
     /// Applies a closure to every worker under this edge, in local order.
     pub fn for_workers<F>(&mut self, mut f: F)
     where

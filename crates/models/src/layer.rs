@@ -178,6 +178,44 @@ pub trait Layer: fmt::Debug + Send {
     /// Panics if the input shape is incompatible with the layer.
     fn output_shape(&self, input: SignalShape) -> SignalShape;
 
+    /// Whether this layer participates in [`crate::Sequential`]'s batched
+    /// flat fast path, which stacks a mini-batch's activations into one
+    /// row-major matrix and runs each dense product as a single
+    /// [`kernels::matmul_bt`] call instead of per-sample `matvec`s.
+    ///
+    /// A layer may opt in only if (a) it maps flat signals to flat signals
+    /// and (b) every row of [`Layer::forward_flat_batch`]'s output is
+    /// bitwise identical to the flat [`Layer::forward`] of that row (for
+    /// non-NaN activations) — the determinism suites pin full-run bit
+    /// equality on top of this contract.
+    fn supports_flat_batch(&self) -> bool {
+        false
+    }
+
+    /// Batched flat forward: `inputs` holds one sample per row; writes one
+    /// output row per sample into `out` (pre-sized by the caller). Only
+    /// called when [`Layer::supports_flat_batch`] is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no batched form or the shapes mismatch.
+    fn forward_flat_batch(&self, _inputs: &Matrix, _out: &mut Matrix) {
+        panic!("layer has no batched flat forward");
+    }
+
+    /// Rebuilds the per-sample forward cache from the layer's flat input
+    /// row — exactly what [`Layer::forward`] would have cached for that
+    /// sample — so the batched forward composes with the unchanged
+    /// per-sample backward. Only called when
+    /// [`Layer::supports_flat_batch`] is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no batched form.
+    fn flat_cache(&self, _input: &[f32]) -> Cache {
+        panic!("layer has no batched flat cache");
+    }
+
     /// Clones the layer into a box (object-safe `Clone`).
     fn clone_box(&self) -> Box<dyn Layer>;
 }
@@ -280,6 +318,41 @@ impl Layer for Dense {
         SignalShape::Flat(self.w.rows())
     }
 
+    fn supports_flat_batch(&self) -> bool {
+        true
+    }
+
+    fn forward_flat_batch(&self, inputs: &Matrix, out: &mut Matrix) {
+        let (n, k, m) = (inputs.rows(), inputs.cols(), self.w.rows());
+        assert_eq!(k, self.w.cols(), "dense batch input width mismatch");
+        assert_eq!((out.rows(), out.cols()), (n, m), "dense batch out shape");
+        // One GEMM for the whole mini-batch: `W` is already row-major
+        // `m × k`, i.e. the transposed right-hand side `matmul_bt` wants.
+        // Each output element is `dot(sample_row, w_row)` — bitwise equal
+        // to `matvec`'s `dot(w_row, sample_row)` since the lane-level
+        // multiply commutes — and the bias add is the same `axpy(1.0, b)`
+        // call `forward` issues per sample.
+        kernels::matmul_bt(
+            inputs.as_slice(),
+            self.w.as_slice(),
+            out.as_mut_slice(),
+            n,
+            m,
+            k,
+        );
+        for s in 0..n {
+            kernels::axpy(
+                &mut out.as_mut_slice()[s * m..(s + 1) * m],
+                1.0,
+                self.b.as_slice(),
+            );
+        }
+    }
+
+    fn flat_cache(&self, input: &[f32]) -> Cache {
+        Cache::Dense(Vector::from(input.to_vec()))
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -343,6 +416,26 @@ impl Layer for Relu {
 
     fn output_shape(&self, input: SignalShape) -> SignalShape {
         input
+    }
+
+    fn supports_flat_batch(&self) -> bool {
+        true
+    }
+
+    fn forward_flat_batch(&self, inputs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (inputs.rows(), inputs.cols()),
+            "relu batch shape"
+        );
+        // Same `max(0.0)` expression as `ops::relu`, element for element.
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(inputs.as_slice()) {
+            *o = x.max(0.0);
+        }
+    }
+
+    fn flat_cache(&self, input: &[f32]) -> Cache {
+        Cache::Relu(Signal::Flat(Vector::from(input.to_vec())))
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

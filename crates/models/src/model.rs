@@ -124,29 +124,49 @@ pub trait Model: Send {
     ///
     /// Panics if `range` reaches past the end of `data`.
     fn evaluate_range(&self, data: &Dataset, range: Range<usize>) -> EvalSums {
-        let mut sums = EvalSums::default();
-        for i in range {
-            let sample = data.sample(i);
-            let out = self.output(&sample.features);
-            match &sample.target {
-                Target::Class(c) => {
-                    sums.loss_sum += f64::from(ops::cross_entropy_loss(&out, *c));
-                    if ops::argmax(&out) == *c {
-                        sums.correct += 1;
-                    }
-                }
-                Target::Regression(y) => {
-                    sums.loss_sum += f64::from(ops::mse_loss(&out, y));
-                    let close = out.iter().zip(y.iter()).all(|(p, t)| (p - t).abs() < 0.5);
-                    if close {
-                        sums.correct += 1;
-                    }
-                }
-            }
-            sums.count += 1;
-        }
-        sums
+        evaluate_range_serial(self, data, range)
     }
+}
+
+/// The per-sample loop backing the [`Model::evaluate_range`] default —
+/// exposed so implementations with a batched fast path (see
+/// [`crate::Sequential`]) can fall back to the identical serial scoring
+/// for architectures the fast path does not cover.
+pub fn evaluate_range_serial<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    range: Range<usize>,
+) -> EvalSums {
+    let mut sums = EvalSums::default();
+    for i in range {
+        let sample = data.sample(i);
+        let out = model.output(&sample.features);
+        score_sample(&mut sums, &out, &sample.target);
+    }
+    sums
+}
+
+/// Scores one model output against its target into `sums` — the shared
+/// per-sample accumulation step of serial and batched evaluation (the
+/// accumulation order over samples is what makes chunked parallel eval
+/// bitwise reproducible, so every eval path must run exactly this).
+pub fn score_sample(sums: &mut EvalSums, out: &Vector, target: &Target) {
+    match target {
+        Target::Class(c) => {
+            sums.loss_sum += f64::from(ops::cross_entropy_loss(out, *c));
+            if ops::argmax(out) == *c {
+                sums.correct += 1;
+            }
+        }
+        Target::Regression(y) => {
+            sums.loss_sum += f64::from(ops::mse_loss(out, y));
+            let close = out.iter().zip(y.iter()).all(|(p, t)| (p - t).abs() < 0.5);
+            if close {
+                sums.correct += 1;
+            }
+        }
+    }
+    sums.count += 1;
 }
 
 #[cfg(test)]

@@ -1,11 +1,18 @@
 //! [`Sequential`]: a validated stack of layers plus a loss head, exposing
 //! the flat-parameter [`Model`] interface.
 
+use std::ops::Range;
+
 use hieradmo_data::{Dataset, FeatureShape, Target};
-use hieradmo_tensor::{ops, Tensor4, Vector};
+use hieradmo_tensor::{ops, Matrix, Tensor4, Vector};
 
 use crate::layer::{Cache, Layer, Signal, SignalShape};
-use crate::model::Model;
+use crate::model::{evaluate_range_serial, score_sample, EvalSums, Model};
+
+/// Row-tile size for batched evaluation: bounds the stacked activation
+/// matrices while matching the execution engine's eval chunk size, so a
+/// pool chunk runs as a single GEMM per dense layer.
+const EVAL_GEMM_TILE: usize = 256;
 
 /// The loss applied on top of the final layer's output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +172,68 @@ impl Sequential {
             }
         }
     }
+
+    /// Whether the batched flat fast path covers this architecture: flat
+    /// input features and every layer opted into
+    /// [`Layer::supports_flat_batch`].
+    fn flat_batch_supported(&self) -> bool {
+        matches!(self.input_shape, FeatureShape::Flat(_))
+            && self.layers.iter().all(|l| l.supports_flat_batch())
+    }
+
+    /// Flat widths through the stack: `dims[0]` is the input width and
+    /// `dims[li + 1]` the output width of layer `li`.
+    fn flat_dims(&self) -> Vec<usize> {
+        let d0 = match self.input_shape {
+            FeatureShape::Flat(d) => d,
+            other => panic!("flat batch path needs flat input, got {other:?}"),
+        };
+        let mut dims = Vec::with_capacity(self.layers.len() + 1);
+        dims.push(d0);
+        let mut shape = SignalShape::Flat(d0);
+        for layer in &self.layers {
+            shape = layer.output_shape(shape);
+            dims.push(shape.len());
+        }
+        dims
+    }
+
+    /// Stacks `n` samples (in iteration order) into one row-major feature
+    /// matrix, one sample per row.
+    fn stack_features<I>(&self, data: &Dataset, n: usize, indices: I) -> Matrix
+    where
+        I: Iterator<Item = usize>,
+    {
+        let d = match self.input_shape {
+            FeatureShape::Flat(d) => d,
+            other => panic!("flat batch path needs flat input, got {other:?}"),
+        };
+        let mut x = Matrix::zeros(n, d);
+        let xs = x.as_mut_slice();
+        for (s, i) in indices.enumerate() {
+            let f = data.sample(i).features.as_slice();
+            assert_eq!(f.len(), d, "feature length mismatch");
+            xs[s * d..(s + 1) * d].copy_from_slice(f);
+        }
+        x
+    }
+
+    /// Batched forward through the whole stack: `acts[0]` is the stacked
+    /// input and `acts[li + 1]` the output of layer `li`, one row per
+    /// sample. Each row is bitwise identical to the per-sample flat forward
+    /// (the [`Layer::forward_flat_batch`] contract).
+    fn forward_flat_batch(&self, x: Matrix) -> Vec<Matrix> {
+        let dims = self.flat_dims();
+        let n = x.rows();
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Matrix::zeros(n, dims[li + 1]);
+            layer.forward_flat_batch(acts.last().expect("stack is non-empty"), &mut out);
+            acts.push(out);
+        }
+        acts
+    }
 }
 
 impl Model for Sequential {
@@ -204,16 +273,43 @@ impl Model for Sequential {
         }
         let gslice = grad.as_mut_slice();
         let mut loss_sum = 0.0f32;
-        for &i in indices {
-            let sample = data.sample(i);
-            let (output, caches) = self.forward_with_caches(&sample.features);
-            let (loss, g_out) = self.head_loss_grad(&output, &sample.target);
-            loss_sum += loss;
-            let mut g = Signal::Flat(g_out);
-            for (li, layer) in self.layers.iter().enumerate().rev() {
-                let start = self.param_offsets[li];
-                let end = start + layer.param_len();
-                g = layer.backward(&caches[li], &g, &mut gslice[start..end]);
+        if self.flat_batch_supported() {
+            // Batched fast path: one GEMM per dense layer over the stacked
+            // mini-batch, then the per-sample head/backward loop in the
+            // same ascending order as the serial path. Each activation row
+            // is bitwise identical to the per-sample forward, and backward
+            // caches are rebuilt from those rows, so gradient accumulation
+            // is unchanged bit for bit.
+            let x = self.stack_features(data, indices.len(), indices.iter().copied());
+            let acts = self.forward_flat_batch(x);
+            let out_mat = acts.last().expect("stack is non-empty");
+            let od = self.output_dim;
+            for (s, &i) in indices.iter().enumerate() {
+                let sample = data.sample(i);
+                let output = Vector::from(out_mat.as_slice()[s * od..(s + 1) * od].to_vec());
+                let (loss, g_out) = self.head_loss_grad(&output, &sample.target);
+                loss_sum += loss;
+                let mut g = Signal::Flat(g_out);
+                for (li, layer) in self.layers.iter().enumerate().rev() {
+                    let start = self.param_offsets[li];
+                    let end = start + layer.param_len();
+                    let w = acts[li].cols();
+                    let cache = layer.flat_cache(&acts[li].as_slice()[s * w..(s + 1) * w]);
+                    g = layer.backward(&cache, &g, &mut gslice[start..end]);
+                }
+            }
+        } else {
+            for &i in indices {
+                let sample = data.sample(i);
+                let (output, caches) = self.forward_with_caches(&sample.features);
+                let (loss, g_out) = self.head_loss_grad(&output, &sample.target);
+                loss_sum += loss;
+                let mut g = Signal::Flat(g_out);
+                for (li, layer) in self.layers.iter().enumerate().rev() {
+                    let start = self.param_offsets[li];
+                    let end = start + layer.param_len();
+                    g = layer.backward(&caches[li], &g, &mut gslice[start..end]);
+                }
             }
         }
         let inv = 1.0 / indices.len() as f32;
@@ -228,6 +324,31 @@ impl Model for Sequential {
             sig = next;
         }
         sig.expect_flat().clone()
+    }
+
+    fn evaluate_range(&self, data: &Dataset, range: Range<usize>) -> EvalSums {
+        if !self.flat_batch_supported() {
+            return evaluate_range_serial(self, data, range);
+        }
+        // Batched eval: forward whole row-tiles through one GEMM per dense
+        // layer, then score rows in ascending sample order — the exact
+        // accumulation sequence of the serial path, so chunked parallel
+        // eval stays bitwise reproducible.
+        let mut sums = EvalSums::default();
+        let od = self.output_dim;
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + EVAL_GEMM_TILE).min(range.end);
+            let x = self.stack_features(data, end - start, start..end);
+            let acts = self.forward_flat_batch(x);
+            let out_mat = acts.last().expect("stack is non-empty");
+            for (s, i) in (start..end).enumerate() {
+                let out = Vector::from(out_mat.as_slice()[s * od..(s + 1) * od].to_vec());
+                score_sample(&mut sums, &out, &data.sample(i).target);
+            }
+            start = end;
+        }
+        sums
     }
 }
 
@@ -389,5 +510,50 @@ mod tests {
     fn empty_batch_panics() {
         let m = mlp(6);
         let _ = m.loss_and_grad(&xor_ish_data(), &[]);
+    }
+
+    /// The batched flat path (stacked GEMM forward + rebuilt caches) must
+    /// reproduce the historical per-sample loop bit for bit — losses,
+    /// gradients, and evaluation sums.
+    #[test]
+    fn batched_flat_path_is_bitwise_equal_to_the_per_sample_loop() {
+        let m = mlp(9);
+        assert!(m.flat_batch_supported());
+        let data = xor_ish_data();
+        let idx = [0usize, 1, 2, 3, 1];
+
+        // Reference: replay the per-sample loop exactly as the serial
+        // branch runs it.
+        let mut ref_grad = Vector::zeros(m.dim());
+        let gs = ref_grad.as_mut_slice();
+        let mut loss_sum = 0.0f32;
+        for &i in &idx {
+            let sample = data.sample(i);
+            let (output, caches) = m.forward_with_caches(&sample.features);
+            let (loss, g_out) = m.head_loss_grad(&output, &sample.target);
+            loss_sum += loss;
+            let mut g = Signal::Flat(g_out);
+            for (li, layer) in m.layers.iter().enumerate().rev() {
+                let start = m.param_offsets[li];
+                let end = start + layer.param_len();
+                g = layer.backward(&caches[li], &g, &mut gs[start..end]);
+            }
+        }
+        let inv = 1.0 / idx.len() as f32;
+        ref_grad.scale_in_place(inv);
+        let ref_loss = loss_sum * inv;
+
+        let (loss, grad) = m.loss_and_grad(&data, &idx);
+        assert_eq!(loss.to_bits(), ref_loss.to_bits());
+        assert_eq!(grad.len(), ref_grad.len());
+        for (a, b) in grad.iter().zip(ref_grad.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let batched = m.evaluate_range(&data, 0..data.len());
+        let serial = evaluate_range_serial(&m, &data, 0..data.len());
+        assert_eq!(batched.loss_sum.to_bits(), serial.loss_sum.to_bits());
+        assert_eq!(batched.correct, serial.correct);
+        assert_eq!(batched.count, serial.count);
     }
 }

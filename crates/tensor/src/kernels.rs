@@ -29,6 +29,23 @@
 //! with *exactly* the same per-element order as [`dot`], whether the
 //! element lands in a full register tile or on a remainder edge, so
 //! `matmul` results never depend on how the output space was tiled.
+//!
+//! # Batched aggregation kernels and runtime dispatch
+//!
+//! The K-worker aggregation path has its own kernel family
+//! ([`weighted_sum_batch`], [`fused_aggregate_momentum`],
+//! [`momentum_step`]) that treats workers as a batch dimension: one
+//! coordinate-tiled pass over the `f64` accumulator instead of `K`
+//! sequential sweeps, and the mean + momentum-lookahead finalize fused
+//! into a single traversal. These kernels carry a stronger guarantee than
+//! the tolerance-tested reductions above: they are **bitwise identical**
+//! to the sequential compositions they replace, because they vectorize
+//! across independent coordinates while keeping each coordinate's
+//! operation sequence unchanged. They are also the only kernels with
+//! explicit intrinsics: [`dispatch_level`] probes the CPU once per process
+//! (overridable via `HIERADMO_KERNEL_DISPATCH=scalar|avx2`) and selects
+//! AVX2 or the portable scalar oracle — both produce the same bits, the
+//! property suite pins it, and the level is recorded in bench output.
 
 /// Number of independent accumulator lanes per kernel.
 ///
@@ -195,6 +212,358 @@ pub fn weighted_accumulate(acc: &mut [f64], w: f64, v: &[f32]) {
     );
     for (a, &x) in acc.iter_mut().zip(v) {
         *a += w * f64::from(x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch
+// ---------------------------------------------------------------------------
+
+/// Instruction-set level the batched kernels dispatch to at runtime.
+///
+/// Selected **once** per process (see [`dispatch_level`]) so the choice can
+/// never flip mid-run: a run either executes every batched reduction on the
+/// AVX2 path or every one on the portable path. Both paths are bitwise
+/// identical by construction (the vector lanes perform exactly the scalar
+/// per-coordinate operation sequence), so the level is a pure performance
+/// knob — determinism never depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchLevel {
+    /// 256-bit AVX2 `f64` lanes (x86-64 only).
+    Avx2,
+    /// Portable scalar fallback — the always-available oracle.
+    Scalar,
+}
+
+impl DispatchLevel {
+    /// Stable lower-case name (`"avx2"` / `"scalar"`), recorded in bench
+    /// output so BENCH_kernels.json numbers are attributable to a path.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchLevel::Avx2 => "avx2",
+            DispatchLevel::Scalar => "scalar",
+        }
+    }
+}
+
+/// The process-wide dispatch level for the batched kernels.
+///
+/// Chosen on first call and cached: the `HIERADMO_KERNEL_DISPATCH`
+/// environment variable (`"scalar"` or `"avx2"`) forces a path — CI uses
+/// `scalar` to run the determinism suites on the fallback — otherwise the
+/// CPU is probed for AVX2. Forcing `avx2` on a CPU without it panics
+/// rather than silently executing unsupported instructions.
+pub fn dispatch_level() -> DispatchLevel {
+    static LEVEL: std::sync::OnceLock<DispatchLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(|| match std::env::var("HIERADMO_KERNEL_DISPATCH") {
+        Ok(v) if v == "scalar" => DispatchLevel::Scalar,
+        Ok(v) if v == "avx2" => {
+            assert!(
+                avx2_available(),
+                "HIERADMO_KERNEL_DISPATCH=avx2 forced, but this CPU has no AVX2"
+            );
+            DispatchLevel::Avx2
+        }
+        Ok(v) => panic!("HIERADMO_KERNEL_DISPATCH must be `scalar` or `avx2`, got `{v}`"),
+        Err(_) => {
+            if avx2_available() {
+                DispatchLevel::Avx2
+            } else {
+                DispatchLevel::Scalar
+            }
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Batched aggregation kernels
+// ---------------------------------------------------------------------------
+
+/// Coordinate-tile width for the batched reductions: 512 `f64` accumulators
+/// (4 KiB) stay L1-resident while all `K` worker inputs stream through the
+/// tile, cutting accumulator traffic from `K` round trips to one.
+const COORD_TILE: usize = 512;
+
+/// Batched weighted sum `acc[i] += Σₖ weights[k] · inputs[k][i]` — the
+/// K-worker aggregation of Algorithm 1 (lines 11, 12, 18, 19) in **one
+/// pass** over the accumulator instead of `K` sequential
+/// [`weighted_accumulate`] calls.
+///
+/// The loop is coordinate-tiled (`COORD_TILE`) with `k` ascending inside
+/// each tile, so every coordinate `i` receives its `K` additions in exactly
+/// the order the sequential per-worker path applied them: the result is
+/// **bitwise identical** to `K` calls of [`weighted_accumulate`] in input
+/// order, on every build and both dispatch paths (`f64` multiply/add and
+/// the `f32→f64` convert are exact IEEE operations with no contraction).
+/// Splitting a batch into consecutive sub-batches is likewise bitwise
+/// neutral.
+///
+/// Dispatches once per process to AVX2 or the scalar oracle
+/// ([`weighted_sum_batch_scalar`]) — see [`dispatch_level`].
+///
+/// # Panics
+///
+/// Panics if `weights` and `inputs` differ in length or any input's length
+/// differs from `acc`'s.
+pub fn weighted_sum_batch(acc: &mut [f64], weights: &[f64], inputs: &[&[f32]]) {
+    assert_eq!(
+        weights.len(),
+        inputs.len(),
+        "kernels::weighted_sum_batch weight/input count mismatch"
+    );
+    for v in inputs {
+        assert_eq!(
+            acc.len(),
+            v.len(),
+            "kernels::weighted_sum_batch length mismatch"
+        );
+    }
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_level() == DispatchLevel::Avx2 {
+        // SAFETY: AVX2 presence was verified by `dispatch_level`.
+        unsafe { weighted_sum_batch_avx2(acc, weights, inputs) };
+        return;
+    }
+    weighted_sum_batch_scalar(acc, weights, inputs);
+}
+
+/// Portable oracle for [`weighted_sum_batch`]: identical tiling and
+/// per-coordinate operation order, plain scalar arithmetic. Public so the
+/// property suite can pin the dispatched path against it bitwise within a
+/// single process.
+pub fn weighted_sum_batch_scalar(acc: &mut [f64], weights: &[f64], inputs: &[&[f32]]) {
+    let n = acc.len();
+    for start in (0..n).step_by(COORD_TILE) {
+        let end = (start + COORD_TILE).min(n);
+        let tile = &mut acc[start..end];
+        for (&w, v) in weights.iter().zip(inputs) {
+            for (a, &x) in tile.iter_mut().zip(&v[start..end]) {
+                *a += w * f64::from(x);
+            }
+        }
+    }
+}
+
+/// Workers per register-resident block in [`weighted_sum_batch_avx2`]
+/// when the fan-in is large. Small enough that the hardware prefetcher
+/// tracks one stream per worker in the block; large enough to amortize
+/// the accumulator load/store. Fan-ins of at most [`SMALL_FAN_IN`]
+/// workers run as a single block — the accumulator makes exactly one
+/// round trip and that few streams never strain the prefetcher.
+#[cfg(target_arch = "x86_64")]
+const WORKER_BLOCK: usize = 8;
+
+/// Largest fan-in processed as one block in [`weighted_sum_batch_avx2`].
+#[cfg(target_arch = "x86_64")]
+const SMALL_FAN_IN: usize = 16;
+
+/// AVX2 path for [`weighted_sum_batch`]: workers are processed in blocks
+/// of [`WORKER_BLOCK`], and for each 16-coordinate strip the four `f64`
+/// accumulator registers stay resident while the whole block is folded in
+/// (`f32` quad → `cvtps_pd` → broadcast-weight `mul_pd` → `add_pd`). The
+/// accumulator is loaded and stored once per block instead of once per
+/// worker, which is what makes the batched kernel beat K sequential
+/// [`weighted_accumulate`] passes.
+///
+/// Per coordinate the operation sequence is exactly the scalar
+/// `acc += w * f64::from(x)` in ascending-`k` order — block boundaries
+/// only change *where* the running sum lives (register vs memory), not
+/// the order or rounding of any `f64` op — so the result is bitwise
+/// identical to [`weighted_sum_batch_scalar`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn weighted_sum_batch_avx2(acc: &mut [f64], weights: &[f64], inputs: &[&[f32]]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let k = weights.len();
+    let strips = n / 16;
+    let block_size = if k <= SMALL_FAN_IN {
+        SMALL_FAN_IN
+    } else {
+        WORKER_BLOCK
+    };
+    for block in (0..k).step_by(block_size) {
+        let block_end = (block + block_size).min(k);
+        let ws = &weights[block..block_end];
+        let vs = &inputs[block..block_end];
+        let ap = acc.as_mut_ptr();
+        for s in 0..strips {
+            let i = s * 16;
+            let mut a0 = _mm256_loadu_pd(ap.add(i));
+            let mut a1 = _mm256_loadu_pd(ap.add(i + 4));
+            let mut a2 = _mm256_loadu_pd(ap.add(i + 8));
+            let mut a3 = _mm256_loadu_pd(ap.add(i + 12));
+            for (&w, v) in ws.iter().zip(vs) {
+                let wv = _mm256_set1_pd(w);
+                let xp = v.as_ptr().add(i);
+                // One worker stream advances 64 B (one line) per strip;
+                // with many streams in flight the hardware prefetcher
+                // loses track, so pull upcoming lines in explicitly
+                // (distance clamped to stay in bounds).
+                let ahead = (i + 128).min(v.len());
+                _mm_prefetch::<_MM_HINT_T0>(v.as_ptr().add(ahead).cast());
+                let x0 = _mm256_cvtps_pd(_mm_loadu_ps(xp));
+                let x1 = _mm256_cvtps_pd(_mm_loadu_ps(xp.add(4)));
+                let x2 = _mm256_cvtps_pd(_mm_loadu_ps(xp.add(8)));
+                let x3 = _mm256_cvtps_pd(_mm_loadu_ps(xp.add(12)));
+                a0 = _mm256_add_pd(a0, _mm256_mul_pd(wv, x0));
+                a1 = _mm256_add_pd(a1, _mm256_mul_pd(wv, x1));
+                a2 = _mm256_add_pd(a2, _mm256_mul_pd(wv, x2));
+                a3 = _mm256_add_pd(a3, _mm256_mul_pd(wv, x3));
+            }
+            _mm256_storeu_pd(ap.add(i), a0);
+            _mm256_storeu_pd(ap.add(i + 4), a1);
+            _mm256_storeu_pd(ap.add(i + 8), a2);
+            _mm256_storeu_pd(ap.add(i + 12), a3);
+        }
+        for i in strips * 16..n {
+            let mut a = acc[i];
+            for (&w, v) in ws.iter().zip(vs) {
+                a += w * f64::from(v[i]);
+            }
+            acc[i] = a;
+        }
+    }
+}
+
+/// Fused finalize of the edge/cloud momentum sync (Eq. 6–7): one traversal
+/// computing the data-weighted mean **and** the adaptive-momentum lookahead
+/// that the unfused path spread over three passes
+/// (`weighted_average` finalize → clone → subtract → `axpy`).
+///
+/// Per coordinate, with `m = (acc[i] / total) as f32`:
+///
+/// * `mean[i] = m` — the aggregated model `y⁺`;
+/// * `looked[i] = fma(gamma, m − y_old[i], m)` — the momentum-accelerated
+///   `x⁺ = y⁺ + γ·(y⁺ − y⁺_prev)`, using the same contraction-gated `fma`
+///   as [`axpy`], so the result is bitwise identical to the unfused
+///   composition on every build.
+///
+/// Dispatches like [`weighted_sum_batch`];
+/// [`fused_aggregate_momentum_scalar`] is the oracle.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn fused_aggregate_momentum(
+    acc: &[f64],
+    total: f64,
+    gamma: f32,
+    y_old: &[f32],
+    mean: &mut [f32],
+    looked: &mut [f32],
+) {
+    assert_eq!(
+        acc.len(),
+        y_old.len(),
+        "kernels::fused_aggregate_momentum length mismatch"
+    );
+    assert_eq!(
+        acc.len(),
+        mean.len(),
+        "kernels::fused_aggregate_momentum length mismatch"
+    );
+    assert_eq!(
+        acc.len(),
+        looked.len(),
+        "kernels::fused_aggregate_momentum length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_level() == DispatchLevel::Avx2 {
+        // SAFETY: AVX2 presence was verified by `dispatch_level`.
+        unsafe { fused_aggregate_momentum_avx2(acc, total, gamma, y_old, mean, looked) };
+        return;
+    }
+    fused_aggregate_momentum_scalar(acc, total, gamma, y_old, mean, looked);
+}
+
+/// Portable oracle for [`fused_aggregate_momentum`].
+pub fn fused_aggregate_momentum_scalar(
+    acc: &[f64],
+    total: f64,
+    gamma: f32,
+    y_old: &[f32],
+    mean: &mut [f32],
+    looked: &mut [f32],
+) {
+    for i in 0..acc.len() {
+        let m = (acc[i] / total) as f32;
+        mean[i] = m;
+        looked[i] = fma(gamma, m - y_old[i], m);
+    }
+}
+
+/// AVX2 path for [`fused_aggregate_momentum`]: four coordinates per step.
+/// The `f64` divide and `f64→f32` convert are exact-rounding, the `f32`
+/// tail mirrors the [`fma`] contraction gate at vector width
+/// (`fmadd_ps` only on `+fma` builds, separate `mul`/`add` otherwise), so
+/// every lane reproduces the scalar bits.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fused_aggregate_momentum_avx2(
+    acc: &[f64],
+    total: f64,
+    gamma: f32,
+    y_old: &[f32],
+    mean: &mut [f32],
+    looked: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let tv = _mm256_set1_pd(total);
+    let gv = _mm_set1_ps(gamma);
+    let quads = n / 4;
+    for q in 0..quads {
+        let i = q * 4;
+        let mv = _mm256_cvtpd_ps(_mm256_div_pd(_mm256_loadu_pd(acc.as_ptr().add(i)), tv));
+        _mm_storeu_ps(mean.as_mut_ptr().add(i), mv);
+        let dv = _mm_sub_ps(mv, _mm_loadu_ps(y_old.as_ptr().add(i)));
+        #[cfg(target_feature = "fma")]
+        let lv = _mm_fmadd_ps(gv, dv, mv);
+        #[cfg(not(target_feature = "fma"))]
+        let lv = _mm_add_ps(_mm_mul_ps(gv, dv), mv);
+        _mm_storeu_ps(looked.as_mut_ptr().add(i), lv);
+    }
+    for i in quads * 4..n {
+        let m = (acc[i] / total) as f32;
+        mean[i] = m;
+        looked[i] = fma(gamma, m - y_old[i], m);
+    }
+}
+
+/// Momentum lookahead `looked[i] = fma(gamma, mean[i] − y_old[i], mean[i])`
+/// from an already-materialised mean — the Eq. 7 step when a robust
+/// (non-mean) aggregation rule produced `mean` and there is no `f64`
+/// accumulator to fuse with. Bitwise identical to the historical
+/// clone → subtract → [`axpy`] composition (same contraction-gated `fma`
+/// per element).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn momentum_step(looked: &mut [f32], gamma: f32, mean: &[f32], y_old: &[f32]) {
+    assert_eq!(
+        looked.len(),
+        mean.len(),
+        "kernels::momentum_step length mismatch"
+    );
+    assert_eq!(
+        looked.len(),
+        y_old.len(),
+        "kernels::momentum_step length mismatch"
+    );
+    for i in 0..looked.len() {
+        looked[i] = fma(gamma, mean[i] - y_old[i], mean[i]);
     }
 }
 
@@ -378,6 +747,134 @@ mod tests {
             let want = 1.0 + 0.25 * f64::from(v[i]);
             assert!((acc[i] - want).abs() <= 1e-12);
         }
+    }
+
+    fn batch_fixture(k: usize, n: usize) -> (Vec<f64>, Vec<Vec<f32>>) {
+        let weights: Vec<f64> = (0..k).map(|i| 0.5 + i as f64 * 0.75).collect();
+        let inputs: Vec<Vec<f32>> = (0..k)
+            .map(|i| seq(n, 0.17 + i as f32 * 0.03, -0.4 + i as f32 * 0.11))
+            .collect();
+        (weights, inputs)
+    }
+
+    #[test]
+    fn weighted_sum_batch_is_bitwise_equal_to_sequential_accumulates() {
+        for (k, n) in [(1, 7), (3, 64), (5, 513), (16, 1037)] {
+            let (weights, inputs) = batch_fixture(k, n);
+            let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+            let mut batched = vec![0.125f64; n];
+            weighted_sum_batch(&mut batched, &weights, &views);
+            let mut sequential = vec![0.125f64; n];
+            for (&w, v) in weights.iter().zip(&views) {
+                weighted_accumulate(&mut sequential, w, v);
+            }
+            for i in 0..n {
+                assert_eq!(
+                    batched[i].to_bits(),
+                    sequential[i].to_bits(),
+                    "coord {i} of {k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_batch_dispatch_matches_scalar_oracle_bitwise() {
+        let (weights, inputs) = batch_fixture(6, 1031);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut dispatched = vec![0.0f64; 1031];
+        weighted_sum_batch(&mut dispatched, &weights, &views);
+        let mut oracle = vec![0.0f64; 1031];
+        weighted_sum_batch_scalar(&mut oracle, &weights, &views);
+        for i in 0..1031 {
+            assert_eq!(dispatched[i].to_bits(), oracle[i].to_bits(), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_batch_splits_are_bitwise_neutral() {
+        let (weights, inputs) = batch_fixture(9, 300);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut whole = vec![0.0f64; 300];
+        weighted_sum_batch(&mut whole, &weights, &views);
+        let mut split = vec![0.0f64; 300];
+        weighted_sum_batch(&mut split, &weights[..4], &views[..4]);
+        weighted_sum_batch(&mut split, &weights[4..], &views[4..]);
+        for i in 0..300 {
+            assert_eq!(whole[i].to_bits(), split[i].to_bits(), "coord {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted_sum_batch length mismatch")]
+    fn weighted_sum_batch_length_mismatch_panics() {
+        let v = [1.0f32, 2.0];
+        let mut acc = [0.0f64; 3];
+        weighted_sum_batch(&mut acc, &[1.0], &[&v]);
+    }
+
+    #[test]
+    fn fused_aggregate_momentum_matches_unfused_composition_bitwise() {
+        for n in [1, 4, 9, 513] {
+            let (weights, inputs) = batch_fixture(4, n);
+            let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+            let mut acc = vec![0.0f64; n];
+            weighted_sum_batch(&mut acc, &weights, &views);
+            let total: f64 = weights.iter().sum();
+            let y_old = seq(n, 0.41, 0.09);
+            let gamma = 0.625f32;
+
+            // Historical composition: finalize, clone, subtract, axpy.
+            let mean_ref: Vec<f32> = acc.iter().map(|&a| (a / total) as f32).collect();
+            let mut looked_ref = mean_ref.clone();
+            let delta: Vec<f32> = mean_ref.iter().zip(&y_old).map(|(m, y)| m - y).collect();
+            axpy(&mut looked_ref, gamma, &delta);
+
+            let mut mean = vec![0.0f32; n];
+            let mut looked = vec![0.0f32; n];
+            fused_aggregate_momentum(&acc, total, gamma, &y_old, &mut mean, &mut looked);
+            for i in 0..n {
+                assert_eq!(mean[i].to_bits(), mean_ref[i].to_bits(), "mean {i} of {n}");
+                assert_eq!(
+                    looked[i].to_bits(),
+                    looked_ref[i].to_bits(),
+                    "looked {i} of {n}"
+                );
+            }
+
+            let mut mean_s = vec![0.0f32; n];
+            let mut looked_s = vec![0.0f32; n];
+            fused_aggregate_momentum_scalar(&acc, total, gamma, &y_old, &mut mean_s, &mut looked_s);
+            for i in 0..n {
+                assert_eq!(mean[i].to_bits(), mean_s[i].to_bits(), "oracle mean {i}");
+                assert_eq!(
+                    looked[i].to_bits(),
+                    looked_s[i].to_bits(),
+                    "oracle looked {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_step_matches_clone_sub_axpy_bitwise() {
+        let mean = seq(77, 0.23, 0.5);
+        let y_old = seq(77, 0.61, -0.2);
+        let mut want = mean.clone();
+        let delta: Vec<f32> = mean.iter().zip(&y_old).map(|(m, y)| m - y).collect();
+        axpy(&mut want, 0.375, &delta);
+        let mut got = vec![0.0f32; 77];
+        momentum_step(&mut got, 0.375, &mean, &y_old);
+        for i in 0..77 {
+            assert_eq!(got[i].to_bits(), want[i].to_bits(), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn dispatch_level_is_stable_and_named() {
+        let level = dispatch_level();
+        assert_eq!(level, dispatch_level());
+        assert!(matches!(level.name(), "avx2" | "scalar"));
     }
 
     #[test]

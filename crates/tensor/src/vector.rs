@@ -224,6 +224,11 @@ impl Vector {
     /// Data-size-weighted average of vectors, the aggregation primitive of
     /// Algorithm 1 (lines 11, 12, 18, 19): `Σ wᵢ·vᵢ / Σ wᵢ`.
     ///
+    /// Runs on [`kernels::weighted_sum_batch`] — one coordinate-tiled,
+    /// SIMD-dispatched pass over the accumulator with workers as the batch
+    /// dimension — bitwise identical to the historical per-worker
+    /// `weighted_accumulate` sweep.
+    ///
     /// # Panics
     ///
     /// Panics if `items` is empty, if vector lengths differ, or if the total
@@ -232,23 +237,52 @@ impl Vector {
     where
         I: IntoIterator<Item = (f64, &'a Vector)>,
     {
-        let mut iter = items.into_iter();
-        let (w0, v0) = iter
-            .next()
-            .expect("weighted_average requires at least one vector");
-        let mut acc = vec![0.0f64; v0.len()];
-        kernels::weighted_accumulate(&mut acc, w0, &v0.0);
-        let mut total = w0;
-        for (w, v) in iter {
-            assert_eq!(acc.len(), v.len(), "weighted_average length mismatch");
-            kernels::weighted_accumulate(&mut acc, w, &v.0);
-            total += w;
+        let (weights, views) = Self::collect_batch(items);
+        let mut acc = vec![0.0f64; views[0].len()];
+        kernels::weighted_sum_batch(&mut acc, &weights, &views);
+        let total = Self::total_weight(&weights);
+        Vector(acc.into_iter().map(|a| (a / total) as f32).collect())
+    }
+
+    /// Materialises a `(weight, vector)` stream into the parallel-slice
+    /// form the batched kernels take, with the historical length checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or vector lengths differ.
+    pub fn collect_batch<'a, I>(items: I) -> (Vec<f64>, Vec<&'a [f32]>)
+    where
+        I: IntoIterator<Item = (f64, &'a Vector)>,
+    {
+        let mut weights = Vec::new();
+        let mut views: Vec<&[f32]> = Vec::new();
+        for (w, v) in items {
+            if let Some(first) = views.first() {
+                assert_eq!(first.len(), v.len(), "weighted_average length mismatch");
+            }
+            weights.push(w);
+            views.push(&v.0);
         }
+        assert!(
+            !views.is_empty(),
+            "weighted_average requires at least one vector"
+        );
+        (weights, views)
+    }
+
+    /// Sums the batch weights in input order (the same order the historical
+    /// streaming path used) and asserts positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total is not strictly positive.
+    pub fn total_weight(weights: &[f64]) -> f64 {
+        let total = weights[1..].iter().fold(weights[0], |t, &w| t + w);
         assert!(
             total > 0.0,
             "weighted_average requires positive total weight, got {total}"
         );
-        Vector(acc.into_iter().map(|a| (a / total) as f32).collect())
+        total
     }
 
     /// Maximum absolute element, or `0.0` for an empty vector.

@@ -203,3 +203,141 @@ proptest! {
         prop_assert_eq!(bits(&fast), bits(&again));
     }
 }
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `weighted_sum_batch` over `K` workers is (a) close to a naive
+    /// per-coordinate `f64` sum, (b) **bitwise** identical to `K`
+    /// sequential [`kernels::weighted_accumulate`] calls in worker order,
+    /// to the scalar oracle, and to any prefix/suffix split of the batch,
+    /// and (c) bitwise reproducible run to run. `K` ranges past the
+    /// AVX2 worker-block boundary so both the single-block small-fan-in
+    /// path and the multi-block path are exercised.
+    #[test]
+    fn weighted_sum_batch_matches_sequential_bitwise(
+        len in 0usize..MAX_LEN,
+        k in 1usize..=20,
+        split in 0usize..=20,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs_store: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..len).map(|_| rng.gen_range(-8.0f32..8.0)).collect())
+            .collect();
+        let inputs: Vec<&[f32]> = inputs_store.iter().map(Vec::as_slice).collect();
+        let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(-4.0f64..4.0)).collect();
+
+        let mut naive = vec![0.25f64; len];
+        for (&w, v) in weights.iter().zip(&inputs) {
+            for (a, &x) in naive.iter_mut().zip(*v) {
+                *a += w * f64::from(x);
+            }
+        }
+
+        let mut batch = vec![0.25f64; len];
+        kernels::weighted_sum_batch(&mut batch, &weights, &inputs);
+        for i in 0..len {
+            prop_assert!(
+                (batch[i] - naive[i]).abs() <= 1e-4 * (1.0 + naive[i].abs()),
+                "batch[{i}]: {} vs naive {}", batch[i], naive[i]
+            );
+        }
+
+        // Bitwise vs the sequential per-worker path it replaces.
+        let mut seq = vec![0.25f64; len];
+        for (&w, v) in weights.iter().zip(&inputs) {
+            kernels::weighted_accumulate(&mut seq, w, v);
+        }
+        prop_assert_eq!(bits64(&batch), bits64(&seq));
+
+        // Bitwise vs the portable oracle (pins the dispatched path).
+        let mut oracle = vec![0.25f64; len];
+        kernels::weighted_sum_batch_scalar(&mut oracle, &weights, &inputs);
+        prop_assert_eq!(bits64(&batch), bits64(&oracle));
+
+        // Splitting the batch into consecutive sub-batches is neutral.
+        let cut = split.min(k);
+        let mut halves = vec![0.25f64; len];
+        kernels::weighted_sum_batch(&mut halves, &weights[..cut], &inputs[..cut]);
+        kernels::weighted_sum_batch(&mut halves, &weights[cut..], &inputs[cut..]);
+        prop_assert_eq!(bits64(&batch), bits64(&halves));
+
+        // Run-to-run determinism.
+        let mut again = vec![0.25f64; len];
+        kernels::weighted_sum_batch(&mut again, &weights, &inputs);
+        prop_assert_eq!(bits64(&batch), bits64(&again));
+    }
+
+    /// `fused_aggregate_momentum` is (a) close to the `f64` reference
+    /// `m = acc/total`, `looked = m + γ·(m − y_old)`, (b) **bitwise**
+    /// identical to the unfused composition it replaces (per-element
+    /// finalize, clone, subtract, [`kernels::axpy`]) and to the scalar
+    /// oracle, and (c) bitwise reproducible run to run.
+    #[test]
+    fn fused_aggregate_momentum_matches_unfused_bitwise(
+        acc_src in proptest::collection::vec(-8.0f64..8.0, MAX_LEN),
+        y_old in vec_strategy(),
+        len in 0usize..MAX_LEN,
+        total in 0.5f64..8.0,
+        gamma in 0.0f32..1.0,
+    ) {
+        let (acc, y_old) = (&acc_src[..len], &y_old[..len]);
+
+        let mut mean = vec![0.0f32; len];
+        let mut looked = vec![0.0f32; len];
+        kernels::fused_aggregate_momentum(acc, total, gamma, y_old, &mut mean, &mut looked);
+
+        for i in 0..len {
+            let m_ref = acc[i] / total;
+            let l_ref = m_ref + f64::from(gamma) * (m_ref - f64::from(y_old[i]));
+            prop_assert!(
+                close(mean[i], m_ref as f32),
+                "mean[{i}]: {} vs {}", mean[i], m_ref
+            );
+            prop_assert!(
+                close(looked[i], l_ref as f32),
+                "looked[{i}]: {} vs {}", looked[i], l_ref
+            );
+        }
+
+        // Bitwise vs the historical unfused composition: finalize the
+        // mean per element, then clone → subtract → axpy.
+        let unfused_mean: Vec<f32> = acc.iter().map(|&a| (a / total) as f32).collect();
+        let delta: Vec<f32> = unfused_mean
+            .iter()
+            .zip(y_old)
+            .map(|(m, y)| m - y)
+            .collect();
+        let mut unfused_looked = unfused_mean.clone();
+        kernels::axpy(&mut unfused_looked, gamma, &delta);
+        prop_assert_eq!(bits(&mean), bits(&unfused_mean));
+        prop_assert_eq!(bits(&looked), bits(&unfused_looked));
+
+        // Bitwise vs the portable oracle (pins the dispatched path).
+        let mut mean_o = vec![0.0f32; len];
+        let mut looked_o = vec![0.0f32; len];
+        kernels::fused_aggregate_momentum_scalar(
+            acc, total, gamma, y_old, &mut mean_o, &mut looked_o,
+        );
+        prop_assert_eq!(bits(&mean), bits(&mean_o));
+        prop_assert_eq!(bits(&looked), bits(&looked_o));
+
+        // And vs the standalone Eq. 7 kernel from the same mean.
+        let mut looked_m = vec![0.0f32; len];
+        kernels::momentum_step(&mut looked_m, gamma, &mean, y_old);
+        prop_assert_eq!(bits(&looked), bits(&looked_m));
+
+        // Run-to-run determinism.
+        let mut mean2 = vec![0.0f32; len];
+        let mut looked2 = vec![0.0f32; len];
+        kernels::fused_aggregate_momentum(acc, total, gamma, y_old, &mut mean2, &mut looked2);
+        prop_assert_eq!(bits(&mean), bits(&mean2));
+        prop_assert_eq!(bits(&looked), bits(&looked2));
+    }
+}

@@ -34,7 +34,6 @@ fn main() -> Result<(), RunError> {
         total_iters: 200,
         eval_every: 40,
         batch_size: 16,
-        parallel: true,
         ..RunConfig::default()
     };
 

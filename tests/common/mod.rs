@@ -138,7 +138,7 @@ pub fn dropout_cfg(dropout: f64) -> RunConfig {
         total_iters: 200,
         batch_size: 16,
         eval_every: 100,
-        parallel: false,
+        threads: Some(1),
         dropout,
         ..RunConfig::default()
     }

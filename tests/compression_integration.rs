@@ -42,7 +42,7 @@ fn compressed_federation_learns_and_saves_wire_time() {
         total_iters: 200,
         batch_size: 16,
         eval_every: 200,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let h = Hierarchy::balanced(2, 2);
@@ -112,7 +112,7 @@ fn error_feedback_matters_under_aggressive_compression() {
         total_iters: 300,
         batch_size: 16,
         eval_every: 300,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let h = Hierarchy::balanced(2, 2);
@@ -141,7 +141,7 @@ fn centralized_optimizers_agree_with_federated_limit() {
         total_iters: 30,
         batch_size: usize::MAX >> 1, // full batch (capped by Batcher)
         eval_every: 30,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let h = Hierarchy::two_tier(1);

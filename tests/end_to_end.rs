@@ -39,7 +39,7 @@ fn cfg() -> RunConfig {
         total_iters: 400,
         batch_size: 16,
         eval_every: 100,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     }
 }

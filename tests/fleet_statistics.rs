@@ -33,7 +33,7 @@ fn fleet_accuracy(strategy: &dyn Strategy) -> hieradmo::metrics::MeanStd {
         total_iters: 100,
         batch_size: 16,
         eval_every: 100,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let (hierarchy, cfg) = match strategy.tier() {

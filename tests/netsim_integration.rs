@@ -35,7 +35,7 @@ fn full_trace_driven_pipeline_produces_times() {
         total_iters: total,
         batch_size: 16,
         eval_every: 10,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let h3 = Hierarchy::balanced(2, 2);

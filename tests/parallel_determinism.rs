@@ -103,7 +103,6 @@ fn deprecated_parallel_flag_matches_explicit_threads() {
         total_iters: 100,
         batch_size: 16,
         eval_every: 25,
-        parallel: true,
         threads: None,
         ..RunConfig::default()
     };

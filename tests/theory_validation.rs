@@ -132,7 +132,7 @@ fn theorem2_edge_momentum_displacement_is_bounded_by_s() {
         total_iters: tau, // exactly one edge interval
         batch_size: 64,   // big batches ≈ full gradients
         eval_every: tau,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
 
@@ -177,7 +177,7 @@ fn theorem4_larger_tau_hurts_both_measured_and_bound() {
             total_iters: 240,
             batch_size: 16,
             eval_every: 240,
-            parallel: false,
+            threads: Some(1),
             ..RunConfig::default()
         };
         let algo = HierAdMo::reduced(0.05, 0.5, 0.5);
@@ -221,7 +221,7 @@ fn theorem5_adapted_gamma_mean_is_moderate() {
         total_iters: 200,
         batch_size: 16,
         eval_every: 200,
-        parallel: false,
+        threads: Some(1),
         ..RunConfig::default()
     };
     let algo = HierAdMo::adaptive(0.05, 0.5);

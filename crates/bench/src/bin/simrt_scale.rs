@@ -6,8 +6,13 @@
 //! ```text
 //! cargo run -p hieradmo-bench --release --bin simrt_scale -- \
 //!     [--population 1000000] [--sample 2048] [--edges 16] \
-//!     [--rounds 4] [--seed 7] [--out BENCH_scale.json]
+//!     [--rounds 4] [--tiers 3] [--seed 7] [--out BENCH_scale.json]
 //! ```
+//!
+//! `--tiers N` (default 3, the classic worker/edge/cloud arrangement)
+//! inserts `N - 3` fanout-2 averaging tiers between the edges and the
+//! root, so CI records a depth-4 sampled datapoint: deep trees add
+//! middle-tier aggregation work but no per-registered-worker cost.
 //!
 //! The registered population never materializes: workers exist as
 //! per-edge counts plus shard descriptors, each round samples
@@ -37,6 +42,7 @@ use hieradmo_models::{zoo, Model};
 use hieradmo_netsim::payload::payload_bytes;
 use hieradmo_netsim::{Architecture, NetworkEnv};
 use hieradmo_simrt::{simulate_virtual, SimConfig, SyncPolicy};
+use hieradmo_topology::{TierSpec, TierTree};
 use serde::Serialize;
 
 /// Algorithm 1 line 9 ships y, x, Σ∇F, Σy per upload.
@@ -49,6 +55,7 @@ struct ScaleReport {
     registered_workers: u64,
     sampled_per_round: usize,
     edges: usize,
+    tiers: usize,
     rounds: usize,
     tau: usize,
     pi: usize,
@@ -69,10 +76,18 @@ fn main() {
     let sample: usize = cli.get_or("sample", 2048);
     let edges: usize = cli.get_or("edges", 16);
     let rounds: usize = cli.get_or("rounds", 4);
+    let tiers: usize = cli.get_or("tiers", 3);
     let seed: u64 = cli.get_or("seed", 7);
     let out_path = cli.get("out").unwrap_or("BENCH_scale.json").to_string();
 
     assert!(edges > 0, "--edges must be positive");
+    assert!(tiers >= 3, "--tiers must be at least 3");
+    let middles = tiers - 3;
+    assert!(
+        edges.is_multiple_of(1 << middles),
+        "--edges {edges} must be a multiple of 2^(tiers - 3) = {}",
+        1usize << middles
+    );
     assert!(
         population.is_multiple_of(edges as u64),
         "--population {population} must divide evenly across --edges {edges}"
@@ -95,7 +110,15 @@ fn main() {
 
     let model = zoo::logistic_regression(&tt.train, seed.wrapping_add(100));
     let tau = 5;
-    let pi = 2;
+    // Beyond depth 3, fanout-2 averaging tiers (interval 2) sit between
+    // the edges and the root; π is then the tree's whole product.
+    let tree = (middles > 0).then(|| {
+        let mut levels = vec![TierSpec::new(edges >> middles, 2)];
+        levels.extend(vec![TierSpec::new(2, 2); middles]);
+        levels.push(TierSpec::new(per_edge as usize, tau));
+        TierTree::new(levels).expect("benchmark tier tree shape is valid")
+    });
+    let pi = tree.as_ref().map_or(2, TierTree::pi_total);
     let total_iters = rounds * tau;
     let cfg = RunConfig {
         tau,
@@ -110,18 +133,22 @@ fn main() {
         ..RunConfig::default()
     };
     let env = NetworkEnv::paper_testbed(8);
-    let sim = SimConfig::new(
+    let mut sim = SimConfig::new(
         env,
         Architecture::ThreeTier,
         payload_bytes(model.dim(), UPLOAD_VECTORS),
         seed.wrapping_add(7),
         SyncPolicy::FullSync,
     );
+    if let Some(t) = &tree {
+        sim = sim.with_tiers(t.clone());
+    }
     let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
 
     eprintln!(
-        "[simrt_scale] {population} registered workers on {edges} edges, \
-         sampling {sample}/round for {rounds} rounds (τ={tau}, π={pi})"
+        "[simrt_scale] {population} registered workers on {edges} edges \
+         ({tiers} tiers), sampling {sample}/round for {rounds} rounds \
+         (τ={tau}, π={pi})"
     );
     let t = Instant::now();
     let res = simulate_virtual(&algo, &model, &pop, &shards, &tt.test, &cfg, &sim)
@@ -135,6 +162,7 @@ fn main() {
         registered_workers: population,
         sampled_per_round: sample,
         edges,
+        tiers,
         rounds,
         tau,
         pi,

@@ -73,8 +73,12 @@ pub use driver::{
     RunError, RunResult,
 };
 pub use population::{
-    run_virtual, ClientSampling, CohortSampler, ShardAssignment, StatePool, WorkerPopulation,
+    run_virtual, run_virtual_tiered, run_virtual_tiered_resumed, run_virtual_tiered_until,
+    ClientSampling, CohortSampler, ShardAssignment, StatePool, WorkerPopulation,
 };
 pub use robust::RobustAggregator;
 pub use state::{CloudState, EdgeState, EdgeView, FlState, TierState, WorkerState};
-pub use strategy::{default_middle_aggregate, Strategy, Tier, TierScope};
+pub use strategy::{
+    default_middle_aggregate, default_middle_aggregate_stale, Strategy, Tier, TierScope,
+    MIDDLE_AGE_CAP,
+};

@@ -38,16 +38,17 @@ use hieradmo_models::Model;
 use hieradmo_netsim::adversary::AdversarySampler;
 use hieradmo_netsim::stream_seed;
 use hieradmo_tensor::Vector;
-use hieradmo_topology::{Hierarchy, TierTree, Weights};
+use hieradmo_topology::{Hierarchy, TierAggregation, TierTree, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::byzantine::corrupt_upload;
+use crate::checkpoint::TrainingSnapshot;
 use crate::config::RunConfig;
 use crate::driver::{build_train_probe, evaluate_on_replicas, run, RunError, RunResult};
 use crate::state::{FlState, WorkerState};
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, TierScope};
 
 /// Largest population the full-participation delegation path will
 /// materialize (per-worker state and shard clones). Beyond this, ask for
@@ -60,6 +61,8 @@ const SALT_BATCH: u64 = 0x6261_7463_6865_7221;
 const SALT_ADVERSARY: u64 = 0x6164_7665_7273_6172;
 const SALT_NET: u64 = 0x6e65_745f_7374_7265;
 const SALT_COHORT: u64 = 0x636f_686f_7274_2121;
+const SALT_DROPOUT: u64 = 0x6472_6f70_6f75_7421;
+const SALT_FAULT: u64 = 0x6661_756c_745f_7374;
 
 /// Seed for a worker's per-round RNG stream: a function of `(master,
 /// worker_id, round)` *only* — never of population size, cohort
@@ -86,6 +89,38 @@ pub fn adversary_stream(worker_id: u64, round: u64) -> u64 {
 /// event-driven engine).
 pub fn delay_stream(worker_id: u64, round: u64) -> u64 {
     worker_round_seed(SALT_NET, worker_id, round)
+}
+
+/// Fault stream id of worker `worker_id` in round `round` (feeds
+/// `FaultSampler::from_stream` together with the network seed in the
+/// event-driven engine): sampled cohorts re-derive crash and spike draws
+/// per `(worker, round)`, so fault trajectories are independent of cohort
+/// composition, thread count, and scheduling.
+pub fn fault_stream(worker_id: u64, round: u64) -> u64 {
+    worker_round_seed(SALT_FAULT, worker_id, round)
+}
+
+/// Per-step dropout mask of worker `worker_id` in round `round`: `tau`
+/// draws from a dedicated `(master, worker, round)` stream, `true` where
+/// the step is dropped (skipped entirely: no mini-batch draw, no local
+/// step, no compute time). Both virtual engines share this helper, so
+/// sampled dropout runs stay bitwise identical across engines and thread
+/// counts. A zero (or negative) `dropout` returns an all-false mask
+/// without drawing.
+pub fn cohort_dropout_mask(
+    master: u64,
+    worker_id: u64,
+    round: u64,
+    tau: usize,
+    dropout: f64,
+) -> Vec<bool> {
+    if dropout <= 0.0 {
+        return vec![false; tau];
+    }
+    let mut rng = StdRng::seed_from_u64(worker_round_seed(master ^ SALT_DROPOUT, worker_id, round));
+    (0..tau)
+        .map(|_| rng.gen_range(0.0..1.0) < dropout)
+        .collect()
 }
 
 /// Per-round client sampling policy.
@@ -437,17 +472,51 @@ impl WorkerPopulation {
 
 /// Seeded deterministic per-round cohort sampling: edge `e`'s round-`k`
 /// cohort is a uniform without-replacement draw whose RNG seed depends
-/// only on `(seed, e, k)` — never on other edges, earlier rounds, thread
-/// count, or population bookkeeping.
-#[derive(Debug, Clone, Copy)]
+/// only on `(seed, e's tier path, k)` — never on other edges, earlier
+/// rounds, thread count, or population bookkeeping.
+///
+/// The per-edge stream base folds [`stream_seed`] over the edge's
+/// root-to-edge path in the *collapsed* tree
+/// ([`TierTree::collapse`] · [`TierTree::edge_path`]), so extending a
+/// tree by a pass-through tier cannot move any cohort: the collapsed
+/// path — and with it every sampled trajectory — is unchanged (pinned by
+/// `tests/sampling_equivalence.rs`). On a depth-3 tree the collapsed
+/// path is the single component `[e]`, which makes [`CohortSampler::new`]
+/// (the flat, tree-less constructor) and `for_tree` on any depth-3 or
+/// pass-through-extended tree draw identical cohorts.
+#[derive(Debug, Clone)]
 pub struct CohortSampler {
     seed: u64,
+    /// Per-edge stream bases (path-folded); `None` means flat edge
+    /// indexing, which is defined as the depth-3 path `[edge]`.
+    bases: Option<Vec<u64>>,
 }
 
 impl CohortSampler {
-    /// A sampler over the master training seed.
+    /// A sampler over the master training seed, addressing edges by flat
+    /// index (the depth-3 shape).
     pub fn new(seed: u64) -> Self {
-        CohortSampler { seed }
+        CohortSampler { seed, bases: None }
+    }
+
+    /// A sampler whose streams derive from each edge's full tier path in
+    /// `tree` (after collapsing pass-through tiers), so cohorts are
+    /// stable under pass-through extension and distinct across sibling
+    /// subtrees at every depth.
+    pub fn for_tree(seed: u64, tree: &TierTree) -> Self {
+        let collapsed = tree.collapse();
+        let bases = (0..collapsed.num_edges())
+            .map(|e| {
+                collapsed
+                    .edge_path(e)
+                    .iter()
+                    .fold(seed ^ SALT_COHORT, |acc, &c| stream_seed(acc, c as u64))
+            })
+            .collect();
+        CohortSampler {
+            seed,
+            bases: Some(bases),
+        }
     }
 
     /// Draws edge `edge`'s round-`round` cohort: `k` distinct local ids in
@@ -456,18 +525,19 @@ impl CohortSampler {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is 0 or exceeds `population`.
+    /// Panics if `k` is 0, exceeds `population`, or `edge` is outside a
+    /// tree-derived sampler's edge tier.
     pub fn cohort(&self, edge: usize, round: usize, population: u64, k: usize) -> Vec<u64> {
         assert!(k > 0, "cohort must be non-empty");
         assert!(k as u64 <= population, "cohort exceeds population");
         if k as u64 == population {
             return (0..population).collect();
         }
-        let mut rng = StdRng::seed_from_u64(worker_round_seed(
-            self.seed ^ SALT_COHORT,
-            edge as u64,
-            round as u64,
-        ));
+        let base = match &self.bases {
+            Some(bases) => bases[edge],
+            None => stream_seed(self.seed ^ SALT_COHORT, edge as u64),
+        };
+        let mut rng = StdRng::seed_from_u64(stream_seed(base, round as u64));
         let mut chosen = std::collections::BTreeSet::new();
         for j in (population - k as u64)..population {
             let t = rng.gen_range(0..=j);
@@ -613,11 +683,13 @@ pub fn materialize_edge_cohort(
 /// to the event-driven `hieradmo_simrt::simulate_virtual` under full sync
 /// (both gated by `tests/sampling_equivalence.rs`).
 ///
-/// Restrictions of the sampled path (documented, validated): `dropout`
-/// must be 0 (model partial participation by sampling instead), legacy
-/// `edges`/`workers_per_edge` config fields and N-tier trees are not
-/// supported, and `adversary` plans must address workers by *global*
-/// (population) ids.
+/// Restrictions of the sampled path (documented, validated): legacy
+/// `edges`/`workers_per_edge` config fields are not supported (the
+/// population defines the topology), and `adversary` plans must address
+/// workers by *global* (population) ids. Dropout composes with sampling:
+/// each cohort worker draws a per-step mask from its own
+/// `(seed, worker, round)` stream ([`cohort_dropout_mask`]) and skips
+/// dropped steps entirely.
 ///
 /// # Errors
 ///
@@ -631,6 +703,163 @@ pub fn run_virtual<M, S>(
     test_data: &Dataset,
     cfg: &RunConfig,
 ) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    run_virtual_span(
+        strategy, model, population, shards, test_data, cfg, None, None, None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// Runs `strategy` over a virtual population laid out on an
+/// arbitrary-depth [`TierTree`]: the N-tier generalization of
+/// [`run_virtual`]. Each of the tree's edges samples its per-round cohort
+/// by tier path ([`CohortSampler::for_tree`]); middle tiers fire
+/// bottom-up at their interval boundaries through
+/// [`Strategy::tier_aggregate`], between the edge and root aggregations,
+/// exactly like the full-participation [`crate::driver::run_tiered`].
+///
+/// The tree's leaf fanout must equal every edge's *registered* count (the
+/// tree describes the registered population; the engine runs its sampled
+/// sub-tree, whose leaf fanout is the cohort size). Under full
+/// participation this delegates to [`crate::driver::run_tiered`]
+/// bitwise, at every depth.
+///
+/// # Errors
+///
+/// Everything [`run_virtual`] rejects, plus a tree whose shape or
+/// `(τ, π)` disagree with the population/config, and non-uniform cohort
+/// sizes (middle tiers need a balanced sampled sub-tree).
+pub fn run_virtual_tiered<M, S>(
+    strategy: &S,
+    model: &M,
+    population: &WorkerPopulation,
+    shards: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    tree: &TierTree,
+) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    run_virtual_span(
+        strategy,
+        model,
+        population,
+        shards,
+        test_data,
+        cfg,
+        Some(tree),
+        None,
+        None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// Like [`run_virtual_tiered`], but stops after tick `stop_at` (a
+/// positive multiple of `τ` no larger than `T`) and returns the
+/// federation state at that edge boundary alongside the partial result —
+/// the sampled-cohort counterpart of [`crate::driver::run_tiered_until`].
+/// Cohort workers re-materialize from their edge at every round start, so
+/// the snapshot needs no RNG replay on resume: every per-worker stream
+/// re-derives from `(seed, worker, round)`.
+///
+/// # Errors
+///
+/// Everything [`run_virtual_tiered`] rejects, plus a `stop_at` off the
+/// edge-boundary grid.
+#[allow(clippy::too_many_arguments)]
+pub fn run_virtual_tiered_until<M, S>(
+    strategy: &S,
+    model: &M,
+    population: &WorkerPopulation,
+    shards: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    tree: &TierTree,
+    stop_at: usize,
+) -> Result<(RunResult, TrainingSnapshot), RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    let (result, snapshot) = run_virtual_span(
+        strategy,
+        model,
+        population,
+        shards,
+        test_data,
+        cfg,
+        Some(tree),
+        None,
+        Some(stop_at),
+    )?;
+    Ok((
+        result,
+        snapshot.expect("run_virtual_span produces a snapshot whenever stop_at is given"),
+    ))
+}
+
+/// Continues a sampled tiered run from a snapshot captured by
+/// [`run_virtual_tiered_until`] with the same strategy, model,
+/// population, shards and config, bitwise identically to the
+/// uninterrupted [`run_virtual_tiered`] — at *any* thread count (gated by
+/// `tests/checkpoint_restore.rs`). The returned curve and traces cover
+/// only the resumed span.
+///
+/// # Errors
+///
+/// Everything [`run_virtual_tiered`] rejects, plus a snapshot whose
+/// algorithm, tick or shapes do not match this run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_virtual_tiered_resumed<M, S>(
+    strategy: &S,
+    model: &M,
+    population: &WorkerPopulation,
+    shards: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    tree: &TierTree,
+    snapshot: &TrainingSnapshot,
+) -> Result<RunResult, RunError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    run_virtual_span(
+        strategy,
+        model,
+        population,
+        shards,
+        test_data,
+        cfg,
+        Some(tree),
+        Some(snapshot),
+        None,
+    )
+    .map(|(result, _)| result)
+}
+
+/// The shared engine behind [`run_virtual`] and its tiered variants:
+/// optionally lays the population over a [`TierTree`] (`tiers`),
+/// optionally starts from a mid-run snapshot (`resume`), optionally stops
+/// at an edge boundary (`stop_at`, which also makes it return the state
+/// there).
+#[allow(clippy::too_many_arguments)]
+fn run_virtual_span<M, S>(
+    strategy: &S,
+    model: &M,
+    population: &WorkerPopulation,
+    shards: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    tiers: Option<&TierTree>,
+    resume: Option<&TrainingSnapshot>,
+    stop_at: Option<usize>,
+) -> Result<(RunResult, Option<TrainingSnapshot>), RunError>
 where
     M: Model + Clone + Send,
     S: Strategy + ?Sized,
@@ -650,17 +879,71 @@ where
             population.total_workers()
         )));
     }
+    if let Some(tree) = tiers {
+        if tree.num_edges() != population.num_edges() {
+            return Err(RunError::BadConfig(format!(
+                "tier tree spans {} edges, the population registers {}",
+                tree.num_edges(),
+                population.num_edges()
+            )));
+        }
+        let leaf = tree.levels().last().expect("trees have levels").fanout as u64;
+        if let Some(e) =
+            (0..population.num_edges()).find(|&e| population.workers_in_edge(e) != leaf)
+        {
+            return Err(RunError::BadConfig(format!(
+                "tier tree registers {leaf} workers per edge, edge {e} \
+                 registers {}",
+                population.workers_in_edge(e)
+            )));
+        }
+        if cfg.tau != tree.tau() || cfg.pi != tree.pi_total() {
+            return Err(RunError::BadConfig(format!(
+                "config (tau = {}, pi = {}) disagrees with the tier tree \
+                 (tau = {}, pi_total = {})",
+                cfg.tau,
+                cfg.pi,
+                tree.tau(),
+                tree.pi_total()
+            )));
+        }
+    }
     if cfg.sampling.is_full() {
         let hierarchy = population.materialize_hierarchy().map_err(RunError::Data)?;
         let worker_data = population.materialize_shards(shards);
-        return run(strategy, model, &hierarchy, &worker_data, test_data, cfg);
-    }
-    if cfg.dropout != 0.0 {
-        return Err(RunError::BadConfig(
-            "dropout is not supported with client sampling; model partial \
-             participation by lowering the sampling fraction instead"
-                .into(),
-        ));
+        return match tiers {
+            None => run(strategy, model, &hierarchy, &worker_data, test_data, cfg)
+                .map(|result| (result, None)),
+            Some(tree) => match (resume, stop_at) {
+                (None, None) => {
+                    crate::driver::run_tiered(strategy, model, tree, &worker_data, test_data, cfg)
+                        .map(|result| (result, None))
+                }
+                (None, Some(stop)) => crate::driver::run_tiered_until(
+                    strategy,
+                    model,
+                    tree,
+                    &worker_data,
+                    test_data,
+                    cfg,
+                    stop,
+                )
+                .map(|(result, snap)| (result, Some(snap))),
+                (Some(snap), None) => crate::driver::run_tiered_resumed(
+                    strategy,
+                    model,
+                    tree,
+                    &worker_data,
+                    test_data,
+                    cfg,
+                    snap,
+                )
+                .map(|result| (result, None)),
+                (Some(_), Some(_)) => Err(RunError::BadConfig(
+                    "resuming and stopping in one span is not supported".into(),
+                )),
+            },
+        };
     }
     if cfg.edges.is_some() || cfg.workers_per_edge.is_some() {
         return Err(RunError::BadConfig(
@@ -669,14 +952,38 @@ where
                 .into(),
         ));
     }
+    if let Some(stop) = stop_at {
+        if stop == 0 || stop > cfg.total_iters || stop % cfg.tau != 0 {
+            return Err(RunError::BadConfig(format!(
+                "stop_at must be a positive multiple of tau ({}) no larger than \
+                 total_iters ({}), got {stop}",
+                cfg.tau, cfg.total_iters
+            )));
+        }
+    }
 
     let cohort = population
         .cohort_sizes(&cfg.sampling)
         .map_err(RunError::BadConfig)?;
-    let hierarchy = Hierarchy::new(cohort);
+    if tiers.is_some() && cohort.windows(2).any(|w| w[0] != w[1]) {
+        return Err(RunError::BadConfig(
+            "sampled tier trees need one uniform cohort size (the sampled \
+             sub-tree must stay balanced); use ClientSampling::PerEdge"
+                .into(),
+        ));
+    }
+    let hierarchy = Hierarchy::new(cohort.clone());
     strategy
         .check_topology(&hierarchy)
         .map_err(RunError::Topology)?;
+    // The engine runs the *sampled* sub-tree: the registered tree with its
+    // leaf fanout swapped for the (uniform) cohort size. All non-leaf
+    // levels — and with them every middle boundary — are unchanged.
+    let cohort_tree = tiers.map(|tree| {
+        let mut levels = tree.levels().to_vec();
+        levels.last_mut().expect("trees have levels").fanout = cohort[0];
+        TierTree::new(levels).expect("cohort sub-tree of a validated tree is valid")
+    });
 
     let started = Instant::now();
     let shard_sizes: Vec<u64> = shards.iter().map(|d| d.len() as u64).collect();
@@ -686,9 +993,81 @@ where
     let x0 = model.params();
     let mut fl = FlState::new(hierarchy.clone(), weights, &x0);
     fl.aggregator = cfg.aggregator;
+    if let Some(tree) = &cohort_tree {
+        fl.attach_tree(tree.clone());
+    }
     strategy.init(&mut fl);
 
-    let sampler = CohortSampler::new(cfg.seed);
+    let start = match resume {
+        None => 0,
+        Some(snap) => {
+            if snap.algorithm != strategy.name() {
+                return Err(RunError::BadConfig(format!(
+                    "snapshot was captured by {}, cannot resume under {}",
+                    snap.algorithm,
+                    strategy.name()
+                )));
+            }
+            if snap.tick == 0 || snap.tick >= cfg.total_iters || snap.tick % cfg.tau != 0 {
+                return Err(RunError::BadConfig(format!(
+                    "snapshot tick {} is not an edge boundary (multiple of tau = {}) \
+                     strictly before total_iters = {}",
+                    snap.tick, cfg.tau, cfg.total_iters
+                )));
+            }
+            if snap.workers.len() != total_slots || snap.edges.len() != hierarchy.num_edges() {
+                return Err(RunError::Data(format!(
+                    "snapshot holds {} workers / {} edges for a sampled sub-tree \
+                     with {} / {}",
+                    snap.workers.len(),
+                    snap.edges.len(),
+                    total_slots,
+                    hierarchy.num_edges()
+                )));
+            }
+            if snap.cloud.x_plus.len() != x0.len() {
+                return Err(RunError::Data(format!(
+                    "snapshot dimension {} does not match model dimension {}",
+                    snap.cloud.x_plus.len(),
+                    x0.len()
+                )));
+            }
+            if snap.middle.len() != fl.middle.len()
+                || snap
+                    .middle
+                    .iter()
+                    .zip(&fl.middle)
+                    .any(|(s, m)| s.len() != m.len())
+            {
+                return Err(RunError::Data(format!(
+                    "snapshot holds {} middle tiers for a tree with {}",
+                    snap.middle.len(),
+                    fl.middle.len()
+                )));
+            }
+            // All trajectory state lives in the edge/cloud/middle tiers:
+            // cohort workers re-materialize from their edge at every round
+            // start, so restoring those tiers restores everything.
+            fl.workers = snap.workers.clone();
+            fl.edges = snap.edges.clone();
+            fl.cloud = snap.cloud.clone();
+            fl.middle = snap.middle.clone();
+            snap.tick / cfg.tau
+        }
+    };
+    if let (Some(stop), Some(snap)) = (stop_at, resume) {
+        if stop <= snap.tick {
+            return Err(RunError::BadConfig(format!(
+                "stop_at ({stop}) must be past the snapshot tick ({})",
+                snap.tick
+            )));
+        }
+    }
+
+    let sampler = match tiers {
+        Some(tree) => CohortSampler::for_tree(cfg.seed, tree),
+        None => CohortSampler::new(cfg.seed),
+    };
     let train_probe = build_train_probe(shards, cfg.train_eval_cap);
     let threads = cfg.resolved_threads();
     let mut eval_models: Vec<M> = (0..threads).map(|_| model.clone()).collect();
@@ -697,6 +1076,7 @@ where
     let mut curve = ConvergenceCurve::new();
     let mut gamma_trace = Vec::new();
     let mut cos_trace = Vec::new();
+    let mut tier_gamma: Vec<Vec<(usize, f32)>> = vec![Vec::new(); fl.middle.len()];
     let mut timings = crate::driver::PhaseTimings::default();
     let mut adversary_counters = vec![AdversaryCounters::default(); cfg.adversary.byzantine.len()];
 
@@ -707,7 +1087,7 @@ where
     let mut batchers: Vec<Batcher> = Vec::with_capacity(total_slots);
 
     let rounds = cfg.total_iters / cfg.tau;
-    for k in 1..=rounds {
+    for k in (start + 1)..=rounds {
         // 1. Sample and materialize every edge's cohort.
         let t0 = Instant::now();
         batchers.clear();
@@ -735,20 +1115,36 @@ where
         let per = total_slots.div_ceil(threads);
         let clip = cfg.clip_norm;
         let tau = cfg.tau;
+        let dropout = cfg.dropout;
+        let seed = cfg.seed;
         std::thread::scope(|scope| {
             let worker_chunks = fl.workers.chunks_mut(per);
             let batcher_chunks = batchers.chunks_mut(per);
             let shard_chunks = slot_shards.chunks(per);
+            let gid_chunks = slot_gids.chunks(per);
             let handles: Vec<_> = worker_chunks
                 .zip(batcher_chunks)
                 .zip(shard_chunks)
+                .zip(gid_chunks)
                 .zip(step_models.iter_mut())
-                .map(|(((ws, bs), ss), model)| {
+                .map(|((((ws, bs), ss), gs), model)| {
                     scope.spawn(move || {
                         let mut batch: Vec<usize> = Vec::new();
-                        for ((w, b), &s) in ws.iter_mut().zip(bs.iter_mut()).zip(ss.iter()) {
+                        for (((w, b), &s), &g) in ws
+                            .iter_mut()
+                            .zip(bs.iter_mut())
+                            .zip(ss.iter())
+                            .zip(gs.iter())
+                        {
                             let data = &shards[s];
+                            // A dropped step is skipped entirely — no
+                            // mini-batch draw, no local step — from the
+                            // worker's own (seed, worker, round) stream.
+                            let dropped = cohort_dropout_mask(seed, g, k as u64, tau, dropout);
                             for step in 1..=tau {
+                                if dropped[step - 1] {
+                                    continue;
+                                }
                                 b.next_batch_into(&mut batch);
                                 let mut grad_fn = |p: &Vector, out: &mut Vector| {
                                     model.set_params(p);
@@ -810,14 +1206,49 @@ where
         ));
         timings.edge_agg += t0.elapsed();
 
-        // 5. Cloud aggregation every π rounds.
-        if k % cfg.pi == 0 {
+        // 5. Middle tiers fire bottom-up whenever the edge round count
+        //    divides their synchronization period — serially and without
+        //    RNG, mirroring the full-participation tick engine, so
+        //    pass-through tiers cannot perturb any stream.
+        if let Some(tree) = &cohort_tree {
             let t0 = Instant::now();
-            strategy.cloud_aggregate(k / cfg.pi, &mut fl);
+            for d in tree.middle_depths().rev() {
+                if tree.levels()[d].aggregation == TierAggregation::Identity {
+                    continue;
+                }
+                let period = tree.sync_rounds(d);
+                if k % period == 0 {
+                    let round = k / period;
+                    for node in 0..tree.nodes_at(d) {
+                        strategy.tier_aggregate(
+                            TierScope::Middle {
+                                depth: d,
+                                node,
+                                state: &mut fl,
+                            },
+                            round,
+                        );
+                    }
+                    let tier = &fl.middle[d - 1];
+                    let mean = tier.iter().map(|s| s.gamma_edge).sum::<f32>() / tier.len() as f32;
+                    tier_gamma[d - 1].push((round, mean));
+                }
+            }
             timings.cloud_agg += t0.elapsed();
         }
 
-        // 6. Evaluation at matching round boundaries and at the end.
+        // 6. Cloud aggregation every π rounds.
+        if k % cfg.pi == 0 {
+            let t0 = Instant::now();
+            if cohort_tree.is_some() {
+                strategy.tier_aggregate(TierScope::Root(&mut fl), k / cfg.pi);
+            } else {
+                strategy.cloud_aggregate(k / cfg.pi, &mut fl);
+            }
+            timings.cloud_agg += t0.elapsed();
+        }
+
+        // 7. Evaluation at matching round boundaries and at the end.
         if (k * cfg.tau).is_multiple_of(cfg.eval_every) || k == rounds {
             let t0 = Instant::now();
             let params = virtual_global_params(&fl);
@@ -831,20 +1262,35 @@ where
             });
             timings.eval += t0.elapsed();
         }
+
+        if stop_at == Some(k * cfg.tau) {
+            break;
+        }
     }
 
     let final_params = virtual_global_params(&fl);
-    Ok(RunResult {
+    let snapshot = stop_at.map(|stop| TrainingSnapshot {
         algorithm: strategy.name().to_string(),
-        curve,
-        gamma_trace,
-        cos_trace,
-        tier_gamma: Vec::new(),
-        final_params,
-        elapsed: started.elapsed(),
-        timings,
-        adversaries: adversary_counters,
-    })
+        tick: stop,
+        workers: fl.workers.clone(),
+        edges: fl.edges.clone(),
+        cloud: fl.cloud.clone(),
+        middle: fl.middle.clone(),
+    });
+    Ok((
+        RunResult {
+            algorithm: strategy.name().to_string(),
+            curve,
+            gamma_trace,
+            cos_trace,
+            tier_gamma,
+            final_params,
+            elapsed: started.elapsed(),
+            timings,
+            adversaries: adversary_counters,
+        },
+        snapshot,
+    ))
 }
 
 #[cfg(test)]

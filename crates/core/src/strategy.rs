@@ -151,14 +151,18 @@ pub trait Strategy: Send + Sync {
     /// Staleness-aware variant of [`Strategy::tier_aggregate`], with the
     /// same contract as the edge/cloud stale hooks: all-zero staleness
     /// must be equivalent to the synchronous hook, which the default
-    /// guarantees by delegating per scope (middles fall through to
-    /// [`Strategy::tier_aggregate`] — middle tiers are co-hosted at the
-    /// barrier actor, so their children are never stale today).
+    /// guarantees by delegating per scope. For middle scopes `staleness`
+    /// is indexed by the node's *local* edge span (its `edges_per_node`
+    /// subtree leaves, in order), counting cloud boundaries since that
+    /// edge last submitted; the default runs
+    /// [`default_middle_aggregate_stale`], which down-weights stale
+    /// subtree edges by bounded age (carry-over past
+    /// [`MIDDLE_AGE_CAP`] rounds stops decaying further).
     fn tier_aggregate_stale(&self, scope: TierScope<'_, '_>, round: usize, staleness: &[usize]) {
         match scope {
             TierScope::Edge(view) => self.edge_aggregate_stale(round, view, staleness),
             TierScope::Middle { depth, node, state } => {
-                self.tier_aggregate(TierScope::Middle { depth, node, state }, round);
+                default_middle_aggregate_stale(depth, node, state, staleness);
             }
             TierScope::Root(state) => self.cloud_aggregate_stale(round, state, staleness),
         }
@@ -228,6 +232,89 @@ pub fn default_middle_aggregate(depth: usize, node: usize, state: &mut FlState) 
             .map(|l| (weighted(l), &state.edges[l].y_minus)),
     );
     let x = state.aggregate(edges.clone().map(|l| (weighted(l), &state.edges[l].x_plus)));
+
+    let idx = depth - 1;
+    state.middle[idx][node].y_minus = y.clone();
+    state.middle[idx][node].y_plus = y.clone();
+    state.middle[idx][node].x_plus = x.clone();
+    for l in edges {
+        state.edges[l].y_minus = y.clone();
+        state.edges[l].x_plus = x.clone();
+    }
+    let workers = state.hierarchy.edge_workers(node * span).start
+        ..state.hierarchy.edge_workers((node + 1) * span - 1).end;
+    for i in workers {
+        state.workers[i].y = y.clone();
+        state.workers[i].x = x.clone();
+    }
+}
+
+/// Age bound for middle-tier carry-over: a stale subtree edge is
+/// down-weighted by `1 / (1 + min(age, MIDDLE_AGE_CAP))`, so an edge that
+/// has been absent longer than this many cloud boundaries keeps a small
+/// constant share instead of decaying without bound. This keeps
+/// long-partitioned subtrees represented (the HierFAVG carry-over rule)
+/// while bounding their drag on fresh contributions.
+pub const MIDDLE_AGE_CAP: usize = 16;
+
+/// Staleness-aware variant of [`default_middle_aggregate`], the stock
+/// behavior behind [`Strategy::tier_aggregate_stale`]'s middle arm.
+///
+/// `staleness[j]` is the age (in cloud boundaries) of the node's `j`-th
+/// subtree edge, in subtree order. All-zero staleness delegates to
+/// [`default_middle_aggregate`] bitwise — the exactness contract the
+/// depth×policy matrix pins under `FullSync`. Otherwise each edge's
+/// subtree weight `D_ℓ / D_subtree` is scaled by
+/// `1 / (1 + min(age_ℓ, MIDDLE_AGE_CAP))` and the weights renormalized
+/// over the node's span, so carried-over (stale) edge states still enter
+/// the subtree average with bounded influence.
+///
+/// # Panics
+///
+/// Panics if `state` has no attached tier tree, `depth`/`node` are out of
+/// range, or `staleness` is shorter than the node's subtree span.
+pub fn default_middle_aggregate_stale(
+    depth: usize,
+    node: usize,
+    state: &mut FlState,
+    staleness: &[usize],
+) {
+    if staleness.iter().all(|&a| a == 0) {
+        return default_middle_aggregate(depth, node, state);
+    }
+    let tree = state
+        .tree
+        .as_ref()
+        .expect("middle aggregation needs a tier tree");
+    if tree.levels()[depth].aggregation == TierAggregation::Identity {
+        return;
+    }
+    let span = tree.edges_per_node(depth);
+    assert!(
+        staleness.len() >= span,
+        "staleness slice covers {} edges, node subtree spans {span}",
+        staleness.len()
+    );
+    let edges = node * span..(node + 1) * span;
+    let decay = |j: usize| 1.0 / (1 + staleness[j].min(MIDDLE_AGE_CAP)) as f64;
+    let scaled_total: f64 = edges
+        .clone()
+        .enumerate()
+        .map(|(j, e)| state.weights.edge_in_total(e) * decay(j))
+        .sum();
+    let weighted = |j: usize, l: usize| state.weights.edge_in_total(l) * decay(j) / scaled_total;
+    let y = state.aggregate(
+        edges
+            .clone()
+            .enumerate()
+            .map(|(j, l)| (weighted(j, l), &state.edges[l].y_minus)),
+    );
+    let x = state.aggregate(
+        edges
+            .clone()
+            .enumerate()
+            .map(|(j, l)| (weighted(j, l), &state.edges[l].x_plus)),
+    );
 
     let idx = depth - 1;
     state.middle[idx][node].y_minus = y.clone();

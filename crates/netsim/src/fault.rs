@@ -238,6 +238,27 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// [`FaultPlan::validate`] plus a bound on permanent-crash targets:
+    /// over a virtual population, `PermanentCrash::worker` addresses a
+    /// *registered* global client id, which must lie below `population`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range target (or any
+    /// [`FaultPlan::validate`] failure).
+    pub fn validate_for_population(&self, population: u64) -> Result<(), String> {
+        self.validate()?;
+        for p in &self.permanent {
+            if p.worker as u64 >= population {
+                return Err(format!(
+                    "permanent crash targets worker {} but the registered population is {}",
+                    p.worker, population
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The outcome of pushing one transfer through [`FaultSampler::transfer`]:

@@ -270,7 +270,7 @@ struct EvalRec {
 }
 
 /// `ceil(quorum · n)`, clamped to `[1, n]`.
-fn quorum_count(quorum: f64, n: usize) -> usize {
+pub(crate) fn quorum_count(quorum: f64, n: usize) -> usize {
     ((quorum * n as f64).ceil() as usize).clamp(1, n)
 }
 
@@ -1240,7 +1240,11 @@ where
         // at their own interval boundaries, exactly as the tick-driven
         // driver does between its edge and cloud phases. They draw no RNG
         // and identity tiers touch no state, so three-tier and
-        // pass-through runs are unaffected draw for draw.
+        // pass-through runs are unaffected draw for draw. Each node sees
+        // the staleness of its own subtree's edges (its contiguous span of
+        // the per-edge vector); all-zero — every FullSync round — is
+        // bitwise the synchronous hook, otherwise stale subtree edges are
+        // carried over at bounded age (`default_middle_aggregate_stale`).
         if let Some(tree) = &sim.tiers {
             for td in tree.middle_depths().rev() {
                 // Identity tiers fire nothing and record nothing — a
@@ -1252,14 +1256,16 @@ where
                 let period = tree.sync_rounds(td);
                 if k.is_multiple_of(period) {
                     let round = k / period;
+                    let span = tree.edges_per_node(td);
                     for node in 0..tree.nodes_at(td) {
-                        strategy.tier_aggregate(
+                        strategy.tier_aggregate_stale(
                             TierScope::Middle {
                                 depth: td,
                                 node,
                                 state: &mut self.fl,
                             },
                             round,
+                            &staleness[node * span..(node + 1) * span],
                         );
                     }
                     let tier = &self.fl.middle[td - 1];

@@ -131,9 +131,10 @@ pub struct SimConfig {
     /// three-tier worker/edge/cloud arrangement. When set, middle tiers
     /// are co-hosted at the cloud actor (no extra network hops, so delay
     /// streams match the three-tier run draw for draw) and fire bottom-up
-    /// at their interval boundaries. Depth ≥ 4 requires
-    /// [`SyncPolicy::FullSync`]: partial-participation semantics for
-    /// middle tiers are not defined yet.
+    /// at their interval boundaries, through
+    /// `Strategy::tier_aggregate_stale` with per-subtree staleness — so
+    /// depth ≥ 4 runs under every [`SyncPolicy`], with stale subtree
+    /// edges carried over at bounded age (DESIGN §14).
     pub tiers: Option<TierTree>,
 }
 
@@ -191,16 +192,6 @@ impl SimConfig {
             None => self.policy.validate()?,
         }
         self.faults.validate()?;
-        if let Some(tree) = &self.tiers {
-            if tree.depth() > 3 && self.policy != SyncPolicy::FullSync {
-                return Err(format!(
-                    "depth-{} tier trees require SyncPolicy::FullSync; middle tiers \
-                     have no partial-participation semantics under {}",
-                    tree.depth(),
-                    self.policy.label()
-                ));
-            }
-        }
         Ok(())
     }
 }
@@ -302,7 +293,7 @@ mod tests {
     }
 
     #[test]
-    fn deep_tier_trees_are_gated_to_full_sync() {
+    fn deep_tier_trees_validate_under_every_policy() {
         use hieradmo_topology::{TierSpec, TierTree};
         let deep = TierTree::new(vec![
             TierSpec::new(2, 2),
@@ -319,18 +310,24 @@ mod tests {
                 policy,
             )
         };
-        // Depth 4 under FullSync: fine.
-        let cfg = base(SyncPolicy::FullSync).with_tiers(deep.clone());
-        assert!(cfg.validate(Some(2)).is_ok());
-        // Depth 4 under any partial-participation policy: rejected.
-        let cfg = base(SyncPolicy::Deadline {
-            quorum: 0.5,
-            timeout_ms: 100.0,
-        })
-        .with_tiers(deep);
-        let err = cfg.validate(Some(2)).unwrap_err();
-        assert!(err.contains("FullSync"), "{err}");
-        // Depth 3 carries no such restriction.
+        // Middle tiers have staleness semantics (tier_aggregate_stale with
+        // bounded-age carry-over), so depth ≥ 4 validates under every
+        // policy — the former FullSync-only gate is gone.
+        for policy in [
+            SyncPolicy::FullSync,
+            SyncPolicy::Deadline {
+                quorum: 0.5,
+                timeout_ms: 100.0,
+            },
+            SyncPolicy::AsyncAge { max_staleness: 3 },
+        ] {
+            let cfg = base(policy).with_tiers(deep.clone());
+            assert!(
+                cfg.validate(Some(2)).is_ok(),
+                "depth-4 must validate under {}",
+                cfg.policy.label()
+            );
+        }
         let cfg = base(SyncPolicy::AsyncAge { max_staleness: 3 })
             .with_tiers(TierTree::three_tier(2, 2, 5, 2));
         assert!(cfg.validate(Some(2)).is_ok());

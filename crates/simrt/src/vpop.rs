@@ -3,57 +3,92 @@
 //! events processed are all `O(active)`, never `O(registered)`.
 //!
 //! [`simulate_virtual`] is the event-driven counterpart of
-//! [`hieradmo_core::population::run_virtual`]. Under full participation it
-//! materializes the population and delegates to [`crate::simulate`]
-//! (bitwise identical to the classic path); under sampling it runs a
-//! full-sync event loop whose per-slot RNG streams — mini-batch order,
-//! adversary draws, network delays — all re-derive from
-//! `(seed, worker_id, round)`, so the model trajectory is bitwise
-//! identical to `run_virtual`'s and independent of thread count (gated by
-//! `tests/sampling_equivalence.rs`).
+//! [`hieradmo_core::population::run_virtual`] and its tiered variants.
+//! Under full participation it materializes the population and delegates
+//! to [`crate::simulate`] (bitwise identical to the classic path); under
+//! sampling it runs an event loop whose per-slot RNG streams — mini-batch
+//! order, adversary draws, network delays, fault draws, dropout masks —
+//! all re-derive from `(seed, worker_id, round)`, so under
+//! [`SyncPolicy::FullSync`] the model trajectory is bitwise identical to
+//! `run_virtual`'s / `run_virtual_tiered`'s and independent of thread
+//! count (gated by `tests/sampling_equivalence.rs`).
 //!
 //! Edges progress their rounds independently between cloud barriers;
 //! evaluation and γ traces are staged per round at *edge* granularity and
 //! emitted once every edge has contributed, reproducing the tick-driven
 //! round means exactly.
+//!
+//! # Relaxed policies over sampled cohorts
+//!
+//! Because a cohort worker only exists for one round and re-materializes
+//! from its edge at the next round's start, the straggler semantics of
+//! [`SyncPolicy::Deadline`] and [`SyncPolicy::AsyncAge`] simplify to
+//! *waiver-at-the-round*: a straggler that misses its round's firing is
+//! discarded (its slot re-materializes next round — the rejoin is free),
+//! and the slot's carried state enters the aggregation hook at staleness
+//! ≥ 1. Deadline rounds therefore see per-slot staleness of 0 or 1;
+//! AsyncAge tracks a per-slot buffer age that grows one per missed round
+//! and is bounded by `max_staleness` exactly as in the classic engine.
+//!
+//! # Faults over sampled cohorts
+//!
+//! Transient crashes are decided *at materialization*: sampled worker `g`
+//! in round `k` draws once from its private `(net_seed, g, k)` fault
+//! stream ([`fault_stream`]) and, if it crashes, sits the round out
+//! (absent: no download, no steps, no upload) — the event-driven spelling
+//! of a crash that costs the whole interval. Absent slots are waived at
+//! every policy's barrier, and rejoin automatically at the next
+//! materialization. Permanent crashes remove a registered id from every
+//! cohort from `at_ms` on. Delay spikes multiply individual step times
+//! from the same per-`(worker, round)` stream. Link faults remain
+//! unsupported under sampling (the retry/duplicate protocol needs
+//! per-actor mailbox state that virtual workers do not keep).
 
 use std::collections::BTreeMap;
 
 use hieradmo_core::byzantine::corrupt_upload;
 use hieradmo_core::driver::{build_train_probe, evaluate_on_replicas, RunError};
 use hieradmo_core::population::{
-    adversary_stream, batcher_seed, delay_stream, materialize_edge_cohort, virtual_global_params,
-    weighted_edge_average, CohortSampler, WorkerPopulation,
+    adversary_stream, batcher_seed, cohort_dropout_mask, delay_stream, fault_stream,
+    materialize_edge_cohort, virtual_global_params, weighted_edge_average, CohortSampler,
+    WorkerPopulation,
 };
-use hieradmo_core::{FlState, RunConfig, Strategy};
+use hieradmo_core::{EdgeState, FlState, RunConfig, Strategy, TierScope, WorkerState};
 use hieradmo_data::{Batcher, Dataset};
 use hieradmo_metrics::{
     ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
     EvalPoint, FaultCounters, TimedCurve, TimedPoint,
 };
 use hieradmo_models::{Evaluation, Model};
-use hieradmo_netsim::{AdversarySampler, Architecture, AttackModel, DelaySampler};
+use hieradmo_netsim::{AdversarySampler, Architecture, AttackModel, DelaySampler, FaultSampler};
 use hieradmo_tensor::Vector;
-use hieradmo_topology::{Hierarchy, Weights};
+use hieradmo_topology::{Hierarchy, TierAggregation, TierTree, Weights};
 
-use crate::driver::{SimError, SimResult};
+use crate::driver::{quorum_count, SimError, SimResult};
 use crate::event::{ActorId, EventQueue};
 use crate::policy::{SimConfig, SyncPolicy};
 
 /// One scheduled occurrence in the virtual-population simulation. `slot`
 /// indexes the cohort (the active actors), never the registered
-/// population.
+/// population. Slot events carry the round they belong to and boundary
+/// events the submission boundary, so anything a relaxed policy leaves in
+/// flight past its firing is dropped instead of leaking into the next
+/// materialization.
 enum VEv {
     /// An edge begins its next round: sample the cohort, charge downloads.
     StartRound { edge: usize },
     /// A cohort slot's model download landed; local steps begin.
-    Arrive { slot: usize },
+    Arrive { slot: usize, round: usize },
     /// A cohort slot finished one local step.
-    StepDone { slot: usize },
+    StepDone { slot: usize, round: usize },
     /// A cohort slot's end-of-round upload reached its edge.
-    Upload { slot: usize },
+    Upload { slot: usize, round: usize },
+    /// A deadline edge round's quorum timer expired.
+    EdgeTimeout { edge: usize, round: usize },
     /// An edge's boundary-round submission reached the cloud.
-    CloudSubmit { edge: usize },
+    CloudSubmit { edge: usize, boundary: usize },
+    /// A deadline cloud boundary's quorum timer expired.
+    CloudTimeout { boundary: usize },
     /// The cloud's reply reached an edge.
     CloudReply { edge: usize },
 }
@@ -73,6 +108,11 @@ struct SlotCtx {
     batcher: Batcher,
     /// This round's private delay stream.
     delays: DelaySampler,
+    /// This round's private fault stream (`None` when the plan is empty,
+    /// so fault-free runs draw nothing).
+    fsampler: Option<FaultSampler>,
+    /// Per-step dropout mask for this round (all-false without dropout).
+    dropped: Vec<bool>,
     /// The occupying worker's attack, if it is Byzantine.
     attack: Option<AttackModel>,
 }
@@ -80,8 +120,20 @@ struct SlotCtx {
 struct EdgeSim {
     /// Current round (1-based; 0 before the first `StartRound`).
     round: usize,
-    /// Cohort uploads landed this round.
-    arrived: usize,
+    /// The current round's aggregation already ran: anything still in
+    /// flight for it is a straggler and is discarded on arrival.
+    fired: bool,
+    /// Per-slot upload landed this round.
+    arrived: Vec<bool>,
+    /// Per-slot fault absence this round (crashed at materialization).
+    absent: Vec<bool>,
+    /// Per-slot buffer age, in rounds since the slot last contributed
+    /// ([`SyncPolicy::AsyncAge`] only).
+    age: Vec<usize>,
+    /// The deadline quorum timer for the current round expired.
+    timed_out: bool,
+    /// The edge has finished its final round.
+    done: bool,
     /// Busy virtual milliseconds (aggregation compute + cloud transfers).
     busy_ms: f64,
     /// Private delay stream for aggregation compute and cloud hops.
@@ -106,12 +158,36 @@ struct VEngine<'a, M, S: ?Sized> {
     fl: FlState,
     slots: Vec<SlotCtx>,
     edges: Vec<EdgeSim>,
+    /// The sampled sub-tree (the registered tree with its leaf fanout
+    /// swapped for the uniform cohort size), when this is an N-tier run.
+    cohort_tree: Option<TierTree>,
+    /// Edge rounds per cloud submission: `π`, or the deepest non-identity
+    /// middle tier's `TierTree::sync_rounds` on N-tier runs.
+    submit_period: usize,
+    /// The fault plan injects something; `false` guarantees zero fault
+    /// draws and a run bitwise identical to one without fault injection.
+    faults_on: bool,
     cloud_arrived: Vec<bool>,
+    /// Next submission boundary to fire (1-based;
+    /// [`SyncPolicy::FullSync`] / [`SyncPolicy::Deadline`]).
+    cloud_boundary: usize,
+    /// Cloud firings so far ([`SyncPolicy::AsyncAge`] boundary counter).
+    cloud_firings: usize,
+    /// Last boundary each edge submitted (deadline staleness).
+    cloud_last_boundary: Vec<usize>,
+    /// Per-edge age, in firings since last participation (async).
+    cloud_age: Vec<usize>,
+    /// The deadline quorum timer for the current boundary expired.
+    cloud_timed_out: bool,
     cloud_busy_ms: f64,
     cloud_sampler: DelaySampler,
     /// Aggregate busy time of all sampled workers (the worker tier is
     /// virtual, so per-actor accounting would be `O(registered)`).
     workers_busy_ms: f64,
+    /// Aggregate fault tallies of all sampled workers, ditto.
+    worker_faults: FaultCounters,
+    /// One flag per permanent-crash plan entry: already counted.
+    permanent_counted: Vec<bool>,
     queue: EventQueue<VEv>,
     /// Per-round staged edge `x_plus` snapshots for evaluation.
     eval_stage: BTreeMap<usize, (Vec<Option<Vector>>, f64)>,
@@ -119,6 +195,8 @@ struct VEngine<'a, M, S: ?Sized> {
     gamma_stage: BTreeMap<usize, Vec<Option<(f32, f32)>>>,
     gamma_trace: Vec<(usize, f32)>,
     cos_trace: Vec<(usize, f32)>,
+    /// Per-middle-depth `(round, mean γℓ)` traces (N-tier runs).
+    tier_gamma: Vec<Vec<(usize, f32)>>,
     evals: Vec<EvalRec>,
     /// One scratch model for gradient math (params are set before every
     /// use, so slots can share it) and the evaluation replicas.
@@ -147,10 +225,19 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         (gid % self.sim.env.worker_devices.len() as u64) as usize
     }
 
+    /// A slot event from a round that already fired (or was replaced by a
+    /// newer materialization) — a straggler to be discarded.
+    fn slot_event_stale(&self, slot: usize, round: usize) -> bool {
+        let e = self.slots[slot].edge;
+        self.edges[e].round != round || self.edges[e].fired
+    }
+
     fn on_start_round(&mut self, e: usize, now: f64) {
         self.edges[e].round += 1;
         let k = self.edges[e].round;
-        self.edges[e].arrived = 0;
+        self.edges[e].fired = false;
+        self.edges[e].timed_out = false;
+        self.edges[e].arrived.fill(false);
         let ids = materialize_edge_cohort(
             &mut self.fl,
             self.population,
@@ -162,6 +249,33 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         let range = self.fl.hierarchy.edge_workers(e);
         for (j, &g) in ids.iter().enumerate() {
             let slot = range.start + j;
+            let mut fsampler = self
+                .faults_on
+                .then(|| FaultSampler::from_stream(self.sim.net_seed, fault_stream(g, k as u64)));
+            // Fault waiver at materialization: the round's crash draw is
+            // taken up front, so absence is a per-(worker, round) fact
+            // independent of event interleaving. An absent slot loses its
+            // whole round and rejoins at the next materialization.
+            let mut absent = false;
+            for (idx, perm) in self.sim.faults.permanent.iter().enumerate() {
+                if perm.worker as u64 == g && perm.at_ms <= now {
+                    if !self.permanent_counted[idx] {
+                        self.permanent_counted[idx] = true;
+                        self.worker_faults.crashes += 1;
+                    }
+                    absent = true;
+                }
+            }
+            if !absent {
+                if let (Some(c), Some(fs)) = (self.sim.faults.crash.as_ref(), fsampler.as_mut()) {
+                    if let Some(downtime) = fs.crash_downtime_ms(c) {
+                        absent = true;
+                        self.worker_faults.crashes += 1;
+                        self.worker_faults.recovery_ms += downtime;
+                    }
+                }
+            }
+            self.edges[e].absent[j] = absent;
             let ctx = &mut self.slots[slot];
             ctx.gid = g;
             ctx.shard = self.population.shard_of(g);
@@ -172,51 +286,95 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 batcher_seed(self.cfg.seed, g, k as u64),
             );
             ctx.delays = DelaySampler::from_stream(self.sim.net_seed, delay_stream(g, k as u64));
+            ctx.fsampler = fsampler;
+            ctx.dropped =
+                cohort_dropout_mask(self.cfg.seed, g, k as u64, self.cfg.tau, self.cfg.dropout);
             ctx.attack = self.cfg.adversary.attack_for(g as usize);
+            if absent {
+                self.worker_faults.lost_uploads += 1;
+                continue; // down for the round: no download, no steps
+            }
             // Model download to the freshly sampled participant.
-            let d = ctx
+            let d = self.slots[slot]
                 .delays
                 .transfer_ms(&self.sim.env.worker_edge_link, self.sim.download_bytes);
             self.workers_busy_ms += d;
-            self.queue
-                .push(now + d, ActorId::Worker(slot), VEv::Arrive { slot });
+            self.queue.push(
+                now + d,
+                ActorId::Worker(slot),
+                VEv::Arrive { slot, round: k },
+            );
+        }
+        if self.edges[e].absent.iter().all(|&a| a) {
+            // Every sampled participant is down: the round fires empty and
+            // the edge relays its carried state at the boundaries, so no
+            // barrier above can deadlock on it.
+            self.fire_edge(e, now);
         }
     }
 
     fn schedule_step(&mut self, slot: usize, now: f64) {
-        let device = self.device_of(self.slots[slot].gid);
-        let d = self.slots[slot]
-            .delays
-            .compute_ms(&self.sim.env.worker_devices[device]);
-        self.workers_busy_ms += d;
-        self.queue
-            .push(now + d, ActorId::Worker(slot), VEv::StepDone { slot });
-    }
-
-    fn on_step_done(&mut self, slot: usize, now: f64) {
         let e = self.slots[slot].edge;
         let k = self.edges[e].round;
-        self.slots[slot].steps += 1;
-        let t = (k - 1) * self.cfg.tau + self.slots[slot].steps;
-        let ctx = &mut self.slots[slot];
-        ctx.batcher.next_batch_into(&mut self.batch);
-        let data = &self.shards[ctx.shard];
-        let model = &mut self.step_model;
-        let batch = &self.batch;
-        let clip = self.cfg.clip_norm;
-        let mut grad_fn = |p: &Vector, out: &mut Vector| {
-            model.set_params(p);
-            model.loss_and_grad_into(data, batch, out);
-            if let Some(max_norm) = clip {
-                let norm = out.norm();
-                if norm > max_norm {
-                    out.scale_in_place(max_norm / norm);
-                }
+        let next = self.slots[slot].steps;
+        if self.slots[slot].dropped[next] {
+            // Dropped step: the device sits idle — no compute draw, and
+            // (in `on_step_done`) no mini-batch draw and no local step,
+            // exactly matching the tick-driven cohort engine.
+            self.queue
+                .push(now, ActorId::Worker(slot), VEv::StepDone { slot, round: k });
+            return;
+        }
+        let device = self.device_of(self.slots[slot].gid);
+        let mut d = self.slots[slot]
+            .delays
+            .compute_ms(&self.sim.env.worker_devices[device]);
+        if let Some(s) = self.sim.faults.spikes.as_ref() {
+            let spike = self.slots[slot]
+                .fsampler
+                .as_mut()
+                .and_then(|fs| fs.spike_factor(s));
+            if let Some(f) = spike {
+                d *= f;
+                self.worker_faults.delay_spikes += 1;
             }
-        };
-        self.strategy
-            .local_step(t, &mut self.fl.workers[slot], &mut grad_fn);
-        if self.slots[slot].steps < self.cfg.tau {
+        }
+        self.workers_busy_ms += d;
+        self.queue.push(
+            now + d,
+            ActorId::Worker(slot),
+            VEv::StepDone { slot, round: k },
+        );
+    }
+
+    fn on_step_done(&mut self, slot: usize, round: usize, now: f64) {
+        if self.slot_event_stale(slot, round) {
+            return;
+        }
+        self.slots[slot].steps += 1;
+        let steps = self.slots[slot].steps;
+        if !self.slots[slot].dropped[steps - 1] {
+            let t = (round - 1) * self.cfg.tau + steps;
+            let ctx = &mut self.slots[slot];
+            ctx.batcher.next_batch_into(&mut self.batch);
+            let data = &self.shards[ctx.shard];
+            let model = &mut self.step_model;
+            let batch = &self.batch;
+            let clip = self.cfg.clip_norm;
+            let mut grad_fn = |p: &Vector, out: &mut Vector| {
+                model.set_params(p);
+                model.loss_and_grad_into(data, batch, out);
+                if let Some(max_norm) = clip {
+                    let norm = out.norm();
+                    if norm > max_norm {
+                        out.scale_in_place(max_norm / norm);
+                    }
+                }
+            };
+            self.strategy
+                .local_step(t, &mut self.fl.workers[slot], &mut grad_fn);
+        }
+        if steps < self.cfg.tau {
             self.schedule_step(slot, now);
         } else {
             let d = self.slots[slot]
@@ -224,13 +382,18 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 .transfer_ms(&self.sim.env.worker_edge_link, self.sim.upload_bytes);
             self.workers_busy_ms += d;
             self.queue
-                .push(now + d, ActorId::Worker(slot), VEv::Upload { slot });
+                .push(now + d, ActorId::Worker(slot), VEv::Upload { slot, round });
         }
     }
 
-    fn on_upload(&mut self, slot: usize, now: f64) {
+    fn on_upload(&mut self, slot: usize, round: usize, now: f64) {
+        if self.slot_event_stale(slot, round) {
+            // A straggler past its round's firing: the slot has been (or
+            // is about to be) re-materialized — the upload is discarded
+            // and the rejoin happens at the next round start for free.
+            return;
+        }
         let e = self.slots[slot].edge;
-        let k = self.edges[e].round;
         if let Some(attack) = self.slots[slot].attack {
             let g = self.slots[slot].gid;
             let entry = self
@@ -243,7 +406,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             // A fresh per-(worker, round) stream: the draw is independent
             // of event interleaving and of every other corruption.
             let mut sampler =
-                AdversarySampler::from_stream(self.cfg.seed, adversary_stream(g, k as u64));
+                AdversarySampler::from_stream(self.cfg.seed, adversary_stream(g, round as u64));
             corrupt_upload(
                 &mut self.fl.workers[slot],
                 &attack,
@@ -251,22 +414,132 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 &mut self.adversaries[entry],
             );
         }
-        self.edges[e].arrived += 1;
-        if self.edges[e].arrived == self.fl.hierarchy.workers_in_edge(e) {
+        let j = slot - self.fl.hierarchy.edge_workers(e).start;
+        self.edges[e].arrived[j] = true;
+        match self.sim.policy {
+            SyncPolicy::FullSync => self.maybe_fire_edge_full(e, now),
+            SyncPolicy::Deadline { timeout_ms, .. } => {
+                let first = self.edges[e].arrived.iter().filter(|&&a| a).count() == 1;
+                if first {
+                    self.queue.push(
+                        now + timeout_ms,
+                        ActorId::Edge(e),
+                        VEv::EdgeTimeout { edge: e, round },
+                    );
+                }
+                self.maybe_fire_edge_deadline(e, now);
+            }
+            SyncPolicy::AsyncAge { .. } => {
+                self.edges[e].age[j] = 0;
+                self.maybe_fire_edge_async(e, now);
+            }
+        }
+    }
+
+    fn on_edge_timeout(&mut self, e: usize, round: usize, now: f64) {
+        if self.edges[e].round != round || self.edges[e].fired {
+            return; // stale timer for an already-fired round
+        }
+        self.edges[e].timed_out = true;
+        self.maybe_fire_edge_deadline(e, now);
+    }
+
+    /// Full-sync edge barrier with the fault waiver: fires once every
+    /// non-absent slot has arrived. With no faults this is exactly the
+    /// all-arrived barrier.
+    fn maybe_fire_edge_full(&mut self, e: usize, now: f64) {
+        let edge = &self.edges[e];
+        if edge.fired || !edge.arrived.iter().any(|&a| a) {
+            return;
+        }
+        let all = edge
+            .arrived
+            .iter()
+            .zip(&edge.absent)
+            .all(|(&a, &ab)| a || ab);
+        if all {
             self.fire_edge(e, now);
         }
     }
 
+    fn maybe_fire_edge_deadline(&mut self, e: usize, now: f64) {
+        let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
+            return;
+        };
+        let edge = &self.edges[e];
+        if edge.fired {
+            return;
+        }
+        let have = edge.arrived.iter().filter(|&&a| a).count();
+        if have == 0 {
+            return;
+        }
+        // Quorum re-derivation: absent (crashed-for-the-round) slots leave
+        // the denominator, so faults can never deadlock the round.
+        let live_total = edge.arrived.len() - edge.absent.iter().filter(|&&a| a).count();
+        if have == live_total || (edge.timed_out && have >= quorum_count(quorum, live_total)) {
+            self.fire_edge(e, now);
+        }
+    }
+
+    fn maybe_fire_edge_async(&mut self, e: usize, now: f64) {
+        let SyncPolicy::AsyncAge { max_staleness } = self.sim.policy else {
+            return;
+        };
+        let edge = &self.edges[e];
+        if edge.fired || !edge.arrived.iter().any(|&a| a) {
+            return;
+        }
+        // A too-stale absent slot blocks the firing — unless it is down
+        // for the round and cannot catch up: the staleness cap is waived
+        // for slots that will re-materialize anyway.
+        let blocked = (0..edge.arrived.len())
+            .any(|j| !edge.arrived[j] && !edge.absent[j] && edge.age[j] >= max_staleness);
+        if !blocked {
+            self.fire_edge(e, now);
+        }
+    }
+
+    /// Fires the edge's current round with whoever has arrived: runs the
+    /// strategy's (staleness-aware) edge hook against the cohort, then
+    /// either submits to the cloud (boundary rounds) or finishes the round
+    /// locally. An empty round (every slot absent) skips the hook and
+    /// relays the edge's carried state.
     fn fire_edge(&mut self, e: usize, now: f64) {
         let k = self.edges[e].round;
+        self.edges[e].fired = true;
+        let c = self.edges[e].arrived.len();
+        let any_arrived = self.edges[e].arrived.iter().any(|&a| a);
+        let staleness: Vec<usize> = match self.sim.policy {
+            SyncPolicy::FullSync => vec![0; c],
+            // Slots exist for one round, so deadline staleness is binary:
+            // arrived in time (0) or waived and re-materialized (1).
+            SyncPolicy::Deadline { .. } => (0..c)
+                .map(|j| usize::from(!self.edges[e].arrived[j]))
+                .collect(),
+            SyncPolicy::AsyncAge { .. } => self.edges[e].age.clone(),
+        };
         let d = self.edges[e].sampler.compute_ms(&self.sim.env.edge_device);
         self.edges[e].busy_ms += d;
-        self.strategy.edge_aggregate(k, &mut self.fl.edge_view(e));
+        if any_arrived {
+            let mut view = self.fl.edge_view(e);
+            self.strategy.edge_aggregate_stale(k, &mut view, &staleness);
+        }
         let (gamma, cos) = (self.fl.edges[e].gamma_edge, self.fl.edges[e].cos_theta);
         self.stage_gamma(k, e, gamma, cos);
-        if k.is_multiple_of(self.cfg.pi) {
-            // Boundary round: submit to the cloud and wait for its reply
-            // before evaluating or advancing.
+        if let SyncPolicy::AsyncAge { .. } = self.sim.policy {
+            for j in 0..c {
+                if self.edges[e].arrived[j] {
+                    self.edges[e].age[j] = 0;
+                } else {
+                    self.edges[e].age[j] += 1;
+                }
+            }
+        }
+        if k.is_multiple_of(self.submit_period) {
+            // Boundary round: submit to the cloud (where any middle tiers
+            // are co-hosted) and wait for its reply before evaluating or
+            // advancing.
             let flows = self.edges.len();
             let du = self.edges[e].sampler.shared_transfer_ms(
                 &self.sim.env.edge_cloud_link,
@@ -274,8 +547,14 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 flows,
             );
             self.edges[e].busy_ms += du;
-            self.queue
-                .push(now + d + du, ActorId::Edge(e), VEv::CloudSubmit { edge: e });
+            self.queue.push(
+                now + d + du,
+                ActorId::Edge(e),
+                VEv::CloudSubmit {
+                    edge: e,
+                    boundary: k / self.submit_period,
+                },
+            );
         } else {
             self.finish_edge_round(e, now + d);
         }
@@ -294,41 +573,202 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             self.queue
                 .push(now, ActorId::Edge(e), VEv::StartRound { edge: e });
         } else {
+            self.edges[e].done = true;
             self.edges_done += 1;
         }
     }
 
-    fn on_cloud_submit(&mut self, e: usize, now: f64) {
-        self.cloud_arrived[e] = true;
-        if self.cloud_arrived.iter().all(|&a| a) {
+    fn on_cloud_submit(&mut self, e: usize, p: usize, now: f64) {
+        match self.sim.policy {
+            SyncPolicy::FullSync => {
+                // Edges never die in the virtual engine (cohorts
+                // re-materialize), so the full barrier always completes.
+                self.cloud_arrived[e] = true;
+                self.cloud_last_boundary[e] = p;
+                if self.cloud_arrived.iter().all(|&a| a) {
+                    self.fire_cloud(now);
+                }
+            }
+            SyncPolicy::Deadline { timeout_ms, .. } => {
+                if p < self.cloud_boundary {
+                    // Late: the boundary fired without this edge (its
+                    // carried state was merged at staleness ≥ 1). The
+                    // continuation is a release without a pull — the edge
+                    // keeps its own state and rolls straight on.
+                    self.cloud_last_boundary[e] = p;
+                    self.finish_edge_round(e, now);
+                } else {
+                    let first = !self.cloud_arrived.iter().any(|&a| a);
+                    self.cloud_arrived[e] = true;
+                    self.cloud_last_boundary[e] = p;
+                    if first {
+                        let boundary = self.cloud_boundary;
+                        self.queue.push(
+                            now + timeout_ms,
+                            ActorId::Cloud,
+                            VEv::CloudTimeout { boundary },
+                        );
+                    }
+                    self.maybe_fire_cloud_deadline(now);
+                }
+            }
+            SyncPolicy::AsyncAge { .. } => {
+                self.cloud_arrived[e] = true;
+                self.cloud_age[e] = 0;
+                self.cloud_last_boundary[e] = p;
+                self.maybe_fire_cloud_async(now);
+            }
+        }
+    }
+
+    fn on_cloud_timeout(&mut self, boundary: usize, now: f64) {
+        if self.cloud_boundary != boundary {
+            return; // stale timer for an already-fired boundary
+        }
+        self.cloud_timed_out = true;
+        self.maybe_fire_cloud_deadline(now);
+    }
+
+    fn maybe_fire_cloud_deadline(&mut self, now: f64) {
+        let SyncPolicy::Deadline { quorum, .. } = self.sim.policy else {
+            return;
+        };
+        let have = self.cloud_arrived.iter().filter(|&&a| a).count();
+        if have == 0 {
+            return;
+        }
+        let total = self.cloud_arrived.len();
+        if have == total || (self.cloud_timed_out && have >= quorum_count(quorum, total)) {
             self.fire_cloud(now);
         }
     }
 
+    fn maybe_fire_cloud_async(&mut self, now: f64) {
+        let SyncPolicy::AsyncAge { max_staleness } = self.sim.policy else {
+            return;
+        };
+        if !self.cloud_arrived.iter().any(|&a| a) {
+            return;
+        }
+        // A too-stale absent edge blocks the firing — unless it has
+        // retired (finished its final round) and will never submit again.
+        let blocked = (0..self.cloud_arrived.len()).any(|l| {
+            !self.cloud_arrived[l] && self.cloud_age[l] >= max_staleness && !self.edges[l].done
+        });
+        if !blocked {
+            self.fire_cloud(now);
+        }
+    }
+
+    /// Fires the cloud boundary with whichever edges have submitted. For
+    /// partial boundaries the absent edges' state is snapshotted around
+    /// the hooks, so the global update reads their carried-over
+    /// submissions but does not overwrite state they never received.
+    /// Middle tiers (co-hosted here) fire bottom-up at their own interval
+    /// boundaries with per-subtree staleness slices, then the root at its
+    /// `π` boundary — mirroring the classic engine's `fire_cloud`.
     fn fire_cloud(&mut self, now: f64) {
-        // Full sync: every edge is parked at the same boundary round.
-        let k = self.edges[0].round;
-        let p = k / self.cfg.pi;
+        let l_count = self.cloud_arrived.len();
+        let participants: Vec<usize> = (0..l_count).filter(|&l| self.cloud_arrived[l]).collect();
+        let (p, staleness): (usize, Vec<usize>) = match self.sim.policy {
+            SyncPolicy::FullSync => (self.cloud_boundary, vec![0; l_count]),
+            SyncPolicy::Deadline { .. } => {
+                let r = self.cloud_boundary;
+                let stale = (0..l_count)
+                    .map(|l| r.saturating_sub(self.cloud_last_boundary[l]))
+                    .collect();
+                (r, stale)
+            }
+            SyncPolicy::AsyncAge { .. } => (self.cloud_firings + 1, self.cloud_age.clone()),
+        };
         let d = self.cloud_sampler.compute_ms(&self.sim.env.cloud_device);
         self.cloud_busy_ms += d;
-        self.strategy.cloud_aggregate(p, &mut self.fl);
-        self.cloud_arrived.fill(false);
+        let saved: Vec<(usize, EdgeState, Vec<WorkerState>)> = (0..l_count)
+            .filter(|l| !participants.contains(l))
+            .map(|l| {
+                (
+                    l,
+                    self.fl.edges[l].clone(),
+                    self.fl.workers[self.fl.hierarchy.edge_workers(l)].to_vec(),
+                )
+            })
+            .collect();
+        // The edge round this submission closes; `p` counts submission
+        // boundaries, which fall every `submit_period` edge rounds.
+        let k = p * self.submit_period;
+        if let Some(tree) = self.cohort_tree.clone() {
+            for td in tree.middle_depths().rev() {
+                // Identity tiers fire nothing and record nothing — a
+                // pass-through tree must match its collapse bitwise,
+                // γ traces included.
+                if tree.levels()[td].aggregation == TierAggregation::Identity {
+                    continue;
+                }
+                let period = tree.sync_rounds(td);
+                if k.is_multiple_of(period) {
+                    let round = k / period;
+                    let span = tree.edges_per_node(td);
+                    for node in 0..tree.nodes_at(td) {
+                        self.strategy.tier_aggregate_stale(
+                            TierScope::Middle {
+                                depth: td,
+                                node,
+                                state: &mut self.fl,
+                            },
+                            round,
+                            &staleness[node * span..(node + 1) * span],
+                        );
+                    }
+                    let tier = &self.fl.middle[td - 1];
+                    let mean = tier.iter().map(|s| s.gamma_edge).sum::<f32>() / tier.len() as f32;
+                    self.tier_gamma[td - 1].push((round, mean));
+                }
+            }
+        }
+        // The root fires only on its own boundary — every submission on
+        // three-tier runs, every `π / submit_period`-th on N-tier runs.
+        if k.is_multiple_of(self.cfg.pi) {
+            self.strategy
+                .cloud_aggregate_stale(k / self.cfg.pi, &mut self.fl, &staleness);
+        }
+        for (l, es, ws) in saved {
+            self.fl.edges[l] = es;
+            let range = self.fl.hierarchy.edge_workers(l);
+            self.fl.workers[range].clone_from_slice(&ws);
+        }
         let flows = self.edges.len();
-        for e in 0..self.edges.len() {
-            let dd = self.edges[e].sampler.shared_transfer_ms(
+        for &l in &participants {
+            let dd = self.edges[l].sampler.shared_transfer_ms(
                 &self.sim.env.edge_cloud_link,
                 self.sim.download_bytes,
                 flows,
             );
-            self.edges[e].busy_ms += dd;
+            self.edges[l].busy_ms += dd;
             self.queue
-                .push(now + d + dd, ActorId::Edge(e), VEv::CloudReply { edge: e });
+                .push(now + d + dd, ActorId::Edge(l), VEv::CloudReply { edge: l });
+        }
+        self.cloud_firings += 1;
+        self.cloud_arrived.fill(false);
+        self.cloud_timed_out = false;
+        match self.sim.policy {
+            SyncPolicy::FullSync | SyncPolicy::Deadline { .. } => self.cloud_boundary += 1,
+            SyncPolicy::AsyncAge { .. } => {
+                for (l, a) in self.cloud_age.iter_mut().enumerate() {
+                    if participants.contains(&l) {
+                        *a = 0;
+                    } else {
+                        *a += 1;
+                    }
+                }
+            }
         }
     }
 
     /// Stages edge `e`'s round-`k` post-aggregation model; fires the
     /// evaluation once all edges have contributed, on the same
-    /// population-weighted edge average as the tick-driven engine.
+    /// population-weighted edge average as the tick-driven engine. Every
+    /// edge fires every round exactly once under every policy (stragglers
+    /// are waived, never re-fired), so the stage always completes.
     fn stage_eval(&mut self, k: usize, e: usize, x: Vector, at_ms: f64) {
         let l = self.edges.len();
         let (xs, last_ms) = self
@@ -386,10 +826,16 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             self.events += 1;
             match payload {
                 VEv::StartRound { edge } => self.on_start_round(edge, time),
-                VEv::Arrive { slot } => self.schedule_step(slot, time),
-                VEv::StepDone { slot } => self.on_step_done(slot, time),
-                VEv::Upload { slot } => self.on_upload(slot, time),
-                VEv::CloudSubmit { edge } => self.on_cloud_submit(edge, time),
+                VEv::Arrive { slot, round } => {
+                    if !self.slot_event_stale(slot, round) {
+                        self.schedule_step(slot, time);
+                    }
+                }
+                VEv::StepDone { slot, round } => self.on_step_done(slot, round, time),
+                VEv::Upload { slot, round } => self.on_upload(slot, round, time),
+                VEv::EdgeTimeout { edge, round } => self.on_edge_timeout(edge, round, time),
+                VEv::CloudSubmit { edge, boundary } => self.on_cloud_submit(edge, boundary, time),
+                VEv::CloudTimeout { boundary } => self.on_cloud_timeout(boundary, time),
                 VEv::CloudReply { edge } => self.finish_edge_round(edge, time),
             }
         }
@@ -438,7 +884,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         });
         faults.push(ActorFaults {
             actor: "workers".to_string(),
-            counters: FaultCounters::default(),
+            counters: self.worker_faults,
         });
         for (l, e) in self.edges.iter().enumerate() {
             utilization.push(ActorUtilization {
@@ -478,7 +924,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             timed_curve: timed,
             gamma_trace: self.gamma_trace,
             cos_trace: self.cos_trace,
-            tier_gamma: Vec::new(),
+            tier_gamma: self.tier_gamma,
             final_params: virtual_global_params(&self.fl),
             simulated_seconds: end_ms / 1000.0,
             utilization,
@@ -491,9 +937,11 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
 
 /// Runs `strategy` over a virtual population under the co-simulation: the
 /// event-driven counterpart of
-/// [`hieradmo_core::population::run_virtual`], with the same sampled
-/// model trajectory bit for bit (gated by `tests/sampling_equivalence.rs`)
-/// and an honest virtual-time axis on top.
+/// [`hieradmo_core::population::run_virtual`] and
+/// [`hieradmo_core::population::run_virtual_tiered`], with the same
+/// sampled model trajectory bit for bit under [`SyncPolicy::FullSync`]
+/// (gated by `tests/sampling_equivalence.rs`) and an honest virtual-time
+/// axis on top.
 ///
 /// Under full participation this materializes the population and
 /// delegates to [`crate::simulate`] — `sim.env.worker_devices` must then
@@ -507,9 +955,19 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
 /// report as one aggregate entry; `adversaries` carries one entry per
 /// plan entry instead of one per registered worker).
 ///
-/// Sampled-path restrictions (validated): [`SyncPolicy::FullSync`] only,
-/// no fault plan, no N-tier tree, [`Architecture::ThreeTier`] only, no
-/// dropout, and no legacy `edges`/`workers_per_edge` fields.
+/// Sampled runs compose with every [`SyncPolicy`] (stragglers are waived
+/// per round and rejoin at the next materialization — see the module
+/// docs), with N-tier trees (`sim.tiers`: middle tiers fire at the cloud
+/// actor through `Strategy::tier_aggregate_stale` with per-subtree
+/// staleness), with crash/spike fault plans (absence decided at
+/// materialization from per-`(worker, round)` streams), and with
+/// dropout ([`cohort_dropout_mask`]).
+///
+/// Remaining sampled-path restrictions (validated):
+/// [`Architecture::ThreeTier`] only, no link faults, a non-empty device
+/// pool, no legacy `edges`/`workers_per_edge` fields, and N-tier trees
+/// need a uniform cohort size that matches the population's registered
+/// shape.
 ///
 /// # Errors
 ///
@@ -561,20 +1019,11 @@ where
             sim,
         );
     }
-    if sim.policy != SyncPolicy::FullSync {
-        return Err(SimError::Policy(format!(
-            "client sampling requires SyncPolicy::FullSync, got {}",
-            sim.policy.label()
-        )));
-    }
-    if !sim.faults.is_empty() {
-        return Err(SimError::Fault(
-            "fault injection is not supported with client sampling".into(),
-        ));
-    }
-    if sim.tiers.is_some() {
+    if cfg.edges.is_some() || cfg.workers_per_edge.is_some() {
         return Err(SimError::Run(RunError::BadConfig(
-            "N-tier trees are not supported with client sampling".into(),
+            "legacy edges/workers_per_edge fields are not supported with a \
+             virtual population (the population defines the topology)"
+                .into(),
         )));
     }
     if sim.architecture != Architecture::ThreeTier {
@@ -587,26 +1036,61 @@ where
             "the device-profile pool must not be empty".into(),
         ));
     }
-    if cfg.dropout != 0.0 {
-        return Err(SimError::Run(RunError::BadConfig(
-            "dropout is not supported with client sampling; model partial \
-             participation by lowering the sampling fraction instead"
+    if sim.faults.link.is_some() {
+        return Err(SimError::Fault(
+            "link faults are not supported with client sampling (virtual \
+             workers keep no per-actor mailbox state for the retry and \
+             duplicate protocol); crash, permanent and spike plans compose \
+             with sampling"
                 .into(),
-        )));
+        ));
     }
-    if cfg.edges.is_some() || cfg.workers_per_edge.is_some() {
-        return Err(SimError::Run(RunError::BadConfig(
-            "legacy edges/workers_per_edge fields are not supported with a \
-             virtual population (the population defines the topology)"
-                .into(),
-        )));
+    sim.faults
+        .validate_for_population(population.total_workers())
+        .map_err(SimError::Fault)?;
+    if let Some(tree) = &sim.tiers {
+        if tree.num_edges() != population.num_edges() {
+            return Err(SimError::Run(RunError::BadConfig(format!(
+                "tier tree spans {} edges, the population registers {}",
+                tree.num_edges(),
+                population.num_edges()
+            ))));
+        }
+        let leaf = tree.levels().last().expect("trees have levels").fanout as u64;
+        if let Some(e) =
+            (0..population.num_edges()).find(|&e| population.workers_in_edge(e) != leaf)
+        {
+            return Err(SimError::Run(RunError::BadConfig(format!(
+                "tier tree registers {leaf} workers per edge, edge {e} \
+                 registers {}",
+                population.workers_in_edge(e)
+            ))));
+        }
+        if cfg.tau != tree.tau() || cfg.pi != tree.pi_total() {
+            return Err(SimError::Run(RunError::BadConfig(format!(
+                "config (tau = {}, pi = {}) disagrees with the tier tree \
+                 (tau = {}, pi_total = {})",
+                cfg.tau,
+                cfg.pi,
+                tree.tau(),
+                tree.pi_total()
+            ))));
+        }
     }
-    sim.validate(None).map_err(SimError::Policy)?;
 
     let cohort = population
         .cohort_sizes(&cfg.sampling)
         .map_err(|m| SimError::Run(RunError::BadConfig(m)))?;
-    let hierarchy = Hierarchy::new(cohort);
+    if sim.tiers.is_some() && cohort.windows(2).any(|w| w[0] != w[1]) {
+        return Err(SimError::Run(RunError::BadConfig(
+            "sampled tier trees need one uniform cohort size (the sampled \
+             sub-tree must stay balanced); use ClientSampling::PerEdge"
+                .into(),
+        )));
+    }
+    sim.validate(cohort.iter().copied().min())
+        .map_err(SimError::Policy)?;
+    let hierarchy = Hierarchy::new(cohort.clone());
     strategy
         .check_topology(&hierarchy)
         .map_err(|m| SimError::Run(RunError::Topology(m)))?;
@@ -619,7 +1103,36 @@ where
     let x0 = model.params();
     let mut fl = FlState::new(hierarchy.clone(), weights, &x0);
     fl.aggregator = cfg.aggregator;
+    // The engine runs the *sampled* sub-tree: the registered tree with its
+    // leaf fanout swapped for the (uniform) cohort size. All non-leaf
+    // levels — and with them every middle boundary — are unchanged.
+    let cohort_tree = sim.tiers.as_ref().map(|tree| {
+        let mut levels = tree.levels().to_vec();
+        levels.last_mut().expect("trees have levels").fanout = cohort[0];
+        TierTree::new(levels).expect("cohort sub-tree of a validated tree is valid")
+    });
+    if let Some(tree) = &cohort_tree {
+        fl.attach_tree(tree.clone());
+    }
     strategy.init(&mut fl);
+
+    // Edges submit cloud-wards at every boundary where some tier above
+    // them mutates state; identity middles are free, so a pure
+    // pass-through tree keeps the three-tier submission cadence (and
+    // every delay stream) untouched.
+    let submit_period = match &sim.tiers {
+        Some(tree) => tree
+            .middle_depths()
+            .filter(|&d| tree.levels()[d].aggregation != TierAggregation::Identity)
+            .map(|d| tree.sync_rounds(d))
+            .min()
+            .unwrap_or(cfg.pi),
+        None => cfg.pi,
+    };
+    let sampler = match &sim.tiers {
+        Some(tree) => CohortSampler::for_tree(cfg.seed, tree),
+        None => CohortSampler::new(cfg.seed),
+    };
 
     // Placeholder slot contexts; every field is rebuilt at each round's
     // materialization. Edge/cloud delay streams are drawn from dedicated
@@ -634,19 +1147,30 @@ where
             steps: 0,
             batcher: Batcher::new(1, 1, 0),
             delays: DelaySampler::from_stream(sim.net_seed, 0),
+            fsampler: None,
+            dropped: vec![false; cfg.tau],
             attack: None,
         })
         .collect();
     let edges: Vec<EdgeSim> = (0..l_count)
-        .map(|e| EdgeSim {
-            round: 0,
-            arrived: 0,
-            busy_ms: 0.0,
-            sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_EDGE_STREAM, e as u64),
+        .map(|e| {
+            let c = hierarchy.workers_in_edge(e);
+            EdgeSim {
+                round: 0,
+                fired: false,
+                arrived: vec![false; c],
+                absent: vec![false; c],
+                age: vec![0; c],
+                timed_out: false,
+                done: false,
+                busy_ms: 0.0,
+                sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_EDGE_STREAM, e as u64),
+            }
         })
         .collect();
 
     let threads = cfg.resolved_threads();
+    let tier_gamma = vec![Vec::new(); fl.middle.len()];
     let mut engine = VEngine {
         strategy,
         cfg,
@@ -654,19 +1178,30 @@ where
         population,
         shards,
         shard_sizes,
-        sampler: CohortSampler::new(cfg.seed),
+        sampler,
         fl,
         slots,
         edges,
+        cohort_tree,
+        submit_period,
+        faults_on: !sim.faults.is_empty(),
         cloud_arrived: vec![false; l_count],
+        cloud_boundary: 1,
+        cloud_firings: 0,
+        cloud_last_boundary: vec![0; l_count],
+        cloud_age: vec![0; l_count],
+        cloud_timed_out: false,
         cloud_busy_ms: 0.0,
         cloud_sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_CLOUD_STREAM, 0),
         workers_busy_ms: 0.0,
+        worker_faults: FaultCounters::default(),
+        permanent_counted: vec![false; sim.faults.permanent.len()],
         queue: EventQueue::new(),
         eval_stage: BTreeMap::new(),
         gamma_stage: BTreeMap::new(),
         gamma_trace: Vec::new(),
         cos_trace: Vec::new(),
+        tier_gamma,
         evals: Vec::new(),
         step_model: model.clone(),
         eval_models: (0..threads).map(|_| model.clone()).collect(),

@@ -291,6 +291,28 @@ impl TierTree {
             .product()
     }
 
+    /// The root-to-edge path of edge `edge`: one local child index per
+    /// aggregator level (`levels[0..len-1]`), most significant first, so
+    /// that `edge` is the row-major mixed-radix number the path spells.
+    /// The inverse of [`TierPath::node_index`] restricted to the edge
+    /// tier; depth-3 trees yield the single-component path `[edge]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_path(&self, edge: usize) -> Vec<usize> {
+        assert!(edge < self.num_edges(), "edge {edge} out of range");
+        let n = self.levels.len() - 1;
+        let mut path = vec![0; n];
+        let mut rem = edge;
+        for d in (0..n).rev() {
+            let f = self.levels[d].fanout;
+            path[d] = rem % f;
+            rem /= f;
+        }
+        path
+    }
+
     /// The balanced three-tier [`Hierarchy`] spanned by the edge tier:
     /// `num_edges()` edges of `levels.last().fanout` workers each. This
     /// is the shape the execution engines lay worker state out in,

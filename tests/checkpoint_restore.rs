@@ -323,3 +323,133 @@ fn invalid_stop_points_and_snapshots_are_rejected() {
     );
     assert!(matches!(err, Err(RunError::Data(_))));
 }
+
+/// Sampled deep-tree stop/resume: a depth-4 *virtual-population* run
+/// snapshots at a middle-tier boundary (not a root boundary), survives a
+/// JSON round-trip, and resumes under a different thread count bitwise
+/// identically to the uninterrupted sampled run. Cohorts re-materialize
+/// from `(seed, worker, round)` streams, so the snapshot stores no RNG
+/// state — this test is the gate on that claim.
+#[test]
+fn sampled_deep_tree_restore_at_middle_boundary_is_bitwise() {
+    use common::{sampled_matrix_trees, sampled_tier_fixture};
+    use hieradmo::core::population::{
+        run_virtual_tiered, run_virtual_tiered_resumed, run_virtual_tiered_until,
+    };
+
+    // The depth-4 matrix tree: tau = 2, region tier syncing every 2 edge
+    // rounds, root every 4. eval_every = 4 puts eval points in both
+    // segments.
+    let tree = sampled_matrix_trees()[1].clone();
+    let f = sampled_tier_fixture(&tree);
+    let cfg = RunConfig {
+        eval_every: 4,
+        ..f.cfg.clone()
+    };
+    let model = zoo::logistic_regression(&f.train, 1);
+    let algo = HierAdMo::adaptive(0.05, 0.5);
+
+    // Tick 4 = edge round 2: a middle boundary, not a root boundary.
+    let stop = 2 * cfg.tau;
+    assert_eq!(stop % (cfg.tau * tree.sync_rounds(1)), 0);
+    assert_ne!(stop % (cfg.tau * tree.pi_total()), 0);
+
+    let full = run_virtual_tiered(
+        &algo,
+        &model,
+        &f.population,
+        &f.shards,
+        &f.test,
+        &cfg,
+        &tree,
+    )
+    .unwrap();
+    let (first, snap) = run_virtual_tiered_until(
+        &algo,
+        &model,
+        &f.population,
+        &f.shards,
+        &f.test,
+        &cfg,
+        &tree,
+        stop,
+    )
+    .unwrap();
+    assert_eq!(snap.tick, stop);
+    assert_eq!(
+        snap.middle.len(),
+        1,
+        "the snapshot must carry the middle tier"
+    );
+    assert_eq!(snap.middle[0].len(), 2, "two region nodes");
+
+    // The middle tier survives serialization bit-for-bit.
+    let snap = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
+
+    let resumed_cfg = RunConfig {
+        threads: Some(4),
+        ..cfg.clone()
+    };
+    let resumed = run_virtual_tiered_resumed(
+        &algo,
+        &model,
+        &f.population,
+        &f.shards,
+        &f.test,
+        &resumed_cfg,
+        &tree,
+        &snap,
+    )
+    .unwrap();
+
+    assert!(first.curve.points().iter().all(|p| p.iteration <= stop));
+    assert!(resumed.curve.points().iter().all(|p| p.iteration > stop));
+    let concat: Vec<_> = first
+        .curve
+        .points()
+        .iter()
+        .chain(resumed.curve.points())
+        .copied()
+        .collect();
+    assert_eq!(
+        concat,
+        full.curve.points().to_vec(),
+        "sampled depth-4 stop/resume must match the uninterrupted run bitwise"
+    );
+    let concat_gamma: Vec<_> = first
+        .gamma_trace
+        .iter()
+        .chain(&resumed.gamma_trace)
+        .copied()
+        .collect();
+    assert_eq!(concat_gamma, full.gamma_trace, "gamma trace differs");
+    assert_eq!(full.tier_gamma.len(), 1);
+    let concat_tier: Vec<_> = first.tier_gamma[0]
+        .iter()
+        .chain(&resumed.tier_gamma[0])
+        .copied()
+        .collect();
+    assert_eq!(
+        concat_tier, full.tier_gamma[0],
+        "the region tier's γ trace must partition exactly"
+    );
+    assert_eq!(
+        resumed.final_params, full.final_params,
+        "sampled depth-4 resume must land on the exact same model"
+    );
+
+    // A snapshot that lost its middle tier is rejected before training.
+    let mut wrong = snap.clone();
+    wrong.middle.clear();
+    let err = run_virtual_tiered_resumed(
+        &algo,
+        &model,
+        &f.population,
+        &f.shards,
+        &f.test,
+        &cfg,
+        &tree,
+        &wrong,
+    );
+    assert!(matches!(err, Err(RunError::Data(_))));
+}

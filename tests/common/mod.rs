@@ -7,12 +7,15 @@
 // Each test binary compiles this module independently and uses a subset.
 #![allow(dead_code)]
 
+use hieradmo::core::population::{ClientSampling, WorkerPopulation};
 use hieradmo::core::{RunConfig, RunResult};
 use hieradmo::data::partition::x_class_partition;
 use hieradmo::data::synthetic::{generate, SyntheticDataset, SyntheticSpec};
 use hieradmo::data::{Dataset, FeatureShape};
 use hieradmo::models::{zoo, Sequential};
-use hieradmo::netsim::{Architecture, NetworkEnv};
+use hieradmo::netsim::{
+    Architecture, CrashProfile, DelaySpikes, FaultPlan, NetworkEnv, PermanentCrash,
+};
 use hieradmo::simrt::{SimConfig, SimResult, SyncPolicy};
 use hieradmo::topology::{Hierarchy, TierSpec, TierTree};
 use proptest::Strategy as GenStrategy;
@@ -256,6 +259,115 @@ pub fn tiered_sim_config(tree: &TierTree, net_seed: u64, policy: SyncPolicy) -> 
         policy,
     )
     .with_tiers(tree.clone())
+}
+
+/// The registered trees of the depth×policy×chaos sampling matrix:
+/// depths 3, 4 and 5, each with six *registered* workers per edge (the
+/// sampled cohort is smaller — see [`sampled_tier_fixture`]), τ = 2 and
+/// every non-leaf interval 2, so middle boundaries, root boundaries and
+/// plain edge rounds all occur and differ at every depth.
+pub fn sampled_matrix_trees() -> Vec<TierTree> {
+    vec![
+        TierTree::three_tier(2, 6, 2, 2),
+        TierTree::new(vec![
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 2),
+            TierSpec::new(6, 2),
+        ])
+        .unwrap(),
+        TierTree::new(vec![
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 2),
+            TierSpec::new(2, 2),
+            TierSpec::new(6, 2),
+        ])
+        .unwrap(),
+    ]
+}
+
+/// A sampled-run fixture sized to one of [`sampled_matrix_trees`]: the
+/// registered population spanned by the tree's leaf tier over 4
+/// round-robin shards of a small 4-class problem, sampling 2 of the 6
+/// registered workers per edge per round, running two full root rounds.
+pub struct SampledTierFixture {
+    pub population: WorkerPopulation,
+    pub shards: Vec<Dataset>,
+    pub train: Dataset,
+    pub test: Dataset,
+    pub cfg: RunConfig,
+}
+
+/// See [`SampledTierFixture`]. The problem is the 16-feature synthetic of
+/// [`synthetic_setup`] so matrix cells stay cheap at depth 5.
+pub fn sampled_tier_fixture(tree: &TierTree) -> SampledTierFixture {
+    let spec = SyntheticSpec {
+        num_classes: 4,
+        shape: FeatureShape::Flat(16),
+        noise: 0.5,
+        prototype_scale: 1.0,
+        max_shift: 0,
+        class_group: 1,
+    };
+    let tt = generate(&spec, 48, 16, 41);
+    let shards = x_class_partition(&tt.train, 4, 2, 41);
+    let population = WorkerPopulation::from_tier_tree(tree, 4).unwrap();
+    let round = tree.tau() * tree.pi_total();
+    let cfg = RunConfig {
+        eta: 0.05,
+        tau: tree.tau(),
+        pi: tree.pi_total(),
+        total_iters: 2 * round,
+        eval_every: round,
+        batch_size: 4,
+        seed: 42,
+        threads: Some(1),
+        sampling: ClientSampling::PerEdge { count: 2 },
+        ..RunConfig::default()
+    };
+    SampledTierFixture {
+        population,
+        shards,
+        train: tt.train,
+        test: tt.test,
+        cfg,
+    }
+}
+
+/// The three policies of the sampling matrix. The deadline quorum still
+/// needs at least 1 of a 2-slot cohort; the async age bound is low enough
+/// to engage on multi-round runs.
+pub fn matrix_policies() -> [SyncPolicy; 3] {
+    [
+        SyncPolicy::FullSync,
+        SyncPolicy::Deadline {
+            quorum: 0.5,
+            timeout_ms: 150.0,
+        },
+        SyncPolicy::AsyncAge { max_staleness: 2 },
+    ]
+}
+
+/// The fault plan of the sampling matrix's chaos cells: per-round
+/// transient crashes, one permanently crashing registered worker and
+/// step-delay spikes — everything sampled cohorts support (link faults
+/// are the documented exception).
+pub fn sampled_fault_plan() -> FaultPlan {
+    FaultPlan {
+        crash: Some(CrashProfile {
+            per_step: 0.25,
+            min_downtime_ms: 10.0,
+            max_downtime_ms: 50.0,
+        }),
+        permanent: vec![PermanentCrash {
+            worker: 1,
+            at_ms: 50.0,
+        }],
+        link: None,
+        spikes: Some(DelaySpikes {
+            prob: 0.25,
+            factor: 3.0,
+        }),
+    }
 }
 
 /// Asserts that a co-simulation reproduced the core driver's trajectory

@@ -2,19 +2,41 @@
 //! engines bitwise, sampled runs agree bitwise between the tick-driven
 //! and event-driven engines, results are invariant to thread count, and
 //! the 100k-registered/512-sampled scale smoke replays identically.
+//!
+//! The deep-tree extension adds the depth × policy × chaos matrix: every
+//! `{3, 4, 5}`-deep sampled tree completes under every [`SyncPolicy`]
+//! with and without faults and adversaries, replays bitwise at any
+//! thread count, and — where exactness is promised (full sync, no
+//! faults) — matches the tick-driven engine bit for bit. Sampling
+//! streams themselves are pinned: Floyd's cohorts are uniform, per-tier-
+//! path seeds never collide, and the current trajectory is hard-coded so
+//! a silent reseeding cannot pass review.
 
 mod common;
 
-use common::{sim_config, sim_fixture};
+use std::collections::HashSet;
+
+use common::{
+    matrix_policies, sampled_fault_plan, sampled_matrix_trees, sampled_tier_fixture, sim_config,
+    sim_fixture, small_tier_trees,
+};
 use hieradmo::core::algorithms::HierAdMo;
-use hieradmo::core::population::{run_virtual, ClientSampling, WorkerPopulation};
-use hieradmo::core::{run, RobustAggregator, RunConfig, RunResult};
+use hieradmo::core::population::{
+    adversary_stream, batcher_seed, delay_stream, fault_stream, run_virtual, run_virtual_tiered,
+    run_virtual_tiered_until, worker_round_seed, ClientSampling, CohortSampler, WorkerPopulation,
+};
+use hieradmo::core::{run, run_tiered, FlState, RobustAggregator, RunConfig, RunError, RunResult};
 use hieradmo::data::partition::x_class_partition;
 use hieradmo::data::synthetic::SyntheticDataset;
 use hieradmo::data::Dataset;
 use hieradmo::models::zoo;
-use hieradmo::netsim::{AdversaryPlan, Architecture, AttackModel, NetworkEnv};
-use hieradmo::simrt::{simulate, simulate_virtual, SimConfig, SimResult, SyncPolicy};
+use hieradmo::netsim::{
+    AdversaryPlan, Architecture, AttackModel, FaultPlan, LinkFaults, NetworkEnv, PermanentCrash,
+};
+use hieradmo::simrt::{simulate, simulate_virtual, SimConfig, SimError, SimResult, SyncPolicy};
+use hieradmo::tensor::Vector;
+use hieradmo::topology::{TierSpec, TierTree, Weights};
+use proptest::prelude::*;
 
 /// A 2-edge federation of 100 registered workers per edge over 4 shards,
 /// with a config whose eval rounds (k = 2 at t = 10, k = 4 at t = 20)
@@ -282,47 +304,674 @@ fn scale_smoke_100k_registered_512_sampled_is_deterministic() {
     );
 }
 
-/// The sampled paths reject what they cannot honor, with actionable
-/// messages.
+/// Every formerly-gated combination that remains unsupported fails with
+/// its typed error — no panics, no silent fallbacks. The lifted gates
+/// (policies, faults, dropout, depth > 3 with sampling) are absent from
+/// this table by construction; their positive coverage is
+/// [`depth_policy_chaos_matrix`].
 #[test]
 fn sampled_paths_validate_their_restrictions() {
     let (population, shards, test, cfg) = virtual_fixture();
     let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
     let model = zoo::logistic_regression(&shards[0], 7);
 
-    // Oversized per-edge sample.
-    let big = RunConfig {
-        sampling: ClientSampling::PerEdge { count: 101 },
-        ..cfg.clone()
-    };
-    let err = run_virtual(&algo, &model, &population, &shards, &test, &big).unwrap_err();
-    assert!(format!("{err}").contains("exceeds"), "{err}");
+    fn run_kind(e: &RunError) -> &'static str {
+        match e {
+            RunError::BadConfig(_) => "bad-config",
+            RunError::Schedule(_) => "schedule",
+            RunError::Topology(_) => "topology",
+            RunError::Data(_) => "data",
+        }
+    }
+    fn sim_kind(e: &SimError) -> (&'static str, String) {
+        let kind = match e {
+            SimError::Policy(_) => "policy",
+            SimError::Fault(_) => "fault",
+            SimError::Net(_) => "net",
+            SimError::Adversary(_) => "adversary",
+            SimError::Run(inner) => run_kind(inner),
+        };
+        (kind, e.to_string())
+    }
 
-    // Dropout cannot combine with sampling.
-    let drop = RunConfig {
-        dropout: 0.5,
-        ..cfg.clone()
+    let core_err = |cfg: &RunConfig, pop: &WorkerPopulation| {
+        let e = run_virtual(&algo, &model, pop, &shards, &test, cfg).unwrap_err();
+        (run_kind(&e), e.to_string())
     };
-    let err = run_virtual(&algo, &model, &population, &shards, &test, &drop).unwrap_err();
-    assert!(format!("{err}").contains("dropout"), "{err}");
-
-    // The event-driven engine additionally requires FullSync.
-    let mut relaxed = virtual_sim_config(9);
-    relaxed.policy = SyncPolicy::Deadline {
-        quorum: 0.5,
-        timeout_ms: 100.0,
+    let core_tiered_err = |cfg: &RunConfig, tree: &TierTree| {
+        let e =
+            run_virtual_tiered(&algo, &model, &population, &shards, &test, cfg, tree).unwrap_err();
+        (run_kind(&e), e.to_string())
     };
-    let err =
-        simulate_virtual(&algo, &model, &population, &shards, &test, &cfg, &relaxed).unwrap_err();
-    assert!(format!("{err}").contains("FullSync"), "{err}");
+    let sim_err = |cfg: &RunConfig, sim: &SimConfig| {
+        sim_kind(
+            &simulate_virtual(&algo, &model, &population, &shards, &test, cfg, sim).unwrap_err(),
+        )
+    };
 
-    // A full-participation delegation over a million workers is refused
-    // (that is exactly what sampling is for).
     let huge = WorkerPopulation::uniform(4, 300_000, 4).unwrap();
-    let full = RunConfig {
-        sampling: ClientSampling::Full,
-        ..cfg.clone()
+    let beyond = AdversaryPlan::uniform([1_000_000usize], AttackModel::SignFlip { scale: 2.0 });
+    let cases: Vec<(&str, &str, &str, (&'static str, String))> = vec![
+        (
+            "oversized per-edge sample",
+            "bad-config",
+            "exceeds",
+            core_err(
+                &RunConfig {
+                    sampling: ClientSampling::PerEdge { count: 101 },
+                    ..cfg.clone()
+                },
+                &population,
+            ),
+        ),
+        (
+            "full materialization of a million-worker registry",
+            "data",
+            "sampling",
+            core_err(
+                &RunConfig {
+                    sampling: ClientSampling::Full,
+                    ..cfg.clone()
+                },
+                &huge,
+            ),
+        ),
+        (
+            "adversary id beyond the registry (tick engine)",
+            "bad-config",
+            "registers only",
+            core_err(
+                &RunConfig {
+                    adversary: beyond.clone(),
+                    ..cfg.clone()
+                },
+                &population,
+            ),
+        ),
+        (
+            "adversary id beyond the registry (event engine)",
+            "adversary",
+            "registers only",
+            sim_err(
+                &RunConfig {
+                    adversary: beyond.clone(),
+                    ..cfg.clone()
+                },
+                &virtual_sim_config(9),
+            ),
+        ),
+        (
+            "link faults with sampling",
+            "fault",
+            "link faults",
+            sim_err(
+                &cfg,
+                &virtual_sim_config(9).with_faults(FaultPlan {
+                    link: Some(LinkFaults::flaky()),
+                    ..FaultPlan::none()
+                }),
+            ),
+        ),
+        (
+            "permanent crash beyond the registry",
+            "fault",
+            "registered population",
+            sim_err(
+                &cfg,
+                &virtual_sim_config(9).with_faults(FaultPlan {
+                    permanent: vec![PermanentCrash {
+                        worker: 1_000_000,
+                        at_ms: 1.0,
+                    }],
+                    ..FaultPlan::none()
+                }),
+            ),
+        ),
+        ("two-tier architecture with sampling", "net", "ThreeTier", {
+            let mut sim = virtual_sim_config(9);
+            sim.architecture = Architecture::TwoTier;
+            sim_err(&cfg, &sim)
+        }),
+        ("empty device-profile pool", "net", "device-profile", {
+            let mut sim = virtual_sim_config(9);
+            sim.env.worker_devices.clear();
+            sim_err(&cfg, &sim)
+        }),
+        (
+            "legacy edges/workers_per_edge fields (tick engine)",
+            "bad-config",
+            "legacy",
+            core_err(
+                &RunConfig {
+                    edges: Some(2),
+                    ..cfg.clone()
+                },
+                &population,
+            ),
+        ),
+        (
+            "legacy edges/workers_per_edge fields (event engine)",
+            "bad-config",
+            "legacy",
+            sim_err(
+                &RunConfig {
+                    edges: Some(2),
+                    ..cfg.clone()
+                },
+                &virtual_sim_config(9),
+            ),
+        ),
+        (
+            "tier tree spanning the wrong edge count",
+            "bad-config",
+            "tier tree spans",
+            core_tiered_err(&cfg, &TierTree::three_tier(3, 100, 5, 2)),
+        ),
+        (
+            "tier tree with the wrong registered leaf width",
+            "bad-config",
+            "workers per edge",
+            sim_err(
+                &cfg,
+                &virtual_sim_config(9).with_tiers(TierTree::three_tier(2, 50, 5, 2)),
+            ),
+        ),
+        (
+            "tier tree whose (tau, pi) disagree with the config",
+            "bad-config",
+            "disagrees",
+            sim_err(
+                &cfg,
+                &virtual_sim_config(9).with_tiers(TierTree::three_tier(2, 100, 5, 4)),
+            ),
+        ),
+        ("bad deadline quorum", "policy", "(0, 1]", {
+            let mut sim = virtual_sim_config(9);
+            sim.policy = SyncPolicy::Deadline {
+                quorum: 1.5,
+                timeout_ms: 100.0,
+            };
+            sim_err(&cfg, &sim)
+        }),
+        (
+            "snapshot stop off the edge-boundary grid",
+            "bad-config",
+            "stop_at",
+            {
+                let tree = TierTree::three_tier(2, 100, 5, 2);
+                let e = run_virtual_tiered_until(
+                    &algo,
+                    &model,
+                    &population,
+                    &shards,
+                    &test,
+                    &cfg,
+                    &tree,
+                    7,
+                )
+                .unwrap_err();
+                (run_kind(&e), e.to_string())
+            },
+        ),
+    ];
+
+    for (label, want_kind, needle, (kind, msg)) in cases {
+        assert_eq!(kind, want_kind, "{label}: wrong error kind ({msg})");
+        assert!(
+            msg.contains(needle),
+            "{label}: message should mention {needle:?}: {msg}"
+        );
+    }
+}
+
+/// The pinning gate of the per-tier-path sampler: Floyd's cohorts and
+/// the depth-3 sampled trajectory are hard-coded, so any reseeding of
+/// the cohort streams (however plausible-looking) fails loudly here
+/// instead of silently shifting every sampled result in the repo.
+#[test]
+fn sampled_trajectory_and_cohorts_are_pinned() {
+    // Flat cohort pins: seed 42, Floyd's without replacement, ascending.
+    let flat = CohortSampler::new(42);
+    assert_eq!(flat.cohort(0, 1, 100, 3), vec![20, 71, 73]);
+    assert_eq!(flat.cohort(1, 1, 100, 3), vec![30, 42, 87]);
+    assert_eq!(flat.cohort(0, 4, 100, 3), vec![6, 36, 84]);
+    assert_eq!(
+        flat.cohort(3, 7, 1_000_000, 8),
+        vec![24_755, 311_397, 351_175, 427_735, 521_171, 630_470, 876_410, 990_848]
+    );
+
+    // A depth-3 tree and its pass-through extension derive the *same*
+    // per-edge streams as the flat sampler: the tier-path fold collapses
+    // identity levels, so pre-tree sampled trajectories are unchanged.
+    let d3 = CohortSampler::for_tree(42, &TierTree::three_tier(4, 100, 5, 2));
+    let padded = CohortSampler::for_tree(
+        42,
+        &TierTree::new(vec![
+            TierSpec::new(4, 2),
+            TierSpec::pass_through(1),
+            TierSpec::new(100, 5),
+        ])
+        .unwrap(),
+    );
+    for e in 0..4 {
+        for r in [1, 4, 7] {
+            assert_eq!(
+                flat.cohort(e, r, 100, 3),
+                d3.cohort(e, r, 100, 3),
+                "e{e} r{r}"
+            );
+            assert_eq!(
+                flat.cohort(e, r, 100, 3),
+                padded.cohort(e, r, 100, 3),
+                "e{e} r{r}"
+            );
+        }
+    }
+
+    // Trajectory pin: the depth-3 sampled run of the seed fixture. These
+    // literals round-trip exactly (Rust float Debug), so equality below
+    // is bitwise.
+    let tt = SyntheticDataset::mnist_like(60, 30, 11);
+    let shards = x_class_partition(&tt.train, 4, 2, 11);
+    let population = WorkerPopulation::uniform(2, 100, 4).unwrap();
+    let cfg = RunConfig {
+        tau: 5,
+        pi: 2,
+        total_iters: 20,
+        eval_every: 10,
+        batch_size: 8,
+        seed: 42,
+        threads: Some(1),
+        sampling: ClientSampling::PerEdge { count: 3 },
+        ..RunConfig::default()
     };
-    let err = run_virtual(&algo, &model, &huge, &shards, &test, &full).unwrap_err();
-    assert!(format!("{err}").contains("sampling"), "{err}");
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&tt.train, 1);
+    let flat_run = run_virtual(&algo, &model, &population, &shards, &tt.test, &cfg).unwrap();
+    assert_eq!(
+        &flat_run.final_params.as_slice()[..4],
+        &[0.04330813, 0.002263323, 0.0059279623, -0.028702375],
+        "head of the pinned sampled params moved"
+    );
+    let sum: f32 = flat_run.final_params.as_slice().iter().sum();
+    assert_eq!(sum, -1.1442246, "pinned sampled param sum moved");
+    assert_eq!(
+        flat_run.gamma_trace,
+        vec![
+            (1, 0.006566262),
+            (2, 0.027501052),
+            (3, 0.03984092),
+            (4, 0.045479402)
+        ],
+        "pinned sampled gamma trace moved"
+    );
+
+    // And the tiered spellings of the same shape reproduce it bitwise.
+    let d3_tree = TierTree::three_tier(2, 100, 5, 2);
+    let tiered = run_virtual_tiered(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &tt.test,
+        &cfg,
+        &d3_tree,
+    )
+    .unwrap();
+    assert_same_trajectory(&flat_run, &tiered, "depth-3 tiered vs flat sampled");
+    let padded_tree = TierTree::new(vec![
+        TierSpec::new(2, 2),
+        TierSpec::pass_through(1),
+        TierSpec::new(100, 5),
+    ])
+    .unwrap();
+    let padded_run = run_virtual_tiered(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &tt.test,
+        &cfg,
+        &padded_tree,
+    )
+    .unwrap();
+    assert_same_trajectory(
+        &flat_run,
+        &padded_run,
+        "pass-through tiered vs flat sampled",
+    );
+}
+
+/// Floyd's without-replacement sampler is (empirically) uniform: over
+/// 4000 rounds of 5-of-20 cohorts, each worker's selection count sits
+/// within a chi-square bound of the expected 1000. Deterministic — the
+/// seed is fixed — so this is a regression pin, not a flaky statistical
+/// test.
+#[test]
+fn floyd_sampling_is_uniform_chi_square() {
+    let sampler = CohortSampler::new(7);
+    let (population, k, rounds) = (20u64, 5usize, 4000usize);
+    let mut counts = vec![0u64; population as usize];
+    for r in 1..=rounds {
+        let ids = sampler.cohort(0, r, population, k);
+        assert_eq!(ids.len(), k, "round {r}: wrong cohort size");
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "round {r}: cohort not strictly ascending: {ids:?}"
+        );
+        for id in ids {
+            assert!(id < population, "round {r}: id {id} out of range");
+            counts[id as usize] += 1;
+        }
+    }
+    let expected = (rounds * k) as f64 / population as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // 19 degrees of freedom: P(chi2 > 60) < 1e-5 under uniformity.
+    assert!(
+        chi2 < 60.0,
+        "chi-square {chi2:.1} over bound; counts = {counts:?}"
+    );
+}
+
+/// No stream family ever collides: the per-(worker, round) seed
+/// re-derivations are pairwise distinct across families and indices, and
+/// per-edge cohort streams are distinct across *tier paths* — two trees
+/// with the same edge count but different shapes sample different
+/// cohorts at every (edge, round).
+#[test]
+fn stream_derivations_never_collide_across_tier_paths() {
+    let mut seeds = HashSet::new();
+    for g in 0..64u64 {
+        for r in 0..64u64 {
+            for (family, value) in [
+                ("worker_round", worker_round_seed(42, g, r)),
+                ("batcher", batcher_seed(42, g, r)),
+                ("adversary", adversary_stream(g, r)),
+                ("delay", delay_stream(g, r)),
+                ("fault", fault_stream(g, r)),
+            ] {
+                assert!(
+                    seeds.insert(value),
+                    "stream collision at family {family}, worker {g}, round {r}"
+                );
+            }
+        }
+    }
+    assert_eq!(seeds.len(), 5 * 64 * 64);
+
+    // Two 8-edge trees of different shapes: a depth-5 binary tree and a
+    // depth-4 wide tree. Every (tree, edge, round) cohort is distinct —
+    // the sampler keys on the full tier path, not the flat edge index.
+    let deep = TierTree::new(vec![
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(1000, 5),
+    ])
+    .unwrap();
+    let wide = TierTree::new(vec![
+        TierSpec::new(4, 2),
+        TierSpec::new(2, 2),
+        TierSpec::new(1000, 5),
+    ])
+    .unwrap();
+    let mut cohorts: HashSet<Vec<u64>> = HashSet::new();
+    for tree in [&deep, &wide] {
+        let sampler = CohortSampler::for_tree(42, tree);
+        for e in 0..tree.num_edges() {
+            for r in 1..=16usize {
+                assert!(
+                    cohorts.insert(sampler.cohort(e, r, 1000, 4)),
+                    "cohort stream collision at depth {}, edge {e}, round {r}",
+                    tree.depth()
+                );
+            }
+        }
+    }
+    assert_eq!(cohorts.len(), 2 * 8 * 16);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Weights::from_cohort` is a partition of unity at every depth of
+    /// every small tree: worker shares sum to 1 within each edge, edge
+    /// (population) shares sum to 1 globally, and the attached tree's
+    /// subtree weights sum to 1 under every parent at every middle depth.
+    #[test]
+    fn cohort_weights_partition_unity_at_every_depth(
+        tree in small_tier_trees(),
+        cohort_pick in 0usize..4,
+        raw in proptest::collection::vec(1u64..50, 4),
+    ) {
+        let leaf = tree.levels().last().unwrap().fanout;
+        let c = 1 + cohort_pick % leaf;
+        let population = WorkerPopulation::from_tier_tree(&tree, 4).unwrap();
+        let edge_totals = population.edge_data_samples(&raw);
+
+        let mut levels = tree.levels().to_vec();
+        levels.last_mut().unwrap().fanout = c;
+        let cohort_tree = TierTree::new(levels).unwrap();
+        let h = cohort_tree.edge_hierarchy();
+        let (num_workers, num_edges) = (h.num_workers(), h.num_edges());
+        let w = Weights::from_cohort(&h, &vec![1u64; num_workers], edge_totals);
+
+        for e in 0..num_edges {
+            let per_edge: f64 = h.edge_workers(e).map(|i| w.worker_in_edge(i)).sum();
+            prop_assert!((per_edge - 1.0).abs() < 1e-9, "edge {} workers sum to {}", e, per_edge);
+        }
+        let edges_total: f64 = (0..num_edges).map(|e| w.edge_in_total(e)).sum();
+        prop_assert!((edges_total - 1.0).abs() < 1e-9, "edge shares sum to {}", edges_total);
+        let total: f64 = (0..num_workers).map(|i| w.worker_in_total(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "worker shares sum to {}", total);
+
+        let x0 = Vector::from(vec![1.0, -2.0, 0.5]);
+        let mut s = FlState::new(h, w, &x0);
+        s.attach_tree(cohort_tree.clone());
+        for d in 1..cohort_tree.levels().len() {
+            let fanout = cohort_tree.levels()[d - 1].fanout;
+            for parent in 0..cohort_tree.nodes_at(d - 1) {
+                let sum: f64 = (parent * fanout..(parent + 1) * fanout)
+                    .map(|n| s.subtree_weight(d, n))
+                    .sum();
+                prop_assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "depth {} parent {} subtree weights sum to {}", d, parent, sum
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole gate: depth {3, 4, 5} × {FullSync, Deadline, AsyncAge} ×
+/// {clean, faults, adversary}. Every cell completes, replays bitwise,
+/// and is invariant to the engine thread count; FullSync cells without
+/// faults additionally match the tick-driven engine bit for bit — per-
+/// tier γ traces included — because that is where exactness is promised.
+#[test]
+fn depth_policy_chaos_matrix() {
+    for tree in sampled_matrix_trees() {
+        let f = sampled_tier_fixture(&tree);
+        let algo = HierAdMo::adaptive(f.cfg.eta, f.cfg.gamma);
+        let model = zoo::logistic_regression(&f.train, 1);
+        let adversary_cfg = RunConfig {
+            adversary: AdversaryPlan::uniform(
+                (0..f.population.total_workers() as usize).step_by(3),
+                AttackModel::SignFlip { scale: 2.0 },
+            ),
+            aggregator: RobustAggregator::TrimmedMean { trim_ratio: 0.25 },
+            ..f.cfg.clone()
+        };
+        let variants = [
+            ("clean", f.cfg.clone(), FaultPlan::none()),
+            ("faults", f.cfg.clone(), sampled_fault_plan()),
+            ("adversary", adversary_cfg, FaultPlan::none()),
+        ];
+        for policy in matrix_policies() {
+            for (chaos, cfg, faults) in &variants {
+                let label = format!(
+                    "depth={} policy={} chaos={chaos}",
+                    tree.depth(),
+                    policy.label()
+                );
+                let sim = SimConfig::new(
+                    NetworkEnv::paper_testbed(4),
+                    Architecture::ThreeTier,
+                    50_000,
+                    7,
+                    policy,
+                )
+                .with_tiers(tree.clone())
+                .with_faults(faults.clone());
+                let run_sim = |threads: usize| {
+                    let cfg = RunConfig {
+                        threads: Some(threads),
+                        ..cfg.clone()
+                    };
+                    simulate_virtual(&algo, &model, &f.population, &f.shards, &f.test, &cfg, &sim)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"))
+                };
+                let s1 = run_sim(1);
+                assert!(
+                    s1.curve.final_accuracy().is_some(),
+                    "{label}: no evaluation"
+                );
+                assert!(
+                    s1.events > 0 && s1.simulated_seconds > 0.0,
+                    "{label}: empty run"
+                );
+                let s1b = run_sim(1);
+                let s4 = run_sim(4);
+                for (other, tag) in [(&s1b, "replay"), (&s4, "threads 1 vs 4")] {
+                    assert_eq!(s1.curve, other.curve, "{label} [{tag}]: curve");
+                    assert_eq!(
+                        s1.final_params, other.final_params,
+                        "{label} [{tag}]: params"
+                    );
+                    assert_eq!(s1.gamma_trace, other.gamma_trace, "{label} [{tag}]: gamma");
+                    assert_eq!(
+                        s1.tier_gamma, other.tier_gamma,
+                        "{label} [{tag}]: tier gamma"
+                    );
+                    assert_eq!(
+                        s1.simulated_seconds, other.simulated_seconds,
+                        "{label} [{tag}]: clock"
+                    );
+                    assert_eq!(s1.events, other.events, "{label} [{tag}]: events");
+                }
+                if *chaos == "faults" {
+                    let w = s1
+                        .faults
+                        .iter()
+                        .find(|a| a.actor == "workers")
+                        .expect("aggregate worker fault tally");
+                    assert!(
+                        w.counters.crashes + w.counters.delay_spikes > 0,
+                        "{label}: the fault plan never engaged"
+                    );
+                }
+                if matches!(policy, SyncPolicy::FullSync) && faults.is_empty() {
+                    let core = run_virtual_tiered(
+                        &algo,
+                        &model,
+                        &f.population,
+                        &f.shards,
+                        &f.test,
+                        cfg,
+                        &tree,
+                    )
+                    .unwrap_or_else(|e| panic!("{label}: core engine: {e}"));
+                    assert_core_sim_equal(&core, &s1, &label);
+                    assert_eq!(
+                        core.tier_gamma, s1.tier_gamma,
+                        "{label}: tier gamma cross-engine"
+                    );
+                    if tree.depth() > 3 {
+                        assert!(
+                            s1.tier_gamma.iter().any(|t| !t.is_empty()),
+                            "{label}: middle tiers never fired"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full participation at every matrix depth delegates to the seed
+/// engines bitwise: the tick-driven virtual path reproduces
+/// `run_tiered`, and the event-driven virtual path reproduces `simulate`
+/// — trajectory, per-tier γ, event count and clock all identical.
+#[test]
+fn full_participation_sampled_runs_delegate_at_every_depth() {
+    for tree in sampled_matrix_trees() {
+        let f = sampled_tier_fixture(&tree);
+        let cfg = RunConfig {
+            sampling: ClientSampling::Full,
+            ..f.cfg.clone()
+        };
+        let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+        let model = zoo::logistic_regression(&f.train, 1);
+        let worker_shards = f.population.materialize_shards(&f.shards);
+        let label = format!("depth={} full participation", tree.depth());
+
+        let reference = run_tiered(&algo, &model, &tree, &worker_shards, &f.test, &cfg).unwrap();
+        let virt = run_virtual_tiered(
+            &algo,
+            &model,
+            &f.population,
+            &f.shards,
+            &f.test,
+            &cfg,
+            &tree,
+        )
+        .unwrap();
+        assert_same_trajectory(&reference, &virt, &label);
+        assert_eq!(reference.tier_gamma, virt.tier_gamma, "{label}: tier gamma");
+
+        let sim = SimConfig::new(
+            NetworkEnv::paper_testbed(tree.num_workers()),
+            Architecture::ThreeTier,
+            50_000,
+            7,
+            SyncPolicy::FullSync,
+        )
+        .with_tiers(tree.clone());
+        let sim_ref = simulate(
+            &algo,
+            &model,
+            &tree.edge_hierarchy(),
+            &worker_shards,
+            &f.test,
+            &cfg,
+            &sim,
+        )
+        .unwrap();
+        let sim_virt =
+            simulate_virtual(&algo, &model, &f.population, &f.shards, &f.test, &cfg, &sim).unwrap();
+        assert_eq!(sim_ref.curve, sim_virt.curve, "{label}: sim curve");
+        assert_eq!(
+            sim_ref.timed_curve, sim_virt.timed_curve,
+            "{label}: timed curve"
+        );
+        assert_eq!(
+            sim_ref.final_params, sim_virt.final_params,
+            "{label}: sim params"
+        );
+        assert_eq!(sim_ref.events, sim_virt.events, "{label}: events");
+        assert_eq!(
+            sim_ref.simulated_seconds, sim_virt.simulated_seconds,
+            "{label}: clock"
+        );
+        assert_eq!(
+            sim_ref.tier_gamma, sim_virt.tier_gamma,
+            "{label}: sim tier gamma"
+        );
+    }
 }

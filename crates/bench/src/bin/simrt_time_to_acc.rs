@@ -42,6 +42,20 @@
 //! Depth 3 keeps the classic (policy × architecture) grid. Deeper trees
 //! have more workers (2^(depth-1)), so cells are comparable within a
 //! depth, not across depths.
+//!
+//! `--churn` attaches a named topology-churn scenario and routes the cell
+//! through the elastic runtime (`simulate_elastic`):
+//!
+//! - `flaky_edges`: the minority edge dies at the one-third mark (its
+//!   workers re-home onto the survivor) and the live edges re-form every
+//!   quarter of the run;
+//! - `mass_migration`: half the workers swap edges at each quarter
+//!   boundary, with a final re-formation pass.
+//!
+//! Churn needs at least two edges and a frozen depth-3 tree, so it skips
+//! the two-tier architecture and any `--tiers` depth beyond 3. Topology
+//! counters (joins, migrations, reformations, orphaned rounds) ride
+//! along in each record.
 
 use hieradmo_bench::cli::Cli;
 use hieradmo_bench::{
@@ -54,13 +68,56 @@ use hieradmo_metrics::export::SimRunRecord;
 use hieradmo_models::Model;
 use hieradmo_netsim::payload::payload_bytes;
 use hieradmo_netsim::{Architecture, NetworkEnv};
-use hieradmo_simrt::{simulate, SimConfig, SyncPolicy};
-use hieradmo_topology::{Hierarchy, TierSpec, TierTree};
+use hieradmo_simrt::{simulate, simulate_elastic, SimConfig, SyncPolicy};
+use hieradmo_topology::{ChurnPlan, Hierarchy, ScheduledEvent, TierSpec, TierTree, TopologyEvent};
 
 const EDGES: usize = 2;
 const WORKERS: usize = 4;
 /// Algorithm 1 line 9 ships y, x, Σ∇F, Σy per upload.
 const UPLOAD_VECTORS: usize = 4;
+
+/// Builds the named churn scenario over a run of `rounds` cloud rounds
+/// on the 2-edge depth-3 grid. `none` returns the empty plan (frozen
+/// tree, classic engine).
+fn churn_scenario(name: &str, rounds: usize) -> ChurnPlan {
+    let quarter = (rounds / 4).max(1);
+    match name {
+        "none" => ChurnPlan::none(),
+        "flaky_edges" => ChurnPlan {
+            events: vec![ScheduledEvent {
+                round: (rounds / 3).max(1),
+                event: TopologyEvent::EdgeFail { edge: 1 },
+            }],
+            reform_every: Some(quarter),
+        },
+        "mass_migration" => ChurnPlan {
+            events: vec![
+                ScheduledEvent {
+                    round: quarter,
+                    event: TopologyEvent::Migrate { worker: 0, edge: 1 },
+                },
+                ScheduledEvent {
+                    round: quarter,
+                    event: TopologyEvent::Migrate { worker: 2, edge: 0 },
+                },
+                ScheduledEvent {
+                    round: 2 * quarter,
+                    event: TopologyEvent::Migrate { worker: 0, edge: 0 },
+                },
+                ScheduledEvent {
+                    round: 2 * quarter,
+                    event: TopologyEvent::Migrate { worker: 2, edge: 1 },
+                },
+                ScheduledEvent {
+                    round: 3 * quarter,
+                    event: TopologyEvent::EdgeReform,
+                },
+            ],
+            reform_every: None,
+        },
+        other => panic!("unknown --churn scenario {other:?} (none|flaky_edges|mass_migration)"),
+    }
+}
 
 fn main() {
     let cli = Cli::parse();
@@ -71,6 +128,8 @@ fn main() {
     let scenario = FaultScenario::from_name(cli.get("faults").unwrap_or("none"));
     let adversary = AdversaryScenario::from_name(cli.get("adversary").unwrap_or("none"));
     let defense = defense_from_name(cli.get("defense").unwrap_or("mean"));
+    let churn_name = cli.get("churn").unwrap_or("none").to_string();
+    let churn_on = churn_name != "none";
     let depths: Vec<usize> = cli
         .get("tiers")
         .unwrap_or("3")
@@ -114,6 +173,7 @@ fn main() {
             "faults".into(),
             "adversary".into(),
             "defense".into(),
+            "churn".into(),
             format!("time to {target:.2} (s)"),
             "total (s)".into(),
             "final acc %".into(),
@@ -122,6 +182,10 @@ fn main() {
     );
 
     for &(arch, tau, pi) in architectures.iter().filter(|_| depths.contains(&3)) {
+        if churn_on && arch == Architecture::TwoTier {
+            eprintln!("[simrt] skipping TwoTier under churn (needs at least two edges)");
+            continue;
+        }
         let hierarchy = match arch {
             Architecture::ThreeTier => Hierarchy::balanced(EDGES, WORKERS / EDGES),
             Architecture::TwoTier => Hierarchy::two_tier(WORKERS),
@@ -144,12 +208,14 @@ fn main() {
             seed,
             aggregator: defense,
             adversary: adversary.plan(WORKERS),
+            churn: churn_scenario(&churn_name, total / (tau * pi)),
             ..RunConfig::default()
         };
         let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
         for &policy in &policies {
             eprintln!(
-                "[simrt] {} under {} on {arch:?} (faults: {}, adversary: {}, defense: {})",
+                "[simrt] {} under {} on {arch:?} (faults: {}, adversary: {}, defense: {}, \
+                 churn: {churn_name})",
                 algo.name(),
                 policy.label(),
                 scenario.name(),
@@ -158,8 +224,12 @@ fn main() {
             );
             let sim = SimConfig::new(env.clone(), arch, payload, seed.wrapping_add(7), policy)
                 .with_faults(scenario.plan());
-            let res = simulate(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
-                .expect("co-simulation failed");
+            let res = if churn_on {
+                simulate_elastic(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
+            } else {
+                simulate(&algo, &model, &hierarchy, &shards, &tt.test, &cfg, &sim)
+            }
+            .expect("co-simulation failed");
             let final_acc = res
                 .timed_curve
                 .points()
@@ -174,7 +244,8 @@ fn main() {
             )
             .with_faults(res.faults.clone())
             .with_adversaries(res.adversaries.clone())
-            .with_run_stats(res.events, res.simulated_seconds);
+            .with_run_stats(res.events, res.simulated_seconds)
+            .with_topology(res.topology);
             report.row(
                 vec![
                     res.policy.clone(),
@@ -183,6 +254,7 @@ fn main() {
                     scenario.name().into(),
                     adversary.name().into(),
                     defense.label().to_string(),
+                    churn_name.clone(),
                     record
                         .time_to_target_s
                         .map_or("never".into(), |s| format!("{s:.2}")),
@@ -199,6 +271,10 @@ fn main() {
     // on a binary tree (2 children per node) with leaf period τ = 10 and
     // every upper tier syncing its children every 2 of their rounds.
     for &depth in depths.iter().filter(|&&d| d > 3) {
+        if churn_on {
+            eprintln!("[simrt] skipping depth {depth} under churn (elastic runs are depth-3)");
+            continue;
+        }
         let mut levels = vec![TierSpec::new(2, 2); depth - 1];
         *levels.last_mut().expect("depth >= 4 has levels") = TierSpec::new(2, 10);
         let tree = TierTree::new(levels).expect("sweep tree is valid");
@@ -272,6 +348,7 @@ fn main() {
                 scenario.name().into(),
                 adversary.name().into(),
                 defense.label().to_string(),
+                "none".into(),
                 record
                     .time_to_target_s
                     .map_or("never".into(), |s| format!("{s:.2}")),

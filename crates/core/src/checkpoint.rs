@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use hieradmo_metrics::ConvergenceCurve;
 use hieradmo_tensor::Vector;
+use hieradmo_topology::ElasticSnapshot;
 
 use crate::config::RunConfig;
 use crate::driver::RunResult;
@@ -120,6 +121,13 @@ pub struct TrainingSnapshot {
     /// three-tier runs, so depth-3 snapshots keep their seed wire format.
     #[serde(default)]
     pub middle: Vec<Vec<TierState>>,
+    /// The elastic topology version in force at `tick`, on elastic runs
+    /// ([`crate::elastic::run_elastic_until`]): which stable edge ids are
+    /// live and which registered worker sits where, so a resume replays
+    /// the remaining churn boundaries against the identical tree. `None`
+    /// on frozen-tree runs, keeping their seed wire format.
+    #[serde(default)]
+    pub topology: Option<ElasticSnapshot>,
 }
 
 impl TrainingSnapshot {
@@ -227,16 +235,26 @@ mod tests {
             edges: s.edges.clone(),
             cloud: s.cloud.clone(),
             middle: vec![vec![s.cloud.clone()]],
+            topology: Some(
+                hieradmo_topology::TopologyVersion::initial(&[2, 1], 3).expect("valid tree"),
+            ),
         };
         let back = TrainingSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
         // Seed-era snapshots carry no `middle` key; it defaults to empty.
+        // Pre-elastic snapshots carry no `topology` key; it defaults to
+        // `None` (a frozen tree).
         let flat = TrainingSnapshot {
             middle: Vec::new(),
+            topology: None,
             ..snap.clone()
         };
-        let legacy = flat.to_json().replace(",\"middle\":[]", "");
+        let legacy = flat
+            .to_json()
+            .replace(",\"middle\":[]", "")
+            .replace(",\"topology\":null", "");
         assert!(legacy.len() < flat.to_json().len(), "middle key not found");
+        assert!(!legacy.contains("topology"));
         let back = TrainingSnapshot::from_json(&legacy).unwrap();
         assert_eq!(back, flat);
 

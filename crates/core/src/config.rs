@@ -1,7 +1,7 @@
 //! Run configuration: the paper's hyper-parameters in one struct.
 
 use hieradmo_netsim::AdversaryPlan;
-use hieradmo_topology::TierTree;
+use hieradmo_topology::{ChurnPlan, TierTree};
 use serde::{Deserialize, Serialize};
 
 use crate::population::ClientSampling;
@@ -89,6 +89,13 @@ pub struct RunConfig {
     /// configs (which predate it) deserialize and behave unchanged.
     #[serde(default)]
     pub sampling: ClientSampling,
+    /// Deterministic topology churn for elastic runs
+    /// ([`crate::elastic::run_elastic`]). The empty plan (default) freezes
+    /// the tree and is bitwise identical to runs that predate this field;
+    /// the frozen-tree entry points ([`crate::driver::run`] and friends)
+    /// reject a non-empty plan and point at the elastic runner.
+    #[serde(default)]
+    pub churn: ChurnPlan,
     /// **Deprecated.** Edge-server count from seed-era flat configs that
     /// embedded the topology in the run config. Topology now lives in a
     /// [`hieradmo_topology::TierTree`] passed alongside the config; when
@@ -122,6 +129,7 @@ impl Default for RunConfig {
             aggregator: RobustAggregator::default(),
             adversary: AdversaryPlan::none(),
             sampling: ClientSampling::Full,
+            churn: ChurnPlan::none(),
             edges: None,
             workers_per_edge: None,
         }
@@ -179,6 +187,7 @@ impl RunConfig {
         self.aggregator.validate()?;
         self.adversary.validate()?;
         self.sampling.validate()?;
+        self.churn.validate()?;
         self.legacy_tier_tree()?;
         Ok(())
     }
@@ -349,6 +358,36 @@ mod tests {
         let back: RunConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.sampling, ClientSampling::Full);
         assert_eq!(back, RunConfig::default());
+    }
+
+    #[test]
+    fn legacy_configs_without_churn_field_deserialize_to_the_frozen_tree() {
+        let json = serde_json::to_string(&RunConfig::default()).unwrap();
+        let zero = format!(
+            ",\"churn\":{}",
+            serde_json::to_string(&ChurnPlan::none()).unwrap()
+        );
+        let legacy = json.replace(&zero, "");
+        assert_ne!(legacy, json, "churn field must serialize");
+        let back: RunConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(back.churn.is_empty());
+        assert_eq!(back, RunConfig::default());
+    }
+
+    #[test]
+    fn churn_plan_validation_is_part_of_config_validation() {
+        use hieradmo_topology::{ScheduledEvent, TopologyEvent};
+        let cfg = RunConfig {
+            churn: ChurnPlan {
+                events: vec![ScheduledEvent {
+                    round: 0,
+                    event: TopologyEvent::Leave { worker: 0 },
+                }],
+                reform_every: None,
+            },
+            ..RunConfig::default()
+        };
+        assert!(cfg.validate().is_err(), "round-0 churn events are invalid");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::mem;
 use std::time::{Duration, Instant};
 
 use hieradmo_data::{Batcher, Dataset};
-use hieradmo_metrics::{AdversaryCounters, ConvergenceCurve, EvalPoint};
+use hieradmo_metrics::{AdversaryCounters, ConvergenceCurve, EvalPoint, TopologyCounters};
 use hieradmo_models::{EvalSums, Model};
 use hieradmo_netsim::adversary::{AdversarySampler, AttackModel};
 use hieradmo_tensor::Vector;
@@ -138,6 +138,9 @@ pub struct RunResult {
     /// hierarchy's workers. All-zero (but still one entry per worker)
     /// when [`RunConfig::adversary`](crate::RunConfig) is empty.
     pub adversaries: Vec<AdversaryCounters>,
+    /// Churn tallies from the elastic topology layer
+    /// ([`crate::elastic::run_elastic`]). All-zero on frozen-tree runs.
+    pub topology: TopologyCounters,
 }
 
 /// Runs `strategy` on the given topology/data with the paper's training
@@ -387,12 +390,12 @@ where
     .map(|(result, _)| result)
 }
 
-/// The shared engine behind [`run`], [`run_until`] and [`run_resumed`]:
-/// optionally starts from a mid-run snapshot (`resume`), optionally stops
-/// at an edge boundary (`stop_at`, which also makes it return the state
-/// there).
+/// The shared engine behind [`run`], [`run_until`], [`run_resumed`] and
+/// the elastic runner's epoch segments (`crate::elastic`): optionally
+/// starts from a mid-run snapshot (`resume`), optionally stops at an edge
+/// boundary (`stop_at`, which also makes it return the state there).
 #[allow(clippy::too_many_arguments)]
-fn run_span<M, S>(
+pub(crate) fn run_span<M, S>(
     strategy: &S,
     model: &M,
     hierarchy: &Hierarchy,
@@ -408,6 +411,13 @@ where
     S: Strategy + ?Sized,
 {
     cfg.validate().map_err(RunError::BadConfig)?;
+    if !cfg.churn.is_empty() {
+        return Err(RunError::BadConfig(
+            "the frozen-tree engine cannot apply a non-empty ChurnPlan; \
+             run it through crate::elastic::run_elastic"
+                .into(),
+        ));
+    }
     if let Some(tree) = tiers {
         if cfg.tau != tree.tau() || cfg.pi != tree.pi_total() {
             return Err(RunError::BadConfig(format!(
@@ -743,6 +753,7 @@ where
         edges: state.edges.clone(),
         cloud: state.cloud.clone(),
         middle: state.middle.clone(),
+        topology: None,
     });
     Ok((
         RunResult {
@@ -755,6 +766,7 @@ where
             elapsed: started.elapsed(),
             timings,
             adversaries: adversary_counters,
+            topology: TopologyCounters::default(),
         },
         snapshot,
     ))

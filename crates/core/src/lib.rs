@@ -57,6 +57,7 @@ pub mod checkpoint;
 pub mod compression;
 pub mod config;
 pub mod driver;
+pub mod elastic;
 pub mod fleet;
 mod pool;
 pub mod population;
@@ -71,6 +72,10 @@ pub use config::RunConfig;
 pub use driver::{
     run, run_resumed, run_tiered, run_tiered_resumed, run_tiered_until, run_until, PhaseTimings,
     RunError, RunResult,
+};
+pub use elastic::{
+    apply_churn_boundary, epoch_cuts, epoch_tree, initial_version, remap_adversaries, run_elastic,
+    run_elastic_resumed, run_elastic_until,
 };
 pub use population::{
     run_virtual, run_virtual_tiered, run_virtual_tiered_resumed, run_virtual_tiered_until,

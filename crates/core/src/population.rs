@@ -865,6 +865,14 @@ where
     S: Strategy + ?Sized,
 {
     cfg.validate().map_err(RunError::BadConfig)?;
+    if !cfg.churn.is_empty() {
+        return Err(RunError::BadConfig(
+            "virtual-population runs keep a registered (frozen) tree; a \
+             non-empty ChurnPlan only composes with the materialized \
+             engines (crate::elastic::run_elastic)"
+                .into(),
+        ));
+    }
     population.validate_shards(shards).map_err(RunError::Data)?;
     if let Some(b) = cfg
         .adversary
@@ -1276,6 +1284,7 @@ where
         edges: fl.edges.clone(),
         cloud: fl.cloud.clone(),
         middle: fl.middle.clone(),
+        topology: None,
     });
     Ok((
         RunResult {
@@ -1288,6 +1297,7 @@ where
             elapsed: started.elapsed(),
             timings,
             adversaries: adversary_counters,
+            topology: hieradmo_metrics::TopologyCounters::default(),
         },
         snapshot,
     ))

@@ -5,7 +5,9 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
-use crate::timed::{ActorAdversaries, ActorFaults, ActorUtilization, PhaseBreakdown, TimedCurve};
+use crate::timed::{
+    ActorAdversaries, ActorFaults, ActorUtilization, PhaseBreakdown, TimedCurve, TopologyCounters,
+};
 use crate::{ConvergenceCurve, EvalPoint};
 
 /// Renders a curve as CSV with a header row.
@@ -150,6 +152,11 @@ pub struct SimRunRecord {
     /// number. `None` for an empty curve and in legacy records.
     #[serde(default)]
     pub final_accuracy: Option<f64>,
+    /// Churn tallies from the elastic topology layer. All-zero for
+    /// frozen-tree runs; absent in records written before elastic
+    /// topology existed, which deserialize to all-zero.
+    #[serde(default)]
+    pub topology: TopologyCounters,
 }
 
 impl SimRunRecord {
@@ -175,6 +182,7 @@ impl SimRunRecord {
             events: 0,
             simulated_seconds: 0.0,
             final_accuracy,
+            topology: TopologyCounters::default(),
         }
     }
 
@@ -196,6 +204,13 @@ impl SimRunRecord {
     /// Attaches per-actor adversary tallies (builder style).
     pub fn with_adversaries(mut self, adversaries: Vec<ActorAdversaries>) -> Self {
         self.adversaries = adversaries;
+        self
+    }
+
+    /// Attaches the elastic topology layer's churn tallies (builder
+    /// style).
+    pub fn with_topology(mut self, topology: TopologyCounters) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -394,6 +409,35 @@ mod tests {
         assert!(!json.contains("adversaries"));
         let back = sim_run_from_json(&json).unwrap();
         assert!(back.adversaries.is_empty());
+    }
+
+    #[test]
+    fn sim_run_record_topology_round_trip_and_default_zero() {
+        let rec = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new())
+            .with_topology(TopologyCounters {
+                joins: 1,
+                leaves: 2,
+                migrations: 5,
+                reformations: 1,
+                orphaned_rounds: 3,
+            });
+        let json = sim_run_to_json(&rec);
+        assert!(json.contains("orphaned_rounds"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert_eq!(back, rec);
+
+        // Records written before elastic topology existed carry no
+        // `topology` key; they must still deserialize (to all-zero).
+        let legacy = SimRunRecord::new("HierAdMo", "full-sync", TimedCurve::new(), 0.9, Vec::new());
+        let mut json = sim_run_to_json(&legacy);
+        let zero = format!(
+            ",\"topology\":{}",
+            serde_json::to_string(&TopologyCounters::default()).unwrap()
+        );
+        json = json.replace(&zero, "");
+        assert!(!json.contains("topology"));
+        let back = sim_run_from_json(&json).unwrap();
+        assert!(back.topology.is_zero());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub use summary::MeanStd;
 pub use table::Table;
 pub use timed::{
     ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, FaultCounters,
-    PhaseBreakdown, TimedCurve, TimedPoint,
+    PhaseBreakdown, TimedCurve, TimedPoint, TopologyCounters,
 };
 
 use serde::{Deserialize, Serialize};

@@ -190,6 +190,44 @@ pub struct ActorFaults {
     pub counters: FaultCounters,
 }
 
+/// Churn-event tallies for one elastic run, accumulated by the elastic
+/// topology layer as `ChurnPlan` events apply at cloud-round boundaries.
+///
+/// Counters are additive over a run; the all-zero default is what every
+/// frozen-tree (empty-plan) run reports, so `is_zero` distinguishes
+/// "static topology" from "elastic but quiet".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyCounters {
+    /// Workers that joined the live tree mid-run.
+    pub joins: u64,
+    /// Workers that left the live tree mid-run.
+    pub leaves: u64,
+    /// Workers that changed parent edge: explicit migrations, edge-failure
+    /// re-homings, and re-formation moves alike.
+    pub migrations: u64,
+    /// Edge re-formation (similarity re-clustering) passes applied.
+    pub reformations: u64,
+    /// Worker-rounds orphaned by edge failures: each failed edge
+    /// contributes one per member it stranded at the boundary.
+    pub orphaned_rounds: u64,
+}
+
+impl TopologyCounters {
+    /// Returns `true` when the topology never changed.
+    pub fn is_zero(&self) -> bool {
+        *self == TopologyCounters::default()
+    }
+
+    /// Folds another tally into this one (additive over run segments).
+    pub fn merge(&mut self, other: &TopologyCounters) {
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.migrations += other.migrations;
+        self.reformations += other.reformations;
+        self.orphaned_rounds += other.orphaned_rounds;
+    }
+}
+
 /// Adversary-event tallies for one Byzantine actor, accumulated wherever
 /// uploads are corrupted (the core driver's injection point or the
 /// co-simulation runtime's mailbox hook).

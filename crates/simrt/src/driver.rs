@@ -30,13 +30,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use hieradmo_core::byzantine::corrupt_upload;
+use hieradmo_core::byzantine::{corrupt_upload, replay_upload};
 use hieradmo_core::driver::{build_train_probe, evaluate_on_replicas};
-use hieradmo_core::{EdgeState, FlState, RunConfig, RunError, Strategy, TierScope, WorkerState};
+use hieradmo_core::{
+    EdgeState, FlState, RunConfig, RunError, Strategy, TierScope, TrainingSnapshot, WorkerState,
+};
 use hieradmo_data::{Batcher, Dataset};
 use hieradmo_metrics::{
     ActorAdversaries, ActorFaults, ActorUtilization, AdversaryCounters, ConvergenceCurve,
-    EvalPoint, FaultCounters, TimedCurve, TimedPoint,
+    EvalPoint, FaultCounters, TimedCurve, TimedPoint, TopologyCounters,
 };
 use hieradmo_models::{Evaluation, Model};
 use hieradmo_netsim::{
@@ -141,6 +143,10 @@ pub struct SimResult {
     pub adversaries: Vec<ActorAdversaries>,
     /// Number of discrete events processed.
     pub events: u64,
+    /// Topology-churn tallies. All-zero on frozen-tree runs; populated by
+    /// [`crate::simulate_elastic`] when a
+    /// [`hieradmo_core::RunConfig::churn`] plan mutates the tree mid-run.
+    pub topology: TopologyCounters,
 }
 
 /// One scheduled occurrence in the simulation.
@@ -274,6 +280,45 @@ pub(crate) fn quorum_count(quorum: f64, n: usize) -> usize {
     ((quorum * n as f64).ceil() as usize).clamp(1, n)
 }
 
+/// One topology-epoch slice of a virtual-clock run (see
+/// [`crate::simulate_elastic`]): the engine executes ticks
+/// `(start, limit]` against a frozen tree, restoring the mailbox from
+/// `resume` and fast-forwarding every training RNG stream over the prefix
+/// exactly as the core driver's resume path does. A plain
+/// [`crate::simulate`] is the full span.
+pub(crate) struct Span<'a> {
+    /// Ticks already trained when the span begins (a multiple of `τ·π`).
+    pub start: usize,
+    /// The tick the span runs to (a multiple of `τ·π`; the whole run on
+    /// frozen-tree simulations).
+    pub limit: usize,
+    /// Mid-run federation state to restore the mailbox from.
+    pub resume: Option<&'a TrainingSnapshot>,
+    /// Last curve iteration issued by the previous span (relaxed-policy
+    /// index continuity).
+    pub iter_base: usize,
+    /// Global edge-firing counter carried over from the previous span
+    /// (relaxed-policy trace index continuity).
+    pub firing_base: usize,
+    /// This span runs to the end of the whole run: record the final
+    /// relaxed-policy evaluation in `finish`.
+    pub final_segment: bool,
+}
+
+impl Span<'_> {
+    /// The whole run as one span.
+    fn full(cfg: &RunConfig) -> Self {
+        Span {
+            start: 0,
+            limit: cfg.total_iters,
+            resume: None,
+            iter_base: 0,
+            firing_base: 0,
+            final_segment: true,
+        }
+    }
+}
+
 /// Evaluates `params` on the test set and training probe with the core
 /// engine's exact reduction: fixed [`EVAL_CHUNK`]-sample chunks, partial
 /// sums merged in `(target, chunk index)` order. `models` provides one
@@ -340,6 +385,10 @@ struct Engine<'a, M, S: ?Sized> {
     /// The fault plan injects something; `false` guarantees zero fault
     /// draws and a run bitwise identical to one without fault injection.
     faults_on: bool,
+    /// Tick this span runs to (`total_iters` on frozen-tree runs).
+    limit: usize,
+    /// Whether `finish` records the final relaxed-policy evaluation.
+    final_segment: bool,
 }
 
 impl<'a, M, S> Engine<'a, M, S>
@@ -347,6 +396,7 @@ where
     M: Model + Clone + Send,
     S: Strategy + ?Sized,
 {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         strategy: &'a S,
         model: &M,
@@ -355,6 +405,7 @@ where
         test_data: &'a Dataset,
         cfg: &'a RunConfig,
         sim: &'a SimConfig,
+        span: Span<'_>,
     ) -> Self {
         let n = hierarchy.num_workers();
         let l_count = hierarchy.num_edges();
@@ -366,6 +417,13 @@ where
             fl.attach_tree(tree.clone());
         }
         strategy.init(&mut fl);
+        if let Some(snap) = span.resume {
+            // All algorithm state lives in the tier vectors (same rule the
+            // core driver's resume path relies on).
+            fl.workers = snap.workers.clone();
+            fl.edges = snap.edges.clone();
+            fl.cloud = snap.cloud.clone();
+        }
         // Edges submit cloud-wards at every boundary where some tier above
         // them mutates state; identity middles are free, so a pure
         // pass-through tree keeps the three-tier submission cadence (and
@@ -404,38 +462,63 @@ where
         };
 
         let faults_on = !sim.faults.is_empty();
+        let dim = fl.dim();
+        let start = span.start;
+        let edge_rounds_done = start / cfg.tau;
+        let cloud_rounds_done = start / (cfg.tau * submit_period);
         let workers: Vec<WorkerSim<M>> = (0..n)
-            .map(|i| WorkerSim {
-                state: fl.workers[i].clone(),
-                model: model.clone(),
-                batcher: Batcher::new(
+            .map(|i| {
+                // Fast-forward the training RNG streams over the span's
+                // prefix exactly as the core driver's resume path does:
+                // one mini-batch draw per *active* prefix tick (the
+                // dropout table above already replayed those draws) and
+                // one adversary draw per edge boundary.
+                let mut batcher = Batcher::new(
                     worker_data[i].len(),
                     cfg.batch_size,
                     cfg.seed.wrapping_add(i as u64),
-                ),
-                batch: Vec::with_capacity(cfg.batch_size.min(worker_data[i].len())),
-                tick: 0,
-                sampler: DelaySampler::from_stream(sim.net_seed, i as u64),
-                busy_ms: 0.0,
-                done: false,
-                fsampler: FaultSampler::from_stream(sim.net_seed, i as u64),
-                down: false,
-                dead: false,
-                chain: faults_on.then(|| (0, Box::new(fl.workers[i].clone()))),
-                faults: FaultCounters::default(),
-                attack: cfg.adversary.attack_for(i),
-                asampler: AdversarySampler::from_stream(cfg.seed, i as u64),
-                advers: AdversaryCounters::default(),
+                );
+                let mut batch = Vec::with_capacity(cfg.batch_size.min(worker_data[i].len()));
+                for t in 1..=start {
+                    if active[(t - 1) * n + i] {
+                        batcher.next_batch_into(&mut batch);
+                    }
+                }
+                let attack = cfg.adversary.attack_for(i);
+                let mut asampler = AdversarySampler::from_stream(cfg.seed, i as u64);
+                if let Some(a) = attack {
+                    for _ in 0..edge_rounds_done {
+                        replay_upload(dim, &a, &mut asampler);
+                    }
+                }
+                WorkerSim {
+                    state: fl.workers[i].clone(),
+                    model: model.clone(),
+                    batcher,
+                    batch,
+                    tick: start,
+                    sampler: DelaySampler::from_stream(sim.net_seed, i as u64),
+                    busy_ms: 0.0,
+                    done: false,
+                    fsampler: FaultSampler::from_stream(sim.net_seed, i as u64),
+                    down: false,
+                    dead: false,
+                    chain: faults_on.then(|| (start, Box::new(fl.workers[i].clone()))),
+                    faults: FaultCounters::default(),
+                    attack,
+                    asampler,
+                    advers: AdversaryCounters::default(),
+                }
             })
             .collect();
         let edges: Vec<EdgeSim> = (0..l_count)
             .map(|e| {
                 let c = hierarchy.workers_in_edge(e);
                 EdgeSim {
-                    round: 1,
-                    firings: 0,
+                    round: edge_rounds_done + 1,
+                    firings: edge_rounds_done,
                     arrived: vec![false; c],
-                    last_round: vec![0; c],
+                    last_round: vec![edge_rounds_done; c],
                     age: vec![0; c],
                     timed_out: false,
                     waiting_cloud: false,
@@ -449,10 +532,10 @@ where
             })
             .collect();
         let cloud = CloudSim {
-            round: 1,
-            firings: 0,
+            round: cloud_rounds_done + 1,
+            firings: cloud_rounds_done,
             arrived: vec![false; l_count],
-            last_round: vec![0; l_count],
+            last_round: vec![cloud_rounds_done; l_count],
             age: vec![0; l_count],
             timed_out: false,
             last_dist: vec![None; l_count],
@@ -490,9 +573,11 @@ where
             cos_trace: Vec::new(),
             tier_gamma,
             submit_period,
-            firing_seq: 0,
-            last_iter: 0,
+            firing_seq: span.firing_base,
+            last_iter: span.iter_base,
             faults_on,
+            limit: span.limit,
+            final_segment: span.final_segment,
         }
     }
 
@@ -1413,7 +1498,7 @@ where
         if self.workers[flat].down {
             return; // its pending Recover rejoins from the fresh snapshot
         }
-        if self.workers[flat].tick < self.cfg.total_iters {
+        if self.workers[flat].tick < self.limit {
             self.schedule_step(flat, now);
         } else {
             self.workers[flat].done = true;
@@ -1435,7 +1520,7 @@ where
             .expect("fault injection keeps a rejoin snapshot");
         w.tick = tick;
         w.state = *state;
-        if w.tick >= self.cfg.total_iters {
+        if w.tick >= self.limit {
             w.done = true;
             return;
         }
@@ -1562,9 +1647,25 @@ where
         }
     }
 
-    fn finish(mut self) -> SimResult {
+    /// The mailbox federation state at the span's end tick — what an
+    /// elastic run's churn transform (and the next span's resume) reads.
+    fn final_snapshot(&self) -> TrainingSnapshot {
+        TrainingSnapshot {
+            algorithm: self.strategy.name().to_string(),
+            tick: self.limit,
+            workers: self.fl.workers.clone(),
+            edges: self.fl.edges.clone(),
+            cloud: self.fl.cloud.clone(),
+            middle: Vec::new(),
+            topology: None,
+        }
+    }
+
+    /// Builds the result; also returns `(last_iter, firing_seq)` so an
+    /// elastic run's next span can continue the relaxed-policy indices.
+    fn finish(mut self) -> (SimResult, usize, usize) {
         let strategy = self.strategy;
-        if !self.full_sync() {
+        if !self.full_sync() && self.final_segment {
             // Final state after all deliveries (late arrivals may have
             // landed after the last cloud firing).
             self.record_relaxed_eval(self.now);
@@ -1642,7 +1743,7 @@ where
             actor: "cloud".to_string(),
             counters: AdversaryCounters::default(),
         });
-        SimResult {
+        let result = SimResult {
             algorithm: strategy.name().to_string(),
             policy: self.sim.policy.label(),
             curve,
@@ -1656,7 +1757,9 @@ where
             faults,
             adversaries,
             events: self.events,
-        }
+            topology: TopologyCounters::default(),
+        };
+        (result, self.last_iter, self.firing_seq)
     }
 }
 
@@ -1682,6 +1785,40 @@ pub fn simulate<M, S>(
 ) -> Result<SimResult, SimError>
 where
     M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    if !cfg.churn.is_empty() {
+        return Err(SimError::Run(RunError::BadConfig(
+            "the frozen-tree co-simulation cannot apply a non-empty ChurnPlan; \
+             run it through crate::simulate_elastic"
+                .into(),
+        )));
+    }
+    validate_sim(strategy, hierarchy, worker_data, cfg, sim)?;
+    let mut engine = Engine::new(
+        strategy,
+        model,
+        hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        sim,
+        Span::full(cfg),
+    );
+    engine.run();
+    Ok(engine.finish().0)
+}
+
+/// The pre-flight checks shared by [`simulate`] and the per-segment engine
+/// launches of [`crate::simulate_elastic`].
+pub(crate) fn validate_sim<S>(
+    strategy: &S,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    cfg: &RunConfig,
+    sim: &SimConfig,
+) -> Result<(), SimError>
+where
     S: Strategy + ?Sized,
 {
     cfg.validate()
@@ -1762,10 +1899,44 @@ where
             hierarchy.num_workers()
         )));
     }
+    Ok(())
+}
 
-    let mut engine = Engine::new(strategy, model, hierarchy, worker_data, test_data, cfg, sim);
+/// Runs one topology-epoch segment of an elastic co-simulation: ticks
+/// `(span.start, span.limit]` against `hierarchy` (the segment's frozen
+/// tree), resuming the mailbox from `span.resume`. Returns the segment's
+/// result, the end-of-segment snapshot (what the churn transform mutates),
+/// and the relaxed-policy index carry-overs `(iter_base, firing_base)`.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub(crate) fn simulate_span<M, S>(
+    strategy: &S,
+    model: &M,
+    hierarchy: &Hierarchy,
+    worker_data: &[Dataset],
+    test_data: &Dataset,
+    cfg: &RunConfig,
+    sim: &SimConfig,
+    span: Span<'_>,
+) -> Result<(SimResult, TrainingSnapshot, usize, usize), SimError>
+where
+    M: Model + Clone + Send,
+    S: Strategy + ?Sized,
+{
+    validate_sim(strategy, hierarchy, worker_data, cfg, sim)?;
+    let mut engine = Engine::new(
+        strategy,
+        model,
+        hierarchy,
+        worker_data,
+        test_data,
+        cfg,
+        sim,
+        span,
+    );
     engine.run();
-    Ok(engine.finish())
+    let snapshot = engine.final_snapshot();
+    let (result, iter_base, firing_base) = engine.finish();
+    Ok((result, snapshot, iter_base, firing_base))
 }
 
 #[cfg(test)]

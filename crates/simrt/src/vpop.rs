@@ -40,9 +40,18 @@
 //! every policy's barrier, and rejoin automatically at the next
 //! materialization. Permanent crashes remove a registered id from every
 //! cohort from `at_ms` on. Delay spikes multiply individual step times
-//! from the same per-`(worker, round)` stream. Link faults remain
-//! unsupported under sampling (the retry/duplicate protocol needs
-//! per-actor mailbox state that virtual workers do not keep).
+//! from the same per-`(worker, round)` stream.
+//!
+//! Link faults run the classic retry/duplicate protocol over the sampled
+//! cohort: slot downloads and uploads draw the transfer outcome from the
+//! occupying worker's `(worker, round)` fault stream, and the edge↔cloud
+//! hops from a per-edge stream (`SALT_EDGE_FAULT_STREAM`) that exists
+//! for the whole run — the mailbox state a cohort slot cannot keep lives
+//! at the (persistent) edge actors. Retries and backoff only stretch the
+//! transfer (delivery eventually succeeds, as in the classic engine), so
+//! the FullSync model trajectory stays bitwise identical to the fault-free
+//! run; duplicates arrive as separate `VEv::DupArrival` events and are
+//! tallied at the receiving actor.
 
 use std::collections::BTreeMap;
 
@@ -91,6 +100,8 @@ enum VEv {
     CloudTimeout { boundary: usize },
     /// The cloud's reply reached an edge.
     CloudReply { edge: usize },
+    /// A duplicated message's second copy landed at `to` (link faults).
+    DupArrival { to: ActorId },
 }
 
 /// Round-scoped context of one cohort slot, rebuilt from
@@ -138,6 +149,11 @@ struct EdgeSim {
     busy_ms: f64,
     /// Private delay stream for aggregation compute and cloud hops.
     sampler: DelaySampler,
+    /// Private fault stream for the edge↔cloud retry protocol (`None`
+    /// without link faults, so fault-free runs draw nothing).
+    fsampler: Option<FaultSampler>,
+    /// Link-fault tallies of this edge's transfers and received duplicates.
+    faults: FaultCounters,
 }
 
 struct EvalRec {
@@ -186,6 +202,9 @@ struct VEngine<'a, M, S: ?Sized> {
     workers_busy_ms: f64,
     /// Aggregate fault tallies of all sampled workers, ditto.
     worker_faults: FaultCounters,
+    /// Duplicates received by the cloud (its transfers are charged — and
+    /// drawn — at the edges, mirroring the classic engine).
+    cloud_faults: FaultCounters,
     /// One flag per permanent-crash plan entry: already counted.
     permanent_counted: Vec<bool>,
     queue: EventQueue<VEv>,
@@ -211,6 +230,24 @@ struct VEngine<'a, M, S: ?Sized> {
     edges_done: usize,
     events: u64,
     now: f64,
+}
+
+/// Runs the link-fault retry protocol for one transfer: draws the outcome
+/// from `fs`, tallies it into the sender's `counters`, and returns the
+/// delay penalty plus the duplicate's extra lag, if one was spawned.
+fn link_transfer(
+    lf: &hieradmo_netsim::LinkFaults,
+    fs: &mut FaultSampler,
+    counters: &mut FaultCounters,
+) -> (f64, Option<f64>) {
+    let out = fs.transfer(lf);
+    counters.add_transfer(
+        out.messages_lost,
+        out.transfer_failures,
+        out.retries,
+        out.duplicate_lag_ms.is_some(),
+    );
+    (out.penalty_ms, out.duplicate_lag_ms)
 }
 
 impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
@@ -295,15 +332,29 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 continue; // down for the round: no download, no steps
             }
             // Model download to the freshly sampled participant.
-            let d = self.slots[slot]
+            let mut d = self.slots[slot]
                 .delays
                 .transfer_ms(&self.sim.env.worker_edge_link, self.sim.download_bytes);
+            let mut dup = None;
+            if let Some(lf) = self.sim.faults.link {
+                let fs = self.slots[slot]
+                    .fsampler
+                    .as_mut()
+                    .expect("link faults imply an active fault stream");
+                let (pen, lag) = link_transfer(&lf, fs, &mut self.worker_faults);
+                d += pen;
+                dup = lag;
+            }
             self.workers_busy_ms += d;
             self.queue.push(
                 now + d,
                 ActorId::Worker(slot),
                 VEv::Arrive { slot, round: k },
             );
+            if let Some(lag) = dup {
+                let to = ActorId::Worker(slot);
+                self.queue.push(now + d + lag, to, VEv::DupArrival { to });
+            }
         }
         if self.edges[e].absent.iter().all(|&a| a) {
             // Every sampled participant is down: the round fires empty and
@@ -377,12 +428,26 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         if steps < self.cfg.tau {
             self.schedule_step(slot, now);
         } else {
-            let d = self.slots[slot]
+            let mut d = self.slots[slot]
                 .delays
                 .transfer_ms(&self.sim.env.worker_edge_link, self.sim.upload_bytes);
+            let mut dup = None;
+            if let Some(lf) = self.sim.faults.link {
+                let fs = self.slots[slot]
+                    .fsampler
+                    .as_mut()
+                    .expect("link faults imply an active fault stream");
+                let (pen, lag) = link_transfer(&lf, fs, &mut self.worker_faults);
+                d += pen;
+                dup = lag;
+            }
             self.workers_busy_ms += d;
             self.queue
                 .push(now + d, ActorId::Worker(slot), VEv::Upload { slot, round });
+            if let Some(lag) = dup {
+                let to = ActorId::Edge(self.slots[slot].edge);
+                self.queue.push(now + d + lag, to, VEv::DupArrival { to });
+            }
         }
     }
 
@@ -541,12 +606,23 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             // are co-hosted) and wait for its reply before evaluating or
             // advancing.
             let flows = self.edges.len();
-            let du = self.edges[e].sampler.shared_transfer_ms(
+            let edge = &mut self.edges[e];
+            let mut du = edge.sampler.shared_transfer_ms(
                 &self.sim.env.edge_cloud_link,
                 self.sim.upload_bytes,
                 flows,
             );
-            self.edges[e].busy_ms += du;
+            let mut dup = None;
+            if let Some(lf) = self.sim.faults.link {
+                let fs = edge
+                    .fsampler
+                    .as_mut()
+                    .expect("link faults imply an active edge fault stream");
+                let (pen, lag) = link_transfer(&lf, fs, &mut edge.faults);
+                du += pen;
+                dup = lag;
+            }
+            edge.busy_ms += du;
             self.queue.push(
                 now + d + du,
                 ActorId::Edge(e),
@@ -555,6 +631,13 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                     boundary: k / self.submit_period,
                 },
             );
+            if let Some(lag) = dup {
+                self.queue.push(
+                    now + d + du + lag,
+                    ActorId::Cloud,
+                    VEv::DupArrival { to: ActorId::Cloud },
+                );
+            }
         } else {
             self.finish_edge_round(e, now + d);
         }
@@ -738,14 +821,30 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         }
         let flows = self.edges.len();
         for &l in &participants {
-            let dd = self.edges[l].sampler.shared_transfer_ms(
+            let edge = &mut self.edges[l];
+            let mut dd = edge.sampler.shared_transfer_ms(
                 &self.sim.env.edge_cloud_link,
                 self.sim.download_bytes,
                 flows,
             );
-            self.edges[l].busy_ms += dd;
+            let mut dup = None;
+            if let Some(lf) = self.sim.faults.link {
+                let fs = edge
+                    .fsampler
+                    .as_mut()
+                    .expect("link faults imply an active edge fault stream");
+                let (pen, lag) = link_transfer(&lf, fs, &mut edge.faults);
+                dd += pen;
+                dup = lag;
+            }
+            edge.busy_ms += dd;
             self.queue
                 .push(now + d + dd, ActorId::Edge(l), VEv::CloudReply { edge: l });
+            if let Some(lag) = dup {
+                let to = ActorId::Edge(l);
+                self.queue
+                    .push(now + d + dd + lag, to, VEv::DupArrival { to });
+            }
         }
         self.cloud_firings += 1;
         self.cloud_arrived.fill(false);
@@ -837,6 +936,14 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
                 VEv::CloudSubmit { edge, boundary } => self.on_cloud_submit(edge, boundary, time),
                 VEv::CloudTimeout { boundary } => self.on_cloud_timeout(boundary, time),
                 VEv::CloudReply { edge } => self.finish_edge_round(edge, time),
+                VEv::DupArrival { to } => {
+                    let counters = match to {
+                        ActorId::Worker(_) => &mut self.worker_faults,
+                        ActorId::Edge(e) => &mut self.edges[e].faults,
+                        ActorId::Cloud => &mut self.cloud_faults,
+                    };
+                    counters.duplicates_received += 1;
+                }
             }
         }
         assert_eq!(
@@ -894,7 +1001,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             });
             faults.push(ActorFaults {
                 actor: format!("edge-{l}"),
-                counters: FaultCounters::default(),
+                counters: e.faults,
             });
         }
         utilization.push(ActorUtilization {
@@ -904,7 +1011,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
         });
         faults.push(ActorFaults {
             actor: "cloud".to_string(),
-            counters: FaultCounters::default(),
+            counters: self.cloud_faults,
         });
         let adversaries: Vec<ActorAdversaries> = self
             .cfg
@@ -931,6 +1038,7 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
             faults,
             adversaries,
             events: self.events,
+            topology: hieradmo_metrics::TopologyCounters::default(),
         }
     }
 }
@@ -960,14 +1068,16 @@ impl<'a, M: Model + Clone + Send, S: Strategy + ?Sized> VEngine<'a, M, S> {
 /// docs), with N-tier trees (`sim.tiers`: middle tiers fire at the cloud
 /// actor through `Strategy::tier_aggregate_stale` with per-subtree
 /// staleness), with crash/spike fault plans (absence decided at
-/// materialization from per-`(worker, round)` streams), and with
-/// dropout ([`cohort_dropout_mask`]).
+/// materialization from per-`(worker, round)` streams), with link faults
+/// (the retry/duplicate protocol runs per transfer, drawing from the
+/// occupying worker's round stream on the leaf hops and from per-edge
+/// streams on the cloud hops — see the module docs), and with dropout
+/// ([`cohort_dropout_mask`]).
 ///
 /// Remaining sampled-path restrictions (validated):
-/// [`Architecture::ThreeTier`] only, no link faults, a non-empty device
-/// pool, no legacy `edges`/`workers_per_edge` fields, and N-tier trees
-/// need a uniform cohort size that matches the population's registered
-/// shape.
+/// [`Architecture::ThreeTier`] only, a non-empty device pool, no legacy
+/// `edges`/`workers_per_edge` fields, and N-tier trees need a uniform
+/// cohort size that matches the population's registered shape.
 ///
 /// # Errors
 ///
@@ -1034,15 +1144,6 @@ where
     if sim.env.worker_devices.is_empty() {
         return Err(SimError::Net(
             "the device-profile pool must not be empty".into(),
-        ));
-    }
-    if sim.faults.link.is_some() {
-        return Err(SimError::Fault(
-            "link faults are not supported with client sampling (virtual \
-             workers keep no per-actor mailbox state for the retry and \
-             duplicate protocol); crash, permanent and spike plans compose \
-             with sampling"
-                .into(),
         ));
     }
     sim.faults
@@ -1165,6 +1266,10 @@ where
                 done: false,
                 busy_ms: 0.0,
                 sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_EDGE_STREAM, e as u64),
+                fsampler: sim.faults.link.is_some().then(|| {
+                    FaultSampler::from_stream(sim.net_seed ^ SALT_EDGE_FAULT_STREAM, e as u64)
+                }),
+                faults: FaultCounters::default(),
             }
         })
         .collect();
@@ -1195,6 +1300,7 @@ where
         cloud_sampler: DelaySampler::from_stream(sim.net_seed ^ SALT_CLOUD_STREAM, 0),
         workers_busy_ms: 0.0,
         worker_faults: FaultCounters::default(),
+        cloud_faults: FaultCounters::default(),
         permanent_counted: vec![false; sim.faults.permanent.len()],
         queue: EventQueue::new(),
         eval_stage: BTreeMap::new(),
@@ -1222,3 +1328,7 @@ where
 /// from every per-(worker, round) stream whatever the population size.
 const SALT_EDGE_STREAM: u64 = 0x6564_6765_5f76_706f;
 const SALT_CLOUD_STREAM: u64 = 0x636c_6f75_645f_7670;
+/// Fault-stream salt keeping the edges' retry/duplicate draws disjoint
+/// from their delay streams and from every per-(worker, round) fault
+/// stream.
+const SALT_EDGE_FAULT_STREAM: u64 = 0x6661_756c_745f_7670;

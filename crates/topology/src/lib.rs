@@ -25,10 +25,15 @@
 
 #![deny(missing_docs)]
 
+pub mod elastic;
 pub mod hierarchy;
 pub mod schedule;
 pub mod tier;
 
+pub use elastic::{
+    churn_stream_seed, ChurnPlan, ElasticSnapshot, Placement, ScheduledEvent, TopologyEvent,
+    TopologyVersion, CHURN_SEED_SALT,
+};
 pub use hierarchy::{Hierarchy, WorkerId};
 pub use schedule::{Schedule, ScheduleError, Tick};
 pub use tier::{LinkClass, TierAggregation, TierPath, TierSpec, TierTree};

@@ -349,8 +349,10 @@ pub fn matrix_policies() -> [SyncPolicy; 3] {
 
 /// The fault plan of the sampling matrix's chaos cells: per-round
 /// transient crashes, one permanently crashing registered worker and
-/// step-delay spikes — everything sampled cohorts support (link faults
-/// are the documented exception).
+/// step-delay spikes. Link faults also compose with sampled cohorts
+/// (their retry protocol only stretches virtual time) but are exercised
+/// by their own gate in `sampling_equivalence`, so the matrix keeps the
+/// plan that perturbs the model trajectory.
 pub fn sampled_fault_plan() -> FaultPlan {
     FaultPlan {
         crash: Some(CrashProfile {

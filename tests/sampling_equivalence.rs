@@ -254,6 +254,61 @@ fn sampling_composes_with_robustness_and_adversaries() {
     }
 }
 
+/// Link faults compose with sampling: the retry/duplicate protocol only
+/// stretches virtual time (delivery eventually succeeds), so the FullSync
+/// trajectory stays bitwise the tick-driven engine's, while the fault
+/// tallies and the longer clock show the protocol actually ran — and the
+/// whole chaos cell replays deterministically.
+#[test]
+fn link_faults_compose_with_sampling() {
+    let (population, shards, test, cfg) = virtual_fixture();
+    let algo = HierAdMo::adaptive(cfg.eta, cfg.gamma);
+    let model = zoo::logistic_regression(&shards[0], 7);
+    let core = run_virtual(&algo, &model, &population, &shards, &test, &cfg).unwrap();
+    let clean = simulate_virtual(
+        &algo,
+        &model,
+        &population,
+        &shards,
+        &test,
+        &cfg,
+        &virtual_sim_config(9),
+    )
+    .unwrap();
+    let flaky_sim = virtual_sim_config(9).with_faults(FaultPlan {
+        link: Some(LinkFaults::flaky()),
+        ..FaultPlan::none()
+    });
+    let flaky =
+        simulate_virtual(&algo, &model, &population, &shards, &test, &cfg, &flaky_sim).unwrap();
+    assert_core_sim_equal(&core, &flaky, "flaky links sampled");
+    assert!(
+        flaky.simulated_seconds > clean.simulated_seconds,
+        "retry penalties must stretch the virtual clock"
+    );
+    let tally = |r: &SimResult| {
+        r.faults
+            .iter()
+            .map(|f| {
+                f.counters.messages_lost
+                    + f.counters.transfer_failures
+                    + f.counters.retries
+                    + f.counters.duplicates_received
+            })
+            .sum::<u64>()
+    };
+    assert_eq!(tally(&clean), 0, "fault-free run tallied link faults");
+    assert!(tally(&flaky) > 0, "no link fault ever fired");
+    let again =
+        simulate_virtual(&algo, &model, &population, &shards, &test, &cfg, &flaky_sim).unwrap();
+    assert_eq!(flaky.simulated_seconds, again.simulated_seconds);
+    assert_eq!(flaky.events, again.events, "duplicate events must replay");
+    for (a, b) in flaky.faults.iter().zip(again.faults.iter()) {
+        assert_eq!(a.actor, b.actor);
+        assert_eq!(a.counters, b.counters, "{}: tallies must replay", a.actor);
+    }
+}
+
 /// The CI scale smoke: 100k registered workers, 512 sampled per round,
 /// replayed bitwise at 1 and 4 engine threads. Memory stays cohort-sized
 /// — the 100k registered workers never materialize.
@@ -398,18 +453,6 @@ fn sampled_paths_validate_their_restrictions() {
                     ..cfg.clone()
                 },
                 &virtual_sim_config(9),
-            ),
-        ),
-        (
-            "link faults with sampling",
-            "fault",
-            "link faults",
-            sim_err(
-                &cfg,
-                &virtual_sim_config(9).with_faults(FaultPlan {
-                    link: Some(LinkFaults::flaky()),
-                    ..FaultPlan::none()
-                }),
             ),
         ),
         (
